@@ -1,0 +1,28 @@
+//! Criterion benchmark comparing 1-worker and multi-worker exhaustive
+//! exploration of the memcached symbolic-packet workload (the Fig. 7 result
+//! in miniature).
+
+use c9_bench::{experiment_cluster_config, memcached_workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(20));
+
+    for workers in [1usize, 2] {
+        group.bench_function(format!("memcached_exhaustive_{workers}w"), |b| {
+            b.iter(|| {
+                let (program, env) = memcached_workload();
+                let config = experiment_cluster_config(workers, Duration::from_secs(300));
+                let result = c9_bench::run_cluster(program, env, config);
+                assert!(result.summary.exhausted);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

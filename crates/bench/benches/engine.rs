@@ -1,0 +1,101 @@
+//! Criterion micro-benchmarks for the single-node engine: raw interpretation
+//! throughput and exhaustive exploration of a small symbolic program.
+
+use c9_ir::{BinaryOp, Operand, Program, ProgramBuilder, Width};
+use c9_vm::{sysno, DfsSearcher, Engine, EngineConfig, NullEnvironment};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+fn concrete_loop_program(iterations: u32) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let i = f.copy(Operand::word(0));
+    let loop_bb = f.create_block();
+    let body_bb = f.create_block();
+    let done_bb = f.create_block();
+    f.jump(loop_bb);
+    f.switch_to(loop_bb);
+    let done = f.binary(BinaryOp::Ule, Operand::word(iterations), Operand::Reg(i));
+    f.branch(Operand::Reg(done), done_bb, body_bb);
+    f.switch_to(body_bb);
+    let next = f.binary(BinaryOp::Add, Operand::Reg(i), Operand::word(1));
+    f.assign_to(i, c9_ir::Rvalue::Use(Operand::Reg(next)));
+    f.jump(loop_bb);
+    f.switch_to(done_bb);
+    f.ret(Some(Operand::Reg(i)));
+    let main = f.finish();
+    pb.set_entry(main);
+    pb.finish()
+}
+
+fn symbolic_program(bytes: u32) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let buf = f.alloc(Operand::word(bytes));
+    f.syscall(
+        sysno::MAKE_SYMBOLIC,
+        vec![Operand::Reg(buf), Operand::word(bytes)],
+    );
+    let mut next = f.create_block();
+    for i in 0..bytes {
+        let addr = f.binary(BinaryOp::Add, Operand::Reg(buf), Operand::word(i));
+        let b = f.load(Operand::Reg(addr), Width::W8);
+        let cond = f.binary(BinaryOp::Ult, Operand::Reg(b), Operand::byte(100));
+        let t = f.create_block();
+        f.branch(Operand::Reg(cond), t, next);
+        f.switch_to(t);
+        f.jump(next);
+        f.switch_to(next);
+        if i + 1 < bytes {
+            next = f.create_block();
+        }
+    }
+    f.ret(Some(Operand::word(0)));
+    let main = f.finish();
+    pb.set_entry(main);
+    pb.finish()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+
+    group.bench_function("concrete_interpretation_10k_iters", |b| {
+        let program = Arc::new(concrete_loop_program(10_000));
+        b.iter(|| {
+            let mut engine = Engine::new(
+                program.clone(),
+                Arc::new(NullEnvironment),
+                Box::new(DfsSearcher::new()),
+                EngineConfig {
+                    generate_test_cases: false,
+                    ..EngineConfig::default()
+                },
+            );
+            let summary = engine.run();
+            assert_eq!(summary.paths_completed, 1);
+        });
+    });
+
+    group.bench_function("exhaustive_exploration_6_branches", |b| {
+        let program = Arc::new(symbolic_program(6));
+        b.iter(|| {
+            let mut engine = Engine::new(
+                program.clone(),
+                Arc::new(NullEnvironment),
+                Box::new(DfsSearcher::new()),
+                EngineConfig {
+                    generate_test_cases: false,
+                    ..EngineConfig::default()
+                },
+            );
+            let summary = engine.run();
+            assert_eq!(summary.paths_completed, 64);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

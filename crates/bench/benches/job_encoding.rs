@@ -1,0 +1,47 @@
+//! Criterion benchmark for the job-encoding ablation of DESIGN.md: prefix
+//! job-tree encoding vs. flat per-job path encoding.
+
+use c9_core::{encode_jobs_flat, Job, JobTree};
+use c9_vm::PathChoice;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn sample_jobs(count: usize, depth: usize, shared_prefix: usize) -> Vec<Job> {
+    let prefix: Vec<PathChoice> = (0..shared_prefix)
+        .map(|i| PathChoice::Branch(i % 3 == 0))
+        .collect();
+    (0..count)
+        .map(|j| {
+            let mut path = prefix.clone();
+            for i in 0..depth {
+                path.push(PathChoice::Branch((j >> (i % 8)) & 1 == 1));
+            }
+            Job::new(path)
+        })
+        .collect()
+}
+
+fn bench_job_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("job_encoding");
+    group.sample_size(30);
+    let jobs = sample_jobs(64, 20, 60);
+
+    group.bench_function("job_tree_encode", |b| {
+        b.iter(|| JobTree::from_jobs(&jobs).encode());
+    });
+    group.bench_function("flat_encode", |b| {
+        b.iter(|| encode_jobs_flat(&jobs));
+    });
+    group.bench_function("job_tree_roundtrip", |b| {
+        let encoded = JobTree::from_jobs(&jobs).encode();
+        b.iter(|| JobTree::decode(&encoded).unwrap().to_jobs());
+    });
+
+    // Report the size ratio once (the shape result of the ablation).
+    let tree_len = JobTree::from_jobs(&jobs).encode().len();
+    let flat_len = encode_jobs_flat(&jobs).len();
+    println!("job-tree bytes: {tree_len}, flat bytes: {flat_len}");
+    group.finish();
+}
+
+criterion_group!(benches, bench_job_encoding);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Fig. 10: useful work on the printf and test utilities as a function of the
+//! number of workers, for several time budgets.
+
+use c9_bench::{experiment_cluster_config, print_table, printf_workload, scaling_worker_counts, test_workload};
+use std::time::Duration;
+
+fn main() {
+    let budgets = [Duration::from_secs(2), Duration::from_secs(4)];
+    for (name, make) in [
+        ("printf", true),
+        ("test", false),
+    ] {
+        let mut rows = Vec::new();
+        for workers in scaling_worker_counts() {
+            for budget in budgets {
+                let (program, env) = if make {
+                    printf_workload(10)
+                } else {
+                    test_workload()
+                };
+                let config = experiment_cluster_config(workers, budget);
+                let result = c9_bench::run_cluster(program, env, config);
+                rows.push(vec![
+                    workers.to_string(),
+                    format!("{}s", budget.as_secs()),
+                    result.summary.useful_instructions().to_string(),
+                    result.summary.paths_completed().to_string(),
+                ]);
+            }
+        }
+        print_table(
+            &format!("Fig. 10 — useful work on {name}"),
+            &["workers", "budget", "useful instrs", "paths"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Fig. 12: fraction of candidate states transferred between workers per
+//! sampling interval while exhaustively exploring the memcached workload
+//! (the paper reports 3–6 % of all states moving in almost every interval).
+
+use c9_bench::{experiment_cluster_config, memcached_workload, print_table};
+use std::time::Duration;
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(2)
+        .max(2);
+    let (program, env) = memcached_workload();
+    let config = experiment_cluster_config(workers, Duration::from_secs(60));
+    let result = c9_bench::run_cluster(program, env, config);
+    let mut rows = Vec::new();
+    for sample in &result.summary.timeline {
+        let pct = if sample.total_states > 0 {
+            100.0 * sample.states_transferred as f64 / sample.total_states as f64
+        } else {
+            0.0
+        };
+        rows.push(vec![
+            format!("{:.1}s", sample.elapsed.as_secs_f64()),
+            sample.states_transferred.to_string(),
+            sample.total_states.to_string(),
+            format!("{pct:.1}%"),
+        ]);
+    }
+    print_table(
+        &format!("Fig. 12 — states transferred per interval ({workers} workers)"),
+        &["time", "transferred", "total states", "transferred %"],
+        &rows,
+    );
+    println!(
+        "total jobs transferred: {}",
+        result.summary.jobs_transferred()
+    );
+}

@@ -1,0 +1,39 @@
+//! Fig. 13: instruction throughput when load balancing is disabled at various
+//! points during the run, compared with continuous balancing and with static
+//! partitioning. Disabling balancing early starves workers and reduces the
+//! useful work done — the paper's argument for dynamic partitioning.
+
+use c9_bench::{experiment_cluster_config, memcached_workload, print_table};
+use std::time::Duration;
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(2)
+        .max(2);
+    let budget = Duration::from_secs(6);
+    let mut rows = Vec::new();
+    let mut scenario = |label: &str, disable_after: Option<Duration>, static_partition: bool| {
+        let (program, env) = memcached_workload();
+        let mut config = experiment_cluster_config(workers, budget);
+        config.disable_lb_after = disable_after;
+        config.static_partition = static_partition;
+        let result = c9_bench::run_cluster(program, env, config);
+        rows.push(vec![
+            label.to_string(),
+            result.summary.useful_instructions().to_string(),
+            result.summary.paths_completed().to_string(),
+            result.summary.jobs_transferred().to_string(),
+        ]);
+    };
+    scenario("continuous LB", None, false);
+    scenario("LB stops after 4s", Some(Duration::from_secs(4)), false);
+    scenario("LB stops after 2s", Some(Duration::from_secs(2)), false);
+    scenario("LB stops after 1s", Some(Duration::from_secs(1)), false);
+    scenario("static partitioning", None, true);
+    print_table(
+        &format!("Fig. 13 — load-balancing ablation ({workers} workers, {budget:?} budget)"),
+        &["scenario", "useful instrs", "paths", "jobs transferred"],
+        &rows,
+    );
+}

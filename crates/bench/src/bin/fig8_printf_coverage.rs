@@ -1,0 +1,30 @@
+//! Fig. 8: time to reach a target line-coverage level on the printf utility
+//! as a function of the number of workers.
+
+use c9_bench::{experiment_cluster_config, print_table, printf_workload, scaling_worker_counts, secs};
+use std::time::Duration;
+
+fn main() {
+    let targets = [0.5, 0.6, 0.7, 0.8, 0.9];
+    let mut rows = Vec::new();
+    for workers in scaling_worker_counts() {
+        for target in targets {
+            let (program, env) = printf_workload(10);
+            let mut config = experiment_cluster_config(workers, Duration::from_secs(120));
+            config.coverage_target = Some(target);
+            let result = c9_bench::run_cluster(program, env, config);
+            rows.push(vec![
+                workers.to_string(),
+                format!("{:.0}%", target * 100.0),
+                secs(result.summary.elapsed),
+                format!("{:.1}%", result.summary.coverage_ratio() * 100.0),
+                result.summary.goal_reached.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 8 — time to reach a coverage target on printf",
+        &["workers", "target", "time", "achieved", "reached"],
+        &rows,
+    );
+}

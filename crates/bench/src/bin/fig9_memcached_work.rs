@@ -1,0 +1,35 @@
+//! Fig. 9: useful work (non-replay instructions) on the memcached workload —
+//! total and normalized per worker — for several time budgets. Linear total
+//! scaling with a roughly flat per-worker line is the paper's result.
+
+use c9_bench::{experiment_cluster_config, memcached_workload, print_table, scaling_worker_counts};
+use std::time::Duration;
+
+fn main() {
+    let budgets = [
+        Duration::from_secs(2),
+        Duration::from_secs(4),
+        Duration::from_secs(6),
+    ];
+    let mut rows = Vec::new();
+    for workers in scaling_worker_counts() {
+        for budget in budgets {
+            let (program, env) = memcached_workload();
+            let config = experiment_cluster_config(workers, budget);
+            let result = c9_bench::run_cluster(program, env, config);
+            let useful = result.summary.useful_instructions();
+            rows.push(vec![
+                workers.to_string(),
+                format!("{}s", budget.as_secs()),
+                useful.to_string(),
+                format!("{:.0}", result.summary.useful_instructions_per_worker()),
+                result.summary.replay_instructions().to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 9 — useful work on memcached (total and per worker)",
+        &["workers", "budget", "useful instrs", "useful/worker", "replay instrs"],
+        &rows,
+    );
+}

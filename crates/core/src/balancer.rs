@@ -1,0 +1,256 @@
+//! The load balancer (§3.3).
+//!
+//! Workers periodically report the length of their job queues; the load
+//! balancer classifies workers as underloaded or overloaded using a
+//! mean ± δ·σ band, pairs underloaded with overloaded workers, and issues
+//! transfer requests ⟨source, destination, number of jobs⟩. It also maintains
+//! the global coverage bit vector that coordinates the distributed
+//! coverage-optimized strategy.
+
+use c9_vm::CoverageSet;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a worker within a cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WorkerId(pub u32);
+
+/// A request issued by the load balancer: move `count` jobs from `source` to
+/// `destination`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferRequest {
+    /// The overloaded worker that gives up jobs.
+    pub source: WorkerId,
+    /// The underloaded worker that receives them.
+    pub destination: WorkerId,
+    /// Number of jobs to move.
+    pub count: u64,
+}
+
+/// Configuration of the balancing algorithm.
+#[derive(Clone, Copy, Debug)]
+pub struct BalancerConfig {
+    /// The δ factor of the classification band (mean ± δ·σ).
+    pub delta: f64,
+    /// Minimum number of jobs a transfer must move to be worth issuing.
+    pub min_transfer: u64,
+}
+
+impl Default for BalancerConfig {
+    fn default() -> BalancerConfig {
+        BalancerConfig {
+            delta: 0.5,
+            min_transfer: 1,
+        }
+    }
+}
+
+/// The load balancer.
+#[derive(Debug)]
+pub struct LoadBalancer {
+    config: BalancerConfig,
+    queue_lengths: Vec<u64>,
+    global_coverage: CoverageSet,
+    total_transferred: u64,
+}
+
+impl LoadBalancer {
+    /// Creates a load balancer for `num_workers` workers and a program with
+    /// `num_lines` coverage lines.
+    pub fn new(num_workers: usize, num_lines: usize, config: BalancerConfig) -> LoadBalancer {
+        LoadBalancer {
+            config,
+            queue_lengths: vec![0; num_workers],
+            global_coverage: CoverageSet::new(num_lines),
+            total_transferred: 0,
+        }
+    }
+
+    /// Records a status update from a worker: its queue length and local
+    /// coverage. Returns the updated global coverage (which the worker ORs
+    /// into its own, §3.3).
+    pub fn report(&mut self, worker: WorkerId, queue_length: u64, coverage: &CoverageSet) -> CoverageSet {
+        self.queue_lengths[worker.0 as usize] = queue_length;
+        self.global_coverage.merge(coverage);
+        self.global_coverage.clone()
+    }
+
+    /// Updates only the queue length of a worker.
+    pub fn report_queue(&mut self, worker: WorkerId, queue_length: u64) {
+        self.queue_lengths[worker.0 as usize] = queue_length;
+    }
+
+    /// The current global coverage.
+    pub fn global_coverage(&self) -> &CoverageSet {
+        &self.global_coverage
+    }
+
+    /// Total jobs moved by transfer requests issued so far.
+    pub fn total_transferred(&self) -> u64 {
+        self.total_transferred
+    }
+
+    /// The last reported queue length of every worker.
+    pub fn queue_lengths(&self) -> &[u64] {
+        &self.queue_lengths
+    }
+
+    /// Whether every worker reported an empty queue.
+    pub fn all_idle(&self) -> bool {
+        self.queue_lengths.iter().all(|l| *l == 0)
+    }
+
+    /// Runs one round of the balancing algorithm of §3.3 and returns the
+    /// transfer requests to issue.
+    ///
+    /// Workers are classified as underloaded (`l < max(mean − δ·σ, 0)`) or
+    /// overloaded (`l > mean + δ·σ`); the two lists are matched pairwise from
+    /// the most underloaded and most overloaded ends, and each pair ⟨Wi, Wj⟩
+    /// with `li < lj` receives a request to move `(lj − li)/2` jobs.
+    pub fn balance(&mut self) -> Vec<TransferRequest> {
+        let n = self.queue_lengths.len();
+        if n < 2 {
+            return Vec::new();
+        }
+        let mean = self.queue_lengths.iter().sum::<u64>() as f64 / n as f64;
+        let variance = self
+            .queue_lengths
+            .iter()
+            .map(|l| {
+                let d = *l as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        let sigma = variance.sqrt();
+        let low = (mean - self.config.delta * sigma).max(0.0);
+        let high = mean + self.config.delta * sigma;
+
+        let mut underloaded: Vec<(u64, WorkerId)> = Vec::new();
+        let mut overloaded: Vec<(u64, WorkerId)> = Vec::new();
+        for (i, l) in self.queue_lengths.iter().enumerate() {
+            let lf = *l as f64;
+            if lf < low {
+                underloaded.push((*l, WorkerId(i as u32)));
+            } else if lf > high {
+                overloaded.push((*l, WorkerId(i as u32)));
+            }
+        }
+        // Special case: with small clusters and very skewed loads the band
+        // can be too wide; make sure an idle worker is always fed when some
+        // other worker has more than one job.
+        if underloaded.is_empty() {
+            for (i, l) in self.queue_lengths.iter().enumerate() {
+                if *l == 0 {
+                    underloaded.push((0, WorkerId(i as u32)));
+                }
+            }
+        }
+        if overloaded.is_empty() {
+            if let Some((i, l)) = self
+                .queue_lengths
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, l)| **l)
+            {
+                if *l > 1 {
+                    overloaded.push((*l, WorkerId(i as u32)));
+                }
+            }
+        }
+        underloaded.sort();
+        overloaded.sort();
+
+        let mut requests = Vec::new();
+        let mut over_iter = overloaded.into_iter().rev();
+        for (under_len, under_id) in underloaded {
+            let Some((over_len, over_id)) = over_iter.next() else {
+                break;
+            };
+            if over_id == under_id || over_len <= under_len {
+                continue;
+            }
+            let count = (over_len - under_len) / 2;
+            if count >= self.config.min_transfer {
+                self.total_transferred += count;
+                requests.push(TransferRequest {
+                    source: over_id,
+                    destination: under_id,
+                    count,
+                });
+                // Optimistically update the book-keeping so repeated calls in
+                // the same reporting interval do not over-transfer.
+                self.queue_lengths[over_id.0 as usize] -= count;
+                self.queue_lengths[under_id.0 as usize] += count;
+            }
+        }
+        requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lb(lengths: &[u64]) -> LoadBalancer {
+        let mut lb = LoadBalancer::new(lengths.len(), 100, BalancerConfig::default());
+        for (i, l) in lengths.iter().enumerate() {
+            lb.report_queue(WorkerId(i as u32), *l);
+        }
+        lb
+    }
+
+    #[test]
+    fn balanced_cluster_needs_no_transfers() {
+        let mut b = lb(&[10, 10, 10, 10]);
+        assert!(b.balance().is_empty());
+    }
+
+    #[test]
+    fn idle_worker_gets_fed_from_loaded_worker() {
+        let mut b = lb(&[100, 0]);
+        let reqs = b.balance();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].source, WorkerId(0));
+        assert_eq!(reqs[0].destination, WorkerId(1));
+        assert_eq!(reqs[0].count, 50);
+    }
+
+    #[test]
+    fn multiple_pairs_are_matched() {
+        let mut b = lb(&[100, 0, 90, 1]);
+        let reqs = b.balance();
+        assert!(reqs.len() >= 2);
+        // Each request moves roughly half the difference.
+        for r in &reqs {
+            assert!(r.count >= 40);
+        }
+    }
+
+    #[test]
+    fn coverage_is_accumulated_and_returned() {
+        let mut b = LoadBalancer::new(2, 64, BalancerConfig::default());
+        let mut c0 = CoverageSet::new(64);
+        c0.cover(c9_ir::LineId(1));
+        let global = b.report(WorkerId(0), 5, &c0);
+        assert!(global.is_covered(c9_ir::LineId(1)));
+        let mut c1 = CoverageSet::new(64);
+        c1.cover(c9_ir::LineId(2));
+        let global = b.report(WorkerId(1), 5, &c1);
+        assert!(global.is_covered(c9_ir::LineId(1)));
+        assert!(global.is_covered(c9_ir::LineId(2)));
+    }
+
+    #[test]
+    fn all_idle_detection() {
+        let mut b = lb(&[0, 0, 0]);
+        assert!(b.all_idle());
+        b.report_queue(WorkerId(1), 3);
+        assert!(!b.all_idle());
+    }
+
+    #[test]
+    fn single_worker_cluster_never_balances() {
+        let mut b = lb(&[42]);
+        assert!(b.balance().is_empty());
+    }
+}

@@ -1,0 +1,401 @@
+//! The cluster harness: workers on OS threads coordinated by a load balancer.
+//!
+//! This reproduces the deployment of §3.3 and §6 of the paper at the scale of
+//! one machine: every worker is an independent symbolic execution engine with
+//! its own solver and state store (shared-nothing); workers exchange jobs
+//! only as serialized path encodings over channels; the load balancer sees
+//! only queue lengths and coverage bit vectors. Wall-clock speedups therefore
+//! come from real parallelism, exactly as in the paper's cluster — only the
+//! transport (in-process channels instead of TCP) differs.
+
+use crate::balancer::{BalancerConfig, LoadBalancer, TransferRequest, WorkerId};
+use crate::job::JobTree;
+use crate::stats::{ClusterSummary, IntervalSample, WorkerStats};
+use crate::worker::{Worker, WorkerConfig};
+use c9_ir::Program;
+use c9_vm::{CoverageSet, Environment, TestCase};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of a cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of worker nodes.
+    pub num_workers: usize,
+    /// Per-worker configuration.
+    pub worker: WorkerConfig,
+    /// Stop after this much wall-clock time (None = run to exhaustion).
+    pub time_limit: Option<Duration>,
+    /// Stop once global line coverage reaches this fraction.
+    pub coverage_target: Option<f64>,
+    /// Stop once this many paths have completed across the cluster.
+    pub max_total_paths: Option<u64>,
+    /// How often workers report status to the load balancer.
+    pub status_interval: Duration,
+    /// How often the load balancer runs the balancing algorithm.
+    pub balance_interval: Duration,
+    /// How often a timeline sample is recorded (the paper's "10-second
+    /// buckets", scaled down).
+    pub sample_interval: Duration,
+    /// Balancing algorithm parameters.
+    pub balancer: BalancerConfig,
+    /// Disable load balancing after this much time (the Fig. 13 ablation).
+    pub disable_lb_after: Option<Duration>,
+    /// Only balance until every worker has received work once, then never
+    /// again (static partitioning ablation, §2).
+    pub static_partition: bool,
+    /// Instructions per worker quantum between message-handling points.
+    pub quantum: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            num_workers: 2,
+            worker: WorkerConfig::default(),
+            time_limit: None,
+            coverage_target: None,
+            max_total_paths: None,
+            status_interval: Duration::from_millis(10),
+            balance_interval: Duration::from_millis(20),
+            sample_interval: Duration::from_millis(100),
+            balancer: BalancerConfig::default(),
+            disable_lb_after: None,
+            static_partition: false,
+            quantum: 20_000,
+        }
+    }
+}
+
+/// Control messages from the load balancer to a worker.
+enum Control {
+    /// Transfer `count` jobs to worker `destination`.
+    Balance { destination: WorkerId, count: u64 },
+    /// The updated global coverage bit vector.
+    GlobalCoverage(CoverageSet),
+    /// Stop and report final results.
+    Stop,
+}
+
+/// Status report from a worker to the load balancer.
+struct StatusReport {
+    worker: WorkerId,
+    queue_length: u64,
+    coverage: CoverageSet,
+    stats: WorkerStats,
+    idle: bool,
+}
+
+/// Final report from a worker at shutdown.
+struct FinalReport {
+    stats: WorkerStats,
+    coverage: CoverageSet,
+    test_cases: Vec<TestCase>,
+    bugs: Vec<TestCase>,
+}
+
+/// The outcome of a cluster run, including generated test cases.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterRunResult {
+    /// Aggregate statistics and timeline.
+    pub summary: ClusterSummary,
+    /// Test cases from all workers (when enabled in the worker config).
+    pub test_cases: Vec<TestCase>,
+    /// Bug-exposing test cases from all workers.
+    pub bugs: Vec<TestCase>,
+}
+
+/// A Cloud9 cluster: one program, one environment model, N workers.
+pub struct Cluster {
+    program: Arc<Program>,
+    env: Arc<dyn Environment>,
+    config: ClusterConfig,
+}
+
+impl Cluster {
+    /// Creates a cluster for `program` with the given environment model.
+    pub fn new(program: Arc<Program>, env: Arc<dyn Environment>, config: ClusterConfig) -> Cluster {
+        Cluster {
+            program,
+            env,
+            config,
+        }
+    }
+
+    /// Runs the cluster until a stopping condition is met and returns the
+    /// aggregated results.
+    pub fn run(&self) -> ClusterRunResult {
+        let n = self.config.num_workers.max(1);
+        let start = Instant::now();
+
+        // Channels: LB -> worker control, worker -> worker jobs, worker -> LB status.
+        let mut control_txs = Vec::with_capacity(n);
+        let mut control_rxs = Vec::with_capacity(n);
+        let mut job_txs: Vec<Sender<Vec<u8>>> = Vec::with_capacity(n);
+        let mut job_rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (ctx, crx) = unbounded::<Control>();
+            control_txs.push(ctx);
+            control_rxs.push(Some(crx));
+            let (jtx, jrx) = unbounded::<Vec<u8>>();
+            job_txs.push(jtx);
+            job_rxs.push(Some(jrx));
+        }
+        let (status_tx, status_rx) = unbounded::<StatusReport>();
+
+        let result = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for i in 0..n {
+                let control_rx = control_rxs[i].take().expect("control rx");
+                let job_rx = job_rxs[i].take().expect("job rx");
+                let job_txs = job_txs.clone();
+                let status_tx = status_tx.clone();
+                let program = self.program.clone();
+                let env = self.env.clone();
+                let config = self.config.clone();
+                handles.push(scope.spawn(move || {
+                    worker_thread(
+                        WorkerId(i as u32),
+                        program,
+                        env,
+                        config,
+                        control_rx,
+                        job_rx,
+                        job_txs,
+                        status_tx,
+                    )
+                }));
+            }
+            drop(status_tx);
+
+            let summary = self.balancer_loop(start, &control_txs, &status_rx, n);
+
+            let mut result = ClusterRunResult {
+                summary,
+                ..ClusterRunResult::default()
+            };
+            for handle in handles {
+                let report = handle.join().expect("worker thread panicked");
+                result.summary.worker_stats.push(report.stats);
+                result.summary.coverage.merge(&report.coverage);
+                result.summary.bugs_found += report.bugs.len() as u64;
+                result.test_cases.extend(report.test_cases);
+                result.bugs.extend(report.bugs);
+            }
+            result.summary.num_workers = n;
+            result.summary.elapsed = start.elapsed();
+            result
+        });
+        result
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn balancer_loop(
+        &self,
+        start: Instant,
+        control_txs: &[Sender<Control>],
+        status_rx: &Receiver<StatusReport>,
+        n: usize,
+    ) -> ClusterSummary {
+        let mut lb = LoadBalancer::new(n, self.program.loc(), self.config.balancer);
+        let mut idle = vec![false; n];
+        let mut sent_totals = vec![0u64; n];
+        let mut received_totals = vec![0u64; n];
+        let mut useful_totals = vec![0u64; n];
+        let mut paths_totals = vec![0u64; n];
+        let mut last_balance = Instant::now();
+        let mut last_sample = Instant::now();
+        let mut transferred_at_last_sample = 0u64;
+        let mut everyone_had_work = vec![false; n];
+        let mut summary = ClusterSummary {
+            num_workers: n,
+            coverage: CoverageSet::new(self.program.loc()),
+            ..ClusterSummary::default()
+        };
+
+        loop {
+            // Drain status reports (block briefly for the first one).
+            let mut got_any = false;
+            while let Ok(report) = if got_any {
+                status_rx.try_recv().map_err(|_| ())
+            } else {
+                status_rx
+                    .recv_timeout(Duration::from_millis(2))
+                    .map_err(|_| ())
+            } {
+                got_any = true;
+                let w = report.worker.0 as usize;
+                idle[w] = report.idle;
+                sent_totals[w] = report.stats.jobs_sent;
+                received_totals[w] = report.stats.jobs_received;
+                useful_totals[w] = report.stats.useful_instructions;
+                paths_totals[w] = report.stats.paths_completed;
+                if report.queue_length > 0 {
+                    everyone_had_work[w] = true;
+                }
+                let global = lb.report(report.worker, report.queue_length, &report.coverage);
+                let _ = control_txs[w].send(Control::GlobalCoverage(global));
+            }
+
+            let elapsed = start.elapsed();
+
+            // Stopping conditions.
+            let mut goal_reached = false;
+            let mut exhausted = false;
+            if let Some(target) = self.config.coverage_target {
+                if lb.global_coverage().ratio() >= target {
+                    goal_reached = true;
+                }
+            }
+            if let Some(max_paths) = self.config.max_total_paths {
+                if paths_totals.iter().sum::<u64>() >= max_paths {
+                    goal_reached = true;
+                }
+            }
+            let in_flight_settled = sent_totals.iter().sum::<u64>() == received_totals.iter().sum::<u64>();
+            if idle.iter().all(|i| *i) && lb.all_idle() && in_flight_settled {
+                exhausted = true;
+                goal_reached = true;
+            }
+            let timed_out = self
+                .config
+                .time_limit
+                .map(|limit| elapsed >= limit)
+                .unwrap_or(false);
+
+            // Timeline sampling.
+            if last_sample.elapsed() >= self.config.sample_interval || goal_reached || timed_out {
+                let transferred_now = lb.total_transferred();
+                summary.timeline.push(IntervalSample {
+                    elapsed,
+                    states_transferred: transferred_now - transferred_at_last_sample,
+                    total_states: lb.queue_lengths().iter().sum(),
+                    useful_instructions: useful_totals.iter().sum(),
+                    coverage: lb.global_coverage().ratio(),
+                });
+                transferred_at_last_sample = transferred_now;
+                last_sample = Instant::now();
+            }
+
+            if goal_reached || timed_out {
+                summary.goal_reached = goal_reached;
+                summary.exhausted = exhausted;
+                break;
+            }
+
+            // Load balancing.
+            let lb_disabled_by_time = self
+                .config
+                .disable_lb_after
+                .map(|d| elapsed >= d)
+                .unwrap_or(false);
+            let lb_disabled_static =
+                self.config.static_partition && everyone_had_work.iter().all(|w| *w);
+            if !lb_disabled_by_time
+                && !lb_disabled_static
+                && last_balance.elapsed() >= self.config.balance_interval
+            {
+                for TransferRequest {
+                    source,
+                    destination,
+                    count,
+                } in lb.balance()
+                {
+                    let _ = control_txs[source.0 as usize].send(Control::Balance {
+                        destination,
+                        count,
+                    });
+                }
+                last_balance = Instant::now();
+            }
+        }
+
+        summary.coverage.merge(lb.global_coverage());
+        for tx in control_txs {
+            let _ = tx.send(Control::Stop);
+        }
+        summary
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_thread(
+    id: WorkerId,
+    program: Arc<Program>,
+    env: Arc<dyn Environment>,
+    config: ClusterConfig,
+    control_rx: Receiver<Control>,
+    job_rx: Receiver<Vec<u8>>,
+    job_txs: Vec<Sender<Vec<u8>>>,
+    status_tx: Sender<StatusReport>,
+) -> FinalReport {
+    let mut worker = Worker::new(id, program, env, config.worker);
+    if id.0 == 0 {
+        // The first worker receives the seed job: the entire execution tree.
+        worker.seed_root();
+    }
+    let mut last_status = Instant::now() - config.status_interval;
+
+    loop {
+        // Handle control messages.
+        let mut stop = false;
+        while let Ok(msg) = control_rx.try_recv() {
+            match msg {
+                Control::Stop => {
+                    stop = true;
+                    break;
+                }
+                Control::GlobalCoverage(global) => worker.merge_global_coverage(&global),
+                Control::Balance { destination, count } => {
+                    let jobs = worker.export_jobs(count);
+                    if !jobs.is_empty() {
+                        let encoded = JobTree::from_jobs(&jobs).encode();
+                        worker.stats.job_bytes_sent += encoded.len() as u64;
+                        let _ = job_txs[destination.0 as usize].send(encoded);
+                    }
+                }
+            }
+        }
+        if stop {
+            break;
+        }
+
+        // Receive jobs from peers.
+        while let Ok(bytes) = job_rx.try_recv() {
+            if let Some(tree) = JobTree::decode(&bytes) {
+                worker.import_jobs(tree.to_jobs());
+            }
+        }
+
+        // Explore.
+        let idle = !worker.has_work();
+        if !idle {
+            worker.run_quantum(config.quantum);
+        } else {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+
+        // Report status.
+        if last_status.elapsed() >= config.status_interval {
+            let report = StatusReport {
+                worker: id,
+                queue_length: worker.queue_length(),
+                coverage: worker.coverage_snapshot(),
+                stats: worker.stats.clone(),
+                idle: !worker.has_work(),
+            };
+            if status_tx.send(report).is_err() {
+                break;
+            }
+            last_status = Instant::now();
+        }
+    }
+
+    FinalReport {
+        stats: worker.stats.clone(),
+        coverage: worker.coverage_snapshot(),
+        test_cases: std::mem::take(&mut worker.test_cases),
+        bugs: std::mem::take(&mut worker.bugs),
+    }
+}

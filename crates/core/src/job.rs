@@ -1,0 +1,325 @@
+//! Exploration jobs and their wire encoding.
+//!
+//! A *job* designates one unexplored node of the global execution tree. As in
+//! the paper (§3.2), a job is encoded as the path of decisions from the root
+//! to that node: the receiving worker reconstructs ("materializes") the node
+//! by replaying the path. When several jobs are transferred together their
+//! paths usually share long prefixes, so they are aggregated into a *job
+//! tree* (a prefix trie) before serialization.
+
+use c9_vm::PathChoice;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One exploration job: the path from the root of the execution tree to the
+/// candidate node to explore.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Job {
+    /// The decisions from the root to the node.
+    pub path: Vec<PathChoice>,
+}
+
+impl Job {
+    /// Creates a job for the given path.
+    pub fn new(path: Vec<PathChoice>) -> Job {
+        Job { path }
+    }
+
+    /// Depth of the node this job designates.
+    pub fn depth(&self) -> usize {
+        self.path.len()
+    }
+}
+
+/// A prefix trie over job paths, used to exploit common path prefixes when
+/// encoding a batch of jobs for transfer.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobTree {
+    children: BTreeMap<PathChoice, JobTree>,
+    /// Whether a job ends exactly at this node.
+    terminal: bool,
+}
+
+impl JobTree {
+    /// Creates an empty job tree.
+    pub fn new() -> JobTree {
+        JobTree::default()
+    }
+
+    /// Builds a job tree from a batch of jobs.
+    pub fn from_jobs(jobs: &[Job]) -> JobTree {
+        let mut tree = JobTree::new();
+        for job in jobs {
+            tree.insert(&job.path);
+        }
+        tree
+    }
+
+    /// Inserts one path.
+    pub fn insert(&mut self, path: &[PathChoice]) {
+        let mut node = self;
+        for choice in path {
+            node = node.children.entry(*choice).or_default();
+        }
+        node.terminal = true;
+    }
+
+    /// Expands the tree back into the list of jobs it encodes (in
+    /// lexicographic path order).
+    pub fn to_jobs(&self) -> Vec<Job> {
+        let mut out = Vec::new();
+        let mut prefix = Vec::new();
+        self.collect(&mut prefix, &mut out);
+        out
+    }
+
+    fn collect(&self, prefix: &mut Vec<PathChoice>, out: &mut Vec<Job>) {
+        if self.terminal {
+            out.push(Job::new(prefix.clone()));
+        }
+        for (choice, child) in &self.children {
+            prefix.push(*choice);
+            child.collect(prefix, out);
+            prefix.pop();
+        }
+    }
+
+    /// Number of jobs encoded.
+    pub fn len(&self) -> usize {
+        usize::from(self.terminal) + self.children.values().map(JobTree::len).sum::<usize>()
+    }
+
+    /// Whether the tree encodes no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of trie nodes (a measure of the shared-prefix compression).
+    pub fn node_count(&self) -> usize {
+        1 + self.children.values().map(JobTree::node_count).sum::<usize>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire encoding.
+// ---------------------------------------------------------------------------
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(data: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0;
+    loop {
+        let byte = *data.get(*pos)?;
+        *pos += 1;
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+fn encode_choice(out: &mut Vec<u8>, choice: &PathChoice) {
+    match choice {
+        PathChoice::Branch(false) => out.push(0),
+        PathChoice::Branch(true) => out.push(1),
+        PathChoice::Alt { chosen, total } => {
+            out.push(2);
+            push_varint(out, u64::from(*chosen));
+            push_varint(out, u64::from(*total));
+        }
+    }
+}
+
+fn decode_choice(data: &[u8], pos: &mut usize) -> Option<PathChoice> {
+    let tag = *data.get(*pos)?;
+    *pos += 1;
+    match tag {
+        0 => Some(PathChoice::Branch(false)),
+        1 => Some(PathChoice::Branch(true)),
+        2 => {
+            let chosen = read_varint(data, pos)? as u32;
+            let total = read_varint(data, pos)? as u32;
+            Some(PathChoice::Alt { chosen, total })
+        }
+        _ => None,
+    }
+}
+
+impl JobTree {
+    /// Serializes the job tree into a compact byte string.
+    ///
+    /// The encoding is a pre-order walk; each node stores its terminal flag
+    /// and its child edges (choice + subtree).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(self.terminal));
+        push_varint(out, self.children.len() as u64);
+        for (choice, child) in &self.children {
+            encode_choice(out, choice);
+            child.encode_into(out);
+        }
+    }
+
+    /// Deserializes a job tree produced by [`JobTree::encode`].
+    pub fn decode(data: &[u8]) -> Option<JobTree> {
+        let mut pos = 0;
+        let tree = JobTree::decode_from(data, &mut pos)?;
+        if pos == data.len() {
+            Some(tree)
+        } else {
+            None
+        }
+    }
+
+    fn decode_from(data: &[u8], pos: &mut usize) -> Option<JobTree> {
+        let terminal = *data.get(*pos)? != 0;
+        *pos += 1;
+        let n_children = read_varint(data, pos)? as usize;
+        let mut children = BTreeMap::new();
+        for _ in 0..n_children {
+            let choice = decode_choice(data, pos)?;
+            let child = JobTree::decode_from(data, pos)?;
+            children.insert(choice, child);
+        }
+        Some(JobTree { children, terminal })
+    }
+}
+
+/// Encodes a batch of jobs without prefix sharing (used as the baseline in
+/// the job-encoding ablation benchmark).
+pub fn encode_jobs_flat(jobs: &[Job]) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_varint(&mut out, jobs.len() as u64);
+    for job in jobs {
+        push_varint(&mut out, job.path.len() as u64);
+        for choice in &job.path {
+            encode_choice(&mut out, choice);
+        }
+    }
+    out
+}
+
+/// Decodes a batch encoded by [`encode_jobs_flat`].
+pub fn decode_jobs_flat(data: &[u8]) -> Option<Vec<Job>> {
+    let mut pos = 0;
+    let count = read_varint(data, &mut pos)? as usize;
+    let mut jobs = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = read_varint(data, &mut pos)? as usize;
+        let mut path = Vec::with_capacity(len);
+        for _ in 0..len {
+            path.push(decode_choice(data, &mut pos)?);
+        }
+        jobs.push(Job::new(path));
+    }
+    Some(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_jobs() -> Vec<Job> {
+        let b = PathChoice::Branch;
+        vec![
+            Job::new(vec![b(true), b(true), b(false)]),
+            Job::new(vec![b(true), b(true), b(true)]),
+            Job::new(vec![b(true), b(false)]),
+            Job::new(vec![
+                b(false),
+                PathChoice::Alt { chosen: 2, total: 5 },
+                b(true),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn job_tree_roundtrip_preserves_jobs() {
+        let jobs = sample_jobs();
+        let tree = JobTree::from_jobs(&jobs);
+        assert_eq!(tree.len(), jobs.len());
+        let mut recovered = tree.to_jobs();
+        let mut expected = jobs.clone();
+        recovered.sort_by(|a, b| a.path.cmp(&b.path));
+        expected.sort_by(|a, b| a.path.cmp(&b.path));
+        assert_eq!(recovered, expected);
+    }
+
+    #[test]
+    fn job_tree_shares_prefixes() {
+        let jobs = sample_jobs();
+        let tree = JobTree::from_jobs(&jobs);
+        let total_path_nodes: usize = jobs.iter().map(|j| j.path.len()).sum();
+        assert!(tree.node_count() <= total_path_nodes + 1);
+    }
+
+    #[test]
+    fn wire_encoding_roundtrip() {
+        let jobs = sample_jobs();
+        let tree = JobTree::from_jobs(&jobs);
+        let bytes = tree.encode();
+        let decoded = JobTree::decode(&bytes).expect("decode");
+        assert_eq!(decoded, tree);
+    }
+
+    #[test]
+    fn flat_encoding_roundtrip() {
+        let jobs = sample_jobs();
+        let bytes = encode_jobs_flat(&jobs);
+        let decoded = decode_jobs_flat(&bytes).expect("decode");
+        assert_eq!(decoded, jobs);
+    }
+
+    #[test]
+    fn tree_encoding_is_smaller_for_shared_prefixes() {
+        // Many deep paths sharing one long prefix compress well.
+        let mut prefix: Vec<PathChoice> = (0..50).map(|i| PathChoice::Branch(i % 2 == 0)).collect();
+        let mut jobs = Vec::new();
+        for i in 0..20 {
+            let mut p = prefix.clone();
+            p.push(PathChoice::Alt {
+                chosen: i,
+                total: 20,
+            });
+            jobs.push(Job::new(p));
+        }
+        prefix.clear();
+        let tree_bytes = JobTree::from_jobs(&jobs).encode();
+        let flat_bytes = encode_jobs_flat(&jobs);
+        assert!(
+            tree_bytes.len() < flat_bytes.len() / 3,
+            "tree {} vs flat {}",
+            tree_bytes.len(),
+            flat_bytes.len()
+        );
+    }
+
+    #[test]
+    fn corrupted_encodings_are_rejected() {
+        let jobs = sample_jobs();
+        let mut bytes = JobTree::from_jobs(&jobs).encode();
+        bytes.push(0xff);
+        assert!(JobTree::decode(&bytes).is_none());
+        assert!(JobTree::decode(&[2]).is_none());
+    }
+}

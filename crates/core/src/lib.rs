@@ -1,0 +1,73 @@
+//! Cluster-parallel symbolic execution — the Cloud9 EuroSys'11 contribution.
+//!
+//! This crate turns the single-node engine of [`c9_vm`] into a parallel
+//! symbolic execution platform, following §3 of the paper:
+//!
+//! * [`Job`] / [`JobTree`] — exploration jobs encoded as the path of
+//!   decisions from the root of the execution tree, aggregated into prefix
+//!   trees for transfer (§3.2, "encode jobs as the path from the root").
+//! * [`WorkerTree`] — the worker-local view of the execution tree with the
+//!   materialized/virtual × candidate/fence/dead node life cycle of Fig. 3.
+//! * [`Worker`] — an independent symbolic execution engine that explores its
+//!   local frontier, exports candidates on request (they become fence nodes
+//!   locally), and lazily materializes imported virtual jobs by path replay.
+//! * [`LoadBalancer`] — classifies workers by queue length (mean ± δ·σ),
+//!   issues ⟨source, destination, count⟩ transfer requests, and maintains the
+//!   global coverage bit vector used by the distributed coverage-optimized
+//!   strategy (§3.3).
+//! * [`Cluster`] — the harness that runs workers on OS threads connected only
+//!   by message channels (shared-nothing), coordinated by the load balancer,
+//!   and records the statistics the paper's evaluation reports (useful vs.
+//!   replay work, states transferred per interval, coverage over time).
+//!
+//! # Examples
+//!
+//! Exhaustively explore a small program on a 2-worker cluster:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use c9_core::{Cluster, ClusterConfig};
+//! use c9_ir::{BinaryOp, Operand, ProgramBuilder, Width};
+//! use c9_vm::{sysno, NullEnvironment};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let mut f = pb.function("main", 0, Some(Width::W32));
+//! let buf = f.alloc(Operand::word(2));
+//! f.syscall(sysno::MAKE_SYMBOLIC, vec![Operand::Reg(buf), Operand::word(2)]);
+//! let b = f.load(Operand::Reg(buf), Width::W8);
+//! let cond = f.binary(BinaryOp::Ult, Operand::Reg(b), Operand::byte(100));
+//! let t = f.create_block();
+//! let e = f.create_block();
+//! f.branch(Operand::Reg(cond), t, e);
+//! f.switch_to(t);
+//! f.ret(Some(Operand::word(0)));
+//! f.switch_to(e);
+//! f.ret(Some(Operand::word(1)));
+//! let main = f.finish();
+//! pb.set_entry(main);
+//!
+//! let cluster = Cluster::new(
+//!     Arc::new(pb.finish()),
+//!     Arc::new(NullEnvironment),
+//!     ClusterConfig { num_workers: 2, ..ClusterConfig::default() },
+//! );
+//! let result = cluster.run();
+//! assert_eq!(result.summary.paths_completed(), 2);
+//! ```
+
+mod balancer;
+mod cluster;
+mod job;
+mod stats;
+mod tree;
+mod worker;
+
+pub use balancer::{BalancerConfig, LoadBalancer, TransferRequest, WorkerId};
+pub use cluster::{Cluster, ClusterConfig, ClusterRunResult};
+pub use job::{decode_jobs_flat, encode_jobs_flat, Job, JobTree};
+pub use stats::{ClusterSummary, IntervalSample, WorkerStats};
+pub use tree::{NodeId, NodeLife, NodeStatus, TreeNode, WorkerTree};
+pub use worker::{StrategyKind, Worker, WorkerConfig};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,123 @@
+//! Worker- and cluster-level statistics.
+
+use c9_vm::CoverageSet;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Statistics one worker reports to the load balancer and to the experiment
+/// harness.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct WorkerStats {
+    /// Instructions executed exploring new work ("useful work" in §7.2).
+    pub useful_instructions: u64,
+    /// Instructions spent replaying transferred job paths.
+    pub replay_instructions: u64,
+    /// Paths completed (terminated states).
+    pub paths_completed: u64,
+    /// Bugs found.
+    pub bugs_found: u64,
+    /// Candidate states (jobs) sent to other workers.
+    pub jobs_sent: u64,
+    /// Jobs received from other workers.
+    pub jobs_received: u64,
+    /// Bytes of encoded job trees sent.
+    pub job_bytes_sent: u64,
+    /// Number of materializations (virtual → materialized replays).
+    pub materializations: u64,
+    /// Replays that broke (diverged); should stay zero thanks to the
+    /// deterministic allocator.
+    pub broken_replays: u64,
+}
+
+impl WorkerStats {
+    /// Merges another snapshot into this one.
+    pub fn merge(&mut self, other: &WorkerStats) {
+        self.useful_instructions += other.useful_instructions;
+        self.replay_instructions += other.replay_instructions;
+        self.paths_completed += other.paths_completed;
+        self.bugs_found += other.bugs_found;
+        self.jobs_sent += other.jobs_sent;
+        self.jobs_received += other.jobs_received;
+        self.job_bytes_sent += other.job_bytes_sent;
+        self.materializations += other.materializations;
+        self.broken_replays += other.broken_replays;
+    }
+
+    /// Total instructions (useful + replay).
+    pub fn total_instructions(&self) -> u64 {
+        self.useful_instructions + self.replay_instructions
+    }
+}
+
+/// One periodic sample recorded by the load balancer, used to regenerate the
+/// time-series figures (Fig. 12 and Fig. 13).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct IntervalSample {
+    /// Time since the start of the run, at the end of this interval.
+    pub elapsed: Duration,
+    /// Candidate states transferred between workers during this interval.
+    pub states_transferred: u64,
+    /// Total candidate states across all workers at the end of the interval.
+    pub total_states: u64,
+    /// Total useful instructions executed so far (cumulative).
+    pub useful_instructions: u64,
+    /// Global line coverage at the end of the interval, in `[0, 1]`.
+    pub coverage: f64,
+}
+
+/// The aggregated outcome of a cluster run.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterSummary {
+    /// Number of workers that participated.
+    pub num_workers: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Whether the exploration goal was reached (exhaustion or coverage
+    /// target) rather than the time limit expiring.
+    pub goal_reached: bool,
+    /// Whether every path was explored.
+    pub exhausted: bool,
+    /// Per-worker statistics.
+    pub worker_stats: Vec<WorkerStats>,
+    /// Global line coverage.
+    pub coverage: CoverageSet,
+    /// Periodic samples for time-series figures.
+    pub timeline: Vec<IntervalSample>,
+    /// Total number of distinct bugs found (by termination reason + path).
+    pub bugs_found: u64,
+}
+
+impl ClusterSummary {
+    /// Total useful (non-replay) instructions across all workers.
+    pub fn useful_instructions(&self) -> u64 {
+        self.worker_stats.iter().map(|w| w.useful_instructions).sum()
+    }
+
+    /// Total replay instructions across all workers.
+    pub fn replay_instructions(&self) -> u64 {
+        self.worker_stats.iter().map(|w| w.replay_instructions).sum()
+    }
+
+    /// Total completed paths across all workers.
+    pub fn paths_completed(&self) -> u64 {
+        self.worker_stats.iter().map(|w| w.paths_completed).sum()
+    }
+
+    /// Total jobs transferred between workers.
+    pub fn jobs_transferred(&self) -> u64 {
+        self.worker_stats.iter().map(|w| w.jobs_sent).sum()
+    }
+
+    /// Useful work per worker (the normalized metric of Fig. 9, bottom).
+    pub fn useful_instructions_per_worker(&self) -> f64 {
+        if self.num_workers == 0 {
+            return 0.0;
+        }
+        self.useful_instructions() as f64 / self.num_workers as f64
+    }
+
+    /// Global line-coverage ratio.
+    pub fn coverage_ratio(&self) -> f64 {
+        self.coverage.ratio()
+    }
+}

@@ -1,0 +1,292 @@
+//! Tests of the cluster-parallel engine.
+//!
+//! The key correctness property (§3.2): dynamic partitioning keeps worker
+//! frontiers disjoint while covering the whole execution tree, so the number
+//! of explored paths must be the same no matter how many workers explore
+//! them.
+
+use crate::{Cluster, ClusterConfig, Job, StrategyKind, Worker, WorkerConfig, WorkerId};
+use c9_ir::{AbortKind, BinaryOp, Operand, Program, ProgramBuilder, Width};
+use c9_vm::{sysno, NullEnvironment};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A program with `n` symbolic bytes and 2^n paths (one branch per byte).
+fn branching_program(n: usize) -> Program {
+    let mut pb = ProgramBuilder::new();
+    pb.set_name("branching");
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let buf = f.alloc(Operand::word(n as u32));
+    f.syscall(
+        sysno::MAKE_SYMBOLIC,
+        vec![Operand::Reg(buf), Operand::word(n as u32)],
+    );
+    let mut next = f.create_block();
+    for i in 0..n {
+        let addr = f.binary(BinaryOp::Add, Operand::Reg(buf), Operand::word(i as u32));
+        let byte = f.load(Operand::Reg(addr), Width::W8);
+        let cond = f.binary(
+            BinaryOp::Ult,
+            Operand::Reg(byte),
+            Operand::byte(32 + i as u8),
+        );
+        let then_bb = f.create_block();
+        f.branch(Operand::Reg(cond), then_bb, next);
+        f.switch_to(then_bb);
+        f.jump(next);
+        f.switch_to(next);
+        if i + 1 < n {
+            next = f.create_block();
+        }
+    }
+    f.ret(Some(Operand::word(0)));
+    let main = f.finish();
+    pb.set_entry(main);
+    pb.finish()
+}
+
+/// A program that crashes only for one specific 2-byte input.
+fn crashing_program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let buf = f.alloc(Operand::word(2));
+    f.syscall(
+        sysno::MAKE_SYMBOLIC,
+        vec![Operand::Reg(buf), Operand::word(2)],
+    );
+    let b0 = f.load(Operand::Reg(buf), Width::W8);
+    let addr1 = f.binary(BinaryOp::Add, Operand::Reg(buf), Operand::word(1));
+    let b1 = f.load(Operand::Reg(addr1), Width::W8);
+    let is_b = f.binary(BinaryOp::Eq, Operand::Reg(b0), Operand::byte(b'B'));
+    let is_u = f.binary(BinaryOp::Eq, Operand::Reg(b1), Operand::byte(b'U'));
+    let both = f.binary(BinaryOp::And, Operand::Reg(is_b), Operand::Reg(is_u));
+    let crash_bb = f.create_block();
+    let ok_bb = f.create_block();
+    f.branch(Operand::Reg(both), crash_bb, ok_bb);
+    f.switch_to(crash_bb);
+    f.abort(AbortKind::Crash, "segfault");
+    f.switch_to(ok_bb);
+    f.ret(Some(Operand::word(0)));
+    let main = f.finish();
+    pb.set_entry(main);
+    pb.finish()
+}
+
+fn run_cluster(program: Program, workers: usize, config: ClusterConfig) -> crate::ClusterRunResult {
+    let cluster = Cluster::new(
+        Arc::new(program),
+        Arc::new(NullEnvironment),
+        ClusterConfig {
+            num_workers: workers,
+            ..config
+        },
+    );
+    cluster.run()
+}
+
+fn default_config() -> ClusterConfig {
+    ClusterConfig {
+        time_limit: Some(Duration::from_secs(30)),
+        status_interval: Duration::from_millis(2),
+        balance_interval: Duration::from_millis(5),
+        sample_interval: Duration::from_millis(20),
+        quantum: 2_000,
+        ..ClusterConfig::default()
+    }
+}
+
+#[test]
+fn single_worker_cluster_explores_all_paths() {
+    let result = run_cluster(branching_program(4), 1, default_config());
+    assert!(result.summary.exhausted, "run did not exhaust the tree");
+    assert_eq!(result.summary.paths_completed(), 16);
+}
+
+#[test]
+fn path_count_is_independent_of_worker_count() {
+    let expected = 1u64 << 5;
+    for workers in [1usize, 2, 4] {
+        let result = run_cluster(branching_program(5), workers, default_config());
+        assert!(
+            result.summary.exhausted,
+            "{workers}-worker run did not exhaust"
+        );
+        assert_eq!(
+            result.summary.paths_completed(),
+            expected,
+            "wrong number of paths with {workers} workers"
+        );
+        assert_eq!(result.summary.worker_stats.len(), workers);
+    }
+}
+
+#[test]
+fn multi_worker_cluster_transfers_jobs_and_does_replay_work() {
+    let mut config = default_config();
+    // A deeper tree and small quanta so that load balancing has a chance to
+    // move work before the first worker finishes everything on its own.
+    config.quantum = 300;
+    config.status_interval = Duration::from_millis(1);
+    config.balance_interval = Duration::from_millis(1);
+    let result = run_cluster(branching_program(9), 3, config);
+    assert!(result.summary.exhausted);
+    assert_eq!(result.summary.paths_completed(), 512);
+    // With more than one worker, some jobs must have moved and been replayed.
+    assert!(
+        result.summary.jobs_transferred() > 0,
+        "no jobs were transferred between workers"
+    );
+    assert!(
+        result.summary.replay_instructions() > 0,
+        "job materialization should count as replay work"
+    );
+    // Replays never break thanks to the deterministic per-state allocator.
+    for w in &result.summary.worker_stats {
+        assert_eq!(w.broken_replays, 0);
+    }
+}
+
+#[test]
+fn bug_is_found_regardless_of_worker_count() {
+    for workers in [1usize, 3] {
+        let mut config = default_config();
+        config.worker.generate_test_cases = true;
+        let result = run_cluster(crashing_program(), workers, config);
+        assert!(result.summary.exhausted);
+        assert_eq!(result.summary.bugs_found, 1, "workers = {workers}");
+        let bug = &result.bugs[0];
+        let bytes = bug.bytes_with_prefix("sym0");
+        assert_eq!(bytes, vec![b'B', b'U']);
+    }
+}
+
+#[test]
+fn coverage_reaches_one_on_exhaustive_run() {
+    let result = run_cluster(branching_program(3), 2, default_config());
+    assert!(result.summary.exhausted);
+    assert!(
+        result.summary.coverage_ratio() > 0.9,
+        "coverage {:.2} too low",
+        result.summary.coverage_ratio()
+    );
+}
+
+#[test]
+fn time_limit_stops_an_unbounded_run() {
+    // A wide program (2^16 paths) with a very short time limit: the run must
+    // stop quickly and report that it did not exhaust.
+    let mut config = default_config();
+    config.time_limit = Some(Duration::from_millis(300));
+    let result = run_cluster(branching_program(16), 2, config);
+    assert!(!result.summary.exhausted || result.summary.paths_completed() == 1 << 16);
+    assert!(result.summary.elapsed < Duration::from_secs(10));
+}
+
+#[test]
+fn static_partitioning_still_completes_small_trees() {
+    let mut config = default_config();
+    config.static_partition = true;
+    let result = run_cluster(branching_program(5), 3, config);
+    assert!(result.summary.exhausted);
+    assert_eq!(result.summary.paths_completed(), 32);
+}
+
+#[test]
+fn timeline_samples_are_recorded() {
+    let result = run_cluster(branching_program(6), 2, default_config());
+    assert!(!result.summary.timeline.is_empty());
+    let last = result.summary.timeline.last().unwrap();
+    assert!(last.useful_instructions > 0);
+}
+
+#[test]
+fn dfs_strategy_also_exhausts() {
+    let mut config = default_config();
+    config.worker.strategy = StrategyKind::Dfs;
+    let result = run_cluster(branching_program(4), 2, config);
+    assert!(result.summary.exhausted);
+    assert_eq!(result.summary.paths_completed(), 16);
+}
+
+// ---------------------------------------------------------------------------
+// Worker-level unit tests (no threads).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn worker_export_import_roundtrip_preserves_completeness() {
+    let program = Arc::new(branching_program(4));
+    let env = Arc::new(NullEnvironment);
+    let mut w1 = Worker::new(WorkerId(0), program.clone(), env.clone(), WorkerConfig::default());
+    w1.seed_root();
+
+    // Let the first worker expand until it has a few frontier candidates,
+    // then move half of them to a second worker.
+    for _ in 0..1000 {
+        if w1.queue_length() >= 4 {
+            break;
+        }
+        w1.run_quantum(10);
+    }
+    let before_queue = w1.queue_length();
+    assert!(before_queue >= 4, "worker did not expand its frontier");
+    let count = (before_queue / 2).max(1);
+    let jobs: Vec<Job> = w1.export_jobs(count);
+    assert!(!jobs.is_empty());
+    assert_eq!(w1.stats.jobs_sent, jobs.len() as u64);
+
+    let mut w2 = Worker::new(WorkerId(1), program, env, WorkerConfig::default());
+    w2.import_jobs(jobs);
+    assert_eq!(w2.stats.jobs_received, w2.queue_length());
+
+    // Both workers run to completion; together they must find all 16 paths.
+    for _ in 0..10_000 {
+        if !w1.has_work() && !w2.has_work() {
+            break;
+        }
+        w1.run_quantum(1_000);
+        w2.run_quantum(1_000);
+    }
+    assert!(!w1.has_work() && !w2.has_work());
+    let total = w1.stats.paths_completed + w2.stats.paths_completed;
+    assert_eq!(total, 16);
+    // The second worker had to replay the received paths.
+    assert!(w2.stats.replay_instructions > 0);
+    assert!(w2.stats.materializations > 0);
+    assert_eq!(w1.stats.broken_replays + w2.stats.broken_replays, 0);
+}
+
+#[test]
+fn worker_tree_tracks_node_lifecycle_during_exploration() {
+    let program = Arc::new(branching_program(3));
+    let mut w = Worker::new(
+        WorkerId(0),
+        program,
+        Arc::new(NullEnvironment),
+        WorkerConfig::default(),
+    );
+    w.seed_root();
+    while w.has_work() {
+        w.run_quantum(1_000);
+    }
+    let (candidates, _fences, dead) = w.tree.life_counts();
+    assert_eq!(candidates, 0, "all candidates must be consumed");
+    assert!(dead >= 8, "every explored node must end up dead");
+    assert_eq!(w.stats.paths_completed, 8);
+}
+
+#[test]
+fn exporting_worker_never_gives_away_its_last_candidate() {
+    let program = Arc::new(branching_program(3));
+    let mut w = Worker::new(
+        WorkerId(0),
+        program,
+        Arc::new(NullEnvironment),
+        WorkerConfig::default(),
+    );
+    w.seed_root();
+    // Before any exploration there is exactly one candidate (the root); an
+    // export request must not take it.
+    let jobs = w.export_jobs(10);
+    assert!(jobs.is_empty());
+    assert!(w.has_work());
+}

@@ -1,0 +1,370 @@
+//! A Cloud9 worker: an independent symbolic execution engine plus the
+//! execution-tree bookkeeping needed for dynamic work partitioning.
+
+use crate::balancer::WorkerId;
+use crate::job::Job;
+use crate::stats::WorkerStats;
+use crate::tree::WorkerTree;
+use c9_solver::Solver;
+use c9_vm::{
+    CoverageSet, Environment, ExecutionState, Executor, ExecutorConfig, InterleavedSearcher,
+    Searcher, StateId, StateIdGen, StateMeta, StepResult, TestCase,
+};
+use c9_ir::Program;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// Exploration strategy used by a worker.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Interleaved random-path and coverage-optimized search (the paper's
+    /// evaluation configuration).
+    #[default]
+    KleeDefault,
+    /// Depth-first search.
+    Dfs,
+    /// Breadth-first search.
+    Bfs,
+    /// Uniform random state selection.
+    Random,
+}
+
+/// Configuration of one worker.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerConfig {
+    /// Per-path executor limits.
+    pub executor: ExecutorConfig,
+    /// Random seed (combined with the worker id).
+    pub seed: u64,
+    /// Exploration strategy.
+    pub strategy: StrategyKind,
+    /// Whether to solve for a concrete test case for every completed path
+    /// (bug paths always get one).
+    pub generate_test_cases: bool,
+    /// Prefer exporting the deepest candidates when asked to shed load.
+    pub export_deepest: bool,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> WorkerConfig {
+        WorkerConfig {
+            executor: ExecutorConfig::default(),
+            seed: 1,
+            strategy: StrategyKind::KleeDefault,
+            generate_test_cases: false,
+            export_deepest: true,
+        }
+    }
+}
+
+/// A worker node: explores a disjoint portion of the execution tree and
+/// exchanges jobs with its peers under load-balancer coordination.
+pub struct Worker {
+    /// Identifier of this worker within the cluster.
+    pub id: WorkerId,
+    executor: Executor,
+    solver: Arc<Solver>,
+    config: WorkerConfig,
+    states: BTreeMap<StateId, ExecutionState>,
+    virtual_jobs: VecDeque<Job>,
+    searcher: Box<dyn Searcher>,
+    ids: StateIdGen,
+    /// The worker-local execution tree (candidate/fence/dead bookkeeping).
+    pub tree: WorkerTree,
+    /// Cumulative statistics.
+    pub stats: WorkerStats,
+    /// Local line coverage (paths explored here plus the global vector
+    /// received from the load balancer).
+    pub coverage: CoverageSet,
+    /// Test cases generated for completed paths (when enabled).
+    pub test_cases: Vec<TestCase>,
+    /// Test cases that expose bugs.
+    pub bugs: Vec<TestCase>,
+    current: Option<StateId>,
+}
+
+impl Worker {
+    /// Creates a worker for `program` with the given environment model.
+    pub fn new(
+        id: WorkerId,
+        program: Arc<Program>,
+        env: Arc<dyn Environment>,
+        config: WorkerConfig,
+    ) -> Worker {
+        let solver = Arc::new(Solver::new());
+        let lines = program.loc();
+        let executor = Executor::new(program, solver.clone(), env, config.executor);
+        let seed = config.seed.wrapping_add(u64::from(id.0) * 7919);
+        let searcher: Box<dyn Searcher> = match config.strategy {
+            StrategyKind::KleeDefault => Box::new(InterleavedSearcher::klee_default(seed)),
+            StrategyKind::Dfs => Box::new(c9_vm::DfsSearcher::new()),
+            StrategyKind::Bfs => Box::new(c9_vm::BfsSearcher::new()),
+            StrategyKind::Random => Box::new(c9_vm::RandomSearcher::new(seed)),
+        };
+        Worker {
+            id,
+            executor,
+            solver,
+            config,
+            states: BTreeMap::new(),
+            virtual_jobs: VecDeque::new(),
+            searcher,
+            ids: StateIdGen::new(),
+            tree: WorkerTree::new(),
+            stats: WorkerStats::default(),
+            coverage: CoverageSet::new(lines),
+            test_cases: Vec::new(),
+            bugs: Vec::new(),
+            current: None,
+        }
+    }
+
+    /// Seeds this worker with the root job (the entire execution tree); done
+    /// for the first worker that joins the cluster.
+    pub fn seed_root(&mut self) {
+        let id = self.ids.fresh();
+        let state = self.executor.initial_state(id);
+        self.tree.set_root(id);
+        self.searcher.add(StateMeta::of(&state));
+        self.states.insert(id, state);
+    }
+
+    /// Number of pending exploration jobs (materialized candidates plus
+    /// virtual jobs); this is the queue length reported to the load balancer.
+    pub fn queue_length(&self) -> u64 {
+        (self.states.len() + self.virtual_jobs.len()) as u64
+    }
+
+    /// Whether the worker has anything to explore.
+    pub fn has_work(&self) -> bool {
+        self.queue_length() > 0
+    }
+
+    /// Imports jobs received from another worker: they become virtual
+    /// candidate nodes, materialized lazily when the strategy selects them.
+    pub fn import_jobs(&mut self, jobs: Vec<Job>) {
+        for job in jobs {
+            self.tree.record_import(&job);
+            self.virtual_jobs.push_back(job);
+            self.stats.jobs_received += 1;
+        }
+    }
+
+    /// Exports up to `count` jobs for transfer to another worker. Virtual
+    /// (not yet materialized) jobs are forwarded first since they are free to
+    /// ship; materialized candidates are converted to path jobs and their
+    /// local nodes become fence nodes.
+    pub fn export_jobs(&mut self, count: u64) -> Vec<Job> {
+        let mut out = Vec::new();
+        while (out.len() as u64) < count {
+            if let Some(job) = self.virtual_jobs.pop_back() {
+                out.push(job);
+                continue;
+            }
+            break;
+        }
+        if (out.len() as u64) < count {
+            // Candidate selection: deepest (or shallowest) states first.
+            let mut ids: Vec<(usize, StateId)> = self
+                .states
+                .values()
+                .map(|s| (s.depth(), s.id))
+                .collect();
+            ids.sort();
+            if self.config.export_deepest {
+                ids.reverse();
+            }
+            // Never give away the very last piece of local work: the sender
+            // keeps at least one candidate so both sides stay busy.
+            let exportable = ids.len().saturating_sub(1);
+            for (_, id) in ids.into_iter().take(exportable) {
+                if (out.len() as u64) >= count {
+                    break;
+                }
+                if let Some(state) = self.states.remove(&id) {
+                    if Some(id) == self.current {
+                        self.current = None;
+                    }
+                    self.searcher.remove(id);
+                    self.tree.record_export(id);
+                    out.push(Job::new(state.path.clone()));
+                }
+            }
+        }
+        self.stats.jobs_sent += out.len() as u64;
+        out
+    }
+
+    /// Merges the global coverage vector received from the load balancer into
+    /// the local one (§3.3).
+    pub fn merge_global_coverage(&mut self, global: &CoverageSet) {
+        self.coverage.merge(global);
+    }
+
+    /// Runs up to `max_instructions` instructions of exploration and returns
+    /// how many were executed (useful + replay).
+    pub fn run_quantum(&mut self, max_instructions: u64) -> u64 {
+        let mut executed = 0u64;
+        while executed < max_instructions {
+            // Pick something to work on.
+            let state_id = match self.current {
+                Some(id) if self.states.contains_key(&id) => id,
+                _ => {
+                    if let Some(id) = self.searcher.select() {
+                        id
+                    } else if let Some(job) = self.virtual_jobs.pop_front() {
+                        match self.materialize(job, &mut executed, max_instructions) {
+                            Some(id) => id,
+                            None => continue,
+                        }
+                    } else {
+                        break;
+                    }
+                }
+            };
+            self.current = Some(state_id);
+            let Some(state) = self.states.remove(&state_id) else {
+                self.searcher.remove(state_id);
+                self.current = None;
+                continue;
+            };
+            self.searcher.remove(state_id);
+
+            // Run this state for a slice of the quantum.
+            let slice_end = (executed + 512).min(max_instructions);
+            let mut slot: Option<ExecutionState> = Some(state);
+            while executed < slice_end {
+                let s = slot.as_mut().expect("state present while stepping");
+                let replaying = s.is_replaying();
+                match self.executor.step(s, &mut self.ids) {
+                    StepResult::Continue => {
+                        executed += 1;
+                        if replaying {
+                            self.stats.replay_instructions += 1;
+                        } else {
+                            self.stats.useful_instructions += 1;
+                        }
+                    }
+                    StepResult::Forked(siblings) => {
+                        executed += 1;
+                        self.stats.useful_instructions += 1;
+                        let mut successors = vec![(s.id, s.path.clone())];
+                        for sibling in &siblings {
+                            successors.push((sibling.id, sibling.path.clone()));
+                        }
+                        self.tree.record_fork(state_id, &successors);
+                        for sibling in siblings {
+                            if sibling.is_terminated() {
+                                self.finish_path(sibling);
+                            } else {
+                                self.searcher.add(StateMeta::of(&sibling));
+                                self.states.insert(sibling.id, sibling);
+                            }
+                        }
+                    }
+                    StepResult::Terminated(_) => {
+                        executed += 1;
+                        if replaying {
+                            self.stats.replay_instructions += 1;
+                        } else {
+                            self.stats.useful_instructions += 1;
+                        }
+                        self.current = None;
+                        let terminated = slot.take().expect("state present at termination");
+                        self.finish_path(terminated);
+                        break;
+                    }
+                }
+            }
+            if let Some(still_active) = slot {
+                self.searcher.add(StateMeta::of(&still_active));
+                self.states.insert(state_id, still_active);
+                if executed >= max_instructions {
+                    break;
+                }
+            }
+        }
+        executed
+    }
+
+    /// Materializes a virtual job by replaying its path from the root; the
+    /// instructions executed count as replay (non-useful) work.
+    fn materialize(
+        &mut self,
+        job: Job,
+        executed: &mut u64,
+        max_instructions: u64,
+    ) -> Option<StateId> {
+        let node = self.tree.record_import(&job);
+        let id = self.ids.fresh();
+        let mut state = self.executor.replay_state(id, job.path);
+        self.stats.materializations += 1;
+        // Replay to the end of the recorded path (allow a generous overrun of
+        // the quantum so a materialization always completes once started).
+        let hard_limit = max_instructions.saturating_mul(4).max(1_000_000);
+        while state.is_replaying() && !state.is_terminated() {
+            if *executed >= hard_limit {
+                break;
+            }
+            match self.executor.step(&mut state, &mut self.ids) {
+                StepResult::Continue | StepResult::Forked(_) => {
+                    *executed += 1;
+                    self.stats.replay_instructions += 1;
+                }
+                StepResult::Terminated(_) => {
+                    *executed += 1;
+                    self.stats.replay_instructions += 1;
+                    break;
+                }
+            }
+        }
+        if state.is_terminated() {
+            if matches!(
+                state.termination,
+                Some(c9_vm::TerminationReason::Killed(_))
+            ) {
+                self.stats.broken_replays += 1;
+            }
+            self.finish_path(state);
+            return None;
+        }
+        self.tree.record_materialization(node, id);
+        self.searcher.add(StateMeta::of(&state));
+        self.states.insert(id, state);
+        Some(id)
+    }
+
+    fn finish_path(&mut self, state: ExecutionState) {
+        self.stats.paths_completed += 1;
+        self.coverage.merge(&state.coverage);
+        self.tree.record_termination(state.id);
+        let is_bug = state
+            .termination
+            .as_ref()
+            .map(|t| t.is_bug())
+            .unwrap_or(false);
+        if is_bug {
+            self.stats.bugs_found += 1;
+        }
+        if self.config.generate_test_cases || is_bug {
+            if let Some(tc) = TestCase::from_state(&state, &self.solver) {
+                if is_bug {
+                    self.bugs.push(tc.clone());
+                }
+                if self.config.generate_test_cases {
+                    self.test_cases.push(tc);
+                }
+            }
+        }
+    }
+
+    /// Snapshot of the local coverage.
+    pub fn coverage_snapshot(&self) -> CoverageSet {
+        self.coverage.clone()
+    }
+
+    /// The solver owned by this worker (exposed for statistics).
+    pub fn solver(&self) -> &Arc<Solver> {
+        &self.solver
+    }
+}

@@ -1,0 +1,465 @@
+//! Smart constructors with constant folding and algebraic simplification.
+//!
+//! Keeping expressions small at construction time is what allows the solver
+//! to stay simple: any computation that only involves concrete values is
+//! folded away before it ever becomes a constraint.
+
+use crate::expr::{BinaryOp, Expr, ExprKind, ExprRef, UnaryOp};
+use crate::{ConstValue, SymbolId, Width};
+
+impl Expr {
+    /// Creates a constant expression.
+    pub fn const_(value: u64, width: Width) -> ExprRef {
+        Expr::new(ExprKind::Const(ConstValue::new(value, width)), width)
+    }
+
+    /// Creates a constant expression from a [`ConstValue`].
+    pub fn const_value(value: ConstValue) -> ExprRef {
+        Expr::new(ExprKind::Const(value), value.width())
+    }
+
+    /// The 1-bit constant `1`.
+    pub fn true_() -> ExprRef {
+        Expr::const_(1, Width::W1)
+    }
+
+    /// The 1-bit constant `0`.
+    pub fn false_() -> ExprRef {
+        Expr::const_(0, Width::W1)
+    }
+
+    /// Creates a symbolic variable reference.
+    pub fn sym(id: SymbolId, width: Width) -> ExprRef {
+        Expr::new(ExprKind::Sym(id), width)
+    }
+
+    /// Generic binary operation constructor with folding and simplification.
+    pub fn binary(op: BinaryOp, a: ExprRef, b: ExprRef) -> ExprRef {
+        debug_assert_eq!(
+            a.width(),
+            b.width(),
+            "width mismatch in {op:?}: {} vs {}",
+            a.width(),
+            b.width()
+        );
+        let result_width = if op.is_comparison() {
+            Width::W1
+        } else {
+            a.width()
+        };
+
+        // Constant folding.
+        if let (Some(ca), Some(cb)) = (a.as_const(), b.as_const()) {
+            return Expr::const_value(op.apply(ca, cb));
+        }
+
+        // Canonicalize: constant on the right for commutative operators.
+        let (a, b) = if op.is_commutative() && a.is_concrete() && !b.is_concrete() {
+            (b, a)
+        } else {
+            (a, b)
+        };
+
+        // Algebraic identities.
+        if let Some(simplified) = simplify_binary(op, &a, &b) {
+            return simplified;
+        }
+
+        Expr::new(ExprKind::Binary(op, a, b), result_width)
+    }
+
+    /// Generic unary operation constructor.
+    pub fn unary(op: UnaryOp, a: ExprRef) -> ExprRef {
+        if let Some(ca) = a.as_const() {
+            return Expr::const_value(op.apply(ca));
+        }
+        // Double negation / complement elimination.
+        if let ExprKind::Unary(inner_op, inner) = a.kind() {
+            if *inner_op == op {
+                return inner.clone();
+            }
+        }
+        let width = a.width();
+        Expr::new(ExprKind::Unary(op, a), width)
+    }
+
+    /// Wrapping addition.
+    pub fn add(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::binary(BinaryOp::Add, a, b)
+    }
+
+    /// Wrapping subtraction.
+    pub fn sub(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::binary(BinaryOp::Sub, a, b)
+    }
+
+    /// Wrapping multiplication.
+    pub fn mul(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::binary(BinaryOp::Mul, a, b)
+    }
+
+    /// Unsigned division.
+    pub fn udiv(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::binary(BinaryOp::UDiv, a, b)
+    }
+
+    /// Signed division.
+    pub fn sdiv(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::binary(BinaryOp::SDiv, a, b)
+    }
+
+    /// Unsigned remainder.
+    pub fn urem(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::binary(BinaryOp::URem, a, b)
+    }
+
+    /// Signed remainder.
+    pub fn srem(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::binary(BinaryOp::SRem, a, b)
+    }
+
+    /// Bitwise and.
+    pub fn and(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::binary(BinaryOp::And, a, b)
+    }
+
+    /// Bitwise or.
+    pub fn or(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::binary(BinaryOp::Or, a, b)
+    }
+
+    /// Bitwise exclusive or.
+    pub fn xor(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::binary(BinaryOp::Xor, a, b)
+    }
+
+    /// Logical shift left.
+    pub fn shl(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::binary(BinaryOp::Shl, a, b)
+    }
+
+    /// Logical shift right.
+    pub fn lshr(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::binary(BinaryOp::LShr, a, b)
+    }
+
+    /// Arithmetic shift right.
+    pub fn ashr(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::binary(BinaryOp::AShr, a, b)
+    }
+
+    /// Equality comparison.
+    pub fn eq(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::binary(BinaryOp::Eq, a, b)
+    }
+
+    /// Inequality comparison.
+    pub fn ne(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::binary(BinaryOp::Ne, a, b)
+    }
+
+    /// Unsigned less-than.
+    pub fn ult(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::binary(BinaryOp::Ult, a, b)
+    }
+
+    /// Unsigned less-or-equal.
+    pub fn ule(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::binary(BinaryOp::Ule, a, b)
+    }
+
+    /// Signed less-than.
+    pub fn slt(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::binary(BinaryOp::Slt, a, b)
+    }
+
+    /// Signed less-or-equal.
+    pub fn sle(a: ExprRef, b: ExprRef) -> ExprRef {
+        Expr::binary(BinaryOp::Sle, a, b)
+    }
+
+    /// Bitwise complement.
+    pub fn not(a: ExprRef) -> ExprRef {
+        Expr::unary(UnaryOp::Not, a)
+    }
+
+    /// Two's complement negation.
+    pub fn neg(a: ExprRef) -> ExprRef {
+        Expr::unary(UnaryOp::Neg, a)
+    }
+
+    /// Logical negation of a 1-bit expression.
+    pub fn logical_not(a: ExprRef) -> ExprRef {
+        debug_assert_eq!(a.width(), Width::W1);
+        // not(a) on 1 bit is the same as a == 0, but `Xor 1` keeps
+        // comparisons visible to the solver's pattern matching.
+        Expr::xor(a, Expr::true_())
+    }
+
+    /// Logical and of two 1-bit expressions.
+    pub fn logical_and(a: ExprRef, b: ExprRef) -> ExprRef {
+        debug_assert_eq!(a.width(), Width::W1);
+        debug_assert_eq!(b.width(), Width::W1);
+        Expr::and(a, b)
+    }
+
+    /// Logical or of two 1-bit expressions.
+    pub fn logical_or(a: ExprRef, b: ExprRef) -> ExprRef {
+        debug_assert_eq!(a.width(), Width::W1);
+        debug_assert_eq!(b.width(), Width::W1);
+        Expr::or(a, b)
+    }
+
+    /// If-then-else over a 1-bit condition.
+    pub fn ite(cond: ExprRef, then_e: ExprRef, else_e: ExprRef) -> ExprRef {
+        debug_assert_eq!(cond.width(), Width::W1);
+        debug_assert_eq!(then_e.width(), else_e.width());
+        if let Some(c) = cond.as_const() {
+            return if c.is_true() { then_e } else { else_e };
+        }
+        if then_e == else_e {
+            return then_e;
+        }
+        let width = then_e.width();
+        Expr::new(ExprKind::Ite(cond, then_e, else_e), width)
+    }
+
+    /// Zero extension to `width` (which must not be narrower than the
+    /// operand; equal width is the identity).
+    pub fn zext(a: ExprRef, width: Width) -> ExprRef {
+        debug_assert!(width >= a.width());
+        if a.width() == width {
+            return a;
+        }
+        if let Some(c) = a.as_const() {
+            return Expr::const_value(c.zext(width));
+        }
+        Expr::new(ExprKind::ZExt(a), width)
+    }
+
+    /// Sign extension to `width`.
+    pub fn sext(a: ExprRef, width: Width) -> ExprRef {
+        debug_assert!(width >= a.width());
+        if a.width() == width {
+            return a;
+        }
+        if let Some(c) = a.as_const() {
+            return Expr::const_value(c.sext(width));
+        }
+        Expr::new(ExprKind::SExt(a), width)
+    }
+
+    /// Extracts `width` bits starting at bit `offset` (little-endian bit
+    /// numbering).
+    pub fn extract(a: ExprRef, offset: u32, width: Width) -> ExprRef {
+        debug_assert!(offset + width.bits() <= a.width().bits());
+        if offset == 0 && width == a.width() {
+            return a;
+        }
+        if let Some(c) = a.as_const() {
+            return Expr::const_value(c.extract(offset, width));
+        }
+        // Extract of a zero-extension that stays within the original value.
+        if let ExprKind::ZExt(inner) = a.kind() {
+            if offset + width.bits() <= inner.width().bits() {
+                return Expr::extract(inner.clone(), offset, width);
+            }
+            if offset >= inner.width().bits() {
+                return Expr::const_(0, width);
+            }
+        }
+        Expr::new(ExprKind::Extract(a, offset), width)
+    }
+
+    /// Concatenates two expressions; `hi` forms the most significant bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the combined width exceeds 64 bits.
+    pub fn concat(hi: ExprRef, lo: ExprRef) -> ExprRef {
+        let total = hi.width().bits() + lo.width().bits();
+        debug_assert!(total <= 64, "concat would exceed 64 bits");
+        let width = Width::new(total);
+        if let (Some(h), Some(l)) = (hi.as_const(), lo.as_const()) {
+            let bits = (h.value() << lo.width().bits()) | l.value();
+            return Expr::const_(bits, width);
+        }
+        // Concat of zero with anything is a zero extension.
+        if let Some(h) = hi.as_const() {
+            if h.is_zero() {
+                return Expr::zext(lo, width);
+            }
+        }
+        Expr::new(ExprKind::Concat(hi, lo), width)
+    }
+
+    /// Builds a little-endian integer expression from byte expressions.
+    ///
+    /// `bytes[0]` becomes the least significant byte. All inputs must be
+    /// 8 bits wide and at most 8 bytes may be supplied.
+    pub fn from_le_bytes(bytes: &[ExprRef]) -> ExprRef {
+        assert!(!bytes.is_empty() && bytes.len() <= 8);
+        let mut acc = bytes[bytes.len() - 1].clone();
+        for b in bytes[..bytes.len() - 1].iter().rev() {
+            acc = Expr::concat(acc, b.clone());
+        }
+        acc
+    }
+
+    /// Splits an expression into little-endian byte expressions.
+    pub fn to_le_bytes(e: &ExprRef) -> Vec<ExprRef> {
+        let nbytes = e.width().bytes();
+        (0..nbytes)
+            .map(|i| Expr::extract(e.clone(), (i * 8) as u32, Width::W8))
+            .collect()
+    }
+}
+
+/// Algebraic identities for binary operators. Returns `None` when no
+/// simplification applies.
+fn simplify_binary(op: BinaryOp, a: &ExprRef, b: &ExprRef) -> Option<ExprRef> {
+    let bw = a.width();
+    let b_const = b.as_const();
+    match op {
+        BinaryOp::Add | BinaryOp::Sub | BinaryOp::Or | BinaryOp::Xor | BinaryOp::Shl
+        | BinaryOp::LShr | BinaryOp::AShr => {
+            if b_const.is_some_and(|c| c.is_zero()) {
+                return Some(a.clone());
+            }
+        }
+        BinaryOp::Mul => {
+            if let Some(c) = b_const {
+                if c.is_zero() {
+                    return Some(Expr::const_(0, bw));
+                }
+                if c.value() == 1 {
+                    return Some(a.clone());
+                }
+            }
+        }
+        BinaryOp::And => {
+            if let Some(c) = b_const {
+                if c.is_zero() {
+                    return Some(Expr::const_(0, bw));
+                }
+                if c.value() == bw.mask() {
+                    return Some(a.clone());
+                }
+            }
+        }
+        BinaryOp::UDiv => {
+            if b_const.is_some_and(|c| c.value() == 1) {
+                return Some(a.clone());
+            }
+        }
+        BinaryOp::Eq => {
+            if a == b {
+                return Some(Expr::true_());
+            }
+            // `(x == true) -> x` and `(x == false) -> !x` for booleans.
+            if bw == Width::W1 {
+                if let Some(c) = b_const {
+                    return Some(if c.is_true() {
+                        a.clone()
+                    } else {
+                        Expr::logical_not(a.clone())
+                    });
+                }
+            }
+            // Structural decomposition against constants: splitting an
+            // equality over a concatenation (or extension) into byte-level
+            // equalities is what keeps protocol "magic value" checks cheap
+            // for the solver.
+            if let Some(c) = b_const {
+                match a.kind() {
+                    ExprKind::Concat(hi, lo) => {
+                        let lo_bits = lo.width().bits();
+                        let lo_val = c.value() & lo.width().mask();
+                        let hi_val = c.value() >> lo_bits;
+                        return Some(Expr::and(
+                            Expr::eq(hi.clone(), Expr::const_(hi_val, hi.width())),
+                            Expr::eq(lo.clone(), Expr::const_(lo_val, lo.width())),
+                        ));
+                    }
+                    ExprKind::ZExt(inner) => {
+                        if c.value() > inner.width().max_unsigned() {
+                            return Some(Expr::false_());
+                        }
+                        return Some(Expr::eq(
+                            inner.clone(),
+                            Expr::const_(c.value(), inner.width()),
+                        ));
+                    }
+                    ExprKind::SExt(inner) => {
+                        let trunc = inner.width().truncate(c.value());
+                        let back = ConstValue::new(trunc, inner.width()).sext(bw);
+                        if back.value() == c.value() {
+                            return Some(Expr::eq(
+                                inner.clone(),
+                                Expr::const_(trunc, inner.width()),
+                            ));
+                        }
+                        return Some(Expr::false_());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        BinaryOp::Ne => {
+            if a == b {
+                return Some(Expr::false_());
+            }
+            if let Some(c) = b_const {
+                match a.kind() {
+                    ExprKind::Concat(hi, lo) => {
+                        let lo_bits = lo.width().bits();
+                        let lo_val = c.value() & lo.width().mask();
+                        let hi_val = c.value() >> lo_bits;
+                        return Some(Expr::or(
+                            Expr::ne(hi.clone(), Expr::const_(hi_val, hi.width())),
+                            Expr::ne(lo.clone(), Expr::const_(lo_val, lo.width())),
+                        ));
+                    }
+                    ExprKind::ZExt(inner) => {
+                        if c.value() > inner.width().max_unsigned() {
+                            return Some(Expr::true_());
+                        }
+                        return Some(Expr::ne(
+                            inner.clone(),
+                            Expr::const_(c.value(), inner.width()),
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        BinaryOp::Ult => {
+            if a == b {
+                return Some(Expr::false_());
+            }
+            if b_const.is_some_and(|c| c.is_zero()) {
+                return Some(Expr::false_());
+            }
+        }
+        BinaryOp::Ule => {
+            if a == b {
+                return Some(Expr::true_());
+            }
+            if b_const.is_some_and(|c| c.value() == bw.mask()) {
+                return Some(Expr::true_());
+            }
+        }
+        BinaryOp::Slt => {
+            if a == b {
+                return Some(Expr::false_());
+            }
+        }
+        BinaryOp::Sle => {
+            if a == b {
+                return Some(Expr::true_());
+            }
+        }
+        _ => {}
+    }
+    None
+}

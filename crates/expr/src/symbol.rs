@@ -1,0 +1,130 @@
+//! Symbolic variables and their registry.
+
+use crate::Width;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a symbolic variable.
+///
+/// Symbol identifiers are allocated by a [`SymbolManager`]; the execution
+/// state carries one manager per path so that symbol identifiers are
+/// deterministic across job replays (see the "broken replays" discussion in
+/// §6 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SymbolId(pub u32);
+
+impl SymbolId {
+    /// The raw index of this symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Metadata recorded for each symbolic variable.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymbolInfo {
+    /// Identifier of the symbol.
+    pub id: SymbolId,
+    /// Human-readable name, e.g. `"packet0[3]"`.
+    pub name: String,
+    /// Width of the symbol.
+    pub width: Width,
+}
+
+/// Allocator and registry of symbolic variables.
+///
+/// Each execution state owns its own manager so that the n-th symbol created
+/// along a path always receives the same identifier, which is required for
+/// deterministic job replay on a different worker.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymbolManager {
+    symbols: Vec<SymbolInfo>,
+}
+
+impl SymbolManager {
+    /// Creates an empty manager.
+    pub fn new() -> SymbolManager {
+        SymbolManager::default()
+    }
+
+    /// Allocates a fresh symbol with the given name and width.
+    pub fn fresh(&mut self, name: &str, width: Width) -> SymbolId {
+        let id = SymbolId(self.symbols.len() as u32);
+        self.symbols.push(SymbolInfo {
+            id,
+            name: name.to_string(),
+            width,
+        });
+        id
+    }
+
+    /// Allocates `count` fresh byte-wide symbols named `name[0..count]`.
+    pub fn fresh_bytes(&mut self, name: &str, count: usize) -> Vec<SymbolId> {
+        (0..count)
+            .map(|i| self.fresh(&format!("{name}[{i}]"), Width::W8))
+            .collect()
+    }
+
+    /// Looks up the metadata of a symbol.
+    pub fn info(&self, id: SymbolId) -> Option<&SymbolInfo> {
+        self.symbols.get(id.index())
+    }
+
+    /// Number of symbols allocated so far.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether no symbols have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Iterates over all allocated symbols in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = &SymbolInfo> {
+        self.symbols.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_symbols_are_sequential() {
+        let mut m = SymbolManager::new();
+        let a = m.fresh("a", Width::W8);
+        let b = m.fresh("b", Width::W32);
+        assert_eq!(a, SymbolId(0));
+        assert_eq!(b, SymbolId(1));
+        assert_eq!(m.info(a).unwrap().name, "a");
+        assert_eq!(m.info(b).unwrap().width, Width::W32);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn fresh_bytes_names() {
+        let mut m = SymbolManager::new();
+        let bytes = m.fresh_bytes("pkt", 3);
+        assert_eq!(bytes.len(), 3);
+        assert_eq!(m.info(bytes[2]).unwrap().name, "pkt[2]");
+        assert_eq!(m.info(bytes[2]).unwrap().width, Width::W8);
+    }
+
+    #[test]
+    fn cloned_manager_is_deterministic() {
+        let mut m = SymbolManager::new();
+        m.fresh("a", Width::W8);
+        let mut clone = m.clone();
+        let x = m.fresh("x", Width::W8);
+        let y = clone.fresh("x", Width::W8);
+        // Two forked states allocating the next symbol get the same id.
+        assert_eq!(x, y);
+    }
+}

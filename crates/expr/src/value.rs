@@ -1,0 +1,134 @@
+//! Concrete bit-vector values.
+
+use crate::Width;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A concrete bit-vector value: a bit pattern together with its width.
+///
+/// The stored bits are always truncated to the width, so two equal
+/// `ConstValue`s compare equal structurally.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConstValue {
+    bits: u64,
+    width: Width,
+}
+
+impl ConstValue {
+    /// Creates a value, truncating `bits` to `width`.
+    pub fn new(bits: u64, width: Width) -> ConstValue {
+        ConstValue {
+            bits: width.truncate(bits),
+            width,
+        }
+    }
+
+    /// The boolean `true` value (width 1).
+    pub fn true_() -> ConstValue {
+        ConstValue::new(1, Width::W1)
+    }
+
+    /// The boolean `false` value (width 1).
+    pub fn false_() -> ConstValue {
+        ConstValue::new(0, Width::W1)
+    }
+
+    /// Creates a boolean value from a Rust `bool`.
+    pub fn bool(b: bool) -> ConstValue {
+        ConstValue::new(u64::from(b), Width::W1)
+    }
+
+    /// The unsigned interpretation of the bits.
+    pub fn value(self) -> u64 {
+        self.bits
+    }
+
+    /// The signed (two's complement) interpretation of the bits.
+    pub fn signed(self) -> i64 {
+        self.width.sign_extend(self.bits)
+    }
+
+    /// The width of the value.
+    pub fn width(self) -> Width {
+        self.width
+    }
+
+    /// Whether this is the 1-bit value `1`.
+    pub fn is_true(self) -> bool {
+        self.width == Width::W1 && self.bits == 1
+    }
+
+    /// Whether this is the 1-bit value `0`.
+    pub fn is_false(self) -> bool {
+        self.width == Width::W1 && self.bits == 0
+    }
+
+    /// Whether the bit pattern is all zeros.
+    pub fn is_zero(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Zero-extends (or truncates) the value to a new width.
+    pub fn zext(self, width: Width) -> ConstValue {
+        ConstValue::new(self.bits, width)
+    }
+
+    /// Sign-extends (or truncates) the value to a new width.
+    pub fn sext(self, width: Width) -> ConstValue {
+        ConstValue::new(self.signed() as u64, width)
+    }
+
+    /// Extracts `width` bits starting at bit `offset`.
+    pub fn extract(self, offset: u32, width: Width) -> ConstValue {
+        debug_assert!(offset + width.bits() <= self.width.bits());
+        ConstValue::new(self.bits >> offset, width)
+    }
+}
+
+impl fmt::Debug for ConstValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}:{}", self.bits, self.width)
+    }
+}
+
+impl fmt::Display for ConstValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncation_on_construction() {
+        let v = ConstValue::new(0x1ff, Width::W8);
+        assert_eq!(v.value(), 0xff);
+        assert_eq!(v.signed(), -1);
+    }
+
+    #[test]
+    fn zext_and_sext() {
+        let v = ConstValue::new(0x80, Width::W8);
+        assert_eq!(v.zext(Width::W32).value(), 0x80);
+        assert_eq!(v.sext(Width::W32).value(), 0xffff_ff80);
+        assert_eq!(v.sext(Width::W32).signed(), -128);
+    }
+
+    #[test]
+    fn extraction() {
+        let v = ConstValue::new(0xdead_beef, Width::W32);
+        assert_eq!(v.extract(0, Width::W8).value(), 0xef);
+        assert_eq!(v.extract(8, Width::W8).value(), 0xbe);
+        assert_eq!(v.extract(16, Width::W16).value(), 0xdead);
+    }
+
+    #[test]
+    fn booleans() {
+        assert!(ConstValue::true_().is_true());
+        assert!(ConstValue::false_().is_false());
+        assert!(ConstValue::bool(true).is_true());
+        assert!(!ConstValue::bool(false).is_true());
+    }
+}

@@ -1,0 +1,120 @@
+//! Traversals over expression DAGs: symbol collection, substitution, sizing.
+
+use crate::expr::{Expr, ExprKind, ExprRef};
+use crate::{Assignment, SymbolId};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Collects the set of symbols referenced by `expr` into `out`.
+pub fn collect_symbols_into(expr: &ExprRef, out: &mut BTreeSet<SymbolId>) {
+    // Iterative DFS with a visited set keyed on node address, so shared
+    // sub-DAGs are visited once.
+    let mut visited: HashSet<*const Expr> = HashSet::new();
+    let mut stack: Vec<&ExprRef> = vec![expr];
+    while let Some(e) = stack.pop() {
+        if !visited.insert(std::sync::Arc::as_ptr(e)) {
+            continue;
+        }
+        match e.kind() {
+            ExprKind::Const(_) => {}
+            ExprKind::Sym(id) => {
+                out.insert(*id);
+            }
+            ExprKind::Unary(_, a) | ExprKind::ZExt(a) | ExprKind::SExt(a)
+            | ExprKind::Extract(a, _) => stack.push(a),
+            ExprKind::Binary(_, a, b) | ExprKind::Concat(a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+            ExprKind::Ite(c, t, f) => {
+                stack.push(c);
+                stack.push(t);
+                stack.push(f);
+            }
+        }
+    }
+}
+
+/// Returns the set of symbols referenced by `expr`.
+pub fn collect_symbols(expr: &ExprRef) -> BTreeSet<SymbolId> {
+    let mut out = BTreeSet::new();
+    collect_symbols_into(expr, &mut out);
+    out
+}
+
+/// Number of nodes in the expression, counting shared nodes once.
+pub fn expr_size(expr: &ExprRef) -> usize {
+    let mut visited: HashSet<*const Expr> = HashSet::new();
+    let mut stack: Vec<&ExprRef> = vec![expr];
+    let mut count = 0;
+    while let Some(e) = stack.pop() {
+        if !visited.insert(std::sync::Arc::as_ptr(e)) {
+            continue;
+        }
+        count += 1;
+        match e.kind() {
+            ExprKind::Const(_) | ExprKind::Sym(_) => {}
+            ExprKind::Unary(_, a) | ExprKind::ZExt(a) | ExprKind::SExt(a)
+            | ExprKind::Extract(a, _) => stack.push(a),
+            ExprKind::Binary(_, a, b) | ExprKind::Concat(a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+            ExprKind::Ite(c, t, f) => {
+                stack.push(c);
+                stack.push(t);
+                stack.push(f);
+            }
+        }
+    }
+    count
+}
+
+/// Depth of the expression tree (a single node has depth 1).
+pub fn expr_depth(expr: &ExprRef) -> usize {
+    fn go(e: &ExprRef, memo: &mut HashMap<*const Expr, usize>) -> usize {
+        let key = std::sync::Arc::as_ptr(e);
+        if let Some(&d) = memo.get(&key) {
+            return d;
+        }
+        let d = 1 + match e.kind() {
+            ExprKind::Const(_) | ExprKind::Sym(_) => 0,
+            ExprKind::Unary(_, a) | ExprKind::ZExt(a) | ExprKind::SExt(a)
+            | ExprKind::Extract(a, _) => go(a, memo),
+            ExprKind::Binary(_, a, b) | ExprKind::Concat(a, b) => go(a, memo).max(go(b, memo)),
+            ExprKind::Ite(c, t, f) => go(c, memo).max(go(t, memo)).max(go(f, memo)),
+        };
+        memo.insert(key, d);
+        d
+    }
+    go(expr, &mut HashMap::new())
+}
+
+/// Substitutes the symbols bound in `assignment` with their concrete values,
+/// re-simplifying along the way. Unbound symbols are left in place.
+pub fn substitute(expr: &ExprRef, assignment: &Assignment) -> ExprRef {
+    fn go(e: &ExprRef, asg: &Assignment, memo: &mut HashMap<*const Expr, ExprRef>) -> ExprRef {
+        let key = std::sync::Arc::as_ptr(e);
+        if let Some(cached) = memo.get(&key) {
+            return cached.clone();
+        }
+        let result = match e.kind() {
+            ExprKind::Const(_) => e.clone(),
+            ExprKind::Sym(id) => match asg.get(*id) {
+                Some(v) => Expr::const_(v, e.width()),
+                None => e.clone(),
+            },
+            ExprKind::Unary(op, a) => Expr::unary(*op, go(a, asg, memo)),
+            ExprKind::Binary(op, a, b) => Expr::binary(*op, go(a, asg, memo), go(b, asg, memo)),
+            ExprKind::Ite(c, t, f) => {
+                Expr::ite(go(c, asg, memo), go(t, asg, memo), go(f, asg, memo))
+            }
+            ExprKind::ZExt(a) => Expr::zext(go(a, asg, memo), e.width()),
+            ExprKind::SExt(a) => Expr::sext(go(a, asg, memo), e.width()),
+            ExprKind::Extract(a, offset) => Expr::extract(go(a, asg, memo), *offset, e.width()),
+            ExprKind::Concat(hi, lo) => Expr::concat(go(hi, asg, memo), go(lo, asg, memo)),
+        };
+        memo.insert(key, result.clone());
+        result
+    }
+    go(expr, assignment, &mut HashMap::new())
+}

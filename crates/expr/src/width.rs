@@ -1,0 +1,143 @@
+//! Bit-vector widths.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Width of a bit-vector expression, in bits.
+///
+/// Cloud9-RS supports widths from 1 to 64 bits. A handful of common widths
+/// have named constructors; arbitrary widths in that range can be created
+/// with [`Width::new`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Width(u8);
+
+impl Width {
+    /// A boolean (1-bit) value.
+    pub const W1: Width = Width(1);
+    /// A byte.
+    pub const W8: Width = Width(8);
+    /// A 16-bit half word.
+    pub const W16: Width = Width(16);
+    /// A 32-bit word.
+    pub const W32: Width = Width(32);
+    /// A 64-bit double word; also the width of pointers in the VM.
+    pub const W64: Width = Width(64);
+
+    /// Creates a width of `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or greater than 64.
+    pub fn new(bits: u32) -> Width {
+        assert!(bits >= 1 && bits <= 64, "width out of range: {bits}");
+        Width(bits as u8)
+    }
+
+    /// Number of bits.
+    pub fn bits(self) -> u32 {
+        u32::from(self.0)
+    }
+
+    /// Number of bytes needed to store a value of this width (rounded up).
+    pub fn bytes(self) -> usize {
+        self.bits().div_ceil(8) as usize
+    }
+
+    /// Bit mask selecting exactly the bits of this width.
+    pub fn mask(self) -> u64 {
+        if self.0 == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.0) - 1
+        }
+    }
+
+    /// Truncates `value` to this width.
+    pub fn truncate(self, value: u64) -> u64 {
+        value & self.mask()
+    }
+
+    /// Sign-extends a value of this width to a 64-bit signed integer.
+    pub fn sign_extend(self, value: u64) -> i64 {
+        let v = self.truncate(value);
+        let shift = 64 - self.bits();
+        ((v << shift) as i64) >> shift
+    }
+
+    /// Maximum unsigned value representable in this width.
+    pub fn max_unsigned(self) -> u64 {
+        self.mask()
+    }
+
+    /// Maximum signed value representable in this width.
+    pub fn max_signed(self) -> i64 {
+        (self.mask() >> 1) as i64
+    }
+
+    /// Minimum signed value representable in this width.
+    pub fn min_signed(self) -> i64 {
+        -(self.max_signed() + 1)
+    }
+}
+
+impl fmt::Debug for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_and_truncate() {
+        assert_eq!(Width::W8.mask(), 0xff);
+        assert_eq!(Width::W1.mask(), 1);
+        assert_eq!(Width::W64.mask(), u64::MAX);
+        assert_eq!(Width::W8.truncate(0x1ff), 0xff);
+        assert_eq!(Width::new(12).mask(), 0xfff);
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(Width::W8.sign_extend(0xff), -1);
+        assert_eq!(Width::W8.sign_extend(0x7f), 127);
+        assert_eq!(Width::W16.sign_extend(0x8000), -32768);
+        assert_eq!(Width::W64.sign_extend(u64::MAX), -1);
+    }
+
+    #[test]
+    fn bounds() {
+        assert_eq!(Width::W8.max_unsigned(), 255);
+        assert_eq!(Width::W8.max_signed(), 127);
+        assert_eq!(Width::W8.min_signed(), -128);
+        assert_eq!(Width::W1.max_signed(), 0);
+        assert_eq!(Width::W1.min_signed(), -1);
+    }
+
+    #[test]
+    fn bytes_rounding() {
+        assert_eq!(Width::W1.bytes(), 1);
+        assert_eq!(Width::new(9).bytes(), 2);
+        assert_eq!(Width::W64.bytes(), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_rejected() {
+        Width::new(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_width_rejected() {
+        Width::new(65);
+    }
+}

@@ -1,0 +1,433 @@
+//! Builder API for constructing IR programs.
+
+use crate::program::{
+    AbortKind, BasicBlock, BlockId, FuncId, Function, Instr, LineId, Operand, Program, RegId,
+    Rvalue, Terminator,
+};
+use c9_expr::{BinaryOp, UnaryOp, Width};
+use std::collections::HashMap;
+
+/// Signature of a declared function.
+#[derive(Clone, Debug)]
+struct Signature {
+    name: String,
+    num_params: usize,
+    ret: Option<Width>,
+}
+
+/// Builds a [`Program`] function by function.
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    signatures: Vec<Signature>,
+    bodies: Vec<Option<Function>>,
+    by_name: HashMap<String, FuncId>,
+    next_line: u32,
+    entry: Option<FuncId>,
+    name: String,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty program builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder {
+            name: "program".to_string(),
+            ..ProgramBuilder::default()
+        }
+    }
+
+    /// Sets the human-readable program name.
+    pub fn set_name(&mut self, name: &str) {
+        self.name = name.to_string();
+    }
+
+    /// Declares a function signature without a body, so other functions can
+    /// call it before it is defined (mutual recursion, forward references).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a function with the same name was already declared.
+    pub fn declare(&mut self, name: &str, num_params: usize, ret: Option<Width>) -> FuncId {
+        assert!(
+            !self.by_name.contains_key(name),
+            "function {name:?} declared twice"
+        );
+        let id = FuncId(self.signatures.len() as u32);
+        self.signatures.push(Signature {
+            name: name.to_string(),
+            num_params,
+            ret,
+        });
+        self.bodies.push(None);
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Declares a function and returns a builder for its body.
+    pub fn function(&mut self, name: &str, num_params: usize, ret: Option<Width>) -> FunctionBuilder<'_> {
+        let id = self.declare(name, num_params, ret);
+        self.build_declared(id)
+    }
+
+    /// Returns a builder for the body of a previously declared function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function already has a body.
+    pub fn build_declared(&mut self, id: FuncId) -> FunctionBuilder<'_> {
+        assert!(
+            self.bodies[id.0 as usize].is_none(),
+            "function {id:?} already has a body"
+        );
+        let sig = self.signatures[id.0 as usize].clone();
+        FunctionBuilder {
+            id,
+            name: sig.name,
+            num_params: sig.num_params,
+            ret: sig.ret,
+            num_regs: sig.num_params,
+            blocks: vec![BasicBlock::new()],
+            entry: BlockId(0),
+            current: BlockId(0),
+            pb: self,
+        }
+    }
+
+    /// Looks up the return width of a declared function.
+    pub fn return_width(&self, id: FuncId) -> Option<Width> {
+        self.signatures[id.0 as usize].ret
+    }
+
+    /// Looks up a declared function by name.
+    pub fn find(&self, name: &str) -> Option<FuncId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Sets the program entry point.
+    pub fn set_entry(&mut self, id: FuncId) {
+        self.entry = Some(id);
+    }
+
+    fn alloc_line(&mut self) -> LineId {
+        let line = LineId(self.next_line);
+        self.next_line += 1;
+        line
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry point was not set or a declared function has no
+    /// body.
+    pub fn finish(self) -> Program {
+        let entry = self.entry.expect("program entry point not set");
+        let functions: Vec<Function> = self
+            .bodies
+            .into_iter()
+            .enumerate()
+            .map(|(i, body)| body.unwrap_or_else(|| panic!("function fn{i} has no body")))
+            .collect();
+        Program {
+            functions,
+            entry,
+            by_name: self.by_name,
+            num_lines: self.next_line as usize,
+            name: self.name,
+        }
+    }
+}
+
+/// Builds the body of one function.
+///
+/// The builder starts positioned in the (empty) entry block. Instructions are
+/// appended to the *current* block; [`FunctionBuilder::switch_to`] changes
+/// which block receives subsequent instructions.
+#[derive(Debug)]
+pub struct FunctionBuilder<'a> {
+    pb: &'a mut ProgramBuilder,
+    id: FuncId,
+    name: String,
+    num_params: usize,
+    ret: Option<Width>,
+    num_regs: usize,
+    blocks: Vec<BasicBlock>,
+    entry: BlockId,
+    current: BlockId,
+}
+
+impl<'a> FunctionBuilder<'a> {
+    /// The id of the function being built.
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    /// The register holding the `index`-th parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn param(&self, index: usize) -> RegId {
+        assert!(index < self.num_params, "parameter index out of range");
+        RegId(index as u32)
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn new_reg(&mut self) -> RegId {
+        let r = RegId(self.num_regs as u32);
+        self.num_regs += 1;
+        r
+    }
+
+    /// Creates a new, empty basic block and returns its id.
+    pub fn create_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BasicBlock::new());
+        id
+    }
+
+    /// Makes `block` the current block for subsequently appended
+    /// instructions.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.current = block;
+    }
+
+    /// The block currently receiving instructions.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// The entry block of the function.
+    pub fn entry_block(&self) -> BlockId {
+        self.entry
+    }
+
+    fn push(&mut self, instr: Instr) {
+        let block = &mut self.blocks[self.current.0 as usize];
+        assert!(
+            block.terminator.is_none(),
+            "appending to already-terminated block {:?} in {}",
+            self.current,
+            self.name
+        );
+        block.instrs.push(instr);
+    }
+
+    fn terminate(&mut self, terminator: Terminator) {
+        let block = &mut self.blocks[self.current.0 as usize];
+        assert!(
+            block.terminator.is_none(),
+            "block {:?} in {} terminated twice",
+            self.current,
+            self.name
+        );
+        block.terminator = Some(terminator);
+    }
+
+    fn line(&mut self) -> LineId {
+        self.pb.alloc_line()
+    }
+
+    // -- Instructions -------------------------------------------------------
+
+    /// Appends `dst = rvalue` and returns `dst`.
+    pub fn assign(&mut self, rvalue: Rvalue) -> RegId {
+        let dst = self.new_reg();
+        let line = self.line();
+        self.push(Instr::Assign { dst, rvalue, line });
+        dst
+    }
+
+    /// Appends `dst = rvalue` into an existing register.
+    pub fn assign_to(&mut self, dst: RegId, rvalue: Rvalue) {
+        let line = self.line();
+        self.push(Instr::Assign { dst, rvalue, line });
+    }
+
+    /// Copies an operand into a fresh register.
+    pub fn copy(&mut self, value: Operand) -> RegId {
+        self.assign(Rvalue::Use(value))
+    }
+
+    /// Appends a binary operation and returns the destination register.
+    pub fn binary(&mut self, op: BinaryOp, a: Operand, b: Operand) -> RegId {
+        self.assign(Rvalue::Binary(op, a, b))
+    }
+
+    /// Appends a unary operation.
+    pub fn unary(&mut self, op: UnaryOp, a: Operand) -> RegId {
+        self.assign(Rvalue::Unary(op, a))
+    }
+
+    /// Appends a zero extension.
+    pub fn zext(&mut self, a: Operand, width: Width) -> RegId {
+        self.assign(Rvalue::ZExt(a, width))
+    }
+
+    /// Appends a sign extension.
+    pub fn sext(&mut self, a: Operand, width: Width) -> RegId {
+        self.assign(Rvalue::SExt(a, width))
+    }
+
+    /// Appends a truncation.
+    pub fn trunc(&mut self, a: Operand, width: Width) -> RegId {
+        self.assign(Rvalue::Trunc(a, width))
+    }
+
+    /// Appends a non-forking select (`cond ? a : b`).
+    pub fn select(&mut self, cond: Operand, a: Operand, b: Operand) -> RegId {
+        self.assign(Rvalue::Select(cond, a, b))
+    }
+
+    /// Appends a load of `width` bits from `addr`.
+    pub fn load(&mut self, addr: Operand, width: Width) -> RegId {
+        let dst = self.new_reg();
+        let line = self.line();
+        self.push(Instr::Load {
+            dst,
+            addr,
+            width,
+            line,
+        });
+        dst
+    }
+
+    /// Appends a store of `value` (of `width` bits) to `addr`.
+    pub fn store(&mut self, addr: Operand, value: Operand, width: Width) {
+        let line = self.line();
+        self.push(Instr::Store {
+            addr,
+            value,
+            width,
+            line,
+        });
+    }
+
+    /// Appends a heap allocation of `size` bytes.
+    pub fn alloc(&mut self, size: Operand) -> RegId {
+        let dst = self.new_reg();
+        let line = self.line();
+        self.push(Instr::Alloc { dst, size, line });
+        dst
+    }
+
+    /// Appends a heap deallocation.
+    pub fn free(&mut self, addr: Operand) {
+        let line = self.line();
+        self.push(Instr::Free { addr, line });
+    }
+
+    /// Appends a call to a function returning a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the callee is declared void.
+    pub fn call(&mut self, func: FuncId, args: Vec<Operand>) -> RegId {
+        assert!(
+            self.pb.return_width(func).is_some(),
+            "call() used on a void function; use call_void()"
+        );
+        let dst = self.new_reg();
+        let line = self.line();
+        self.push(Instr::Call {
+            dst: Some(dst),
+            func,
+            args,
+            line,
+        });
+        dst
+    }
+
+    /// Appends a call to a void function.
+    pub fn call_void(&mut self, func: FuncId, args: Vec<Operand>) {
+        let line = self.line();
+        self.push(Instr::Call {
+            dst: None,
+            func,
+            args,
+            line,
+        });
+    }
+
+    /// Appends a syscall (engine primitive or environment call).
+    pub fn syscall(&mut self, nr: u32, args: Vec<Operand>) -> RegId {
+        let dst = self.new_reg();
+        let line = self.line();
+        self.push(Instr::Syscall {
+            dst,
+            nr,
+            args,
+            line,
+        });
+        dst
+    }
+
+    /// Appends an assertion on a 1-bit condition.
+    pub fn assert_(&mut self, cond: Operand, message: &str) {
+        let line = self.line();
+        self.push(Instr::Assert {
+            cond,
+            message: message.to_string(),
+            line,
+        });
+    }
+
+    // -- Terminators --------------------------------------------------------
+
+    /// Terminates the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        let line = self.line();
+        self.terminate(Terminator::Jump { target, line });
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn branch(&mut self, cond: Operand, then_block: BlockId, else_block: BlockId) {
+        let line = self.line();
+        self.terminate(Terminator::Branch {
+            cond,
+            then_block,
+            else_block,
+            line,
+        });
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        let line = self.line();
+        self.terminate(Terminator::Return { value, line });
+    }
+
+    /// Terminates the current block with an abort (bug site).
+    pub fn abort(&mut self, kind: AbortKind, message: &str) {
+        let line = self.line();
+        self.terminate(Terminator::Abort {
+            kind,
+            message: message.to_string(),
+            line,
+        });
+    }
+
+    /// Finalizes the function body and registers it with the program builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any created block lacks a terminator.
+    pub fn finish(self) -> FuncId {
+        for (i, block) in self.blocks.iter().enumerate() {
+            assert!(
+                block.terminator.is_some(),
+                "block bb{i} of function {} has no terminator",
+                self.name
+            );
+        }
+        let function = Function {
+            name: self.name,
+            num_params: self.num_params,
+            ret: self.ret,
+            num_regs: self.num_regs,
+            blocks: self.blocks,
+            entry: self.entry,
+        };
+        self.pb.bodies[self.id.0 as usize] = Some(function);
+        self.id
+    }
+}

@@ -1,0 +1,59 @@
+//! Program intermediate representation for Cloud9-RS.
+//!
+//! The Cloud9 paper executes LLVM bitcode produced from real C programs.
+//! Cloud9-RS instead defines a small register-based IR with the same
+//! execution-relevant structure — basic blocks, conditional branches, loads
+//! and stores against a byte-addressed memory, calls, and *syscalls* into the
+//! environment model — and the target programs (`c9-targets`) are written
+//! directly in this IR through the [`ProgramBuilder`] API.
+//!
+//! Every instruction carries a *line identifier* assigned sequentially by the
+//! builder; line coverage in the evaluation harness is defined as the set of
+//! executed line identifiers, matching the per-line coverage bit vector the
+//! paper describes in §3.3.
+//!
+//! # Examples
+//!
+//! Build a function that returns the maximum of two bytes:
+//!
+//! ```
+//! use c9_expr::Width;
+//! use c9_ir::{BinaryOp, Operand, ProgramBuilder};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let mut f = pb.function("max", 2, Some(Width::W8));
+//! let a = f.param(0);
+//! let b = f.param(1);
+//! let then_bb = f.create_block();
+//! let else_bb = f.create_block();
+//! let cond = f.binary(BinaryOp::Ult, Operand::Reg(a), Operand::Reg(b));
+//! f.branch(Operand::Reg(cond), then_bb, else_bb);
+//! f.switch_to(then_bb);
+//! f.ret(Some(Operand::Reg(b)));
+//! f.switch_to(else_bb);
+//! f.ret(Some(Operand::Reg(a)));
+//! let max = f.finish();
+//! pb.set_entry(max);
+//! let program = pb.finish();
+//! assert!(program.validate().is_ok());
+//! ```
+
+mod builder;
+mod printer;
+mod program;
+mod validate;
+
+pub use builder::{FunctionBuilder, ProgramBuilder};
+pub use printer::print_program;
+pub use program::{
+    AbortKind, BasicBlock, BlockId, FuncId, Function, Instr, LineId, Operand, Program, RegId,
+    Rvalue, Terminator,
+};
+pub use validate::ValidationError;
+
+// Re-export the operator enums shared with the expression language, so that
+// IR users do not need to depend on `c9-expr` directly for building programs.
+pub use c9_expr::{BinaryOp, UnaryOp, Width};
+
+#[cfg(test)]
+mod tests;

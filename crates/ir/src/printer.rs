@@ -1,0 +1,102 @@
+//! Human-readable listing of programs, for debugging targets.
+
+use crate::program::{Instr, Operand, Program, Rvalue, Terminator};
+use std::fmt::Write;
+
+fn fmt_operand(op: &Operand) -> String {
+    match op {
+        Operand::Reg(r) => format!("{r:?}"),
+        Operand::Const(v, w) => format!("{v}:{w}"),
+    }
+}
+
+fn fmt_rvalue(rv: &Rvalue) -> String {
+    match rv {
+        Rvalue::Use(a) => fmt_operand(a),
+        Rvalue::Binary(op, a, b) => format!("{op:?} {} {}", fmt_operand(a), fmt_operand(b)),
+        Rvalue::Unary(op, a) => format!("{op:?} {}", fmt_operand(a)),
+        Rvalue::ZExt(a, w) => format!("zext {} to {w}", fmt_operand(a)),
+        Rvalue::SExt(a, w) => format!("sext {} to {w}", fmt_operand(a)),
+        Rvalue::Trunc(a, w) => format!("trunc {} to {w}", fmt_operand(a)),
+        Rvalue::Select(c, a, b) => format!(
+            "select {} ? {} : {}",
+            fmt_operand(c),
+            fmt_operand(a),
+            fmt_operand(b)
+        ),
+    }
+}
+
+/// Renders the whole program as a textual listing.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; program {} ({} lines)", program.name, program.loc());
+    for (fi, f) in program.functions.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "fn{fi} {}({} params) -> {:?} {{",
+            f.name, f.num_params, f.ret
+        );
+        for (bi, block) in f.blocks.iter().enumerate() {
+            let _ = writeln!(out, "  bb{bi}:");
+            for instr in &block.instrs {
+                let line = instr.line();
+                let text = match instr {
+                    Instr::Assign { dst, rvalue, .. } => {
+                        format!("{dst:?} = {}", fmt_rvalue(rvalue))
+                    }
+                    Instr::Load {
+                        dst, addr, width, ..
+                    } => format!("{dst:?} = load.{width} [{}]", fmt_operand(addr)),
+                    Instr::Store {
+                        addr, value, width, ..
+                    } => format!("store.{width} [{}] <- {}", fmt_operand(addr), fmt_operand(value)),
+                    Instr::Alloc { dst, size, .. } => {
+                        format!("{dst:?} = alloc {}", fmt_operand(size))
+                    }
+                    Instr::Free { addr, .. } => format!("free {}", fmt_operand(addr)),
+                    Instr::Call { dst, func, args, .. } => {
+                        let args: Vec<String> = args.iter().map(fmt_operand).collect();
+                        match dst {
+                            Some(d) => format!("{d:?} = call {func:?}({})", args.join(", ")),
+                            None => format!("call {func:?}({})", args.join(", ")),
+                        }
+                    }
+                    Instr::Syscall { dst, nr, args, .. } => {
+                        let args: Vec<String> = args.iter().map(fmt_operand).collect();
+                        format!("{d:?} = syscall {nr}({a})", d = dst, a = args.join(", "))
+                    }
+                    Instr::Assert { cond, message, .. } => {
+                        format!("assert {} \"{}\"", fmt_operand(cond), message)
+                    }
+                };
+                let _ = writeln!(out, "    {line:?}: {text}");
+            }
+            if let Some(term) = &block.terminator {
+                let line = term.line();
+                let text = match term {
+                    Terminator::Jump { target, .. } => format!("jump {target:?}"),
+                    Terminator::Branch {
+                        cond,
+                        then_block,
+                        else_block,
+                        ..
+                    } => format!(
+                        "branch {} ? {then_block:?} : {else_block:?}",
+                        fmt_operand(cond)
+                    ),
+                    Terminator::Return { value, .. } => match value {
+                        Some(v) => format!("return {}", fmt_operand(v)),
+                        None => "return".to_string(),
+                    },
+                    Terminator::Abort { kind, message, .. } => {
+                        format!("abort {kind:?} \"{message}\"")
+                    }
+                };
+                let _ = writeln!(out, "    {line:?}: {text}");
+            }
+        }
+        let _ = writeln!(out, "}}");
+    }
+    out
+}

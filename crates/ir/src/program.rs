@@ -1,0 +1,357 @@
+//! IR data structures.
+
+use c9_expr::{BinaryOp, UnaryOp, Width};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a function within a [`Program`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+/// Identifier of a basic block within a [`Function`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+/// Identifier of a virtual register within a [`Function`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RegId(pub u32);
+
+/// Global line identifier used for coverage accounting.
+///
+/// The [`crate::ProgramBuilder`] assigns a unique line to every instruction
+/// and terminator; the number of lines of a program is its "LOC" for the
+/// purposes of the coverage experiments.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LineId(pub u32);
+
+impl fmt::Debug for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn{}", self.0)
+    }
+}
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+impl fmt::Debug for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+impl fmt::Debug for LineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl LineId {
+    /// Raw index of the line.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An operand: either a virtual register or an immediate constant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// The value currently held in a register.
+    Reg(RegId),
+    /// An immediate constant of the given width.
+    Const(u64, Width),
+}
+
+impl Operand {
+    /// Convenience constructor for a constant operand.
+    pub fn const_(value: u64, width: Width) -> Operand {
+        Operand::Const(value, width)
+    }
+
+    /// Convenience constructor for a byte constant.
+    pub fn byte(value: u8) -> Operand {
+        Operand::Const(u64::from(value), Width::W8)
+    }
+
+    /// Convenience constructor for a 32-bit constant.
+    pub fn word(value: u32) -> Operand {
+        Operand::Const(u64::from(value), Width::W32)
+    }
+}
+
+/// Right-hand side of an assignment.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Rvalue {
+    /// Copies the operand.
+    Use(Operand),
+    /// Binary operation; comparisons produce a 1-bit value.
+    Binary(BinaryOp, Operand, Operand),
+    /// Unary operation.
+    Unary(UnaryOp, Operand),
+    /// Zero extension to the given width.
+    ZExt(Operand, Width),
+    /// Sign extension to the given width.
+    SExt(Operand, Width),
+    /// Truncation to the given width.
+    Trunc(Operand, Width),
+    /// `cond ? a : b` without forking execution.
+    Select(Operand, Operand, Operand),
+}
+
+/// Reasons a program aborts at an [`Terminator::Abort`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AbortKind {
+    /// A deliberate crash site in a target program (models a segfault or
+    /// similar fatal error in the real target).
+    Crash,
+    /// An assertion written in the program failed.
+    AssertFailure,
+    /// The program reached code that was believed unreachable.
+    Unreachable,
+}
+
+/// A single (non-terminator) instruction.
+///
+/// Every instruction carries the [`LineId`] assigned by the builder for
+/// coverage accounting.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instr {
+    /// `dst = rvalue`.
+    Assign {
+        /// Destination register.
+        dst: RegId,
+        /// Computed value.
+        rvalue: Rvalue,
+        /// Coverage line.
+        line: LineId,
+    },
+    /// Loads `width` bits from memory at `addr` into `dst`.
+    Load {
+        /// Destination register.
+        dst: RegId,
+        /// Byte address to read from.
+        addr: Operand,
+        /// Width of the load.
+        width: Width,
+        /// Coverage line.
+        line: LineId,
+    },
+    /// Stores the low `width` bits of `value` to memory at `addr`.
+    Store {
+        /// Byte address to write to.
+        addr: Operand,
+        /// Value to store.
+        value: Operand,
+        /// Width of the store.
+        width: Width,
+        /// Coverage line.
+        line: LineId,
+    },
+    /// Allocates `size` bytes on the state's heap and puts the address in
+    /// `dst`.
+    Alloc {
+        /// Destination register receiving the address.
+        dst: RegId,
+        /// Allocation size in bytes.
+        size: Operand,
+        /// Coverage line.
+        line: LineId,
+    },
+    /// Frees an allocation previously returned by `Alloc`.
+    Free {
+        /// Address of the allocation.
+        addr: Operand,
+        /// Coverage line.
+        line: LineId,
+    },
+    /// Calls another function in the program.
+    Call {
+        /// Register receiving the return value, if the callee returns one.
+        dst: Option<RegId>,
+        /// Callee.
+        func: FuncId,
+        /// Argument operands.
+        args: Vec<Operand>,
+        /// Coverage line.
+        line: LineId,
+    },
+    /// Invokes an engine primitive or environment-model call.
+    ///
+    /// Numbers below [`crate::Program::ENV_SYSCALL_BASE`] are engine
+    /// primitives (Table 1 of the paper); numbers at or above it are routed
+    /// to the registered environment model (the POSIX model).
+    Syscall {
+        /// Register receiving the syscall return value.
+        dst: RegId,
+        /// Syscall number.
+        nr: u32,
+        /// Argument operands (at most 6, like the POSIX ABI).
+        args: Vec<Operand>,
+        /// Coverage line.
+        line: LineId,
+    },
+    /// Checks a 1-bit condition and aborts the path with
+    /// [`AbortKind::AssertFailure`] when it does not hold.
+    Assert {
+        /// Condition that must be true.
+        cond: Operand,
+        /// Message reported when the assertion fails.
+        message: String,
+        /// Coverage line.
+        line: LineId,
+    },
+}
+
+impl Instr {
+    /// The coverage line of this instruction.
+    pub fn line(&self) -> LineId {
+        match self {
+            Instr::Assign { line, .. }
+            | Instr::Load { line, .. }
+            | Instr::Store { line, .. }
+            | Instr::Alloc { line, .. }
+            | Instr::Free { line, .. }
+            | Instr::Call { line, .. }
+            | Instr::Syscall { line, .. }
+            | Instr::Assert { line, .. } => *line,
+        }
+    }
+}
+
+/// Block terminators.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump {
+        /// Target block.
+        target: BlockId,
+        /// Coverage line.
+        line: LineId,
+    },
+    /// Two-way conditional branch on a 1-bit condition. This is the only
+    /// place where symbolic execution forks.
+    Branch {
+        /// 1-bit condition.
+        cond: Operand,
+        /// Target when the condition is true.
+        then_block: BlockId,
+        /// Target when the condition is false.
+        else_block: BlockId,
+        /// Coverage line.
+        line: LineId,
+    },
+    /// Returns from the current function.
+    Return {
+        /// Returned value, if the function returns one.
+        value: Option<Operand>,
+        /// Coverage line.
+        line: LineId,
+    },
+    /// Aborts the current path with a bug report.
+    Abort {
+        /// The kind of abort.
+        kind: AbortKind,
+        /// Message reported with the bug.
+        message: String,
+        /// Coverage line.
+        line: LineId,
+    },
+}
+
+impl Terminator {
+    /// The coverage line of this terminator.
+    pub fn line(&self) -> LineId {
+        match self {
+            Terminator::Jump { line, .. }
+            | Terminator::Branch { line, .. }
+            | Terminator::Return { line, .. }
+            | Terminator::Abort { line, .. } => *line,
+        }
+    }
+}
+
+/// A basic block: straight-line instructions ended by a terminator.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// The instructions of the block, executed in order.
+    pub instrs: Vec<Instr>,
+    /// The terminator; `None` only while the block is still being built.
+    pub terminator: Option<Terminator>,
+}
+
+impl BasicBlock {
+    /// Creates an empty block.
+    pub fn new() -> BasicBlock {
+        BasicBlock {
+            instrs: Vec::new(),
+            terminator: None,
+        }
+    }
+}
+
+impl Default for BasicBlock {
+    fn default() -> Self {
+        BasicBlock::new()
+    }
+}
+
+/// A function: parameters, registers, and a CFG of basic blocks.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name (for diagnostics and coverage reports).
+    pub name: String,
+    /// Number of parameters; parameters occupy registers `0..num_params`.
+    pub num_params: usize,
+    /// Width of the return value, or `None` for void functions.
+    pub ret: Option<Width>,
+    /// Total number of virtual registers (including parameters).
+    pub num_regs: usize,
+    /// The basic blocks.
+    pub blocks: Vec<BasicBlock>,
+    /// The entry block.
+    pub entry: BlockId,
+}
+
+impl Function {
+    /// Looks up a block.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0 as usize]
+    }
+}
+
+/// A complete program: functions plus an entry point.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// All functions, indexed by [`FuncId`].
+    pub functions: Vec<Function>,
+    /// The entry function. It is invoked with no arguments.
+    pub entry: FuncId,
+    /// Map from function name to id.
+    pub by_name: HashMap<String, FuncId>,
+    /// Total number of coverage lines assigned by the builder.
+    pub num_lines: usize,
+    /// Human-readable program name.
+    pub name: String,
+}
+
+impl Program {
+    /// Syscall numbers below this value are engine primitives handled by the
+    /// VM itself (Table 1 of the paper); numbers at or above it are routed to
+    /// the environment model.
+    pub const ENV_SYSCALL_BASE: u32 = 100;
+
+    /// Looks up a function by id.
+    pub fn function(&self, id: FuncId) -> &Function {
+        &self.functions[id.0 as usize]
+    }
+
+    /// Looks up a function id by name.
+    pub fn find_function(&self, name: &str) -> Option<FuncId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of lines (instructions + terminators), the program's "LOC".
+    pub fn loc(&self) -> usize {
+        self.num_lines
+    }
+}

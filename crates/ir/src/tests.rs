@@ -1,0 +1,222 @@
+//! Tests for the IR builder and validator.
+
+use crate::{
+    AbortKind, BinaryOp, BlockId, FuncId, Operand, ProgramBuilder, RegId, Rvalue, Terminator,
+    ValidationError, Width,
+};
+
+fn simple_program() -> crate::Program {
+    let mut pb = ProgramBuilder::new();
+    pb.set_name("simple");
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let x = f.copy(Operand::word(1));
+    let y = f.binary(BinaryOp::Add, Operand::Reg(x), Operand::word(2));
+    f.ret(Some(Operand::Reg(y)));
+    let main = f.finish();
+    pb.set_entry(main);
+    pb.finish()
+}
+
+#[test]
+fn build_and_validate_simple_program() {
+    let p = simple_program();
+    assert!(p.validate().is_ok());
+    assert_eq!(p.name, "simple");
+    assert_eq!(p.functions.len(), 1);
+    assert!(p.loc() >= 3);
+    assert_eq!(p.find_function("main"), Some(FuncId(0)));
+    assert_eq!(p.find_function("missing"), None);
+}
+
+#[test]
+fn lines_are_unique_and_dense() {
+    let p = simple_program();
+    let mut seen = vec![false; p.loc()];
+    for f in &p.functions {
+        for b in &f.blocks {
+            for i in &b.instrs {
+                let l = i.line().index();
+                assert!(!seen[l], "line {l} assigned twice");
+                seen[l] = true;
+            }
+            let l = b.terminator.as_ref().unwrap().line().index();
+            assert!(!seen[l], "line {l} assigned twice");
+            seen[l] = true;
+        }
+    }
+    assert!(seen.iter().all(|s| *s), "line numbering has gaps");
+}
+
+#[test]
+fn branching_function_with_multiple_blocks() {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("max", 2, Some(Width::W8));
+    let a = f.param(0);
+    let b = f.param(1);
+    let then_bb = f.create_block();
+    let else_bb = f.create_block();
+    let cond = f.binary(BinaryOp::Ult, Operand::Reg(a), Operand::Reg(b));
+    f.branch(Operand::Reg(cond), then_bb, else_bb);
+    f.switch_to(then_bb);
+    f.ret(Some(Operand::Reg(b)));
+    f.switch_to(else_bb);
+    f.ret(Some(Operand::Reg(a)));
+    let max = f.finish();
+    pb.set_entry(max);
+    let p = pb.finish();
+    assert!(p.validate().is_ok());
+    assert_eq!(p.function(max).blocks.len(), 3);
+}
+
+#[test]
+fn forward_declared_functions_can_be_called() {
+    let mut pb = ProgramBuilder::new();
+    let helper = pb.declare("helper", 1, Some(Width::W8));
+    let mut main = pb.function("main", 0, None);
+    let v = main.call(helper, vec![Operand::byte(7)]);
+    let _ = v;
+    main.ret(None);
+    let main_id = main.finish();
+
+    let mut h = pb.build_declared(helper);
+    let p0 = h.param(0);
+    let doubled = h.binary(BinaryOp::Add, Operand::Reg(p0), Operand::Reg(p0));
+    h.ret(Some(Operand::Reg(doubled)));
+    h.finish();
+
+    pb.set_entry(main_id);
+    let p = pb.finish();
+    assert!(p.validate().is_ok());
+}
+
+#[test]
+#[should_panic(expected = "declared twice")]
+fn duplicate_function_names_rejected() {
+    let mut pb = ProgramBuilder::new();
+    pb.declare("f", 0, None);
+    pb.declare("f", 0, None);
+}
+
+#[test]
+#[should_panic(expected = "has no terminator")]
+fn unterminated_block_rejected_at_finish() {
+    let mut pb = ProgramBuilder::new();
+    let f = pb.function("broken", 0, None);
+    f.finish();
+}
+
+#[test]
+#[should_panic(expected = "terminated twice")]
+fn double_termination_rejected() {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("broken", 0, None);
+    f.ret(None);
+    f.ret(None);
+}
+
+#[test]
+#[should_panic(expected = "void function")]
+fn call_on_void_function_panics() {
+    let mut pb = ProgramBuilder::new();
+    let void_fn = pb.declare("v", 0, None);
+    let mut f = pb.function("main", 0, None);
+    let _ = f.call(void_fn, vec![]);
+}
+
+#[test]
+fn validation_detects_bad_register() {
+    let mut p = simple_program();
+    // Corrupt: reference a register beyond the register file.
+    if let Some(Terminator::Return { value, .. }) = &mut p.functions[0].blocks[0].terminator {
+        *value = Some(Operand::Reg(RegId(999)));
+    }
+    assert!(matches!(
+        p.validate(),
+        Err(ValidationError::BadRegister { .. })
+    ));
+}
+
+#[test]
+fn validation_detects_bad_block_target() {
+    let mut p = simple_program();
+    p.functions[0].blocks[0].terminator = Some(Terminator::Jump {
+        target: BlockId(42),
+        line: crate::LineId(0),
+    });
+    assert!(matches!(
+        p.validate(),
+        Err(ValidationError::BadBlockTarget { .. })
+    ));
+}
+
+#[test]
+fn validation_detects_bad_arity() {
+    let mut pb = ProgramBuilder::new();
+    let callee = pb.declare("callee", 2, Some(Width::W8));
+    let mut main = pb.function("main", 0, None);
+    let _ = main.call(callee, vec![Operand::byte(1), Operand::byte(2)]);
+    main.ret(None);
+    let main_id = main.finish();
+    let mut c = pb.build_declared(callee);
+    c.ret(Some(Operand::byte(0)));
+    c.finish();
+    pb.set_entry(main_id);
+    let mut p = pb.finish();
+    // Corrupt the call to pass one argument instead of two.
+    if let crate::Instr::Call { args, .. } = &mut p.functions[main_id.0 as usize].blocks[0].instrs[0]
+    {
+        args.pop();
+    }
+    assert!(matches!(p.validate(), Err(ValidationError::BadArity { .. })));
+}
+
+#[test]
+fn validation_detects_missing_terminator() {
+    let mut p = simple_program();
+    p.functions[0].blocks[0].terminator = None;
+    assert!(matches!(
+        p.validate(),
+        Err(ValidationError::MissingTerminator { .. })
+    ));
+}
+
+#[test]
+fn aborts_and_asserts_are_representable() {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main", 0, None);
+    f.assert_(Operand::const_(1, Width::W1), "always true");
+    f.abort(AbortKind::Crash, "boom");
+    let id = f.finish();
+    pb.set_entry(id);
+    let p = pb.finish();
+    assert!(p.validate().is_ok());
+}
+
+#[test]
+fn printer_lists_all_functions() {
+    let p = simple_program();
+    let listing = crate::print_program(&p);
+    assert!(listing.contains("main"));
+    assert!(listing.contains("return"));
+    assert!(listing.contains("Add"));
+}
+
+#[test]
+fn all_rvalue_forms_validate() {
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main", 0, None);
+    let a = f.copy(Operand::byte(3));
+    let _ = f.assign(Rvalue::Unary(crate::UnaryOp::Not, Operand::Reg(a)));
+    let _ = f.zext(Operand::Reg(a), Width::W32);
+    let _ = f.sext(Operand::Reg(a), Width::W32);
+    let _ = f.trunc(Operand::word(0x1234), Width::W8);
+    let _ = f.select(Operand::const_(1, Width::W1), Operand::Reg(a), Operand::byte(9));
+    let buf = f.alloc(Operand::word(16));
+    f.store(Operand::Reg(buf), Operand::byte(0xaa), Width::W8);
+    let _ = f.load(Operand::Reg(buf), Width::W8);
+    f.free(Operand::Reg(buf));
+    f.ret(None);
+    let id = f.finish();
+    pb.set_entry(id);
+    assert!(pb.finish().validate().is_ok());
+}

@@ -1,0 +1,213 @@
+//! Structural validation of programs.
+
+use crate::program::{BlockId, FuncId, Instr, Operand, Program, RegId, Rvalue, Terminator};
+use std::fmt;
+
+/// A structural problem detected in a [`Program`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The entry function id is out of range.
+    BadEntry(FuncId),
+    /// A block terminator targets a block that does not exist.
+    BadBlockTarget {
+        /// Function containing the bad terminator.
+        func: FuncId,
+        /// The referenced, non-existent block.
+        target: BlockId,
+    },
+    /// A block has no terminator.
+    MissingTerminator {
+        /// Function containing the unterminated block.
+        func: FuncId,
+        /// The unterminated block.
+        block: BlockId,
+    },
+    /// An instruction references a register outside the function's register
+    /// file.
+    BadRegister {
+        /// Function containing the reference.
+        func: FuncId,
+        /// The out-of-range register.
+        reg: RegId,
+    },
+    /// A call references a function that does not exist.
+    BadCallee {
+        /// Function containing the call.
+        func: FuncId,
+        /// The non-existent callee.
+        callee: FuncId,
+    },
+    /// A call passes the wrong number of arguments.
+    BadArity {
+        /// Function containing the call.
+        func: FuncId,
+        /// The callee.
+        callee: FuncId,
+        /// Number of arguments at the call site.
+        got: usize,
+        /// Number of parameters the callee declares.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::BadEntry(id) => write!(f, "entry function {id:?} does not exist"),
+            ValidationError::BadBlockTarget { func, target } => {
+                write!(f, "{func:?} branches to non-existent block {target:?}")
+            }
+            ValidationError::MissingTerminator { func, block } => {
+                write!(f, "{func:?} block {block:?} has no terminator")
+            }
+            ValidationError::BadRegister { func, reg } => {
+                write!(f, "{func:?} references out-of-range register {reg:?}")
+            }
+            ValidationError::BadCallee { func, callee } => {
+                write!(f, "{func:?} calls non-existent function {callee:?}")
+            }
+            ValidationError::BadArity {
+                func,
+                callee,
+                got,
+                expected,
+            } => write!(
+                f,
+                "{func:?} calls {callee:?} with {got} arguments, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl Program {
+    /// Checks structural invariants: entry exists, all branch targets and
+    /// callees exist, call arities match, and register references are within
+    /// each function's register file.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        if self.entry.0 as usize >= self.functions.len() {
+            return Err(ValidationError::BadEntry(self.entry));
+        }
+        for (fi, function) in self.functions.iter().enumerate() {
+            let func = FuncId(fi as u32);
+            let check_reg = |reg: RegId| -> Result<(), ValidationError> {
+                if (reg.0 as usize) < function.num_regs {
+                    Ok(())
+                } else {
+                    Err(ValidationError::BadRegister { func, reg })
+                }
+            };
+            let check_operand = |op: &Operand| -> Result<(), ValidationError> {
+                match op {
+                    Operand::Reg(r) => check_reg(*r),
+                    Operand::Const(..) => Ok(()),
+                }
+            };
+            let check_block = |b: BlockId| -> Result<(), ValidationError> {
+                if (b.0 as usize) < function.blocks.len() {
+                    Ok(())
+                } else {
+                    Err(ValidationError::BadBlockTarget { func, target: b })
+                }
+            };
+            check_block(function.entry)?;
+            for (bi, block) in function.blocks.iter().enumerate() {
+                for instr in &block.instrs {
+                    match instr {
+                        Instr::Assign { dst, rvalue, .. } => {
+                            check_reg(*dst)?;
+                            match rvalue {
+                                Rvalue::Use(a)
+                                | Rvalue::Unary(_, a)
+                                | Rvalue::ZExt(a, _)
+                                | Rvalue::SExt(a, _)
+                                | Rvalue::Trunc(a, _) => check_operand(a)?,
+                                Rvalue::Binary(_, a, b) => {
+                                    check_operand(a)?;
+                                    check_operand(b)?;
+                                }
+                                Rvalue::Select(c, a, b) => {
+                                    check_operand(c)?;
+                                    check_operand(a)?;
+                                    check_operand(b)?;
+                                }
+                            }
+                        }
+                        Instr::Load { dst, addr, .. } => {
+                            check_reg(*dst)?;
+                            check_operand(addr)?;
+                        }
+                        Instr::Store { addr, value, .. } => {
+                            check_operand(addr)?;
+                            check_operand(value)?;
+                        }
+                        Instr::Alloc { dst, size, .. } => {
+                            check_reg(*dst)?;
+                            check_operand(size)?;
+                        }
+                        Instr::Free { addr, .. } => check_operand(addr)?,
+                        Instr::Call {
+                            dst, func: callee, args, ..
+                        } => {
+                            if let Some(d) = dst {
+                                check_reg(*d)?;
+                            }
+                            let callee_fn = self
+                                .functions
+                                .get(callee.0 as usize)
+                                .ok_or(ValidationError::BadCallee {
+                                    func,
+                                    callee: *callee,
+                                })?;
+                            if callee_fn.num_params != args.len() {
+                                return Err(ValidationError::BadArity {
+                                    func,
+                                    callee: *callee,
+                                    got: args.len(),
+                                    expected: callee_fn.num_params,
+                                });
+                            }
+                            for a in args {
+                                check_operand(a)?;
+                            }
+                        }
+                        Instr::Syscall { dst, args, .. } => {
+                            check_reg(*dst)?;
+                            for a in args {
+                                check_operand(a)?;
+                            }
+                        }
+                        Instr::Assert { cond, .. } => check_operand(cond)?,
+                    }
+                }
+                match &block.terminator {
+                    None => {
+                        return Err(ValidationError::MissingTerminator {
+                            func,
+                            block: BlockId(bi as u32),
+                        })
+                    }
+                    Some(Terminator::Jump { target, .. }) => check_block(*target)?,
+                    Some(Terminator::Branch {
+                        cond,
+                        then_block,
+                        else_block,
+                        ..
+                    }) => {
+                        check_operand(cond)?;
+                        check_block(*then_block)?;
+                        check_block(*else_block)?;
+                    }
+                    Some(Terminator::Return { value, .. }) => {
+                        if let Some(v) = value {
+                            check_operand(v)?;
+                        }
+                    }
+                    Some(Terminator::Abort { .. }) => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}

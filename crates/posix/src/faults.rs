@@ -1,0 +1,74 @@
+//! Fault-injection configuration and accounting.
+//!
+//! §5.1 of the paper: "Calls in a POSIX system can return an error code when
+//! they fail. […] Such error return codes are simulated by Cloud9 whenever
+//! fault injection is turned on." Fault injection can be enabled globally
+//! (`cloud9_fi_enable` / `cloud9_fi_disable`, Table 2) or per descriptor
+//! (the `SIO_FAULT_INJ` ioctl, Table 3).
+
+/// Fault-injection switches and per-path accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultState {
+    /// Whether fault injection is globally enabled.
+    pub global_enabled: bool,
+    /// Number of faults injected along this path. The fault-injection
+    /// exploration strategy of §7.3.3 favours states with fewer injected
+    /// faults, which yields "one fault first, then pairs of faults, …".
+    pub injected: u64,
+    /// Upper bound on the number of faults injected along one path
+    /// (0 = unlimited). Keeping this small bounds path explosion.
+    pub max_faults_per_path: u64,
+}
+
+impl FaultState {
+    /// Whether a fault may be injected for an operation on a descriptor with
+    /// the given per-descriptor flag.
+    pub fn should_consider(&self, fd_flag: bool) -> bool {
+        if !(self.global_enabled || fd_flag) {
+            return false;
+        }
+        self.max_faults_per_path == 0 || self.injected < self.max_faults_per_path
+    }
+
+    /// Records that a fault was injected along this path.
+    pub fn record_injection(&mut self) {
+        self.injected += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        let f = FaultState::default();
+        assert!(!f.should_consider(false));
+        assert!(f.should_consider(true), "per-fd flag enables injection");
+    }
+
+    #[test]
+    fn global_switch() {
+        let mut f = FaultState {
+            global_enabled: true,
+            ..FaultState::default()
+        };
+        assert!(f.should_consider(false));
+        f.global_enabled = false;
+        assert!(!f.should_consider(false));
+    }
+
+    #[test]
+    fn per_path_limit() {
+        let mut f = FaultState {
+            global_enabled: true,
+            max_faults_per_path: 2,
+            ..FaultState::default()
+        };
+        assert!(f.should_consider(false));
+        f.record_injection();
+        f.record_injection();
+        assert!(!f.should_consider(false));
+        assert_eq!(f.injected, 2);
+    }
+}

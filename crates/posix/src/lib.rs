@@ -1,0 +1,90 @@
+//! The symbolic POSIX environment model for Cloud9-RS.
+//!
+//! This crate reproduces §4 and §5 of the Cloud9 paper: a quasi-complete
+//! model of the POSIX interface — files, pipes, TCP/UDP sockets, `select`
+//! polling, descriptor-level symbolic input, packet fragmentation, and fault
+//! injection — together with the guest-side pthreads layer built on the
+//! engine primitives of Table 1.
+//!
+//! * [`PosixEnvironment`] / [`PosixState`] — the host-side syscall handlers
+//!   and their per-path state (descriptor tables, stream buffers, sockets,
+//!   the modelled file system). Register a `PosixEnvironment` with a
+//!   [`c9_vm::Engine`] or `Executor`.
+//! * [`nr`] — syscall numbers, the extended ioctl codes of Table 3
+//!   (`SIO_SYMBOLIC`, `SIO_PKT_FRAGMENT`, `SIO_FAULT_INJ`), and error values.
+//! * [`libc`](crate::add_libc) — guest IR implementations of
+//!   `pthread_mutex_*` and `pthread_cond_*` (Fig. 5 of the paper), emitted
+//!   into a [`c9_ir::ProgramBuilder`].
+//!
+//! # Writing symbolic tests
+//!
+//! A symbolic test (§5 of the paper) is just target code that uses the
+//! testing API: it marks data symbolic with `cloud9_make_symbolic`
+//! ([`c9_vm::sysno::MAKE_SYMBOLIC`]), turns descriptors into symbolic sources
+//! with `ioctl(fd, SIO_SYMBOLIC, n)`, enables packet fragmentation or fault
+//! injection, and then exercises the code under test. See the `c9-targets`
+//! crate for complete examples (memcached-style symbolic packets, lighttpd
+//! fragmentation patterns, fault-injection sweeps).
+//!
+//! # Examples
+//!
+//! Run a tiny "server" that reads one symbolic byte from a socket and
+//! branches on it:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use c9_ir::{BinaryOp, Operand, ProgramBuilder, Width};
+//! use c9_posix::{nr, PosixEnvironment};
+//! use c9_vm::{sysno, DfsSearcher, Engine, EngineConfig};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let mut f = pb.function("main", 0, Some(Width::W32));
+//! let sock = f.syscall(nr::SOCKET, vec![Operand::word(0)]);
+//! f.syscall(nr::IOCTL, vec![
+//!     Operand::Reg(sock),
+//!     Operand::Const(nr::SIO_SYMBOLIC, Width::W64),
+//!     Operand::word(1),
+//! ]);
+//! let buf = f.alloc(Operand::word(1));
+//! f.syscall(nr::RECV, vec![Operand::Reg(sock), Operand::Reg(buf), Operand::word(1)]);
+//! let b = f.load(Operand::Reg(buf), Width::W8);
+//! let is_q = f.binary(BinaryOp::Eq, Operand::Reg(b), Operand::byte(b'q'));
+//! let quit = f.create_block();
+//! let keep = f.create_block();
+//! f.branch(Operand::Reg(is_q), quit, keep);
+//! f.switch_to(quit);
+//! f.ret(Some(Operand::word(1)));
+//! f.switch_to(keep);
+//! f.ret(Some(Operand::word(0)));
+//! let main = f.finish();
+//! pb.set_entry(main);
+//!
+//! let mut engine = Engine::new(
+//!     Arc::new(pb.finish()),
+//!     Arc::new(PosixEnvironment::new()),
+//!     Box::new(DfsSearcher::new()),
+//!     EngineConfig::default(),
+//! );
+//! let summary = engine.run();
+//! assert_eq!(summary.paths_completed, 2);
+//! # let _ = sysno::EXIT;
+//! ```
+
+mod buffers;
+mod faults;
+mod libc;
+mod model;
+pub mod nr;
+mod objects;
+
+pub use buffers::{BlockBuffer, StreamBuffer, DEFAULT_STREAM_CAPACITY};
+pub use faults::FaultState;
+pub use libc::{add_libc, Libc, COND_SIZE, MUTEX_SIZE};
+pub use model::{PosixConfig, PosixEnvironment, PosixState};
+pub use objects::{
+    Datagram, FdEntry, FdFlags, FdObject, FdTable, FileSystem, Network, ObjectTables, OpenFile,
+    Socket, SocketIdx, SocketKind, SocketState, StreamIdx,
+};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,215 @@
+//! Guest-side C-library layer built on the engine primitives.
+//!
+//! The paper's POSIX model implements synchronization in *guest* code on top
+//! of the symbolic system calls (Fig. 5 shows `pthread_mutex_lock`/`unlock`
+//! written against `cloud9_thread_sleep`/`notify`). This module reproduces
+//! that layer: it emits the corresponding IR functions into a
+//! [`ProgramBuilder`], so target programs link against them exactly like a C
+//! program links against the modelled pthreads library.
+//!
+//! Memory layout of the modelled objects (all fields 32-bit little-endian):
+//!
+//! * mutex (16 bytes): `wlist`, `taken`, `owner`, `queued`
+//! * condition variable (4 bytes): `wlist`
+
+use c9_ir::{BinaryOp, FuncId, Operand, ProgramBuilder, RegId, Width};
+use c9_vm::sysno;
+
+/// Function ids of the emitted C-library routines.
+#[derive(Clone, Copy, Debug)]
+pub struct Libc {
+    /// `pthread_mutex_init(mutex_ptr)`.
+    pub mutex_init: FuncId,
+    /// `pthread_mutex_lock(mutex_ptr)` → 0.
+    pub mutex_lock: FuncId,
+    /// `pthread_mutex_unlock(mutex_ptr)` → 0 or -1 (EPERM).
+    pub mutex_unlock: FuncId,
+    /// `pthread_cond_init(cond_ptr)`.
+    pub cond_init: FuncId,
+    /// `pthread_cond_wait(cond_ptr, mutex_ptr)`.
+    pub cond_wait: FuncId,
+    /// `pthread_cond_signal(cond_ptr)`.
+    pub cond_signal: FuncId,
+    /// `pthread_cond_broadcast(cond_ptr)`.
+    pub cond_broadcast: FuncId,
+    /// `pthread_self()` → current thread id.
+    pub thread_self: FuncId,
+}
+
+/// Size of a modelled `pthread_mutex_t`, in bytes.
+pub const MUTEX_SIZE: u32 = 16;
+/// Size of a modelled `pthread_cond_t`, in bytes.
+pub const COND_SIZE: u32 = 4;
+
+const MUTEX_WLIST: u32 = 0;
+const MUTEX_TAKEN: u32 = 4;
+const MUTEX_OWNER: u32 = 8;
+const MUTEX_QUEUED: u32 = 12;
+
+fn field(f: &mut c9_ir::FunctionBuilder<'_>, base: RegId, offset: u32) -> RegId {
+    f.binary(BinaryOp::Add, Operand::Reg(base), Operand::word(offset))
+}
+
+/// Emits the C-library routines into `pb` and returns their ids.
+pub fn add_libc(pb: &mut ProgramBuilder) -> Libc {
+    let thread_self = build_thread_self(pb);
+    let mutex_init = build_mutex_init(pb);
+    let mutex_lock = build_mutex_lock(pb, thread_self);
+    let mutex_unlock = build_mutex_unlock(pb, thread_self);
+    let cond_init = build_cond_init(pb);
+    let cond_signal = build_cond_notify(pb, "pthread_cond_signal", 0);
+    let cond_broadcast = build_cond_notify(pb, "pthread_cond_broadcast", 1);
+    let cond_wait = build_cond_wait(pb, mutex_lock, mutex_unlock);
+    Libc {
+        mutex_init,
+        mutex_lock,
+        mutex_unlock,
+        cond_init,
+        cond_wait,
+        cond_signal,
+        cond_broadcast,
+        thread_self,
+    }
+}
+
+fn build_thread_self(pb: &mut ProgramBuilder) -> FuncId {
+    let mut f = pb.function("pthread_self", 0, Some(Width::W32));
+    let ctx = f.syscall(sysno::GET_CONTEXT, vec![]);
+    let tid = f.binary(BinaryOp::And, Operand::Reg(ctx), Operand::Const(0xffff, Width::W64));
+    let tid32 = f.trunc(Operand::Reg(tid), Width::W32);
+    f.ret(Some(Operand::Reg(tid32)));
+    f.finish()
+}
+
+fn build_mutex_init(pb: &mut ProgramBuilder) -> FuncId {
+    let mut f = pb.function("pthread_mutex_init", 1, Some(Width::W32));
+    let m = f.param(0);
+    let wlist = f.syscall(sysno::GET_WLIST, vec![]);
+    let wlist32 = f.trunc(Operand::Reg(wlist), Width::W32);
+    let wlist_addr = field(&mut f, m, MUTEX_WLIST);
+    f.store(Operand::Reg(wlist_addr), Operand::Reg(wlist32), Width::W32);
+    for offset in [MUTEX_TAKEN, MUTEX_OWNER, MUTEX_QUEUED] {
+        let addr = field(&mut f, m, offset);
+        f.store(Operand::Reg(addr), Operand::word(0), Width::W32);
+    }
+    f.ret(Some(Operand::word(0)));
+    f.finish()
+}
+
+/// Fig. 5 of the paper, transliterated to IR: wait while the mutex is taken
+/// or has queued waiters, then take it.
+fn build_mutex_lock(pb: &mut ProgramBuilder, thread_self: FuncId) -> FuncId {
+    let mut f = pb.function("pthread_mutex_lock", 1, Some(Width::W32));
+    let m = f.param(0);
+    let wait_bb = f.create_block();
+    let take_bb = f.create_block();
+
+    let queued_addr = field(&mut f, m, MUTEX_QUEUED);
+    let taken_addr = field(&mut f, m, MUTEX_TAKEN);
+    let queued = f.load(Operand::Reg(queued_addr), Width::W32);
+    let taken = f.load(Operand::Reg(taken_addr), Width::W32);
+    let queued_pos = f.binary(BinaryOp::Ne, Operand::Reg(queued), Operand::word(0));
+    let taken_set = f.binary(BinaryOp::Ne, Operand::Reg(taken), Operand::word(0));
+    let need_wait = f.binary(BinaryOp::Or, Operand::Reg(queued_pos), Operand::Reg(taken_set));
+    f.branch(Operand::Reg(need_wait), wait_bb, take_bb);
+
+    f.switch_to(wait_bb);
+    let queued_addr_w = field(&mut f, m, MUTEX_QUEUED);
+    let q = f.load(Operand::Reg(queued_addr_w), Width::W32);
+    let q_inc = f.binary(BinaryOp::Add, Operand::Reg(q), Operand::word(1));
+    f.store(Operand::Reg(queued_addr_w), Operand::Reg(q_inc), Width::W32);
+    let wlist_addr = field(&mut f, m, MUTEX_WLIST);
+    let wlist = f.load(Operand::Reg(wlist_addr), Width::W32);
+    f.syscall(sysno::THREAD_SLEEP, vec![Operand::Reg(wlist)]);
+    let q2 = f.load(Operand::Reg(queued_addr_w), Width::W32);
+    let q_dec = f.binary(BinaryOp::Sub, Operand::Reg(q2), Operand::word(1));
+    f.store(Operand::Reg(queued_addr_w), Operand::Reg(q_dec), Width::W32);
+    f.jump(take_bb);
+
+    f.switch_to(take_bb);
+    let taken_addr2 = field(&mut f, m, MUTEX_TAKEN);
+    f.store(Operand::Reg(taken_addr2), Operand::word(1), Width::W32);
+    let me = f.call(thread_self, vec![]);
+    let owner_addr = field(&mut f, m, MUTEX_OWNER);
+    f.store(Operand::Reg(owner_addr), Operand::Reg(me), Width::W32);
+    f.ret(Some(Operand::word(0)));
+    f.finish()
+}
+
+fn build_mutex_unlock(pb: &mut ProgramBuilder, thread_self: FuncId) -> FuncId {
+    let mut f = pb.function("pthread_mutex_unlock", 1, Some(Width::W32));
+    let m = f.param(0);
+    let error_bb = f.create_block();
+    let release_bb = f.create_block();
+    let notify_bb = f.create_block();
+    let done_bb = f.create_block();
+
+    let taken_addr = field(&mut f, m, MUTEX_TAKEN);
+    let taken = f.load(Operand::Reg(taken_addr), Width::W32);
+    let not_taken = f.binary(BinaryOp::Eq, Operand::Reg(taken), Operand::word(0));
+    let owner_addr = field(&mut f, m, MUTEX_OWNER);
+    let owner = f.load(Operand::Reg(owner_addr), Width::W32);
+    let me = f.call(thread_self, vec![]);
+    let not_owner = f.binary(BinaryOp::Ne, Operand::Reg(owner), Operand::Reg(me));
+    let bad = f.binary(BinaryOp::Or, Operand::Reg(not_taken), Operand::Reg(not_owner));
+    f.branch(Operand::Reg(bad), error_bb, release_bb);
+
+    f.switch_to(error_bb);
+    // EPERM, as in Fig. 5.
+    f.ret(Some(Operand::Const(u64::MAX, Width::W32)));
+
+    f.switch_to(release_bb);
+    let taken_addr2 = field(&mut f, m, MUTEX_TAKEN);
+    f.store(Operand::Reg(taken_addr2), Operand::word(0), Width::W32);
+    let queued_addr = field(&mut f, m, MUTEX_QUEUED);
+    let queued = f.load(Operand::Reg(queued_addr), Width::W32);
+    let has_waiters = f.binary(BinaryOp::Ne, Operand::Reg(queued), Operand::word(0));
+    f.branch(Operand::Reg(has_waiters), notify_bb, done_bb);
+
+    f.switch_to(notify_bb);
+    let wlist_addr = field(&mut f, m, MUTEX_WLIST);
+    let wlist = f.load(Operand::Reg(wlist_addr), Width::W32);
+    f.syscall(
+        sysno::THREAD_NOTIFY,
+        vec![Operand::Reg(wlist), Operand::word(0)],
+    );
+    f.jump(done_bb);
+
+    f.switch_to(done_bb);
+    f.ret(Some(Operand::word(0)));
+    f.finish()
+}
+
+fn build_cond_init(pb: &mut ProgramBuilder) -> FuncId {
+    let mut f = pb.function("pthread_cond_init", 1, Some(Width::W32));
+    let c = f.param(0);
+    let wlist = f.syscall(sysno::GET_WLIST, vec![]);
+    let wlist32 = f.trunc(Operand::Reg(wlist), Width::W32);
+    f.store(Operand::Reg(c), Operand::Reg(wlist32), Width::W32);
+    f.ret(Some(Operand::word(0)));
+    f.finish()
+}
+
+fn build_cond_notify(pb: &mut ProgramBuilder, name: &str, all: u32) -> FuncId {
+    let mut f = pb.function(name, 1, Some(Width::W32));
+    let c = f.param(0);
+    let wlist = f.load(Operand::Reg(c), Width::W32);
+    f.syscall(
+        sysno::THREAD_NOTIFY,
+        vec![Operand::Reg(wlist), Operand::word(all)],
+    );
+    f.ret(Some(Operand::word(0)));
+    f.finish()
+}
+
+fn build_cond_wait(pb: &mut ProgramBuilder, mutex_lock: FuncId, mutex_unlock: FuncId) -> FuncId {
+    let mut f = pb.function("pthread_cond_wait", 2, Some(Width::W32));
+    let c = f.param(0);
+    let m = f.param(1);
+    let _ = f.call(mutex_unlock, vec![Operand::Reg(m)]);
+    let wlist = f.load(Operand::Reg(c), Width::W32);
+    f.syscall(sysno::THREAD_SLEEP, vec![Operand::Reg(wlist)]);
+    let _ = f.call(mutex_lock, vec![Operand::Reg(m)]);
+    f.ret(Some(Operand::word(0)));
+    f.finish()
+}

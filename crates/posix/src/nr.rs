@@ -1,0 +1,98 @@
+//! POSIX-model syscall numbers, ioctl codes, and error values.
+//!
+//! All numbers are ≥ [`c9_ir::Program::ENV_SYSCALL_BASE`] so the executor
+//! routes them to the [`crate::PosixEnvironment`]. Engine primitives (Table 1
+//! of the paper) live in [`c9_vm::sysno`].
+
+/// `open(path_ptr, flags)` → fd or [`ERR`].
+pub const OPEN: u32 = 100;
+/// `close(fd)`.
+pub const CLOSE: u32 = 101;
+/// `read(fd, buf, len)` → bytes read, 0 at EOF, or [`ERR`].
+pub const READ: u32 = 102;
+/// `write(fd, buf, len)` → bytes written or [`ERR`].
+pub const WRITE: u32 = 103;
+/// `lseek(fd, offset, whence)` → new offset or [`ERR`].
+pub const LSEEK: u32 = 104;
+/// `fstat_size(fd)` → file size or [`ERR`] (simplified stat).
+pub const FSTAT_SIZE: u32 = 105;
+/// `dup(fd)` → new fd or [`ERR`].
+pub const DUP: u32 = 106;
+/// `unlink(path_ptr)`.
+pub const UNLINK: u32 = 107;
+
+/// `socket(kind)` → fd; `kind` 0 = TCP (stream), 1 = UDP (datagram).
+pub const SOCKET: u32 = 110;
+/// `bind(fd, port)`.
+pub const BIND: u32 = 111;
+/// `listen(fd, backlog)`.
+pub const LISTEN: u32 = 112;
+/// `accept(fd)` → connected fd (blocks until a connection arrives).
+pub const ACCEPT: u32 = 113;
+/// `connect(fd, port)` → 0 or [`ERR`].
+pub const CONNECT: u32 = 114;
+/// `send(fd, buf, len)` → bytes sent or [`ERR`].
+pub const SEND: u32 = 115;
+/// `recv(fd, buf, len)` → bytes received, 0 on orderly shutdown, or [`ERR`].
+pub const RECV: u32 = 116;
+/// `shutdown(fd)` — closes the write side of a connection.
+pub const SHUTDOWN: u32 = 117;
+/// `recvfrom(fd, buf, len)` — datagram receive (UDP).
+pub const RECVFROM: u32 = 118;
+/// `sendto(fd, buf, len, port)` — datagram send (UDP).
+pub const SENDTO: u32 = 119;
+
+/// `pipe(fds_ptr)` — writes two fds (read end, write end) to guest memory.
+pub const PIPE: u32 = 120;
+/// `select(nfds, readfds_ptr, writefds_ptr)` → number of ready descriptors;
+/// blocks when none are ready. The fd sets are 64-bit masks in guest memory.
+pub const SELECT: u32 = 121;
+
+/// `ioctl(fd, code, arg)` — see the `SIO_*` codes below.
+pub const IOCTL: u32 = 130;
+/// `cloud9_fi_enable()` — enable fault injection globally (Table 2).
+pub const FI_ENABLE: u32 = 131;
+/// `cloud9_fi_disable()` — disable fault injection globally (Table 2).
+pub const FI_DISABLE: u32 = 132;
+
+/// `mutex`-free time source: returns a monotonically increasing counter.
+pub const GETTIME: u32 = 150;
+/// `mmap_anon(len)` → address of a fresh zeroed allocation (simplified mmap).
+pub const MMAP_ANON: u32 = 151;
+/// `getpid()` → pid of the calling process.
+pub const GETPID: u32 = 152;
+
+// ---------------------------------------------------------------------------
+// Extended ioctl codes (Table 3 of the paper).
+// ---------------------------------------------------------------------------
+
+/// Turns this file or socket into a source of symbolic input. The ioctl
+/// argument is the maximum number of symbolic bytes the descriptor produces.
+pub const SIO_SYMBOLIC: u64 = 1;
+/// Enables symbolic packet fragmentation on this (stream) descriptor: each
+/// read returns a symbolically-chosen prefix of the requested length.
+pub const SIO_PKT_FRAGMENT: u64 = 2;
+/// Enables fault injection for operations on this descriptor.
+pub const SIO_FAULT_INJ: u64 = 3;
+
+// ---------------------------------------------------------------------------
+// Return values and errno-style codes.
+// ---------------------------------------------------------------------------
+
+/// The error return value (-1 as an unsigned 64-bit pattern).
+pub const ERR: u64 = u64::MAX;
+
+/// Whence values for `lseek`.
+pub const SEEK_SET: u64 = 0;
+/// Seek relative to the current offset.
+pub const SEEK_CUR: u64 = 1;
+/// Seek relative to the end of the file.
+pub const SEEK_END: u64 = 2;
+
+/// `open` flag: create the file if it does not exist.
+pub const O_CREAT: u64 = 0x40;
+
+/// Socket kind passed to [`SOCKET`]: TCP stream socket.
+pub const SOCK_STREAM: u64 = 0;
+/// Socket kind passed to [`SOCKET`]: UDP datagram socket.
+pub const SOCK_DGRAM: u64 = 1;

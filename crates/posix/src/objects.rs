@@ -1,0 +1,347 @@
+//! File descriptors, files, sockets, pipes, and the modelled file system.
+
+use crate::buffers::{BlockBuffer, StreamBuffer};
+use c9_vm::{ByteValue, WaitListId};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Index of a stream buffer in [`crate::PosixState`].
+pub type StreamIdx = usize;
+/// Index of a socket in [`crate::PosixState`].
+pub type SocketIdx = usize;
+/// Index of an open file description in [`crate::PosixState`].
+pub type FileIdx = usize;
+
+/// The object a file descriptor refers to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FdObject {
+    /// A regular file in the modelled file system.
+    File(FileIdx),
+    /// A socket.
+    Socket(SocketIdx),
+    /// The read end of a pipe.
+    PipeRead(StreamIdx),
+    /// The write end of a pipe.
+    PipeWrite(StreamIdx),
+    /// Standard input.
+    Stdin,
+    /// Standard output.
+    Stdout,
+    /// Standard error.
+    Stderr,
+}
+
+/// Per-descriptor flags controlled through the extended ioctl codes of
+/// Table 3 in the paper.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FdFlags {
+    /// When set, reads from this descriptor produce fresh symbolic bytes; the
+    /// value is the number of symbolic bytes remaining.
+    pub symbolic_budget: Option<u64>,
+    /// When set, stream reads return a symbolically-chosen prefix of the
+    /// requested length (packet fragmentation).
+    pub fragment: bool,
+    /// When set, operations on this descriptor are subject to fault
+    /// injection.
+    pub fault_inject: bool,
+}
+
+/// One slot in a process's file descriptor table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FdEntry {
+    /// The object the descriptor refers to.
+    pub object: FdObject,
+    /// Per-descriptor testing flags.
+    pub flags: FdFlags,
+}
+
+impl FdEntry {
+    /// Creates an entry with default flags.
+    pub fn new(object: FdObject) -> FdEntry {
+        FdEntry {
+            object,
+            flags: FdFlags::default(),
+        }
+    }
+}
+
+/// A file descriptor table (one per process; inherited on fork by cloning).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FdTable {
+    entries: Vec<Option<FdEntry>>,
+}
+
+impl FdTable {
+    /// Creates a table with stdin/stdout/stderr preopened as fds 0–2.
+    pub fn with_stdio() -> FdTable {
+        FdTable {
+            entries: vec![
+                Some(FdEntry::new(FdObject::Stdin)),
+                Some(FdEntry::new(FdObject::Stdout)),
+                Some(FdEntry::new(FdObject::Stderr)),
+            ],
+        }
+    }
+
+    /// Installs an entry in the lowest free slot and returns its fd.
+    pub fn install(&mut self, entry: FdEntry) -> u64 {
+        for (i, slot) in self.entries.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(entry);
+                return i as u64;
+            }
+        }
+        self.entries.push(Some(entry));
+        (self.entries.len() - 1) as u64
+    }
+
+    /// Looks up a descriptor.
+    pub fn get(&self, fd: u64) -> Option<&FdEntry> {
+        self.entries.get(fd as usize).and_then(|e| e.as_ref())
+    }
+
+    /// Looks up a descriptor mutably.
+    pub fn get_mut(&mut self, fd: u64) -> Option<&mut FdEntry> {
+        self.entries.get_mut(fd as usize).and_then(|e| e.as_mut())
+    }
+
+    /// Removes a descriptor, returning its entry.
+    pub fn remove(&mut self, fd: u64) -> Option<FdEntry> {
+        self.entries.get_mut(fd as usize).and_then(|e| e.take())
+    }
+
+    /// Number of live descriptors.
+    pub fn live(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+}
+
+/// An open file description: the file path plus the current offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpenFile {
+    /// Path of the file within the modelled file system.
+    pub path: String,
+    /// Current read/write offset.
+    pub offset: usize,
+}
+
+/// The modelled file system: a flat namespace of block buffers.
+///
+/// Concrete files play the role of the read-only "external environment"
+/// files of the paper (e.g. `/etc` configuration files); symbolic files are
+/// created by symbolic tests.
+#[derive(Clone, Debug, Default)]
+pub struct FileSystem {
+    files: BTreeMap<String, BlockBuffer>,
+}
+
+impl FileSystem {
+    /// Creates an empty file system.
+    pub fn new() -> FileSystem {
+        FileSystem::default()
+    }
+
+    /// Adds (or replaces) a file with concrete contents.
+    pub fn add_file(&mut self, path: &str, contents: &[u8]) {
+        self.files
+            .insert(path.to_string(), BlockBuffer::from_bytes(contents));
+    }
+
+    /// Adds (or replaces) a file with the given (possibly symbolic) contents.
+    pub fn add_file_values(&mut self, path: &str, contents: Vec<ByteValue>) {
+        self.files
+            .insert(path.to_string(), BlockBuffer::from_values(contents));
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Creates an empty file if it does not exist.
+    pub fn create(&mut self, path: &str) {
+        self.files
+            .entry(path.to_string())
+            .or_insert_with(|| BlockBuffer::zeroed(0));
+    }
+
+    /// Removes a file; returns whether it existed.
+    pub fn unlink(&mut self, path: &str) -> bool {
+        self.files.remove(path).is_some()
+    }
+
+    /// Read-only access to a file's contents.
+    pub fn file(&self, path: &str) -> Option<&BlockBuffer> {
+        self.files.get(path)
+    }
+
+    /// Mutable access to a file's contents.
+    pub fn file_mut(&mut self, path: &str) -> Option<&mut BlockBuffer> {
+        self.files.get_mut(path)
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the file system holds no files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+/// A datagram queued on a UDP socket.
+#[derive(Clone, Debug)]
+pub struct Datagram {
+    /// Payload bytes (possibly symbolic).
+    pub data: Vec<ByteValue>,
+    /// Source port, when known.
+    pub from_port: u16,
+}
+
+/// The state of a socket.
+#[derive(Clone, Debug)]
+pub enum SocketState {
+    /// Freshly created, not yet bound or connected.
+    Created,
+    /// A TCP socket listening on a port.
+    Listening {
+        /// Bound port.
+        port: u16,
+        /// Accepted-side connection sockets waiting for `accept`.
+        pending: VecDeque<SocketIdx>,
+        /// Threads blocked in `accept`.
+        accept_waiters: Option<WaitListId>,
+    },
+    /// A connected TCP socket.
+    Connected {
+        /// Stream carrying data this socket sends.
+        tx: StreamIdx,
+        /// Stream carrying data this socket receives.
+        rx: StreamIdx,
+    },
+    /// A UDP socket (bound or not).
+    Udp {
+        /// Bound port, if any.
+        port: Option<u16>,
+        /// Received datagrams awaiting `recvfrom`.
+        rx_packets: VecDeque<Datagram>,
+        /// Threads blocked in `recvfrom`.
+        recv_waiters: Option<WaitListId>,
+    },
+    /// Closed.
+    Closed,
+}
+
+/// The kind of a socket, fixed at creation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SocketKind {
+    /// Stream (TCP-like) socket.
+    Stream,
+    /// Datagram (UDP-like) socket.
+    Datagram,
+}
+
+/// A socket object (§4.3, Fig. 6: a connection is a pair of stream buffers).
+#[derive(Clone, Debug)]
+pub struct Socket {
+    /// Stream vs. datagram.
+    pub kind: SocketKind,
+    /// Current state.
+    pub state: SocketState,
+}
+
+impl Socket {
+    /// Creates a fresh socket of the given kind.
+    pub fn new(kind: SocketKind) -> Socket {
+        Socket {
+            kind,
+            state: SocketState::Created,
+        }
+    }
+}
+
+/// The single-IP modelled network: ports that sockets listen on.
+#[derive(Clone, Debug, Default)]
+pub struct Network {
+    /// TCP listeners by port.
+    pub tcp_listeners: BTreeMap<u16, SocketIdx>,
+    /// UDP sockets by bound port.
+    pub udp_bound: BTreeMap<u16, SocketIdx>,
+}
+
+/// The full set of kernel-object tables of the POSIX model.
+#[derive(Clone, Debug, Default)]
+pub struct ObjectTables {
+    /// All stream buffers (socket directions and pipes).
+    pub streams: Vec<StreamBuffer>,
+    /// All sockets.
+    pub sockets: Vec<Socket>,
+    /// All open file descriptions.
+    pub open_files: Vec<OpenFile>,
+}
+
+impl ObjectTables {
+    /// Adds a stream buffer and returns its index.
+    pub fn add_stream(&mut self, stream: StreamBuffer) -> StreamIdx {
+        self.streams.push(stream);
+        self.streams.len() - 1
+    }
+
+    /// Adds a socket and returns its index.
+    pub fn add_socket(&mut self, socket: Socket) -> SocketIdx {
+        self.sockets.push(socket);
+        self.sockets.len() - 1
+    }
+
+    /// Adds an open file description and returns its index.
+    pub fn add_open_file(&mut self, file: OpenFile) -> FileIdx {
+        self.open_files.push(file);
+        self.open_files.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_table_reuses_lowest_free_slot() {
+        let mut t = FdTable::with_stdio();
+        let a = t.install(FdEntry::new(FdObject::Stdin));
+        assert_eq!(a, 3);
+        t.remove(1);
+        let b = t.install(FdEntry::new(FdObject::Stdout));
+        assert_eq!(b, 1, "freed slot must be reused");
+        assert_eq!(t.live(), 4);
+    }
+
+    #[test]
+    fn file_system_basic_operations() {
+        let mut fs = FileSystem::new();
+        assert!(fs.is_empty());
+        fs.add_file("/etc/config", b"key=value");
+        assert!(fs.exists("/etc/config"));
+        assert_eq!(fs.file("/etc/config").unwrap().len(), 9);
+        fs.create("/tmp/new");
+        assert!(fs.exists("/tmp/new"));
+        assert!(fs.unlink("/tmp/new"));
+        assert!(!fs.unlink("/tmp/new"));
+        assert_eq!(fs.len(), 1);
+    }
+
+    #[test]
+    fn object_tables_hand_out_sequential_indices() {
+        let mut t = ObjectTables::default();
+        assert_eq!(t.add_stream(StreamBuffer::new()), 0);
+        assert_eq!(t.add_stream(StreamBuffer::new()), 1);
+        assert_eq!(t.add_socket(Socket::new(SocketKind::Stream)), 0);
+        assert_eq!(
+            t.add_open_file(OpenFile {
+                path: "/x".into(),
+                offset: 0
+            }),
+            0
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Query and model caches.
+//!
+//! The Cloud9 paper (§6, "Constraint Caches") notes that states transferred
+//! between workers arrive without the source worker's solver cache, and that
+//! the relevant part of the cache is rebuilt during path replay. These caches
+//! are therefore owned by the [`crate::Solver`] instance of each worker, not
+//! by the execution states.
+
+use c9_expr::{Assignment, ExprRef};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Computes a stable fingerprint for a query (constraints + optional query
+/// expression). Colliding fingerprints are disambiguated by storing the full
+/// key alongside the entry.
+fn fingerprint(constraints: &[ExprRef], query: Option<&ExprRef>) -> u64 {
+    let mut h = DefaultHasher::new();
+    for c in constraints {
+        c.hash(&mut h);
+    }
+    if let Some(q) = query {
+        1u8.hash(&mut h);
+        q.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Cache of satisfiability answers keyed by the exact constraint set.
+#[derive(Debug, Default)]
+pub struct QueryCache {
+    entries: HashMap<u64, Vec<(Vec<ExprRef>, Option<ExprRef>, bool)>>,
+    hits: u64,
+    misses: u64,
+    capacity: usize,
+    len: usize,
+}
+
+impl QueryCache {
+    /// Creates a cache bounded to `capacity` entries.
+    pub fn new(capacity: usize) -> QueryCache {
+        QueryCache {
+            capacity,
+            ..QueryCache::default()
+        }
+    }
+
+    /// Looks up a previously-computed satisfiability answer.
+    pub fn get(&mut self, constraints: &[ExprRef], query: Option<&ExprRef>) -> Option<bool> {
+        let fp = fingerprint(constraints, query);
+        let found = self.entries.get(&fp).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|(c, q, _)| c.as_slice() == constraints && q.as_ref() == query)
+                .map(|(_, _, sat)| *sat)
+        });
+        if found.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        found
+    }
+
+    /// Records a satisfiability answer.
+    pub fn insert(&mut self, constraints: &[ExprRef], query: Option<&ExprRef>, sat: bool) {
+        if self.len >= self.capacity {
+            // Simple wholesale eviction: the cache is an optimization, and
+            // path replay rebuilds it cheaply (paper §6).
+            self.entries.clear();
+            self.len = 0;
+        }
+        let fp = fingerprint(constraints, query);
+        self.entries
+            .entry(fp)
+            .or_default()
+            .push((constraints.to_vec(), query.cloned(), sat));
+        self.len += 1;
+    }
+
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of entries currently cached.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drops all entries (used to model a state arriving at a new worker).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.len = 0;
+    }
+}
+
+/// Cache of recent satisfying assignments (counterexample cache).
+///
+/// Before running a full search, the solver tries each cached model against
+/// the new constraint set; parser-style constraints along neighbouring paths
+/// frequently share models, so this avoids many searches outright.
+#[derive(Debug, Default)]
+pub struct ModelCache {
+    models: Vec<Assignment>,
+    capacity: usize,
+    next: usize,
+    hits: u64,
+}
+
+impl ModelCache {
+    /// Creates a cache that keeps up to `capacity` recent models.
+    pub fn new(capacity: usize) -> ModelCache {
+        ModelCache {
+            models: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            hits: 0,
+        }
+    }
+
+    /// Returns the first cached model satisfying all `constraints`, if any.
+    pub fn find_satisfying(&mut self, constraints: &[ExprRef]) -> Option<Assignment> {
+        let found = self
+            .models
+            .iter()
+            .find(|m| c9_expr::eval_constraints(constraints, m) == Some(true))
+            .cloned();
+        if found.is_some() {
+            self.hits += 1;
+        }
+        found
+    }
+
+    /// Records a model, evicting the oldest when at capacity.
+    pub fn insert(&mut self, model: Assignment) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.models.len() < self.capacity {
+            self.models.push(model);
+        } else {
+            self.models[self.next] = model;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// Number of times a cached model answered a query.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of models currently cached.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the cache holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Drops all cached models.
+    pub fn clear(&mut self) {
+        self.models.clear();
+        self.next = 0;
+    }
+}

@@ -1,0 +1,129 @@
+//! Constraint sets: ordered collections of 1-bit path constraints.
+
+use c9_expr::{collect_symbols, Assignment, BinaryOp, Expr, ExprKind, ExprRef, SymbolId, Width};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// An ordered set of path constraints.
+///
+/// Each constraint is a 1-bit expression that must be true along the current
+/// execution path. The set keeps the union of referenced symbols cached so
+/// that independence slicing does not repeatedly traverse expressions.
+///
+/// The set also tracks whether a trivially-false constraint (`false` constant)
+/// was ever added, which makes the whole set unsatisfiable regardless of the
+/// other constraints.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConstraintSet {
+    constraints: Vec<ExprRef>,
+    symbols: BTreeSet<SymbolId>,
+    trivially_false: bool,
+}
+
+impl ConstraintSet {
+    /// Creates an empty (trivially satisfiable) constraint set.
+    pub fn new() -> ConstraintSet {
+        ConstraintSet::default()
+    }
+
+    /// Adds a constraint to the set.
+    ///
+    /// Trivially-true constraints (the constant `1`) are dropped; a
+    /// trivially-false constraint marks the whole set unsatisfiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the constraint is not 1 bit wide.
+    pub fn push(&mut self, constraint: ExprRef) {
+        debug_assert_eq!(constraint.width(), Width::W1, "constraints must be boolean");
+        if let Some(c) = constraint.as_const() {
+            if c.is_true() {
+                return;
+            }
+            self.trivially_false = true;
+            return;
+        }
+        // A top-level conjunction is split into its conjuncts: the solver's
+        // per-symbol pruning works best on small independent constraints.
+        if let ExprKind::Binary(BinaryOp::And, lhs, rhs) = constraint.kind() {
+            self.push(lhs.clone());
+            self.push(rhs.clone());
+            return;
+        }
+        for sym in collect_symbols(&constraint) {
+            self.symbols.insert(sym);
+        }
+        self.constraints.push(constraint);
+    }
+
+    /// Returns a copy of this set extended with one more constraint.
+    pub fn with(&self, constraint: ExprRef) -> ConstraintSet {
+        let mut copy = self.clone();
+        copy.push(constraint);
+        copy
+    }
+
+    /// The constraints, in insertion order.
+    pub fn constraints(&self) -> &[ExprRef] {
+        &self.constraints
+    }
+
+    /// The set of symbols referenced by any constraint.
+    pub fn symbols(&self) -> &BTreeSet<SymbolId> {
+        &self.symbols
+    }
+
+    /// Number of (non-trivial) constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the set contains no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty() && !self.trivially_false
+    }
+
+    /// Whether a constant-false constraint was added.
+    pub fn is_trivially_false(&self) -> bool {
+        self.trivially_false
+    }
+
+    /// Evaluates all constraints under a total assignment.
+    ///
+    /// Returns `None` if some constraint references an unbound symbol and the
+    /// result cannot be decided.
+    pub fn eval(&self, assignment: &Assignment) -> Option<bool> {
+        if self.trivially_false {
+            return Some(false);
+        }
+        c9_expr::eval_constraints(&self.constraints, assignment)
+    }
+
+    /// Builds a single conjunction expression of all constraints (used mainly
+    /// for diagnostics).
+    pub fn as_conjunction(&self) -> ExprRef {
+        if self.trivially_false {
+            return Expr::false_();
+        }
+        let mut acc = Expr::true_();
+        for c in &self.constraints {
+            acc = Expr::logical_and(acc, c.clone());
+        }
+        acc
+    }
+
+    /// Iterates over the constraints.
+    pub fn iter(&self) -> impl Iterator<Item = &ExprRef> {
+        self.constraints.iter()
+    }
+}
+
+impl FromIterator<ExprRef> for ConstraintSet {
+    fn from_iter<T: IntoIterator<Item = ExprRef>>(iter: T) -> ConstraintSet {
+        let mut set = ConstraintSet::new();
+        for c in iter {
+            set.push(c);
+        }
+        set
+    }
+}

@@ -1,0 +1,333 @@
+//! Per-symbol value domains and their refinement from constraints.
+//!
+//! Before the backtracking search starts, every symbol is given a *domain*:
+//! the candidate values the search will try for it. Byte-wide symbols start
+//! with the full `0..=255` range; wider symbols start with an interval plus a
+//! set of "interesting" candidate values mined from the constraints. Simple
+//! syntactic patterns (`sym == c`, `sym < c`, `zext(sym) <= c`, …) refine the
+//! domains before the search begins, which is what keeps the search tractable
+//! for parser-style constraints.
+
+use c9_expr::{BinaryOp, Expr, ExprKind, ExprRef, SymbolId, Width};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The candidate values the search will try for one symbol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Domain {
+    /// Width of the symbol.
+    pub width: Width,
+    /// Inclusive lower bound (unsigned).
+    pub lo: u64,
+    /// Inclusive upper bound (unsigned).
+    pub hi: u64,
+    /// Values explicitly excluded (from `!=` constraints).
+    pub excluded: BTreeSet<u64>,
+    /// Extra candidate values worth trying (mined from constraint constants).
+    pub candidates: BTreeSet<u64>,
+    /// Whether enumerating this domain covers every possible value of the
+    /// symbol. When false, a failed search means "unknown", not "unsat".
+    pub exhaustive: bool,
+}
+
+/// Maximum number of values the search enumerates exhaustively per symbol.
+pub(crate) const EXHAUSTIVE_LIMIT: u64 = 1 << 16;
+
+impl Domain {
+    /// Creates the initial (unconstrained) domain for a symbol of `width`.
+    pub fn full(width: Width) -> Domain {
+        let hi = width.max_unsigned();
+        Domain {
+            width,
+            lo: 0,
+            hi,
+            excluded: BTreeSet::new(),
+            candidates: BTreeSet::new(),
+            exhaustive: hi < EXHAUSTIVE_LIMIT,
+        }
+    }
+
+    /// Whether the domain admits no values at all.
+    pub fn is_empty(&self) -> bool {
+        if self.lo > self.hi {
+            return true;
+        }
+        // A fully-excluded small interval is also empty.
+        let size = self.hi - self.lo + 1;
+        size <= self.excluded.len() as u64
+            && (self.lo..=self.hi).all(|v| self.excluded.contains(&v))
+    }
+
+    /// Number of values the search will try for this symbol.
+    pub fn search_size(&self) -> u64 {
+        if self.lo > self.hi {
+            return 0;
+        }
+        let span = self.hi - self.lo + 1;
+        if span <= EXHAUSTIVE_LIMIT {
+            span.saturating_sub(self.excluded.len() as u64)
+        } else {
+            // Interval too large to enumerate: only candidates + endpoints.
+            self.candidates.len() as u64 + 4
+        }
+    }
+
+    /// Intersects the domain with the interval `[lo, hi]`.
+    pub fn clamp(&mut self, lo: u64, hi: u64) {
+        self.lo = self.lo.max(lo);
+        self.hi = self.hi.min(hi);
+    }
+
+    /// Excludes a single value.
+    pub fn exclude(&mut self, v: u64) {
+        self.excluded.insert(v);
+    }
+
+    /// Records an interesting candidate value (clamped into the width).
+    pub fn suggest(&mut self, v: u64) {
+        let v = self.width.truncate(v);
+        self.candidates.insert(v);
+    }
+
+    /// Iterates the values the search should try, in a deterministic order
+    /// that puts likely-useful values first: candidates mined from the
+    /// constraints, then the interval endpoints, then the rest of the
+    /// interval (if small enough to enumerate).
+    pub fn iter_values(&self) -> impl Iterator<Item = u64> + '_ {
+        let span_small = self.hi.saturating_sub(self.lo) < EXHAUSTIVE_LIMIT;
+        let prioritized: Vec<u64> = self
+            .candidates
+            .iter()
+            .copied()
+            .filter(move |v| *v >= self.lo && *v <= self.hi && !self.excluded.contains(v))
+            .collect();
+        let endpoints: Vec<u64> = [self.lo, self.hi, self.lo.wrapping_add(1)]
+            .into_iter()
+            .filter(move |v| {
+                *v >= self.lo
+                    && *v <= self.hi
+                    && !self.excluded.contains(v)
+                    && !self.candidates.contains(v)
+            })
+            .collect();
+        let rest: Box<dyn Iterator<Item = u64> + '_> = if span_small {
+            Box::new(
+                (self.lo..=self.hi)
+                    .filter(move |v| !self.excluded.contains(v))
+                    .filter(move |v| !self.candidates.contains(v))
+                    .filter(move |v| *v != self.lo && *v != self.hi && *v != self.lo + 1),
+            )
+        } else {
+            Box::new(std::iter::empty())
+        };
+        prioritized.into_iter().chain(endpoints).chain(rest)
+    }
+}
+
+/// If `e` is a bare symbol, possibly wrapped in zero/sign extensions, returns
+/// the symbol.
+fn as_extended_sym(e: &ExprRef) -> Option<SymbolId> {
+    match e.kind() {
+        ExprKind::Sym(id) => Some(*id),
+        ExprKind::ZExt(inner) | ExprKind::SExt(inner) => as_extended_sym(inner),
+        _ => None,
+    }
+}
+
+/// Collects every constant appearing anywhere inside `e` into `out`.
+fn collect_constants(e: &ExprRef, out: &mut BTreeSet<u64>) {
+    match e.kind() {
+        ExprKind::Const(v) => {
+            out.insert(v.value());
+            out.insert(v.value().wrapping_add(1));
+            out.insert(v.value().wrapping_sub(1));
+        }
+        ExprKind::Sym(_) => {}
+        ExprKind::Unary(_, a) | ExprKind::ZExt(a) | ExprKind::SExt(a) | ExprKind::Extract(a, _) => {
+            collect_constants(a, out)
+        }
+        ExprKind::Binary(_, a, b) | ExprKind::Concat(a, b) => {
+            collect_constants(a, out);
+            collect_constants(b, out);
+        }
+        ExprKind::Ite(c, t, f) => {
+            collect_constants(c, out);
+            collect_constants(t, out);
+            collect_constants(f, out);
+        }
+    }
+}
+
+/// Applies one comparison constraint of the shape `sym ⋈ const` (or
+/// `const ⋈ sym`) to the symbol's domain.
+fn refine_from_comparison(domains: &mut BTreeMap<SymbolId, Domain>, c: &ExprRef) {
+    let ExprKind::Binary(op, lhs, rhs) = c.kind() else {
+        return;
+    };
+    // Normalize to sym-op-const.
+    let (sym, konst, flipped) = match (as_extended_sym(lhs), rhs.as_const()) {
+        (Some(s), Some(k)) => (s, k, false),
+        _ => match (lhs.as_const(), as_extended_sym(rhs)) {
+            (Some(k), Some(s)) => (s, k, true),
+            _ => return,
+        },
+    };
+    let Some(dom) = domains.get_mut(&sym) else {
+        return;
+    };
+    let k = konst.value();
+    // Only apply unsigned reasoning when the constant fits the symbol width;
+    // signed comparisons are handled conservatively via candidates only.
+    let fits = k <= dom.width.max_unsigned();
+    match (op, flipped) {
+        (BinaryOp::Eq, _) if fits => dom.clamp(k, k),
+        (BinaryOp::Ne, _) if fits => dom.exclude(k),
+        // sym < k
+        (BinaryOp::Ult, false) => {
+            if k == 0 {
+                dom.clamp(1, 0); // empty
+            } else {
+                dom.clamp(0, k.saturating_sub(1).min(dom.width.max_unsigned()));
+            }
+        }
+        // k < sym
+        (BinaryOp::Ult, true) => dom.clamp(k.saturating_add(1), u64::MAX),
+        // sym <= k
+        (BinaryOp::Ule, false) => dom.clamp(0, k.min(dom.width.max_unsigned())),
+        // k <= sym
+        (BinaryOp::Ule, true) => dom.clamp(k, u64::MAX),
+        _ => {
+            dom.suggest(k);
+        }
+    }
+}
+
+/// Builds refined domains for all `symbols` given the constraints.
+///
+/// `widths` supplies the width of each symbol (the expression nodes know
+/// their own widths, but bare symbols mentioned only through extensions need
+/// the original width).
+pub fn refine_domains(
+    constraints: &[ExprRef],
+    widths: &BTreeMap<SymbolId, Width>,
+) -> BTreeMap<SymbolId, Domain> {
+    let mut domains: BTreeMap<SymbolId, Domain> = widths
+        .iter()
+        .map(|(s, w)| (*s, Domain::full(*w)))
+        .collect();
+
+    // Mine interesting constants for all symbols mentioned in each constraint.
+    for c in constraints {
+        let mut consts = BTreeSet::new();
+        collect_constants(c, &mut consts);
+        for s in c9_expr::collect_symbols(c) {
+            if let Some(dom) = domains.get_mut(&s) {
+                for k in &consts {
+                    dom.suggest(*k);
+                }
+                dom.suggest(0);
+                dom.suggest(1);
+                dom.suggest(dom.width.max_unsigned());
+            }
+        }
+    }
+
+    // Apply direct comparison constraints.
+    for c in constraints {
+        refine_from_comparison(&mut domains, c);
+        // Also handle the negation pattern produced by `logical_not`:
+        // `(cmp ^ 1)` meaning the comparison is false.
+        if let ExprKind::Binary(BinaryOp::Xor, inner, one) = c.kind() {
+            if one.as_const().is_some_and(|v| v.is_true()) {
+                if let ExprKind::Binary(op, lhs, rhs) = inner.kind() {
+                    // Negated comparisons: rewrite to the complementary op
+                    // where that is still a sym-const pattern.
+                    let flipped: Option<ExprRef> = match op {
+                        BinaryOp::Eq => Some(Expr::ne(lhs.clone(), rhs.clone())),
+                        BinaryOp::Ne => Some(Expr::eq(lhs.clone(), rhs.clone())),
+                        BinaryOp::Ult => Some(Expr::ule(rhs.clone(), lhs.clone())),
+                        BinaryOp::Ule => Some(Expr::ult(rhs.clone(), lhs.clone())),
+                        _ => None,
+                    };
+                    if let Some(f) = flipped {
+                        refine_from_comparison(&mut domains, &f);
+                    }
+                }
+            }
+        }
+    }
+    domains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use c9_expr::SymbolManager;
+
+    #[test]
+    fn full_domain_of_byte_is_exhaustive() {
+        let d = Domain::full(Width::W8);
+        assert!(d.exhaustive);
+        assert_eq!(d.search_size(), 256);
+    }
+
+    #[test]
+    fn full_domain_of_word_is_not_exhaustive() {
+        let d = Domain::full(Width::W32);
+        assert!(!d.exhaustive);
+    }
+
+    #[test]
+    fn refinement_from_eq_and_lt() {
+        let mut m = SymbolManager::new();
+        let a = m.fresh("a", Width::W8);
+        let b = m.fresh("b", Width::W8);
+        let ae = Expr::sym(a, Width::W8);
+        let be = Expr::sym(b, Width::W8);
+        let constraints = vec![
+            Expr::eq(ae.clone(), Expr::const_(42, Width::W8)),
+            Expr::ult(be.clone(), Expr::const_(5, Width::W8)),
+        ];
+        let widths = [(a, Width::W8), (b, Width::W8)].into_iter().collect();
+        let domains = refine_domains(&constraints, &widths);
+        assert_eq!(domains[&a].lo, 42);
+        assert_eq!(domains[&a].hi, 42);
+        assert_eq!(domains[&b].hi, 4);
+    }
+
+    #[test]
+    fn refinement_through_zext() {
+        let mut m = SymbolManager::new();
+        let a = m.fresh("a", Width::W8);
+        let wide = Expr::zext(Expr::sym(a, Width::W8), Width::W32);
+        let constraints = vec![Expr::ule(wide, Expr::const_(100, Width::W32))];
+        let widths = [(a, Width::W8)].into_iter().collect();
+        let domains = refine_domains(&constraints, &widths);
+        assert_eq!(domains[&a].hi, 100);
+    }
+
+    #[test]
+    fn exclusion_from_ne() {
+        let mut m = SymbolManager::new();
+        let a = m.fresh("a", Width::W8);
+        let ae = Expr::sym(a, Width::W8);
+        let constraints = vec![Expr::ne(ae, Expr::const_(0, Width::W8))];
+        let widths = [(a, Width::W8)].into_iter().collect();
+        let domains = refine_domains(&constraints, &widths);
+        assert!(domains[&a].excluded.contains(&0));
+        assert!(!domains[&a].iter_values().any(|v| v == 0));
+    }
+
+    #[test]
+    fn contradictory_bounds_make_empty_domain() {
+        let mut m = SymbolManager::new();
+        let a = m.fresh("a", Width::W8);
+        let ae = Expr::sym(a, Width::W8);
+        let constraints = vec![
+            Expr::ult(ae.clone(), Expr::const_(5, Width::W8)),
+            Expr::ult(Expr::const_(10, Width::W8), ae),
+        ];
+        let widths = [(a, Width::W8)].into_iter().collect();
+        let domains = refine_domains(&constraints, &widths);
+        assert!(domains[&a].is_empty());
+    }
+}

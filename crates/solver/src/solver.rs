@@ -1,0 +1,353 @@
+//! The solver facade used by the symbolic execution engine.
+
+use crate::cache::{ModelCache, QueryCache};
+use crate::constraint::ConstraintSet;
+use crate::independence::relevant_constraints;
+use crate::search::{search, SearchBudget, SearchOutcome};
+use crate::stats::SolverStats;
+use c9_expr::{collect_symbols, Assignment, Expr, ExprRef, SymbolId, SymbolManager, Width};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration of a [`Solver`].
+#[derive(Clone, Copy, Debug)]
+pub struct SolverConfig {
+    /// Budget for each backtracking search.
+    pub budget: SearchBudget,
+    /// Whether the query (satisfiability) cache is enabled.
+    pub enable_query_cache: bool,
+    /// Whether the model (counterexample) cache is enabled.
+    pub enable_model_cache: bool,
+    /// Maximum number of entries in the query cache.
+    pub query_cache_capacity: usize,
+    /// Maximum number of models kept in the model cache.
+    pub model_cache_capacity: usize,
+    /// Whether independence slicing is applied before searching.
+    pub enable_independence: bool,
+    /// When a query cannot be decided within budget, treat the branch as
+    /// feasible (`true`, the conservative choice used by the engine) or
+    /// infeasible (`false`).
+    pub unknown_is_sat: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            budget: SearchBudget::default(),
+            enable_query_cache: true,
+            enable_model_cache: true,
+            query_cache_capacity: 16_384,
+            model_cache_capacity: 64,
+            enable_independence: true,
+            unknown_is_sat: true,
+        }
+    }
+}
+
+/// Result of a satisfiability check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a witness model.
+    Sat(Assignment),
+    /// Proved unsatisfiable.
+    Unsat,
+    /// Could not be decided within the search budget.
+    Unknown,
+}
+
+impl SatResult {
+    /// Whether this result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+
+    /// Whether this result is `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SatResult::Unsat)
+    }
+
+    /// Extracts the model if satisfiable.
+    pub fn model(self) -> Option<Assignment> {
+        match self {
+            SatResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Three-valued validity answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Validity {
+    /// The expression is true under every model of the constraints.
+    True,
+    /// The expression is false under every model of the constraints.
+    False,
+    /// Neither (or undecided within budget).
+    Unknown,
+}
+
+/// The constraint solver.
+///
+/// A `Solver` owns its caches and statistics behind interior mutability so
+/// that the engine can treat it as a shared read-only service. Each Cloud9
+/// worker owns one solver instance.
+#[derive(Debug)]
+pub struct Solver {
+    config: SolverConfig,
+    query_cache: RefCell<QueryCache>,
+    model_cache: RefCell<ModelCache>,
+    stats: RefCell<SolverStats>,
+    /// Widths of symbols seen in queries, learned lazily from expressions.
+    widths: RefCell<BTreeMap<SymbolId, Width>>,
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates a solver with the default configuration.
+    pub fn new() -> Solver {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// Creates a solver with an explicit configuration.
+    pub fn with_config(config: SolverConfig) -> Solver {
+        Solver {
+            query_cache: RefCell::new(QueryCache::new(config.query_cache_capacity)),
+            model_cache: RefCell::new(ModelCache::new(config.model_cache_capacity)),
+            stats: RefCell::new(SolverStats::default()),
+            widths: RefCell::new(BTreeMap::new()),
+            config,
+        }
+    }
+
+    /// The configuration this solver was created with.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// A snapshot of the solver statistics.
+    pub fn stats(&self) -> SolverStats {
+        *self.stats.borrow()
+    }
+
+    /// Registers the widths of symbols from a [`SymbolManager`]; queries
+    /// mentioning unregistered symbols infer widths from the expressions that
+    /// contain them.
+    pub fn register_symbols(&self, manager: &SymbolManager) {
+        let mut widths = self.widths.borrow_mut();
+        for info in manager.iter() {
+            widths.insert(info.id, info.width);
+        }
+    }
+
+    /// Clears both caches, modelling a job arriving at a fresh worker.
+    pub fn clear_caches(&self) {
+        self.query_cache.borrow_mut().clear();
+        self.model_cache.borrow_mut().clear();
+    }
+
+    fn learn_widths(&self, exprs: &[ExprRef]) {
+        let mut widths = self.widths.borrow_mut();
+        for e in exprs {
+            learn_widths_rec(e, &mut widths);
+        }
+    }
+
+    fn widths_for(&self, symbols: &BTreeSet<SymbolId>) -> BTreeMap<SymbolId, Width> {
+        let widths = self.widths.borrow();
+        symbols
+            .iter()
+            .map(|s| (*s, widths.get(s).copied().unwrap_or(Width::W8)))
+            .collect()
+    }
+
+    /// Checks whether the constraint set is satisfiable and returns a model
+    /// if it is.
+    pub fn check_sat(&self, constraints: &ConstraintSet) -> SatResult {
+        self.check_sat_with(constraints, None)
+    }
+
+    /// Checks whether `constraints ∧ extra` is satisfiable.
+    pub fn check_sat_with(&self, constraints: &ConstraintSet, extra: Option<ExprRef>) -> SatResult {
+        self.stats.borrow_mut().queries += 1;
+        if constraints.is_trivially_false() {
+            self.stats.borrow_mut().unsat += 1;
+            return SatResult::Unsat;
+        }
+        if let Some(e) = &extra {
+            if let Some(c) = e.as_const() {
+                if c.is_false() {
+                    self.stats.borrow_mut().unsat += 1;
+                    return SatResult::Unsat;
+                }
+            }
+        }
+
+        // Build the working constraint list (slice to what is relevant to the
+        // extra query when independence slicing is enabled). Slicing relies on
+        // the engine invariant that the path-constraint set itself is always
+        // satisfiable (every constraint was feasible when it was added), so
+        // dropping independent groups cannot change the answer.
+        let mut working: Vec<ExprRef>;
+        match &extra {
+            Some(e) if !e.is_concrete() => {
+                if self.config.enable_independence {
+                    let query_syms = collect_symbols(e);
+                    working = relevant_constraints(constraints, &query_syms);
+                    working.push(e.clone());
+                } else {
+                    working = constraints.constraints().to_vec();
+                    working.push(e.clone());
+                }
+            }
+            _ => {
+                working = constraints.constraints().to_vec();
+            }
+        }
+        self.learn_widths(&working);
+
+        // Query cache.
+        if self.config.enable_query_cache {
+            if let Some(sat) = self
+                .query_cache
+                .borrow_mut()
+                .get(&working, None)
+            {
+                self.stats.borrow_mut().query_cache_hits += 1;
+                if sat {
+                    // We still need a model; fall through to the model cache /
+                    // search only if the caller needs one. Returning a model
+                    // from the model cache if available, else do the search.
+                    if let Some(m) = self.model_cache.borrow_mut().find_satisfying(&working) {
+                        self.stats.borrow_mut().model_cache_hits += 1;
+                        return SatResult::Sat(m);
+                    }
+                } else {
+                    self.stats.borrow_mut().unsat += 1;
+                    return SatResult::Unsat;
+                }
+            }
+        }
+
+        // Model (counterexample) cache.
+        if self.config.enable_model_cache {
+            if let Some(m) = self.model_cache.borrow_mut().find_satisfying(&working) {
+                self.stats.borrow_mut().model_cache_hits += 1;
+                self.stats.borrow_mut().sat += 1;
+                if self.config.enable_query_cache {
+                    self.query_cache.borrow_mut().insert(&working, None, true);
+                }
+                return SatResult::Sat(m);
+            }
+        }
+
+        // Full search over the sliced constraints.
+        self.stats.borrow_mut().searches += 1;
+        let symbols: BTreeSet<SymbolId> = working.iter().flat_map(collect_symbols).collect();
+        let widths = self.widths_for(&symbols);
+        let outcome = search(&working, &widths, self.config.budget, None);
+        match outcome {
+            SearchOutcome::Sat(model) => {
+                // Note: when the query was sliced, the model only binds the
+                // symbols of the relevant slice. Feasibility callers ignore
+                // the model; model-generation callers (`get_model`,
+                // `get_value`) never pass an extra query, so they always get
+                // a model over the full constraint set.
+                if self.config.enable_query_cache {
+                    self.query_cache.borrow_mut().insert(&working, None, true);
+                }
+                if self.config.enable_model_cache {
+                    self.model_cache.borrow_mut().insert(model.clone());
+                }
+                self.stats.borrow_mut().sat += 1;
+                SatResult::Sat(model)
+            }
+            SearchOutcome::Unsat => {
+                if self.config.enable_query_cache {
+                    self.query_cache.borrow_mut().insert(&working, None, false);
+                }
+                self.stats.borrow_mut().unsat += 1;
+                SatResult::Unsat
+            }
+            SearchOutcome::Unknown => {
+                self.stats.borrow_mut().unknowns += 1;
+                SatResult::Unknown
+            }
+        }
+    }
+
+    /// Whether `expr` *may* be true under the constraints (feasibility).
+    ///
+    /// `Unknown` results are resolved according to
+    /// [`SolverConfig::unknown_is_sat`].
+    pub fn may_be_true(&self, constraints: &ConstraintSet, expr: ExprRef) -> bool {
+        match self.check_sat_with(constraints, Some(expr)) {
+            SatResult::Sat(_) => true,
+            SatResult::Unsat => false,
+            SatResult::Unknown => self.config.unknown_is_sat,
+        }
+    }
+
+    /// Whether `expr` *must* be true under the constraints (validity).
+    pub fn must_be_true(&self, constraints: &ConstraintSet, expr: ExprRef) -> bool {
+        !self.may_be_true(constraints, Expr::logical_not(expr))
+    }
+
+    /// Classifies `expr` as valid, unsatisfiable, or neither.
+    pub fn validity(&self, constraints: &ConstraintSet, expr: ExprRef) -> Validity {
+        let can_be_true = self.may_be_true(constraints, expr.clone());
+        let can_be_false = self.may_be_true(constraints, Expr::logical_not(expr));
+        match (can_be_true, can_be_false) {
+            (true, false) => Validity::True,
+            (false, true) => Validity::False,
+            _ => Validity::Unknown,
+        }
+    }
+
+    /// Produces a model of the constraint set (a concrete test case).
+    pub fn get_model(&self, constraints: &ConstraintSet) -> Option<Assignment> {
+        self.check_sat(constraints).model()
+    }
+
+    /// Produces one concrete value that `expr` can take under the constraints.
+    pub fn get_value(&self, constraints: &ConstraintSet, expr: &ExprRef) -> Option<u64> {
+        if let Some(c) = expr.as_const() {
+            return Some(c.value());
+        }
+        let mut model = self.check_sat_with(constraints, None).model()?;
+        // Symbols of the query that the path constraints do not mention are
+        // unconstrained; bind them to zero so the evaluation is total.
+        for sym in collect_symbols(expr) {
+            if model.get(sym).is_none() {
+                model.set(sym, 0);
+            }
+        }
+        expr.eval(&model).map(|v| v.value())
+    }
+}
+
+fn learn_widths_rec(e: &ExprRef, widths: &mut BTreeMap<SymbolId, Width>) {
+    use c9_expr::ExprKind;
+    match e.kind() {
+        ExprKind::Sym(id) => {
+            widths.insert(*id, e.width());
+        }
+        ExprKind::Const(_) => {}
+        ExprKind::Unary(_, a) | ExprKind::ZExt(a) | ExprKind::SExt(a) | ExprKind::Extract(a, _) => {
+            learn_widths_rec(a, widths)
+        }
+        ExprKind::Binary(_, a, b) | ExprKind::Concat(a, b) => {
+            learn_widths_rec(a, widths);
+            learn_widths_rec(b, widths);
+        }
+        ExprKind::Ite(c, t, f) => {
+            learn_widths_rec(c, widths);
+            learn_widths_rec(t, widths);
+            learn_widths_rec(f, widths);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Solver statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing the work a [`crate::Solver`] has performed.
+///
+/// These feed the per-worker statistics that Cloud9 workers report to the
+/// load balancer and that the evaluation harness aggregates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolverStats {
+    /// Total satisfiability queries issued (feasibility + validity).
+    pub queries: u64,
+    /// Queries answered from the query cache.
+    pub query_cache_hits: u64,
+    /// Queries answered by re-using a cached model.
+    pub model_cache_hits: u64,
+    /// Queries that required a full backtracking search.
+    pub searches: u64,
+    /// Searches that ended with `Unknown` (budget exhausted or incomplete
+    /// domain enumeration).
+    pub unknowns: u64,
+    /// Queries proved unsatisfiable.
+    pub unsat: u64,
+    /// Queries proved satisfiable.
+    pub sat: u64,
+}
+
+impl SolverStats {
+    /// Merges another stats snapshot into this one.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.queries += other.queries;
+        self.query_cache_hits += other.query_cache_hits;
+        self.model_cache_hits += other.model_cache_hits;
+        self.searches += other.searches;
+        self.unknowns += other.unknowns;
+        self.unsat += other.unsat;
+        self.sat += other.sat;
+    }
+
+    /// Fraction of queries answered by either cache, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        (self.query_cache_hits + self.model_cache_hits) as f64 / self.queries as f64
+    }
+}

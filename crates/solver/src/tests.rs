@@ -1,0 +1,365 @@
+//! Unit and property-based tests for the solver.
+
+use crate::{
+    independent_groups, relevant_constraints, ConstraintSet, SatResult, Solver, SolverConfig,
+    Validity,
+};
+use c9_expr::{collect_symbols, Expr, ExprRef, SymbolId, SymbolManager, Width};
+use proptest::prelude::*;
+
+fn byte(sym: SymbolId) -> ExprRef {
+    Expr::sym(sym, Width::W8)
+}
+
+#[test]
+fn empty_set_is_sat() {
+    let solver = Solver::new();
+    let pc = ConstraintSet::new();
+    assert!(solver.check_sat(&pc).is_sat());
+}
+
+#[test]
+fn single_equality_gives_exact_model() {
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    let mut pc = ConstraintSet::new();
+    pc.push(Expr::eq(byte(x), Expr::const_(42, Width::W8)));
+    let solver = Solver::new();
+    let model = solver.get_model(&pc).expect("sat");
+    assert_eq!(model.get(x), Some(42));
+}
+
+#[test]
+fn contradiction_is_unsat() {
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    let mut pc = ConstraintSet::new();
+    pc.push(Expr::eq(byte(x), Expr::const_(1, Width::W8)));
+    pc.push(Expr::eq(byte(x), Expr::const_(2, Width::W8)));
+    let solver = Solver::new();
+    assert!(solver.check_sat(&pc).is_unsat());
+}
+
+#[test]
+fn range_constraints_produce_in_range_model() {
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    let mut pc = ConstraintSet::new();
+    pc.push(Expr::ult(byte(x), Expr::const_(100, Width::W8)));
+    pc.push(Expr::ult(Expr::const_(90, Width::W8), byte(x)));
+    let solver = Solver::new();
+    let model = solver.get_model(&pc).expect("sat");
+    let v = model.get(x).unwrap();
+    assert!(v > 90 && v < 100, "got {v}");
+}
+
+#[test]
+fn arithmetic_relation_between_symbols() {
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    let y = m.fresh("y", Width::W8);
+    // x + y == 10 and x > y.
+    let mut pc = ConstraintSet::new();
+    pc.push(Expr::eq(
+        Expr::add(byte(x), byte(y)),
+        Expr::const_(10, Width::W8),
+    ));
+    pc.push(Expr::ult(byte(y), byte(x)));
+    let solver = Solver::new();
+    let model = solver.get_model(&pc).expect("sat");
+    let (vx, vy) = (model.get(x).unwrap(), model.get(y).unwrap());
+    assert_eq!((vx + vy) & 0xff, 10);
+    assert!(vy < vx);
+}
+
+#[test]
+fn unsat_over_full_byte_domain_is_proved() {
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    // x*2 == 1 has no solution modulo 256 (left side is always even).
+    let mut pc = ConstraintSet::new();
+    pc.push(Expr::eq(
+        Expr::mul(byte(x), Expr::const_(2, Width::W8)),
+        Expr::const_(1, Width::W8),
+    ));
+    let solver = Solver::new();
+    assert!(solver.check_sat(&pc).is_unsat());
+}
+
+#[test]
+fn may_and_must_be_true() {
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    let mut pc = ConstraintSet::new();
+    pc.push(Expr::ult(byte(x), Expr::const_(10, Width::W8)));
+    let solver = Solver::new();
+
+    // x < 20 must hold; x < 5 may hold but need not.
+    assert!(solver.must_be_true(&pc, Expr::ult(byte(x), Expr::const_(20, Width::W8))));
+    assert!(solver.may_be_true(&pc, Expr::ult(byte(x), Expr::const_(5, Width::W8))));
+    assert!(!solver.must_be_true(&pc, Expr::ult(byte(x), Expr::const_(5, Width::W8))));
+    // x >= 10 contradicts the constraints.
+    assert!(!solver.may_be_true(&pc, Expr::ule(Expr::const_(10, Width::W8), byte(x))));
+}
+
+#[test]
+fn validity_classification() {
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    let mut pc = ConstraintSet::new();
+    pc.push(Expr::eq(byte(x), Expr::const_(7, Width::W8)));
+    let solver = Solver::new();
+    assert_eq!(
+        solver.validity(&pc, Expr::eq(byte(x), Expr::const_(7, Width::W8))),
+        Validity::True
+    );
+    assert_eq!(
+        solver.validity(&pc, Expr::eq(byte(x), Expr::const_(8, Width::W8))),
+        Validity::False
+    );
+
+    let mut pc2 = ConstraintSet::new();
+    pc2.push(Expr::ult(byte(x), Expr::const_(10, Width::W8)));
+    assert_eq!(
+        solver.validity(&pc2, Expr::eq(byte(x), Expr::const_(3, Width::W8))),
+        Validity::Unknown
+    );
+}
+
+#[test]
+fn get_value_concretizes() {
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    let mut pc = ConstraintSet::new();
+    pc.push(Expr::eq(byte(x), Expr::const_(99, Width::W8)));
+    let solver = Solver::new();
+    let doubled = Expr::mul(byte(x), Expr::const_(2, Width::W8));
+    assert_eq!(solver.get_value(&pc, &doubled), Some(198));
+    assert_eq!(
+        solver.get_value(&pc, &Expr::const_(5, Width::W32)),
+        Some(5)
+    );
+}
+
+#[test]
+fn wide_symbol_with_bounds() {
+    let mut m = SymbolManager::new();
+    let n = m.fresh("n", Width::W32);
+    let ne = Expr::sym(n, Width::W32);
+    let mut pc = ConstraintSet::new();
+    pc.push(Expr::ult(ne.clone(), Expr::const_(1000, Width::W32)));
+    pc.push(Expr::ult(Expr::const_(500, Width::W32), ne.clone()));
+    let solver = Solver::new();
+    let model = solver.get_model(&pc).expect("sat");
+    let v = model.get(n).unwrap();
+    assert!(v > 500 && v < 1000);
+}
+
+#[test]
+fn multi_byte_word_comparison() {
+    // A 32-bit value assembled from 4 symbolic bytes, compared to a magic
+    // constant — the typical protocol-parsing constraint shape.
+    let mut m = SymbolManager::new();
+    let bytes = m.fresh_bytes("hdr", 4);
+    let exprs: Vec<_> = bytes.iter().map(|b| byte(*b)).collect();
+    let word = Expr::from_le_bytes(&exprs);
+    let mut pc = ConstraintSet::new();
+    pc.push(Expr::eq(word, Expr::const_(0x1234_5678, Width::W32)));
+    let solver = Solver::new();
+    let model = solver.get_model(&pc).expect("sat");
+    assert_eq!(model.get(bytes[0]), Some(0x78));
+    assert_eq!(model.get(bytes[1]), Some(0x56));
+    assert_eq!(model.get(bytes[2]), Some(0x34));
+    assert_eq!(model.get(bytes[3]), Some(0x12));
+}
+
+#[test]
+fn caches_report_hits() {
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    let mut pc = ConstraintSet::new();
+    pc.push(Expr::ult(byte(x), Expr::const_(10, Width::W8)));
+    let solver = Solver::new();
+    assert!(solver.check_sat(&pc).is_sat());
+    assert!(solver.check_sat(&pc).is_sat());
+    let stats = solver.stats();
+    assert!(stats.query_cache_hits + stats.model_cache_hits >= 1);
+    assert!(stats.cache_hit_rate() > 0.0);
+}
+
+#[test]
+fn clearing_caches_forces_research() {
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    let mut pc = ConstraintSet::new();
+    pc.push(Expr::eq(byte(x), Expr::const_(3, Width::W8)));
+    let solver = Solver::new();
+    assert!(solver.check_sat(&pc).is_sat());
+    let searches_before = solver.stats().searches;
+    solver.clear_caches();
+    assert!(solver.check_sat(&pc).is_sat());
+    assert!(solver.stats().searches > searches_before);
+}
+
+#[test]
+fn disabled_caches_still_correct() {
+    let config = SolverConfig {
+        enable_model_cache: false,
+        enable_query_cache: false,
+        ..SolverConfig::default()
+    };
+    let solver = Solver::with_config(config);
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    let mut pc = ConstraintSet::new();
+    pc.push(Expr::eq(byte(x), Expr::const_(200, Width::W8)));
+    assert_eq!(solver.get_model(&pc).unwrap().get(x), Some(200));
+    assert_eq!(solver.stats().query_cache_hits, 0);
+    assert_eq!(solver.stats().model_cache_hits, 0);
+}
+
+#[test]
+fn trivially_false_set() {
+    let mut pc = ConstraintSet::new();
+    pc.push(Expr::false_());
+    assert!(pc.is_trivially_false());
+    let solver = Solver::new();
+    assert!(solver.check_sat(&pc).is_unsat());
+}
+
+#[test]
+fn independence_groups_split_unrelated_symbols() {
+    let mut m = SymbolManager::new();
+    let a = m.fresh("a", Width::W8);
+    let b = m.fresh("b", Width::W8);
+    let c = m.fresh("c", Width::W8);
+    let mut pc = ConstraintSet::new();
+    pc.push(Expr::ult(byte(a), Expr::const_(5, Width::W8)));
+    pc.push(Expr::ult(byte(b), byte(c)));
+    pc.push(Expr::ult(byte(c), Expr::const_(100, Width::W8)));
+    let groups = independent_groups(&pc);
+    assert_eq!(groups.len(), 2);
+    let sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+    assert!(sizes.contains(&1) && sizes.contains(&2));
+}
+
+#[test]
+fn relevant_constraints_slices_by_query_symbols() {
+    let mut m = SymbolManager::new();
+    let a = m.fresh("a", Width::W8);
+    let b = m.fresh("b", Width::W8);
+    let c = m.fresh("c", Width::W8);
+    let mut pc = ConstraintSet::new();
+    pc.push(Expr::ult(byte(a), Expr::const_(5, Width::W8)));
+    pc.push(Expr::ult(byte(b), byte(c)));
+    let query = Expr::eq(byte(a), Expr::const_(1, Width::W8));
+    let relevant = relevant_constraints(&pc, &collect_symbols(&query));
+    assert_eq!(relevant.len(), 1);
+    assert_eq!(collect_symbols(&relevant[0]).len(), 1);
+}
+
+#[test]
+fn relevant_constraints_follow_transitive_dependencies() {
+    let mut m = SymbolManager::new();
+    let a = m.fresh("a", Width::W8);
+    let b = m.fresh("b", Width::W8);
+    let c = m.fresh("c", Width::W8);
+    let mut pc = ConstraintSet::new();
+    pc.push(Expr::ult(byte(a), byte(b)));
+    pc.push(Expr::ult(byte(b), byte(c)));
+    let query = Expr::eq(byte(a), Expr::const_(1, Width::W8));
+    let relevant = relevant_constraints(&pc, &collect_symbols(&query));
+    // Both constraints are needed: a relates to b, b relates to c.
+    assert_eq!(relevant.len(), 2);
+}
+
+#[test]
+fn sliced_query_still_respects_sliced_group_consistency() {
+    // Unsatisfiable subgroup unrelated to the query must not block a
+    // feasibility answer about an unrelated symbol... but an unsat *related*
+    // group must.
+    let mut m = SymbolManager::new();
+    let a = m.fresh("a", Width::W8);
+    let mut pc = ConstraintSet::new();
+    pc.push(Expr::ult(byte(a), Expr::const_(5, Width::W8)));
+    pc.push(Expr::ult(Expr::const_(10, Width::W8), byte(a)));
+    let solver = Solver::new();
+    // The whole set is unsat, so nothing may be true over it.
+    assert!(!solver.may_be_true(&pc, Expr::eq(byte(a), Expr::const_(1, Width::W8))));
+}
+
+#[test]
+fn string_match_constraints() {
+    // Model the "GET " prefix check that HTTP-like parsers perform.
+    let mut m = SymbolManager::new();
+    let req = m.fresh_bytes("req", 4);
+    let mut pc = ConstraintSet::new();
+    for (i, ch) in b"GET ".iter().enumerate() {
+        pc.push(Expr::eq(byte(req[i]), Expr::const_(u64::from(*ch), Width::W8)));
+    }
+    let solver = Solver::new();
+    let model = solver.get_model(&pc).expect("sat");
+    let recovered: Vec<u8> = req.iter().map(|s| model.get(*s).unwrap() as u8).collect();
+    assert_eq!(&recovered, b"GET ");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any model returned by the solver actually satisfies the constraints.
+    #[test]
+    fn prop_models_satisfy_constraints(bound in 1u8..=255, target in 0u8..=254) {
+        let mut m = SymbolManager::new();
+        let x = m.fresh("x", Width::W8);
+        let y = m.fresh("y", Width::W8);
+        let mut pc = ConstraintSet::new();
+        pc.push(Expr::ult(byte(x), Expr::const_(u64::from(bound), Width::W8)));
+        pc.push(Expr::eq(
+            Expr::xor(byte(x), byte(y)),
+            Expr::const_(u64::from(target), Width::W8),
+        ));
+        let solver = Solver::new();
+        match solver.check_sat(&pc) {
+            SatResult::Sat(model) => {
+                prop_assert_eq!(pc.eval(&model), Some(true));
+            }
+            SatResult::Unsat => {
+                // Only possible when no x < bound exists, i.e. never for bound >= 1.
+                prop_assert!(false, "unexpected unsat");
+            }
+            SatResult::Unknown => prop_assert!(false, "unexpected unknown"),
+        }
+    }
+
+    /// A constraint pinning each byte to a concrete value is always sat and
+    /// the model reproduces exactly those bytes.
+    #[test]
+    fn prop_pinned_bytes_recovered(data in proptest::collection::vec(any::<u8>(), 1..12)) {
+        let mut m = SymbolManager::new();
+        let syms = m.fresh_bytes("d", data.len());
+        let mut pc = ConstraintSet::new();
+        for (s, b) in syms.iter().zip(&data) {
+            pc.push(Expr::eq(byte(*s), Expr::const_(u64::from(*b), Width::W8)));
+        }
+        let solver = Solver::new();
+        let model = solver.get_model(&pc).expect("must be sat");
+        for (s, b) in syms.iter().zip(&data) {
+            prop_assert_eq!(model.get(*s), Some(u64::from(*b)));
+        }
+    }
+
+    /// must_be_true and may_be_true are consistent: a valid expression is
+    /// also feasible (on a satisfiable constraint set).
+    #[test]
+    fn prop_validity_implies_feasibility(limit in 1u8..200) {
+        let mut m = SymbolManager::new();
+        let x = m.fresh("x", Width::W8);
+        let mut pc = ConstraintSet::new();
+        pc.push(Expr::ult(byte(x), Expr::const_(u64::from(limit), Width::W8)));
+        let solver = Solver::new();
+        let q = Expr::ult(byte(x), Expr::const_(u64::from(limit) + 1, Width::W8));
+        if solver.must_be_true(&pc, q.clone()) {
+            prop_assert!(solver.may_be_true(&pc, q));
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! A Bandicoot-style HTTP GET handler containing the out-of-bounds read of
+//! §7.3.5.
+//!
+//! The real bug: handling a GET command made Bandicoot read from outside its
+//! allocated memory (it happened to read the allocator's metadata, so the
+//! particular test did not crash — but the read was wrong and could crash
+//! depending on where the block was allocated). Here the relation lookup
+//! indexes a fixed-size table with an unvalidated byte taken from the
+//! request; the engine's symbolic bounds check flags the paths where the
+//! index exceeds the table.
+
+use crate::helpers::{emit_byte_eq, emit_symbolic_buffer};
+use c9_ir::{BinaryOp, Operand, Program, ProgramBuilder, Width};
+
+/// Number of entries in the modelled relation table.
+pub const TABLE_SIZE: u32 = 8;
+
+/// Builds the Bandicoot-like program.
+pub fn program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    pb.set_name("bandicoot");
+
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    // The relation catalogue: TABLE_SIZE one-byte descriptors.
+    let table = f.alloc(Operand::word(TABLE_SIZE));
+    for i in 0..TABLE_SIZE {
+        let slot = f.binary(BinaryOp::Add, Operand::Reg(table), Operand::word(i));
+        f.store(Operand::Reg(slot), Operand::byte(0x40 + i as u8), Width::W8);
+    }
+
+    // A 6-byte symbolic request: "GET " + relation-id byte + terminator.
+    let req = emit_symbolic_buffer(&mut f, 6);
+    let g = emit_byte_eq(&mut f, req, 0, b'G');
+    let e = emit_byte_eq(&mut f, req, 1, b'E');
+    let t = emit_byte_eq(&mut f, req, 2, b'T');
+    let sp = emit_byte_eq(&mut f, req, 3, b' ');
+    let ge = f.binary(BinaryOp::And, Operand::Reg(g), Operand::Reg(e));
+    let get = f.binary(BinaryOp::And, Operand::Reg(ge), Operand::Reg(t));
+    let is_get = f.binary(BinaryOp::And, Operand::Reg(get), Operand::Reg(sp));
+    let get_bb = f.create_block();
+    let other_bb = f.create_block();
+    f.branch(Operand::Reg(is_get), get_bb, other_bb);
+
+    f.switch_to(other_bb);
+    // 405 Method Not Allowed.
+    f.ret(Some(Operand::word(405)));
+
+    // GET handler: the relation index comes straight from the request with
+    // no bounds check — the bug.
+    f.switch_to(get_bb);
+    let idx_addr = f.binary(BinaryOp::Add, Operand::Reg(req), Operand::word(4));
+    let idx = f.load(Operand::Reg(idx_addr), Width::W8);
+    let idx64 = f.zext(Operand::Reg(idx), Width::W64);
+    let slot_addr = f.binary(BinaryOp::Add, Operand::Reg(table), Operand::Reg(idx64));
+    let descriptor = f.load(Operand::Reg(slot_addr), Width::W8);
+    let found = f.binary(BinaryOp::Ne, Operand::Reg(descriptor), Operand::byte(0));
+    let found_bb = f.create_block();
+    let missing_bb = f.create_block();
+    f.branch(Operand::Reg(found), found_bb, missing_bb);
+    f.switch_to(found_bb);
+    f.ret(Some(Operand::word(200)));
+    f.switch_to(missing_bb);
+    f.ret(Some(Operand::word(404)));
+
+    let main = f.finish();
+    pb.set_entry(main);
+    let program = pb.finish();
+    debug_assert!(program.validate().is_ok());
+    program
+}

@@ -1,0 +1,565 @@
+//! A Coreutils-style suite of small command-line utilities (Fig. 11 and
+//! Table 4 workload).
+//!
+//! The paper runs KLEE and Cloud9 over the 96 GNU Coreutils. This module
+//! provides a suite of small utilities with the same character: each parses a
+//! symbolic argument/input buffer and branches heavily on its content. The
+//! suite is intentionally smaller than 96 programs; the Fig. 11 harness runs
+//! whatever [`suite`] returns and reports per-utility coverage improvements.
+
+use crate::helpers::emit_symbolic_buffer;
+use c9_ir::{BinaryOp, FunctionBuilder, Operand, Program, ProgramBuilder, RegId, Rvalue, Width};
+
+/// Builds the whole utility suite over `arg_len` symbolic input bytes each.
+pub fn suite(arg_len: u32) -> Vec<(&'static str, Program)> {
+    vec![
+        ("echo", echo(arg_len)),
+        ("wc", wc(arg_len)),
+        ("basename", basename(arg_len)),
+        ("tr", tr(arg_len)),
+        ("head", head(arg_len)),
+        ("uniq", uniq(arg_len)),
+        ("expr", expr(arg_len)),
+        ("cksum", cksum(arg_len)),
+        ("cut", cut(arg_len)),
+        ("seq", seq(arg_len)),
+    ]
+}
+
+/// Emits the standard prologue: a symbolic input buffer plus an index and an
+/// accumulator register.
+fn prologue(f: &mut FunctionBuilder<'_>, arg_len: u32) -> (RegId, RegId, RegId) {
+    let buf = emit_symbolic_buffer(f, arg_len);
+    let i = f.copy(Operand::word(0));
+    let acc = f.copy(Operand::word(0));
+    (buf, i, acc)
+}
+
+/// Emits `byte = buf[i]` (with `i` a 32-bit register).
+fn load_indexed(f: &mut FunctionBuilder<'_>, buf: RegId, i: RegId) -> RegId {
+    let i64v = f.zext(Operand::Reg(i), Width::W64);
+    let addr = f.binary(BinaryOp::Add, Operand::Reg(buf), Operand::Reg(i64v));
+    f.load(Operand::Reg(addr), Width::W8)
+}
+
+/// Emits `i += 1`.
+fn bump(f: &mut FunctionBuilder<'_>, i: RegId) {
+    let next = f.binary(BinaryOp::Add, Operand::Reg(i), Operand::word(1));
+    f.assign_to(i, Rvalue::Use(Operand::Reg(next)));
+}
+
+/// `echo`: recognizes the `-n` and `-e` flags, then scans the message for
+/// escape sequences when `-e` is in effect.
+fn echo(arg_len: u32) -> Program {
+    let mut pb = ProgramBuilder::new();
+    pb.set_name("echo");
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let (buf, i, acc) = prologue(&mut f, arg_len);
+
+    // Flag parsing: "-n" or "-e" as the first two bytes.
+    let c0 = load_indexed(&mut f, buf, i);
+    let is_dash = f.binary(BinaryOp::Eq, Operand::Reg(c0), Operand::byte(b'-'));
+    let flag_bb = f.create_block();
+    let scan_bb = f.create_block();
+    let escapes_on = f.copy(Operand::word(0));
+    f.branch(Operand::Reg(is_dash), flag_bb, scan_bb);
+    f.switch_to(flag_bb);
+    bump(&mut f, i);
+    let c1 = load_indexed(&mut f, buf, i);
+    let is_e = f.binary(BinaryOp::Eq, Operand::Reg(c1), Operand::byte(b'e'));
+    let e_bb = f.create_block();
+    let after_flag_bb = f.create_block();
+    f.branch(Operand::Reg(is_e), e_bb, after_flag_bb);
+    f.switch_to(e_bb);
+    f.assign_to(escapes_on, Rvalue::Use(Operand::word(1)));
+    f.jump(after_flag_bb);
+    f.switch_to(after_flag_bb);
+    bump(&mut f, i);
+    f.jump(scan_bb);
+
+    // Scan loop: count emitted characters; '\\' followed by 'n' or 't' counts
+    // as one character when escapes are enabled.
+    let loop_bb = scan_bb;
+    let body_bb = f.create_block();
+    let done_bb = f.create_block();
+    f.switch_to(loop_bb);
+    let in_range = f.binary(BinaryOp::Ult, Operand::Reg(i), Operand::word(arg_len));
+    f.branch(Operand::Reg(in_range), body_bb, done_bb);
+    f.switch_to(body_bb);
+    let c = load_indexed(&mut f, buf, i);
+    let is_bs = f.binary(BinaryOp::Eq, Operand::Reg(c), Operand::byte(b'\\'));
+    let esc_wanted = f.binary(BinaryOp::Ne, Operand::Reg(escapes_on), Operand::word(0));
+    let esc = f.binary(BinaryOp::And, Operand::Reg(is_bs), Operand::Reg(esc_wanted));
+    let esc_bb = f.create_block();
+    let plain_bb = f.create_block();
+    let cont_bb = f.create_block();
+    f.branch(Operand::Reg(esc), esc_bb, plain_bb);
+    f.switch_to(esc_bb);
+    bump(&mut f, i);
+    f.jump(cont_bb);
+    f.switch_to(plain_bb);
+    let acc1 = f.binary(BinaryOp::Add, Operand::Reg(acc), Operand::word(1));
+    f.assign_to(acc, Rvalue::Use(Operand::Reg(acc1)));
+    f.jump(cont_bb);
+    f.switch_to(cont_bb);
+    bump(&mut f, i);
+    f.jump(loop_bb);
+
+    f.switch_to(done_bb);
+    f.ret(Some(Operand::Reg(acc)));
+    let main = f.finish();
+    pb.set_entry(main);
+    pb.finish()
+}
+
+/// `wc`: counts lines, words, and bytes over the input.
+fn wc(arg_len: u32) -> Program {
+    let mut pb = ProgramBuilder::new();
+    pb.set_name("wc");
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let (buf, i, lines) = prologue(&mut f, arg_len);
+    let words = f.copy(Operand::word(0));
+    let in_word = f.copy(Operand::word(0));
+
+    let loop_bb = f.create_block();
+    let body_bb = f.create_block();
+    let done_bb = f.create_block();
+    f.jump(loop_bb);
+    f.switch_to(loop_bb);
+    let in_range = f.binary(BinaryOp::Ult, Operand::Reg(i), Operand::word(arg_len));
+    f.branch(Operand::Reg(in_range), body_bb, done_bb);
+    f.switch_to(body_bb);
+    let c = load_indexed(&mut f, buf, i);
+    let is_nl = f.binary(BinaryOp::Eq, Operand::Reg(c), Operand::byte(b'\n'));
+    let nl_bb = f.create_block();
+    let not_nl_bb = f.create_block();
+    let cont_bb = f.create_block();
+    f.branch(Operand::Reg(is_nl), nl_bb, not_nl_bb);
+    f.switch_to(nl_bb);
+    let l1 = f.binary(BinaryOp::Add, Operand::Reg(lines), Operand::word(1));
+    f.assign_to(lines, Rvalue::Use(Operand::Reg(l1)));
+    f.assign_to(in_word, Rvalue::Use(Operand::word(0)));
+    f.jump(cont_bb);
+    f.switch_to(not_nl_bb);
+    let is_sp = f.binary(BinaryOp::Eq, Operand::Reg(c), Operand::byte(b' '));
+    let sp_bb = f.create_block();
+    let ch_bb = f.create_block();
+    f.branch(Operand::Reg(is_sp), sp_bb, ch_bb);
+    f.switch_to(sp_bb);
+    f.assign_to(in_word, Rvalue::Use(Operand::word(0)));
+    f.jump(cont_bb);
+    f.switch_to(ch_bb);
+    let was_out = f.binary(BinaryOp::Eq, Operand::Reg(in_word), Operand::word(0));
+    let new_word_bb = f.create_block();
+    f.branch(Operand::Reg(was_out), new_word_bb, cont_bb);
+    f.switch_to(new_word_bb);
+    let w1 = f.binary(BinaryOp::Add, Operand::Reg(words), Operand::word(1));
+    f.assign_to(words, Rvalue::Use(Operand::Reg(w1)));
+    f.assign_to(in_word, Rvalue::Use(Operand::word(1)));
+    f.jump(cont_bb);
+    f.switch_to(cont_bb);
+    bump(&mut f, i);
+    f.jump(loop_bb);
+    f.switch_to(done_bb);
+    let score = f.binary(BinaryOp::Mul, Operand::Reg(lines), Operand::word(100));
+    let total = f.binary(BinaryOp::Add, Operand::Reg(score), Operand::Reg(words));
+    f.ret(Some(Operand::Reg(total)));
+    let main = f.finish();
+    pb.set_entry(main);
+    pb.finish()
+}
+
+/// `basename`: finds the byte position after the last `/`.
+fn basename(arg_len: u32) -> Program {
+    let mut pb = ProgramBuilder::new();
+    pb.set_name("basename");
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let (buf, i, last_slash) = prologue(&mut f, arg_len);
+    let loop_bb = f.create_block();
+    let body_bb = f.create_block();
+    let done_bb = f.create_block();
+    f.jump(loop_bb);
+    f.switch_to(loop_bb);
+    let in_range = f.binary(BinaryOp::Ult, Operand::Reg(i), Operand::word(arg_len));
+    f.branch(Operand::Reg(in_range), body_bb, done_bb);
+    f.switch_to(body_bb);
+    let c = load_indexed(&mut f, buf, i);
+    let is_slash = f.binary(BinaryOp::Eq, Operand::Reg(c), Operand::byte(b'/'));
+    let slash_bb = f.create_block();
+    let cont_bb = f.create_block();
+    f.branch(Operand::Reg(is_slash), slash_bb, cont_bb);
+    f.switch_to(slash_bb);
+    let pos = f.binary(BinaryOp::Add, Operand::Reg(i), Operand::word(1));
+    f.assign_to(last_slash, Rvalue::Use(Operand::Reg(pos)));
+    f.jump(cont_bb);
+    f.switch_to(cont_bb);
+    bump(&mut f, i);
+    f.jump(loop_bb);
+    f.switch_to(done_bb);
+    // An all-slash path is reported specially, like GNU basename does.
+    let all_slashes = f.binary(
+        BinaryOp::Eq,
+        Operand::Reg(last_slash),
+        Operand::word(arg_len),
+    );
+    let root_bb = f.create_block();
+    let normal_bb = f.create_block();
+    f.branch(Operand::Reg(all_slashes), root_bb, normal_bb);
+    f.switch_to(root_bb);
+    f.ret(Some(Operand::word(1000)));
+    f.switch_to(normal_bb);
+    f.ret(Some(Operand::Reg(last_slash)));
+    let main = f.finish();
+    pb.set_entry(main);
+    pb.finish()
+}
+
+/// `tr`: upper-cases ASCII letters and optionally deletes digits (`-d` mode
+/// selected by the first byte).
+fn tr(arg_len: u32) -> Program {
+    let mut pb = ProgramBuilder::new();
+    pb.set_name("tr");
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let (buf, i, acc) = prologue(&mut f, arg_len);
+    let delete_mode = {
+        let c0 = load_indexed(&mut f, buf, i);
+        let is_d = f.binary(BinaryOp::Eq, Operand::Reg(c0), Operand::byte(b'd'));
+        f.zext(Operand::Reg(is_d), Width::W32)
+    };
+    bump(&mut f, i);
+    let loop_bb = f.create_block();
+    let body_bb = f.create_block();
+    let done_bb = f.create_block();
+    f.jump(loop_bb);
+    f.switch_to(loop_bb);
+    let in_range = f.binary(BinaryOp::Ult, Operand::Reg(i), Operand::word(arg_len));
+    f.branch(Operand::Reg(in_range), body_bb, done_bb);
+    f.switch_to(body_bb);
+    let c = load_indexed(&mut f, buf, i);
+    let ge_a = f.binary(BinaryOp::Ule, Operand::byte(b'a'), Operand::Reg(c));
+    let le_z = f.binary(BinaryOp::Ule, Operand::Reg(c), Operand::byte(b'z'));
+    let lower = f.binary(BinaryOp::And, Operand::Reg(ge_a), Operand::Reg(le_z));
+    let lower_bb = f.create_block();
+    let not_lower_bb = f.create_block();
+    let cont_bb = f.create_block();
+    f.branch(Operand::Reg(lower), lower_bb, not_lower_bb);
+    f.switch_to(lower_bb);
+    let a1 = f.binary(BinaryOp::Add, Operand::Reg(acc), Operand::word(1));
+    f.assign_to(acc, Rvalue::Use(Operand::Reg(a1)));
+    f.jump(cont_bb);
+    f.switch_to(not_lower_bb);
+    let ge_0 = f.binary(BinaryOp::Ule, Operand::byte(b'0'), Operand::Reg(c));
+    let le_9 = f.binary(BinaryOp::Ule, Operand::Reg(c), Operand::byte(b'9'));
+    let digit = f.binary(BinaryOp::And, Operand::Reg(ge_0), Operand::Reg(le_9));
+    let deleting = f.binary(BinaryOp::Ne, Operand::Reg(delete_mode), Operand::word(0));
+    let drop = f.binary(BinaryOp::And, Operand::Reg(digit), Operand::Reg(deleting));
+    let drop_bb = f.create_block();
+    let keep_bb = f.create_block();
+    f.branch(Operand::Reg(drop), drop_bb, keep_bb);
+    f.switch_to(drop_bb);
+    f.jump(cont_bb);
+    f.switch_to(keep_bb);
+    let a2 = f.binary(BinaryOp::Add, Operand::Reg(acc), Operand::word(2));
+    f.assign_to(acc, Rvalue::Use(Operand::Reg(a2)));
+    f.jump(cont_bb);
+    f.switch_to(cont_bb);
+    bump(&mut f, i);
+    f.jump(loop_bb);
+    f.switch_to(done_bb);
+    f.ret(Some(Operand::Reg(acc)));
+    let main = f.finish();
+    pb.set_entry(main);
+    pb.finish()
+}
+
+/// `head`: parses a single-digit `-n N` option, then counts newlines until N
+/// lines have been emitted.
+fn head(arg_len: u32) -> Program {
+    let mut pb = ProgramBuilder::new();
+    pb.set_name("head");
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let (buf, i, emitted) = prologue(&mut f, arg_len);
+    // Default line budget: 2; "-N" with a digit overrides it.
+    let budget = f.copy(Operand::word(2));
+    let c0 = load_indexed(&mut f, buf, i);
+    let is_dash = f.binary(BinaryOp::Eq, Operand::Reg(c0), Operand::byte(b'-'));
+    let opt_bb = f.create_block();
+    let scan_bb = f.create_block();
+    f.branch(Operand::Reg(is_dash), opt_bb, scan_bb);
+    f.switch_to(opt_bb);
+    bump(&mut f, i);
+    let d = load_indexed(&mut f, buf, i);
+    let ge_0 = f.binary(BinaryOp::Ule, Operand::byte(b'0'), Operand::Reg(d));
+    let le_9 = f.binary(BinaryOp::Ule, Operand::Reg(d), Operand::byte(b'9'));
+    let digit = f.binary(BinaryOp::And, Operand::Reg(ge_0), Operand::Reg(le_9));
+    let dig_bb = f.create_block();
+    let bad_bb = f.create_block();
+    f.branch(Operand::Reg(digit), dig_bb, bad_bb);
+    f.switch_to(bad_bb);
+    f.ret(Some(Operand::word(2)));
+    f.switch_to(dig_bb);
+    let val = f.binary(BinaryOp::Sub, Operand::Reg(d), Operand::byte(b'0'));
+    let val32 = f.zext(Operand::Reg(val), Width::W32);
+    f.assign_to(budget, Rvalue::Use(Operand::Reg(val32)));
+    bump(&mut f, i);
+    f.jump(scan_bb);
+
+    let loop_bb = scan_bb;
+    let body_bb = f.create_block();
+    let done_bb = f.create_block();
+    f.switch_to(loop_bb);
+    let in_range = f.binary(BinaryOp::Ult, Operand::Reg(i), Operand::word(arg_len));
+    let under_budget = f.binary(BinaryOp::Ult, Operand::Reg(emitted), Operand::Reg(budget));
+    let keep_going = f.binary(
+        BinaryOp::And,
+        Operand::Reg(in_range),
+        Operand::Reg(under_budget),
+    );
+    f.branch(Operand::Reg(keep_going), body_bb, done_bb);
+    f.switch_to(body_bb);
+    let c = load_indexed(&mut f, buf, i);
+    let is_nl = f.binary(BinaryOp::Eq, Operand::Reg(c), Operand::byte(b'\n'));
+    let nl_bb = f.create_block();
+    let cont_bb = f.create_block();
+    f.branch(Operand::Reg(is_nl), nl_bb, cont_bb);
+    f.switch_to(nl_bb);
+    let e1 = f.binary(BinaryOp::Add, Operand::Reg(emitted), Operand::word(1));
+    f.assign_to(emitted, Rvalue::Use(Operand::Reg(e1)));
+    f.jump(cont_bb);
+    f.switch_to(cont_bb);
+    bump(&mut f, i);
+    f.jump(loop_bb);
+    f.switch_to(done_bb);
+    f.ret(Some(Operand::Reg(emitted)));
+    let main = f.finish();
+    pb.set_entry(main);
+    pb.finish()
+}
+
+/// `uniq`: counts runs of identical adjacent bytes.
+fn uniq(arg_len: u32) -> Program {
+    let mut pb = ProgramBuilder::new();
+    pb.set_name("uniq");
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let (buf, i, runs) = prologue(&mut f, arg_len);
+    let prev = f.copy(Operand::word(256)); // sentinel outside the byte range
+    let loop_bb = f.create_block();
+    let body_bb = f.create_block();
+    let done_bb = f.create_block();
+    f.jump(loop_bb);
+    f.switch_to(loop_bb);
+    let in_range = f.binary(BinaryOp::Ult, Operand::Reg(i), Operand::word(arg_len));
+    f.branch(Operand::Reg(in_range), body_bb, done_bb);
+    f.switch_to(body_bb);
+    let c = load_indexed(&mut f, buf, i);
+    let c32 = f.zext(Operand::Reg(c), Width::W32);
+    let same = f.binary(BinaryOp::Eq, Operand::Reg(c32), Operand::Reg(prev));
+    let new_bb = f.create_block();
+    let cont_bb = f.create_block();
+    f.branch(Operand::Reg(same), cont_bb, new_bb);
+    f.switch_to(new_bb);
+    let r1 = f.binary(BinaryOp::Add, Operand::Reg(runs), Operand::word(1));
+    f.assign_to(runs, Rvalue::Use(Operand::Reg(r1)));
+    f.assign_to(prev, Rvalue::Use(Operand::Reg(c32)));
+    f.jump(cont_bb);
+    f.switch_to(cont_bb);
+    bump(&mut f, i);
+    f.jump(loop_bb);
+    f.switch_to(done_bb);
+    f.ret(Some(Operand::Reg(runs)));
+    let main = f.finish();
+    pb.set_entry(main);
+    pb.finish()
+}
+
+/// `expr`: evaluates `D op D` where D is a single digit and op is one of
+/// `+ - * / %`; division by zero is left to the engine to flag.
+fn expr(arg_len: u32) -> Program {
+    assert!(arg_len >= 3);
+    let mut pb = ProgramBuilder::new();
+    pb.set_name("expr");
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let buf = emit_symbolic_buffer(&mut f, arg_len);
+    let a = f.load(Operand::Reg(buf), Width::W8);
+    let op_addr = f.binary(BinaryOp::Add, Operand::Reg(buf), Operand::word(1));
+    let op = f.load(Operand::Reg(op_addr), Width::W8);
+    let b_addr = f.binary(BinaryOp::Add, Operand::Reg(buf), Operand::word(2));
+    let b = f.load(Operand::Reg(b_addr), Width::W8);
+
+    // Both operands must be digits.
+    let a_ge = f.binary(BinaryOp::Ule, Operand::byte(b'0'), Operand::Reg(a));
+    let a_le = f.binary(BinaryOp::Ule, Operand::Reg(a), Operand::byte(b'9'));
+    let b_ge = f.binary(BinaryOp::Ule, Operand::byte(b'0'), Operand::Reg(b));
+    let b_le = f.binary(BinaryOp::Ule, Operand::Reg(b), Operand::byte(b'9'));
+    let a_dig = f.binary(BinaryOp::And, Operand::Reg(a_ge), Operand::Reg(a_le));
+    let b_dig = f.binary(BinaryOp::And, Operand::Reg(b_ge), Operand::Reg(b_le));
+    let digits = f.binary(BinaryOp::And, Operand::Reg(a_dig), Operand::Reg(b_dig));
+    let ok_bb = f.create_block();
+    let usage_bb = f.create_block();
+    f.branch(Operand::Reg(digits), ok_bb, usage_bb);
+    f.switch_to(usage_bb);
+    f.ret(Some(Operand::word(2)));
+
+    f.switch_to(ok_bb);
+    let av = f.binary(BinaryOp::Sub, Operand::Reg(a), Operand::byte(b'0'));
+    let bv = f.binary(BinaryOp::Sub, Operand::Reg(b), Operand::byte(b'0'));
+    let av32 = f.zext(Operand::Reg(av), Width::W32);
+    let bv32 = f.zext(Operand::Reg(bv), Width::W32);
+    let mut arms = Vec::new();
+    for (ch, binop) in [
+        (b'+', BinaryOp::Add),
+        (b'-', BinaryOp::Sub),
+        (b'*', BinaryOp::Mul),
+        (b'/', BinaryOp::UDiv),
+        (b'%', BinaryOp::URem),
+    ] {
+        let arm_bb = f.create_block();
+        let next_bb = f.create_block();
+        let is_op = f.binary(BinaryOp::Eq, Operand::Reg(op), Operand::byte(ch));
+        f.branch(Operand::Reg(is_op), arm_bb, next_bb);
+        arms.push((arm_bb, binop));
+        f.switch_to(next_bb);
+    }
+    // Unknown operator.
+    f.ret(Some(Operand::word(2)));
+    for (arm_bb, binop) in arms {
+        f.switch_to(arm_bb);
+        let r = f.binary(binop, Operand::Reg(av32), Operand::Reg(bv32));
+        f.ret(Some(Operand::Reg(r)));
+    }
+    let main = f.finish();
+    pb.set_entry(main);
+    pb.finish()
+}
+
+/// `cksum`: a rolling xor/rotate checksum with a branch on the top bit.
+fn cksum(arg_len: u32) -> Program {
+    let mut pb = ProgramBuilder::new();
+    pb.set_name("cksum");
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let (buf, i, sum) = prologue(&mut f, arg_len);
+    let loop_bb = f.create_block();
+    let body_bb = f.create_block();
+    let done_bb = f.create_block();
+    f.jump(loop_bb);
+    f.switch_to(loop_bb);
+    let in_range = f.binary(BinaryOp::Ult, Operand::Reg(i), Operand::word(arg_len));
+    f.branch(Operand::Reg(in_range), body_bb, done_bb);
+    f.switch_to(body_bb);
+    let c = load_indexed(&mut f, buf, i);
+    let c32 = f.zext(Operand::Reg(c), Width::W32);
+    let shifted = f.binary(BinaryOp::Shl, Operand::Reg(sum), Operand::word(1));
+    let top = f.binary(BinaryOp::And, Operand::Reg(c32), Operand::word(0x80));
+    let top_set = f.binary(BinaryOp::Ne, Operand::Reg(top), Operand::word(0));
+    let fold_bb = f.create_block();
+    let plain_bb = f.create_block();
+    let cont_bb = f.create_block();
+    f.branch(Operand::Reg(top_set), fold_bb, plain_bb);
+    f.switch_to(fold_bb);
+    let folded = f.binary(BinaryOp::Xor, Operand::Reg(shifted), Operand::word(0x04C1_1DB7));
+    let mixed = f.binary(BinaryOp::Xor, Operand::Reg(folded), Operand::Reg(c32));
+    f.assign_to(sum, Rvalue::Use(Operand::Reg(mixed)));
+    f.jump(cont_bb);
+    f.switch_to(plain_bb);
+    let mixed2 = f.binary(BinaryOp::Xor, Operand::Reg(shifted), Operand::Reg(c32));
+    f.assign_to(sum, Rvalue::Use(Operand::Reg(mixed2)));
+    f.jump(cont_bb);
+    f.switch_to(cont_bb);
+    bump(&mut f, i);
+    f.jump(loop_bb);
+    f.switch_to(done_bb);
+    f.ret(Some(Operand::Reg(sum)));
+    let main = f.finish();
+    pb.set_entry(main);
+    pb.finish()
+}
+
+/// `cut`: selects the N-th `:`-separated field (N given by the first byte).
+fn cut(arg_len: u32) -> Program {
+    let mut pb = ProgramBuilder::new();
+    pb.set_name("cut");
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let (buf, i, current_field) = prologue(&mut f, arg_len);
+    let wanted = {
+        let c0 = load_indexed(&mut f, buf, i);
+        let raw = f.binary(BinaryOp::Sub, Operand::Reg(c0), Operand::byte(b'0'));
+        let raw32 = f.zext(Operand::Reg(raw), Width::W32);
+        f.binary(BinaryOp::And, Operand::Reg(raw32), Operand::word(0x3))
+    };
+    bump(&mut f, i);
+    let picked = f.copy(Operand::word(0));
+    let loop_bb = f.create_block();
+    let body_bb = f.create_block();
+    let done_bb = f.create_block();
+    f.jump(loop_bb);
+    f.switch_to(loop_bb);
+    let in_range = f.binary(BinaryOp::Ult, Operand::Reg(i), Operand::word(arg_len));
+    f.branch(Operand::Reg(in_range), body_bb, done_bb);
+    f.switch_to(body_bb);
+    let c = load_indexed(&mut f, buf, i);
+    let is_sep = f.binary(BinaryOp::Eq, Operand::Reg(c), Operand::byte(b':'));
+    let sep_bb = f.create_block();
+    let data_bb = f.create_block();
+    let cont_bb = f.create_block();
+    f.branch(Operand::Reg(is_sep), sep_bb, data_bb);
+    f.switch_to(sep_bb);
+    let nf = f.binary(BinaryOp::Add, Operand::Reg(current_field), Operand::word(1));
+    f.assign_to(current_field, Rvalue::Use(Operand::Reg(nf)));
+    f.jump(cont_bb);
+    f.switch_to(data_bb);
+    let in_wanted = f.binary(BinaryOp::Eq, Operand::Reg(current_field), Operand::Reg(wanted));
+    let pick_bb = f.create_block();
+    f.branch(Operand::Reg(in_wanted), pick_bb, cont_bb);
+    f.switch_to(pick_bb);
+    let p1 = f.binary(BinaryOp::Add, Operand::Reg(picked), Operand::word(1));
+    f.assign_to(picked, Rvalue::Use(Operand::Reg(p1)));
+    f.jump(cont_bb);
+    f.switch_to(cont_bb);
+    bump(&mut f, i);
+    f.jump(loop_bb);
+    f.switch_to(done_bb);
+    f.ret(Some(Operand::Reg(picked)));
+    let main = f.finish();
+    pb.set_entry(main);
+    pb.finish()
+}
+
+/// `seq`: parses two single-digit bounds and reports how many numbers would
+/// be printed (zero when the range is empty or the input is malformed).
+fn seq(arg_len: u32) -> Program {
+    assert!(arg_len >= 3);
+    let mut pb = ProgramBuilder::new();
+    pb.set_name("seq");
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let buf = emit_symbolic_buffer(&mut f, arg_len);
+    let lo = f.load(Operand::Reg(buf), Width::W8);
+    let hi_addr = f.binary(BinaryOp::Add, Operand::Reg(buf), Operand::word(2));
+    let hi = f.load(Operand::Reg(hi_addr), Width::W8);
+    let lo_ok_a = f.binary(BinaryOp::Ule, Operand::byte(b'0'), Operand::Reg(lo));
+    let lo_ok_b = f.binary(BinaryOp::Ule, Operand::Reg(lo), Operand::byte(b'9'));
+    let hi_ok_a = f.binary(BinaryOp::Ule, Operand::byte(b'0'), Operand::Reg(hi));
+    let hi_ok_b = f.binary(BinaryOp::Ule, Operand::Reg(hi), Operand::byte(b'9'));
+    let lo_ok = f.binary(BinaryOp::And, Operand::Reg(lo_ok_a), Operand::Reg(lo_ok_b));
+    let hi_ok = f.binary(BinaryOp::And, Operand::Reg(hi_ok_a), Operand::Reg(hi_ok_b));
+    let ok = f.binary(BinaryOp::And, Operand::Reg(lo_ok), Operand::Reg(hi_ok));
+    let ok_bb = f.create_block();
+    let bad_bb = f.create_block();
+    f.branch(Operand::Reg(ok), ok_bb, bad_bb);
+    f.switch_to(bad_bb);
+    f.ret(Some(Operand::word(2)));
+    f.switch_to(ok_bb);
+    let empty = f.binary(BinaryOp::Ult, Operand::Reg(hi), Operand::Reg(lo));
+    let empty_bb = f.create_block();
+    let count_bb = f.create_block();
+    f.branch(Operand::Reg(empty), empty_bb, count_bb);
+    f.switch_to(empty_bb);
+    f.ret(Some(Operand::word(0)));
+    f.switch_to(count_bb);
+    let span = f.binary(BinaryOp::Sub, Operand::Reg(hi), Operand::Reg(lo));
+    let span32 = f.zext(Operand::Reg(span), Width::W32);
+    let count = f.binary(BinaryOp::Add, Operand::Reg(span32), Operand::word(1));
+    f.ret(Some(Operand::Reg(count)));
+    let main = f.finish();
+    pb.set_entry(main);
+    pb.finish()
+}

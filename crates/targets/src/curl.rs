@@ -1,0 +1,122 @@
+//! A curl-style URL globbing parser containing the unmatched-brace crash of
+//! §7.3.2.
+//!
+//! The real bug: `curl "http://site.{one,two,three}.com{"` crashed because
+//! the globbing code did not handle braces that are opened but never closed.
+//! This target parses a symbolic URL and, when a `{` group is still open at
+//! the end of the string, walks past the end of the pattern buffer — an
+//! out-of-bounds read the engine flags, and the generated test case is the
+//! crashing URL.
+
+use crate::helpers::emit_symbolic_buffer;
+use c9_ir::{BinaryOp, Operand, Program, ProgramBuilder, Rvalue, Width};
+
+/// Builds the curl-glob program over a symbolic URL of `url_len` bytes.
+pub fn program(url_len: u32) -> Program {
+    let mut pb = ProgramBuilder::new();
+    pb.set_name("curl-glob");
+
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let url = emit_symbolic_buffer(&mut f, url_len);
+    let depth = f.copy(Operand::word(0));
+    let alternatives = f.copy(Operand::word(0));
+    let i = f.copy(Operand::word(0));
+
+    let loop_bb = f.create_block();
+    let body_bb = f.create_block();
+    let open_bb = f.create_block();
+    let not_open_bb = f.create_block();
+    let close_bb = f.create_block();
+    let not_close_bb = f.create_block();
+    let comma_bb = f.create_block();
+    let next_bb = f.create_block();
+    let end_bb = f.create_block();
+    f.jump(loop_bb);
+
+    f.switch_to(loop_bb);
+    let in_range = f.binary(BinaryOp::Ult, Operand::Reg(i), Operand::word(url_len));
+    f.branch(Operand::Reg(in_range), body_bb, end_bb);
+
+    f.switch_to(body_bb);
+    let i64v = f.zext(Operand::Reg(i), Width::W64);
+    let addr = f.binary(BinaryOp::Add, Operand::Reg(url), Operand::Reg(i64v));
+    let c = f.load(Operand::Reg(addr), Width::W8);
+    let is_nul = f.binary(BinaryOp::Eq, Operand::Reg(c), Operand::byte(0));
+    let not_nul_bb = f.create_block();
+    f.branch(Operand::Reg(is_nul), end_bb, not_nul_bb);
+    f.switch_to(not_nul_bb);
+    let is_open = f.binary(BinaryOp::Eq, Operand::Reg(c), Operand::byte(b'{'));
+    f.branch(Operand::Reg(is_open), open_bb, not_open_bb);
+
+    f.switch_to(open_bb);
+    let d1 = f.binary(BinaryOp::Add, Operand::Reg(depth), Operand::word(1));
+    f.assign_to(depth, Rvalue::Use(Operand::Reg(d1)));
+    f.jump(next_bb);
+
+    f.switch_to(not_open_bb);
+    let is_close = f.binary(BinaryOp::Eq, Operand::Reg(c), Operand::byte(b'}'));
+    f.branch(Operand::Reg(is_close), close_bb, not_close_bb);
+
+    // '}' without a matching '{' is a clean usage error in curl.
+    f.switch_to(close_bb);
+    let unbalanced = f.binary(BinaryOp::Eq, Operand::Reg(depth), Operand::word(0));
+    let err_bb = f.create_block();
+    let dec_bb = f.create_block();
+    f.branch(Operand::Reg(unbalanced), err_bb, dec_bb);
+    f.switch_to(err_bb);
+    f.ret(Some(Operand::word(3)));
+    f.switch_to(dec_bb);
+    let d2 = f.binary(BinaryOp::Sub, Operand::Reg(depth), Operand::word(1));
+    f.assign_to(depth, Rvalue::Use(Operand::Reg(d2)));
+    f.jump(next_bb);
+
+    f.switch_to(not_close_bb);
+    let is_comma = f.binary(BinaryOp::Eq, Operand::Reg(c), Operand::byte(b','));
+    f.branch(Operand::Reg(is_comma), comma_bb, next_bb);
+    f.switch_to(comma_bb);
+    // Commas only count inside a brace group.
+    let inside = f.binary(BinaryOp::Ult, Operand::word(0), Operand::Reg(depth));
+    let count_bb = f.create_block();
+    f.branch(Operand::Reg(inside), count_bb, next_bb);
+    f.switch_to(count_bb);
+    let a1 = f.binary(BinaryOp::Add, Operand::Reg(alternatives), Operand::word(1));
+    f.assign_to(alternatives, Rvalue::Use(Operand::Reg(a1)));
+    f.jump(next_bb);
+
+    f.switch_to(next_bb);
+    let inext = f.binary(BinaryOp::Add, Operand::Reg(i), Operand::word(1));
+    f.assign_to(i, Rvalue::Use(Operand::Reg(inext)));
+    f.jump(loop_bb);
+
+    // End of the URL: if a brace group is still open, the buggy glob expander
+    // keeps scanning for the closing brace past the end of the buffer.
+    f.switch_to(end_bb);
+    let still_open = f.binary(BinaryOp::Ult, Operand::word(0), Operand::Reg(depth));
+    let bug_bb = f.create_block();
+    let ok_bb = f.create_block();
+    f.branch(Operand::Reg(still_open), bug_bb, ok_bb);
+    f.switch_to(bug_bb);
+    // The out-of-bounds scan: reads one byte past the allocation.
+    let past_end = f.binary(
+        BinaryOp::Add,
+        Operand::Reg(url),
+        Operand::word(url_len),
+    );
+    let _ = f.load(Operand::Reg(past_end), Width::W8);
+    f.ret(Some(Operand::word(139)));
+    f.switch_to(ok_bb);
+    let had_alts = f.binary(BinaryOp::Ne, Operand::Reg(alternatives), Operand::word(0));
+    let glob_bb = f.create_block();
+    let plain_bb = f.create_block();
+    f.branch(Operand::Reg(had_alts), glob_bb, plain_bb);
+    f.switch_to(glob_bb);
+    f.ret(Some(Operand::word(0)));
+    f.switch_to(plain_bb);
+    f.ret(Some(Operand::word(1)));
+
+    let main = f.finish();
+    pb.set_entry(main);
+    let program = pb.finish();
+    debug_assert!(program.validate().is_ok());
+    program
+}

@@ -1,0 +1,109 @@
+//! Shared IR-emission helpers for the target programs.
+
+use c9_ir::{BinaryOp, FunctionBuilder, Operand, RegId, Width};
+use c9_posix::nr;
+use c9_vm::sysno;
+
+/// Emits a NUL-terminated string into a fresh allocation; returns the
+/// register holding its address.
+pub fn emit_cstring(f: &mut FunctionBuilder<'_>, s: &str) -> RegId {
+    let bytes = s.as_bytes();
+    let buf = f.alloc(Operand::word(bytes.len() as u32 + 1));
+    for (i, b) in bytes.iter().enumerate() {
+        let addr = f.binary(BinaryOp::Add, Operand::Reg(buf), Operand::word(i as u32));
+        f.store(Operand::Reg(addr), Operand::byte(*b), Width::W8);
+    }
+    buf
+}
+
+/// Emits `base + offset` (offset known at build time).
+pub fn addr_of(f: &mut FunctionBuilder<'_>, base: RegId, offset: u32) -> RegId {
+    f.binary(BinaryOp::Add, Operand::Reg(base), Operand::word(offset))
+}
+
+/// Emits a load of the byte at `base + offset_reg`.
+pub fn load_byte_at(f: &mut FunctionBuilder<'_>, base: RegId, offset: Operand) -> RegId {
+    let addr = f.binary(BinaryOp::Add, Operand::Reg(base), offset);
+    f.load(Operand::Reg(addr), Width::W8)
+}
+
+/// Emits the creation of a stream socket turned into a symbolic input source
+/// with `budget` symbolic bytes; optionally enables packet fragmentation.
+/// Returns the register holding the socket fd.
+pub fn emit_symbolic_socket(f: &mut FunctionBuilder<'_>, budget: u32, fragment: bool) -> RegId {
+    let sock = f.syscall(
+        nr::SOCKET,
+        vec![Operand::Const(nr::SOCK_STREAM, Width::W64)],
+    );
+    f.syscall(
+        nr::IOCTL,
+        vec![
+            Operand::Reg(sock),
+            Operand::Const(nr::SIO_SYMBOLIC, Width::W64),
+            Operand::word(budget),
+        ],
+    );
+    if fragment {
+        f.syscall(
+            nr::IOCTL,
+            vec![
+                Operand::Reg(sock),
+                Operand::Const(nr::SIO_PKT_FRAGMENT, Width::W64),
+                Operand::word(1),
+            ],
+        );
+    }
+    sock
+}
+
+/// Emits a UDP socket marked as a symbolic datagram source.
+pub fn emit_symbolic_udp_socket(
+    f: &mut FunctionBuilder<'_>,
+    budget: u32,
+    fragment: bool,
+) -> RegId {
+    let sock = f.syscall(nr::SOCKET, vec![Operand::Const(nr::SOCK_DGRAM, Width::W64)]);
+    f.syscall(
+        nr::IOCTL,
+        vec![
+            Operand::Reg(sock),
+            Operand::Const(nr::SIO_SYMBOLIC, Width::W64),
+            Operand::word(budget),
+        ],
+    );
+    if fragment {
+        f.syscall(
+            nr::IOCTL,
+            vec![
+                Operand::Reg(sock),
+                Operand::Const(nr::SIO_PKT_FRAGMENT, Width::W64),
+                Operand::word(1),
+            ],
+        );
+    }
+    sock
+}
+
+/// Emits an allocation of `len` bytes filled with fresh symbolic input
+/// (the `cloud9_make_symbolic` test-API pattern); returns the buffer address
+/// register.
+pub fn emit_symbolic_buffer(f: &mut FunctionBuilder<'_>, len: u32) -> RegId {
+    let buf = f.alloc(Operand::word(len));
+    f.syscall(
+        sysno::MAKE_SYMBOLIC,
+        vec![Operand::Reg(buf), Operand::word(len)],
+    );
+    buf
+}
+
+/// Emits `if (byte at base+idx) == ch` as a 1-bit register.
+pub fn emit_byte_eq(
+    f: &mut FunctionBuilder<'_>,
+    base: RegId,
+    idx: u32,
+    ch: u8,
+) -> RegId {
+    let addr = addr_of(f, base, idx);
+    let b = f.load(Operand::Reg(addr), Width::W8);
+    f.binary(BinaryOp::Eq, Operand::Reg(b), Operand::byte(ch))
+}

@@ -1,0 +1,105 @@
+//! Programs under test for the Cloud9-RS evaluation.
+//!
+//! The paper evaluates Cloud9 on real C systems (memcached, lighttpd, curl,
+//! the Coreutils, a lightweight DBMS, …). Cloud9-RS cannot execute C, so this
+//! crate provides *synthetic reproductions* of those targets written in the
+//! `c9-ir` intermediate representation: programs with the same kind of
+//! branching structure (byte-wise protocol parsing, format strings,
+//! request-stream fragmentation, fault-injection points, thread
+//! interleavings) and — where the paper describes a specific bug — the same
+//! bug, so that every experiment in §7 can be regenerated.
+//!
+//! Each module exposes a builder returning a validated [`c9_ir::Program`]
+//! plus, where needed, the symbolic-test setup (symbolic packets, fragmented
+//! sockets, fault injection) expressed through the POSIX model's testing API.
+//!
+//! | Module | Stands in for | Used by |
+//! |---|---|---|
+//! | [`memcached`] | memcached binary-protocol server (+ UDP hang bug) | Fig. 7, Fig. 9, Fig. 12, Fig. 13, Table 5, §7.3.3 |
+//! | [`lighttpd`] | lighttpd request parsing, pre/post patch | Table 6, §7.3.4 |
+//! | [`printf_util`] | the `printf` UNIX utility | Fig. 8, Fig. 10 |
+//! | [`test_util`] | the `test` UNIX utility | Fig. 10 |
+//! | [`curl`] | curl URL globbing (unmatched-brace crash) | §7.3.2 |
+//! | [`bandicoot`] | Bandicoot DBMS GET handler (out-of-bounds read) | §7.3.5 |
+//! | [`coreutils`] | the Coreutils suite | Fig. 11, Table 4 |
+//! | [`producer_consumer`] | the multi-threaded/multi-process benchmark | Table 4, §7.1 |
+
+pub mod bandicoot;
+pub mod coreutils;
+pub mod curl;
+pub mod helpers;
+pub mod lighttpd;
+pub mod memcached;
+pub mod printf_util;
+pub mod producer_consumer;
+pub mod test_util;
+
+pub use lighttpd::LighttpdVersion;
+
+/// A named target program, as listed in Table 4 of the paper.
+#[derive(Clone, Debug)]
+pub struct Target {
+    /// Human-readable name (matching the paper's Table 4 where applicable).
+    pub name: &'static str,
+    /// What kind of software the target stands in for.
+    pub kind: &'static str,
+    /// The program.
+    pub program: c9_ir::Program,
+}
+
+/// Builds the full roster of targets used by the Table 4 experiment.
+pub fn all_targets() -> Vec<Target> {
+    let mut targets = vec![
+        Target {
+            name: "memcached (binary protocol)",
+            kind: "Distributed object cache",
+            program: memcached::program(&memcached::MemcachedConfig::default()),
+        },
+        Target {
+            name: "lighttpd 1.4.12 (pre-patch)",
+            kind: "Web server",
+            program: lighttpd::program(LighttpdVersion::V1_4_12),
+        },
+        Target {
+            name: "lighttpd 1.4.13 (post-patch)",
+            kind: "Web server",
+            program: lighttpd::program(LighttpdVersion::V1_4_13),
+        },
+        Target {
+            name: "curl (URL globbing)",
+            kind: "Network utility",
+            program: curl::program(8),
+        },
+        Target {
+            name: "bandicoot (GET handler)",
+            kind: "Lightweight DBMS",
+            program: bandicoot::program(),
+        },
+        Target {
+            name: "printf",
+            kind: "UNIX utility",
+            program: printf_util::program(8),
+        },
+        Target {
+            name: "test",
+            kind: "UNIX utility",
+            program: test_util::program(6),
+        },
+        Target {
+            name: "producer-consumer benchmark",
+            kind: "Multi-threaded / multi-process benchmark",
+            program: producer_consumer::program(2, 2),
+        },
+    ];
+    for (name, program) in coreutils::suite(4) {
+        targets.push(Target {
+            name,
+            kind: "Coreutils-style utility",
+            program,
+        });
+    }
+    targets
+}
+
+#[cfg(test)]
+mod tests;

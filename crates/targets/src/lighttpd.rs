@@ -1,0 +1,142 @@
+//! A lighttpd-style request reader that is sensitive to how the incoming
+//! byte stream is fragmented (§7.3.4, Table 6).
+//!
+//! lighttpd 1.4.12 crashed when an HTTP request arrived split across multiple
+//! `read()` calls in particular ways; the 1.4.13 fix handled the simple
+//! two-fragment case but still crashed for more aggressive fragmentation.
+//! This target models that history: the request parser accumulates fragments
+//! and the *pre-patch* version crashes as soon as the request is fragmented
+//! at all, while the *post-patch* version only crashes when the request is
+//! split into many small fragments. The fully fixed version never crashes.
+//!
+//! The symbolic test enables `SIO_PKT_FRAGMENT` on the connection socket, so
+//! the engine explores all fragmentation patterns and proves (by finding or
+//! not finding crashing paths) which versions are still buggy — exactly the
+//! §7.3.4 use case.
+
+use crate::helpers::emit_symbolic_socket;
+use c9_ir::{AbortKind, BinaryOp, Operand, Program, ProgramBuilder, Rvalue, Width};
+use c9_posix::nr;
+
+/// Which historical version of the request parser to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LighttpdVersion {
+    /// Pre-patch: crashes whenever the request arrives in more than one
+    /// fragment.
+    V1_4_12,
+    /// Post-patch: handles the two-fragment case but still crashes when the
+    /// request arrives in five or more fragments.
+    V1_4_13,
+    /// A fully fixed parser that tolerates any fragmentation.
+    Fixed,
+}
+
+impl LighttpdVersion {
+    /// The smallest number of request fragments that makes this version
+    /// crash (`None` = never crashes).
+    pub fn crash_threshold(self) -> Option<u32> {
+        match self {
+            LighttpdVersion::V1_4_12 => Some(2),
+            LighttpdVersion::V1_4_13 => Some(5),
+            LighttpdVersion::Fixed => None,
+        }
+    }
+}
+
+/// Length of the modelled request ("GET /index.html HTTP/1.0\r\n\r\n" in the
+/// paper, 28 bytes).
+pub const REQUEST_LEN: u32 = 28;
+
+/// Builds the lighttpd-like program for the given version.
+pub fn program(version: LighttpdVersion) -> Program {
+    let mut pb = ProgramBuilder::new();
+    pb.set_name(match version {
+        LighttpdVersion::V1_4_12 => "lighttpd-1.4.12",
+        LighttpdVersion::V1_4_13 => "lighttpd-1.4.13",
+        LighttpdVersion::Fixed => "lighttpd-fixed",
+    });
+
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let sock = emit_symbolic_socket(&mut f, REQUEST_LEN, true);
+    let total = f.copy(Operand::word(0));
+    let fragments = f.copy(Operand::word(0));
+    let chunk = f.alloc(Operand::word(REQUEST_LEN));
+
+    // Read loop: keep reading until the whole request has arrived or the
+    // stream is exhausted.
+    let read_bb = f.create_block();
+    let after_read_bb = f.create_block();
+    let check_done_bb = f.create_block();
+    let parse_bb = f.create_block();
+    f.jump(read_bb);
+
+    f.switch_to(read_bb);
+    let n = f.syscall(
+        nr::RECV,
+        vec![
+            Operand::Reg(sock),
+            Operand::Reg(chunk),
+            Operand::word(REQUEST_LEN),
+        ],
+    );
+    let n32 = f.trunc(Operand::Reg(n), Width::W32);
+    let eof = f.binary(BinaryOp::Eq, Operand::Reg(n32), Operand::word(0));
+    f.branch(Operand::Reg(eof), parse_bb, after_read_bb);
+
+    f.switch_to(after_read_bb);
+    let new_total = f.binary(BinaryOp::Add, Operand::Reg(total), Operand::Reg(n32));
+    f.assign_to(total, Rvalue::Use(Operand::Reg(new_total)));
+    let new_frags = f.binary(BinaryOp::Add, Operand::Reg(fragments), Operand::word(1));
+    f.assign_to(fragments, Rvalue::Use(Operand::Reg(new_frags)));
+    f.jump(check_done_bb);
+
+    f.switch_to(check_done_bb);
+    let done = f.binary(
+        BinaryOp::Ule,
+        Operand::word(REQUEST_LEN),
+        Operand::Reg(total),
+    );
+    f.branch(Operand::Reg(done), parse_bb, read_bb);
+
+    // Request "parsing": check the method byte, then apply the
+    // version-specific fragmentation bug.
+    f.switch_to(parse_bb);
+    let first = f.load(Operand::Reg(chunk), Width::W8);
+    let is_get = f.binary(BinaryOp::Eq, Operand::Reg(first), Operand::byte(b'G'));
+    let method_ok_bb = f.create_block();
+    let bad_method_bb = f.create_block();
+    f.branch(Operand::Reg(is_get), method_ok_bb, bad_method_bb);
+    f.switch_to(bad_method_bb);
+    // 400 Bad Request.
+    f.ret(Some(Operand::word(400)));
+
+    f.switch_to(method_ok_bb);
+    match version.crash_threshold() {
+        Some(threshold) => {
+            let fragile = f.binary(
+                BinaryOp::Ule,
+                Operand::word(threshold),
+                Operand::Reg(fragments),
+            );
+            let crash_bb = f.create_block();
+            let ok_bb = f.create_block();
+            f.branch(Operand::Reg(fragile), crash_bb, ok_bb);
+            f.switch_to(crash_bb);
+            f.abort(
+                AbortKind::Crash,
+                "request-buffer state corrupted by stream fragmentation",
+            );
+            f.switch_to(ok_bb);
+            f.ret(Some(Operand::word(200)));
+        }
+        None => {
+            f.ret(Some(Operand::word(200)));
+        }
+    }
+
+    let main = f.finish();
+    pb.set_entry(main);
+    let program = pb.finish();
+    debug_assert!(program.validate().is_ok());
+    program
+}

@@ -1,0 +1,309 @@
+//! A memcached-style binary-protocol server (the paper's main scaling and
+//! coverage target, §7.2 and §7.3.3).
+//!
+//! The symbolic test mirrors the paper's setup: the server reads a fixed
+//! number of fully-symbolic binary commands from a socket and processes each
+//! one against an in-memory table. Command processing branches on the magic
+//! byte, the opcode, the key and the value, which is what produces the
+//! 74,503-path explosion of Table 5 at full packet size (our packet sizes are
+//! scaled down so experiments finish on one machine).
+//!
+//! The UDP variant reproduces the hang of §7.3.3: a datagram with a specific
+//! framing byte and length drives the parser into an infinite loop, which the
+//! engine detects through its per-path instruction limit.
+
+use crate::helpers::{addr_of, emit_symbolic_socket, emit_symbolic_udp_socket};
+use c9_ir::{BinaryOp, Operand, Program, ProgramBuilder, Rvalue, Width};
+use c9_posix::nr;
+
+/// Configuration of the memcached-like target.
+#[derive(Clone, Copy, Debug)]
+pub struct MemcachedConfig {
+    /// Number of symbolic commands (packets) the server processes.
+    pub packets: u32,
+    /// Size of each command in bytes (≥ 4).
+    pub packet_size: u32,
+    /// Whether reads are fragmented (`SIO_PKT_FRAGMENT`).
+    pub fragment: bool,
+    /// Whether to build the UDP front-end containing the hang bug.
+    pub udp_mode: bool,
+}
+
+impl Default for MemcachedConfig {
+    fn default() -> MemcachedConfig {
+        MemcachedConfig {
+            packets: 2,
+            packet_size: 5,
+            fragment: false,
+            udp_mode: false,
+        }
+    }
+}
+
+/// Opcode values of the modelled binary protocol.
+pub mod opcodes {
+    /// Fetch a value.
+    pub const GET: u8 = 0;
+    /// Store a value.
+    pub const SET: u8 = 1;
+    /// Remove a value.
+    pub const DELETE: u8 = 2;
+    /// Add only if absent.
+    pub const ADD: u8 = 3;
+    /// Increment a counter value.
+    pub const INCR: u8 = 4;
+    /// Server statistics.
+    pub const STATS: u8 = 5;
+}
+
+/// Builds the memcached-like program.
+pub fn program(config: &MemcachedConfig) -> Program {
+    let mut pb = ProgramBuilder::new();
+    pb.set_name("memcached-like");
+
+    // process_command(table, buf, len) -> status
+    let process = {
+        let mut f = pb.function("process_command", 3, Some(Width::W32));
+        let table = f.param(0);
+        let buf = f.param(1);
+        let len = f.param(2);
+
+        let err_bb = f.create_block();
+        let magic_ok_bb = f.create_block();
+
+        // Commands shorter than the fixed header are rejected.
+        let too_short = f.binary(BinaryOp::Ult, Operand::Reg(len), Operand::word(4));
+        let len_ok_bb = f.create_block();
+        f.branch(Operand::Reg(too_short), err_bb, len_ok_bb);
+
+        f.switch_to(err_bb);
+        f.ret(Some(Operand::word(1)));
+
+        // Magic byte check.
+        f.switch_to(len_ok_bb);
+        let magic = f.load(Operand::Reg(buf), Width::W8);
+        let magic_ok = f.binary(BinaryOp::Eq, Operand::Reg(magic), Operand::byte(0x80));
+        let bad_magic_bb = f.create_block();
+        f.branch(Operand::Reg(magic_ok), magic_ok_bb, bad_magic_bb);
+        f.switch_to(bad_magic_bb);
+        f.ret(Some(Operand::word(2)));
+
+        // Opcode dispatch.
+        f.switch_to(magic_ok_bb);
+        let op_addr = addr_of(&mut f, buf, 1);
+        let opcode = f.load(Operand::Reg(op_addr), Width::W8);
+        let key_addr = addr_of(&mut f, buf, 2);
+        let key = f.load(Operand::Reg(key_addr), Width::W8);
+        // The table has 64 slots; keys are hashed by masking.
+        let slot = f.binary(BinaryOp::And, Operand::Reg(key), Operand::byte(0x3f));
+        let slot64 = f.zext(Operand::Reg(slot), Width::W64);
+        let slot_addr = f.binary(BinaryOp::Add, Operand::Reg(table), Operand::Reg(slot64));
+        let val_addr = addr_of(&mut f, buf, 3);
+        let value = f.load(Operand::Reg(val_addr), Width::W8);
+
+        let get_bb = f.create_block();
+        let not_get_bb = f.create_block();
+        let set_bb = f.create_block();
+        let not_set_bb = f.create_block();
+        let del_bb = f.create_block();
+        let not_del_bb = f.create_block();
+        let add_bb = f.create_block();
+        let not_add_bb = f.create_block();
+        let incr_bb = f.create_block();
+        let not_incr_bb = f.create_block();
+        let stats_bb = f.create_block();
+        let unknown_bb = f.create_block();
+
+        let is_get = f.binary(BinaryOp::Eq, Operand::Reg(opcode), Operand::byte(opcodes::GET));
+        f.branch(Operand::Reg(is_get), get_bb, not_get_bb);
+
+        // GET: distinguish hit and miss.
+        f.switch_to(get_bb);
+        let stored = f.load(Operand::Reg(slot_addr), Width::W8);
+        let miss = f.binary(BinaryOp::Eq, Operand::Reg(stored), Operand::byte(0));
+        let hit_bb = f.create_block();
+        let miss_bb = f.create_block();
+        f.branch(Operand::Reg(miss), miss_bb, hit_bb);
+        f.switch_to(miss_bb);
+        f.ret(Some(Operand::word(10)));
+        f.switch_to(hit_bb);
+        f.ret(Some(Operand::word(11)));
+
+        f.switch_to(not_get_bb);
+        let is_set = f.binary(BinaryOp::Eq, Operand::Reg(opcode), Operand::byte(opcodes::SET));
+        f.branch(Operand::Reg(is_set), set_bb, not_set_bb);
+
+        // SET: reject zero values (so the value byte matters), store otherwise.
+        f.switch_to(set_bb);
+        let zero_val = f.binary(BinaryOp::Eq, Operand::Reg(value), Operand::byte(0));
+        let store_bb = f.create_block();
+        let reject_bb = f.create_block();
+        f.branch(Operand::Reg(zero_val), reject_bb, store_bb);
+        f.switch_to(reject_bb);
+        f.ret(Some(Operand::word(20)));
+        f.switch_to(store_bb);
+        f.store(Operand::Reg(slot_addr), Operand::Reg(value), Width::W8);
+        f.ret(Some(Operand::word(21)));
+
+        f.switch_to(not_set_bb);
+        let is_del = f.binary(
+            BinaryOp::Eq,
+            Operand::Reg(opcode),
+            Operand::byte(opcodes::DELETE),
+        );
+        f.branch(Operand::Reg(is_del), del_bb, not_del_bb);
+
+        f.switch_to(del_bb);
+        f.store(Operand::Reg(slot_addr), Operand::byte(0), Width::W8);
+        f.ret(Some(Operand::word(30)));
+
+        f.switch_to(not_del_bb);
+        let is_add = f.binary(BinaryOp::Eq, Operand::Reg(opcode), Operand::byte(opcodes::ADD));
+        f.branch(Operand::Reg(is_add), add_bb, not_add_bb);
+
+        // ADD: only stores when the slot is empty.
+        f.switch_to(add_bb);
+        let existing = f.load(Operand::Reg(slot_addr), Width::W8);
+        let occupied = f.binary(BinaryOp::Ne, Operand::Reg(existing), Operand::byte(0));
+        let exists_bb = f.create_block();
+        let fresh_bb = f.create_block();
+        f.branch(Operand::Reg(occupied), exists_bb, fresh_bb);
+        f.switch_to(exists_bb);
+        f.ret(Some(Operand::word(40)));
+        f.switch_to(fresh_bb);
+        f.store(Operand::Reg(slot_addr), Operand::Reg(value), Width::W8);
+        f.ret(Some(Operand::word(41)));
+
+        f.switch_to(not_add_bb);
+        let is_incr = f.binary(
+            BinaryOp::Eq,
+            Operand::Reg(opcode),
+            Operand::byte(opcodes::INCR),
+        );
+        f.branch(Operand::Reg(is_incr), incr_bb, not_incr_bb);
+
+        f.switch_to(incr_bb);
+        let cur = f.load(Operand::Reg(slot_addr), Width::W8);
+        let bumped = f.binary(BinaryOp::Add, Operand::Reg(cur), Operand::Reg(value));
+        f.store(Operand::Reg(slot_addr), Operand::Reg(bumped), Width::W8);
+        f.ret(Some(Operand::word(50)));
+
+        f.switch_to(not_incr_bb);
+        let is_stats = f.binary(
+            BinaryOp::Eq,
+            Operand::Reg(opcode),
+            Operand::byte(opcodes::STATS),
+        );
+        f.branch(Operand::Reg(is_stats), stats_bb, unknown_bb);
+
+        // STATS: a couple of sub-commands selected by the value byte.
+        f.switch_to(stats_bb);
+        let verbose = f.binary(BinaryOp::Ult, Operand::Reg(value), Operand::byte(2));
+        let verbose_bb = f.create_block();
+        let brief_bb = f.create_block();
+        f.branch(Operand::Reg(verbose), verbose_bb, brief_bb);
+        f.switch_to(verbose_bb);
+        f.ret(Some(Operand::word(60)));
+        f.switch_to(brief_bb);
+        f.ret(Some(Operand::word(61)));
+
+        f.switch_to(unknown_bb);
+        f.ret(Some(Operand::word(99)));
+        f.finish()
+    };
+
+    // UDP front-end with the hang bug (§7.3.3): a framing byte of 0xFE on a
+    // 3-byte datagram makes the reassembly loop spin forever.
+    let udp_handler = if config.udp_mode {
+        let mut f = pb.function("handle_udp_datagram", 2, Some(Width::W32));
+        let buf = f.param(0);
+        let len = f.param(1);
+        let framing = f.load(Operand::Reg(buf), Width::W8);
+        let is_frag = f.binary(BinaryOp::Eq, Operand::Reg(framing), Operand::byte(0xFE));
+        let frag_bb = f.create_block();
+        let normal_bb = f.create_block();
+        f.branch(Operand::Reg(is_frag), frag_bb, normal_bb);
+
+        // Fragmented framing: a 3-byte fragment never advances the reassembly
+        // cursor — infinite loop.
+        f.switch_to(frag_bb);
+        let is_three = f.binary(BinaryOp::Eq, Operand::Reg(len), Operand::word(3));
+        let hang_bb = f.create_block();
+        let ok_bb = f.create_block();
+        f.branch(Operand::Reg(is_three), hang_bb, ok_bb);
+        f.switch_to(hang_bb);
+        let spin_bb = f.create_block();
+        f.jump(spin_bb);
+        f.switch_to(spin_bb);
+        f.jump(spin_bb);
+        f.switch_to(ok_bb);
+        f.ret(Some(Operand::word(1)));
+
+        f.switch_to(normal_bb);
+        f.ret(Some(Operand::word(0)));
+        Some(f.finish())
+    } else {
+        None
+    };
+
+    // main: read `packets` symbolic commands and process each one.
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let budget = config.packets * config.packet_size;
+    let table = f.alloc(Operand::word(64));
+    let status_acc = f.copy(Operand::word(0));
+
+    if config.udp_mode {
+        let sock = emit_symbolic_udp_socket(&mut f, budget, true);
+        for _ in 0..config.packets {
+            let buf = f.alloc(Operand::word(config.packet_size));
+            let n = f.syscall(
+                nr::RECVFROM,
+                vec![
+                    Operand::Reg(sock),
+                    Operand::Reg(buf),
+                    Operand::word(config.packet_size),
+                ],
+            );
+            let n32 = f.trunc(Operand::Reg(n), Width::W32);
+            let status = f.call(
+                udp_handler.expect("udp handler built in udp mode"),
+                vec![Operand::Reg(buf), Operand::Reg(n32)],
+            );
+            let acc = f.binary(BinaryOp::Add, Operand::Reg(status_acc), Operand::Reg(status));
+            f.assign_to(status_acc, Rvalue::Use(Operand::Reg(acc)));
+        }
+    } else {
+        let sock = emit_symbolic_socket(&mut f, budget, config.fragment);
+        for _ in 0..config.packets {
+            let buf = f.alloc(Operand::word(config.packet_size));
+            let n = f.syscall(
+                nr::RECV,
+                vec![
+                    Operand::Reg(sock),
+                    Operand::Reg(buf),
+                    Operand::word(config.packet_size),
+                ],
+            );
+            let n32 = f.trunc(Operand::Reg(n), Width::W32);
+            let status = f.call(process, vec![Operand::Reg(table), Operand::Reg(buf), Operand::Reg(n32)]);
+            let acc = f.binary(BinaryOp::Add, Operand::Reg(status_acc), Operand::Reg(status));
+            f.assign_to(status_acc, Rvalue::Use(Operand::Reg(acc)));
+        }
+    }
+    f.ret(Some(Operand::Reg(status_acc)));
+    let main = f.finish();
+    pb.set_entry(main);
+    let program = pb.finish();
+    debug_assert!(program.validate().is_ok());
+    program
+}
+
+/// The number of paths a single symbolic command produces (used by tests to
+/// cross-check exhaustive exploration): one per distinct processing outcome.
+pub fn paths_per_command() -> u64 {
+    // err(short read is impossible at full size) + bad magic + get{miss,hit}
+    // + set{reject,store} + delete + add{exists,fresh} + incr + stats{verbose,
+    // brief} + unknown — with an empty table some outcomes (get hit, add
+    // exists) are unreachable for the first command.
+    11
+}

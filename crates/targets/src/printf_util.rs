@@ -1,0 +1,192 @@
+//! A `printf(1)`-style format-string parser (Fig. 8 and Fig. 10 workload).
+//!
+//! The paper uses `printf` because "it performs a lot of parsing of its input
+//! (format specifiers), which produces complex constraints when executed
+//! symbolically". This target is a faithful reduction: a state machine over a
+//! symbolic format string handling `%` conversions, flags, field widths and
+//! escape sequences.
+
+use crate::helpers::emit_symbolic_buffer;
+use c9_ir::{BinaryOp, Operand, Program, ProgramBuilder, Rvalue, Width};
+
+/// Builds the printf-like program over a symbolic format string of
+/// `fmt_len` bytes.
+pub fn program(fmt_len: u32) -> Program {
+    let mut pb = ProgramBuilder::new();
+    pb.set_name("printf");
+
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let fmt = emit_symbolic_buffer(&mut f, fmt_len);
+    let i = f.copy(Operand::word(0));
+    let out_count = f.copy(Operand::word(0));
+    let error = f.copy(Operand::word(0));
+
+    let loop_bb = f.create_block();
+    let body_bb = f.create_block();
+    let percent_bb = f.create_block();
+    let literal_bb = f.create_block();
+    let escape_bb = f.create_block();
+    let next_bb = f.create_block();
+    let done_bb = f.create_block();
+    f.jump(loop_bb);
+
+    // while i < fmt_len
+    f.switch_to(loop_bb);
+    let in_range = f.binary(BinaryOp::Ult, Operand::Reg(i), Operand::word(fmt_len));
+    f.branch(Operand::Reg(in_range), body_bb, done_bb);
+
+    f.switch_to(body_bb);
+    let i64v = f.zext(Operand::Reg(i), Width::W64);
+    let addr = f.binary(BinaryOp::Add, Operand::Reg(fmt), Operand::Reg(i64v));
+    let c = f.load(Operand::Reg(addr), Width::W8);
+    // NUL terminates the format string.
+    let is_nul = f.binary(BinaryOp::Eq, Operand::Reg(c), Operand::byte(0));
+    let not_nul_bb = f.create_block();
+    f.branch(Operand::Reg(is_nul), done_bb, not_nul_bb);
+    f.switch_to(not_nul_bb);
+    let is_pct = f.binary(BinaryOp::Eq, Operand::Reg(c), Operand::byte(b'%'));
+    let not_pct_bb = f.create_block();
+    f.branch(Operand::Reg(is_pct), percent_bb, not_pct_bb);
+    f.switch_to(not_pct_bb);
+    let is_esc = f.binary(BinaryOp::Eq, Operand::Reg(c), Operand::byte(b'\\'));
+    f.branch(Operand::Reg(is_esc), escape_bb, literal_bb);
+
+    // A literal character is simply emitted.
+    f.switch_to(literal_bb);
+    let bumped = f.binary(BinaryOp::Add, Operand::Reg(out_count), Operand::word(1));
+    f.assign_to(out_count, Rvalue::Use(Operand::Reg(bumped)));
+    f.jump(next_bb);
+
+    // Escape sequences: \n, \t, \\ are understood, anything else is an error.
+    f.switch_to(escape_bb);
+    let esc_i = f.binary(BinaryOp::Add, Operand::Reg(i), Operand::word(1));
+    let esc_i64 = f.zext(Operand::Reg(esc_i), Width::W64);
+    let esc_addr = f.binary(BinaryOp::Add, Operand::Reg(fmt), Operand::Reg(esc_i64));
+    let esc_in_range = f.binary(BinaryOp::Ult, Operand::Reg(esc_i), Operand::word(fmt_len));
+    let esc_ok_bb = f.create_block();
+    let esc_bad_bb = f.create_block();
+    let esc_known_bb = f.create_block();
+    let esc_unknown_bb = f.create_block();
+    f.branch(Operand::Reg(esc_in_range), esc_ok_bb, esc_bad_bb);
+    f.switch_to(esc_bad_bb);
+    f.ret(Some(Operand::word(2)));
+    f.switch_to(esc_ok_bb);
+    let e = f.load(Operand::Reg(esc_addr), Width::W8);
+    let is_n = f.binary(BinaryOp::Eq, Operand::Reg(e), Operand::byte(b'n'));
+    let is_t = f.binary(BinaryOp::Eq, Operand::Reg(e), Operand::byte(b't'));
+    let is_bs = f.binary(BinaryOp::Eq, Operand::Reg(e), Operand::byte(b'\\'));
+    let nt = f.binary(BinaryOp::Or, Operand::Reg(is_n), Operand::Reg(is_t));
+    let known = f.binary(BinaryOp::Or, Operand::Reg(nt), Operand::Reg(is_bs));
+    f.branch(Operand::Reg(known), esc_known_bb, esc_unknown_bb);
+    f.switch_to(esc_unknown_bb);
+    let err1 = f.binary(BinaryOp::Add, Operand::Reg(error), Operand::word(1));
+    f.assign_to(error, Rvalue::Use(Operand::Reg(err1)));
+    f.jump(esc_known_bb);
+    f.switch_to(esc_known_bb);
+    f.assign_to(i, Rvalue::Use(Operand::Reg(esc_i)));
+    f.jump(next_bb);
+
+    // Conversion specifications: %[-0][1-9]?[dsxc%]
+    f.switch_to(percent_bb);
+    let spec_i = f.copy(Operand::Reg(esc_i)); // i + 1, recomputed below
+    let si = f.binary(BinaryOp::Add, Operand::Reg(i), Operand::word(1));
+    f.assign_to(spec_i, Rvalue::Use(Operand::Reg(si)));
+    let spec_in_range = f.binary(BinaryOp::Ult, Operand::Reg(spec_i), Operand::word(fmt_len));
+    let spec_ok_bb = f.create_block();
+    let dangling_bb = f.create_block();
+    f.branch(Operand::Reg(spec_in_range), spec_ok_bb, dangling_bb);
+    f.switch_to(dangling_bb);
+    // A bare trailing '%' is an error exit, like printf(1) complaining.
+    f.ret(Some(Operand::word(3)));
+
+    f.switch_to(spec_ok_bb);
+    let si64 = f.zext(Operand::Reg(spec_i), Width::W64);
+    let saddr = f.binary(BinaryOp::Add, Operand::Reg(fmt), Operand::Reg(si64));
+    let s = f.load(Operand::Reg(saddr), Width::W8);
+
+    // Optional flag characters '-' or '0'.
+    let is_minus = f.binary(BinaryOp::Eq, Operand::Reg(s), Operand::byte(b'-'));
+    let is_zero = f.binary(BinaryOp::Eq, Operand::Reg(s), Operand::byte(b'0'));
+    let has_flag = f.binary(BinaryOp::Or, Operand::Reg(is_minus), Operand::Reg(is_zero));
+    let flag_bb = f.create_block();
+    let width_check_bb = f.create_block();
+    f.branch(Operand::Reg(has_flag), flag_bb, width_check_bb);
+    f.switch_to(flag_bb);
+    let si2 = f.binary(BinaryOp::Add, Operand::Reg(spec_i), Operand::word(1));
+    f.assign_to(spec_i, Rvalue::Use(Operand::Reg(si2)));
+    f.jump(width_check_bb);
+
+    // Optional single-digit field width.
+    f.switch_to(width_check_bb);
+    let wi64 = f.zext(Operand::Reg(spec_i), Width::W64);
+    let waddr = f.binary(BinaryOp::Add, Operand::Reg(fmt), Operand::Reg(wi64));
+    let w_in_range = f.binary(BinaryOp::Ult, Operand::Reg(spec_i), Operand::word(fmt_len));
+    let w_ok_bb = f.create_block();
+    let conv_bb = f.create_block();
+    f.branch(Operand::Reg(w_in_range), w_ok_bb, dangling_bb);
+    f.switch_to(w_ok_bb);
+    let wc = f.load(Operand::Reg(waddr), Width::W8);
+    let ge_1 = f.binary(BinaryOp::Ule, Operand::byte(b'1'), Operand::Reg(wc));
+    let le_9 = f.binary(BinaryOp::Ule, Operand::Reg(wc), Operand::byte(b'9'));
+    let is_digit = f.binary(BinaryOp::And, Operand::Reg(ge_1), Operand::Reg(le_9));
+    let digit_bb = f.create_block();
+    f.branch(Operand::Reg(is_digit), digit_bb, conv_bb);
+    f.switch_to(digit_bb);
+    let si3 = f.binary(BinaryOp::Add, Operand::Reg(spec_i), Operand::word(1));
+    f.assign_to(spec_i, Rvalue::Use(Operand::Reg(si3)));
+    f.jump(conv_bb);
+
+    // Conversion character.
+    f.switch_to(conv_bb);
+    let ci64 = f.zext(Operand::Reg(spec_i), Width::W64);
+    let caddr = f.binary(BinaryOp::Add, Operand::Reg(fmt), Operand::Reg(ci64));
+    let c_in_range = f.binary(BinaryOp::Ult, Operand::Reg(spec_i), Operand::word(fmt_len));
+    let c_ok_bb = f.create_block();
+    f.branch(Operand::Reg(c_in_range), c_ok_bb, dangling_bb);
+    f.switch_to(c_ok_bb);
+    let cc = f.load(Operand::Reg(caddr), Width::W8);
+    let is_d = f.binary(BinaryOp::Eq, Operand::Reg(cc), Operand::byte(b'd'));
+    let is_s = f.binary(BinaryOp::Eq, Operand::Reg(cc), Operand::byte(b's'));
+    let is_x = f.binary(BinaryOp::Eq, Operand::Reg(cc), Operand::byte(b'x'));
+    let is_c = f.binary(BinaryOp::Eq, Operand::Reg(cc), Operand::byte(b'c'));
+    let is_p = f.binary(BinaryOp::Eq, Operand::Reg(cc), Operand::byte(b'%'));
+    let ds = f.binary(BinaryOp::Or, Operand::Reg(is_d), Operand::Reg(is_s));
+    let dsx = f.binary(BinaryOp::Or, Operand::Reg(ds), Operand::Reg(is_x));
+    let dsxc = f.binary(BinaryOp::Or, Operand::Reg(dsx), Operand::Reg(is_c));
+    let valid = f.binary(BinaryOp::Or, Operand::Reg(dsxc), Operand::Reg(is_p));
+    let valid_bb = f.create_block();
+    let invalid_bb = f.create_block();
+    f.branch(Operand::Reg(valid), valid_bb, invalid_bb);
+    f.switch_to(invalid_bb);
+    let err2 = f.binary(BinaryOp::Add, Operand::Reg(error), Operand::word(1));
+    f.assign_to(error, Rvalue::Use(Operand::Reg(err2)));
+    f.jump(valid_bb);
+    f.switch_to(valid_bb);
+    let out2 = f.binary(BinaryOp::Add, Operand::Reg(out_count), Operand::word(1));
+    f.assign_to(out_count, Rvalue::Use(Operand::Reg(out2)));
+    f.assign_to(i, Rvalue::Use(Operand::Reg(spec_i)));
+    f.jump(next_bb);
+
+    // i += 1 and loop.
+    f.switch_to(next_bb);
+    let inext = f.binary(BinaryOp::Add, Operand::Reg(i), Operand::word(1));
+    f.assign_to(i, Rvalue::Use(Operand::Reg(inext)));
+    f.jump(loop_bb);
+
+    // Exit code encodes "errors seen" so both outcomes are distinguishable.
+    f.switch_to(done_bb);
+    let had_errors = f.binary(BinaryOp::Ne, Operand::Reg(error), Operand::word(0));
+    let err_exit_bb = f.create_block();
+    let ok_exit_bb = f.create_block();
+    f.branch(Operand::Reg(had_errors), err_exit_bb, ok_exit_bb);
+    f.switch_to(err_exit_bb);
+    f.ret(Some(Operand::word(1)));
+    f.switch_to(ok_exit_bb);
+    f.ret(Some(Operand::word(0)));
+
+    let main = f.finish();
+    pb.set_entry(main);
+    let program = pb.finish();
+    debug_assert!(program.validate().is_ok());
+    program
+}

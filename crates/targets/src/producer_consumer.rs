@@ -1,0 +1,170 @@
+//! The multi-threaded, multi-process producer–consumer benchmark of §7.1.
+//!
+//! "a benchmark consisting of a multi-threaded and multi-process
+//! producer-consumer simulation. The benchmark exercises the entire
+//! functionality of the POSIX model: threads, synchronization, processes, and
+//! networking." Producer threads push tokens into a mutex-protected shared
+//! ring; consumer threads pop them; the parent additionally forks a child
+//! process that echoes a datagram back over UDP.
+
+use c9_ir::{BinaryOp, Operand, Program, ProgramBuilder, Rvalue, Width};
+use c9_posix::{add_libc, nr, MUTEX_SIZE};
+use c9_vm::sysno;
+
+/// Offsets inside the shared block.
+const COUNTER_OFF: u32 = MUTEX_SIZE;
+const DONE_OFF: u32 = MUTEX_SIZE + 4;
+const SHARED_SIZE: u32 = MUTEX_SIZE + 8;
+
+/// Builds the benchmark with the given number of producer and consumer
+/// threads (each producer pushes exactly one token).
+pub fn program(producers: u32, consumers: u32) -> Program {
+    let mut pb = ProgramBuilder::new();
+    pb.set_name("producer-consumer");
+    let libc = add_libc(&mut pb);
+    let producer = pb.declare("producer", 1, None);
+    let consumer = pb.declare("consumer", 1, None);
+
+    // main
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let shared = f.alloc(Operand::word(SHARED_SIZE));
+    f.syscall(sysno::MAKE_SHARED, vec![Operand::Reg(shared)]);
+    f.call(libc.mutex_init, vec![Operand::Reg(shared)]);
+
+    // Networking leg: fork a child process that echoes one datagram.
+    let udp_rx = f.syscall(nr::SOCKET, vec![Operand::Const(nr::SOCK_DGRAM, Width::W64)]);
+    f.syscall(nr::BIND, vec![Operand::Reg(udp_rx), Operand::word(7000)]);
+    let child = f.syscall(sysno::PROCESS_FORK, vec![]);
+    let is_child = f.binary(BinaryOp::Eq, Operand::Reg(child), Operand::word(0));
+    let child_bb = f.create_block();
+    let parent_bb = f.create_block();
+    f.branch(Operand::Reg(is_child), child_bb, parent_bb);
+
+    // Child: send a datagram to the parent's socket, then exit.
+    f.switch_to(child_bb);
+    let tx = f.syscall(nr::SOCKET, vec![Operand::Const(nr::SOCK_DGRAM, Width::W64)]);
+    let msg = f.alloc(Operand::word(4));
+    f.store(Operand::Reg(msg), Operand::byte(b'p'), Width::W8);
+    f.syscall(
+        nr::SENDTO,
+        vec![
+            Operand::Reg(tx),
+            Operand::Reg(msg),
+            Operand::word(1),
+            Operand::word(7000),
+        ],
+    );
+    f.syscall(sysno::PROCESS_TERMINATE, vec![Operand::word(0)]);
+    f.ret(Some(Operand::word(0)));
+
+    // Parent: start the worker threads, wait for the datagram, then wait for
+    // all threads to finish.
+    f.switch_to(parent_bb);
+    for _ in 0..producers {
+        f.syscall(
+            sysno::THREAD_CREATE,
+            vec![
+                Operand::Const(u64::from(producer.0), Width::W32),
+                Operand::Reg(shared),
+            ],
+        );
+    }
+    for _ in 0..consumers {
+        f.syscall(
+            sysno::THREAD_CREATE,
+            vec![
+                Operand::Const(u64::from(consumer.0), Width::W32),
+                Operand::Reg(shared),
+            ],
+        );
+    }
+    let dgram = f.alloc(Operand::word(4));
+    let got = f.syscall(
+        nr::RECVFROM,
+        vec![Operand::Reg(udp_rx), Operand::Reg(dgram), Operand::word(4)],
+    );
+    let got32 = f.trunc(Operand::Reg(got), Width::W32);
+
+    // Wait until every worker marked itself done.
+    let total_workers = producers + consumers;
+    let check_bb = f.create_block();
+    let spin_bb = f.create_block();
+    let done_bb = f.create_block();
+    f.jump(check_bb);
+    f.switch_to(check_bb);
+    let done_addr = f.binary(BinaryOp::Add, Operand::Reg(shared), Operand::word(DONE_OFF));
+    let done = f.load(Operand::Reg(done_addr), Width::W32);
+    let all_done = f.binary(BinaryOp::Eq, Operand::Reg(done), Operand::word(total_workers));
+    f.branch(Operand::Reg(all_done), done_bb, spin_bb);
+    f.switch_to(spin_bb);
+    f.syscall(sysno::THREAD_PREEMPT, vec![]);
+    f.jump(check_bb);
+    f.switch_to(done_bb);
+    let counter_addr = f.binary(
+        BinaryOp::Add,
+        Operand::Reg(shared),
+        Operand::word(COUNTER_OFF),
+    );
+    let counter = f.load(Operand::Reg(counter_addr), Width::W32);
+    // Exit code: tokens left in the ring (producers - consumers, floored at
+    // build time this is exact) plus 100 * datagram bytes received.
+    let scaled = f.binary(BinaryOp::Mul, Operand::Reg(got32), Operand::word(100));
+    let result = f.binary(BinaryOp::Add, Operand::Reg(scaled), Operand::Reg(counter));
+    f.ret(Some(Operand::Reg(result)));
+    let main = f.finish();
+
+    // producer(shared): counter += 1 under the mutex.
+    let mut p = pb.build_declared(producer);
+    let shared = p.param(0);
+    p.call(libc.mutex_lock, vec![Operand::Reg(shared)]);
+    let counter_addr = p.binary(
+        BinaryOp::Add,
+        Operand::Reg(shared),
+        Operand::word(COUNTER_OFF),
+    );
+    let v = p.load(Operand::Reg(counter_addr), Width::W32);
+    p.syscall(sysno::THREAD_PREEMPT, vec![]);
+    let v1 = p.binary(BinaryOp::Add, Operand::Reg(v), Operand::word(1));
+    p.store(Operand::Reg(counter_addr), Operand::Reg(v1), Width::W32);
+    p.call(libc.mutex_unlock, vec![Operand::Reg(shared)]);
+    mark_done(&mut p, shared);
+    p.ret(None);
+    p.finish();
+
+    // consumer(shared): counter -= 1 under the mutex when non-zero.
+    let mut c = pb.build_declared(consumer);
+    let shared = c.param(0);
+    c.call(libc.mutex_lock, vec![Operand::Reg(shared)]);
+    let counter_addr = c.binary(
+        BinaryOp::Add,
+        Operand::Reg(shared),
+        Operand::word(COUNTER_OFF),
+    );
+    let v = c.load(Operand::Reg(counter_addr), Width::W32);
+    let non_zero = c.binary(BinaryOp::Ne, Operand::Reg(v), Operand::word(0));
+    let take_bb = c.create_block();
+    let skip_bb = c.create_block();
+    c.branch(Operand::Reg(non_zero), take_bb, skip_bb);
+    c.switch_to(take_bb);
+    let v1 = c.binary(BinaryOp::Sub, Operand::Reg(v), Operand::word(1));
+    c.store(Operand::Reg(counter_addr), Operand::Reg(v1), Width::W32);
+    c.jump(skip_bb);
+    c.switch_to(skip_bb);
+    c.call(libc.mutex_unlock, vec![Operand::Reg(shared)]);
+    mark_done(&mut c, shared);
+    c.ret(None);
+    c.finish();
+
+    pb.set_entry(main);
+    let program = pb.finish();
+    debug_assert!(program.validate().is_ok());
+    program
+}
+
+fn mark_done(f: &mut c9_ir::FunctionBuilder<'_>, shared: c9_ir::RegId) {
+    let done_addr = f.binary(BinaryOp::Add, Operand::Reg(shared), Operand::word(DONE_OFF));
+    let d = f.load(Operand::Reg(done_addr), Width::W32);
+    let d1 = f.binary(BinaryOp::Add, Operand::Reg(d), Operand::word(1));
+    f.store(Operand::Reg(done_addr), Operand::Reg(d1), Width::W32);
+    let _ = Rvalue::Use(Operand::word(0));
+}

@@ -1,0 +1,129 @@
+//! A `test(1)`-style expression evaluator (Fig. 10 workload).
+//!
+//! Parses a symbolic argument string of the form `[!] -<unary> X` or
+//! `X <op> Y` where `<op>` is one of `=`, `<`, `>`, and the unary operators
+//! are `-z` (empty) and `-n` (non-empty).
+
+use crate::helpers::emit_symbolic_buffer;
+use c9_ir::{BinaryOp, Operand, Program, ProgramBuilder, Rvalue, Width};
+
+/// Builds the test-like program over `arg_len` symbolic argument bytes.
+pub fn program(arg_len: u32) -> Program {
+    assert!(arg_len >= 6, "test expressions need at least 6 bytes");
+    let mut pb = ProgramBuilder::new();
+    pb.set_name("test");
+
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let arg = emit_symbolic_buffer(&mut f, arg_len);
+    let negate = f.copy(Operand::word(0));
+    let pos = f.copy(Operand::word(0));
+
+    // Optional leading "! " negation.
+    let c0 = f.load(Operand::Reg(arg), Width::W8);
+    let is_bang = f.binary(BinaryOp::Eq, Operand::Reg(c0), Operand::byte(b'!'));
+    let bang_bb = f.create_block();
+    let parse_bb = f.create_block();
+    f.branch(Operand::Reg(is_bang), bang_bb, parse_bb);
+    f.switch_to(bang_bb);
+    f.assign_to(negate, Rvalue::Use(Operand::word(1)));
+    f.assign_to(pos, Rvalue::Use(Operand::word(2)));
+    f.jump(parse_bb);
+
+    // Dispatch on the first expression byte.
+    f.switch_to(parse_bb);
+    let p64 = f.zext(Operand::Reg(pos), Width::W64);
+    let head_addr = f.binary(BinaryOp::Add, Operand::Reg(arg), Operand::Reg(p64));
+    let head = f.load(Operand::Reg(head_addr), Width::W8);
+    let result = f.copy(Operand::word(0));
+    let is_dash = f.binary(BinaryOp::Eq, Operand::Reg(head), Operand::byte(b'-'));
+    let unary_bb = f.create_block();
+    let binary_bb = f.create_block();
+    let finish_bb = f.create_block();
+    f.branch(Operand::Reg(is_dash), unary_bb, binary_bb);
+
+    // Unary: -z STR (true when next byte is NUL) / -n STR (the opposite).
+    f.switch_to(unary_bb);
+    let op_addr = f.binary(BinaryOp::Add, Operand::Reg(head_addr), Operand::word(1));
+    let op = f.load(Operand::Reg(op_addr), Width::W8);
+    let str_addr = f.binary(BinaryOp::Add, Operand::Reg(head_addr), Operand::word(3));
+    let first_str = f.load(Operand::Reg(str_addr), Width::W8);
+    let str_empty = f.binary(BinaryOp::Eq, Operand::Reg(first_str), Operand::byte(0));
+    let is_z = f.binary(BinaryOp::Eq, Operand::Reg(op), Operand::byte(b'z'));
+    let z_bb = f.create_block();
+    let not_z_bb = f.create_block();
+    let n_bb = f.create_block();
+    let bad_unary_bb = f.create_block();
+    f.branch(Operand::Reg(is_z), z_bb, not_z_bb);
+    f.switch_to(z_bb);
+    let z_result = f.zext(Operand::Reg(str_empty), Width::W32);
+    f.assign_to(result, Rvalue::Use(Operand::Reg(z_result)));
+    f.jump(finish_bb);
+    f.switch_to(not_z_bb);
+    let is_n = f.binary(BinaryOp::Eq, Operand::Reg(op), Operand::byte(b'n'));
+    f.branch(Operand::Reg(is_n), n_bb, bad_unary_bb);
+    f.switch_to(n_bb);
+    let not_empty = f.binary(BinaryOp::Eq, Operand::Reg(str_empty), Operand::const_(0, Width::W1));
+    let n_result = f.zext(Operand::Reg(not_empty), Width::W32);
+    f.assign_to(result, Rvalue::Use(Operand::Reg(n_result)));
+    f.jump(finish_bb);
+    f.switch_to(bad_unary_bb);
+    // Unknown unary operator: usage error (exit code 2, like test(1)).
+    f.ret(Some(Operand::word(2)));
+
+    // Binary: X op Y over single bytes with op in {'=', '<', '>'}.
+    f.switch_to(binary_bb);
+    let x = head;
+    let op2_addr = f.binary(BinaryOp::Add, Operand::Reg(head_addr), Operand::word(1));
+    let op2 = f.load(Operand::Reg(op2_addr), Width::W8);
+    let y_addr = f.binary(BinaryOp::Add, Operand::Reg(head_addr), Operand::word(2));
+    let y = f.load(Operand::Reg(y_addr), Width::W8);
+    let eq_bb = f.create_block();
+    let not_eq_bb = f.create_block();
+    let lt_bb = f.create_block();
+    let not_lt_bb = f.create_block();
+    let gt_bb = f.create_block();
+    let bad_op_bb = f.create_block();
+    let is_eq = f.binary(BinaryOp::Eq, Operand::Reg(op2), Operand::byte(b'='));
+    f.branch(Operand::Reg(is_eq), eq_bb, not_eq_bb);
+    f.switch_to(eq_bb);
+    let cmp_eq = f.binary(BinaryOp::Eq, Operand::Reg(x), Operand::Reg(y));
+    let r_eq = f.zext(Operand::Reg(cmp_eq), Width::W32);
+    f.assign_to(result, Rvalue::Use(Operand::Reg(r_eq)));
+    f.jump(finish_bb);
+    f.switch_to(not_eq_bb);
+    let is_lt = f.binary(BinaryOp::Eq, Operand::Reg(op2), Operand::byte(b'<'));
+    f.branch(Operand::Reg(is_lt), lt_bb, not_lt_bb);
+    f.switch_to(lt_bb);
+    let cmp_lt = f.binary(BinaryOp::Ult, Operand::Reg(x), Operand::Reg(y));
+    let r_lt = f.zext(Operand::Reg(cmp_lt), Width::W32);
+    f.assign_to(result, Rvalue::Use(Operand::Reg(r_lt)));
+    f.jump(finish_bb);
+    f.switch_to(not_lt_bb);
+    let is_gt = f.binary(BinaryOp::Eq, Operand::Reg(op2), Operand::byte(b'>'));
+    f.branch(Operand::Reg(is_gt), gt_bb, bad_op_bb);
+    f.switch_to(gt_bb);
+    let cmp_gt = f.binary(BinaryOp::Ult, Operand::Reg(y), Operand::Reg(x));
+    let r_gt = f.zext(Operand::Reg(cmp_gt), Width::W32);
+    f.assign_to(result, Rvalue::Use(Operand::Reg(r_gt)));
+    f.jump(finish_bb);
+    f.switch_to(bad_op_bb);
+    f.ret(Some(Operand::word(2)));
+
+    // Apply negation and map to exit codes 0 (true) / 1 (false).
+    f.switch_to(finish_bb);
+    let negated = f.binary(BinaryOp::Xor, Operand::Reg(result), Operand::Reg(negate));
+    let truthy = f.binary(BinaryOp::Ne, Operand::Reg(negated), Operand::word(0));
+    let true_bb = f.create_block();
+    let false_bb = f.create_block();
+    f.branch(Operand::Reg(truthy), true_bb, false_bb);
+    f.switch_to(true_bb);
+    f.ret(Some(Operand::word(0)));
+    f.switch_to(false_bb);
+    f.ret(Some(Operand::word(1)));
+
+    let main = f.finish();
+    pb.set_entry(main);
+    let program = pb.finish();
+    debug_assert!(program.validate().is_ok());
+    program
+}

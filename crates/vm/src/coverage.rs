@@ -1,0 +1,142 @@
+//! Line-coverage bit vectors.
+//!
+//! §3.3 of the paper: "coverage is represented as a bit vector, with one bit
+//! for every line of code". Workers OR their local vector into the global
+//! vector held by the load balancer, and receive the global vector back.
+
+use c9_ir::LineId;
+use serde::{Deserialize, Serialize};
+
+/// A fixed-size bit vector over the line identifiers of one program.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageSet {
+    words: Vec<u64>,
+    num_lines: usize,
+}
+
+impl CoverageSet {
+    /// Creates an empty coverage set for a program with `num_lines` lines.
+    pub fn new(num_lines: usize) -> CoverageSet {
+        CoverageSet {
+            words: vec![0; num_lines.div_ceil(64)],
+            num_lines,
+        }
+    }
+
+    /// Number of lines this set covers.
+    pub fn num_lines(&self) -> usize {
+        self.num_lines
+    }
+
+    /// Marks a line as covered. Returns `true` when the line was not covered
+    /// before.
+    pub fn cover(&mut self, line: LineId) -> bool {
+        let idx = line.index();
+        if idx >= self.num_lines {
+            return false;
+        }
+        let (word, bit) = (idx / 64, idx % 64);
+        let mask = 1u64 << bit;
+        let newly = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        newly
+    }
+
+    /// Whether the line is covered.
+    pub fn is_covered(&self, line: LineId) -> bool {
+        let idx = line.index();
+        if idx >= self.num_lines {
+            return false;
+        }
+        self.words[idx / 64] & (1u64 << (idx % 64)) != 0
+    }
+
+    /// Number of covered lines.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Covered fraction in `[0, 1]`.
+    pub fn ratio(&self) -> f64 {
+        if self.num_lines == 0 {
+            return 0.0;
+        }
+        self.count() as f64 / self.num_lines as f64
+    }
+
+    /// ORs another coverage set into this one. Returns the number of newly
+    /// covered lines.
+    pub fn merge(&mut self, other: &CoverageSet) -> usize {
+        debug_assert_eq!(self.num_lines, other.num_lines);
+        let mut newly = 0;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            newly += (*o & !*w).count_ones() as usize;
+            *w |= *o;
+        }
+        newly
+    }
+
+    /// Number of lines covered by `other` but not by `self`.
+    pub fn new_lines_in(&self, other: &CoverageSet) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(w, o)| (*o & !*w).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates over the covered line identifiers.
+    pub fn iter_covered(&self) -> impl Iterator<Item = LineId> + '_ {
+        (0..self.num_lines)
+            .filter(|i| self.words[i / 64] & (1u64 << (i % 64)) != 0)
+            .map(|i| LineId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cover_and_count() {
+        let mut c = CoverageSet::new(130);
+        assert!(c.cover(LineId(0)));
+        assert!(!c.cover(LineId(0)));
+        assert!(c.cover(LineId(129)));
+        assert!(c.is_covered(LineId(129)));
+        assert!(!c.is_covered(LineId(128)));
+        assert_eq!(c.count(), 2);
+        assert!((c.ratio() - 2.0 / 130.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_lines_ignored() {
+        let mut c = CoverageSet::new(10);
+        assert!(!c.cover(LineId(100)));
+        assert!(!c.is_covered(LineId(100)));
+    }
+
+    #[test]
+    fn merge_counts_new_lines() {
+        let mut a = CoverageSet::new(100);
+        let mut b = CoverageSet::new(100);
+        a.cover(LineId(1));
+        a.cover(LineId(2));
+        b.cover(LineId(2));
+        b.cover(LineId(3));
+        b.cover(LineId(4));
+        assert_eq!(a.new_lines_in(&b), 2);
+        let newly = a.merge(&b);
+        assert_eq!(newly, 2);
+        assert_eq!(a.count(), 4);
+    }
+
+    #[test]
+    fn iter_covered_lists_set_lines() {
+        let mut c = CoverageSet::new(70);
+        c.cover(LineId(5));
+        c.cover(LineId(65));
+        let covered: Vec<u32> = c.iter_covered().map(|l| l.0).collect();
+        assert_eq!(covered, vec![5, 65]);
+    }
+}

@@ -1,0 +1,103 @@
+//! Termination reasons and bug reports.
+
+use c9_ir::AbortKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why an execution state stopped executing.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TerminationReason {
+    /// The program exited normally with the given code.
+    Exit(i64),
+    /// All threads finished.
+    Finished,
+    /// A bug was detected on this path.
+    Bug(BugKind),
+    /// The branch taken was infeasible under the path constraints (should
+    /// not normally happen; kept for robustness).
+    Infeasible,
+    /// The per-path instruction limit was hit — the hang-detection mechanism
+    /// described in §7.3.3 of the paper.
+    MaxInstructions,
+    /// The state was silenced by the engine (e.g. exceeded memory limits).
+    Killed(String),
+}
+
+impl TerminationReason {
+    /// Whether this termination represents a detected bug (including hangs
+    /// and deadlocks).
+    pub fn is_bug(&self) -> bool {
+        matches!(
+            self,
+            TerminationReason::Bug(_) | TerminationReason::MaxInstructions
+        )
+    }
+}
+
+/// Kinds of bugs the engine can detect.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BugKind {
+    /// The program executed an `Abort` terminator.
+    Abort {
+        /// What kind of abort site it was.
+        kind: AbortKind,
+        /// The message attached to the abort site.
+        message: String,
+    },
+    /// An `Assert` instruction failed.
+    AssertFailure {
+        /// The assertion message.
+        message: String,
+    },
+    /// A memory access fell outside every live allocation.
+    OutOfBounds {
+        /// The accessed address.
+        addr: u64,
+        /// The access size in bytes.
+        size: usize,
+    },
+    /// An access hit a freed allocation.
+    UseAfterFree {
+        /// The accessed address.
+        addr: u64,
+    },
+    /// `Free` was called on an address that is not the base of a live
+    /// allocation.
+    InvalidFree {
+        /// The freed address.
+        addr: u64,
+    },
+    /// A division or remainder had a (possibly) zero divisor.
+    DivisionByZero,
+    /// No runnable thread exists and at least one thread is sleeping.
+    Deadlock,
+    /// The program invoked an unknown syscall number.
+    UnknownSyscall(u32),
+    /// The modelled heap limit (set via `set_max_heap`) was exceeded.
+    OutOfMemory {
+        /// The requested allocation size.
+        requested: u64,
+        /// The configured heap limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for BugKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BugKind::Abort { kind, message } => write!(f, "abort ({kind:?}): {message}"),
+            BugKind::AssertFailure { message } => write!(f, "assertion failed: {message}"),
+            BugKind::OutOfBounds { addr, size } => {
+                write!(f, "out-of-bounds access of {size} bytes at {addr:#x}")
+            }
+            BugKind::UseAfterFree { addr } => write!(f, "use after free at {addr:#x}"),
+            BugKind::InvalidFree { addr } => write!(f, "invalid free of {addr:#x}"),
+            BugKind::DivisionByZero => write!(f, "division by zero"),
+            BugKind::Deadlock => write!(f, "deadlock: all threads sleeping"),
+            BugKind::UnknownSyscall(nr) => write!(f, "unknown syscall {nr}"),
+            BugKind::OutOfMemory { requested, limit } => {
+                write!(f, "allocation of {requested} bytes exceeds heap limit {limit}")
+            }
+        }
+    }
+}

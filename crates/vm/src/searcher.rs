@@ -1,0 +1,414 @@
+//! Exploration strategies (searchers).
+//!
+//! A searcher decides which active state to step next. The interface mirrors
+//! KLEE's: the engine informs the searcher when states are added (initial
+//! state, forks) and removed (termination), and asks it to `select` the next
+//! state to run.
+//!
+//! The searchers provided here are the building blocks of the strategies the
+//! paper uses in its evaluation (§7): an interleaving of random-path and
+//! coverage-optimized search. The true random-path strategy walks the
+//! execution tree from the root; in `c9-vm` (which has no global tree) it is
+//! approximated by weighting states inversely to their depth, while the
+//! cluster layer in `c9-core` implements the exact tree walk.
+
+use crate::state::{ExecutionState, StateId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Metadata about a state that searchers may use for prioritization.
+#[derive(Clone, Copy, Debug)]
+pub struct StateMeta {
+    /// Identifier of the state.
+    pub id: StateId,
+    /// Depth in the execution tree.
+    pub depth: usize,
+    /// Number of lines newly covered by the state's most recent step.
+    pub new_coverage: usize,
+}
+
+impl StateMeta {
+    /// Extracts metadata from a state.
+    pub fn of(state: &ExecutionState) -> StateMeta {
+        StateMeta {
+            id: state.id,
+            depth: state.depth(),
+            new_coverage: state.last_new_coverage,
+        }
+    }
+}
+
+/// A strategy for choosing the next state to execute.
+pub trait Searcher: Send {
+    /// Registers a new active state.
+    fn add(&mut self, meta: StateMeta);
+    /// Unregisters a state (terminated or transferred away).
+    fn remove(&mut self, id: StateId);
+    /// Chooses the next state to execute, or `None` if no states remain.
+    fn select(&mut self) -> Option<StateId>;
+    /// Number of states currently registered.
+    fn len(&self) -> usize;
+    /// Whether no states are registered.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Name of the strategy (for reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Depth-first search: always runs the most recently added state.
+#[derive(Debug, Default)]
+pub struct DfsSearcher {
+    stack: Vec<StateId>,
+}
+
+impl DfsSearcher {
+    /// Creates an empty DFS searcher.
+    pub fn new() -> DfsSearcher {
+        DfsSearcher::default()
+    }
+}
+
+impl Searcher for DfsSearcher {
+    fn add(&mut self, meta: StateMeta) {
+        self.stack.push(meta.id);
+    }
+    fn remove(&mut self, id: StateId) {
+        self.stack.retain(|s| *s != id);
+    }
+    fn select(&mut self) -> Option<StateId> {
+        self.stack.last().copied()
+    }
+    fn len(&self) -> usize {
+        self.stack.len()
+    }
+    fn name(&self) -> &'static str {
+        "dfs"
+    }
+}
+
+/// Breadth-first search: runs states in the order they were created.
+#[derive(Debug, Default)]
+pub struct BfsSearcher {
+    queue: VecDeque<StateId>,
+}
+
+impl BfsSearcher {
+    /// Creates an empty BFS searcher.
+    pub fn new() -> BfsSearcher {
+        BfsSearcher::default()
+    }
+}
+
+impl Searcher for BfsSearcher {
+    fn add(&mut self, meta: StateMeta) {
+        self.queue.push_back(meta.id);
+    }
+    fn remove(&mut self, id: StateId) {
+        self.queue.retain(|s| *s != id);
+    }
+    fn select(&mut self) -> Option<StateId> {
+        // Rotate so repeated selections cycle through states fairly.
+        if let Some(front) = self.queue.pop_front() {
+            self.queue.push_back(front);
+            Some(front)
+        } else {
+            None
+        }
+    }
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+}
+
+/// Uniformly random selection among active states.
+#[derive(Debug)]
+pub struct RandomSearcher {
+    states: Vec<StateId>,
+    rng: StdRng,
+}
+
+impl RandomSearcher {
+    /// Creates a random searcher with a fixed seed (deterministic runs).
+    pub fn new(seed: u64) -> RandomSearcher {
+        RandomSearcher {
+            states: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Searcher for RandomSearcher {
+    fn add(&mut self, meta: StateMeta) {
+        self.states.push(meta.id);
+    }
+    fn remove(&mut self, id: StateId) {
+        self.states.retain(|s| *s != id);
+    }
+    fn select(&mut self) -> Option<StateId> {
+        if self.states.is_empty() {
+            return None;
+        }
+        let idx = self.rng.gen_range(0..self.states.len());
+        Some(self.states[idx])
+    }
+    fn len(&self) -> usize {
+        self.states.len()
+    }
+    fn name(&self) -> &'static str {
+        "random-state"
+    }
+}
+
+/// Weighted random selection approximating KLEE's random-path strategy:
+/// shallower states get exponentially larger weight, which is equivalent to
+/// walking a balanced execution tree from the root.
+#[derive(Debug)]
+pub struct RandomPathSearcher {
+    states: Vec<(StateId, usize)>,
+    rng: StdRng,
+}
+
+impl RandomPathSearcher {
+    /// Creates a random-path searcher with a fixed seed.
+    pub fn new(seed: u64) -> RandomPathSearcher {
+        RandomPathSearcher {
+            states: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn weight(depth: usize) -> f64 {
+        // 2^-min(depth, 60) without underflow.
+        let d = depth.min(60) as i32;
+        2f64.powi(-d)
+    }
+}
+
+impl Searcher for RandomPathSearcher {
+    fn add(&mut self, meta: StateMeta) {
+        self.states.push((meta.id, meta.depth));
+    }
+    fn remove(&mut self, id: StateId) {
+        self.states.retain(|(s, _)| *s != id);
+    }
+    fn select(&mut self) -> Option<StateId> {
+        if self.states.is_empty() {
+            return None;
+        }
+        let total: f64 = self.states.iter().map(|(_, d)| Self::weight(*d)).sum();
+        let mut pick = self.rng.gen::<f64>() * total;
+        for (id, depth) in &self.states {
+            pick -= Self::weight(*depth);
+            if pick <= 0.0 {
+                return Some(*id);
+            }
+        }
+        self.states.last().map(|(id, _)| *id)
+    }
+    fn len(&self) -> usize {
+        self.states.len()
+    }
+    fn name(&self) -> &'static str {
+        "random-path"
+    }
+}
+
+/// Coverage-optimized search: states whose last step discovered new coverage
+/// are strongly preferred, the rest are weighted uniformly.
+#[derive(Debug)]
+pub struct CoverageOptimizedSearcher {
+    states: Vec<(StateId, usize)>,
+    rng: StdRng,
+}
+
+impl CoverageOptimizedSearcher {
+    /// Creates a coverage-optimized searcher with a fixed seed.
+    pub fn new(seed: u64) -> CoverageOptimizedSearcher {
+        CoverageOptimizedSearcher {
+            states: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Searcher for CoverageOptimizedSearcher {
+    fn add(&mut self, meta: StateMeta) {
+        self.states.push((meta.id, meta.new_coverage));
+    }
+    fn remove(&mut self, id: StateId) {
+        self.states.retain(|(s, _)| *s != id);
+    }
+    fn select(&mut self) -> Option<StateId> {
+        if self.states.is_empty() {
+            return None;
+        }
+        let total: f64 = self
+            .states
+            .iter()
+            .map(|(_, c)| 1.0 + 10.0 * *c as f64)
+            .sum();
+        let mut pick = self.rng.gen::<f64>() * total;
+        for (id, c) in &self.states {
+            pick -= 1.0 + 10.0 * *c as f64;
+            if pick <= 0.0 {
+                return Some(*id);
+            }
+        }
+        self.states.last().map(|(id, _)| *id)
+    }
+    fn len(&self) -> usize {
+        self.states.len()
+    }
+    fn name(&self) -> &'static str {
+        "coverage-optimized"
+    }
+}
+
+/// Interleaves several searchers round-robin — the configuration used in the
+/// paper's evaluation is an interleaving of random-path and
+/// coverage-optimized search.
+pub struct InterleavedSearcher {
+    searchers: Vec<Box<dyn Searcher>>,
+    next: usize,
+}
+
+impl InterleavedSearcher {
+    /// Creates an interleaving of the given searchers.
+    pub fn new(searchers: Vec<Box<dyn Searcher>>) -> InterleavedSearcher {
+        assert!(!searchers.is_empty());
+        InterleavedSearcher { searchers, next: 0 }
+    }
+
+    /// The default strategy of the paper's evaluation: random-path
+    /// interleaved with coverage-optimized search.
+    pub fn klee_default(seed: u64) -> InterleavedSearcher {
+        InterleavedSearcher::new(vec![
+            Box::new(RandomPathSearcher::new(seed)),
+            Box::new(CoverageOptimizedSearcher::new(seed.wrapping_add(1))),
+        ])
+    }
+}
+
+impl Searcher for InterleavedSearcher {
+    fn add(&mut self, meta: StateMeta) {
+        for s in &mut self.searchers {
+            s.add(meta);
+        }
+    }
+    fn remove(&mut self, id: StateId) {
+        for s in &mut self.searchers {
+            s.remove(id);
+        }
+    }
+    fn select(&mut self) -> Option<StateId> {
+        let n = self.searchers.len();
+        for i in 0..n {
+            let idx = (self.next + i) % n;
+            if let Some(id) = self.searchers[idx].select() {
+                self.next = (idx + 1) % n;
+                return Some(id);
+            }
+        }
+        None
+    }
+    fn len(&self) -> usize {
+        self.searchers[0].len()
+    }
+    fn name(&self) -> &'static str {
+        "interleaved"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(id: u64, depth: usize, cov: usize) -> StateMeta {
+        StateMeta {
+            id: StateId(id),
+            depth,
+            new_coverage: cov,
+        }
+    }
+
+    #[test]
+    fn dfs_runs_newest_first() {
+        let mut s = DfsSearcher::new();
+        s.add(meta(1, 0, 0));
+        s.add(meta(2, 1, 0));
+        assert_eq!(s.select(), Some(StateId(2)));
+        s.remove(StateId(2));
+        assert_eq!(s.select(), Some(StateId(1)));
+        s.remove(StateId(1));
+        assert_eq!(s.select(), None);
+    }
+
+    #[test]
+    fn bfs_cycles_fairly() {
+        let mut s = BfsSearcher::new();
+        s.add(meta(1, 0, 0));
+        s.add(meta(2, 0, 0));
+        let first = s.select().unwrap();
+        let second = s.select().unwrap();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn random_searchers_are_deterministic_per_seed() {
+        let mut a = RandomSearcher::new(7);
+        let mut b = RandomSearcher::new(7);
+        for i in 0..10 {
+            a.add(meta(i, 0, 0));
+            b.add(meta(i, 0, 0));
+        }
+        for _ in 0..20 {
+            assert_eq!(a.select(), b.select());
+        }
+    }
+
+    #[test]
+    fn random_path_prefers_shallow_states() {
+        let mut s = RandomPathSearcher::new(3);
+        s.add(meta(1, 0, 0));
+        s.add(meta(2, 30, 0));
+        let mut shallow = 0;
+        for _ in 0..200 {
+            if s.select() == Some(StateId(1)) {
+                shallow += 1;
+            }
+        }
+        assert!(shallow > 150, "shallow state selected only {shallow}/200");
+    }
+
+    #[test]
+    fn coverage_optimized_prefers_new_coverage() {
+        let mut s = CoverageOptimizedSearcher::new(3);
+        s.add(meta(1, 0, 0));
+        s.add(meta(2, 0, 5));
+        let mut covered = 0;
+        for _ in 0..200 {
+            if s.select() == Some(StateId(2)) {
+                covered += 1;
+            }
+        }
+        assert!(covered > 120, "covering state selected only {covered}/200");
+    }
+
+    #[test]
+    fn interleaved_alternates_and_stays_consistent() {
+        let mut s = InterleavedSearcher::klee_default(1);
+        assert!(s.is_empty());
+        s.add(meta(1, 0, 0));
+        s.add(meta(2, 3, 2));
+        assert_eq!(s.len(), 2);
+        assert!(s.select().is_some());
+        s.remove(StateId(1));
+        s.remove(StateId(2));
+        assert_eq!(s.select(), None);
+    }
+}

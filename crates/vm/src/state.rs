@@ -1,0 +1,413 @@
+//! Execution states.
+
+use crate::coverage::CoverageSet;
+use crate::env::EnvState;
+use crate::errors::TerminationReason;
+use crate::memory::{AddressSpaceId, Memory};
+use crate::thread::{Frame, Process, ProcessId, Thread, ThreadId, ThreadStatus, WaitLists};
+use crate::value::Value;
+use c9_expr::{Expr, ExprRef, SymbolManager, Width};
+use c9_ir::{Operand, Program, RegId};
+use c9_solver::ConstraintSet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an execution state (unique within one worker).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StateId(pub u64);
+
+/// Generator of fresh state identifiers.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct StateIdGen {
+    next: u64,
+}
+
+impl StateIdGen {
+    /// Creates a generator starting at zero.
+    pub fn new() -> StateIdGen {
+        StateIdGen::default()
+    }
+
+    /// Returns a fresh identifier.
+    pub fn fresh(&mut self) -> StateId {
+        let id = StateId(self.next);
+        self.next += 1;
+        id
+    }
+}
+
+/// One decision recorded along an execution path.
+///
+/// The sequence of choices from the root of the execution tree to a state is
+/// the *job encoding* that Cloud9 workers exchange (§3.2): it is enough to
+/// deterministically reconstruct the state by replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum PathChoice {
+    /// A conditional branch on a symbolic condition; `true` means the
+    /// then-branch was taken.
+    Branch(bool),
+    /// A multi-way fork (fault injection alternative, scheduling decision,
+    /// symbolic syscall outcome). `chosen` is the index taken out of `total`
+    /// alternatives.
+    Alt {
+        /// Index of the alternative this path took.
+        chosen: u32,
+        /// Number of alternatives at the fork point.
+        total: u32,
+    },
+}
+
+/// The scheduling policy for symbolic threads (§5.1, `cloud9_set_scheduler`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerPolicy {
+    /// Deterministic round-robin at preemption points.
+    RoundRobin,
+    /// Fork the state for every possible next thread at each preemption
+    /// point (exhaustive schedule exploration).
+    ForkAll,
+    /// Iterative context bounding: fork over threads only while the number
+    /// of preemptions along the path is below the bound.
+    ContextBound(u32),
+}
+
+impl Default for SchedulerPolicy {
+    fn default() -> SchedulerPolicy {
+        SchedulerPolicy::RoundRobin
+    }
+}
+
+/// Per-state execution statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateStats {
+    /// Instructions executed while exploring new work.
+    pub instructions: u64,
+    /// Instructions executed while replaying a job path received from
+    /// another worker (not "useful work" in the paper's terminology).
+    pub replay_instructions: u64,
+    /// Number of forks this state has gone through (its depth in forks).
+    pub forks: u64,
+    /// Number of syscalls executed.
+    pub syscalls: u64,
+    /// Number of preemption points encountered.
+    pub preemptions: u64,
+}
+
+/// Cursor over a path being replayed (job materialization).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplayCursor {
+    /// The decisions to follow.
+    pub choices: Vec<PathChoice>,
+    /// How many have been consumed.
+    pub pos: usize,
+}
+
+impl ReplayCursor {
+    /// Creates a cursor over `choices`.
+    pub fn new(choices: Vec<PathChoice>) -> ReplayCursor {
+        ReplayCursor { choices, pos: 0 }
+    }
+
+    /// Whether unconsumed choices remain.
+    pub fn active(&self) -> bool {
+        self.pos < self.choices.len()
+    }
+
+    /// Consumes and returns the next choice.
+    pub fn next(&mut self) -> Option<PathChoice> {
+        let c = self.choices.get(self.pos).copied();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+}
+
+/// A complete symbolic execution state: one node of the execution tree.
+///
+/// States are cloned when execution forks; everything inside is either cheap
+/// to clone or copy-on-write (memory objects, expressions).
+pub struct ExecutionState {
+    /// Identifier of the state (unique per worker).
+    pub id: StateId,
+    /// Symbol allocator for this path.
+    pub symbols: SymbolManager,
+    /// Path constraints accumulated so far.
+    pub constraints: ConstraintSet,
+    /// All memory: address spaces and CoW domains.
+    pub memory: Memory,
+    /// Processes, indexed by [`ProcessId`].
+    pub processes: Vec<Process>,
+    /// Threads, indexed by [`ThreadId`].
+    pub threads: Vec<Thread>,
+    /// Index of the currently scheduled thread.
+    pub current_thread: usize,
+    /// Wait lists for sleeping threads.
+    pub wait_lists: WaitLists,
+    /// Environment-model state (taken out temporarily while handling a
+    /// syscall).
+    pub env: Option<Box<dyn EnvState>>,
+    /// The decisions taken along this path.
+    pub path: Vec<PathChoice>,
+    /// Lines covered along this path.
+    pub coverage: CoverageSet,
+    /// Execution statistics.
+    pub stats: StateStats,
+    /// Set once the state has stopped executing.
+    pub termination: Option<TerminationReason>,
+    /// Replay cursor (present while materializing a transferred job).
+    pub replay: Option<ReplayCursor>,
+    /// Scheduling policy for preemption points.
+    pub scheduler: SchedulerPolicy,
+    /// Modelled heap limit in bytes (None = unlimited), set via
+    /// `set_max_heap`.
+    pub max_heap: Option<u64>,
+    /// Number of newly covered lines in the most recent step (used by the
+    /// coverage-optimized searcher).
+    pub last_new_coverage: usize,
+}
+
+impl Clone for ExecutionState {
+    fn clone(&self) -> ExecutionState {
+        ExecutionState {
+            id: self.id,
+            symbols: self.symbols.clone(),
+            constraints: self.constraints.clone(),
+            memory: self.memory.clone(),
+            processes: self.processes.clone(),
+            threads: self.threads.clone(),
+            current_thread: self.current_thread,
+            wait_lists: self.wait_lists.clone(),
+            env: self.env.as_ref().map(|e| e.clone_box()),
+            path: self.path.clone(),
+            coverage: self.coverage.clone(),
+            stats: self.stats,
+            termination: self.termination.clone(),
+            replay: self.replay.clone(),
+            scheduler: self.scheduler,
+            max_heap: self.max_heap,
+            last_new_coverage: self.last_new_coverage,
+        }
+    }
+}
+
+impl fmt::Debug for ExecutionState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecutionState")
+            .field("id", &self.id)
+            .field("depth", &self.path.len())
+            .field("constraints", &self.constraints.len())
+            .field("threads", &self.threads.len())
+            .field("terminated", &self.termination)
+            .finish()
+    }
+}
+
+impl ExecutionState {
+    /// Creates the initial state of `program`: one process, one thread,
+    /// positioned at the entry function.
+    pub fn initial(id: StateId, program: &Program, env: Box<dyn EnvState>) -> ExecutionState {
+        let memory = Memory::new();
+        let entry = program.function(program.entry);
+        let frame = Frame::new(program.entry, entry.entry, entry.num_regs, None);
+        let process = Process {
+            pid: ProcessId(0),
+            parent: None,
+            space: memory.initial_space(),
+            terminated: false,
+            exit_code: 0,
+        };
+        let thread = Thread {
+            tid: ThreadId(0),
+            pid: ProcessId(0),
+            frames: vec![frame],
+            status: ThreadStatus::Runnable,
+            restart_syscall: false,
+        };
+        ExecutionState {
+            id,
+            symbols: SymbolManager::new(),
+            constraints: ConstraintSet::new(),
+            memory,
+            processes: vec![process],
+            threads: vec![thread],
+            current_thread: 0,
+            wait_lists: WaitLists::default(),
+            env: Some(env),
+            path: Vec::new(),
+            coverage: CoverageSet::new(program.loc()),
+            stats: StateStats::default(),
+            termination: None,
+            replay: None,
+            scheduler: SchedulerPolicy::RoundRobin,
+            max_heap: None,
+            last_new_coverage: 0,
+        }
+    }
+
+    /// Clones this state into a sibling with a new identifier (a fork).
+    pub fn fork(&self, new_id: StateId) -> ExecutionState {
+        let mut clone = self.clone();
+        clone.id = new_id;
+        clone.stats.forks += 1;
+        clone
+    }
+
+    /// Whether the state has stopped executing.
+    pub fn is_terminated(&self) -> bool {
+        self.termination.is_some()
+    }
+
+    /// Depth of the state in the execution tree (number of recorded
+    /// decisions).
+    pub fn depth(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Whether the state is currently replaying a transferred job path.
+    pub fn is_replaying(&self) -> bool {
+        self.replay.as_ref().is_some_and(|r| r.active())
+    }
+
+    /// The currently scheduled thread.
+    pub fn thread(&self) -> &Thread {
+        &self.threads[self.current_thread]
+    }
+
+    /// The currently scheduled thread, mutably.
+    pub fn thread_mut(&mut self) -> &mut Thread {
+        &mut self.threads[self.current_thread]
+    }
+
+    /// The process of the currently scheduled thread.
+    pub fn process(&self) -> &Process {
+        &self.processes[self.thread().pid.0 as usize]
+    }
+
+    /// The address space of the currently scheduled thread.
+    pub fn current_space(&self) -> AddressSpaceId {
+        self.process().space
+    }
+
+    /// Indices of all runnable threads.
+    pub fn runnable_threads(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_runnable())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of threads that are sleeping on a wait list.
+    pub fn sleeping_threads(&self) -> usize {
+        self.threads
+            .iter()
+            .filter(|t| matches!(t.status, ThreadStatus::Sleeping(_)))
+            .count()
+    }
+
+    /// Picks the next runnable thread after `self.current_thread`
+    /// (round-robin). Returns `false` if no thread is runnable.
+    pub fn schedule_round_robin(&mut self) -> bool {
+        let n = self.threads.len();
+        for offset in 1..=n {
+            let idx = (self.current_thread + offset) % n;
+            if self.threads[idx].is_runnable() {
+                self.current_thread = idx;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Adds a path constraint.
+    pub fn add_constraint(&mut self, constraint: ExprRef) {
+        self.constraints.push(constraint);
+    }
+
+    /// Records a path decision.
+    pub fn record_choice(&mut self, choice: PathChoice) {
+        self.path.push(choice);
+    }
+
+    /// Allocates `count` fresh symbolic bytes named `name[i]` and returns
+    /// their expressions.
+    pub fn fresh_symbolic_bytes(&mut self, name: &str, count: usize) -> Vec<ExprRef> {
+        self.symbols
+            .fresh_bytes(name, count)
+            .into_iter()
+            .map(|s| Expr::sym(s, Width::W8))
+            .collect()
+    }
+
+    /// Allocates a fresh symbolic value of the given width.
+    pub fn fresh_symbolic(&mut self, name: &str, width: Width) -> ExprRef {
+        let sym = self.symbols.fresh(name, width);
+        Expr::sym(sym, width)
+    }
+
+    /// Reads an operand in the context of the current frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current thread has no frame (callers check this).
+    pub fn read_operand(&self, op: &Operand) -> Value {
+        match op {
+            Operand::Const(v, w) => Value::concrete(*v, *w),
+            Operand::Reg(r) => {
+                let frame = self.thread().top_frame().expect("no active frame");
+                frame.regs[r.0 as usize].clone()
+            }
+        }
+    }
+
+    /// Writes a register of the current frame.
+    pub fn write_reg(&mut self, reg: RegId, value: Value) {
+        let frame = self
+            .thread_mut()
+            .top_frame_mut()
+            .expect("no active frame");
+        frame.regs[reg.0 as usize] = value;
+    }
+
+    /// Marks the state as terminated.
+    pub fn terminate(&mut self, reason: TerminationReason) {
+        if self.termination.is_none() {
+            self.termination = Some(reason);
+        }
+    }
+
+    /// Total instructions executed (useful + replay).
+    pub fn total_instructions(&self) -> u64 {
+        self.stats.instructions + self.stats.replay_instructions
+    }
+
+    /// Downcasts the environment state to a concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the environment state has been taken out (i.e. called from
+    /// within a syscall handler) or is of a different type.
+    pub fn env_as<T: 'static>(&self) -> &T {
+        self.env
+            .as_ref()
+            .expect("environment state taken")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("environment state has unexpected type")
+    }
+
+    /// Downcasts the environment state mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ExecutionState::env_as`].
+    pub fn env_as_mut<T: 'static>(&mut self) -> &mut T {
+        self.env
+            .as_mut()
+            .expect("environment state taken")
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .expect("environment state has unexpected type")
+    }
+}

@@ -1,0 +1,51 @@
+//! Engine-primitive syscall numbers.
+//!
+//! These are the "symbolic system calls" of Table 1 in the Cloud9 paper, plus
+//! a handful of KLEE-style testing primitives (`make_symbolic`, `assume`,
+//! `exit`). They are handled directly by the executor; numbers at or above
+//! [`c9_ir::Program::ENV_SYSCALL_BASE`] are routed to the registered
+//! [`crate::Environment`] instead.
+
+/// `cloud9_make_shared(addr)` — share the object containing `addr` across the
+/// process's CoW domain. Returns the object base address.
+pub const MAKE_SHARED: u32 = 1;
+/// `cloud9_thread_create(func_id, arg)` — create a thread running function
+/// `func_id` with a single argument. Returns the new thread id.
+pub const THREAD_CREATE: u32 = 2;
+/// `cloud9_thread_terminate()` — terminate the calling thread.
+pub const THREAD_TERMINATE: u32 = 3;
+/// `cloud9_process_fork()` — fork the calling process *within* the state.
+/// Returns the child pid in the parent and 0 in the child.
+pub const PROCESS_FORK: u32 = 4;
+/// `cloud9_process_terminate(code)` — terminate the calling process.
+pub const PROCESS_TERMINATE: u32 = 5;
+/// `cloud9_get_context()` — returns `(pid << 16) | tid`.
+pub const GET_CONTEXT: u32 = 6;
+/// `cloud9_thread_preempt()` — yield the processor at an explicit preemption
+/// point.
+pub const THREAD_PREEMPT: u32 = 7;
+/// `cloud9_thread_sleep(wlist)` — sleep on a waiting queue.
+pub const THREAD_SLEEP: u32 = 8;
+/// `cloud9_thread_notify(wlist, all)` — wake one (`all = 0`) or all
+/// (`all = 1`) threads from a waiting queue.
+pub const THREAD_NOTIFY: u32 = 9;
+/// `cloud9_get_wlist()` — create a new waiting queue and return its id.
+pub const GET_WLIST: u32 = 10;
+/// `cloud9_make_symbolic(addr, len)` — overwrite `len` guest bytes at `addr`
+/// with fresh symbolic bytes.
+pub const MAKE_SYMBOLIC: u32 = 11;
+/// `exit(code)` — terminate the whole state with an exit code.
+pub const EXIT: u32 = 12;
+/// `assume(cond)` — add `cond != 0` to the path constraints; terminates the
+/// path as infeasible if the assumption contradicts them.
+pub const ASSUME: u32 = 13;
+/// Debugging print; ignored by the engine.
+pub const PRINT: u32 = 14;
+/// `cloud9_set_max_heap(bytes)` — set the modelled heap limit.
+pub const SET_MAX_HEAP: u32 = 15;
+/// `cloud9_set_scheduler(policy)` — select the scheduling policy
+/// (0 = round-robin, 1 = fork-all, otherwise context bound of `policy - 1`).
+pub const SET_SCHEDULER: u32 = 16;
+/// Returns a fresh symbolic value of the width given by the first argument
+/// (in bits). A convenience wrapper over `MAKE_SYMBOLIC` for scalars.
+pub const SYMBOLIC_VALUE: u32 = 17;

@@ -1,0 +1,148 @@
+//! Runtime values: concrete constants or symbolic expressions.
+
+use c9_expr::{ConstValue, Expr, ExprRef, Width};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A value held in a register or memory cell during symbolic execution.
+///
+/// Values are kept concrete for as long as possible; they only become
+/// [`Value::Symbolic`] when they (transitively) depend on a symbolic input.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Value {
+    /// A fully concrete value.
+    Concrete(ConstValue),
+    /// A value that depends on symbolic inputs.
+    Symbolic(ExprRef),
+}
+
+impl Value {
+    /// Creates a concrete value.
+    pub fn concrete(bits: u64, width: Width) -> Value {
+        Value::Concrete(ConstValue::new(bits, width))
+    }
+
+    /// Creates a concrete byte.
+    pub fn byte(b: u8) -> Value {
+        Value::concrete(u64::from(b), Width::W8)
+    }
+
+    /// Creates a value from an expression, collapsing constants.
+    pub fn from_expr(e: ExprRef) -> Value {
+        match e.as_const() {
+            Some(c) => Value::Concrete(c),
+            None => Value::Symbolic(e),
+        }
+    }
+
+    /// The width of the value.
+    pub fn width(&self) -> Width {
+        match self {
+            Value::Concrete(c) => c.width(),
+            Value::Symbolic(e) => e.width(),
+        }
+    }
+
+    /// Whether the value is concrete.
+    pub fn is_concrete(&self) -> bool {
+        matches!(self, Value::Concrete(_))
+    }
+
+    /// The concrete bits, if the value is concrete.
+    pub fn as_concrete(&self) -> Option<ConstValue> {
+        match self {
+            Value::Concrete(c) => Some(*c),
+            Value::Symbolic(_) => None,
+        }
+    }
+
+    /// The concrete unsigned value, if concrete.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_concrete().map(|c| c.value())
+    }
+
+    /// Converts the value into an expression (constants become `Const`
+    /// nodes).
+    pub fn to_expr(&self) -> ExprRef {
+        match self {
+            Value::Concrete(c) => Expr::const_value(*c),
+            Value::Symbolic(e) => e.clone(),
+        }
+    }
+
+    /// Reinterprets the value at a different width via zero extension or
+    /// truncation.
+    pub fn zext_or_trunc(&self, width: Width) -> Value {
+        if self.width() == width {
+            return self.clone();
+        }
+        match self {
+            Value::Concrete(c) => Value::Concrete(if width.bits() > c.width().bits() {
+                c.zext(width)
+            } else {
+                c.extract(0, width)
+            }),
+            Value::Symbolic(e) => {
+                if width.bits() > e.width().bits() {
+                    Value::from_expr(Expr::zext(e.clone(), width))
+                } else {
+                    Value::from_expr(Expr::extract(e.clone(), 0, width))
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Concrete(c) => write!(f, "{c:?}"),
+            Value::Symbolic(e) => write!(f, "sym({e})"),
+        }
+    }
+}
+
+/// A single byte in symbolic memory.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ByteValue {
+    /// A concrete byte.
+    Concrete(u8),
+    /// A symbolic byte (an 8-bit expression).
+    Symbolic(ExprRef),
+}
+
+impl ByteValue {
+    /// Converts to an 8-bit expression.
+    pub fn to_expr(&self) -> ExprRef {
+        match self {
+            ByteValue::Concrete(b) => Expr::const_(u64::from(*b), Width::W8),
+            ByteValue::Symbolic(e) => e.clone(),
+        }
+    }
+
+    /// The concrete byte, if concrete.
+    pub fn as_concrete(&self) -> Option<u8> {
+        match self {
+            ByteValue::Concrete(b) => Some(*b),
+            ByteValue::Symbolic(_) => None,
+        }
+    }
+
+    /// Creates a byte value from an 8-bit expression, collapsing constants.
+    pub fn from_expr(e: ExprRef) -> ByteValue {
+        debug_assert_eq!(e.width(), Width::W8);
+        match e.as_const() {
+            Some(c) => ByteValue::Concrete(c.value() as u8),
+            None => ByteValue::Symbolic(e),
+        }
+    }
+}
+
+impl fmt::Debug for ByteValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ByteValue::Concrete(b) => write!(f, "{b:#04x}"),
+            ByteValue::Symbolic(e) => write!(f, "sym({e})"),
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Reproduce the lighttpd incomplete-bug-fix finding (§7.3.4, Table 6): a
+//! symbolic test with packet fragmentation shows the pre-patch server
+//! crashes, the patched server still crashes for some fragmentation
+//! patterns, and only the fully fixed parser survives everything.
+//!
+//! Run with `cargo run --release --example lighttpd_fragmentation`.
+
+use cloud9::prelude::*;
+use cloud9::targets::lighttpd::{self, LighttpdVersion};
+use cloud9::vm::BugKind;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    for version in [
+        LighttpdVersion::V1_4_12,
+        LighttpdVersion::V1_4_13,
+        LighttpdVersion::Fixed,
+    ] {
+        let env = PosixEnvironment::with_config(PosixConfig {
+            max_symbolic_chunk: 28,
+            max_fragment_alternatives: 3,
+            ..PosixConfig::default()
+        });
+        let mut engine = Engine::new(
+            Arc::new(lighttpd::program(version)),
+            Arc::new(env),
+            Box::new(DfsSearcher::new()),
+            EngineConfig {
+                max_paths: 500,
+                max_time: Some(Duration::from_secs(60)),
+                generate_test_cases: true,
+                ..EngineConfig::default()
+            },
+        );
+        let summary = engine.run();
+        let crashes = summary
+            .bugs
+            .iter()
+            .filter(|b| {
+                matches!(
+                    b.termination,
+                    TerminationReason::Bug(BugKind::Abort { .. })
+                )
+            })
+            .count();
+        println!(
+            "{version:?}: explored {} fragmentation paths, {} crashing pattern(s) found",
+            summary.paths_completed, crashes
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Exhaustively test the memcached-style server with two symbolic packets on
+//! a multi-worker cluster — the paper's headline workload (Fig. 7, Table 5).
+//!
+//! Run with `cargo run --release --example memcached_cluster`.
+
+use cloud9::prelude::*;
+use cloud9::targets::memcached::{self, MemcachedConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let program = memcached::program(&MemcachedConfig {
+        packets: 2,
+        packet_size: 5,
+        ..MemcachedConfig::default()
+    });
+
+    for workers in [1usize, 2, 4] {
+        let cluster = Cluster::new(
+            Arc::new(program.clone()),
+            Arc::new(PosixEnvironment::new()),
+            ClusterConfig {
+                num_workers: workers,
+                time_limit: Some(Duration::from_secs(300)),
+                ..ClusterConfig::default()
+            },
+        );
+        let result = cluster.run();
+        println!(
+            "{workers} worker(s): {} paths in {:.2}s (exhausted: {}, jobs transferred: {})",
+            result.summary.paths_completed(),
+            result.summary.elapsed.as_secs_f64(),
+            result.summary.exhausted,
+            result.summary.jobs_transferred(),
+        );
+    }
+}

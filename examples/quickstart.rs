@@ -1,0 +1,53 @@
+//! Quickstart: write a tiny program with a symbolic input, explore every
+//! path with the single-node engine, and print the generated test cases.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use cloud9::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // A toy "access checker": reads 4 symbolic bytes and grants access only
+    // for the exact password "ok!\n".
+    let mut pb = ProgramBuilder::new();
+    pb.set_name("quickstart");
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let buf = f.alloc(Operand::word(4));
+    f.syscall(sysno::MAKE_SYMBOLIC, vec![Operand::Reg(buf), Operand::word(4)]);
+    let mut all_match = f.copy(Operand::const_(1, Width::W1));
+    for (i, ch) in b"ok!\n".iter().enumerate() {
+        let addr = f.binary(BinaryOp::Add, Operand::Reg(buf), Operand::word(i as u32));
+        let b = f.load(Operand::Reg(addr), Width::W8);
+        let eq = f.binary(BinaryOp::Eq, Operand::Reg(b), Operand::byte(*ch));
+        all_match = f.binary(BinaryOp::And, Operand::Reg(all_match), Operand::Reg(eq));
+    }
+    let granted = f.create_block();
+    let denied = f.create_block();
+    f.branch(Operand::Reg(all_match), granted, denied);
+    f.switch_to(granted);
+    f.ret(Some(Operand::word(1)));
+    f.switch_to(denied);
+    f.ret(Some(Operand::word(0)));
+    let main_fn = f.finish();
+    pb.set_entry(main_fn);
+
+    // Explore every feasible path.
+    let mut engine = Engine::new(
+        Arc::new(pb.finish()),
+        Arc::new(NullEnvironment),
+        Box::new(DfsSearcher::new()),
+        EngineConfig::default(),
+    );
+    let summary = engine.run();
+
+    println!("paths explored: {}", summary.paths_completed);
+    println!("line coverage:  {:.0}%", summary.coverage_ratio() * 100.0);
+    for (i, tc) in summary.test_cases.iter().enumerate() {
+        let input = tc.bytes_with_prefix("sym0");
+        println!(
+            "test case {i}: input {:?} -> {:?}",
+            String::from_utf8_lossy(&input),
+            tc.termination
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Cross-crate integration tests: the case studies of §7.3 run end to end
+//! through the facade crate.
+
+use cloud9::core::{Cluster, ClusterConfig};
+use cloud9::posix::PosixEnvironment;
+use cloud9::prelude::*;
+use cloud9::targets::{bandicoot, curl, memcached};
+use cloud9::vm::BugKind;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn curl_glob_bug_found_end_to_end() {
+    let mut engine = Engine::new(
+        Arc::new(curl::program(5)),
+        Arc::new(PosixEnvironment::new()),
+        Box::new(DfsSearcher::new()),
+        EngineConfig::default(),
+    );
+    let summary = engine.run();
+    assert!(summary
+        .bugs
+        .iter()
+        .any(|b| matches!(b.termination, TerminationReason::Bug(BugKind::OutOfBounds { .. }))));
+}
+
+#[test]
+fn bandicoot_oob_read_found_end_to_end() {
+    let mut engine = Engine::new(
+        Arc::new(bandicoot::program()),
+        Arc::new(PosixEnvironment::new()),
+        Box::new(DfsSearcher::new()),
+        EngineConfig::default(),
+    );
+    let summary = engine.run();
+    assert!(summary
+        .bugs
+        .iter()
+        .any(|b| matches!(b.termination, TerminationReason::Bug(BugKind::OutOfBounds { .. }))));
+}
+
+#[test]
+fn memcached_cluster_path_count_matches_single_node() {
+    let program = memcached::program(&memcached::MemcachedConfig {
+        packets: 1,
+        packet_size: 5,
+        ..memcached::MemcachedConfig::default()
+    });
+
+    // Single-node baseline.
+    let mut engine = Engine::new(
+        Arc::new(program.clone()),
+        Arc::new(PosixEnvironment::new()),
+        Box::new(DfsSearcher::new()),
+        EngineConfig {
+            generate_test_cases: false,
+            ..EngineConfig::default()
+        },
+    );
+    let single = engine.run();
+    assert!(single.exhausted);
+
+    // Two-worker cluster must find exactly the same number of paths.
+    let cluster = Cluster::new(
+        Arc::new(program),
+        Arc::new(PosixEnvironment::new()),
+        ClusterConfig {
+            num_workers: 2,
+            time_limit: Some(Duration::from_secs(120)),
+            ..ClusterConfig::default()
+        },
+    );
+    let parallel = cluster.run();
+    assert!(parallel.summary.exhausted);
+    assert_eq!(
+        parallel.summary.paths_completed(),
+        single.paths_completed as u64
+    );
+}
+
+#[test]
+fn prelude_exposes_the_solver_api() {
+    use cloud9::expr::{Expr, SymbolManager, Width};
+    let mut syms = SymbolManager::new();
+    let x = syms.fresh("x", Width::W8);
+    let mut pc = ConstraintSet::new();
+    pc.push(Expr::eq(
+        Expr::sym(x, Width::W8),
+        Expr::const_(7, Width::W8),
+    ));
+    let solver = Solver::new();
+    match solver.check_sat(&pc) {
+        SatResult::Sat(model) => assert_eq!(model.get(x), Some(7)),
+        other => panic!("expected sat, got {other:?}"),
+    }
+}
