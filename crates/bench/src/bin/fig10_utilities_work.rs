@@ -1,15 +1,14 @@
 //! Fig. 10: useful work on the printf and test utilities as a function of the
 //! number of workers, for several time budgets.
 
-use c9_bench::{experiment_cluster_config, print_table, printf_workload, scaling_worker_counts, test_workload};
+use c9_bench::{
+    experiment_cluster_config, print_table, printf_workload, scaling_worker_counts, test_workload,
+};
 use std::time::Duration;
 
 fn main() {
     let budgets = [Duration::from_secs(2), Duration::from_secs(4)];
-    for (name, make) in [
-        ("printf", true),
-        ("test", false),
-    ] {
+    for (name, make) in [("printf", true), ("test", false)] {
         let mut rows = Vec::new();
         for workers in scaling_worker_counts() {
             for budget in budgets {

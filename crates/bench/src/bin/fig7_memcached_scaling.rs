@@ -2,7 +2,9 @@
 //! test as a function of the number of workers (the paper reports the time
 //! roughly halving with every doubling of the cluster).
 
-use c9_bench::{experiment_cluster_config, memcached_workload, print_table, scaling_worker_counts, secs};
+use c9_bench::{
+    experiment_cluster_config, memcached_workload, print_table, scaling_worker_counts, secs,
+};
 use std::time::Duration;
 
 fn main() {

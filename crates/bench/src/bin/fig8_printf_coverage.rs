@@ -1,7 +1,9 @@
 //! Fig. 8: time to reach a target line-coverage level on the printf utility
 //! as a function of the number of workers.
 
-use c9_bench::{experiment_cluster_config, print_table, printf_workload, scaling_worker_counts, secs};
+use c9_bench::{
+    experiment_cluster_config, print_table, printf_workload, scaling_worker_counts, secs,
+};
 use std::time::Duration;
 
 fn main() {

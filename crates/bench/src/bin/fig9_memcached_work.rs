@@ -29,7 +29,13 @@ fn main() {
     }
     print_table(
         "Fig. 9 — useful work on memcached (total and per worker)",
-        &["workers", "budget", "useful instrs", "useful/worker", "replay instrs"],
+        &[
+            "workers",
+            "budget",
+            "useful instrs",
+            "useful/worker",
+            "replay instrs",
+        ],
         &rows,
     );
 }

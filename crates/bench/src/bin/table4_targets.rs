@@ -33,7 +33,13 @@ fn main() {
     }
     print_table(
         "Table 4 — testing targets running on Cloud9-RS",
-        &["target", "kind", "LOC (IR lines)", "paths explored", "coverage"],
+        &[
+            "target",
+            "kind",
+            "LOC (IR lines)",
+            "paths explored",
+            "coverage",
+        ],
         &rows,
     );
 }

@@ -128,11 +128,9 @@ mod tests {
         assert!(memcached_workload().0.validate().is_ok());
         assert!(printf_workload(6).0.validate().is_ok());
         assert!(test_workload().0.validate().is_ok());
-        assert!(
-            lighttpd_workload(c9_targets::LighttpdVersion::V1_4_12)
-                .0
-                .validate()
-                .is_ok()
-        );
+        assert!(lighttpd_workload(c9_targets::LighttpdVersion::V1_4_12)
+            .0
+            .validate()
+            .is_ok());
     }
 }

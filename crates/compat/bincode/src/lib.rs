@@ -1,0 +1,48 @@
+//! Offline stand-in for `bincode` 1.x.
+//!
+//! Provides the `serialize` / `deserialize` entry points the workspace uses,
+//! implemented over the deterministic binary data model of the sibling
+//! `serde` stand-in crate.
+
+use serde::{DecodeError, Deserialize, Serialize};
+
+/// Error type matching bincode 1.x's boxed-error shape.
+pub type Error = Box<ErrorKind>;
+
+/// The kinds of (de)serialization failure.
+#[derive(Debug)]
+pub enum ErrorKind {
+    /// Malformed or truncated input.
+    Custom(String),
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErrorKind::Custom(msg) => write!(f, "bincode error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ErrorKind {}
+
+impl From<DecodeError> for Error {
+    fn from(e: DecodeError) -> Error {
+        Box::new(ErrorKind::Custom(e.message.to_string()))
+    }
+}
+
+/// Serializes `value` into a byte vector.
+pub fn serialize<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    Ok(serde::to_bytes(value))
+}
+
+/// Deserializes a value of type `T` from `bytes`; all input must be consumed.
+pub fn deserialize<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    serde::from_bytes(bytes).map_err(Error::from)
+}
+
+/// Returns the number of bytes `value` serializes to.
+pub fn serialized_size<T: Serialize + ?Sized>(value: &T) -> Result<u64, Error> {
+    Ok(serde::to_bytes(value).len() as u64)
+}

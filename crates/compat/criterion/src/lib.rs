@@ -1,0 +1,202 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the measurement API the workspace's benches use — benchmark
+//! groups, `bench_function`, `sample_size`, `measurement_time`, and the
+//! `criterion_group!` / `criterion_main!` macros — with a simple adaptive
+//! timer: each benchmark is warmed up, then run in batches sized so one
+//! sample takes a measurable amount of time, and the per-iteration mean,
+//! minimum, and sample count are printed.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Drives the iterations of one benchmark.
+pub struct Bencher<'a> {
+    config: &'a BenchConfig,
+    result: Option<Sample>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Sample {
+    mean_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct BenchConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for BenchConfig {
+    fn default() -> BenchConfig {
+        BenchConfig {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl<'a> Bencher<'a> {
+    /// Runs `routine` repeatedly and records the timing distribution.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch-size calibration: grow the batch until one batch
+        // takes at least ~1ms (or a calibration budget expires).
+        let calibration_budget = Duration::from_millis(500);
+        let calibration_start = Instant::now();
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1)
+                || calibration_start.elapsed() >= calibration_budget
+            {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+
+        let samples = self.config.sample_size.max(2);
+        let budget = self.config.measurement_time;
+        let run_start = Instant::now();
+        let mut totals: Vec<f64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            totals.push(t.elapsed().as_secs_f64() * 1e9 / batch as f64);
+            if run_start.elapsed() >= budget {
+                break;
+            }
+        }
+        let mean_ns = totals.iter().sum::<f64>() / totals.len() as f64;
+        let min_ns = totals.iter().copied().fold(f64::INFINITY, f64::min);
+        self.result = Some(Sample {
+            mean_ns,
+            min_ns,
+            samples: totals.len(),
+            iters_per_sample: batch,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one(config: &BenchConfig, id: &str, f: impl FnOnce(&mut Bencher<'_>)) {
+    let mut bencher = Bencher {
+        config,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some(s) => println!(
+            "bench {id:<40} mean {:>12}/iter  min {:>12}/iter  ({} samples × {} iters)",
+            format_ns(s.mean_ns),
+            format_ns(s.min_ns),
+            s.samples,
+            s.iters_per_sample,
+        ),
+        None => println!("bench {id:<40} (no measurement recorded)"),
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: BenchConfig,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Sets the time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<S: Into<String>, F: FnOnce(&mut Bencher<'_>)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&self.config, &id, f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    config: BenchConfig,
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<S: Into<String>, F: FnOnce(&mut Bencher<'_>)>(
+        &mut self,
+        id: S,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&self.config, &id, f);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,365 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! stand-in.
+//!
+//! The build environment has no crates.io mirror, so this derive is written
+//! against `proc_macro` alone (no `syn`/`quote`): a small hand-rolled parser
+//! extracts the shape of the struct or enum (field names / arities / variant
+//! list) and the impls are emitted as source strings. Only the shapes this
+//! workspace uses are supported: non-generic structs (named, tuple, unit)
+//! and enums whose variants are unit, tuple, or struct-like. Serde field
+//! attributes (`#[serde(...)]`) are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips outer attributes (`#[...]`) at `i`.
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) {
+    while *i + 1 < tokens.len() {
+        match (&tokens[*i], &tokens[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Advances past tokens until a top-level `,`, tracking `<...>` nesting so
+/// commas inside generic arguments are not treated as separators. Returns
+/// whether a comma was consumed.
+fn skip_until_comma(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut angle_depth: i32 = 0;
+    let mut prev_dash = false;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return true;
+                }
+                '<' => angle_depth += 1,
+                '>' if prev_dash => {} // `->` in fn types
+                '>' => angle_depth -= 1,
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        *i += 1;
+    }
+    false
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        fields.push(name);
+        skip_until_comma(&tokens, &mut i);
+    }
+    Ok(fields)
+}
+
+fn parse_tuple_arity(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        arity += 1;
+        skip_until_comma(&tokens, &mut i);
+    }
+    arity
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = parse_tuple_arity(g);
+                i += 1;
+                VariantShape::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g)?;
+                i += 1;
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip an optional explicit discriminant, then the separator comma.
+        skip_until_comma(&tokens, &mut i);
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other:?}`")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found `{other:?}`")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde stand-in derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g)?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: parse_tuple_arity(g),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body: `{other:?}`")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g)?,
+            }),
+            other => Err(format!("unsupported enum body: `{other:?}`")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Derives `serde::Serialize` (the offline stand-in's trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let mut body = String::new();
+    let name = match &item {
+        Item::NamedStruct { name, fields } => {
+            for f in fields {
+                body.push_str(&format!("::serde::Serialize::encode_to(&self.{f}, out);\n"));
+            }
+            name
+        }
+        Item::TupleStruct { name, arity } => {
+            for idx in 0..*arity {
+                body.push_str(&format!(
+                    "::serde::Serialize::encode_to(&self.{idx}, out);\n"
+                ));
+            }
+            name
+        }
+        Item::UnitStruct { name } => name,
+        Item::Enum { name, variants } => {
+            body.push_str("match self {\n");
+            for (tag, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => body.push_str(&format!(
+                        "{name}::{vname} => {{ ::serde::write_varint(out, {tag}u64); }}\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        body.push_str(&format!(
+                            "{name}::{vname}({}) => {{ ::serde::write_varint(out, {tag}u64); ",
+                            binds.join(", ")
+                        ));
+                        for b in &binds {
+                            body.push_str(&format!("::serde::Serialize::encode_to({b}, out); "));
+                        }
+                        body.push_str("}\n");
+                    }
+                    VariantShape::Named(fields) => {
+                        body.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{ ::serde::write_varint(out, {tag}u64); ",
+                            fields.join(", ")
+                        ));
+                        for f in fields {
+                            body.push_str(&format!("::serde::Serialize::encode_to({f}, out); "));
+                        }
+                        body.push_str("}\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+            name
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn encode_to(&self, out: &mut ::std::vec::Vec<u8>) {{\n\
+         let _ = &out;\n\
+         {body}\n\
+         }}\n\
+         }}"
+    );
+    out.parse().unwrap()
+}
+
+/// Derives `serde::Deserialize` (the offline stand-in's trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let decode = "::serde::Deserialize::decode_from(r)?";
+    let (name, body) = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields.iter().map(|f| format!("{f}: {decode}")).collect();
+            (
+                name,
+                format!(
+                    "::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity).map(|_| decode.to_string()).collect();
+            (
+                name,
+                format!("::std::result::Result::Ok({name}({}))", inits.join(", ")),
+            )
+        }
+        Item::UnitStruct { name } => (name, format!("::std::result::Result::Ok({name})")),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (tag, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{tag}u64 => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let inits: Vec<String> = (0..*arity).map(|_| decode.to_string()).collect();
+                        arms.push_str(&format!(
+                            "{tag}u64 => ::std::result::Result::Ok({name}::{vname}({})),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> =
+                            fields.iter().map(|f| format!("{f}: {decode}")).collect();
+                        arms.push_str(&format!(
+                            "{tag}u64 => ::std::result::Result::Ok({name}::{vname} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            (
+                name,
+                format!(
+                    "match r.varint()? {{\n{arms}\
+                     _ => ::std::result::Result::Err(::serde::DecodeError::new(\"invalid enum tag\")),\n\
+                     }}"
+                ),
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn decode_from(r: &mut ::serde::Reader<'_>) -> ::std::result::Result<Self, ::serde::DecodeError> {{\n\
+         let _ = &r;\n\
+         {body}\n\
+         }}\n\
+         }}"
+    );
+    out.parse().unwrap()
+}

@@ -7,12 +7,9 @@
 //! the global coverage bit vector that coordinates the distributed
 //! coverage-optimized strategy.
 
+use c9_net::WorkerId;
 use c9_vm::CoverageSet;
 use serde::{Deserialize, Serialize};
-
-/// Identifier of a worker within a cluster.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct WorkerId(pub u32);
 
 /// A request issued by the load balancer: move `count` jobs from `source` to
 /// `destination`.
@@ -68,7 +65,12 @@ impl LoadBalancer {
     /// Records a status update from a worker: its queue length and local
     /// coverage. Returns the updated global coverage (which the worker ORs
     /// into its own, §3.3).
-    pub fn report(&mut self, worker: WorkerId, queue_length: u64, coverage: &CoverageSet) -> CoverageSet {
+    pub fn report(
+        &mut self,
+        worker: WorkerId,
+        queue_length: u64,
+        coverage: &CoverageSet,
+    ) -> CoverageSet {
         self.queue_lengths[worker.0 as usize] = queue_length;
         self.global_coverage.merge(coverage);
         self.global_coverage.clone()

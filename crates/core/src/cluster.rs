@@ -1,20 +1,26 @@
-//! The cluster harness: workers on OS threads coordinated by a load balancer.
+//! The cluster harness: workers coordinated by a load balancer over a
+//! pluggable transport.
 //!
-//! This reproduces the deployment of §3.3 and §6 of the paper at the scale of
-//! one machine: every worker is an independent symbolic execution engine with
-//! its own solver and state store (shared-nothing); workers exchange jobs
-//! only as serialized path encodings over channels; the load balancer sees
-//! only queue lengths and coverage bit vectors. Wall-clock speedups therefore
-//! come from real parallelism, exactly as in the paper's cluster — only the
-//! transport (in-process channels instead of TCP) differs.
+//! This reproduces the deployment of §3.3 and §6 of the paper: every worker
+//! is an independent symbolic execution engine with its own solver and state
+//! store (shared-nothing); workers exchange jobs only as serialized path
+//! encodings; the load balancer sees only queue lengths and coverage bit
+//! vectors. The worker and balancer loops are written against the
+//! [`WorkerEndpoint`] / [`CoordinatorEndpoint`] traits of `c9-net`, so the
+//! same code runs over in-process channels ([`InProcTransport`], the
+//! default for [`Cluster::run`]) or TCP sockets spanning OS processes
+//! (`TcpTransport` with the `c9-worker` / `c9-coordinator` binaries) —
+//! wall-clock speedups come from real parallelism in both cases.
 
-use crate::balancer::{BalancerConfig, LoadBalancer, TransferRequest, WorkerId};
-use crate::job::JobTree;
-use crate::stats::{ClusterSummary, IntervalSample, WorkerStats};
+use crate::balancer::{BalancerConfig, LoadBalancer, TransferRequest};
+use crate::stats::{ClusterSummary, IntervalSample};
 use crate::worker::{Worker, WorkerConfig};
 use c9_ir::Program;
+use c9_net::{
+    Control, CoordinatorEndpoint, EnvSpec, FinalReport, InProcTransport, JobBatch, JobTree,
+    RunSpec, StatusReport, Transport, WorkerEndpoint, WorkerId,
+};
 use c9_vm::{CoverageSet, Environment, TestCase};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -68,31 +74,33 @@ impl Default for ClusterConfig {
     }
 }
 
-/// Control messages from the load balancer to a worker.
-enum Control {
-    /// Transfer `count` jobs to worker `destination`.
-    Balance { destination: WorkerId, count: u64 },
-    /// The updated global coverage bit vector.
-    GlobalCoverage(CoverageSet),
-    /// Stop and report final results.
-    Stop,
-}
-
-/// Status report from a worker to the load balancer.
-struct StatusReport {
-    worker: WorkerId,
-    queue_length: u64,
-    coverage: CoverageSet,
-    stats: WorkerStats,
-    idle: bool,
-}
-
-/// Final report from a worker at shutdown.
-struct FinalReport {
-    stats: WorkerStats,
-    coverage: CoverageSet,
-    test_cases: Vec<TestCase>,
-    bugs: Vec<TestCase>,
+impl ClusterConfig {
+    /// Builds the wire run spec a remote worker needs to participate in a
+    /// run of `program` under this configuration. `epoch` must be unique
+    /// among the runs the target worker daemons serve (a timestamp or
+    /// counter); it fences this run's messages off from stale in-flight
+    /// frames of earlier runs.
+    pub fn run_spec(
+        &self,
+        program: &Program,
+        env: EnvSpec,
+        worker: WorkerId,
+        epoch: u64,
+    ) -> RunSpec {
+        RunSpec {
+            program: program.clone(),
+            env,
+            executor: self.worker.executor,
+            seed: self.worker.seed,
+            strategy: self.worker.strategy,
+            generate_test_cases: self.worker.generate_test_cases,
+            export_deepest: self.worker.export_deepest,
+            quantum: self.quantum,
+            status_interval: self.status_interval,
+            seed_root: worker.0 == 0,
+            epoch,
+        }
+    }
 }
 
 /// The outcome of a cluster run, including generated test cases.
@@ -105,6 +113,15 @@ pub struct ClusterRunResult {
     /// Bug-exposing test cases from all workers.
     pub bugs: Vec<TestCase>,
 }
+
+/// How long the coordinator waits for final reports after issuing `Stop`
+/// when the workers are remote processes that may have died.
+const REMOTE_FINAL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Final-report wait for locally hosted workers: effectively unbounded,
+/// because a local worker always either sends its final report or drops its
+/// endpoint (ending the wait via disconnect) — reports are never lost.
+const LOCAL_FINAL_TIMEOUT: Duration = Duration::from_secs(60 * 60 * 24);
 
 /// A Cloud9 cluster: one program, one environment model, N workers.
 pub struct Cluster {
@@ -123,79 +140,115 @@ impl Cluster {
         }
     }
 
-    /// Runs the cluster until a stopping condition is met and returns the
-    /// aggregated results.
+    /// Runs the cluster on in-process channels until a stopping condition is
+    /// met and returns the aggregated results.
     pub fn run(&self) -> ClusterRunResult {
+        self.run_with_transport(InProcTransport)
+    }
+
+    /// Runs the cluster over any transport that hosts the worker endpoints
+    /// locally (in-process channels, or loopback TCP where every byte
+    /// crosses the kernel's network stack). One thread is spawned per
+    /// worker; the coordinator runs on the calling thread.
+    pub fn run_with_transport<T: Transport>(&self, transport: T) -> ClusterRunResult
+    where
+        T::WorkerEnd: Send,
+    {
         let n = self.config.num_workers.max(1);
         let start = Instant::now();
+        let endpoints = transport.establish(n).expect("transport establish failed");
+        let mut coordinator = endpoints.coordinator;
+        let workers = endpoints.workers;
+        assert_eq!(
+            workers.len(),
+            n,
+            "run_with_transport needs a transport with locally hosted workers; \
+             use run_coordinator for remote daemons"
+        );
 
-        // Channels: LB -> worker control, worker -> worker jobs, worker -> LB status.
-        let mut control_txs = Vec::with_capacity(n);
-        let mut control_rxs = Vec::with_capacity(n);
-        let mut job_txs: Vec<Sender<Vec<u8>>> = Vec::with_capacity(n);
-        let mut job_rxs = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (ctx, crx) = unbounded::<Control>();
-            control_txs.push(ctx);
-            control_rxs.push(Some(crx));
-            let (jtx, jrx) = unbounded::<Vec<u8>>();
-            job_txs.push(jtx);
-            job_rxs.push(Some(jrx));
-        }
-        let (status_tx, status_rx) = unbounded::<StatusReport>();
-
-        let result = std::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
-            for i in 0..n {
-                let control_rx = control_rxs[i].take().expect("control rx");
-                let job_rx = job_rxs[i].take().expect("job rx");
-                let job_txs = job_txs.clone();
-                let status_tx = status_tx.clone();
+            for (i, mut endpoint) in workers.into_iter().enumerate() {
                 let program = self.program.clone();
                 let env = self.env.clone();
                 let config = self.config.clone();
                 handles.push(scope.spawn(move || {
-                    worker_thread(
-                        WorkerId(i as u32),
+                    run_worker_loop(
+                        &mut endpoint,
                         program,
                         env,
-                        config,
-                        control_rx,
-                        job_rx,
-                        job_txs,
-                        status_tx,
-                    )
+                        config.worker,
+                        config.quantum,
+                        config.status_interval,
+                        i == 0,
+                    );
                 }));
             }
-            drop(status_tx);
-
-            let summary = self.balancer_loop(start, &control_txs, &status_rx, n);
-
-            let mut result = ClusterRunResult {
-                summary,
-                ..ClusterRunResult::default()
-            };
+            let result = self.drive(&mut coordinator, start, n, LOCAL_FINAL_TIMEOUT);
             for handle in handles {
-                let report = handle.join().expect("worker thread panicked");
-                result.summary.worker_stats.push(report.stats);
-                result.summary.coverage.merge(&report.coverage);
-                result.summary.bugs_found += report.bugs.len() as u64;
-                result.test_cases.extend(report.test_cases);
-                result.bugs.extend(report.bugs);
+                handle.join().expect("worker thread panicked");
             }
-            result.summary.num_workers = n;
-            result.summary.elapsed = start.elapsed();
             result
-        });
+        })
+    }
+
+    /// Drives a cluster whose workers live in other processes: runs the
+    /// balancing loop against the coordinator endpoint (the workers must
+    /// already have received their run specs) and aggregates the results.
+    pub fn run_coordinator<C: CoordinatorEndpoint>(&self, coordinator: &mut C) -> ClusterRunResult {
+        let n = coordinator.num_workers().max(1);
+        self.drive(coordinator, Instant::now(), n, REMOTE_FINAL_TIMEOUT)
+    }
+
+    /// The balancing loop plus final-report aggregation.
+    fn drive<C: CoordinatorEndpoint>(
+        &self,
+        endpoint: &mut C,
+        start: Instant,
+        n: usize,
+        final_timeout: Duration,
+    ) -> ClusterRunResult {
+        let summary = self.balancer_loop(endpoint, start, n);
+        let mut result = ClusterRunResult {
+            summary,
+            ..ClusterRunResult::default()
+        };
+
+        // Collect one final report per worker (they arrive in any order).
+        let deadline = Instant::now() + final_timeout;
+        let mut finals: Vec<Option<FinalReport>> = (0..n).map(|_| None).collect();
+        let mut collected = 0;
+        while collected < n {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let Some(report) = endpoint.recv_final(deadline - now) else {
+                break;
+            };
+            let w = report.worker.index();
+            if w < n && finals[w].is_none() {
+                finals[w] = Some(report);
+                collected += 1;
+            }
+        }
+        for report in finals.into_iter().flatten() {
+            result.summary.worker_stats.push(report.stats);
+            result.summary.coverage.merge(&report.coverage);
+            result.summary.bugs_found += report.bugs.len() as u64;
+            result.test_cases.extend(report.test_cases);
+            result.bugs.extend(report.bugs);
+        }
+        result.summary.num_workers = n;
+        result.summary.elapsed = start.elapsed();
         result
     }
 
     #[allow(clippy::too_many_lines)]
-    fn balancer_loop(
+    fn balancer_loop<C: CoordinatorEndpoint>(
         &self,
+        endpoint: &mut C,
         start: Instant,
-        control_txs: &[Sender<Control>],
-        status_rx: &Receiver<StatusReport>,
         n: usize,
     ) -> ClusterSummary {
         let mut lb = LoadBalancer::new(n, self.program.loc(), self.config.balancer);
@@ -217,15 +270,16 @@ impl Cluster {
         loop {
             // Drain status reports (block briefly for the first one).
             let mut got_any = false;
-            while let Ok(report) = if got_any {
-                status_rx.try_recv().map_err(|_| ())
+            while let Some(report) = if got_any {
+                endpoint.recv_status(Duration::ZERO)
             } else {
-                status_rx
-                    .recv_timeout(Duration::from_millis(2))
-                    .map_err(|_| ())
+                endpoint.recv_status(Duration::from_millis(2))
             } {
                 got_any = true;
-                let w = report.worker.0 as usize;
+                let w = report.worker.index();
+                if w >= n {
+                    continue;
+                }
                 idle[w] = report.idle;
                 sent_totals[w] = report.stats.jobs_sent;
                 received_totals[w] = report.stats.jobs_received;
@@ -235,7 +289,7 @@ impl Cluster {
                     everyone_had_work[w] = true;
                 }
                 let global = lb.report(report.worker, report.queue_length, &report.coverage);
-                let _ = control_txs[w].send(Control::GlobalCoverage(global));
+                let _ = endpoint.send_control(report.worker, Control::GlobalCoverage(global));
             }
 
             let elapsed = start.elapsed();
@@ -253,7 +307,8 @@ impl Cluster {
                     goal_reached = true;
                 }
             }
-            let in_flight_settled = sent_totals.iter().sum::<u64>() == received_totals.iter().sum::<u64>();
+            let in_flight_settled =
+                sent_totals.iter().sum::<u64>() == received_totals.iter().sum::<u64>();
             if idle.iter().all(|i| *i) && lb.all_idle() && in_flight_settled {
                 exhausted = true;
                 goal_reached = true;
@@ -302,45 +357,46 @@ impl Cluster {
                     count,
                 } in lb.balance()
                 {
-                    let _ = control_txs[source.0 as usize].send(Control::Balance {
-                        destination,
-                        count,
-                    });
+                    let _ = endpoint.send_control(source, Control::Balance { destination, count });
                 }
                 last_balance = Instant::now();
             }
         }
 
         summary.coverage.merge(lb.global_coverage());
-        for tx in control_txs {
-            let _ = tx.send(Control::Stop);
+        for w in 0..n {
+            let _ = endpoint.send_control(WorkerId(w as u32), Control::Stop);
         }
         summary
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn worker_thread(
-    id: WorkerId,
+/// The worker event loop, shared by every transport: handle control
+/// messages, import job batches from peers, explore in quanta, report
+/// status, and ship a final report at shutdown.
+///
+/// `seed_root` must be true for exactly one worker of a fresh run (worker 0
+/// receives the seed job: the entire execution tree).
+pub fn run_worker_loop<E: WorkerEndpoint>(
+    endpoint: &mut E,
     program: Arc<Program>,
     env: Arc<dyn Environment>,
-    config: ClusterConfig,
-    control_rx: Receiver<Control>,
-    job_rx: Receiver<Vec<u8>>,
-    job_txs: Vec<Sender<Vec<u8>>>,
-    status_tx: Sender<StatusReport>,
-) -> FinalReport {
-    let mut worker = Worker::new(id, program, env, config.worker);
-    if id.0 == 0 {
-        // The first worker receives the seed job: the entire execution tree.
+    config: WorkerConfig,
+    quantum: u64,
+    status_interval: Duration,
+    seed_root: bool,
+) {
+    let id = endpoint.id();
+    let mut worker = Worker::new(id, program, env, config);
+    if seed_root {
         worker.seed_root();
     }
-    let mut last_status = Instant::now() - config.status_interval;
+    let mut last_status = Instant::now() - status_interval;
 
     loop {
         // Handle control messages.
         let mut stop = false;
-        while let Ok(msg) = control_rx.try_recv() {
+        while let Some(msg) = endpoint.try_recv_control() {
             match msg {
                 Control::Stop => {
                     stop = true;
@@ -352,7 +408,14 @@ fn worker_thread(
                     if !jobs.is_empty() {
                         let encoded = JobTree::from_jobs(&jobs).encode();
                         worker.stats.job_bytes_sent += encoded.len() as u64;
-                        let _ = job_txs[destination.0 as usize].send(encoded);
+                        let _ = endpoint.send_jobs(
+                            destination,
+                            JobBatch {
+                                source: id,
+                                epoch: 0, // stamped by the transport
+                                encoded,
+                            },
+                        );
                     }
                 }
             }
@@ -362,8 +425,8 @@ fn worker_thread(
         }
 
         // Receive jobs from peers.
-        while let Ok(bytes) = job_rx.try_recv() {
-            if let Some(tree) = JobTree::decode(&bytes) {
+        while let Some(batch) = endpoint.try_recv_jobs() {
+            if let Some(tree) = JobTree::decode(&batch.encoded) {
                 worker.import_jobs(tree.to_jobs());
             }
         }
@@ -371,13 +434,13 @@ fn worker_thread(
         // Explore.
         let idle = !worker.has_work();
         if !idle {
-            worker.run_quantum(config.quantum);
+            worker.run_quantum(quantum);
         } else {
             std::thread::sleep(Duration::from_micros(500));
         }
 
         // Report status.
-        if last_status.elapsed() >= config.status_interval {
+        if last_status.elapsed() >= status_interval {
             let report = StatusReport {
                 worker: id,
                 queue_length: worker.queue_length(),
@@ -385,17 +448,44 @@ fn worker_thread(
                 stats: worker.stats.clone(),
                 idle: !worker.has_work(),
             };
-            if status_tx.send(report).is_err() {
+            if endpoint.send_status(report).is_err() {
                 break;
             }
             last_status = Instant::now();
         }
     }
 
-    FinalReport {
+    let _ = endpoint.send_final(FinalReport {
+        worker: id,
         stats: worker.stats.clone(),
         coverage: worker.coverage_snapshot(),
         test_cases: std::mem::take(&mut worker.test_cases),
         bugs: std::mem::take(&mut worker.bugs),
-    }
+    });
+}
+
+/// Runs the worker side of a run spec received over the wire. The caller
+/// maps [`RunSpec::env`] to a concrete environment (the trait object cannot
+/// cross the wire) and supplies the endpoint.
+pub fn run_worker_from_spec<E: WorkerEndpoint>(
+    endpoint: &mut E,
+    spec: RunSpec,
+    env: Arc<dyn Environment>,
+) {
+    let config = WorkerConfig {
+        executor: spec.executor,
+        seed: spec.seed,
+        strategy: spec.strategy,
+        generate_test_cases: spec.generate_test_cases,
+        export_deepest: spec.export_deepest,
+    };
+    run_worker_loop(
+        endpoint,
+        Arc::new(spec.program),
+        env,
+        config,
+        spec.quantum,
+        spec.status_interval,
+        spec.seed_root,
+    );
 }

@@ -57,17 +57,23 @@
 
 mod balancer;
 mod cluster;
-mod job;
 mod stats;
 mod tree;
 mod worker;
 
-pub use balancer::{BalancerConfig, LoadBalancer, TransferRequest, WorkerId};
-pub use cluster::{Cluster, ClusterConfig, ClusterRunResult};
-pub use job::{decode_jobs_flat, encode_jobs_flat, Job, JobTree};
-pub use stats::{ClusterSummary, IntervalSample, WorkerStats};
+pub use balancer::{BalancerConfig, LoadBalancer, TransferRequest};
+pub use c9_net::{
+    decode_jobs_flat, encode_jobs_flat, Control, CoordinatorEndpoint, EnvSpec, FinalReport,
+    InProcTransport, Job, JobBatch, JobTree, RunSpec, StatusReport, TcpTransport, Transport,
+    TransportError, WorkerEndpoint, WorkerId, WorkerStats,
+};
+pub use c9_vm::StrategyKind;
+pub use cluster::{
+    run_worker_from_spec, run_worker_loop, Cluster, ClusterConfig, ClusterRunResult,
+};
+pub use stats::{ClusterSummary, IntervalSample};
 pub use tree::{NodeId, NodeLife, NodeStatus, TreeNode, WorkerTree};
-pub use worker::{StrategyKind, Worker, WorkerConfig};
+pub use worker::{Worker, WorkerConfig};
 
 #[cfg(test)]
 mod tests;

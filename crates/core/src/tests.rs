@@ -216,7 +216,12 @@ fn dfs_strategy_also_exhausts() {
 fn worker_export_import_roundtrip_preserves_completeness() {
     let program = Arc::new(branching_program(4));
     let env = Arc::new(NullEnvironment);
-    let mut w1 = Worker::new(WorkerId(0), program.clone(), env.clone(), WorkerConfig::default());
+    let mut w1 = Worker::new(
+        WorkerId(0),
+        program.clone(),
+        env.clone(),
+        WorkerConfig::default(),
+    );
     w1.seed_root();
 
     // Let the first worker expand until it has a few frontier candidates,

@@ -9,7 +9,7 @@
 //! else stores just the path, which is what makes states cheap to ship
 //! between workers.
 
-use crate::job::Job;
+use c9_net::Job;
 use c9_vm::{PathChoice, StateId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;

@@ -1,33 +1,16 @@
 //! A Cloud9 worker: an independent symbolic execution engine plus the
 //! execution-tree bookkeeping needed for dynamic work partitioning.
 
-use crate::balancer::WorkerId;
-use crate::job::Job;
-use crate::stats::WorkerStats;
 use crate::tree::WorkerTree;
+use c9_ir::Program;
+use c9_net::{Job, WorkerId, WorkerStats};
 use c9_solver::Solver;
 use c9_vm::{
     CoverageSet, Environment, ExecutionState, Executor, ExecutorConfig, InterleavedSearcher,
-    Searcher, StateId, StateIdGen, StateMeta, StepResult, TestCase,
+    Searcher, StateId, StateIdGen, StateMeta, StepResult, StrategyKind, TestCase,
 };
-use c9_ir::Program;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
-
-/// Exploration strategy used by a worker.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum StrategyKind {
-    /// Interleaved random-path and coverage-optimized search (the paper's
-    /// evaluation configuration).
-    #[default]
-    KleeDefault,
-    /// Depth-first search.
-    Dfs,
-    /// Breadth-first search.
-    Bfs,
-    /// Uniform random state selection.
-    Random,
-}
 
 /// Configuration of one worker.
 #[derive(Clone, Copy, Debug)]
@@ -91,6 +74,9 @@ impl Worker {
         env: Arc<dyn Environment>,
         config: WorkerConfig,
     ) -> Worker {
+        // The solver is shared only within this engine's thread (`Solver` is
+        // not `Sync`); the `Arc` exists so test-case generation can hold it.
+        #[allow(clippy::arc_with_non_send_sync)]
         let solver = Arc::new(Solver::new());
         let lines = program.loc();
         let executor = Executor::new(program, solver.clone(), env, config.executor);
@@ -165,11 +151,8 @@ impl Worker {
         }
         if (out.len() as u64) < count {
             // Candidate selection: deepest (or shallowest) states first.
-            let mut ids: Vec<(usize, StateId)> = self
-                .states
-                .values()
-                .map(|s| (s.depth(), s.id))
-                .collect();
+            let mut ids: Vec<(usize, StateId)> =
+                self.states.values().map(|s| (s.depth(), s.id)).collect();
             ids.sort();
             if self.config.export_deepest {
                 ids.reverse();
@@ -319,10 +302,7 @@ impl Worker {
             }
         }
         if state.is_terminated() {
-            if matches!(
-                state.termination,
-                Some(c9_vm::TerminationReason::Killed(_))
-            ) {
+            if matches!(state.termination, Some(c9_vm::TerminationReason::Killed(_))) {
                 self.stats.broken_replays += 1;
             }
             self.finish_path(state);

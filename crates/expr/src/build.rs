@@ -7,6 +7,10 @@
 use crate::expr::{BinaryOp, Expr, ExprKind, ExprRef, UnaryOp};
 use crate::{ConstValue, SymbolId, Width};
 
+// Smart constructors intentionally mirror operator names (`add`, `not`, ...)
+// without implementing the std operator traits: they take `ExprRef`s by
+// value and return shared subtrees.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Creates a constant expression.
     pub fn const_(value: u64, width: Width) -> ExprRef {
@@ -321,11 +325,16 @@ fn simplify_binary(op: BinaryOp, a: &ExprRef, b: &ExprRef) -> Option<ExprRef> {
     let bw = a.width();
     let b_const = b.as_const();
     match op {
-        BinaryOp::Add | BinaryOp::Sub | BinaryOp::Or | BinaryOp::Xor | BinaryOp::Shl
-        | BinaryOp::LShr | BinaryOp::AShr => {
-            if b_const.is_some_and(|c| c.is_zero()) {
-                return Some(a.clone());
-            }
+        BinaryOp::Add
+        | BinaryOp::Sub
+        | BinaryOp::Or
+        | BinaryOp::Xor
+        | BinaryOp::Shl
+        | BinaryOp::LShr
+        | BinaryOp::AShr
+            if b_const.is_some_and(|c| c.is_zero()) =>
+        {
+            return Some(a.clone());
         }
         BinaryOp::Mul => {
             if let Some(c) = b_const {
@@ -347,10 +356,8 @@ fn simplify_binary(op: BinaryOp, a: &ExprRef, b: &ExprRef) -> Option<ExprRef> {
                 }
             }
         }
-        BinaryOp::UDiv => {
-            if b_const.is_some_and(|c| c.value() == 1) {
-                return Some(a.clone());
-            }
+        BinaryOp::UDiv if b_const.is_some_and(|c| c.value() == 1) => {
+            return Some(a.clone());
         }
         BinaryOp::Eq => {
             if a == b {
@@ -449,15 +456,11 @@ fn simplify_binary(op: BinaryOp, a: &ExprRef, b: &ExprRef) -> Option<ExprRef> {
                 return Some(Expr::true_());
             }
         }
-        BinaryOp::Slt => {
-            if a == b {
-                return Some(Expr::false_());
-            }
+        BinaryOp::Slt if a == b => {
+            return Some(Expr::false_());
         }
-        BinaryOp::Sle => {
-            if a == b {
-                return Some(Expr::true_());
-            }
+        BinaryOp::Sle if a == b => {
+            return Some(Expr::true_());
         }
         _ => {}
     }

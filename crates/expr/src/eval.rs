@@ -89,9 +89,9 @@ impl Expr {
             }
             ExprKind::ZExt(a) => a.eval(assignment).map(|v| v.zext(self.width())),
             ExprKind::SExt(a) => a.eval(assignment).map(|v| v.sext(self.width())),
-            ExprKind::Extract(a, offset) => a
-                .eval(assignment)
-                .map(|v| v.extract(*offset, self.width())),
+            ExprKind::Extract(a, offset) => {
+                a.eval(assignment).map(|v| v.extract(*offset, self.width()))
+            }
             ExprKind::Concat(hi, lo) => {
                 let vh = hi.eval(assignment)?;
                 let vl = lo.eval(assignment)?;

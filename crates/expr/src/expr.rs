@@ -97,7 +97,7 @@ impl BinaryOp {
             BinaryOp::Add => ConstValue::new(ua.wrapping_add(ub), w),
             BinaryOp::Sub => ConstValue::new(ua.wrapping_sub(ub), w),
             BinaryOp::Mul => ConstValue::new(ua.wrapping_mul(ub), w),
-            BinaryOp::UDiv => ConstValue::new(if ub == 0 { w.mask() } else { ua / ub }, w),
+            BinaryOp::UDiv => ConstValue::new(ua.checked_div(ub).unwrap_or(w.mask()), w),
             BinaryOp::SDiv => ConstValue::new(
                 if sb == 0 {
                     w.mask()

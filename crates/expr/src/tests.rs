@@ -209,7 +209,10 @@ fn logical_not_of_comparison() {
 fn display_is_readable() {
     let (_, syms) = mgr_with_bytes(1);
     let x = Expr::sym(syms[0], Width::W8);
-    let e = Expr::eq(Expr::add(x, Expr::const_(1, Width::W8)), Expr::const_(5, Width::W8));
+    let e = Expr::eq(
+        Expr::add(x, Expr::const_(1, Width::W8)),
+        Expr::const_(5, Width::W8),
+    );
     let s = format!("{e}");
     assert!(s.contains("Eq"));
     assert!(s.contains("Add"));

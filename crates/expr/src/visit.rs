@@ -19,7 +19,9 @@ pub fn collect_symbols_into(expr: &ExprRef, out: &mut BTreeSet<SymbolId>) {
             ExprKind::Sym(id) => {
                 out.insert(*id);
             }
-            ExprKind::Unary(_, a) | ExprKind::ZExt(a) | ExprKind::SExt(a)
+            ExprKind::Unary(_, a)
+            | ExprKind::ZExt(a)
+            | ExprKind::SExt(a)
             | ExprKind::Extract(a, _) => stack.push(a),
             ExprKind::Binary(_, a, b) | ExprKind::Concat(a, b) => {
                 stack.push(a);
@@ -53,7 +55,9 @@ pub fn expr_size(expr: &ExprRef) -> usize {
         count += 1;
         match e.kind() {
             ExprKind::Const(_) | ExprKind::Sym(_) => {}
-            ExprKind::Unary(_, a) | ExprKind::ZExt(a) | ExprKind::SExt(a)
+            ExprKind::Unary(_, a)
+            | ExprKind::ZExt(a)
+            | ExprKind::SExt(a)
             | ExprKind::Extract(a, _) => stack.push(a),
             ExprKind::Binary(_, a, b) | ExprKind::Concat(a, b) => {
                 stack.push(a);
@@ -78,7 +82,9 @@ pub fn expr_depth(expr: &ExprRef) -> usize {
         }
         let d = 1 + match e.kind() {
             ExprKind::Const(_) | ExprKind::Sym(_) => 0,
-            ExprKind::Unary(_, a) | ExprKind::ZExt(a) | ExprKind::SExt(a)
+            ExprKind::Unary(_, a)
+            | ExprKind::ZExt(a)
+            | ExprKind::SExt(a)
             | ExprKind::Extract(a, _) => go(a, memo),
             ExprKind::Binary(_, a, b) | ExprKind::Concat(a, b) => go(a, memo).max(go(b, memo)),
             ExprKind::Ite(c, t, f) => go(c, memo).max(go(t, memo)).max(go(f, memo)),

@@ -29,7 +29,7 @@ impl Width {
     ///
     /// Panics if `bits` is zero or greater than 64.
     pub fn new(bits: u32) -> Width {
-        assert!(bits >= 1 && bits <= 64, "width out of range: {bits}");
+        assert!((1..=64).contains(&bits), "width out of range: {bits}");
         Width(bits as u8)
     }
 

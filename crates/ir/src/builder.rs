@@ -63,7 +63,12 @@ impl ProgramBuilder {
     }
 
     /// Declares a function and returns a builder for its body.
-    pub fn function(&mut self, name: &str, num_params: usize, ret: Option<Width>) -> FunctionBuilder<'_> {
+    pub fn function(
+        &mut self,
+        name: &str,
+        num_params: usize,
+        ret: Option<Width>,
+    ) -> FunctionBuilder<'_> {
         let id = self.declare(name, num_params, ret);
         self.build_declared(id)
     }

@@ -50,12 +50,18 @@ pub fn print_program(program: &Program) -> String {
                     } => format!("{dst:?} = load.{width} [{}]", fmt_operand(addr)),
                     Instr::Store {
                         addr, value, width, ..
-                    } => format!("store.{width} [{}] <- {}", fmt_operand(addr), fmt_operand(value)),
+                    } => format!(
+                        "store.{width} [{}] <- {}",
+                        fmt_operand(addr),
+                        fmt_operand(value)
+                    ),
                     Instr::Alloc { dst, size, .. } => {
                         format!("{dst:?} = alloc {}", fmt_operand(size))
                     }
                     Instr::Free { addr, .. } => format!("free {}", fmt_operand(addr)),
-                    Instr::Call { dst, func, args, .. } => {
+                    Instr::Call {
+                        dst, func, args, ..
+                    } => {
                         let args: Vec<String> = args.iter().map(fmt_operand).collect();
                         match dst {
                             Some(d) => format!("{d:?} = call {func:?}({})", args.join(", ")),

@@ -163,11 +163,15 @@ fn validation_detects_bad_arity() {
     pb.set_entry(main_id);
     let mut p = pb.finish();
     // Corrupt the call to pass one argument instead of two.
-    if let crate::Instr::Call { args, .. } = &mut p.functions[main_id.0 as usize].blocks[0].instrs[0]
+    if let crate::Instr::Call { args, .. } =
+        &mut p.functions[main_id.0 as usize].blocks[0].instrs[0]
     {
         args.pop();
     }
-    assert!(matches!(p.validate(), Err(ValidationError::BadArity { .. })));
+    assert!(matches!(
+        p.validate(),
+        Err(ValidationError::BadArity { .. })
+    ));
 }
 
 #[test]
@@ -210,7 +214,11 @@ fn all_rvalue_forms_validate() {
     let _ = f.zext(Operand::Reg(a), Width::W32);
     let _ = f.sext(Operand::Reg(a), Width::W32);
     let _ = f.trunc(Operand::word(0x1234), Width::W8);
-    let _ = f.select(Operand::const_(1, Width::W1), Operand::Reg(a), Operand::byte(9));
+    let _ = f.select(
+        Operand::const_(1, Width::W1),
+        Operand::Reg(a),
+        Operand::byte(9),
+    );
     let buf = f.alloc(Operand::word(16));
     f.store(Operand::Reg(buf), Operand::byte(0xaa), Width::W8);
     let _ = f.load(Operand::Reg(buf), Width::W8);

@@ -148,18 +148,20 @@ impl Program {
                         }
                         Instr::Free { addr, .. } => check_operand(addr)?,
                         Instr::Call {
-                            dst, func: callee, args, ..
+                            dst,
+                            func: callee,
+                            args,
+                            ..
                         } => {
                             if let Some(d) = dst {
                                 check_reg(*d)?;
                             }
-                            let callee_fn = self
-                                .functions
-                                .get(callee.0 as usize)
-                                .ok_or(ValidationError::BadCallee {
+                            let callee_fn = self.functions.get(callee.0 as usize).ok_or(
+                                ValidationError::BadCallee {
                                     func,
                                     callee: *callee,
-                                })?;
+                                },
+                            )?;
                             if callee_fn.num_params != args.len() {
                                 return Err(ValidationError::BadArity {
                                     func,

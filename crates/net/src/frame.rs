@@ -1,0 +1,123 @@
+//! Length-prefixed bincode framing.
+//!
+//! Every TCP connection carries a stream of frames: a 4-byte little-endian
+//! payload length followed by the bincode-serialized message. The length is
+//! validated against [`MAX_FRAME_LEN`] before any allocation, so a corrupt
+//! or hostile peer cannot trigger unbounded allocations.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload (64 MiB). Large enough for a serialized
+/// target program plus any realistic job batch, small enough to bound the
+/// damage of a corrupted length prefix.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Encodes one frame (length prefix + payload) into a byte vector.
+pub fn encode_frame<T: Serialize>(msg: &T) -> io::Result<Vec<u8>> {
+    let payload = bincode::serialize(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME_LEN",
+        ));
+    }
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Decodes one frame from the front of `data`, returning the message and the
+/// number of bytes consumed. Fails when the frame is truncated or malformed.
+pub fn decode_frame<T: Deserialize>(data: &[u8]) -> io::Result<(T, usize)> {
+    if data.len() < 4 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "frame header truncated",
+        ));
+    }
+    let len = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME_LEN",
+        ));
+    }
+    if data.len() < 4 + len {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "frame payload truncated",
+        ));
+    }
+    let msg = bincode::deserialize(&data[4..4 + len])
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok((msg, 4 + len))
+}
+
+/// Writes one frame to a stream and flushes it.
+pub fn write_frame<W: Write, T: Serialize>(w: &mut W, msg: &T) -> io::Result<()> {
+    let bytes = encode_frame(msg)?;
+    w.write_all(&bytes)?;
+    w.flush()
+}
+
+/// Reads one frame from a stream. Returns `ErrorKind::UnexpectedEof` when
+/// the peer closed the connection cleanly between frames.
+pub fn read_frame<R: Read, T: Deserialize>(r: &mut R) -> io::Result<T> {
+    let mut header = [0u8; 4];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME_LEN",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    bincode::deserialize(&payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip_through_buffer() {
+        let msg = vec![1u64, 2, 3];
+        let bytes = encode_frame(&msg).unwrap();
+        let (decoded, used): (Vec<u64>, usize) = decode_frame(&bytes).unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(used, bytes.len());
+    }
+
+    #[test]
+    fn frame_roundtrip_through_stream() {
+        let msg = String::from("hello frames");
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &msg).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let decoded: String = read_frame(&mut cursor).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        bytes.extend_from_slice(&[0; 16]);
+        assert!(decode_frame::<Vec<u8>>(&bytes).is_err());
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(read_frame::<_, Vec<u8>>(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let bytes = encode_frame(&vec![7u8; 100]).unwrap();
+        assert!(decode_frame::<Vec<u8>>(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode_frame::<Vec<u8>>(&bytes[..2]).is_err());
+    }
+}

@@ -5,7 +5,8 @@
 //! to that node: the receiving worker reconstructs ("materializes") the node
 //! by replaying the path. When several jobs are transferred together their
 //! paths usually share long prefixes, so they are aggregated into a *job
-//! tree* (a prefix trie) before serialization.
+//! tree* (a prefix trie) before serialization. This module is the wire
+//! format all transports ship between workers.
 
 use c9_vm::PathChoice;
 use serde::{Deserialize, Serialize};
@@ -67,8 +68,10 @@ impl JobTree {
     /// Expands the tree back into the list of jobs it encodes (in
     /// lexicographic path order).
     pub fn to_jobs(&self) -> Vec<Job> {
-        let mut out = Vec::new();
-        let mut prefix = Vec::new();
+        // Pre-size both the output and the shared prefix scratch buffer from
+        // the trie's counts so the hot decode path never reallocates them.
+        let mut out = Vec::with_capacity(self.len());
+        let mut prefix = Vec::with_capacity(self.depth());
         self.collect(&mut prefix, &mut out);
         out
     }
@@ -94,9 +97,22 @@ impl JobTree {
         self.len() == 0
     }
 
+    /// Depth of the deepest path in the trie.
+    pub fn depth(&self) -> usize {
+        self.children
+            .values()
+            .map(|c| 1 + c.depth())
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Number of trie nodes (a measure of the shared-prefix compression).
     pub fn node_count(&self) -> usize {
-        1 + self.children.values().map(JobTree::node_count).sum::<usize>()
+        1 + self
+            .children
+            .values()
+            .map(JobTree::node_count)
+            .sum::<usize>()
     }
 }
 
@@ -114,6 +130,10 @@ fn push_varint(out: &mut Vec<u8>, mut v: u64) {
         }
         out.push(byte | 0x80);
     }
+}
+
+fn varint_len(v: u64) -> usize {
+    (64 - v.max(1).leading_zeros() as usize).div_ceil(7)
 }
 
 fn read_varint(data: &[u8], pos: &mut usize) -> Option<u64> {
@@ -145,6 +165,15 @@ fn encode_choice(out: &mut Vec<u8>, choice: &PathChoice) {
     }
 }
 
+fn choice_encoded_len(choice: &PathChoice) -> usize {
+    match choice {
+        PathChoice::Branch(_) => 1,
+        PathChoice::Alt { chosen, total } => {
+            1 + varint_len(u64::from(*chosen)) + varint_len(u64::from(*total))
+        }
+    }
+}
+
 fn decode_choice(data: &[u8], pos: &mut usize) -> Option<PathChoice> {
     let tag = *data.get(*pos)?;
     *pos += 1;
@@ -166,7 +195,11 @@ impl JobTree {
     /// The encoding is a pre-order walk; each node stores its terminal flag
     /// and its child edges (choice + subtree).
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+        // Every node contributes its terminal flag and child count; every
+        // edge contributes its choice encoding. Pre-sizing from the node
+        // count keeps the encoder allocation-free after this reservation for
+        // the common all-`Branch` case.
+        let mut out = Vec::with_capacity(self.node_count() * 3);
         self.encode_into(&mut out);
         out
     }
@@ -206,9 +239,19 @@ impl JobTree {
 }
 
 /// Encodes a batch of jobs without prefix sharing (used as the baseline in
-/// the job-encoding ablation benchmark).
+/// the job-encoding ablation benchmark and for single-job transfers).
 pub fn encode_jobs_flat(jobs: &[Job]) -> Vec<u8> {
-    let mut out = Vec::new();
+    // Exact output size, computed up front so the encoder performs a single
+    // allocation regardless of batch size.
+    let total: usize = varint_len(jobs.len() as u64)
+        + jobs
+            .iter()
+            .map(|job| {
+                varint_len(job.path.len() as u64)
+                    + job.path.iter().map(choice_encoded_len).sum::<usize>()
+            })
+            .sum::<usize>();
+    let mut out = Vec::with_capacity(total);
     push_varint(&mut out, jobs.len() as u64);
     for job in jobs {
         push_varint(&mut out, job.path.len() as u64);
@@ -216,6 +259,7 @@ pub fn encode_jobs_flat(jobs: &[Job]) -> Vec<u8> {
             encode_choice(&mut out, choice);
         }
     }
+    debug_assert_eq!(out.len(), total);
     out
 }
 
@@ -223,10 +267,12 @@ pub fn encode_jobs_flat(jobs: &[Job]) -> Vec<u8> {
 pub fn decode_jobs_flat(data: &[u8]) -> Option<Vec<Job>> {
     let mut pos = 0;
     let count = read_varint(data, &mut pos)? as usize;
-    let mut jobs = Vec::with_capacity(count);
+    // A hostile length prefix must not trigger a huge allocation: each job
+    // costs at least one byte, so cap the reservation by the input size.
+    let mut jobs = Vec::with_capacity(count.min(data.len()));
     for _ in 0..count {
         let len = read_varint(data, &mut pos)? as usize;
-        let mut path = Vec::with_capacity(len);
+        let mut path = Vec::with_capacity(len.min(data.len()));
         for _ in 0..len {
             path.push(decode_choice(data, &mut pos)?);
         }
@@ -247,7 +293,10 @@ mod tests {
             Job::new(vec![b(true), b(false)]),
             Job::new(vec![
                 b(false),
-                PathChoice::Alt { chosen: 2, total: 5 },
+                PathChoice::Alt {
+                    chosen: 2,
+                    total: 5,
+                },
                 b(true),
             ]),
         ]
@@ -274,6 +323,14 @@ mod tests {
     }
 
     #[test]
+    fn tree_depth_matches_longest_path() {
+        let jobs = sample_jobs();
+        let tree = JobTree::from_jobs(&jobs);
+        assert_eq!(tree.depth(), 3);
+        assert_eq!(JobTree::new().depth(), 0);
+    }
+
+    #[test]
     fn wire_encoding_roundtrip() {
         let jobs = sample_jobs();
         let tree = JobTree::from_jobs(&jobs);
@@ -288,6 +345,14 @@ mod tests {
         let bytes = encode_jobs_flat(&jobs);
         let decoded = decode_jobs_flat(&bytes).expect("decode");
         assert_eq!(decoded, jobs);
+    }
+
+    #[test]
+    fn flat_encoding_presizes_exactly() {
+        let jobs = sample_jobs();
+        let bytes = encode_jobs_flat(&jobs);
+        // The capacity computation must agree with the bytes produced.
+        assert_eq!(bytes.capacity(), bytes.len());
     }
 
     #[test]
@@ -321,5 +386,13 @@ mod tests {
         bytes.push(0xff);
         assert!(JobTree::decode(&bytes).is_none());
         assert!(JobTree::decode(&[2]).is_none());
+    }
+
+    #[test]
+    fn hostile_flat_length_prefix_does_not_overallocate() {
+        // Claims 2^40 jobs but carries no payload.
+        let mut bytes = Vec::new();
+        super::push_varint(&mut bytes, 1u64 << 40);
+        assert!(decode_jobs_flat(&bytes).is_none());
     }
 }

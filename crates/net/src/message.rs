@@ -1,0 +1,147 @@
+//! The cluster wire protocol.
+//!
+//! These are the messages the paper's deployment exchanges over the network
+//! (§3.2–§3.3): control commands and the global coverage vector flowing from
+//! the load balancer to workers, queue-length/coverage status reports
+//! flowing back, encoded job batches travelling between workers, and the
+//! final per-worker reports aggregated into the run result. They were
+//! originally private enums inside the in-process cluster harness; promoting
+//! them to public serde-serializable types is what lets the same worker and
+//! balancer loops run over any [`Transport`](crate::Transport).
+
+use crate::id::WorkerId;
+use crate::stats::WorkerStats;
+use c9_ir::Program;
+use c9_vm::{CoverageSet, ExecutorConfig, StrategyKind, TestCase};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Control messages from the load balancer to a worker.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Control {
+    /// Transfer `count` jobs to worker `destination`.
+    Balance {
+        /// The worker that should receive the jobs.
+        destination: WorkerId,
+        /// Number of jobs to move.
+        count: u64,
+    },
+    /// The updated global coverage bit vector (§3.3).
+    GlobalCoverage(CoverageSet),
+    /// Stop and report final results.
+    Stop,
+}
+
+/// Status report from a worker to the load balancer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StatusReport {
+    /// The reporting worker.
+    pub worker: WorkerId,
+    /// Pending exploration jobs (materialized candidates + virtual jobs).
+    pub queue_length: u64,
+    /// The worker's local line coverage.
+    pub coverage: CoverageSet,
+    /// Cumulative statistics.
+    pub stats: WorkerStats,
+    /// Whether the worker currently has nothing to explore.
+    pub idle: bool,
+}
+
+/// Final report from a worker at shutdown.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FinalReport {
+    /// The reporting worker.
+    pub worker: WorkerId,
+    /// Cumulative statistics.
+    pub stats: WorkerStats,
+    /// The worker's local line coverage.
+    pub coverage: CoverageSet,
+    /// Test cases generated for completed paths (when enabled).
+    pub test_cases: Vec<TestCase>,
+    /// Bug-exposing test cases.
+    pub bugs: Vec<TestCase>,
+}
+
+/// A batch of jobs in transit between two workers: a [`JobTree`] prefix trie
+/// serialized with [`JobTree::encode`].
+///
+/// [`JobTree`]: crate::JobTree
+/// [`JobTree::encode`]: crate::JobTree::encode
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobBatch {
+    /// The worker that exported the jobs.
+    pub source: WorkerId,
+    /// The run this batch belongs to; transports that serve multiple runs
+    /// over time (worker daemons) stamp and filter on it so a batch sent
+    /// during one run can never be imported into a later one.
+    pub epoch: u64,
+    /// The encoded job tree.
+    pub encoded: Vec<u8>,
+}
+
+/// The environment model a remote worker should instantiate. The worker
+/// process maps this to an `Arc<dyn Environment>`; the trait object itself
+/// cannot cross the wire.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EnvSpec {
+    /// `c9_vm::NullEnvironment`: syscalls beyond the engine core are stubs.
+    #[default]
+    Null,
+    /// The symbolic POSIX model with its default configuration.
+    Posix,
+}
+
+/// Everything a worker process needs to run one cluster member: shipped by
+/// the coordinator as the first message of a run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// The program under test.
+    pub program: Program,
+    /// Which environment model to instantiate.
+    pub env: EnvSpec,
+    /// Per-path executor limits.
+    pub executor: ExecutorConfig,
+    /// Random seed (combined with the worker id).
+    pub seed: u64,
+    /// Exploration strategy.
+    pub strategy: StrategyKind,
+    /// Whether to solve for a concrete test case for every completed path.
+    pub generate_test_cases: bool,
+    /// Prefer exporting the deepest candidates when shedding load.
+    pub export_deepest: bool,
+    /// Instructions per worker quantum between message-handling points.
+    pub quantum: u64,
+    /// How often the worker reports status to the load balancer.
+    pub status_interval: Duration,
+    /// Whether this worker seeds the root job (worker 0 of a fresh run).
+    pub seed_root: bool,
+    /// Identifier of this run, unique among the runs a long-lived worker
+    /// daemon serves; used to fence off stale in-flight messages.
+    pub epoch: u64,
+}
+
+/// Connection preamble and envelope for every frame a transport carries.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum WireMessage {
+    /// Coordinator → worker, first frame on the control connection: the
+    /// worker's identity, the cluster size, and every worker's listen
+    /// address (used for peer-to-peer job transfers).
+    CoordinatorHello {
+        /// Identity assigned to the receiving worker.
+        worker: WorkerId,
+        /// Total number of workers in the cluster.
+        num_workers: u32,
+        /// Listen address of every worker, indexed by worker id.
+        peers: Vec<String>,
+    },
+    /// Coordinator → worker: begin a run.
+    Start(Box<RunSpec>),
+    /// Coordinator → worker: control during a run.
+    Control(Control),
+    /// Worker → coordinator: periodic status.
+    Status(StatusReport),
+    /// Worker → coordinator: final results.
+    Final(Box<FinalReport>),
+    /// Worker → worker: encoded job batch.
+    Jobs(JobBatch),
+}

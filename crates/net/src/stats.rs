@@ -1,0 +1,48 @@
+//! Per-worker statistics, reported over the wire to the load balancer.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics one worker reports to the load balancer and to the experiment
+/// harness.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct WorkerStats {
+    /// Instructions executed exploring new work ("useful work" in §7.2).
+    pub useful_instructions: u64,
+    /// Instructions spent replaying transferred job paths.
+    pub replay_instructions: u64,
+    /// Paths completed (terminated states).
+    pub paths_completed: u64,
+    /// Bugs found.
+    pub bugs_found: u64,
+    /// Candidate states (jobs) sent to other workers.
+    pub jobs_sent: u64,
+    /// Jobs received from other workers.
+    pub jobs_received: u64,
+    /// Bytes of encoded job trees sent.
+    pub job_bytes_sent: u64,
+    /// Number of materializations (virtual → materialized replays).
+    pub materializations: u64,
+    /// Replays that broke (diverged); should stay zero thanks to the
+    /// deterministic allocator.
+    pub broken_replays: u64,
+}
+
+impl WorkerStats {
+    /// Merges another snapshot into this one.
+    pub fn merge(&mut self, other: &WorkerStats) {
+        self.useful_instructions += other.useful_instructions;
+        self.replay_instructions += other.replay_instructions;
+        self.paths_completed += other.paths_completed;
+        self.bugs_found += other.bugs_found;
+        self.jobs_sent += other.jobs_sent;
+        self.jobs_received += other.jobs_received;
+        self.job_bytes_sent += other.job_bytes_sent;
+        self.materializations += other.materializations;
+        self.broken_replays += other.broken_replays;
+    }
+
+    /// Total instructions (useful + replay).
+    pub fn total_instructions(&self) -> u64 {
+        self.useful_instructions + self.replay_instructions
+    }
+}

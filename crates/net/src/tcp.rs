@@ -1,0 +1,601 @@
+//! The TCP transport: a cluster of OS processes on a network.
+//!
+//! This is the paper's deployment (§3.3): every worker is a process hosting
+//! one symbolic execution engine, listening on a socket; the coordinator
+//! process runs the load balancer, dials every worker, and drives the run.
+//! Job batches travel directly between workers over lazily-dialed peer
+//! connections — the coordinator only ever sees queue lengths and coverage
+//! bit vectors, exactly as in the paper.
+//!
+//! Framing is length-prefixed bincode (see [`crate::frame`]). Accept loops
+//! are reconnect-aware: a worker keeps accepting connections for its whole
+//! lifetime, a new coordinator connection replaces the previous one, and a
+//! failed peer connection is re-dialed on the next send.
+
+use crate::frame::{read_frame, write_frame};
+use crate::message::{Control, FinalReport, JobBatch, RunSpec, StatusReport, WireMessage};
+use crate::transport::{CoordinatorEndpoint, Endpoints, Transport, TransportError, WorkerEndpoint};
+use crate::WorkerId;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Events surfaced by a worker's accept loop.
+enum HostEvent {
+    /// A coordinator introduced itself on a fresh connection.
+    Hello {
+        worker: WorkerId,
+        num_workers: u32,
+        peers: Vec<String>,
+        writer: TcpStream,
+    },
+    /// The coordinator started a run.
+    Start(Box<RunSpec>),
+    /// A control message for the current run.
+    Control(Control),
+    /// A job batch from a peer worker.
+    Jobs(JobBatch),
+}
+
+/// Stops the accept loop (releasing the listener's port and thread) when
+/// the owning host or endpoint is dropped.
+struct ListenerGuard {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Drop for ListenerGuard {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the accept loop so it observes the flag and exits.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A worker-side listener: accepts coordinator and peer connections and
+/// demultiplexes their frames into one event queue.
+pub struct TcpWorkerHost {
+    local_addr: SocketAddr,
+    events_rx: Receiver<HostEvent>,
+    guard: ListenerGuard,
+}
+
+impl TcpWorkerHost {
+    /// Binds the worker listener and starts the accept loop.
+    pub fn bind(addr: &str) -> io::Result<TcpWorkerHost> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let (events_tx, events_rx) = unbounded();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = shutdown.clone();
+        std::thread::Builder::new()
+            .name(format!("c9-accept-{local_addr}"))
+            .spawn(move || accept_loop(&listener, &events_tx, &accept_shutdown))?;
+        Ok(TcpWorkerHost {
+            local_addr,
+            events_rx,
+            guard: ListenerGuard {
+                addr: local_addr,
+                shutdown,
+            },
+        })
+    }
+
+    /// The address the listener is bound to (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Waits for a coordinator to connect and introduce itself, returning
+    /// the worker endpoint for the session. Control or job frames that race
+    /// ahead of the hello are preserved for the endpoint.
+    pub fn accept_coordinator(self, timeout: Duration) -> Option<TcpWorkerEndpoint> {
+        let deadline = Instant::now() + timeout;
+        let mut pending_control = VecDeque::new();
+        let mut pending_jobs = VecDeque::new();
+        let mut pending_start = VecDeque::new();
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            match self.events_rx.recv_timeout(deadline - now) {
+                Ok(HostEvent::Hello {
+                    worker,
+                    num_workers,
+                    peers,
+                    writer,
+                }) => {
+                    return Some(TcpWorkerEndpoint {
+                        id: worker,
+                        num_workers: num_workers as usize,
+                        peers,
+                        peer_conns: Vec::new(),
+                        coordinator: writer,
+                        events_rx: self.events_rx,
+                        pending_control,
+                        pending_jobs,
+                        pending_start,
+                        epoch: 0,
+                        _guard: self.guard,
+                    });
+                }
+                Ok(HostEvent::Control(c)) => pending_control.push_back(c),
+                Ok(HostEvent::Jobs(j)) => pending_jobs.push_back(j),
+                Ok(HostEvent::Start(s)) => pending_start.push_back(*s),
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, events_tx: &Sender<HostEvent>, shutdown: &AtomicBool) {
+    // Runs until the owning endpoint is dropped: every new connection
+    // (first coordinator, reconnecting coordinator, each peer) gets a
+    // reader thread feeding the shared event queue.
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let events_tx = events_tx.clone();
+        let _ = std::thread::Builder::new()
+            .name("c9-conn-reader".into())
+            .spawn(move || worker_conn_reader(stream, &events_tx));
+    }
+}
+
+fn worker_conn_reader(mut stream: TcpStream, events_tx: &Sender<HostEvent>) {
+    loop {
+        let msg: WireMessage = match read_frame(&mut stream) {
+            Ok(msg) => msg,
+            Err(_) => return, // peer closed or sent garbage; drop the connection
+        };
+        let event = match msg {
+            WireMessage::CoordinatorHello {
+                worker,
+                num_workers,
+                peers,
+            } => {
+                let Ok(writer) = stream.try_clone() else {
+                    return;
+                };
+                HostEvent::Hello {
+                    worker,
+                    num_workers,
+                    peers,
+                    writer,
+                }
+            }
+            WireMessage::Start(spec) => HostEvent::Start(spec),
+            WireMessage::Control(c) => HostEvent::Control(c),
+            WireMessage::Jobs(j) => HostEvent::Jobs(j),
+            // Status/Final frames are coordinator-bound; a worker receiving
+            // one indicates a confused peer. Ignore.
+            WireMessage::Status(_) | WireMessage::Final(_) => continue,
+        };
+        if events_tx.send(event).is_err() {
+            return;
+        }
+    }
+}
+
+/// Worker endpoint over TCP.
+pub struct TcpWorkerEndpoint {
+    id: WorkerId,
+    num_workers: usize,
+    peers: Vec<String>,
+    peer_conns: Vec<Option<TcpStream>>,
+    coordinator: TcpStream,
+    events_rx: Receiver<HostEvent>,
+    pending_control: VecDeque<Control>,
+    pending_jobs: VecDeque<JobBatch>,
+    pending_start: VecDeque<RunSpec>,
+    epoch: u64,
+    _guard: ListenerGuard,
+}
+
+impl TcpWorkerEndpoint {
+    /// Number of workers in the cluster, as announced by the coordinator.
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Waits for the coordinator to begin a run.
+    pub fn wait_start(&mut self, timeout: Duration) -> Option<RunSpec> {
+        if let Some(spec) = self.pending_start.pop_front() {
+            return Some(self.begin_run(spec));
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            match self.events_rx.recv_timeout(deadline - now) {
+                Ok(event) => {
+                    self.dispatch(event);
+                    if let Some(spec) = self.pending_start.pop_front() {
+                        return Some(self.begin_run(spec));
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Fences a new run off from the previous one: control frames queued
+    /// before this run's `Start` are from an earlier run (the coordinator
+    /// connection is FIFO), and job batches are filtered by epoch in
+    /// [`WorkerEndpoint::try_recv_jobs`].
+    fn begin_run(&mut self, spec: RunSpec) -> RunSpec {
+        self.epoch = spec.epoch;
+        self.pending_control.clear();
+        spec
+    }
+
+    fn dispatch(&mut self, event: HostEvent) {
+        match event {
+            HostEvent::Hello {
+                worker,
+                num_workers,
+                peers,
+                writer,
+            } => {
+                // A reconnecting coordinator replaces the control channel.
+                self.id = worker;
+                self.num_workers = num_workers as usize;
+                self.peers = peers;
+                self.peer_conns.clear();
+                self.coordinator = writer;
+            }
+            HostEvent::Start(spec) => self.pending_start.push_back(*spec),
+            HostEvent::Control(c) => self.pending_control.push_back(c),
+            HostEvent::Jobs(j) => self.pending_jobs.push_back(j),
+        }
+    }
+
+    fn pump(&mut self) {
+        while let Ok(event) = self.events_rx.try_recv() {
+            self.dispatch(event);
+        }
+    }
+
+    fn peer_stream(&mut self, destination: WorkerId) -> Result<&mut TcpStream, TransportError> {
+        let idx = destination.index();
+        if idx >= self.peers.len() {
+            return Err(TransportError::Io(format!(
+                "unknown peer {destination} (cluster has {} workers)",
+                self.peers.len()
+            )));
+        }
+        if self.peer_conns.len() < self.peers.len() {
+            self.peer_conns.resize_with(self.peers.len(), || None);
+        }
+        if self.peer_conns[idx].is_none() {
+            let stream = TcpStream::connect(&self.peers[idx])?;
+            stream.set_nodelay(true).ok();
+            self.peer_conns[idx] = Some(stream);
+        }
+        Ok(self.peer_conns[idx].as_mut().expect("peer conn present"))
+    }
+}
+
+impl WorkerEndpoint for TcpWorkerEndpoint {
+    fn id(&self) -> WorkerId {
+        self.id
+    }
+
+    fn try_recv_control(&mut self) -> Option<Control> {
+        self.pump();
+        self.pending_control.pop_front()
+    }
+
+    fn try_recv_jobs(&mut self) -> Option<JobBatch> {
+        self.pump();
+        // Drop batches from earlier runs that were still in flight when the
+        // previous session stopped.
+        while let Some(batch) = self.pending_jobs.pop_front() {
+            if batch.epoch == self.epoch {
+                return Some(batch);
+            }
+        }
+        None
+    }
+
+    fn send_jobs(
+        &mut self,
+        destination: WorkerId,
+        mut batch: JobBatch,
+    ) -> Result<(), TransportError> {
+        batch.epoch = self.epoch;
+        let msg = WireMessage::Jobs(batch);
+        // One reconnect attempt: a worker daemon that restarted keeps its
+        // listen address, so re-dialing usually heals the path.
+        let first = {
+            let stream = self.peer_stream(destination)?;
+            write_frame(stream, &msg)
+        };
+        if first.is_ok() {
+            return Ok(());
+        }
+        self.peer_conns[destination.index()] = None;
+        let stream = self.peer_stream(destination)?;
+        write_frame(stream, &msg).map_err(TransportError::from)
+    }
+
+    fn send_status(&mut self, report: StatusReport) -> Result<(), TransportError> {
+        write_frame(&mut self.coordinator, &WireMessage::Status(report))
+            .map_err(TransportError::from)
+    }
+
+    fn send_final(&mut self, report: FinalReport) -> Result<(), TransportError> {
+        write_frame(&mut self.coordinator, &WireMessage::Final(Box::new(report)))
+            .map_err(TransportError::from)
+    }
+}
+
+/// Coordinator endpoint over TCP.
+pub struct TcpCoordinatorEndpoint {
+    writers: Vec<TcpStream>,
+    inbox_rx: Receiver<(WorkerId, WireMessage)>,
+    pending_status: VecDeque<StatusReport>,
+    pending_finals: VecDeque<FinalReport>,
+}
+
+impl TcpCoordinatorEndpoint {
+    /// Dials every worker in `addrs` (retrying each until `timeout`), sends
+    /// the hello that assigns identities and the peer list, and starts the
+    /// reader threads.
+    pub fn connect(
+        addrs: &[String],
+        timeout: Duration,
+    ) -> Result<TcpCoordinatorEndpoint, TransportError> {
+        let deadline = Instant::now() + timeout;
+        let (inbox_tx, inbox_rx) = unbounded();
+        let mut writers = Vec::with_capacity(addrs.len());
+        for (i, addr) in addrs.iter().enumerate() {
+            let stream = dial_until(addr, deadline)?;
+            stream.set_nodelay(true).ok();
+            let mut writer = stream.try_clone().map_err(TransportError::from)?;
+            write_frame(
+                &mut writer,
+                &WireMessage::CoordinatorHello {
+                    worker: WorkerId(i as u32),
+                    num_workers: addrs.len() as u32,
+                    peers: addrs.to_vec(),
+                },
+            )
+            .map_err(TransportError::from)?;
+            let inbox_tx = inbox_tx.clone();
+            let worker = WorkerId(i as u32);
+            std::thread::Builder::new()
+                .name(format!("c9-coord-reader-{worker}"))
+                .spawn(move || coordinator_conn_reader(stream, worker, &inbox_tx))
+                .map_err(TransportError::from)?;
+            writers.push(writer);
+        }
+        Ok(TcpCoordinatorEndpoint {
+            writers,
+            inbox_rx,
+            pending_status: VecDeque::new(),
+            pending_finals: VecDeque::new(),
+        })
+    }
+
+    /// Sends the run spec produced by `spec_for` to every worker.
+    pub fn broadcast_start(
+        &mut self,
+        mut spec_for: impl FnMut(WorkerId) -> RunSpec,
+    ) -> Result<(), TransportError> {
+        for i in 0..self.writers.len() {
+            let spec = spec_for(WorkerId(i as u32));
+            write_frame(&mut self.writers[i], &WireMessage::Start(Box::new(spec)))
+                .map_err(TransportError::from)?;
+        }
+        Ok(())
+    }
+
+    fn pump_one(&mut self, timeout: Duration) -> bool {
+        let received = if timeout.is_zero() {
+            self.inbox_rx.try_recv().ok()
+        } else {
+            self.inbox_rx.recv_timeout(timeout).ok()
+        };
+        match received {
+            Some((_, WireMessage::Status(report))) => {
+                self.pending_status.push_back(report);
+                true
+            }
+            Some((_, WireMessage::Final(report))) => {
+                self.pending_finals.push_back(*report);
+                true
+            }
+            Some(_) => true, // ignore stray frames
+            None => false,
+        }
+    }
+}
+
+fn dial_until(addr: &str, deadline: Instant) -> Result<TcpStream, TransportError> {
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(TransportError::Io(format!("dial {addr}: {e}")));
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+fn coordinator_conn_reader(
+    mut stream: TcpStream,
+    worker: WorkerId,
+    inbox_tx: &Sender<(WorkerId, WireMessage)>,
+) {
+    loop {
+        match read_frame::<_, WireMessage>(&mut stream) {
+            Ok(msg) => {
+                if inbox_tx.send((worker, msg)).is_err() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+impl CoordinatorEndpoint for TcpCoordinatorEndpoint {
+    fn num_workers(&self) -> usize {
+        self.writers.len()
+    }
+
+    fn send_control(&mut self, destination: WorkerId, msg: Control) -> Result<(), TransportError> {
+        let writer = self
+            .writers
+            .get_mut(destination.index())
+            .ok_or(TransportError::Disconnected)?;
+        write_frame(writer, &WireMessage::Control(msg)).map_err(TransportError::from)
+    }
+
+    fn recv_status(&mut self, timeout: Duration) -> Option<StatusReport> {
+        if let Some(report) = self.pending_status.pop_front() {
+            return Some(report);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            let step = if now >= deadline {
+                Duration::ZERO
+            } else {
+                deadline - now
+            };
+            if !self.pump_one(step) {
+                return None;
+            }
+            if let Some(report) = self.pending_status.pop_front() {
+                return Some(report);
+            }
+            if step.is_zero() {
+                return None;
+            }
+        }
+    }
+
+    fn recv_final(&mut self, timeout: Duration) -> Option<FinalReport> {
+        if let Some(report) = self.pending_finals.pop_front() {
+            return Some(report);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let now = Instant::now();
+            let step = if now >= deadline {
+                Duration::ZERO
+            } else {
+                deadline - now
+            };
+            if !self.pump_one(step) {
+                return None;
+            }
+            if let Some(report) = self.pending_finals.pop_front() {
+                return Some(report);
+            }
+            if step.is_zero() {
+                return None;
+            }
+        }
+    }
+}
+
+/// The TCP transport.
+///
+/// Two modes:
+///
+/// * [`TcpTransport::loopback`] hosts all N worker endpoints in the current
+///   process, connected to the coordinator over real localhost sockets —
+///   every byte crosses the kernel's TCP stack. Used by tests and the
+///   transport benchmark, and by `Cluster::run_with_transport`.
+/// * [`TcpTransport::connect`] dials already-running `c9-worker` daemons;
+///   the returned endpoint set has no local workers.
+pub struct TcpTransport {
+    mode: TcpMode,
+}
+
+enum TcpMode {
+    Loopback,
+    Connect {
+        addrs: Vec<String>,
+        timeout: Duration,
+    },
+}
+
+impl TcpTransport {
+    /// All workers hosted in-process, joined over localhost TCP.
+    pub fn loopback() -> TcpTransport {
+        TcpTransport {
+            mode: TcpMode::Loopback,
+        }
+    }
+
+    /// Connect to remote worker daemons at `addrs`.
+    pub fn connect(addrs: Vec<String>, timeout: Duration) -> TcpTransport {
+        TcpTransport {
+            mode: TcpMode::Connect { addrs, timeout },
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    type WorkerEnd = TcpWorkerEndpoint;
+    type CoordinatorEnd = TcpCoordinatorEndpoint;
+
+    fn establish(
+        self,
+        num_workers: usize,
+    ) -> Result<Endpoints<TcpCoordinatorEndpoint, TcpWorkerEndpoint>, TransportError> {
+        match self.mode {
+            TcpMode::Loopback => {
+                let n = num_workers.max(1);
+                let mut hosts = Vec::with_capacity(n);
+                let mut addrs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let host = TcpWorkerHost::bind("127.0.0.1:0").map_err(TransportError::from)?;
+                    addrs.push(host.local_addr().to_string());
+                    hosts.push(host);
+                }
+                let coordinator = TcpCoordinatorEndpoint::connect(&addrs, Duration::from_secs(10))?;
+                let mut workers = Vec::with_capacity(n);
+                for host in hosts {
+                    let endpoint = host
+                        .accept_coordinator(Duration::from_secs(10))
+                        .ok_or(TransportError::Disconnected)?;
+                    workers.push(endpoint);
+                }
+                Ok(Endpoints {
+                    coordinator,
+                    workers,
+                })
+            }
+            TcpMode::Connect { addrs, timeout } => {
+                if addrs.len() != num_workers {
+                    return Err(TransportError::Io(format!(
+                        "worker list has {} entries but the cluster needs {num_workers}",
+                        addrs.len()
+                    )));
+                }
+                let coordinator = TcpCoordinatorEndpoint::connect(&addrs, timeout)?;
+                Ok(Endpoints {
+                    coordinator,
+                    workers: Vec::new(),
+                })
+            }
+        }
+    }
+}

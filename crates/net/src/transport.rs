@@ -1,0 +1,107 @@
+//! The transport abstraction.
+//!
+//! A cluster run is one coordinator (hosting the load balancer) plus N
+//! workers, connected by two message flows: coordinator ⇄ worker control
+//! and status, and worker → worker job batches. The [`WorkerEndpoint`] and
+//! [`CoordinatorEndpoint`] traits capture exactly those flows, so the worker
+//! and balancer loops in `c9-core` are written once and run unchanged over
+//! in-process channels ([`InProcTransport`](crate::InProcTransport)) or TCP
+//! sockets spanning OS processes ([`TcpTransport`](crate::TcpTransport)) —
+//! the deployment of §3.3 of the paper.
+
+use crate::message::{Control, FinalReport, JobBatch, StatusReport};
+use crate::WorkerId;
+use std::time::Duration;
+
+/// Why a transport operation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer is gone and will not come back (channel closed, connection
+    /// refused after retries).
+    Disconnected,
+    /// An I/O level failure, with context.
+    Io(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Disconnected => write!(f, "transport disconnected"),
+            TransportError::Io(msg) => write!(f, "transport i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> TransportError {
+        TransportError::Io(e.to_string())
+    }
+}
+
+/// A worker's view of the cluster: receive control and job batches, send
+/// status, final results, and job batches to peers.
+pub trait WorkerEndpoint: Send {
+    /// This endpoint's worker identity.
+    fn id(&self) -> WorkerId;
+
+    /// Receives one pending control message, without blocking.
+    fn try_recv_control(&mut self) -> Option<Control>;
+
+    /// Receives one pending job batch, without blocking.
+    fn try_recv_jobs(&mut self) -> Option<JobBatch>;
+
+    /// Ships a job batch to a peer worker.
+    fn send_jobs(&mut self, destination: WorkerId, batch: JobBatch) -> Result<(), TransportError>;
+
+    /// Reports status to the coordinator.
+    fn send_status(&mut self, report: StatusReport) -> Result<(), TransportError>;
+
+    /// Reports final results to the coordinator at shutdown.
+    fn send_final(&mut self, report: FinalReport) -> Result<(), TransportError>;
+}
+
+/// The coordinator's view of the cluster: send control to any worker,
+/// receive status and final reports.
+pub trait CoordinatorEndpoint {
+    /// Number of workers this endpoint is connected to.
+    fn num_workers(&self) -> usize;
+
+    /// Sends a control message to one worker.
+    fn send_control(&mut self, destination: WorkerId, msg: Control) -> Result<(), TransportError>;
+
+    /// Receives one status report, waiting up to `timeout`. Final reports
+    /// arriving early are buffered internally and never returned here.
+    fn recv_status(&mut self, timeout: Duration) -> Option<StatusReport>;
+
+    /// Receives one final report, waiting up to `timeout`.
+    fn recv_final(&mut self, timeout: Duration) -> Option<FinalReport>;
+}
+
+/// The two halves of an established cluster fabric.
+///
+/// `workers` holds the endpoints of the workers this process hosts. For a
+/// fully local transport that is all N of them; when the workers are remote
+/// daemons that own their endpoints (the multi-process TCP deployment), it
+/// is empty.
+pub struct Endpoints<C, W> {
+    /// The coordinator endpoint.
+    pub coordinator: C,
+    /// Endpoints of locally hosted workers (possibly empty).
+    pub workers: Vec<W>,
+}
+
+/// A way of wiring up a cluster of N workers and one coordinator.
+pub trait Transport {
+    /// The worker-side endpoint type.
+    type WorkerEnd: WorkerEndpoint + 'static;
+    /// The coordinator-side endpoint type.
+    type CoordinatorEnd: CoordinatorEndpoint;
+
+    /// Establishes the fabric for `num_workers` workers.
+    fn establish(
+        self,
+        num_workers: usize,
+    ) -> Result<Endpoints<Self::CoordinatorEnd, Self::WorkerEnd>, TransportError>;
+}

@@ -1,0 +1,155 @@
+//! Property tests for the wire codec: random jobs and wire messages must
+//! round-trip bit-exactly through the job-tree encoding, the flat encoding,
+//! and the length-prefixed bincode frame encoder.
+
+use c9_net::frame::{decode_frame, encode_frame, read_frame, write_frame};
+use c9_net::{
+    decode_jobs_flat, encode_jobs_flat, Control, Job, JobBatch, JobTree, StatusReport, WireMessage,
+    WorkerId, WorkerStats,
+};
+use c9_vm::{CoverageSet, PathChoice};
+use proptest::prelude::*;
+
+fn arb_choice() -> impl Strategy<Value = PathChoice> {
+    prop_oneof![
+        Just(PathChoice::Branch(false)),
+        Just(PathChoice::Branch(true)),
+        (0u32..2000, 1u32..2000).prop_map(|(a, b)| {
+            let total = a.max(b).max(1);
+            PathChoice::Alt {
+                chosen: a.min(b) % total,
+                total,
+            }
+        }),
+    ]
+}
+
+fn arb_job() -> impl Strategy<Value = Job> {
+    proptest::collection::vec(arb_choice(), 0..40).prop_map(Job::new)
+}
+
+fn arb_jobs() -> impl Strategy<Value = Vec<Job>> {
+    proptest::collection::vec(arb_job(), 0..24)
+}
+
+fn sorted_dedup(mut jobs: Vec<Job>) -> Vec<Job> {
+    jobs.sort_by(|a, b| a.path.cmp(&b.path));
+    jobs.dedup();
+    jobs
+}
+
+proptest! {
+    /// JobTree::encode/decode round-trips arbitrary job batches; the set of
+    /// jobs (paths) survives the trie aggregation.
+    #[test]
+    fn job_tree_roundtrip(jobs in arb_jobs()) {
+        let tree = JobTree::from_jobs(&jobs);
+        let bytes = tree.encode();
+        let decoded = JobTree::decode(&bytes).expect("decode must succeed");
+        prop_assert_eq!(&decoded, &tree);
+        prop_assert_eq!(decoded.to_jobs(), sorted_dedup(jobs));
+    }
+
+    /// The flat encoding round-trips arbitrary job batches exactly
+    /// (preserving order and duplicates).
+    #[test]
+    fn flat_encoding_roundtrip(jobs in arb_jobs()) {
+        let bytes = encode_jobs_flat(&jobs);
+        let decoded = decode_jobs_flat(&bytes).expect("decode must succeed");
+        prop_assert_eq!(decoded, jobs);
+    }
+
+    /// Jobs survive the full wire path: trie aggregation, tree encoding,
+    /// JobBatch message, bincode, length-prefixed frame, and back.
+    #[test]
+    fn jobs_roundtrip_through_frame_encoder(jobs in arb_jobs(), source in 0u32..64) {
+        let batch = JobBatch {
+            source: WorkerId(source),
+            epoch: u64::from(source) * 31,
+            encoded: JobTree::from_jobs(&jobs).encode(),
+        };
+        let frame = encode_frame(&WireMessage::Jobs(batch.clone())).expect("encode frame");
+        let (decoded, used): (WireMessage, usize) = decode_frame(&frame).expect("decode frame");
+        prop_assert_eq!(used, frame.len());
+        let WireMessage::Jobs(decoded_batch) = decoded else {
+            panic!("wrong message variant");
+        };
+        prop_assert_eq!(&decoded_batch, &batch);
+        let tree = JobTree::decode(&decoded_batch.encoded).expect("decode job tree");
+        prop_assert_eq!(tree.to_jobs(), sorted_dedup(jobs));
+    }
+
+    /// Control messages round-trip through the frame encoder.
+    #[test]
+    fn control_roundtrips_through_frame_encoder(
+        dst in 0u32..512,
+        count in 0u64..1_000_000,
+        covered in proptest::collection::vec(0u32..256, 0..32),
+    ) {
+        let mut coverage = CoverageSet::new(256);
+        for line in &covered {
+            coverage.cover(c9_ir::LineId(*line));
+        }
+        for msg in [
+            Control::Balance { destination: WorkerId(dst), count },
+            Control::GlobalCoverage(coverage),
+            Control::Stop,
+        ] {
+            let frame = encode_frame(&WireMessage::Control(msg.clone())).expect("encode");
+            let (decoded, _): (WireMessage, usize) = decode_frame(&frame).expect("decode");
+            let WireMessage::Control(decoded_msg) = decoded else {
+                panic!("wrong message variant");
+            };
+            prop_assert_eq!(decoded_msg, msg);
+        }
+    }
+
+    /// Status reports round-trip through the streaming frame reader/writer.
+    #[test]
+    fn status_roundtrips_through_frame_stream(
+        worker in 0u32..64,
+        queue_length in 0u64..10_000,
+        idle: bool,
+        useful in 0u64..u64::MAX / 2,
+        paths in 0u64..1_000_000,
+    ) {
+        let report = StatusReport {
+            worker: WorkerId(worker),
+            queue_length,
+            coverage: CoverageSet::new(100),
+            stats: WorkerStats {
+                useful_instructions: useful,
+                paths_completed: paths,
+                ..WorkerStats::default()
+            },
+            idle,
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &WireMessage::Status(report.clone())).expect("write");
+        let mut cursor = std::io::Cursor::new(buf);
+        let decoded: WireMessage = read_frame(&mut cursor).expect("read");
+        let WireMessage::Status(decoded_report) = decoded else {
+            panic!("wrong message variant");
+        };
+        prop_assert_eq!(decoded_report.worker, report.worker);
+        prop_assert_eq!(decoded_report.queue_length, report.queue_length);
+        prop_assert_eq!(decoded_report.idle, report.idle);
+        prop_assert_eq!(
+            decoded_report.stats.useful_instructions,
+            report.stats.useful_instructions
+        );
+        prop_assert_eq!(decoded_report.stats.paths_completed, report.stats.paths_completed);
+    }
+
+    /// Corrupting any single byte of an encoded job tree never panics the
+    /// decoder: it either fails cleanly or yields some valid tree.
+    #[test]
+    fn corrupted_tree_bytes_never_panic(jobs in arb_jobs(), flip in 0usize..4096, xor in 1u8..=255) {
+        let mut bytes = JobTree::from_jobs(&jobs).encode();
+        if !bytes.is_empty() {
+            let idx = flip % bytes.len();
+            bytes[idx] ^= xor;
+            let _ = JobTree::decode(&bytes); // must not panic
+        }
+    }
+}

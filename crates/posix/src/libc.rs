@@ -75,7 +75,11 @@ pub fn add_libc(pb: &mut ProgramBuilder) -> Libc {
 fn build_thread_self(pb: &mut ProgramBuilder) -> FuncId {
     let mut f = pb.function("pthread_self", 0, Some(Width::W32));
     let ctx = f.syscall(sysno::GET_CONTEXT, vec![]);
-    let tid = f.binary(BinaryOp::And, Operand::Reg(ctx), Operand::Const(0xffff, Width::W64));
+    let tid = f.binary(
+        BinaryOp::And,
+        Operand::Reg(ctx),
+        Operand::Const(0xffff, Width::W64),
+    );
     let tid32 = f.trunc(Operand::Reg(tid), Width::W32);
     f.ret(Some(Operand::Reg(tid32)));
     f.finish()
@@ -110,7 +114,11 @@ fn build_mutex_lock(pb: &mut ProgramBuilder, thread_self: FuncId) -> FuncId {
     let taken = f.load(Operand::Reg(taken_addr), Width::W32);
     let queued_pos = f.binary(BinaryOp::Ne, Operand::Reg(queued), Operand::word(0));
     let taken_set = f.binary(BinaryOp::Ne, Operand::Reg(taken), Operand::word(0));
-    let need_wait = f.binary(BinaryOp::Or, Operand::Reg(queued_pos), Operand::Reg(taken_set));
+    let need_wait = f.binary(
+        BinaryOp::Or,
+        Operand::Reg(queued_pos),
+        Operand::Reg(taken_set),
+    );
     f.branch(Operand::Reg(need_wait), wait_bb, take_bb);
 
     f.switch_to(wait_bb);
@@ -151,7 +159,11 @@ fn build_mutex_unlock(pb: &mut ProgramBuilder, thread_self: FuncId) -> FuncId {
     let owner = f.load(Operand::Reg(owner_addr), Width::W32);
     let me = f.call(thread_self, vec![]);
     let not_owner = f.binary(BinaryOp::Ne, Operand::Reg(owner), Operand::Reg(me));
-    let bad = f.binary(BinaryOp::Or, Operand::Reg(not_taken), Operand::Reg(not_owner));
+    let bad = f.binary(
+        BinaryOp::Or,
+        Operand::Reg(not_taken),
+        Operand::Reg(not_owner),
+    );
     f.branch(Operand::Reg(bad), error_bb, release_bb);
 
     f.switch_to(error_bb);

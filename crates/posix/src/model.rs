@@ -187,7 +187,10 @@ impl<'a> Call<'a> {
     // -- plumbing -------------------------------------------------------------
 
     fn arg(&mut self, args: &[Value], i: usize) -> u64 {
-        let v = args.get(i).cloned().unwrap_or(Value::concrete(0, Width::W64));
+        let v = args
+            .get(i)
+            .cloned()
+            .unwrap_or(Value::concrete(0, Width::W64));
         match v.as_u64() {
             Some(c) => c,
             None => {
@@ -348,8 +351,13 @@ impl<'a> Call<'a> {
                 return err();
             }
         }
-        let file_idx = self.posix.objects.add_open_file(OpenFile { path, offset: 0 });
-        let fd = self.fd_table().install(FdEntry::new(FdObject::File(file_idx)));
+        let file_idx = self
+            .posix
+            .objects
+            .add_open_file(OpenFile { path, offset: 0 });
+        let fd = self
+            .fd_table()
+            .install(FdEntry::new(FdObject::File(file_idx)));
         let effect = ret(fd);
         self.maybe_inject_fault(false, effect)
     }
@@ -526,7 +534,8 @@ impl<'a> Call<'a> {
         }
         let pid = self.pid();
         if entry.flags.fragment && n_max > 1 {
-            let choices: Vec<usize> = fragment_choices(n_max, self.config.max_fragment_alternatives);
+            let choices: Vec<usize> =
+                fragment_choices(n_max, self.config.max_fragment_alternatives);
             let alts = choices
                 .into_iter()
                 .map(|k| {
@@ -778,14 +787,16 @@ impl<'a> Call<'a> {
                     .install(FdEntry::new(FdObject::Socket(conn_idx)));
                 ret(new_fd)
             }
-            None => self.sleep_on(move |posix, fresh| {
-                match &mut posix.objects.sockets[idx].state {
-                    SocketState::Listening { accept_waiters, .. } => {
-                        *accept_waiters.get_or_insert(fresh)
-                    }
-                    _ => fresh,
-                }
-            }),
+            None => {
+                self.sleep_on(
+                    move |posix, fresh| match &mut posix.objects.sockets[idx].state {
+                        SocketState::Listening { accept_waiters, .. } => {
+                            *accept_waiters.get_or_insert(fresh)
+                        }
+                        _ => fresh,
+                    },
+                )
+            }
         }
     }
 
@@ -863,12 +874,14 @@ impl<'a> Call<'a> {
                 }
                 ret(n as u64)
             }
-            None => self.sleep_on(move |posix, fresh| {
-                match &mut posix.objects.sockets[idx].state {
-                    SocketState::Udp { recv_waiters, .. } => *recv_waiters.get_or_insert(fresh),
-                    _ => fresh,
-                }
-            }),
+            None => {
+                self.sleep_on(
+                    move |posix, fresh| match &mut posix.objects.sockets[idx].state {
+                        SocketState::Udp { recv_waiters, .. } => *recv_waiters.get_or_insert(fresh),
+                        _ => fresh,
+                    },
+                )
+            }
         }
     }
 
@@ -893,10 +906,7 @@ impl<'a> Call<'a> {
                 recv_waiters,
                 ..
             } => {
-                rx_packets.push_back(Datagram {
-                    data,
-                    from_port: 0,
-                });
+                rx_packets.push_back(Datagram { data, from_port: 0 });
                 *recv_waiters
             }
             _ => return err(),

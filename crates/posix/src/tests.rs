@@ -146,7 +146,10 @@ fn symbolic_socket_explores_all_byte_values_on_branches() {
     // One symbolic byte read from a socket, three-way branch.
     let mut pb = ProgramBuilder::new();
     let mut f = pb.function("main", 0, Some(Width::W32));
-    let sock = f.syscall(nr::SOCKET, vec![Operand::Const(nr::SOCK_STREAM, Width::W64)]);
+    let sock = f.syscall(
+        nr::SOCKET,
+        vec![Operand::Const(nr::SOCK_STREAM, Width::W64)],
+    );
     f.syscall(
         nr::IOCTL,
         vec![
@@ -188,7 +191,10 @@ fn symbolic_budget_limits_input_and_then_eof() {
     // Budget of 2 bytes: the third read returns 0.
     let mut pb = ProgramBuilder::new();
     let mut f = pb.function("main", 0, Some(Width::W32));
-    let sock = f.syscall(nr::SOCKET, vec![Operand::Const(nr::SOCK_STREAM, Width::W64)]);
+    let sock = f.syscall(
+        nr::SOCKET,
+        vec![Operand::Const(nr::SOCK_STREAM, Width::W64)],
+    );
     f.syscall(
         nr::IOCTL,
         vec![
@@ -232,7 +238,10 @@ fn packet_fragmentation_forks_over_read_lengths() {
     // first read may return 1..=4 bytes — one path per fragmentation choice.
     let mut pb = ProgramBuilder::new();
     let mut f = pb.function("main", 0, Some(Width::W32));
-    let sock = f.syscall(nr::SOCKET, vec![Operand::Const(nr::SOCK_STREAM, Width::W64)]);
+    let sock = f.syscall(
+        nr::SOCKET,
+        vec![Operand::Const(nr::SOCK_STREAM, Width::W64)],
+    );
     f.syscall(
         nr::IOCTL,
         vec![
@@ -354,14 +363,23 @@ fn tcp_connect_accept_send_recv_between_threads() {
     f.syscall(sysno::MAKE_SHARED, vec![Operand::Reg(cell)]);
     // Server setup happens in the main thread so the listener exists before
     // connect(); the server thread only accepts.
-    let listener = f.syscall(nr::SOCKET, vec![Operand::Const(nr::SOCK_STREAM, Width::W64)]);
+    let listener = f.syscall(
+        nr::SOCKET,
+        vec![Operand::Const(nr::SOCK_STREAM, Width::W64)],
+    );
     f.syscall(nr::BIND, vec![Operand::Reg(listener), Operand::word(8080)]);
     f.syscall(nr::LISTEN, vec![Operand::Reg(listener), Operand::word(4)]);
     f.syscall(
         sysno::THREAD_CREATE,
-        vec![Operand::Const(u64::from(server.0), Width::W32), Operand::Reg(cell)],
+        vec![
+            Operand::Const(u64::from(server.0), Width::W32),
+            Operand::Reg(cell),
+        ],
     );
-    let client = f.syscall(nr::SOCKET, vec![Operand::Const(nr::SOCK_STREAM, Width::W64)]);
+    let client = f.syscall(
+        nr::SOCKET,
+        vec![Operand::Const(nr::SOCK_STREAM, Width::W64)],
+    );
     f.syscall(nr::CONNECT, vec![Operand::Reg(client), Operand::word(8080)]);
     let msg = emit_cstring(&mut f, "Z");
     f.syscall(
@@ -623,7 +641,10 @@ fn fragmentation_respects_configured_alternative_cap() {
     });
     let mut pb = ProgramBuilder::new();
     let mut f = pb.function("main", 0, Some(Width::W32));
-    let sock = f.syscall(nr::SOCKET, vec![Operand::Const(nr::SOCK_STREAM, Width::W64)]);
+    let sock = f.syscall(
+        nr::SOCKET,
+        vec![Operand::Const(nr::SOCK_STREAM, Width::W64)],
+    );
     f.syscall(
         nr::IOCTL,
         vec![
@@ -668,7 +689,11 @@ fn stdout_writes_are_accepted_and_unknown_fd_rejected() {
         nr::WRITE,
         vec![Operand::word(77), Operand::Reg(msg), Operand::word(8)],
     );
-    let wrote = f.binary(BinaryOp::Eq, Operand::Reg(ok), Operand::Const(8, Width::W64));
+    let wrote = f.binary(
+        BinaryOp::Eq,
+        Operand::Reg(ok),
+        Operand::Const(8, Width::W64),
+    );
     let rejected = f.binary(
         BinaryOp::Eq,
         Operand::Reg(bad),

@@ -26,10 +26,14 @@ fn fingerprint(constraints: &[ExprRef], query: Option<&ExprRef>) -> u64 {
     h.finish()
 }
 
+/// One cached query: the constraint set, the optional extra query
+/// expression, and the recorded answer.
+type CacheEntry = (Vec<ExprRef>, Option<ExprRef>, bool);
+
 /// Cache of satisfiability answers keyed by the exact constraint set.
 #[derive(Debug, Default)]
 pub struct QueryCache {
-    entries: HashMap<u64, Vec<(Vec<ExprRef>, Option<ExprRef>, bool)>>,
+    entries: HashMap<u64, Vec<CacheEntry>>,
     hits: u64,
     misses: u64,
     capacity: usize,

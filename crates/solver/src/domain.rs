@@ -210,10 +210,8 @@ pub fn refine_domains(
     constraints: &[ExprRef],
     widths: &BTreeMap<SymbolId, Width>,
 ) -> BTreeMap<SymbolId, Domain> {
-    let mut domains: BTreeMap<SymbolId, Domain> = widths
-        .iter()
-        .map(|(s, w)| (*s, Domain::full(*w)))
-        .collect();
+    let mut domains: BTreeMap<SymbolId, Domain> =
+        widths.iter().map(|(s, w)| (*s, Domain::full(*w))).collect();
 
     // Mine interesting constants for all symbols mentioned in each constraint.
     for c in constraints {

@@ -13,9 +13,7 @@ pub struct SearchBudget {
 
 impl Default for SearchBudget {
     fn default() -> SearchBudget {
-        SearchBudget {
-            max_nodes: 500_000,
-        }
+        SearchBudget { max_nodes: 500_000 }
     }
 }
 
@@ -68,7 +66,7 @@ pub fn search(
 
     // Variable ordering: most constrained (smallest search size) first, then
     // by how many constraints mention the symbol.
-    let mut constraint_syms: Vec<BTreeSet<SymbolId>> =
+    let constraint_syms: Vec<BTreeSet<SymbolId>> =
         constraints.iter().map(collect_symbols).collect();
     let mut mention_count: BTreeMap<SymbolId, usize> = BTreeMap::new();
     for syms in &constraint_syms {
@@ -105,9 +103,9 @@ pub fn search(
     let outcome = dfs(
         0,
         &order,
-        &mut domains,
+        &domains,
         constraints,
-        &mut constraint_syms,
+        &constraint_syms,
         &assigned_prefix,
         &mut assignment,
         &mut nodes,

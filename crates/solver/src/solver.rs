@@ -212,11 +212,7 @@ impl Solver {
 
         // Query cache.
         if self.config.enable_query_cache {
-            if let Some(sat) = self
-                .query_cache
-                .borrow_mut()
-                .get(&working, None)
-            {
+            if let Some(sat) = self.query_cache.borrow_mut().get(&working, None) {
                 self.stats.borrow_mut().query_cache_hits += 1;
                 if sat {
                     // We still need a model; fall through to the model cache /

@@ -135,10 +135,7 @@ fn get_value_concretizes() {
     let solver = Solver::new();
     let doubled = Expr::mul(byte(x), Expr::const_(2, Width::W8));
     assert_eq!(solver.get_value(&pc, &doubled), Some(198));
-    assert_eq!(
-        solver.get_value(&pc, &Expr::const_(5, Width::W32)),
-        Some(5)
-    );
+    assert_eq!(solver.get_value(&pc, &Expr::const_(5, Width::W32)), Some(5));
 }
 
 #[test]
@@ -295,7 +292,10 @@ fn string_match_constraints() {
     let req = m.fresh_bytes("req", 4);
     let mut pc = ConstraintSet::new();
     for (i, ch) in b"GET ".iter().enumerate() {
-        pc.push(Expr::eq(byte(req[i]), Expr::const_(u64::from(*ch), Width::W8)));
+        pc.push(Expr::eq(
+            byte(req[i]),
+            Expr::const_(u64::from(*ch), Width::W8),
+        ));
     }
     let solver = Solver::new();
     let model = solver.get_model(&pc).expect("sat");

@@ -456,7 +456,11 @@ fn cksum(arg_len: u32) -> Program {
     let cont_bb = f.create_block();
     f.branch(Operand::Reg(top_set), fold_bb, plain_bb);
     f.switch_to(fold_bb);
-    let folded = f.binary(BinaryOp::Xor, Operand::Reg(shifted), Operand::word(0x04C1_1DB7));
+    let folded = f.binary(
+        BinaryOp::Xor,
+        Operand::Reg(shifted),
+        Operand::word(0x04C1_1DB7),
+    );
     let mixed = f.binary(BinaryOp::Xor, Operand::Reg(folded), Operand::Reg(c32));
     f.assign_to(sum, Rvalue::Use(Operand::Reg(mixed)));
     f.jump(cont_bb);
@@ -507,7 +511,11 @@ fn cut(arg_len: u32) -> Program {
     f.assign_to(current_field, Rvalue::Use(Operand::Reg(nf)));
     f.jump(cont_bb);
     f.switch_to(data_bb);
-    let in_wanted = f.binary(BinaryOp::Eq, Operand::Reg(current_field), Operand::Reg(wanted));
+    let in_wanted = f.binary(
+        BinaryOp::Eq,
+        Operand::Reg(current_field),
+        Operand::Reg(wanted),
+    );
     let pick_bb = f.create_block();
     f.branch(Operand::Reg(in_wanted), pick_bb, cont_bb);
     f.switch_to(pick_bb);

@@ -97,11 +97,7 @@ pub fn program(url_len: u32) -> Program {
     f.branch(Operand::Reg(still_open), bug_bb, ok_bb);
     f.switch_to(bug_bb);
     // The out-of-bounds scan: reads one byte past the allocation.
-    let past_end = f.binary(
-        BinaryOp::Add,
-        Operand::Reg(url),
-        Operand::word(url_len),
-    );
+    let past_end = f.binary(BinaryOp::Add, Operand::Reg(url), Operand::word(url_len));
     let _ = f.load(Operand::Reg(past_end), Width::W8);
     f.ret(Some(Operand::word(139)));
     f.switch_to(ok_bb);

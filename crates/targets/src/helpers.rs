@@ -57,11 +57,7 @@ pub fn emit_symbolic_socket(f: &mut FunctionBuilder<'_>, budget: u32, fragment: 
 }
 
 /// Emits a UDP socket marked as a symbolic datagram source.
-pub fn emit_symbolic_udp_socket(
-    f: &mut FunctionBuilder<'_>,
-    budget: u32,
-    fragment: bool,
-) -> RegId {
+pub fn emit_symbolic_udp_socket(f: &mut FunctionBuilder<'_>, budget: u32, fragment: bool) -> RegId {
     let sock = f.syscall(nr::SOCKET, vec![Operand::Const(nr::SOCK_DGRAM, Width::W64)]);
     f.syscall(
         nr::IOCTL,
@@ -97,12 +93,7 @@ pub fn emit_symbolic_buffer(f: &mut FunctionBuilder<'_>, len: u32) -> RegId {
 }
 
 /// Emits `if (byte at base+idx) == ch` as a 1-bit register.
-pub fn emit_byte_eq(
-    f: &mut FunctionBuilder<'_>,
-    base: RegId,
-    idx: u32,
-    ch: u8,
-) -> RegId {
+pub fn emit_byte_eq(f: &mut FunctionBuilder<'_>, base: RegId, idx: u32, ch: u8) -> RegId {
     let addr = addr_of(f, base, idx);
     let b = f.load(Operand::Reg(addr), Width::W8);
     f.binary(BinaryOp::Eq, Operand::Reg(b), Operand::byte(ch))

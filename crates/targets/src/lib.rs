@@ -32,9 +32,11 @@ pub mod lighttpd;
 pub mod memcached;
 pub mod printf_util;
 pub mod producer_consumer;
+pub mod registry;
 pub mod test_util;
 
 pub use lighttpd::LighttpdVersion;
+pub use registry::{named_workload, workload_names, NamedWorkload, WorkloadEnv};
 
 /// A named target program, as listed in Table 4 of the paper.
 #[derive(Clone, Debug)]

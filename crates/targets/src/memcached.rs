@@ -114,7 +114,11 @@ pub fn program(config: &MemcachedConfig) -> Program {
         let stats_bb = f.create_block();
         let unknown_bb = f.create_block();
 
-        let is_get = f.binary(BinaryOp::Eq, Operand::Reg(opcode), Operand::byte(opcodes::GET));
+        let is_get = f.binary(
+            BinaryOp::Eq,
+            Operand::Reg(opcode),
+            Operand::byte(opcodes::GET),
+        );
         f.branch(Operand::Reg(is_get), get_bb, not_get_bb);
 
         // GET: distinguish hit and miss.
@@ -130,7 +134,11 @@ pub fn program(config: &MemcachedConfig) -> Program {
         f.ret(Some(Operand::word(11)));
 
         f.switch_to(not_get_bb);
-        let is_set = f.binary(BinaryOp::Eq, Operand::Reg(opcode), Operand::byte(opcodes::SET));
+        let is_set = f.binary(
+            BinaryOp::Eq,
+            Operand::Reg(opcode),
+            Operand::byte(opcodes::SET),
+        );
         f.branch(Operand::Reg(is_set), set_bb, not_set_bb);
 
         // SET: reject zero values (so the value byte matters), store otherwise.
@@ -158,7 +166,11 @@ pub fn program(config: &MemcachedConfig) -> Program {
         f.ret(Some(Operand::word(30)));
 
         f.switch_to(not_del_bb);
-        let is_add = f.binary(BinaryOp::Eq, Operand::Reg(opcode), Operand::byte(opcodes::ADD));
+        let is_add = f.binary(
+            BinaryOp::Eq,
+            Operand::Reg(opcode),
+            Operand::byte(opcodes::ADD),
+        );
         f.branch(Operand::Reg(is_add), add_bb, not_add_bb);
 
         // ADD: only stores when the slot is empty.
@@ -269,7 +281,11 @@ pub fn program(config: &MemcachedConfig) -> Program {
                 udp_handler.expect("udp handler built in udp mode"),
                 vec![Operand::Reg(buf), Operand::Reg(n32)],
             );
-            let acc = f.binary(BinaryOp::Add, Operand::Reg(status_acc), Operand::Reg(status));
+            let acc = f.binary(
+                BinaryOp::Add,
+                Operand::Reg(status_acc),
+                Operand::Reg(status),
+            );
             f.assign_to(status_acc, Rvalue::Use(Operand::Reg(acc)));
         }
     } else {
@@ -285,8 +301,15 @@ pub fn program(config: &MemcachedConfig) -> Program {
                 ],
             );
             let n32 = f.trunc(Operand::Reg(n), Width::W32);
-            let status = f.call(process, vec![Operand::Reg(table), Operand::Reg(buf), Operand::Reg(n32)]);
-            let acc = f.binary(BinaryOp::Add, Operand::Reg(status_acc), Operand::Reg(status));
+            let status = f.call(
+                process,
+                vec![Operand::Reg(table), Operand::Reg(buf), Operand::Reg(n32)],
+            );
+            let acc = f.binary(
+                BinaryOp::Add,
+                Operand::Reg(status_acc),
+                Operand::Reg(status),
+            );
             f.assign_to(status_acc, Rvalue::Use(Operand::Reg(acc)));
         }
     }

@@ -94,7 +94,11 @@ pub fn program(producers: u32, consumers: u32) -> Program {
     f.switch_to(check_bb);
     let done_addr = f.binary(BinaryOp::Add, Operand::Reg(shared), Operand::word(DONE_OFF));
     let done = f.load(Operand::Reg(done_addr), Width::W32);
-    let all_done = f.binary(BinaryOp::Eq, Operand::Reg(done), Operand::word(total_workers));
+    let all_done = f.binary(
+        BinaryOp::Eq,
+        Operand::Reg(done),
+        Operand::word(total_workers),
+    );
     f.branch(Operand::Reg(all_done), done_bb, spin_bb);
     f.switch_to(spin_bb);
     f.syscall(sysno::THREAD_PREEMPT, vec![]);

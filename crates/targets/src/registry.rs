@@ -1,0 +1,140 @@
+//! Named workloads for command-line tools.
+//!
+//! The `c9-coordinator` and `c9-worker` binaries select a program under test
+//! by short name; this registry maps those names to a built program plus the
+//! environment model it needs. Sizes are chosen so the exhaustive workloads
+//! finish in seconds — the same shapes the integration tests use.
+
+use crate::LighttpdVersion;
+use crate::{bandicoot, curl, lighttpd, memcached, printf_util, producer_consumer, test_util};
+use c9_ir::Program;
+
+/// Which environment model a workload needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadEnv {
+    /// `c9_vm::NullEnvironment`.
+    Null,
+    /// The symbolic POSIX model with its default configuration.
+    Posix,
+}
+
+/// A workload selectable by name on the command line.
+pub struct NamedWorkload {
+    /// The CLI name.
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// The program under test.
+    pub program: Program,
+    /// The environment model it needs.
+    pub env: WorkloadEnv,
+}
+
+/// The names accepted by [`named_workload`].
+pub fn workload_names() -> Vec<&'static str> {
+    vec![
+        "memcached",
+        "memcached-2x5",
+        "printf",
+        "test",
+        "lighttpd-pre",
+        "lighttpd-post",
+        "curl",
+        "bandicoot",
+        "producer-consumer",
+    ]
+}
+
+/// Builds the workload registered under `name`, or `None` for an unknown
+/// name.
+pub fn named_workload(name: &str) -> Option<NamedWorkload> {
+    let (name, description, program, env) = match name {
+        "memcached" => (
+            "memcached",
+            "memcached binary protocol, 1 symbolic packet of 5 bytes (exhaustive in seconds)",
+            memcached::program(&memcached::MemcachedConfig {
+                packets: 1,
+                packet_size: 5,
+                ..memcached::MemcachedConfig::default()
+            }),
+            WorkloadEnv::Posix,
+        ),
+        "memcached-2x5" => (
+            "memcached-2x5",
+            "memcached binary protocol, 2 symbolic packets of 5 bytes (the Fig. 7 shape)",
+            memcached::program(&memcached::MemcachedConfig {
+                packets: 2,
+                packet_size: 5,
+                ..memcached::MemcachedConfig::default()
+            }),
+            WorkloadEnv::Posix,
+        ),
+        "printf" => (
+            "printf",
+            "the printf UNIX utility with a symbolic 4-byte format string",
+            printf_util::program(4),
+            WorkloadEnv::Posix,
+        ),
+        "test" => (
+            "test",
+            "the test UNIX utility with a symbolic 6-byte expression",
+            test_util::program(6),
+            WorkloadEnv::Posix,
+        ),
+        "lighttpd-pre" => (
+            "lighttpd-pre",
+            "lighttpd 1.4.12 request parsing (pre-patch, fragmentation-sensitive)",
+            lighttpd::program(LighttpdVersion::V1_4_12),
+            WorkloadEnv::Posix,
+        ),
+        "lighttpd-post" => (
+            "lighttpd-post",
+            "lighttpd 1.4.13 request parsing (post-patch)",
+            lighttpd::program(LighttpdVersion::V1_4_13),
+            WorkloadEnv::Posix,
+        ),
+        "curl" => (
+            "curl",
+            "curl URL globbing with an 8-byte symbolic URL (unmatched-brace crash)",
+            curl::program(8),
+            WorkloadEnv::Posix,
+        ),
+        "bandicoot" => (
+            "bandicoot",
+            "Bandicoot DBMS GET handler (out-of-bounds read)",
+            bandicoot::program(),
+            WorkloadEnv::Posix,
+        ),
+        "producer-consumer" => (
+            "producer-consumer",
+            "multi-threaded producer/consumer benchmark (2×2)",
+            producer_consumer::program(2, 2),
+            WorkloadEnv::Posix,
+        ),
+        _ => return None,
+    };
+    Some(NamedWorkload {
+        name,
+        description,
+        program,
+        env,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_builds() {
+        for name in workload_names() {
+            let w = named_workload(name).expect("listed workload must build");
+            assert!(w.program.loc() > 0, "{name} has no lines");
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        assert!(named_workload("no-such-target").is_none());
+    }
+}

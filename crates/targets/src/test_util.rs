@@ -62,7 +62,11 @@ pub fn program(arg_len: u32) -> Program {
     let is_n = f.binary(BinaryOp::Eq, Operand::Reg(op), Operand::byte(b'n'));
     f.branch(Operand::Reg(is_n), n_bb, bad_unary_bb);
     f.switch_to(n_bb);
-    let not_empty = f.binary(BinaryOp::Eq, Operand::Reg(str_empty), Operand::const_(0, Width::W1));
+    let not_empty = f.binary(
+        BinaryOp::Eq,
+        Operand::Reg(str_empty),
+        Operand::const_(0, Width::W1),
+    );
     let n_result = f.zext(Operand::Reg(not_empty), Width::W32);
     f.assign_to(result, Rvalue::Use(Operand::Reg(n_result)));
     f.jump(finish_bb);

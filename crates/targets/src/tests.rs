@@ -115,7 +115,11 @@ fn memcached_udp_hang_is_detected() {
         .filter(|tc| tc.termination == TerminationReason::MaxInstructions)
         .count();
     assert!(
-        hangs >= 1 || summary.bugs.iter().any(|b| b.termination == TerminationReason::MaxInstructions),
+        hangs >= 1
+            || summary
+                .bugs
+                .iter()
+                .any(|b| b.termination == TerminationReason::MaxInstructions),
         "the UDP hang was not detected"
     );
 }
@@ -179,10 +183,12 @@ fn curl_unmatched_brace_is_found_and_reproduced() {
 fn bandicoot_out_of_bounds_read_is_found() {
     let summary = run(bandicoot::program(), bounded(0));
     assert!(summary.exhausted);
-    let oob = summary
-        .bugs
-        .iter()
-        .any(|b| matches!(b.termination, TerminationReason::Bug(BugKind::OutOfBounds { .. })));
+    let oob = summary.bugs.iter().any(|b| {
+        matches!(
+            b.termination,
+            TerminationReason::Bug(BugKind::OutOfBounds { .. })
+        )
+    });
     assert!(oob, "the out-of-bounds read was not detected");
 }
 

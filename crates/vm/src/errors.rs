@@ -96,7 +96,10 @@ impl fmt::Display for BugKind {
             BugKind::Deadlock => write!(f, "deadlock: all threads sleeping"),
             BugKind::UnknownSyscall(nr) => write!(f, "unknown syscall {nr}"),
             BugKind::OutOfMemory { requested, limit } => {
-                write!(f, "allocation of {requested} bytes exceeds heap limit {limit}")
+                write!(
+                    f,
+                    "allocation of {requested} bytes exceeds heap limit {limit}"
+                )
             }
         }
     }

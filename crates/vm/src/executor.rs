@@ -7,17 +7,20 @@
 
 use crate::env::{Environment, SyscallContext, SyscallEffect};
 use crate::errors::{BugKind, TerminationReason};
-use crate::state::{ExecutionState, PathChoice, ReplayCursor, SchedulerPolicy, StateId, StateIdGen};
+use crate::state::{
+    ExecutionState, PathChoice, ReplayCursor, SchedulerPolicy, StateId, StateIdGen,
+};
 use crate::sysno;
 use crate::thread::{Frame, Process, ProcessId, Thread, ThreadId, ThreadStatus, WaitListId};
 use crate::value::{ByteValue, Value};
 use c9_expr::{BinaryOp, ConstValue, Expr, ExprRef, UnaryOp, Width};
 use c9_ir::{FuncId, Instr, Operand, Program, RegId, Rvalue, Terminator};
 use c9_solver::Solver;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Configuration of an [`Executor`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecutorConfig {
     /// Maximum instructions executed along a single path before the path is
     /// terminated with [`TerminationReason::MaxInstructions`] (the hang
@@ -247,10 +250,7 @@ impl Executor {
                 // Out of bounds iff addr < base or addr + size > base + size.
                 let below = Expr::ult(addr_expr.clone(), Expr::const_(base, Width::W64));
                 let last_ok = base + obj_size as u64 - size as u64;
-                let above = Expr::ult(
-                    Expr::const_(last_ok, Width::W64),
-                    addr_expr.clone(),
-                );
+                let above = Expr::ult(Expr::const_(last_ok, Width::W64), addr_expr.clone());
                 let oob = Expr::logical_or(below, above);
                 if self.solver.may_be_true(&state.constraints, oob.clone()) {
                     let mut bug_state = state.fork(ids.fresh());
@@ -264,10 +264,7 @@ impl Executor {
             }
         }
         // Continue on the concretized in-bounds address.
-        state.add_constraint(Expr::eq(
-            addr_expr,
-            Expr::const_(example, Width::W64),
-        ));
+        state.add_constraint(Expr::eq(addr_expr, Expr::const_(example, Width::W64)));
         example
     }
 
@@ -363,7 +360,11 @@ impl Executor {
                     Some(k) => Ok(if k.is_true() { va } else { vb }),
                     None => {
                         let (va, vb) = Self::harmonize(va, vb);
-                        Ok(Value::from_expr(Expr::ite(cond, va.to_expr(), vb.to_expr())))
+                        Ok(Value::from_expr(Expr::ite(
+                            cond,
+                            va.to_expr(),
+                            vb.to_expr(),
+                        )))
                     }
                 }
             }
@@ -401,8 +402,10 @@ impl Executor {
             } => {
                 let addr_v = state.read_operand(addr);
                 let mut siblings = Vec::new();
-                let addr_c = self.resolve_address(state, &addr_v, width.bytes(), ids, &mut siblings);
-                let result = match state.memory.read(state.current_space(), addr_c, *width) {
+                let addr_c =
+                    self.resolve_address(state, &addr_v, width.bytes(), ids, &mut siblings);
+
+                match state.memory.read(state.current_space(), addr_c, *width) {
                     Ok(v) => {
                         state.write_reg(*dst, v);
                         if siblings.is_empty() {
@@ -412,15 +415,15 @@ impl Executor {
                         }
                     }
                     Err(bug) => self.bug(state, bug),
-                };
-                result
+                }
             }
             Instr::Store {
                 addr, value, width, ..
             } => {
                 let addr_v = state.read_operand(addr);
                 let mut siblings = Vec::new();
-                let addr_c = self.resolve_address(state, &addr_v, width.bytes(), ids, &mut siblings);
+                let addr_c =
+                    self.resolve_address(state, &addr_v, width.bytes(), ids, &mut siblings);
                 let v = state.read_operand(value).zext_or_trunc(*width);
                 let space = state.current_space();
                 match state.memory.write(space, addr_c, &v, *width) {
@@ -555,7 +558,11 @@ impl Executor {
                 let v = state.read_operand(cond);
                 let cond_expr = Self::to_bool_expr(&v);
                 if let Some(c) = cond_expr.as_const() {
-                    let target = if c.is_true() { *then_block } else { *else_block };
+                    let target = if c.is_true() {
+                        *then_block
+                    } else {
+                        *else_block
+                    };
                     self.goto(state, target);
                     return StepResult::Continue;
                 }
@@ -594,19 +601,16 @@ impl Executor {
             let choice = state.replay.as_mut().and_then(|r| r.next());
             return match choice {
                 Some(PathChoice::Branch(taken)) => {
-                    let constraint = if taken {
-                        cond
-                    } else {
-                        Expr::logical_not(cond)
-                    };
+                    let constraint = if taken { cond } else { Expr::logical_not(cond) };
                     state.add_constraint(constraint);
                     state.record_choice(PathChoice::Branch(taken));
                     self.goto(state, if taken { then_block } else { else_block });
                     StepResult::Continue
                 }
                 _ => {
-                    let reason =
-                        TerminationReason::Killed("broken replay: path/branch mismatch".to_string());
+                    let reason = TerminationReason::Killed(
+                        "broken replay: path/branch mismatch".to_string(),
+                    );
                     state.terminate(reason.clone());
                     StepResult::Terminated(reason)
                 }
@@ -615,7 +619,9 @@ impl Executor {
 
         let not_cond = Expr::logical_not(cond.clone());
         let then_feasible = self.solver.may_be_true(&state.constraints, cond.clone());
-        let else_feasible = self.solver.may_be_true(&state.constraints, not_cond.clone());
+        let else_feasible = self
+            .solver
+            .may_be_true(&state.constraints, not_cond.clone());
         match (then_feasible, else_feasible) {
             (true, true) => {
                 let mut sibling = state.fork(ids.fresh());
@@ -690,7 +696,11 @@ impl Executor {
         args: &[Value],
         ids: &mut StateIdGen,
     ) -> StepResult {
-        let arg = |i: usize| args.get(i).cloned().unwrap_or(Value::concrete(0, Width::W64));
+        let arg = |i: usize| {
+            args.get(i)
+                .cloned()
+                .unwrap_or(Value::concrete(0, Width::W64))
+        };
         match nr {
             sysno::MAKE_SHARED => {
                 let addr_v = arg(0);

@@ -80,7 +80,7 @@ pub use executor::{Executor, ExecutorConfig, StepResult};
 pub use memory::{AddressSpaceId, CowDomain, CowDomainId, MemObject, Memory};
 pub use searcher::{
     BfsSearcher, CoverageOptimizedSearcher, DfsSearcher, InterleavedSearcher, RandomPathSearcher,
-    RandomSearcher, Searcher, StateMeta,
+    RandomSearcher, Searcher, StateMeta, StrategyKind,
 };
 pub use state::{
     ExecutionState, PathChoice, ReplayCursor, SchedulerPolicy, StateId, StateIdGen, StateStats,

@@ -22,7 +22,9 @@ use std::sync::Arc;
 
 /// Identifier of a copy-on-write domain (one per group of processes created
 /// from the same initial process).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct CowDomainId(pub u32);
 
 /// A contiguous allocation.
@@ -86,12 +88,6 @@ pub struct CowDomain {
     /// Shared objects, keyed by base address; visible to every address space
     /// in the domain.
     objects: BTreeMap<u64, Arc<MemObject>>,
-}
-
-impl Default for CowDomainId {
-    fn default() -> Self {
-        CowDomainId(0)
-    }
 }
 
 /// The full memory of an execution state: all address spaces plus all CoW
@@ -164,8 +160,8 @@ impl Memory {
         // Always advance by at least one byte so zero-sized allocations get
         // unique addresses.
         let advance = (size as u64).max(1);
-        self.next_addr = (self.next_addr + advance + ALLOC_ALIGN - 1) / ALLOC_ALIGN * ALLOC_ALIGN
-            + ALLOC_ALIGN;
+        self.next_addr =
+            (self.next_addr + advance).div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN + ALLOC_ALIGN;
         self.allocated_bytes += size as u64;
         self.spaces[space.0 as usize]
             .objects
@@ -451,8 +447,13 @@ mod tests {
         let space = mem.initial_space();
         let base = mem.alloc(space, 16);
         assert!(base >= HEAP_BASE);
-        mem.write(space, base, &Value::concrete(0xdead_beef, Width::W32), Width::W32)
-            .unwrap();
+        mem.write(
+            space,
+            base,
+            &Value::concrete(0xdead_beef, Width::W32),
+            Width::W32,
+        )
+        .unwrap();
         let v = mem.read(space, base, Width::W32).unwrap();
         assert_eq!(v.as_u64(), Some(0xdead_beef));
         // Byte-level little-endian layout.
@@ -509,7 +510,8 @@ mod tests {
             Some(u64::from(b'h'))
         );
         // Writing in the child does not affect the parent.
-        mem.write(child, base, &Value::byte(b'H'), Width::W8).unwrap();
+        mem.write(child, base, &Value::byte(b'H'), Width::W8)
+            .unwrap();
         assert_eq!(
             mem.read(parent, base, Width::W8).unwrap().as_u64(),
             Some(u64::from(b'h'))

@@ -15,7 +15,27 @@
 use crate::state::{ExecutionState, StateId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// Exploration strategy selector, shippable over the wire to remote workers.
+///
+/// The cluster layer maps each kind to the corresponding searcher
+/// construction; the enum lives here so both the in-process worker
+/// configuration and the `c9-net` run spec can share it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Interleaved random-path and coverage-optimized search (the paper's
+    /// evaluation configuration).
+    #[default]
+    KleeDefault,
+    /// Depth-first search.
+    Dfs,
+    /// Breadth-first search.
+    Bfs,
+    /// Uniform random state selection.
+    Random,
+}
 
 /// Metadata about a state that searchers may use for prioritization.
 #[derive(Clone, Copy, Debug)]

@@ -58,9 +58,10 @@ pub enum PathChoice {
 }
 
 /// The scheduling policy for symbolic threads (§5.1, `cloud9_set_scheduler`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum SchedulerPolicy {
     /// Deterministic round-robin at preemption points.
+    #[default]
     RoundRobin,
     /// Fork the state for every possible next thread at each preemption
     /// point (exhaustive schedule exploration).
@@ -68,12 +69,6 @@ pub enum SchedulerPolicy {
     /// Iterative context bounding: fork over threads only while the number
     /// of preemptions along the path is below the bound.
     ContextBound(u32),
-}
-
-impl Default for SchedulerPolicy {
-    fn default() -> SchedulerPolicy {
-        SchedulerPolicy::RoundRobin
-    }
 }
 
 /// Per-state execution statistics.
@@ -113,6 +108,7 @@ impl ReplayCursor {
     }
 
     /// Consumes and returns the next choice.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<PathChoice> {
         let c = self.choices.get(self.pos).copied();
         if c.is_some() {
@@ -363,10 +359,7 @@ impl ExecutionState {
 
     /// Writes a register of the current frame.
     pub fn write_reg(&mut self, reg: RegId, value: Value) {
-        let frame = self
-            .thread_mut()
-            .top_frame_mut()
-            .expect("no active frame");
+        let frame = self.thread_mut().top_frame_mut().expect("no active frame");
         frame.regs[reg.0 as usize] = value;
     }
 

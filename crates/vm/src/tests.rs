@@ -1,8 +1,8 @@
 //! Integration-style tests for the symbolic execution engine.
 
 use crate::{
-    sysno, BugKind, DfsSearcher, Engine, EngineConfig, ExecutorConfig, NullEnvironment,
-    PathChoice, StateIdGen, StepResult, TerminationReason,
+    sysno, BugKind, DfsSearcher, Engine, EngineConfig, ExecutorConfig, NullEnvironment, PathChoice,
+    StateIdGen, StepResult, TerminationReason,
 };
 use c9_ir::{AbortKind, BinaryOp, Operand, Program, ProgramBuilder, Width};
 use std::sync::Arc;
@@ -37,7 +37,11 @@ fn branching_program(n: usize) -> Program {
     for i in 0..n {
         let addr = f.binary(BinaryOp::Add, Operand::Reg(buf), Operand::word(i as u32));
         let byte = f.load(Operand::Reg(addr), Width::W8);
-        let cond = f.binary(BinaryOp::Eq, Operand::Reg(byte), Operand::byte(b'A' + i as u8));
+        let cond = f.binary(
+            BinaryOp::Eq,
+            Operand::Reg(byte),
+            Operand::byte(b'A' + i as u8),
+        );
         let then_bb = f.create_block();
         f.branch(Operand::Reg(cond), then_bb, next);
         f.switch_to(then_bb);
@@ -429,11 +433,17 @@ fn fork_all_scheduler_explores_interleavings() {
     f.syscall(sysno::SET_SCHEDULER, vec![Operand::word(1)]);
     f.syscall(
         sysno::THREAD_CREATE,
-        vec![Operand::Const(u64::from(worker.0), Width::W32), Operand::word(1)],
+        vec![
+            Operand::Const(u64::from(worker.0), Width::W32),
+            Operand::word(1),
+        ],
     );
     f.syscall(
         sysno::THREAD_CREATE,
-        vec![Operand::Const(u64::from(worker.0), Width::W32), Operand::word(2)],
+        vec![
+            Operand::Const(u64::from(worker.0), Width::W32),
+            Operand::word(2),
+        ],
     );
     f.syscall(sysno::THREAD_PREEMPT, vec![]);
     f.syscall(sysno::THREAD_PREEMPT, vec![]);
@@ -473,6 +483,7 @@ fn replaying_a_recorded_path_reaches_the_same_outcome() {
     // Replay each recorded path on a fresh executor and check the recorded
     // path is reproduced exactly (no broken replays — the deterministic
     // allocator and symbol numbering guarantee this).
+    #[allow(clippy::arc_with_non_send_sync)]
     let solver = Arc::new(c9_solver::Solver::new());
     let executor = crate::Executor::new(
         program,
@@ -502,6 +513,7 @@ fn replaying_a_recorded_path_reaches_the_same_outcome() {
 #[test]
 fn replayed_path_counts_as_replay_work_until_path_exhausted() {
     let program = Arc::new(branching_program(2));
+    #[allow(clippy::arc_with_non_send_sync)]
     let solver = Arc::new(c9_solver::Solver::new());
     let executor = crate::Executor::new(
         program,
@@ -530,7 +542,11 @@ fn state_ids_are_unique_across_forks() {
     let summary = run_default(branching_program(4));
     // Every test case ends a distinct path.
     assert_eq!(summary.test_cases.len(), 16);
-    let mut paths: Vec<_> = summary.test_cases.iter().map(|tc| tc.path.clone()).collect();
+    let mut paths: Vec<_> = summary
+        .test_cases
+        .iter()
+        .map(|tc| tc.path.clone())
+        .collect();
     paths.sort();
     paths.dedup();
     assert_eq!(paths.len(), 16, "duplicate paths explored");

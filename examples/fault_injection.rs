@@ -66,7 +66,10 @@ fn main() {
         EngineConfig::default(),
     );
     let summary = engine.run();
-    println!("paths explored with fault injection: {}", summary.paths_completed);
+    println!(
+        "paths explored with fault injection: {}",
+        summary.paths_completed
+    );
     for tc in &summary.test_cases {
         println!("  outcome: {:?}", tc.termination);
     }

@@ -37,12 +37,7 @@ fn main() {
         let crashes = summary
             .bugs
             .iter()
-            .filter(|b| {
-                matches!(
-                    b.termination,
-                    TerminationReason::Bug(BugKind::Abort { .. })
-                )
-            })
+            .filter(|b| matches!(b.termination, TerminationReason::Bug(BugKind::Abort { .. })))
             .count();
         println!(
             "{version:?}: explored {} fragmentation paths, {} crashing pattern(s) found",

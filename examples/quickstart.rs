@@ -13,7 +13,10 @@ fn main() {
     pb.set_name("quickstart");
     let mut f = pb.function("main", 0, Some(Width::W32));
     let buf = f.alloc(Operand::word(4));
-    f.syscall(sysno::MAKE_SYMBOLIC, vec![Operand::Reg(buf), Operand::word(4)]);
+    f.syscall(
+        sysno::MAKE_SYMBOLIC,
+        vec![Operand::Reg(buf), Operand::word(4)],
+    );
     let mut all_match = f.copy(Operand::const_(1, Width::W1));
     for (i, ch) in b"ok!\n".iter().enumerate() {
         let addr = f.binary(BinaryOp::Add, Operand::Reg(buf), Operand::word(i as u32));

@@ -1,0 +1,191 @@
+//! `c9-coordinator`: drives a multi-process Cloud9 cluster.
+//!
+//! Discovers workers from a `--workers host:port,...` list, ships every one
+//! a run spec for the selected target program, runs the load-balancing loop
+//! of §3.3 (queue-length classification, job transfer requests, global
+//! coverage), and aggregates the final per-worker reports into the same
+//! `ClusterRunResult` an in-process run produces.
+//!
+//! ```text
+//! c9-worker --listen 127.0.0.1:9101 &
+//! c9-worker --listen 127.0.0.1:9102 &
+//! c9-coordinator --workers 127.0.0.1:9101,127.0.0.1:9102 --target memcached
+//! ```
+
+use c9_core::{Cluster, ClusterConfig, EnvSpec, TcpTransport, Transport};
+use c9_posix::PosixEnvironment;
+use c9_targets::{named_workload, workload_names, WorkloadEnv};
+use c9_vm::{Environment, NullEnvironment};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    workers: Vec<String>,
+    target: String,
+    time_limit: Option<Duration>,
+    max_paths: Option<u64>,
+    generate_tests: bool,
+    connect_timeout: Duration,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: c9-coordinator --workers HOST:PORT,... --target NAME [options]\n\
+         \n\
+         options:\n\
+         \x20 --workers LIST       comma-separated worker addresses (required)\n\
+         \x20 --target NAME        program under test (required)\n\
+         \x20 --time-limit SECS    stop after this much wall-clock time\n\
+         \x20 --max-paths N        stop after N completed paths\n\
+         \x20 --generate-tests     solve a concrete test case per path\n\
+         \x20 --connect-timeout S  seconds to keep retrying worker dials (default 15)\n\
+         \n\
+         targets: {}",
+        workload_names().join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workers: Vec::new(),
+        target: String::new(),
+        time_limit: None,
+        max_paths: None,
+        generate_tests: false,
+        connect_timeout: Duration::from_secs(15),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                args.workers = list
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--target" => args.target = it.next().unwrap_or_else(|| usage()),
+            "--time-limit" => {
+                let secs: f64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                args.time_limit = Some(Duration::from_secs_f64(secs));
+            }
+            "--max-paths" => {
+                args.max_paths = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--generate-tests" => args.generate_tests = true,
+            "--connect-timeout" => {
+                let secs: u64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                args.connect_timeout = Duration::from_secs(secs);
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    if args.workers.is_empty() || args.target.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let Some(workload) = named_workload(&args.target) else {
+        eprintln!(
+            "c9-coordinator: unknown target {:?}; known targets: {}",
+            args.target,
+            workload_names().join(", ")
+        );
+        std::process::exit(2);
+    };
+
+    let n = args.workers.len();
+    let mut config = ClusterConfig {
+        num_workers: n,
+        time_limit: args.time_limit,
+        max_total_paths: args.max_paths,
+        ..ClusterConfig::default()
+    };
+    config.worker.generate_test_cases = args.generate_tests;
+
+    let (env_spec, env): (EnvSpec, Arc<dyn Environment>) = match workload.env {
+        WorkloadEnv::Null => (EnvSpec::Null, Arc::new(NullEnvironment)),
+        WorkloadEnv::Posix => (EnvSpec::Posix, Arc::new(PosixEnvironment::new())),
+    };
+
+    eprintln!(
+        "c9-coordinator: connecting to {n} workers: {}",
+        args.workers.join(", ")
+    );
+    let endpoints =
+        match TcpTransport::connect(args.workers.clone(), args.connect_timeout).establish(n) {
+            Ok(endpoints) => endpoints,
+            Err(e) => {
+                eprintln!("c9-coordinator: {e}");
+                std::process::exit(1);
+            }
+        };
+    let mut coordinator = endpoints.coordinator;
+
+    let program = Arc::new(workload.program);
+    let cluster = Cluster::new(program.clone(), env, config.clone());
+    // A wall-clock epoch fences this run's frames off from stale messages
+    // of earlier runs the worker daemons may have served.
+    let epoch = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(1);
+    if let Err(e) = coordinator.broadcast_start(|w| config.run_spec(&program, env_spec, w, epoch)) {
+        eprintln!("c9-coordinator: failed to start workers: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("c9-coordinator: run started ({})", workload.description);
+
+    let result = cluster.run_coordinator(&mut coordinator);
+    let s = &result.summary;
+    println!("target:            {}", args.target);
+    println!("workers:           {}", s.num_workers);
+    println!("elapsed:           {:.2}s", s.elapsed.as_secs_f64());
+    println!("total paths:       {}", s.paths_completed());
+    println!("exhausted:         {}", s.exhausted);
+    println!("goal reached:      {}", s.goal_reached);
+    println!("coverage:          {:.1}%", 100.0 * s.coverage_ratio());
+    println!("bugs found:        {}", s.bugs_found);
+    println!("jobs transferred:  {}", s.jobs_transferred());
+    println!(
+        "useful/replay:     {} / {}",
+        s.useful_instructions(),
+        s.replay_instructions()
+    );
+    for (i, w) in s.worker_stats.iter().enumerate() {
+        println!(
+            "  worker {i}: paths {:>6}  sent {:>5}  received {:>5}  useful {:>9}  replay {:>9}",
+            w.paths_completed,
+            w.jobs_sent,
+            w.jobs_received,
+            w.useful_instructions,
+            w.replay_instructions,
+        );
+    }
+    if result.summary.worker_stats.len() < n {
+        eprintln!(
+            "c9-coordinator: warning: only {} of {n} final reports arrived",
+            result.summary.worker_stats.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,107 @@
+//! `c9-worker`: one Cloud9 worker per OS process.
+//!
+//! Hosts a single symbolic-execution worker behind a TCP listener, exactly
+//! as in the paper's deployment (§3.3): the worker waits for a coordinator
+//! to connect and ship a run spec (program, environment, strategy), then
+//! explores, exchanges job batches directly with its peer workers, and
+//! reports status and final results back to the coordinator. The daemon
+//! keeps serving runs until killed (pass `--once` to exit after one run).
+//!
+//! ```text
+//! c9-worker --listen 127.0.0.1:9101
+//! ```
+
+use c9_net::{EnvSpec, TcpWorkerHost, WorkerEndpoint};
+use c9_posix::PosixEnvironment;
+use c9_vm::{Environment, NullEnvironment};
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    listen: String,
+    once: bool,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: c9-worker [--listen HOST:PORT] [--once] [--quiet]\n\
+         \n\
+         options:\n\
+         \x20 --listen HOST:PORT  address to listen on (default 127.0.0.1:0)\n\
+         \x20 --once              exit after serving one run instead of looping\n\
+         \x20 --quiet             suppress per-run log lines"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listen: String::from("127.0.0.1:0"),
+        once: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" => args.listen = it.next().unwrap_or_else(|| usage()),
+            "--once" => args.once = true,
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let host = match TcpWorkerHost::bind(&args.listen) {
+        Ok(host) => host,
+        Err(e) => {
+            eprintln!("c9-worker: cannot listen on {}: {e}", args.listen);
+            std::process::exit(1);
+        }
+    };
+    // Scripts (and the multi-process test) parse this line to learn the
+    // bound port when `--listen` used port 0.
+    println!("c9-worker listening on {}", host.local_addr());
+    std::io::stdout().flush().ok();
+
+    // A daemon waits for its coordinator indefinitely.
+    let accept_timeout = Duration::from_secs(60 * 60 * 24 * 365);
+    let Some(mut endpoint) = host.accept_coordinator(accept_timeout) else {
+        eprintln!("c9-worker: no coordinator connected");
+        std::process::exit(1);
+    };
+
+    loop {
+        let Some(spec) = endpoint.wait_start(accept_timeout) else {
+            eprintln!("c9-worker: connection lost while waiting for a run");
+            std::process::exit(1);
+        };
+        let env: Arc<dyn Environment> = match spec.env {
+            EnvSpec::Null => Arc::new(NullEnvironment),
+            EnvSpec::Posix => Arc::new(PosixEnvironment::new()),
+        };
+        if !args.quiet {
+            eprintln!(
+                "c9-worker[{}]: starting run ({} cluster members, strategy {:?})",
+                endpoint.id(),
+                endpoint.num_workers(),
+                spec.strategy,
+            );
+        }
+        c9_core::run_worker_from_spec(&mut endpoint, spec, env);
+        if !args.quiet {
+            eprintln!("c9-worker[{}]: run complete", endpoint.id());
+        }
+        if args.once {
+            return;
+        }
+    }
+}

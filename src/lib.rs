@@ -10,9 +10,15 @@
 //! * [`ir`] — the program representation and builder,
 //! * [`vm`] — the single-node symbolic execution engine (the KLEE stand-in),
 //! * [`posix`] — the symbolic POSIX environment model and testing API,
+//! * [`net`] — the transport-agnostic cluster runtime: wire messages, job
+//!   encoding, and the in-process and TCP transports,
 //! * [`core`] — the cluster-parallel engine (workers, job transfer, load
 //!   balancing) that is the paper's main contribution,
 //! * [`targets`] — the programs under test used by the evaluation.
+//!
+//! The `c9-worker` and `c9-coordinator` binaries of this crate run a
+//! cluster as N OS processes over TCP — the paper's deployment; see
+//! `README.md` ("Running a multi-process cluster").
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
 //! and `EXPERIMENTS.md` for the paper-vs-measured record of every table and
@@ -21,6 +27,7 @@
 pub use c9_core as core;
 pub use c9_expr as expr;
 pub use c9_ir as ir;
+pub use c9_net as net;
 pub use c9_posix as posix;
 pub use c9_solver as solver;
 pub use c9_targets as targets;
@@ -30,6 +37,7 @@ pub use c9_vm as vm;
 pub mod prelude {
     pub use c9_core::{Cluster, ClusterConfig, ClusterRunResult, Worker, WorkerConfig, WorkerId};
     pub use c9_ir::{BinaryOp, Operand, Program, ProgramBuilder, Width};
+    pub use c9_net::{InProcTransport, TcpTransport, Transport};
     pub use c9_posix::{nr, PosixConfig, PosixEnvironment};
     pub use c9_solver::{ConstraintSet, SatResult, Solver};
     pub use c9_vm::{

@@ -18,10 +18,10 @@ fn curl_glob_bug_found_end_to_end() {
         EngineConfig::default(),
     );
     let summary = engine.run();
-    assert!(summary
-        .bugs
-        .iter()
-        .any(|b| matches!(b.termination, TerminationReason::Bug(BugKind::OutOfBounds { .. }))));
+    assert!(summary.bugs.iter().any(|b| matches!(
+        b.termination,
+        TerminationReason::Bug(BugKind::OutOfBounds { .. })
+    )));
 }
 
 #[test]
@@ -33,10 +33,10 @@ fn bandicoot_oob_read_found_end_to_end() {
         EngineConfig::default(),
     );
     let summary = engine.run();
-    assert!(summary
-        .bugs
-        .iter()
-        .any(|b| matches!(b.termination, TerminationReason::Bug(BugKind::OutOfBounds { .. }))));
+    assert!(summary.bugs.iter().any(|b| matches!(
+        b.termination,
+        TerminationReason::Bug(BugKind::OutOfBounds { .. })
+    )));
 }
 
 #[test]
