@@ -35,6 +35,8 @@ fn transfer<W: WorkerEndpoint>(sender: &mut W, receiver: &mut W, jobs: &[Job]) -
     let batch = JobBatch {
         source: WorkerId(0),
         epoch: 0,
+        source_epoch: 0,
+        seq: 0,
         encoded: JobTree::from_jobs(jobs).encode(),
     };
     sender.send_jobs(WorkerId(1), batch).expect("send");

@@ -46,6 +46,7 @@ impl Default for BalancerConfig {
 pub struct LoadBalancer {
     config: BalancerConfig,
     queue_lengths: Vec<u64>,
+    alive: Vec<bool>,
     global_coverage: CoverageSet,
     total_transferred: u64,
 }
@@ -57,9 +58,38 @@ impl LoadBalancer {
         LoadBalancer {
             config,
             queue_lengths: vec![0; num_workers],
+            alive: vec![true; num_workers],
             global_coverage: CoverageSet::new(num_lines),
             total_transferred: 0,
         }
+    }
+
+    /// Grows the worker table so `worker` is a valid index (late joiners
+    /// enter the next balancing round automatically).
+    pub fn ensure_worker(&mut self, worker: WorkerId) {
+        let idx = worker.index();
+        if idx >= self.queue_lengths.len() {
+            self.queue_lengths.resize(idx + 1, 0);
+            self.alive.resize(idx + 1, true);
+        }
+        self.alive[idx] = true;
+    }
+
+    /// Marks a worker dead or alive. Dead workers are excluded from
+    /// classification, transfer planning, and the all-idle check, and their
+    /// last reported queue length is discarded.
+    pub fn set_alive(&mut self, worker: WorkerId, alive: bool) {
+        self.ensure_worker(worker);
+        let idx = worker.index();
+        self.alive[idx] = alive;
+        if !alive {
+            self.queue_lengths[idx] = 0;
+        }
+    }
+
+    /// Whether a worker is currently considered alive.
+    pub fn is_alive(&self, worker: WorkerId) -> bool {
+        self.alive.get(worker.index()).copied().unwrap_or(false)
     }
 
     /// Records a status update from a worker: its queue length and local
@@ -71,6 +101,7 @@ impl LoadBalancer {
         queue_length: u64,
         coverage: &CoverageSet,
     ) -> CoverageSet {
+        self.ensure_worker(worker);
         self.queue_lengths[worker.0 as usize] = queue_length;
         self.global_coverage.merge(coverage);
         self.global_coverage.clone()
@@ -78,6 +109,7 @@ impl LoadBalancer {
 
     /// Updates only the queue length of a worker.
     pub fn report_queue(&mut self, worker: WorkerId, queue_length: u64) {
+        self.ensure_worker(worker);
         self.queue_lengths[worker.0 as usize] = queue_length;
     }
 
@@ -86,38 +118,53 @@ impl LoadBalancer {
         &self.global_coverage
     }
 
+    /// Merges externally recovered coverage (a resumed checkpoint) into the
+    /// global vector.
+    pub fn merge_coverage(&mut self, coverage: &CoverageSet) {
+        self.global_coverage.merge(coverage);
+    }
+
     /// Total jobs moved by transfer requests issued so far.
     pub fn total_transferred(&self) -> u64 {
         self.total_transferred
     }
 
-    /// The last reported queue length of every worker.
+    /// The last reported queue length of every worker (zero for the dead).
     pub fn queue_lengths(&self) -> &[u64] {
         &self.queue_lengths
     }
 
-    /// Whether every worker reported an empty queue.
+    /// Whether every live worker reported an empty queue.
     pub fn all_idle(&self) -> bool {
-        self.queue_lengths.iter().all(|l| *l == 0)
+        self.queue_lengths
+            .iter()
+            .zip(&self.alive)
+            .all(|(l, alive)| !alive || *l == 0)
     }
 
     /// Runs one round of the balancing algorithm of §3.3 and returns the
-    /// transfer requests to issue.
+    /// transfer requests to issue. Dead workers neither give nor receive.
     ///
-    /// Workers are classified as underloaded (`l < max(mean − δ·σ, 0)`) or
-    /// overloaded (`l > mean + δ·σ`); the two lists are matched pairwise from
-    /// the most underloaded and most overloaded ends, and each pair ⟨Wi, Wj⟩
-    /// with `li < lj` receives a request to move `(lj − li)/2` jobs.
+    /// Live workers are classified as underloaded (`l < max(mean − δ·σ, 0)`)
+    /// or overloaded (`l > mean + δ·σ`); the two lists are matched pairwise
+    /// from the most underloaded and most overloaded ends, and each pair
+    /// ⟨Wi, Wj⟩ with `li < lj` receives a request to move `(lj − li)/2` jobs.
     pub fn balance(&mut self) -> Vec<TransferRequest> {
-        let n = self.queue_lengths.len();
+        let live: Vec<(usize, u64)> = self
+            .queue_lengths
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.alive[*i])
+            .map(|(i, l)| (i, *l))
+            .collect();
+        let n = live.len();
         if n < 2 {
             return Vec::new();
         }
-        let mean = self.queue_lengths.iter().sum::<u64>() as f64 / n as f64;
-        let variance = self
-            .queue_lengths
+        let mean = live.iter().map(|(_, l)| *l).sum::<u64>() as f64 / n as f64;
+        let variance = live
             .iter()
-            .map(|l| {
+            .map(|(_, l)| {
                 let d = *l as f64 - mean;
                 d * d
             })
@@ -129,33 +176,28 @@ impl LoadBalancer {
 
         let mut underloaded: Vec<(u64, WorkerId)> = Vec::new();
         let mut overloaded: Vec<(u64, WorkerId)> = Vec::new();
-        for (i, l) in self.queue_lengths.iter().enumerate() {
+        for (i, l) in &live {
             let lf = *l as f64;
             if lf < low {
-                underloaded.push((*l, WorkerId(i as u32)));
+                underloaded.push((*l, WorkerId(*i as u32)));
             } else if lf > high {
-                overloaded.push((*l, WorkerId(i as u32)));
+                overloaded.push((*l, WorkerId(*i as u32)));
             }
         }
         // Special case: with small clusters and very skewed loads the band
         // can be too wide; make sure an idle worker is always fed when some
         // other worker has more than one job.
         if underloaded.is_empty() {
-            for (i, l) in self.queue_lengths.iter().enumerate() {
+            for (i, l) in &live {
                 if *l == 0 {
-                    underloaded.push((0, WorkerId(i as u32)));
+                    underloaded.push((0, WorkerId(*i as u32)));
                 }
             }
         }
         if overloaded.is_empty() {
-            if let Some((i, l)) = self
-                .queue_lengths
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, l)| **l)
-            {
+            if let Some((i, l)) = live.iter().max_by_key(|(_, l)| *l) {
                 if *l > 1 {
-                    overloaded.push((*l, WorkerId(i as u32)));
+                    overloaded.push((*l, WorkerId(*i as u32)));
                 }
             }
         }
@@ -254,5 +296,63 @@ mod tests {
     fn single_worker_cluster_never_balances() {
         let mut b = lb(&[42]);
         assert!(b.balance().is_empty());
+    }
+
+    #[test]
+    fn dead_worker_is_excluded_from_transfer_planning() {
+        // Worker 1 is starving and worker 2 dies mid-round: the reclaimed
+        // round must pair 1 with 0 only, never touching the dead worker.
+        let mut b = lb(&[100, 0, 80]);
+        b.set_alive(WorkerId(2), false);
+        let reqs = b.balance();
+        assert!(!reqs.is_empty());
+        for r in &reqs {
+            assert_ne!(r.source, WorkerId(2), "dead worker used as source");
+            assert_ne!(
+                r.destination,
+                WorkerId(2),
+                "dead worker used as destination"
+            );
+        }
+        assert_eq!(reqs[0].source, WorkerId(0));
+        assert_eq!(reqs[0].destination, WorkerId(1));
+    }
+
+    #[test]
+    fn dead_worker_queue_is_discarded_and_idle_check_ignores_it() {
+        let mut b = lb(&[0, 7]);
+        assert!(!b.all_idle());
+        b.set_alive(WorkerId(1), false);
+        assert!(b.all_idle(), "a dead worker must not block exhaustion");
+        assert_eq!(b.queue_lengths()[1], 0);
+    }
+
+    #[test]
+    fn only_one_live_worker_left_means_no_transfers() {
+        let mut b = lb(&[100, 0, 0]);
+        b.set_alive(WorkerId(1), false);
+        b.set_alive(WorkerId(2), false);
+        assert!(b.balance().is_empty());
+    }
+
+    #[test]
+    fn late_joiner_enters_the_next_balancing_round() {
+        let mut b = lb(&[100]);
+        b.ensure_worker(WorkerId(1));
+        b.report_queue(WorkerId(1), 0);
+        let reqs = b.balance();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].destination, WorkerId(1));
+        assert_eq!(reqs[0].count, 50);
+    }
+
+    #[test]
+    fn revived_worker_rejoins_planning() {
+        let mut b = lb(&[100, 0]);
+        b.set_alive(WorkerId(1), false);
+        assert!(b.balance().is_empty());
+        b.set_alive(WorkerId(1), true);
+        b.report_queue(WorkerId(1), 0);
+        assert_eq!(b.balance().len(), 1);
     }
 }

@@ -11,16 +11,26 @@
 //! default for [`Cluster::run`]) or TCP sockets spanning OS processes
 //! (`TcpTransport` with the `c9-worker` / `c9-coordinator` binaries) —
 //! wall-clock speedups come from real parallelism in both cases.
+//!
+//! Membership is *elastic*: the coordinator loop admits workers that join a
+//! running cluster (folding them into the next balancing round), runs a
+//! missed-heartbeat failure detector, and — because jobs are replayable
+//! path prefixes (§3.2) — recovers from a worker crash by re-injecting the
+//! dead worker's ledger into the survivors. The same ledger, serialized
+//! periodically, is the coordinator [`Checkpoint`] a restarted run resumes
+//! from.
 
 use crate::balancer::{BalancerConfig, LoadBalancer, TransferRequest};
+use crate::membership::{Checkpoint, Membership};
 use crate::stats::{ClusterSummary, IntervalSample};
 use crate::worker::{Worker, WorkerConfig};
 use c9_ir::Program;
 use c9_net::{
-    Control, CoordinatorEndpoint, EnvSpec, FinalReport, InProcTransport, JobBatch, JobTree,
-    RunSpec, StatusReport, Transport, WorkerEndpoint, WorkerId,
+    Control, CoordinatorEndpoint, EnvSpec, InProcTransport, Job, JobBatch, JobTree, MemberEvent,
+    RunSpec, StatusReport, TransferEvent, Transport, WorkerEndpoint, WorkerId, COORDINATOR,
 };
 use c9_vm::{CoverageSet, Environment, TestCase};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -53,6 +63,28 @@ pub struct ClusterConfig {
     pub static_partition: bool,
     /// Instructions per worker quantum between message-handling points.
     pub quantum: u64,
+    /// Declare a worker dead after this much silence (no status report and
+    /// no heartbeat) and re-inject its pending jobs into the survivors.
+    /// None disables the failure detector — the right choice for
+    /// transports whose workers cannot die independently.
+    pub failure_timeout: Option<Duration>,
+    /// How often worker transports send liveness heartbeats, independently
+    /// of the worker loop (zero disables them).
+    pub heartbeat_interval: Duration,
+    /// Workers attach a frontier snapshot to every `snapshot_every`-th
+    /// status report (zero = never). Snapshots are what make crash
+    /// recovery and checkpoint/resume exact; 1 keeps the coordinator's
+    /// ledger current to the latest report.
+    pub snapshot_every: u32,
+    /// Write a [`Checkpoint`] here periodically and at the end of the run.
+    pub checkpoint_path: Option<PathBuf>,
+    /// How often the periodic checkpoint is written.
+    pub checkpoint_interval: Duration,
+    /// Continue a previous run: its frontier is injected instead of the
+    /// root job, and its stats are folded into the final summary.
+    pub resume: Option<Checkpoint>,
+    /// Log membership transitions (joins, deaths, reclaims) to stderr.
+    pub verbose_membership: bool,
 }
 
 impl Default for ClusterConfig {
@@ -70,22 +102,30 @@ impl Default for ClusterConfig {
             disable_lb_after: None,
             static_partition: false,
             quantum: 20_000,
+            failure_timeout: None,
+            heartbeat_interval: Duration::from_millis(25),
+            snapshot_every: 0,
+            checkpoint_path: None,
+            checkpoint_interval: Duration::from_secs(1),
+            resume: None,
+            verbose_membership: false,
         }
     }
 }
 
 impl ClusterConfig {
     /// Builds the wire run spec a remote worker needs to participate in a
-    /// run of `program` under this configuration. `epoch` must be unique
-    /// among the runs the target worker daemons serve (a timestamp or
-    /// counter); it fences this run's messages off from stale in-flight
-    /// frames of earlier runs.
+    /// run of `program` under this configuration. `run_epoch` must be
+    /// unique among the runs the target worker daemons serve (a timestamp
+    /// or counter); `worker_epoch` is the per-worker fencing epoch assigned
+    /// by the coordinator's membership at join time.
     pub fn run_spec(
         &self,
         program: &Program,
         env: EnvSpec,
         worker: WorkerId,
-        epoch: u64,
+        run_epoch: u64,
+        worker_epoch: u64,
     ) -> RunSpec {
         RunSpec {
             program: program.clone(),
@@ -97,8 +137,54 @@ impl ClusterConfig {
             export_deepest: self.worker.export_deepest,
             quantum: self.quantum,
             status_interval: self.status_interval,
-            seed_root: worker.0 == 0,
-            epoch,
+            seed_root: worker.0 == 0 && self.resume.is_none(),
+            epoch: run_epoch,
+            worker_epoch,
+            heartbeat_interval: self.heartbeat_interval,
+            snapshot_every: self.snapshot_every,
+        }
+    }
+
+    fn loop_opts(&self, seed_root: bool, worker_epoch: u64) -> WorkerLoopOpts {
+        WorkerLoopOpts {
+            quantum: self.quantum,
+            status_interval: self.status_interval,
+            seed_root,
+            worker_epoch,
+            snapshot_every: self.snapshot_every,
+            heartbeat_interval: self.heartbeat_interval,
+        }
+    }
+}
+
+/// Options of a coordinator-driven run over a remote transport.
+#[derive(Clone, Debug)]
+pub struct CoordinatorRunOpts {
+    /// The environment model remote workers should instantiate.
+    pub env: EnvSpec,
+    /// The run-fencing epoch stamped on every frame of this run.
+    pub run_epoch: u64,
+    /// Listen addresses of statically dialed workers, by worker id. The
+    /// endpoint must already be connected to exactly these.
+    pub initial_workers: Vec<String>,
+    /// Wait for at least this many live members before starting the run
+    /// (elastic deployments; statically dialed workers already count).
+    pub min_workers: usize,
+    /// How long to wait for `min_workers` before starting anyway.
+    pub join_wait: Duration,
+    /// Workload name recorded in checkpoints.
+    pub target: String,
+}
+
+impl Default for CoordinatorRunOpts {
+    fn default() -> CoordinatorRunOpts {
+        CoordinatorRunOpts {
+            env: EnvSpec::Null,
+            run_epoch: 0,
+            initial_workers: Vec::new(),
+            min_workers: 1,
+            join_wait: Duration::from_secs(60),
+            target: String::new(),
         }
     }
 }
@@ -166,25 +252,39 @@ impl Cluster {
              use run_coordinator for remote daemons"
         );
 
+        let mut membership = Membership::new(self.config.failure_timeout);
+        let mut epochs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (_, epoch) = membership.add_static(String::new(), start);
+            epochs.push(epoch);
+        }
+        if let Some(resume) = &self.config.resume {
+            membership.seed_pool(resume.jobs());
+        }
+
+        let opts = CoordinatorRunOpts {
+            target: self.program.name.clone(),
+            min_workers: n,
+            ..CoordinatorRunOpts::default()
+        };
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for (i, mut endpoint) in workers.into_iter().enumerate() {
                 let program = self.program.clone();
                 let env = self.env.clone();
                 let config = self.config.clone();
+                let loop_opts = config.loop_opts(i == 0 && config.resume.is_none(), epochs[i]);
                 handles.push(scope.spawn(move || {
-                    run_worker_loop(
-                        &mut endpoint,
-                        program,
-                        env,
-                        config.worker,
-                        config.quantum,
-                        config.status_interval,
-                        i == 0,
-                    );
+                    run_worker_loop(&mut endpoint, program, env, config.worker, loop_opts);
                 }));
             }
-            let result = self.drive(&mut coordinator, start, n, LOCAL_FINAL_TIMEOUT);
+            let result = self.drive(
+                &mut coordinator,
+                &mut membership,
+                start,
+                &opts,
+                LOCAL_FINAL_TIMEOUT,
+            );
             for handle in handles {
                 handle.join().expect("worker thread panicked");
             }
@@ -192,82 +292,385 @@ impl Cluster {
         })
     }
 
-    /// Drives a cluster whose workers live in other processes: runs the
-    /// balancing loop against the coordinator endpoint (the workers must
-    /// already have received their run specs) and aggregates the results.
-    pub fn run_coordinator<C: CoordinatorEndpoint>(&self, coordinator: &mut C) -> ClusterRunResult {
-        let n = coordinator.num_workers().max(1);
-        self.drive(coordinator, Instant::now(), n, REMOTE_FINAL_TIMEOUT)
+    /// Drives a cluster whose workers live in other processes: registers
+    /// the statically dialed workers, waits for elastic joins up to
+    /// `opts.min_workers`, ships every member its run spec, runs the
+    /// balancing loop of §3.3 (with failure detection and crash recovery),
+    /// and aggregates the results.
+    pub fn run_coordinator<C: CoordinatorEndpoint>(
+        &self,
+        endpoint: &mut C,
+        opts: CoordinatorRunOpts,
+    ) -> ClusterRunResult {
+        let start = Instant::now();
+        let mut membership = Membership::new(self.config.failure_timeout);
+        for addr in &opts.initial_workers {
+            membership.add_static(addr.clone(), start);
+        }
+
+        // Admit joiners until the requested quorum (statically dialed
+        // workers already count towards it).
+        let join_deadline = start + opts.join_wait;
+        while membership.alive_count() < opts.min_workers.max(1) {
+            if self.admit_joins(endpoint, &mut membership, &opts, false) == 0 {
+                if Instant::now() >= join_deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+
+        // Ship every member its run spec.
+        for member in membership.members().to_vec() {
+            if !member.is_alive() {
+                continue;
+            }
+            let spec = self.config.run_spec(
+                &self.program,
+                opts.env,
+                member.worker,
+                opts.run_epoch,
+                member.epoch,
+            );
+            if endpoint.send_start(member.worker, spec).is_err() {
+                membership.mark_dead(member.worker);
+            }
+        }
+        // Re-announce the final pre-run membership after the starts: a
+        // run's `Start` clears control frames queued before it, so a
+        // peer-table update must land behind it to survive.
+        let infos = membership.peer_infos();
+        for worker in membership.alive() {
+            let _ = endpoint.send_control(worker, Control::Membership(infos.clone()));
+        }
+        if let Some(resume) = &self.config.resume {
+            membership.seed_pool(resume.jobs());
+        }
+
+        self.drive(
+            endpoint,
+            &mut membership,
+            start,
+            &opts,
+            REMOTE_FINAL_TIMEOUT,
+        )
+    }
+
+    /// Polls for joining workers and admits them: assigns identity and
+    /// epoch, acknowledges, announces the new membership to everyone, and
+    /// (when the run is underway) ships the run spec so the joiner is
+    /// folded into the next balancing round. Returns how many were
+    /// admitted.
+    fn admit_joins<C: CoordinatorEndpoint>(
+        &self,
+        endpoint: &mut C,
+        membership: &mut Membership,
+        opts: &CoordinatorRunOpts,
+        started: bool,
+    ) -> usize {
+        let mut admitted = 0;
+        while let Some(request) = endpoint.try_recv_join() {
+            let now = Instant::now();
+            let (worker, epoch) =
+                membership.join(request.listen_addr.clone(), request.previous, now);
+            if endpoint
+                .admit(request.token, worker, epoch, membership.peer_infos())
+                .is_err()
+            {
+                membership.mark_dead(worker);
+                continue;
+            }
+            if started {
+                let spec =
+                    self.config
+                        .run_spec(&self.program, opts.env, worker, opts.run_epoch, epoch);
+                if endpoint.send_start(worker, spec).is_err() {
+                    membership.mark_dead(worker);
+                    continue;
+                }
+            }
+            if self.config.verbose_membership {
+                eprintln!(
+                    "c9-coordinator: worker {worker} joined (epoch {epoch}, {})",
+                    request.listen_addr
+                );
+            }
+            // Everyone learns the new peer table (and the fenced epochs of
+            // any previous incarnation).
+            let infos = membership.peer_infos();
+            for peer in membership.alive() {
+                if peer != worker {
+                    let _ = endpoint.send_control(peer, Control::Membership(infos.clone()));
+                }
+            }
+            admitted += 1;
+        }
+        admitted
     }
 
     /// The balancing loop plus final-report aggregation.
     fn drive<C: CoordinatorEndpoint>(
         &self,
         endpoint: &mut C,
+        membership: &mut Membership,
         start: Instant,
-        n: usize,
+        opts: &CoordinatorRunOpts,
         final_timeout: Duration,
     ) -> ClusterRunResult {
-        let summary = self.balancer_loop(endpoint, start, n);
+        let base_stats = self
+            .config
+            .resume
+            .as_ref()
+            .map(|c| c.base_stats.clone())
+            .unwrap_or_default();
+        let summary = self.balancer_loop(endpoint, membership, start, opts);
         let mut result = ClusterRunResult {
             summary,
             ..ClusterRunResult::default()
         };
 
-        // Collect one final report per worker (they arrive in any order).
+        // Collect final reports from every live member; the failure
+        // detector keeps running so a worker that dies during shutdown
+        // cannot stall the collection for the full timeout.
         let deadline = Instant::now() + final_timeout;
-        let mut finals: Vec<Option<FinalReport>> = (0..n).map(|_| None).collect();
-        let mut collected = 0;
-        while collected < n {
+        loop {
+            let outstanding = membership
+                .members()
+                .iter()
+                .any(|m| m.is_alive() && !m.got_final);
+            if !outstanding {
+                break;
+            }
             let now = Instant::now();
             if now >= deadline {
                 break;
             }
-            let Some(report) = endpoint.recv_final(deadline - now) else {
-                break;
-            };
-            let w = report.worker.index();
-            if w < n && finals[w].is_none() {
-                finals[w] = Some(report);
-                collected += 1;
+            while let Some(event) = endpoint.try_recv_event() {
+                self.apply_member_event(membership, event);
+            }
+            for worker in membership.detect_failures(Instant::now()) {
+                result.summary.workers_failed += 1;
+                if self.config.verbose_membership {
+                    eprintln!("c9-coordinator: worker {worker} died during shutdown");
+                }
+            }
+            // Status reports still queued behind the Stop carry the last
+            // transfer notices and acknowledgements; without them a batch
+            // exported right before the shutdown would be missing from the
+            // in-flight table — and from the final checkpoint.
+            while let Some(report) = endpoint.recv_status(Duration::ZERO) {
+                membership.record_status(&report, Instant::now());
+            }
+            let step = (deadline - now).min(Duration::from_millis(50));
+            if let Some(report) = endpoint.recv_final(step) {
+                if membership.record_final(&report) {
+                    result.summary.coverage.merge(&report.coverage);
+                    result.summary.bugs_found += report.bugs.len() as u64;
+                    result.test_cases.extend(report.test_cases);
+                    result.bugs.extend(report.bugs);
+                }
             }
         }
-        for report in finals.into_iter().flatten() {
-            result.summary.worker_stats.push(report.stats);
-            result.summary.coverage.merge(&report.coverage);
-            result.summary.bugs_found += report.bugs.len() as u64;
-            result.test_cases.extend(report.test_cases);
-            result.bugs.extend(report.bugs);
+        // One more sweep for status reports buffered behind the last final
+        // — their transfer notices would otherwise be lost, and with them
+        // the jobs of any batch still on the wire at shutdown.
+        while let Some(report) = endpoint.recv_status(Duration::ZERO) {
+            membership.record_status(&report, Instant::now());
         }
-        result.summary.num_workers = n;
+
+        // Every member contributes its exact share: final stats when the
+        // report arrived, the last snapshot-consistent stats otherwise
+        // (a dead member's post-snapshot work was re-executed elsewhere).
+        // A member without a final also contributes the bugs it shipped
+        // eagerly with its snapshots — the completed paths they sit on are
+        // never re-explored, so this is the only surviving record.
+        result.summary.worker_stats = base_stats;
+        for member in membership.members() {
+            result
+                .summary
+                .worker_stats
+                .push(member.summary_stats().clone());
+            if !member.got_final && !member.status_bugs.is_empty() {
+                result.summary.bugs_found += member.status_bugs.len() as u64;
+                result.bugs.extend(member.status_bugs.iter().cloned());
+            }
+        }
+        if let Some(resume) = &self.config.resume {
+            result.summary.coverage.merge(&resume.coverage);
+        }
+        result.summary.num_workers = membership.len().max(1);
         result.summary.elapsed = start.elapsed();
+
+        // The final checkpoint reflects the finals' frontiers, so a run
+        // stopped by a time or path limit resumes exactly where it left
+        // off.
+        if let Some(path) = &self.config.checkpoint_path {
+            let checkpoint = self.build_checkpoint(membership, &result.summary, opts, start);
+            if self.config.verbose_membership {
+                eprintln!(
+                    "c9-coordinator: final checkpoint: {} completed paths, {} pending jobs",
+                    checkpoint.base_paths(),
+                    checkpoint.jobs().len()
+                );
+            }
+            if let Err(e) = checkpoint.save(path) {
+                eprintln!("c9-coordinator: checkpoint write failed: {e}");
+            }
+        }
         result
+    }
+
+    fn build_checkpoint(
+        &self,
+        membership: &Membership,
+        summary: &ClusterSummary,
+        opts: &CoordinatorRunOpts,
+        start: Instant,
+    ) -> Checkpoint {
+        let base_elapsed = self
+            .config
+            .resume
+            .as_ref()
+            .map(|c| c.elapsed)
+            .unwrap_or_default();
+        Checkpoint {
+            target: opts.target.clone(),
+            base_stats: summary.worker_stats.clone(),
+            frontier: JobTree::from_jobs(&membership.frontier_jobs()).encode(),
+            coverage: summary.coverage.clone(),
+            elapsed: base_elapsed + start.elapsed(),
+        }
+    }
+
+    fn apply_member_event(&self, membership: &mut Membership, event: MemberEvent) {
+        match event {
+            MemberEvent::Heartbeat { worker, epoch } => {
+                membership.record_heartbeat(worker, epoch, Instant::now());
+            }
+            MemberEvent::Leave { worker, epoch } => {
+                if membership.leave(worker, epoch) && self.config.verbose_membership {
+                    eprintln!("c9-coordinator: worker {worker} left gracefully");
+                }
+            }
+        }
+    }
+
+    /// Distributes the re-injection pool (reclaimed or resumed jobs) across
+    /// the live workers, least-loaded first.
+    fn reinject<C: CoordinatorEndpoint>(
+        &self,
+        endpoint: &mut C,
+        membership: &mut Membership,
+        jobs: Vec<Job>,
+    ) -> u64 {
+        if jobs.is_empty() {
+            return 0;
+        }
+        let mut targets: Vec<(u64, WorkerId)> = membership
+            .members()
+            .iter()
+            .filter(|m| m.is_alive())
+            .map(|m| (m.queue_length, m.worker))
+            .collect();
+        if targets.is_empty() {
+            // No survivors to hand the work to; keep it pooled (a joiner
+            // may still arrive) and let the time limit end the run
+            // otherwise.
+            membership.seed_pool(jobs);
+            return 0;
+        }
+        targets.sort();
+        let total = jobs.len() as u64;
+        let chunk_size = jobs.len().div_ceil(targets.len());
+        let mut rest = jobs;
+        let mut t = 0;
+        while !rest.is_empty() {
+            let chunk: Vec<Job> = rest.drain(..chunk_size.min(rest.len())).collect();
+            let (_, destination) = targets[t % targets.len()];
+            t += 1;
+            let now = Instant::now();
+            let encoded = JobTree::from_jobs(&chunk).encode();
+            let seq = membership.record_inject(destination, chunk, now);
+            if endpoint
+                .send_control(destination, Control::Inject { seq, encoded })
+                .is_err()
+            {
+                membership.cancel_inject(destination, seq);
+            }
+        }
+        total
     }
 
     #[allow(clippy::too_many_lines)]
     fn balancer_loop<C: CoordinatorEndpoint>(
         &self,
         endpoint: &mut C,
+        membership: &mut Membership,
         start: Instant,
-        n: usize,
+        opts: &CoordinatorRunOpts,
     ) -> ClusterSummary {
-        let mut lb = LoadBalancer::new(n, self.program.loc(), self.config.balancer);
-        let mut idle = vec![false; n];
-        let mut sent_totals = vec![0u64; n];
-        let mut received_totals = vec![0u64; n];
-        let mut useful_totals = vec![0u64; n];
-        let mut paths_totals = vec![0u64; n];
+        let base_paths = self
+            .config
+            .resume
+            .as_ref()
+            .map(|c| c.base_paths())
+            .unwrap_or(0);
+        let mut lb = LoadBalancer::new(membership.len(), self.program.loc(), self.config.balancer);
+        if let Some(resume) = &self.config.resume {
+            lb.merge_coverage(&resume.coverage);
+        }
         let mut last_balance = Instant::now();
         let mut last_sample = Instant::now();
+        let mut last_checkpoint = Instant::now();
         let mut transferred_at_last_sample = 0u64;
-        let mut everyone_had_work = vec![false; n];
+        let mut everyone_had_work = vec![false; membership.len()];
         let mut summary = ClusterSummary {
-            num_workers: n,
+            num_workers: membership.len(),
             coverage: CoverageSet::new(self.program.loc()),
             ..ClusterSummary::default()
         };
 
         loop {
+            // Fold joiners into the cluster; they enter the next balancing
+            // round as empty (maximally underloaded) workers. Membership is
+            // the source of truth for liveness — members can also die
+            // outside the detector below (re-join fencing, failed admits),
+            // so sync the balancer in both directions every round.
+            let joined = self.admit_joins(endpoint, membership, opts, true);
+            summary.workers_joined += joined as u64;
+            for member in membership.members() {
+                if member.is_alive() {
+                    lb.ensure_worker(member.worker);
+                } else {
+                    lb.set_alive(member.worker, false);
+                }
+            }
+
+            // Liveness events.
+            while let Some(event) = endpoint.try_recv_event() {
+                if let MemberEvent::Leave { worker, .. } = &event {
+                    lb.set_alive(*worker, false);
+                }
+                self.apply_member_event(membership, event);
+            }
+
+            // Failure detection runs *before* the status drain and the
+            // pool is re-injected *after* it: every acknowledgement or
+            // transfer outcome already queued gets one full drain to
+            // resolve its in-flight entry before reclaimed jobs are handed
+            // out again — re-injecting a batch some survivor just
+            // confirmed would double-count its paths.
+            for worker in membership.detect_failures(Instant::now()) {
+                lb.set_alive(worker, false);
+                summary.workers_failed += 1;
+                if self.config.verbose_membership {
+                    eprintln!(
+                        "c9-coordinator: worker {worker} declared dead \
+                         (missed heartbeats); reclaiming its pending jobs"
+                    );
+                }
+            }
+
             // Drain status reports (block briefly for the first one).
             let mut got_any = false;
             while let Some(report) = if got_any {
@@ -276,23 +679,37 @@ impl Cluster {
                 endpoint.recv_status(Duration::from_millis(2))
             } {
                 got_any = true;
-                let w = report.worker.index();
-                if w >= n {
-                    continue;
+                let now = Instant::now();
+                if !membership.record_status(&report, now) {
+                    continue; // fenced-off epoch or dead member
                 }
-                idle[w] = report.idle;
-                sent_totals[w] = report.stats.jobs_sent;
-                received_totals[w] = report.stats.jobs_received;
-                useful_totals[w] = report.stats.useful_instructions;
-                paths_totals[w] = report.stats.paths_completed;
+                let w = report.worker;
+                if w.index() >= everyone_had_work.len() {
+                    everyone_had_work.resize(w.index() + 1, false);
+                }
                 if report.queue_length > 0 {
-                    everyone_had_work[w] = true;
+                    everyone_had_work[w.index()] = true;
                 }
-                let global = lb.report(report.worker, report.queue_length, &report.coverage);
-                let _ = endpoint.send_control(report.worker, Control::GlobalCoverage(global));
+                let global = lb.report(w, report.queue_length, &report.coverage);
+                let _ = endpoint.send_control(w, Control::GlobalCoverage(global));
             }
 
+            let pool = membership.take_pool();
+            summary.jobs_reclaimed += self.reinject(endpoint, membership, pool);
+
             let elapsed = start.elapsed();
+            let members = membership.members();
+            let total_paths: u64 = base_paths
+                + members
+                    .iter()
+                    .map(|m| {
+                        m.summary_stats().paths_completed.max(if m.is_alive() {
+                            m.latest_stats.paths_completed
+                        } else {
+                            0
+                        })
+                    })
+                    .sum::<u64>();
 
             // Stopping conditions.
             let mut goal_reached = false;
@@ -303,16 +720,23 @@ impl Cluster {
                 }
             }
             if let Some(max_paths) = self.config.max_total_paths {
-                if paths_totals.iter().sum::<u64>() >= max_paths {
+                if total_paths >= max_paths {
                     goal_reached = true;
                 }
             }
-            let in_flight_settled =
-                sent_totals.iter().sum::<u64>() == received_totals.iter().sum::<u64>();
-            if idle.iter().all(|i| *i) && lb.all_idle() && in_flight_settled {
+            let alive_count = membership.alive_count();
+            let all_idle = alive_count > 0
+                && members
+                    .iter()
+                    .filter(|m| m.is_alive())
+                    .all(|m| m.idle && m.queue_length == 0);
+            if all_idle && lb.all_idle() && membership.settled() {
                 exhausted = true;
                 goal_reached = true;
             }
+            // Every worker died and nobody is left to take the reclaimed
+            // jobs: the run cannot make progress.
+            let cluster_lost = alive_count == 0 && !membership.is_empty();
             let timed_out = self
                 .config
                 .time_limit
@@ -320,20 +744,55 @@ impl Cluster {
                 .unwrap_or(false);
 
             // Timeline sampling.
-            if last_sample.elapsed() >= self.config.sample_interval || goal_reached || timed_out {
+            if last_sample.elapsed() >= self.config.sample_interval
+                || goal_reached
+                || timed_out
+                || cluster_lost
+            {
                 let transferred_now = lb.total_transferred();
                 summary.timeline.push(IntervalSample {
                     elapsed,
                     states_transferred: transferred_now - transferred_at_last_sample,
                     total_states: lb.queue_lengths().iter().sum(),
-                    useful_instructions: useful_totals.iter().sum(),
+                    useful_instructions: members
+                        .iter()
+                        .map(|m| m.latest_stats.useful_instructions)
+                        .sum(),
                     coverage: lb.global_coverage().ratio(),
                 });
                 transferred_at_last_sample = transferred_now;
                 last_sample = Instant::now();
             }
 
-            if goal_reached || timed_out {
+            // Periodic checkpoint: the ledger union is the global frontier.
+            if let Some(path) = &self.config.checkpoint_path {
+                if last_checkpoint.elapsed() >= self.config.checkpoint_interval {
+                    let mut coverage = lb.global_coverage().clone();
+                    coverage.merge(&summary.coverage);
+                    let snapshot_summary = ClusterSummary {
+                        worker_stats: {
+                            let mut stats = self
+                                .config
+                                .resume
+                                .as_ref()
+                                .map(|c| c.base_stats.clone())
+                                .unwrap_or_default();
+                            stats.extend(members.iter().map(|m| m.summary_stats().clone()));
+                            stats
+                        },
+                        coverage,
+                        ..ClusterSummary::default()
+                    };
+                    let checkpoint =
+                        self.build_checkpoint(membership, &snapshot_summary, opts, start);
+                    if let Err(e) = checkpoint.save(path) {
+                        eprintln!("c9-coordinator: checkpoint write failed: {e}");
+                    }
+                    last_checkpoint = Instant::now();
+                }
+            }
+
+            if goal_reached || timed_out || cluster_lost {
                 summary.goal_reached = goal_reached;
                 summary.exhausted = exhausted;
                 break;
@@ -345,8 +804,17 @@ impl Cluster {
                 .disable_lb_after
                 .map(|d| elapsed >= d)
                 .unwrap_or(false);
-            let lb_disabled_static =
-                self.config.static_partition && everyone_had_work.iter().all(|w| *w);
+            let lb_disabled_static = self.config.static_partition
+                && membership
+                    .members()
+                    .iter()
+                    .filter(|m| m.is_alive())
+                    .all(|m| {
+                        everyone_had_work
+                            .get(m.worker.index())
+                            .copied()
+                            .unwrap_or(false)
+                    });
             if !lb_disabled_by_time
                 && !lb_disabled_static
                 && last_balance.elapsed() >= self.config.balance_interval
@@ -364,36 +832,92 @@ impl Cluster {
         }
 
         summary.coverage.merge(lb.global_coverage());
-        for w in 0..n {
-            let _ = endpoint.send_control(WorkerId(w as u32), Control::Stop);
+        for worker in membership.alive() {
+            let _ = endpoint.send_control(worker, Control::Stop);
         }
         summary
     }
 }
 
+/// Per-run options of the worker event loop.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkerLoopOpts {
+    /// Instructions per quantum between message-handling points.
+    pub quantum: u64,
+    /// How often status is reported to the coordinator.
+    pub status_interval: Duration,
+    /// Whether this worker seeds the root job (exactly one worker of a
+    /// fresh — non-resumed — run).
+    pub seed_root: bool,
+    /// This worker's fencing epoch, stamped on every report and batch.
+    pub worker_epoch: u64,
+    /// Attach a frontier snapshot to every k-th status report (0 = never).
+    pub snapshot_every: u32,
+    /// Transport heartbeat cadence (zero disables).
+    pub heartbeat_interval: Duration,
+}
+
 /// The worker event loop, shared by every transport: handle control
 /// messages, import job batches from peers, explore in quanta, report
-/// status, and ship a final report at shutdown.
-///
-/// `seed_root` must be true for exactly one worker of a fresh run (worker 0
-/// receives the seed job: the entire execution tree).
+/// status (with frontier snapshots and transfer events for the
+/// coordinator's ledger), and ship a final report at shutdown.
 pub fn run_worker_loop<E: WorkerEndpoint>(
     endpoint: &mut E,
     program: Arc<Program>,
     env: Arc<dyn Environment>,
     config: WorkerConfig,
-    quantum: u64,
-    status_interval: Duration,
-    seed_root: bool,
+    opts: WorkerLoopOpts,
 ) {
     let id = endpoint.id();
+    // Heartbeats first: engine setup below can take long enough on a cold
+    // start that a silent worker would look dead to the coordinator.
+    endpoint.start_heartbeat(opts.heartbeat_interval);
     let mut worker = Worker::new(id, program, env, config);
-    if seed_root {
+    if opts.seed_root {
         worker.seed_root();
     }
-    let mut last_status = Instant::now() - status_interval;
+    let mut last_status = Instant::now() - opts.status_interval;
+    let mut events: Vec<TransferEvent> = Vec::new();
+    let mut export_seq = 0u64;
+    let mut reports_sent = 0u32;
+    // How many of this worker's bugs the coordinator has already seen;
+    // new ones ride the next snapshot-bearing report so they survive a
+    // crash (the completed paths they sit on are never re-explored).
+    let mut bugs_reported = 0usize;
 
-    loop {
+    let send_status = |worker: &Worker,
+                       endpoint: &mut E,
+                       events: &mut Vec<TransferEvent>,
+                       reports_sent: &mut u32,
+                       bugs_reported: &mut usize|
+     -> Result<(), ()> {
+        let include_frontier =
+            opts.snapshot_every > 0 && (*reports_sent).is_multiple_of(opts.snapshot_every);
+        *reports_sent += 1;
+        let frontier =
+            include_frontier.then(|| JobTree::from_jobs(&worker.frontier_snapshot()).encode());
+        let new_bugs = if include_frontier {
+            let fresh = worker.bugs[*bugs_reported..].to_vec();
+            *bugs_reported = worker.bugs.len();
+            fresh
+        } else {
+            Vec::new()
+        };
+        let report = StatusReport {
+            worker: worker.id,
+            epoch: opts.worker_epoch,
+            queue_length: worker.queue_length(),
+            coverage: worker.coverage_snapshot(),
+            stats: worker.stats.clone(),
+            idle: !worker.has_work(),
+            frontier,
+            new_bugs,
+            transfers: std::mem::take(events),
+        };
+        endpoint.send_status(report).map_err(|_| ())
+    };
+
+    'run: loop {
         // Handle control messages.
         let mut stop = false;
         while let Some(msg) = endpoint.try_recv_control() {
@@ -403,20 +927,76 @@ pub fn run_worker_loop<E: WorkerEndpoint>(
                     break;
                 }
                 Control::GlobalCoverage(global) => worker.merge_global_coverage(&global),
+                Control::Membership(peers) => endpoint.update_peers(&peers),
+                Control::Inject { seq, encoded } => {
+                    if let Some(tree) = JobTree::decode(&encoded) {
+                        worker.import_jobs(tree.to_jobs());
+                        events.push(TransferEvent::Imported {
+                            source: COORDINATOR,
+                            seq,
+                            encoded,
+                        });
+                    }
+                }
                 Control::Balance { destination, count } => {
                     let jobs = worker.export_jobs(count);
-                    if !jobs.is_empty() {
-                        let encoded = JobTree::from_jobs(&jobs).encode();
-                        worker.stats.job_bytes_sent += encoded.len() as u64;
-                        let _ = endpoint.send_jobs(
-                            destination,
-                            JobBatch {
-                                source: id,
-                                epoch: 0, // stamped by the transport
-                                encoded,
-                            },
-                        );
+                    if jobs.is_empty() {
+                        continue;
                     }
+                    let encoded = JobTree::from_jobs(&jobs).encode();
+                    export_seq += 1;
+                    let seq = export_seq;
+                    // Tell the coordinator about the export *before*
+                    // shipping the batch: if this worker dies in between,
+                    // the coordinator holds the batch in its in-flight
+                    // table and can re-inject it — the batch can be lost
+                    // on the wire, but never forgotten.
+                    events.push(TransferEvent::Exported {
+                        destination,
+                        seq,
+                        encoded: encoded.clone(),
+                    });
+                    if send_status(
+                        &worker,
+                        endpoint,
+                        &mut events,
+                        &mut reports_sent,
+                        &mut bugs_reported,
+                    )
+                    .is_err()
+                    {
+                        break 'run;
+                    }
+                    worker.stats.job_bytes_sent += encoded.len() as u64;
+                    let batch = JobBatch {
+                        source: id,
+                        epoch: 0, // run epoch, stamped by the transport
+                        source_epoch: opts.worker_epoch,
+                        seq,
+                        encoded,
+                    };
+                    // ... and report the outcome immediately afterwards, so
+                    // the coordinator always knows whether the batch is in
+                    // wire custody (`Sent`) or back in this frontier
+                    // (`Requeued`) before it could ever reclaim it.
+                    if endpoint.send_jobs(destination, batch).is_ok() {
+                        events.push(TransferEvent::Sent { destination, seq });
+                    } else {
+                        events.push(TransferEvent::Requeued { destination, seq });
+                        worker.requeue_jobs(jobs);
+                    }
+                    if send_status(
+                        &worker,
+                        endpoint,
+                        &mut events,
+                        &mut reports_sent,
+                        &mut bugs_reported,
+                    )
+                    .is_err()
+                    {
+                        break 'run;
+                    }
+                    last_status = Instant::now();
                 }
             }
         }
@@ -428,39 +1008,48 @@ pub fn run_worker_loop<E: WorkerEndpoint>(
         while let Some(batch) = endpoint.try_recv_jobs() {
             if let Some(tree) = JobTree::decode(&batch.encoded) {
                 worker.import_jobs(tree.to_jobs());
+                events.push(TransferEvent::Imported {
+                    source: batch.source,
+                    seq: batch.seq,
+                    encoded: batch.encoded,
+                });
             }
         }
 
         // Explore.
         let idle = !worker.has_work();
         if !idle {
-            worker.run_quantum(quantum);
+            worker.run_quantum(opts.quantum);
         } else {
             std::thread::sleep(Duration::from_micros(500));
         }
 
         // Report status.
-        if last_status.elapsed() >= status_interval {
-            let report = StatusReport {
-                worker: id,
-                queue_length: worker.queue_length(),
-                coverage: worker.coverage_snapshot(),
-                stats: worker.stats.clone(),
-                idle: !worker.has_work(),
-            };
-            if endpoint.send_status(report).is_err() {
+        if last_status.elapsed() >= opts.status_interval {
+            if send_status(
+                &worker,
+                endpoint,
+                &mut events,
+                &mut reports_sent,
+                &mut bugs_reported,
+            )
+            .is_err()
+            {
                 break;
             }
             last_status = Instant::now();
         }
     }
 
-    let _ = endpoint.send_final(FinalReport {
+    let _ = endpoint.send_final(c9_net::FinalReport {
         worker: id,
+        epoch: opts.worker_epoch,
         stats: worker.stats.clone(),
         coverage: worker.coverage_snapshot(),
         test_cases: std::mem::take(&mut worker.test_cases),
         bugs: std::mem::take(&mut worker.bugs),
+        frontier: JobTree::from_jobs(&worker.frontier_snapshot()).encode(),
+        transfers: std::mem::take(&mut events),
     });
 }
 
@@ -479,13 +1068,13 @@ pub fn run_worker_from_spec<E: WorkerEndpoint>(
         generate_test_cases: spec.generate_test_cases,
         export_deepest: spec.export_deepest,
     };
-    run_worker_loop(
-        endpoint,
-        Arc::new(spec.program),
-        env,
-        config,
-        spec.quantum,
-        spec.status_interval,
-        spec.seed_root,
-    );
+    let opts = WorkerLoopOpts {
+        quantum: spec.quantum,
+        status_interval: spec.status_interval,
+        seed_root: spec.seed_root,
+        worker_epoch: spec.worker_epoch,
+        snapshot_every: spec.snapshot_every,
+        heartbeat_interval: spec.heartbeat_interval,
+    };
+    run_worker_loop(endpoint, Arc::new(spec.program), env, config, opts);
 }

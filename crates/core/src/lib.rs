@@ -57,6 +57,7 @@
 
 mod balancer;
 mod cluster;
+mod membership;
 mod stats;
 mod tree;
 mod worker;
@@ -64,13 +65,16 @@ mod worker;
 pub use balancer::{BalancerConfig, LoadBalancer, TransferRequest};
 pub use c9_net::{
     decode_jobs_flat, encode_jobs_flat, Control, CoordinatorEndpoint, EnvSpec, FinalReport,
-    InProcTransport, Job, JobBatch, JobTree, RunSpec, StatusReport, TcpTransport, Transport,
-    TransportError, WorkerEndpoint, WorkerId, WorkerStats,
+    InProcTransport, Job, JobBatch, JobTree, MemberEvent, PeerInfo, RunSpec, StatusReport,
+    TcpTransport, TransferEvent, Transport, TransportError, WorkerEndpoint, WorkerId, WorkerStats,
+    COORDINATOR,
 };
 pub use c9_vm::StrategyKind;
 pub use cluster::{
     run_worker_from_spec, run_worker_loop, Cluster, ClusterConfig, ClusterRunResult,
+    CoordinatorRunOpts, WorkerLoopOpts,
 };
+pub use membership::{Checkpoint, MemberHealth, MemberState, Membership};
 pub use stats::{ClusterSummary, IntervalSample};
 pub use tree::{NodeId, NodeLife, NodeStatus, TreeNode, WorkerTree};
 pub use worker::{Worker, WorkerConfig};

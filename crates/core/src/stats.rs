@@ -41,6 +41,13 @@ pub struct ClusterSummary {
     pub timeline: Vec<IntervalSample>,
     /// Total number of distinct bugs found (by termination reason + path).
     pub bugs_found: u64,
+    /// Workers declared dead by the failure detector during the run.
+    pub workers_failed: u64,
+    /// Workers that joined the running cluster (elastic membership).
+    pub workers_joined: u64,
+    /// Jobs reclaimed from dead workers (or a resumed checkpoint) and
+    /// re-injected into the survivors.
+    pub jobs_reclaimed: u64,
 }
 
 impl ClusterSummary {

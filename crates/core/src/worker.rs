@@ -178,6 +178,29 @@ impl Worker {
         out
     }
 
+    /// Takes back jobs whose export failed (the destination is unreachable):
+    /// they rejoin the local frontier as virtual candidates, and the export
+    /// accounting is rolled back so the transfer never counts as sent.
+    pub fn requeue_jobs(&mut self, jobs: Vec<Job>) {
+        self.stats.jobs_sent = self.stats.jobs_sent.saturating_sub(jobs.len() as u64);
+        for job in jobs {
+            self.tree.record_import(&job);
+            self.virtual_jobs.push_back(job);
+        }
+    }
+
+    /// A consistent snapshot of the pending frontier: every virtual job plus
+    /// every materialized candidate, as replayable path-prefix jobs. Taken
+    /// between quanta, so together with `stats` at the same instant it
+    /// partitions this worker's subtree exactly into completed paths and
+    /// pending work — which is what makes coordinator-side crash recovery
+    /// and checkpointing exact.
+    pub fn frontier_snapshot(&self) -> Vec<Job> {
+        let mut jobs: Vec<Job> = self.virtual_jobs.iter().cloned().collect();
+        jobs.extend(self.states.values().map(|s| Job::new(s.path.clone())));
+        jobs
+    }
+
     /// Merges the global coverage vector received from the load balancer into
     /// the local one (§3.3).
     pub fn merge_global_coverage(&mut self, global: &CoverageSet) {

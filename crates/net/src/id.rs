@@ -8,6 +8,11 @@ use serde::{Deserialize, Serialize};
 )]
 pub struct WorkerId(pub u32);
 
+/// The reserved pseudo-worker identity of the coordinator itself, used as the
+/// `source` of job batches the coordinator injects directly into a worker
+/// (reclaimed work of a dead peer, or a resumed checkpoint frontier).
+pub const COORDINATOR: WorkerId = WorkerId(u32::MAX);
+
 impl WorkerId {
     /// The worker id as a vector index.
     pub fn index(self) -> usize {

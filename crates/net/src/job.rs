@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 
 /// One exploration job: the path from the root of the execution tree to the
 /// candidate node to explore.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Job {
     /// The decisions from the root to the node.
     pub path: Vec<PathChoice>,

@@ -30,10 +30,16 @@ mod stats;
 mod tcp;
 mod transport;
 
-pub use id::WorkerId;
+pub use id::{WorkerId, COORDINATOR};
 pub use inproc::{InProcCoordinatorEndpoint, InProcTransport, InProcWorkerEndpoint};
 pub use job::{decode_jobs_flat, encode_jobs_flat, Job, JobTree};
-pub use message::{Control, EnvSpec, FinalReport, JobBatch, RunSpec, StatusReport, WireMessage};
+pub use message::{
+    Control, EnvSpec, FinalReport, JobBatch, PeerInfo, RunSpec, StatusReport, TransferEvent,
+    WireMessage,
+};
 pub use stats::WorkerStats;
-pub use tcp::{TcpCoordinatorEndpoint, TcpTransport, TcpWorkerEndpoint, TcpWorkerHost};
-pub use transport::{CoordinatorEndpoint, Endpoints, Transport, TransportError, WorkerEndpoint};
+pub use tcp::{send_leave, TcpCoordinatorEndpoint, TcpTransport, TcpWorkerEndpoint, TcpWorkerHost};
+pub use transport::{
+    CoordinatorEndpoint, Endpoints, JoinRequest, MemberEvent, Transport, TransportError,
+    WorkerEndpoint,
+};

@@ -16,6 +16,22 @@ use c9_vm::{CoverageSet, ExecutorConfig, StrategyKind, TestCase};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
+/// Identity, address, and fencing epoch of one cluster member, as announced
+/// by the coordinator (in a [`WireMessage::JoinAck`] and in
+/// [`Control::Membership`] updates).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerInfo {
+    /// The member's identity.
+    pub worker: WorkerId,
+    /// The member's listen address for peer-to-peer job transfers.
+    pub addr: String,
+    /// The member's current epoch; job batches stamped with an older epoch
+    /// come from a fenced-off previous incarnation and must be dropped.
+    pub epoch: u64,
+    /// Whether the coordinator currently believes the member is alive.
+    pub alive: bool,
+}
+
 /// Control messages from the load balancer to a worker.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Control {
@@ -28,8 +44,76 @@ pub enum Control {
     },
     /// The updated global coverage bit vector (§3.3).
     GlobalCoverage(CoverageSet),
+    /// Jobs injected directly by the coordinator: work reclaimed from a dead
+    /// worker, or a resumed checkpoint frontier. The receiver imports the
+    /// encoded job tree and acknowledges with a
+    /// [`TransferEvent::Imported`] whose source is
+    /// [`COORDINATOR`](crate::COORDINATOR).
+    Inject {
+        /// Coordinator-chosen sequence number for the acknowledgement.
+        seq: u64,
+        /// The encoded job tree ([`JobTree::encode`](crate::JobTree::encode)).
+        encoded: Vec<u8>,
+    },
+    /// Updated cluster membership: the full peer table. Workers refresh
+    /// their peer addresses, drop connections to peers whose address or
+    /// epoch changed, and reject job batches from fenced epochs.
+    Membership(Vec<PeerInfo>),
     /// Stop and report final results.
     Stop,
+}
+
+/// A job-transfer bookkeeping event, reported to the coordinator piggybacked
+/// on the next status (or final) report. The coordinator uses these to keep
+/// its per-worker frontier ledger exact across worker crashes: an export
+/// moves jobs into the in-flight table, the destination's import
+/// acknowledgement moves them into the destination's ledger, and jobs whose
+/// owner dies in between are re-injected from the table.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferEvent {
+    /// The reporting worker is about to ship a job batch to a peer
+    /// (announced *before* the socket write, so a crash mid-send can lose
+    /// the batch on the wire but never lose the jobs).
+    Exported {
+        /// The receiving worker.
+        destination: WorkerId,
+        /// Sequence number of the batch (per source, monotonically
+        /// increasing), matching [`JobBatch::seq`].
+        seq: u64,
+        /// A copy of the encoded job tree, so the coordinator can recover
+        /// the batch if either end dies while it is in flight.
+        encoded: Vec<u8>,
+    },
+    /// The socket write of batch `seq` to `destination` succeeded: the
+    /// batch is in wire custody and only the destination (or, should the
+    /// destination die, the coordinator's in-flight copy) owns the jobs.
+    Sent {
+        /// The worker the batch was shipped to.
+        destination: WorkerId,
+        /// Sequence number of the batch.
+        seq: u64,
+    },
+    /// The socket write of batch `seq` to `destination` failed and the
+    /// sender took the jobs back into its own frontier.
+    Requeued {
+        /// The worker the batch was destined for.
+        destination: WorkerId,
+        /// Sequence number of the failed batch.
+        seq: u64,
+    },
+    /// The reporting worker imported batch `seq` from `source` (either a
+    /// peer's [`JobBatch`] or a coordinator [`Control::Inject`], whose
+    /// source is [`COORDINATOR`](crate::COORDINATOR)).
+    Imported {
+        /// The worker (or coordinator) that sent the batch.
+        source: WorkerId,
+        /// Sequence number of the batch.
+        seq: u64,
+        /// The encoded jobs, echoed back so the acknowledgement stays
+        /// self-describing even when the matching export notice died with
+        /// the sender.
+        encoded: Vec<u8>,
+    },
 }
 
 /// Status report from a worker to the load balancer.
@@ -37,6 +121,9 @@ pub enum Control {
 pub struct StatusReport {
     /// The reporting worker.
     pub worker: WorkerId,
+    /// The reporting worker's epoch; reports from a fenced-off previous
+    /// incarnation are rejected by the coordinator.
+    pub epoch: u64,
     /// Pending exploration jobs (materialized candidates + virtual jobs).
     pub queue_length: u64,
     /// The worker's local line coverage.
@@ -45,6 +132,19 @@ pub struct StatusReport {
     pub stats: WorkerStats,
     /// Whether the worker currently has nothing to explore.
     pub idle: bool,
+    /// Encoded snapshot of the worker's pending frontier
+    /// ([`JobTree::encode`](crate::JobTree::encode)), taken at the same
+    /// instant as `stats` so the pair partitions the worker's subtree
+    /// exactly into "completed" and "pending". Present every
+    /// `snapshot_every`-th report (see [`RunSpec::snapshot_every`]).
+    pub frontier: Option<Vec<u8>>,
+    /// Bug-exposing test cases found since the previous frontier snapshot,
+    /// shipped eagerly (only on snapshot-bearing reports, so they stay
+    /// consistent with `stats`): a bug must survive its finder's crash
+    /// even though the completed path it sits on is never re-explored.
+    pub new_bugs: Vec<TestCase>,
+    /// Job-transfer events since the previous report.
+    pub transfers: Vec<TransferEvent>,
 }
 
 /// Final report from a worker at shutdown.
@@ -52,6 +152,8 @@ pub struct StatusReport {
 pub struct FinalReport {
     /// The reporting worker.
     pub worker: WorkerId,
+    /// The reporting worker's epoch.
+    pub epoch: u64,
     /// Cumulative statistics.
     pub stats: WorkerStats,
     /// The worker's local line coverage.
@@ -60,6 +162,13 @@ pub struct FinalReport {
     pub test_cases: Vec<TestCase>,
     /// Bug-exposing test cases.
     pub bugs: Vec<TestCase>,
+    /// Encoded snapshot of the jobs still pending at shutdown (non-empty
+    /// when the run was stopped by a time or path limit); the coordinator
+    /// folds it into the final checkpoint so a resumed run continues from
+    /// exactly this frontier.
+    pub frontier: Vec<u8>,
+    /// Job-transfer events since the previous status report.
+    pub transfers: Vec<TransferEvent>,
 }
 
 /// A batch of jobs in transit between two workers: a [`JobTree`] prefix trie
@@ -75,6 +184,14 @@ pub struct JobBatch {
     /// over time (worker daemons) stamp and filter on it so a batch sent
     /// during one run can never be imported into a later one.
     pub epoch: u64,
+    /// The sending worker's per-worker epoch; receivers drop batches whose
+    /// epoch is older than the sender's current epoch in their peer table
+    /// (a fenced-off previous incarnation of a re-joined worker).
+    pub source_epoch: u64,
+    /// Sequence number (per source worker, monotonically increasing),
+    /// acknowledged back to the coordinator with
+    /// [`TransferEvent::Imported`].
+    pub seq: u64,
     /// The encoded job tree.
     pub encoded: Vec<u8>,
 }
@@ -118,6 +235,18 @@ pub struct RunSpec {
     /// Identifier of this run, unique among the runs a long-lived worker
     /// daemon serves; used to fence off stale in-flight messages.
     pub epoch: u64,
+    /// This worker's per-worker epoch, assigned by the coordinator at join
+    /// time and stamped on every status report, heartbeat, and job batch so
+    /// a fenced-off previous incarnation can be told apart.
+    pub worker_epoch: u64,
+    /// How often the transport sends liveness heartbeats to the
+    /// coordinator, independently of the worker loop (zero = disabled).
+    pub heartbeat_interval: Duration,
+    /// Include a frontier snapshot in every `snapshot_every`-th status
+    /// report (zero = never). Snapshots are what make crash recovery and
+    /// checkpointing exact; 1 keeps the coordinator's ledger current to the
+    /// latest report.
+    pub snapshot_every: u32,
 }
 
 /// Connection preamble and envelope for every frame a transport carries.
@@ -144,4 +273,42 @@ pub enum WireMessage {
     Final(Box<FinalReport>),
     /// Worker → worker: encoded job batch.
     Jobs(JobBatch),
+    /// Worker → coordinator, first frame on a worker-initiated connection:
+    /// request to join the cluster (elastic membership).
+    Join {
+        /// The listen address peers should dial for job transfers.
+        listen_addr: String,
+        /// The identity and epoch of this daemon's previous incarnation,
+        /// when re-joining after a lost connection. The coordinator fences
+        /// the old incarnation off (its jobs are reclaimed and its frames
+        /// rejected) before admitting the new one.
+        previous: Option<(WorkerId, u64)>,
+    },
+    /// Coordinator → worker: the join was accepted.
+    JoinAck {
+        /// Identity assigned to the joining worker.
+        worker: WorkerId,
+        /// Fencing epoch assigned to the joining worker.
+        epoch: u64,
+        /// The current cluster membership, including the new worker.
+        peers: Vec<PeerInfo>,
+    },
+    /// Worker → coordinator: periodic liveness signal, sent by the
+    /// transport independently of the (possibly busy) worker loop so the
+    /// failure detector does not confuse a long solver call with a crash.
+    Heartbeat {
+        /// The reporting worker.
+        worker: WorkerId,
+        /// The reporting worker's epoch.
+        epoch: u64,
+    },
+    /// Worker → coordinator: graceful departure. The coordinator reclaims
+    /// the worker's pending jobs immediately instead of waiting for the
+    /// failure detector.
+    Leave {
+        /// The departing worker.
+        worker: WorkerId,
+        /// The departing worker's epoch.
+        epoch: u64,
+    },
 }

@@ -2,10 +2,23 @@
 //!
 //! This is the paper's deployment (§3.3): every worker is a process hosting
 //! one symbolic execution engine, listening on a socket; the coordinator
-//! process runs the load balancer, dials every worker, and drives the run.
-//! Job batches travel directly between workers over lazily-dialed peer
-//! connections — the coordinator only ever sees queue lengths and coverage
-//! bit vectors, exactly as in the paper.
+//! process runs the load balancer and drives the run. Job batches travel
+//! directly between workers over lazily-dialed peer connections — the
+//! coordinator only ever sees queue lengths and coverage bit vectors,
+//! exactly as in the paper.
+//!
+//! Membership is elastic in both directions:
+//!
+//! * the coordinator can dial a fixed worker list
+//!   ([`TcpCoordinatorEndpoint::connect`], the static deployment), and/or
+//!   listen for workers that attach to a running cluster with a
+//!   [`WireMessage::Join`] handshake ([`TcpCoordinatorEndpoint::listen`]);
+//! * each worker's transport sends [`WireMessage::Heartbeat`] frames from a
+//!   dedicated thread, so the coordinator's failure detector keeps working
+//!   while the worker loop is deep inside a solver call;
+//! * every worker carries a per-worker *epoch* assigned at join time; a
+//!   re-joining worker gets a fresh epoch and peers drop both the stale
+//!   cached connection and any frames stamped with the old epoch.
 //!
 //! Framing is length-prefixed bincode (see [`crate::frame`]). Accept loops
 //! are reconnect-aware: a worker keeps accepting connections for its whole
@@ -13,15 +26,20 @@
 //! failed peer connection is re-dialed on the next send.
 
 use crate::frame::{read_frame, write_frame};
-use crate::message::{Control, FinalReport, JobBatch, RunSpec, StatusReport, WireMessage};
-use crate::transport::{CoordinatorEndpoint, Endpoints, Transport, TransportError, WorkerEndpoint};
+use crate::message::{
+    Control, FinalReport, JobBatch, PeerInfo, RunSpec, StatusReport, WireMessage,
+};
+use crate::transport::{
+    CoordinatorEndpoint, Endpoints, JoinRequest, MemberEvent, Transport, TransportError,
+    WorkerEndpoint,
+};
 use crate::WorkerId;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Events surfaced by a worker's accept loop.
@@ -41,7 +59,7 @@ enum HostEvent {
     Jobs(JobBatch),
 }
 
-/// Stops the accept loop (releasing the listener's port and thread) when
+/// Stops an accept loop (releasing the listener's port and thread) when
 /// the owning host or endpoint is dropped.
 struct ListenerGuard {
     addr: SocketAddr,
@@ -56,10 +74,93 @@ impl Drop for ListenerGuard {
     }
 }
 
+/// The peer table of one worker: listen address, fencing epoch, and the
+/// lazily-dialed connection of every peer. A membership update that changes
+/// a peer's address or epoch drops the cached connection — the old socket
+/// either is dead or belongs to a fenced-off incarnation.
+struct PeerTable {
+    addrs: Vec<String>,
+    epochs: Vec<u64>,
+    conns: Vec<Option<TcpStream>>,
+}
+
+impl PeerTable {
+    /// Builds a table from a bare address list (static deployments, where
+    /// epochs are unknown and every batch is accepted).
+    fn from_addrs(addrs: Vec<String>) -> PeerTable {
+        let n = addrs.len();
+        PeerTable {
+            addrs,
+            epochs: vec![0; n],
+            conns: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    /// Builds a table from a full membership announcement.
+    fn from_infos(peers: &[PeerInfo]) -> PeerTable {
+        let mut table = PeerTable::from_addrs(Vec::new());
+        table.update(peers);
+        table
+    }
+
+    fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// The last announced epoch of a peer (0 = unknown, accept anything).
+    fn epoch(&self, worker: WorkerId) -> u64 {
+        self.epochs.get(worker.index()).copied().unwrap_or(0)
+    }
+
+    /// Applies a membership update, dropping stale connections.
+    fn update(&mut self, peers: &[PeerInfo]) {
+        for peer in peers {
+            let idx = peer.worker.index();
+            if idx >= self.addrs.len() {
+                self.addrs.resize(idx + 1, String::new());
+                self.epochs.resize(idx + 1, 0);
+                self.conns.resize_with(idx + 1, || None);
+            }
+            if self.addrs[idx] != peer.addr || self.epochs[idx] != peer.epoch {
+                // The satellite fix: a re-joined worker's old socket must
+                // not linger in the map, or job batches would vanish into
+                // the dead connection.
+                self.conns[idx] = None;
+            }
+            self.addrs[idx] = peer.addr.clone();
+            self.epochs[idx] = peer.epoch;
+        }
+    }
+
+    fn drop_conn(&mut self, worker: WorkerId) {
+        if let Some(slot) = self.conns.get_mut(worker.index()) {
+            *slot = None;
+        }
+    }
+
+    /// The connection to a peer, dialing it on first use.
+    fn stream(&mut self, destination: WorkerId) -> Result<&mut TcpStream, TransportError> {
+        let idx = destination.index();
+        if idx >= self.addrs.len() || self.addrs[idx].is_empty() {
+            return Err(TransportError::Io(format!(
+                "unknown peer {destination} (cluster has {} workers)",
+                self.addrs.len()
+            )));
+        }
+        if self.conns[idx].is_none() {
+            let stream = TcpStream::connect(&self.addrs[idx])?;
+            stream.set_nodelay(true).ok();
+            self.conns[idx] = Some(stream);
+        }
+        Ok(self.conns[idx].as_mut().expect("peer conn present"))
+    }
+}
+
 /// A worker-side listener: accepts coordinator and peer connections and
 /// demultiplexes their frames into one event queue.
 pub struct TcpWorkerHost {
     local_addr: SocketAddr,
+    events_tx: Sender<HostEvent>,
     events_rx: Receiver<HostEvent>,
     guard: ListenerGuard,
 }
@@ -72,11 +173,13 @@ impl TcpWorkerHost {
         let (events_tx, events_rx) = unbounded();
         let shutdown = Arc::new(AtomicBool::new(false));
         let accept_shutdown = shutdown.clone();
+        let accept_tx = events_tx.clone();
         std::thread::Builder::new()
             .name(format!("c9-accept-{local_addr}"))
-            .spawn(move || accept_loop(&listener, &events_tx, &accept_shutdown))?;
+            .spawn(move || accept_loop(&listener, &accept_tx, &accept_shutdown))?;
         Ok(TcpWorkerHost {
             local_addr,
+            events_tx,
             events_rx,
             guard: ListenerGuard {
                 addr: local_addr,
@@ -113,14 +216,15 @@ impl TcpWorkerHost {
                     return Some(TcpWorkerEndpoint {
                         id: worker,
                         num_workers: num_workers as usize,
-                        peers,
-                        peer_conns: Vec::new(),
-                        coordinator: writer,
+                        peers: PeerTable::from_addrs(peers),
+                        coordinator: Arc::new(Mutex::new(writer)),
                         events_rx: self.events_rx,
                         pending_control,
                         pending_jobs,
                         pending_start,
                         epoch: 0,
+                        worker_epoch: 0,
+                        hb_stop: None,
                         _guard: self.guard,
                     });
                 }
@@ -130,6 +234,67 @@ impl TcpWorkerHost {
                 Err(_) => return None,
             }
         }
+    }
+
+    /// Dials a listening coordinator and joins its cluster (elastic
+    /// membership): sends the [`WireMessage::Join`] handshake, waits for the
+    /// acknowledgement that assigns this worker's identity and epoch, and
+    /// returns the endpoint for the session. `previous` names the identity
+    /// of this daemon's previous incarnation when re-joining after a lost
+    /// connection, so the coordinator can fence it off.
+    pub fn join_coordinator(
+        self,
+        coordinator_addr: &str,
+        previous: Option<(WorkerId, u64)>,
+        timeout: Duration,
+    ) -> Result<TcpWorkerEndpoint, TransportError> {
+        let deadline = Instant::now() + timeout;
+        let mut stream = dial_until(coordinator_addr, deadline)?;
+        stream.set_nodelay(true).ok();
+        write_frame(
+            &mut stream,
+            &WireMessage::Join {
+                listen_addr: self.local_addr.to_string(),
+                previous,
+            },
+        )
+        .map_err(TransportError::from)?;
+        stream
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))
+            .ok();
+        let ack: WireMessage = read_frame(&mut stream).map_err(TransportError::from)?;
+        stream.set_read_timeout(None).ok();
+        let WireMessage::JoinAck {
+            worker,
+            epoch,
+            peers,
+        } = ack
+        else {
+            return Err(TransportError::Io(
+                "coordinator answered the join with an unexpected frame".into(),
+            ));
+        };
+        // Start/control frames for the run arrive on this same connection.
+        let reader = stream.try_clone().map_err(TransportError::from)?;
+        let events_tx = self.events_tx.clone();
+        std::thread::Builder::new()
+            .name("c9-conn-reader".into())
+            .spawn(move || worker_conn_reader(reader, &events_tx))
+            .map_err(TransportError::from)?;
+        Ok(TcpWorkerEndpoint {
+            id: worker,
+            num_workers: peers.len(),
+            peers: PeerTable::from_infos(&peers),
+            coordinator: Arc::new(Mutex::new(stream)),
+            events_rx: self.events_rx,
+            pending_control: VecDeque::new(),
+            pending_jobs: VecDeque::new(),
+            pending_start: VecDeque::new(),
+            epoch: 0,
+            worker_epoch: epoch,
+            hb_stop: None,
+            _guard: self.guard,
+        })
     }
 }
 
@@ -174,9 +339,14 @@ fn worker_conn_reader(mut stream: TcpStream, events_tx: &Sender<HostEvent>) {
             WireMessage::Start(spec) => HostEvent::Start(spec),
             WireMessage::Control(c) => HostEvent::Control(c),
             WireMessage::Jobs(j) => HostEvent::Jobs(j),
-            // Status/Final frames are coordinator-bound; a worker receiving
-            // one indicates a confused peer. Ignore.
-            WireMessage::Status(_) | WireMessage::Final(_) => continue,
+            // Everything else is coordinator-bound; a worker receiving one
+            // indicates a confused peer. Ignore.
+            WireMessage::Status(_)
+            | WireMessage::Final(_)
+            | WireMessage::Join { .. }
+            | WireMessage::JoinAck { .. }
+            | WireMessage::Heartbeat { .. }
+            | WireMessage::Leave { .. } => continue,
         };
         if events_tx.send(event).is_err() {
             return;
@@ -188,21 +358,35 @@ fn worker_conn_reader(mut stream: TcpStream, events_tx: &Sender<HostEvent>) {
 pub struct TcpWorkerEndpoint {
     id: WorkerId,
     num_workers: usize,
-    peers: Vec<String>,
-    peer_conns: Vec<Option<TcpStream>>,
-    coordinator: TcpStream,
+    peers: PeerTable,
+    coordinator: Arc<Mutex<TcpStream>>,
     events_rx: Receiver<HostEvent>,
     pending_control: VecDeque<Control>,
     pending_jobs: VecDeque<JobBatch>,
     pending_start: VecDeque<RunSpec>,
     epoch: u64,
+    worker_epoch: u64,
+    hb_stop: Option<Arc<AtomicBool>>,
     _guard: ListenerGuard,
+}
+
+impl Drop for TcpWorkerEndpoint {
+    fn drop(&mut self) {
+        if let Some(stop) = self.hb_stop.take() {
+            stop.store(true, Ordering::Release);
+        }
+    }
 }
 
 impl TcpWorkerEndpoint {
     /// Number of workers in the cluster, as announced by the coordinator.
     pub fn num_workers(&self) -> usize {
         self.num_workers
+    }
+
+    /// This worker's fencing epoch (assigned at join, or by the run spec).
+    pub fn worker_epoch(&self) -> u64 {
+        self.worker_epoch
     }
 
     /// Waits for the coordinator to begin a run.
@@ -228,13 +412,16 @@ impl TcpWorkerEndpoint {
         }
     }
 
-    /// Fences a new run off from the previous one: control frames queued
-    /// before this run's `Start` are from an earlier run (the coordinator
-    /// connection is FIFO), and job batches are filtered by epoch in
+    /// Fences a new run off from the previous one. Control frames queued
+    /// before this run's `Start` are from an earlier run and were already
+    /// discarded when the `Start` was dispatched (the coordinator
+    /// connection is FIFO, so dispatch order is authoritative — controls
+    /// dispatched *after* the `Start`, such as a resumed run's job
+    /// injections, must survive); job batches are filtered by epoch in
     /// [`WorkerEndpoint::try_recv_jobs`].
     fn begin_run(&mut self, spec: RunSpec) -> RunSpec {
         self.epoch = spec.epoch;
-        self.pending_control.clear();
+        self.worker_epoch = spec.worker_epoch;
         spec
     }
 
@@ -249,11 +436,14 @@ impl TcpWorkerEndpoint {
                 // A reconnecting coordinator replaces the control channel.
                 self.id = worker;
                 self.num_workers = num_workers as usize;
-                self.peers = peers;
-                self.peer_conns.clear();
-                self.coordinator = writer;
+                self.peers = PeerTable::from_addrs(peers);
+                *self.coordinator.lock().expect("coordinator lock") = writer;
             }
-            HostEvent::Start(spec) => self.pending_start.push_back(*spec),
+            HostEvent::Start(spec) => {
+                // Controls queued so far belong to the previous run.
+                self.pending_control.clear();
+                self.pending_start.push_back(*spec);
+            }
             HostEvent::Control(c) => self.pending_control.push_back(c),
             HostEvent::Jobs(j) => self.pending_jobs.push_back(j),
         }
@@ -265,23 +455,21 @@ impl TcpWorkerEndpoint {
         }
     }
 
-    fn peer_stream(&mut self, destination: WorkerId) -> Result<&mut TcpStream, TransportError> {
-        let idx = destination.index();
-        if idx >= self.peers.len() {
-            return Err(TransportError::Io(format!(
-                "unknown peer {destination} (cluster has {} workers)",
-                self.peers.len()
-            )));
-        }
-        if self.peer_conns.len() < self.peers.len() {
-            self.peer_conns.resize_with(self.peers.len(), || None);
-        }
-        if self.peer_conns[idx].is_none() {
-            let stream = TcpStream::connect(&self.peers[idx])?;
-            stream.set_nodelay(true).ok();
-            self.peer_conns[idx] = Some(stream);
-        }
-        Ok(self.peer_conns[idx].as_mut().expect("peer conn present"))
+    fn write_to_coordinator(&self, msg: &WireMessage) -> Result<(), TransportError> {
+        let mut stream = self.coordinator.lock().expect("coordinator lock");
+        write_frame(&mut *stream, msg).map_err(TransportError::from)
+    }
+
+    /// Probes the coordinator connection by sending a heartbeat frame.
+    /// Returns false once the connection is dead (the first write after a
+    /// peer death may still land in the kernel buffer, so an idle daemon
+    /// should probe periodically rather than once).
+    pub fn probe_coordinator(&self) -> bool {
+        self.write_to_coordinator(&WireMessage::Heartbeat {
+            worker: self.id,
+            epoch: self.worker_epoch,
+        })
+        .is_ok()
     }
 }
 
@@ -297,12 +485,18 @@ impl WorkerEndpoint for TcpWorkerEndpoint {
 
     fn try_recv_jobs(&mut self) -> Option<JobBatch> {
         self.pump();
-        // Drop batches from earlier runs that were still in flight when the
-        // previous session stopped.
         while let Some(batch) = self.pending_jobs.pop_front() {
-            if batch.epoch == self.epoch {
-                return Some(batch);
+            // Drop batches from earlier runs that were still in flight when
+            // the previous session stopped.
+            if batch.epoch != self.epoch {
+                continue;
             }
+            // Drop batches from a fenced-off previous incarnation of a
+            // re-joined peer.
+            if batch.source_epoch < self.peers.epoch(batch.source) {
+                continue;
+            }
+            return Some(batch);
         }
         None
     }
@@ -317,37 +511,104 @@ impl WorkerEndpoint for TcpWorkerEndpoint {
         // One reconnect attempt: a worker daemon that restarted keeps its
         // listen address, so re-dialing usually heals the path.
         let first = {
-            let stream = self.peer_stream(destination)?;
+            let stream = self.peers.stream(destination)?;
             write_frame(stream, &msg)
         };
         if first.is_ok() {
             return Ok(());
         }
-        self.peer_conns[destination.index()] = None;
-        let stream = self.peer_stream(destination)?;
+        self.peers.drop_conn(destination);
+        let stream = self.peers.stream(destination)?;
         write_frame(stream, &msg).map_err(TransportError::from)
     }
 
     fn send_status(&mut self, report: StatusReport) -> Result<(), TransportError> {
-        write_frame(&mut self.coordinator, &WireMessage::Status(report))
-            .map_err(TransportError::from)
+        self.write_to_coordinator(&WireMessage::Status(report))
     }
 
     fn send_final(&mut self, report: FinalReport) -> Result<(), TransportError> {
-        write_frame(&mut self.coordinator, &WireMessage::Final(Box::new(report)))
-            .map_err(TransportError::from)
+        self.write_to_coordinator(&WireMessage::Final(Box::new(report)))
     }
+
+    fn update_peers(&mut self, peers: &[PeerInfo]) {
+        self.peers.update(peers);
+        self.num_workers = self.num_workers.max(self.peers.len());
+    }
+
+    fn start_heartbeat(&mut self, interval: Duration) {
+        if let Some(stop) = self.hb_stop.take() {
+            stop.store(true, Ordering::Release);
+        }
+        if interval.is_zero() {
+            return;
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let coordinator = self.coordinator.clone();
+        let msg = WireMessage::Heartbeat {
+            worker: self.id,
+            epoch: self.worker_epoch,
+        };
+        let thread_stop = stop.clone();
+        let _ = std::thread::Builder::new()
+            .name(format!("c9-heartbeat-{}", self.id))
+            .spawn(move || loop {
+                std::thread::sleep(interval);
+                if thread_stop.load(Ordering::Acquire) {
+                    return;
+                }
+                // Send failures are ignored: either the coordinator is
+                // reconnecting (the stream will be replaced under the same
+                // mutex) or the endpoint is about to be dropped.
+                let mut stream = coordinator.lock().expect("coordinator lock");
+                let _ = write_frame(&mut *stream, &msg);
+            });
+        self.hb_stop = Some(stop);
+    }
+}
+
+/// Sends a graceful [`WireMessage::Leave`] for an endpoint, so the
+/// coordinator reclaims this worker's jobs immediately instead of waiting
+/// for the failure detector.
+pub fn send_leave(endpoint: &TcpWorkerEndpoint) -> Result<(), TransportError> {
+    endpoint.write_to_coordinator(&WireMessage::Leave {
+        worker: endpoint.id,
+        epoch: endpoint.worker_epoch,
+    })
 }
 
 /// Coordinator endpoint over TCP.
 pub struct TcpCoordinatorEndpoint {
-    writers: Vec<TcpStream>,
+    writers: Vec<Option<TcpStream>>,
+    inbox_tx: Sender<(WorkerId, WireMessage)>,
     inbox_rx: Receiver<(WorkerId, WireMessage)>,
     pending_status: VecDeque<StatusReport>,
     pending_finals: VecDeque<FinalReport>,
+    pending_events: VecDeque<MemberEvent>,
+    join_rx: Option<Receiver<JoinRequest>>,
+    pending_joins: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    listen_addr: Option<SocketAddr>,
+    _listen_guard: Option<ListenerGuard>,
 }
 
 impl TcpCoordinatorEndpoint {
+    /// An endpoint with no connections yet: combine with
+    /// [`TcpCoordinatorEndpoint::listen_on`] for a purely elastic cluster.
+    pub fn detached() -> TcpCoordinatorEndpoint {
+        let (inbox_tx, inbox_rx) = unbounded();
+        TcpCoordinatorEndpoint {
+            writers: Vec::new(),
+            inbox_tx,
+            inbox_rx,
+            pending_status: VecDeque::new(),
+            pending_finals: VecDeque::new(),
+            pending_events: VecDeque::new(),
+            join_rx: None,
+            pending_joins: Arc::new(Mutex::new(HashMap::new())),
+            listen_addr: None,
+            _listen_guard: None,
+        }
+    }
+
     /// Dials every worker in `addrs` (retrying each until `timeout`), sends
     /// the hello that assigns identities and the peer list, and starts the
     /// reader threads.
@@ -356,8 +617,7 @@ impl TcpCoordinatorEndpoint {
         timeout: Duration,
     ) -> Result<TcpCoordinatorEndpoint, TransportError> {
         let deadline = Instant::now() + timeout;
-        let (inbox_tx, inbox_rx) = unbounded();
-        let mut writers = Vec::with_capacity(addrs.len());
+        let mut endpoint = TcpCoordinatorEndpoint::detached();
         for (i, addr) in addrs.iter().enumerate() {
             let stream = dial_until(addr, deadline)?;
             stream.set_nodelay(true).ok();
@@ -371,33 +631,51 @@ impl TcpCoordinatorEndpoint {
                 },
             )
             .map_err(TransportError::from)?;
-            let inbox_tx = inbox_tx.clone();
+            let inbox_tx = endpoint.inbox_tx.clone();
             let worker = WorkerId(i as u32);
             std::thread::Builder::new()
                 .name(format!("c9-coord-reader-{worker}"))
                 .spawn(move || coordinator_conn_reader(stream, worker, &inbox_tx))
                 .map_err(TransportError::from)?;
-            writers.push(writer);
+            endpoint.writers.push(Some(writer));
         }
-        Ok(TcpCoordinatorEndpoint {
-            writers,
-            inbox_rx,
-            pending_status: VecDeque::new(),
-            pending_finals: VecDeque::new(),
-        })
+        Ok(endpoint)
     }
 
-    /// Sends the run spec produced by `spec_for` to every worker.
-    pub fn broadcast_start(
-        &mut self,
-        mut spec_for: impl FnMut(WorkerId) -> RunSpec,
-    ) -> Result<(), TransportError> {
-        for i in 0..self.writers.len() {
-            let spec = spec_for(WorkerId(i as u32));
-            write_frame(&mut self.writers[i], &WireMessage::Start(Box::new(spec)))
-                .map_err(TransportError::from)?;
-        }
-        Ok(())
+    /// Creates an endpoint with no initial workers that accepts elastic
+    /// joins on `addr`.
+    pub fn listen(addr: &str) -> io::Result<TcpCoordinatorEndpoint> {
+        let mut endpoint = TcpCoordinatorEndpoint::detached();
+        endpoint.listen_on(addr)?;
+        Ok(endpoint)
+    }
+
+    /// Starts accepting elastic joins on `addr` (usable together with a
+    /// dialed static worker set). Returns the bound address.
+    pub fn listen_on(&mut self, addr: &str) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let (join_tx, join_rx) = unbounded();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = shutdown.clone();
+        let pending = self.pending_joins.clone();
+        std::thread::Builder::new()
+            .name(format!("c9-coord-accept-{local_addr}"))
+            .spawn(move || {
+                coordinator_accept_loop(&listener, &join_tx, &pending, &accept_shutdown);
+            })?;
+        self.join_rx = Some(join_rx);
+        self.listen_addr = Some(local_addr);
+        self._listen_guard = Some(ListenerGuard {
+            addr: local_addr,
+            shutdown,
+        });
+        Ok(local_addr)
+    }
+
+    /// The join listener's address, when listening (useful with port 0).
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.listen_addr
     }
 
     fn pump_one(&mut self, timeout: Duration) -> bool {
@@ -413,6 +691,16 @@ impl TcpCoordinatorEndpoint {
             }
             Some((_, WireMessage::Final(report))) => {
                 self.pending_finals.push_back(*report);
+                true
+            }
+            Some((_, WireMessage::Heartbeat { worker, epoch })) => {
+                self.pending_events
+                    .push_back(MemberEvent::Heartbeat { worker, epoch });
+                true
+            }
+            Some((_, WireMessage::Leave { worker, epoch })) => {
+                self.pending_events
+                    .push_back(MemberEvent::Leave { worker, epoch });
                 true
             }
             Some(_) => true, // ignore stray frames
@@ -432,6 +720,53 @@ fn dial_until(addr: &str, deadline: Instant) -> Result<TcpStream, TransportError
                 std::thread::sleep(Duration::from_millis(50));
             }
         }
+    }
+}
+
+/// Accepts worker-initiated connections on the coordinator's join listener.
+/// Each connection's first frame must be a [`WireMessage::Join`]; the
+/// half-open connection is parked under a token until the coordinator loop
+/// decides on admission.
+fn coordinator_accept_loop(
+    listener: &TcpListener,
+    join_tx: &Sender<JoinRequest>,
+    pending: &Arc<Mutex<HashMap<u64, TcpStream>>>,
+    shutdown: &AtomicBool,
+) {
+    static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let join_tx = join_tx.clone();
+        let pending = pending.clone();
+        let _ = std::thread::Builder::new()
+            .name("c9-join-reader".into())
+            .spawn(move || {
+                // Bound the handshake so a silent connection cannot pin the
+                // thread forever.
+                stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+                let Ok(WireMessage::Join {
+                    listen_addr,
+                    previous,
+                }) = read_frame::<_, WireMessage>(&mut stream)
+                else {
+                    return;
+                };
+                stream.set_read_timeout(None).ok();
+                stream.set_nodelay(true).ok();
+                let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
+                pending
+                    .lock()
+                    .expect("pending joins lock")
+                    .insert(token, stream);
+                let _ = join_tx.send(JoinRequest {
+                    token,
+                    listen_addr,
+                    previous,
+                });
+            });
     }
 }
 
@@ -461,6 +796,7 @@ impl CoordinatorEndpoint for TcpCoordinatorEndpoint {
         let writer = self
             .writers
             .get_mut(destination.index())
+            .and_then(Option::as_mut)
             .ok_or(TransportError::Disconnected)?;
         write_frame(writer, &WireMessage::Control(msg)).map_err(TransportError::from)
     }
@@ -511,6 +847,68 @@ impl CoordinatorEndpoint for TcpCoordinatorEndpoint {
                 return None;
             }
         }
+    }
+
+    fn try_recv_event(&mut self) -> Option<MemberEvent> {
+        loop {
+            if let Some(event) = self.pending_events.pop_front() {
+                return Some(event);
+            }
+            if !self.pump_one(Duration::ZERO) {
+                return None;
+            }
+        }
+    }
+
+    fn try_recv_join(&mut self) -> Option<JoinRequest> {
+        self.join_rx.as_ref()?.try_recv().ok()
+    }
+
+    fn admit(
+        &mut self,
+        token: u64,
+        worker: WorkerId,
+        epoch: u64,
+        peers: Vec<PeerInfo>,
+    ) -> Result<(), TransportError> {
+        let Some(stream) = self
+            .pending_joins
+            .lock()
+            .expect("pending joins lock")
+            .remove(&token)
+        else {
+            return Err(TransportError::Disconnected);
+        };
+        let mut writer = stream.try_clone().map_err(TransportError::from)?;
+        write_frame(
+            &mut writer,
+            &WireMessage::JoinAck {
+                worker,
+                epoch,
+                peers,
+            },
+        )
+        .map_err(TransportError::from)?;
+        let idx = worker.index();
+        if idx >= self.writers.len() {
+            self.writers.resize_with(idx + 1, || None);
+        }
+        self.writers[idx] = Some(writer);
+        let inbox_tx = self.inbox_tx.clone();
+        std::thread::Builder::new()
+            .name(format!("c9-coord-reader-{worker}"))
+            .spawn(move || coordinator_conn_reader(stream, worker, &inbox_tx))
+            .map_err(TransportError::from)?;
+        Ok(())
+    }
+
+    fn send_start(&mut self, destination: WorkerId, spec: RunSpec) -> Result<(), TransportError> {
+        let writer = self
+            .writers
+            .get_mut(destination.index())
+            .and_then(Option::as_mut)
+            .ok_or(TransportError::Disconnected)?;
+        write_frame(writer, &WireMessage::Start(Box::new(spec))).map_err(TransportError::from)
     }
 }
 

@@ -9,7 +9,7 @@
 //! sockets spanning OS processes ([`TcpTransport`](crate::TcpTransport)) —
 //! the deployment of §3.3 of the paper.
 
-use crate::message::{Control, FinalReport, JobBatch, StatusReport};
+use crate::message::{Control, FinalReport, JobBatch, PeerInfo, RunSpec, StatusReport};
 use crate::WorkerId;
 use std::time::Duration;
 
@@ -40,6 +40,38 @@ impl From<std::io::Error> for TransportError {
     }
 }
 
+/// A membership event surfaced to the coordinator loop by the transport.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MemberEvent {
+    /// A worker's transport sent a liveness heartbeat.
+    Heartbeat {
+        /// The reporting worker.
+        worker: WorkerId,
+        /// The reporting worker's epoch.
+        epoch: u64,
+    },
+    /// A worker announced a graceful departure.
+    Leave {
+        /// The departing worker.
+        worker: WorkerId,
+        /// The departing worker's epoch.
+        epoch: u64,
+    },
+}
+
+/// A worker asking to join a running cluster. The transport holds the
+/// half-open connection under `token` until the coordinator decides and
+/// calls [`CoordinatorEndpoint::admit`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinRequest {
+    /// Opaque handle to the pending connection, consumed by `admit`.
+    pub token: u64,
+    /// The listen address peers should dial for job transfers.
+    pub listen_addr: String,
+    /// The previous incarnation to fence off, for re-joins.
+    pub previous: Option<(WorkerId, u64)>,
+}
+
 /// A worker's view of the cluster: receive control and job batches, send
 /// status, final results, and job batches to peers.
 pub trait WorkerEndpoint: Send {
@@ -60,10 +92,26 @@ pub trait WorkerEndpoint: Send {
 
     /// Reports final results to the coordinator at shutdown.
     fn send_final(&mut self, report: FinalReport) -> Result<(), TransportError>;
+
+    /// Applies a membership update: refreshes peer addresses and epochs,
+    /// dropping any cached connection to a peer whose address or epoch
+    /// changed (its old socket is dead or belongs to a fenced incarnation).
+    /// Transports whose peer set cannot change ignore this.
+    fn update_peers(&mut self, peers: &[PeerInfo]) {
+        let _ = peers;
+    }
+
+    /// Starts (or restarts) the transport-level heartbeat to the
+    /// coordinator for the current run. A no-op on transports whose workers
+    /// cannot die independently of the coordinator.
+    fn start_heartbeat(&mut self, interval: Duration) {
+        let _ = interval;
+    }
 }
 
 /// The coordinator's view of the cluster: send control to any worker,
-/// receive status and final reports.
+/// receive status and final reports, and (on elastic transports) admit
+/// joining workers and observe liveness events.
 pub trait CoordinatorEndpoint {
     /// Number of workers this endpoint is connected to.
     fn num_workers(&self) -> usize;
@@ -77,6 +125,43 @@ pub trait CoordinatorEndpoint {
 
     /// Receives one final report, waiting up to `timeout`.
     fn recv_final(&mut self, timeout: Duration) -> Option<FinalReport>;
+
+    /// Receives one pending membership event (heartbeat or leave), without
+    /// blocking. Transports without elastic membership never produce any.
+    fn try_recv_event(&mut self) -> Option<MemberEvent> {
+        None
+    }
+
+    /// Receives one pending join request, without blocking. Transports
+    /// without elastic membership never produce any.
+    fn try_recv_join(&mut self) -> Option<JoinRequest> {
+        None
+    }
+
+    /// Completes a join: sends the acknowledgement carrying the assigned
+    /// identity, epoch, and peer table, and wires the connection into the
+    /// coordinator's receive path.
+    fn admit(
+        &mut self,
+        token: u64,
+        worker: WorkerId,
+        epoch: u64,
+        peers: Vec<PeerInfo>,
+    ) -> Result<(), TransportError> {
+        let _ = (token, worker, epoch, peers);
+        Err(TransportError::Io(
+            "transport does not support elastic membership".into(),
+        ))
+    }
+
+    /// Ships a run spec to one worker (remote transports only; transports
+    /// that host their workers locally start them out of band).
+    fn send_start(&mut self, destination: WorkerId, spec: RunSpec) -> Result<(), TransportError> {
+        let _ = (destination, spec);
+        Err(TransportError::Io(
+            "transport does not support remote run start".into(),
+        ))
+    }
 }
 
 /// The two halves of an established cluster fabric.

@@ -62,10 +62,16 @@ proptest! {
     /// Jobs survive the full wire path: trie aggregation, tree encoding,
     /// JobBatch message, bincode, length-prefixed frame, and back.
     #[test]
-    fn jobs_roundtrip_through_frame_encoder(jobs in arb_jobs(), source in 0u32..64) {
+    fn jobs_roundtrip_through_frame_encoder(
+        jobs in arb_jobs(),
+        source in 0u32..64,
+        seq in 0u64..1_000_000,
+    ) {
         let batch = JobBatch {
             source: WorkerId(source),
             epoch: u64::from(source) * 31,
+            source_epoch: u64::from(source) + 1,
+            seq,
             encoded: JobTree::from_jobs(&jobs).encode(),
         };
         let frame = encode_frame(&WireMessage::Jobs(batch.clone())).expect("encode frame");
@@ -93,6 +99,13 @@ proptest! {
         for msg in [
             Control::Balance { destination: WorkerId(dst), count },
             Control::GlobalCoverage(coverage),
+            Control::Inject { seq: count, encoded: vec![0, 0] },
+            Control::Membership(vec![c9_net::PeerInfo {
+                worker: WorkerId(dst),
+                addr: "127.0.0.1:9101".into(),
+                epoch: count,
+                alive: count % 2 == 0,
+            }]),
             Control::Stop,
         ] {
             let frame = encode_frame(&WireMessage::Control(msg.clone())).expect("encode");
@@ -115,6 +128,7 @@ proptest! {
     ) {
         let report = StatusReport {
             worker: WorkerId(worker),
+            epoch: u64::from(worker) + 7,
             queue_length,
             coverage: CoverageSet::new(100),
             stats: WorkerStats {
@@ -123,6 +137,22 @@ proptest! {
                 ..WorkerStats::default()
             },
             idle,
+            frontier: idle.then(|| JobTree::from_jobs(&[]).encode()),
+            new_bugs: Vec::new(),
+            transfers: vec![
+                c9_net::TransferEvent::Exported {
+                    destination: WorkerId(worker + 1),
+                    seq: paths,
+                    encoded: JobTree::from_jobs(&[]).encode(),
+                },
+                c9_net::TransferEvent::Sent { destination: WorkerId(worker + 1), seq: paths },
+                c9_net::TransferEvent::Requeued { destination: WorkerId(worker + 1), seq: paths },
+                c9_net::TransferEvent::Imported {
+                    source: c9_net::COORDINATOR,
+                    seq: useful,
+                    encoded: JobTree::from_jobs(&[]).encode(),
+                },
+            ],
         };
         let mut buf = Vec::new();
         write_frame(&mut buf, &WireMessage::Status(report.clone())).expect("write");
@@ -132,13 +162,77 @@ proptest! {
             panic!("wrong message variant");
         };
         prop_assert_eq!(decoded_report.worker, report.worker);
+        prop_assert_eq!(decoded_report.epoch, report.epoch);
         prop_assert_eq!(decoded_report.queue_length, report.queue_length);
         prop_assert_eq!(decoded_report.idle, report.idle);
+        prop_assert_eq!(decoded_report.frontier, report.frontier);
+        prop_assert_eq!(decoded_report.transfers, report.transfers);
         prop_assert_eq!(
             decoded_report.stats.useful_instructions,
             report.stats.useful_instructions
         );
         prop_assert_eq!(decoded_report.stats.paths_completed, report.stats.paths_completed);
+    }
+
+    /// The membership handshake frames round-trip through the frame encoder.
+    #[test]
+    fn membership_frames_roundtrip_through_frame_encoder(
+        worker in 0u32..64,
+        epoch in 0u64..1_000_000,
+        rejoin: bool,
+    ) {
+        let frames = [
+            WireMessage::Join {
+                listen_addr: "127.0.0.1:9101".into(),
+                previous: rejoin.then_some((WorkerId(worker), epoch)),
+            },
+            WireMessage::JoinAck {
+                worker: WorkerId(worker),
+                epoch,
+                peers: vec![c9_net::PeerInfo {
+                    worker: WorkerId(worker),
+                    addr: "127.0.0.1:9101".into(),
+                    epoch,
+                    alive: true,
+                }],
+            },
+            WireMessage::Heartbeat { worker: WorkerId(worker), epoch },
+            WireMessage::Leave { worker: WorkerId(worker), epoch },
+        ];
+        for msg in frames {
+            let frame = encode_frame(&msg).expect("encode");
+            let (decoded, used): (WireMessage, usize) = decode_frame(&frame).expect("decode");
+            prop_assert_eq!(used, frame.len());
+            match (msg, decoded) {
+                (
+                    WireMessage::Join { listen_addr: a, previous: p },
+                    WireMessage::Join { listen_addr: b, previous: q },
+                ) => {
+                    prop_assert_eq!(a, b);
+                    prop_assert_eq!(p, q);
+                }
+                (
+                    WireMessage::JoinAck { worker: w1, epoch: e1, peers: p1 },
+                    WireMessage::JoinAck { worker: w2, epoch: e2, peers: p2 },
+                ) => {
+                    prop_assert_eq!(w1, w2);
+                    prop_assert_eq!(e1, e2);
+                    prop_assert_eq!(p1, p2);
+                }
+                (
+                    WireMessage::Heartbeat { worker: w1, epoch: e1 },
+                    WireMessage::Heartbeat { worker: w2, epoch: e2 },
+                )
+                | (
+                    WireMessage::Leave { worker: w1, epoch: e1 },
+                    WireMessage::Leave { worker: w2, epoch: e2 },
+                ) => {
+                    prop_assert_eq!(w1, w2);
+                    prop_assert_eq!(e1, e2);
+                }
+                _ => panic!("variant changed across the wire"),
+            }
+        }
     }
 
     /// Corrupting any single byte of an encoded job tree never panics the

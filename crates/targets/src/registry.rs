@@ -35,6 +35,7 @@ pub fn workload_names() -> Vec<&'static str> {
     vec![
         "memcached",
         "memcached-2x5",
+        "memcached-3x5",
         "printf",
         "test",
         "lighttpd-pre",
@@ -64,6 +65,16 @@ pub fn named_workload(name: &str) -> Option<NamedWorkload> {
             "memcached binary protocol, 2 symbolic packets of 5 bytes (the Fig. 7 shape)",
             memcached::program(&memcached::MemcachedConfig {
                 packets: 2,
+                packet_size: 5,
+                ..memcached::MemcachedConfig::default()
+            }),
+            WorkloadEnv::Posix,
+        ),
+        "memcached-3x5" => (
+            "memcached-3x5",
+            "memcached binary protocol, 3 symbolic packets of 5 bytes (chaos/elastic test shape)",
+            memcached::program(&memcached::MemcachedConfig {
+                packets: 3,
                 packet_size: 5,
                 ..memcached::MemcachedConfig::default()
             }),

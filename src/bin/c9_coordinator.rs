@@ -1,44 +1,87 @@
 //! `c9-coordinator`: drives a multi-process Cloud9 cluster.
 //!
-//! Discovers workers from a `--workers host:port,...` list, ships every one
-//! a run spec for the selected target program, runs the load-balancing loop
-//! of §3.3 (queue-length classification, job transfer requests, global
-//! coverage), and aggregates the final per-worker reports into the same
-//! `ClusterRunResult` an in-process run produces.
+//! Workers are discovered two ways, combinable in one run: a static
+//! `--workers host:port,...` list the coordinator dials, and/or a `--listen`
+//! socket where workers attach themselves with a `Join` handshake (elastic
+//! membership). The coordinator ships every member a run spec for the
+//! selected target program, runs the load-balancing loop of §3.3
+//! (queue-length classification, job transfer requests, global coverage),
+//! detects dead workers by missed heartbeats and re-injects their pending
+//! jobs into the survivors, periodically checkpoints the global frontier so
+//! `--resume` can continue an interrupted run, and aggregates the final
+//! per-worker reports into the same `ClusterRunResult` an in-process run
+//! produces.
 //!
 //! ```text
+//! # static membership
 //! c9-worker --listen 127.0.0.1:9101 &
 //! c9-worker --listen 127.0.0.1:9102 &
 //! c9-coordinator --workers 127.0.0.1:9101,127.0.0.1:9102 --target memcached
+//!
+//! # elastic membership
+//! c9-coordinator --listen 127.0.0.1:9100 --min-workers 2 --target memcached &
+//! c9-worker --join 127.0.0.1:9100 &
+//! c9-worker --join 127.0.0.1:9100 &
 //! ```
 
-use c9_core::{Cluster, ClusterConfig, EnvSpec, TcpTransport, Transport};
+use c9_core::{Checkpoint, Cluster, ClusterConfig, CoordinatorRunOpts, EnvSpec};
+use c9_net::TcpCoordinatorEndpoint;
 use c9_posix::PosixEnvironment;
 use c9_targets::{named_workload, workload_names, WorkloadEnv};
 use c9_vm::{Environment, NullEnvironment};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
 struct Args {
     workers: Vec<String>,
+    listen: Option<String>,
+    min_workers: Option<usize>,
+    join_wait: Duration,
     target: String,
     time_limit: Option<Duration>,
     max_paths: Option<u64>,
     generate_tests: bool,
     connect_timeout: Duration,
+    heartbeat_timeout: Option<Duration>,
+    heartbeat_interval: Duration,
+    snapshot_every: u32,
+    checkpoint: Option<PathBuf>,
+    checkpoint_interval: Duration,
+    resume: Option<PathBuf>,
+    quantum: Option<u64>,
+    status_interval: Option<Duration>,
+    balance_interval: Option<Duration>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: c9-coordinator --workers HOST:PORT,... --target NAME [options]\n\
+        "usage: c9-coordinator [--workers HOST:PORT,...] [--listen HOST:PORT] --target NAME [options]\n\
          \n\
-         options:\n\
-         \x20 --workers LIST       comma-separated worker addresses (required)\n\
-         \x20 --target NAME        program under test (required)\n\
-         \x20 --time-limit SECS    stop after this much wall-clock time\n\
-         \x20 --max-paths N        stop after N completed paths\n\
-         \x20 --generate-tests     solve a concrete test case per path\n\
-         \x20 --connect-timeout S  seconds to keep retrying worker dials (default 15)\n\
+         membership:\n\
+         \x20 --workers LIST         comma-separated worker addresses to dial\n\
+         \x20 --listen HOST:PORT     accept elastic worker joins on this address\n\
+         \x20 --min-workers N        wait for N members before starting (default: dialed count, or 1)\n\
+         \x20 --join-wait SECS       how long to wait for --min-workers (default 60)\n\
+         \x20 --connect-timeout S    seconds to keep retrying worker dials (default 15)\n\
+         \n\
+         fault tolerance:\n\
+         \x20 --heartbeat-timeout S  declare a worker dead after S seconds of silence\n\
+         \x20                        and re-inject its jobs (default: detector off)\n\
+         \x20 --heartbeat-interval-ms MS  worker liveness heartbeat cadence (default 25)\n\
+         \x20 --snapshot-every K     frontier snapshot on every K-th status report (default 1)\n\
+         \x20 --checkpoint FILE      write the global frontier + stats here periodically\n\
+         \x20 --checkpoint-interval S  periodic checkpoint cadence (default 1)\n\
+         \x20 --resume FILE          continue the run recorded in FILE\n\
+         \n\
+         run:\n\
+         \x20 --target NAME          program under test (required)\n\
+         \x20 --time-limit SECS      stop after this much wall-clock time\n\
+         \x20 --max-paths N          stop after N completed paths\n\
+         \x20 --generate-tests       solve a concrete test case per path\n\
+         \x20 --quantum N            instructions per worker quantum\n\
+         \x20 --status-interval-ms MS   worker status cadence\n\
+         \x20 --balance-interval-ms MS  balancing cadence\n\
          \n\
          targets: {}",
         workload_names().join(", ")
@@ -49,13 +92,35 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         workers: Vec::new(),
+        listen: None,
+        min_workers: None,
+        join_wait: Duration::from_secs(60),
         target: String::new(),
         time_limit: None,
         max_paths: None,
         generate_tests: false,
         connect_timeout: Duration::from_secs(15),
+        heartbeat_timeout: None,
+        heartbeat_interval: Duration::from_millis(25),
+        snapshot_every: 1,
+        checkpoint: None,
+        checkpoint_interval: Duration::from_secs(1),
+        resume: None,
+        quantum: None,
+        status_interval: None,
+        balance_interval: None,
     };
     let mut it = std::env::args().skip(1);
+    fn next_f64(it: &mut impl Iterator<Item = String>) -> f64 {
+        it.next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage())
+    }
+    fn next_u64(it: &mut impl Iterator<Item = String>) -> u64 {
+        it.next()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| usage())
+    }
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--workers" => {
@@ -66,28 +131,38 @@ fn parse_args() -> Args {
                     .filter(|s| !s.is_empty())
                     .collect();
             }
+            "--listen" => args.listen = Some(it.next().unwrap_or_else(|| usage())),
+            "--min-workers" => args.min_workers = Some(next_u64(&mut it) as usize),
+            "--join-wait" => args.join_wait = Duration::from_secs_f64(next_f64(&mut it)),
             "--target" => args.target = it.next().unwrap_or_else(|| usage()),
-            "--time-limit" => {
-                let secs: f64 = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage());
-                args.time_limit = Some(Duration::from_secs_f64(secs));
-            }
-            "--max-paths" => {
-                args.max_paths = Some(
-                    it.next()
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| usage()),
-                );
-            }
+            "--time-limit" => args.time_limit = Some(Duration::from_secs_f64(next_f64(&mut it))),
+            "--max-paths" => args.max_paths = Some(next_u64(&mut it)),
             "--generate-tests" => args.generate_tests = true,
             "--connect-timeout" => {
-                let secs: u64 = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage());
-                args.connect_timeout = Duration::from_secs(secs);
+                args.connect_timeout = Duration::from_secs(next_u64(&mut it));
+            }
+            "--heartbeat-timeout" => {
+                args.heartbeat_timeout = Some(Duration::from_secs_f64(next_f64(&mut it)));
+            }
+            "--heartbeat-interval-ms" => {
+                args.heartbeat_interval = Duration::from_millis(next_u64(&mut it));
+            }
+            "--snapshot-every" => args.snapshot_every = next_u64(&mut it) as u32,
+            "--checkpoint" => {
+                args.checkpoint = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
+            "--checkpoint-interval" => {
+                args.checkpoint_interval = Duration::from_secs_f64(next_f64(&mut it));
+            }
+            "--resume" => {
+                args.resume = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
+            "--quantum" => args.quantum = Some(next_u64(&mut it)),
+            "--status-interval-ms" => {
+                args.status_interval = Some(Duration::from_millis(next_u64(&mut it)));
+            }
+            "--balance-interval-ms" => {
+                args.balance_interval = Some(Duration::from_millis(next_u64(&mut it)));
             }
             "--help" | "-h" => usage(),
             other => {
@@ -96,7 +171,7 @@ fn parse_args() -> Args {
             }
         }
     }
-    if args.workers.is_empty() || args.target.is_empty() {
+    if (args.workers.is_empty() && args.listen.is_none()) || args.target.is_empty() {
         usage();
     }
     args
@@ -113,49 +188,111 @@ fn main() {
         std::process::exit(2);
     };
 
-    let n = args.workers.len();
+    let resume = args
+        .resume
+        .as_ref()
+        .map(|path| match Checkpoint::load(path) {
+            Ok(checkpoint) => {
+                if checkpoint.target != args.target {
+                    eprintln!(
+                        "c9-coordinator: checkpoint is for target {:?}, not {:?}",
+                        checkpoint.target, args.target
+                    );
+                    std::process::exit(2);
+                }
+                checkpoint
+            }
+            Err(e) => {
+                eprintln!(
+                    "c9-coordinator: cannot load checkpoint {}: {e}",
+                    path.display()
+                );
+                std::process::exit(1);
+            }
+        });
+
     let mut config = ClusterConfig {
-        num_workers: n,
+        num_workers: args.workers.len().max(1),
         time_limit: args.time_limit,
         max_total_paths: args.max_paths,
+        failure_timeout: args.heartbeat_timeout,
+        heartbeat_interval: args.heartbeat_interval,
+        snapshot_every: args.snapshot_every,
+        checkpoint_path: args.checkpoint.clone(),
+        checkpoint_interval: args.checkpoint_interval,
+        resume,
+        verbose_membership: true,
         ..ClusterConfig::default()
     };
     config.worker.generate_test_cases = args.generate_tests;
+    if let Some(quantum) = args.quantum {
+        config.quantum = quantum;
+    }
+    if let Some(interval) = args.status_interval {
+        config.status_interval = interval;
+    }
+    if let Some(interval) = args.balance_interval {
+        config.balance_interval = interval;
+    }
 
     let (env_spec, env): (EnvSpec, Arc<dyn Environment>) = match workload.env {
         WorkloadEnv::Null => (EnvSpec::Null, Arc::new(NullEnvironment)),
         WorkloadEnv::Posix => (EnvSpec::Posix, Arc::new(PosixEnvironment::new())),
     };
 
-    eprintln!(
-        "c9-coordinator: connecting to {n} workers: {}",
-        args.workers.join(", ")
-    );
-    let endpoints =
-        match TcpTransport::connect(args.workers.clone(), args.connect_timeout).establish(n) {
-            Ok(endpoints) => endpoints,
+    let mut coordinator = if args.workers.is_empty() {
+        TcpCoordinatorEndpoint::detached()
+    } else {
+        eprintln!(
+            "c9-coordinator: connecting to {} workers: {}",
+            args.workers.len(),
+            args.workers.join(", ")
+        );
+        match TcpCoordinatorEndpoint::connect(&args.workers, args.connect_timeout) {
+            Ok(endpoint) => endpoint,
             Err(e) => {
                 eprintln!("c9-coordinator: {e}");
                 std::process::exit(1);
             }
-        };
-    let mut coordinator = endpoints.coordinator;
+        }
+    };
+    if let Some(listen) = &args.listen {
+        match coordinator.listen_on(listen) {
+            Ok(addr) => {
+                // Scripts (and the elastic tests) parse this line to learn
+                // the bound port when `--listen` used port 0.
+                println!("c9-coordinator listening on {addr}");
+                use std::io::Write;
+                std::io::stdout().flush().ok();
+            }
+            Err(e) => {
+                eprintln!("c9-coordinator: cannot listen on {listen}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     let program = Arc::new(workload.program);
     let cluster = Cluster::new(program.clone(), env, config.clone());
     // A wall-clock epoch fences this run's frames off from stale messages
     // of earlier runs the worker daemons may have served.
-    let epoch = std::time::SystemTime::now()
+    let run_epoch = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_nanos() as u64)
         .unwrap_or(1);
-    if let Err(e) = coordinator.broadcast_start(|w| config.run_spec(&program, env_spec, w, epoch)) {
-        eprintln!("c9-coordinator: failed to start workers: {e}");
-        std::process::exit(1);
-    }
+    let opts = CoordinatorRunOpts {
+        env: env_spec,
+        run_epoch,
+        initial_workers: args.workers.clone(),
+        min_workers: args
+            .min_workers
+            .unwrap_or_else(|| args.workers.len().max(1)),
+        join_wait: args.join_wait,
+        target: args.target.clone(),
+    };
     eprintln!("c9-coordinator: run started ({})", workload.description);
 
-    let result = cluster.run_coordinator(&mut coordinator);
+    let result = cluster.run_coordinator(&mut coordinator, opts);
     let s = &result.summary;
     println!("target:            {}", args.target);
     println!("workers:           {}", s.num_workers);
@@ -166,6 +303,9 @@ fn main() {
     println!("coverage:          {:.1}%", 100.0 * s.coverage_ratio());
     println!("bugs found:        {}", s.bugs_found);
     println!("jobs transferred:  {}", s.jobs_transferred());
+    println!("workers failed:    {}", s.workers_failed);
+    println!("workers joined:    {}", s.workers_joined);
+    println!("jobs reclaimed:    {}", s.jobs_reclaimed);
     println!(
         "useful/replay:     {} / {}",
         s.useful_instructions(),
@@ -181,11 +321,15 @@ fn main() {
             w.replay_instructions,
         );
     }
-    if result.summary.worker_stats.len() < n {
-        eprintln!(
-            "c9-coordinator: warning: only {} of {n} final reports arrived",
-            result.summary.worker_stats.len()
-        );
+    // A run that lost workers is still successful when recovery kept the
+    // exploration complete. Failure means the loop gave up early: no goal
+    // reached and the time limit (if any) not responsible for the stop.
+    let stopped_by_time_limit = args
+        .time_limit
+        .map(|limit| s.elapsed >= limit)
+        .unwrap_or(false);
+    if !s.goal_reached && !stopped_by_time_limit {
+        eprintln!("c9-coordinator: run ended without reaching its goal (cluster lost?)");
         std::process::exit(1);
     }
 }

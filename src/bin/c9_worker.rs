@@ -1,17 +1,27 @@
 //! `c9-worker`: one Cloud9 worker per OS process.
 //!
 //! Hosts a single symbolic-execution worker behind a TCP listener, exactly
-//! as in the paper's deployment (§3.3): the worker waits for a coordinator
-//! to connect and ship a run spec (program, environment, strategy), then
-//! explores, exchanges job batches directly with its peer workers, and
-//! reports status and final results back to the coordinator. The daemon
-//! keeps serving runs until killed (pass `--once` to exit after one run).
+//! as in the paper's deployment (§3.3). Two ways to meet the coordinator:
+//!
+//! * `--listen HOST:PORT` (static): wait for a coordinator to dial in and
+//!   ship a run spec;
+//! * `--join HOST:PORT` (elastic): dial a listening coordinator and attach
+//!   to its — possibly already running — cluster. If the connection is
+//!   lost, the daemon re-joins with its previous identity so the
+//!   coordinator can fence off the stale incarnation; when a run finishes
+//!   and `--once` was given, it sends a graceful `Leave` before exiting.
+//!
+//! Either way the worker then explores, exchanges job batches directly with
+//! its peer workers, and reports status (with frontier snapshots for the
+//! coordinator's crash-recovery ledger) and final results back to the
+//! coordinator. The daemon keeps serving runs until killed.
 //!
 //! ```text
 //! c9-worker --listen 127.0.0.1:9101
+//! c9-worker --join 127.0.0.1:9100
 //! ```
 
-use c9_net::{EnvSpec, TcpWorkerHost, WorkerEndpoint};
+use c9_net::{send_leave, EnvSpec, TcpWorkerHost, WorkerEndpoint, WorkerId};
 use c9_posix::PosixEnvironment;
 use c9_vm::{Environment, NullEnvironment};
 use std::io::Write;
@@ -20,16 +30,18 @@ use std::time::Duration;
 
 struct Args {
     listen: String,
+    join: Option<String>,
     once: bool,
     quiet: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: c9-worker [--listen HOST:PORT] [--once] [--quiet]\n\
+        "usage: c9-worker [--listen HOST:PORT] [--join HOST:PORT] [--once] [--quiet]\n\
          \n\
          options:\n\
          \x20 --listen HOST:PORT  address to listen on (default 127.0.0.1:0)\n\
+         \x20 --join HOST:PORT    attach to a listening coordinator (elastic membership)\n\
          \x20 --once              exit after serving one run instead of looping\n\
          \x20 --quiet             suppress per-run log lines"
     );
@@ -39,6 +51,7 @@ fn usage() -> ! {
 fn parse_args() -> Args {
     let mut args = Args {
         listen: String::from("127.0.0.1:0"),
+        join: None,
         once: false,
         quiet: false,
     };
@@ -46,6 +59,7 @@ fn parse_args() -> Args {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--listen" => args.listen = it.next().unwrap_or_else(|| usage()),
+            "--join" => args.join = Some(it.next().unwrap_or_else(|| usage())),
             "--once" => args.once = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => usage(),
@@ -58,8 +72,90 @@ fn parse_args() -> Args {
     args
 }
 
+fn environment_for(spec: EnvSpec) -> Arc<dyn Environment> {
+    match spec {
+        EnvSpec::Null => Arc::new(NullEnvironment),
+        EnvSpec::Posix => Arc::new(PosixEnvironment::new()),
+    }
+}
+
+/// The elastic mode: join (and re-join) a listening coordinator.
+fn run_elastic(args: &Args, coordinator: &str) -> ! {
+    let mut previous: Option<(WorkerId, u64)> = None;
+    loop {
+        let host = match TcpWorkerHost::bind(&args.listen) {
+            Ok(host) => host,
+            Err(e) => {
+                eprintln!("c9-worker: cannot listen on {}: {e}", args.listen);
+                std::process::exit(1);
+            }
+        };
+        if !args.quiet {
+            eprintln!("c9-worker: joining coordinator at {coordinator}");
+        }
+        let mut endpoint =
+            match host.join_coordinator(coordinator, previous, Duration::from_secs(30)) {
+                Ok(endpoint) => endpoint,
+                Err(e) => {
+                    eprintln!("c9-worker: join failed: {e}; retrying");
+                    std::thread::sleep(Duration::from_millis(500));
+                    continue;
+                }
+            };
+        previous = Some((endpoint.id(), endpoint.worker_epoch()));
+        if !args.quiet {
+            eprintln!(
+                "c9-worker[{}]: joined (epoch {})",
+                endpoint.id(),
+                endpoint.worker_epoch()
+            );
+        }
+        loop {
+            // Wait in short slices, probing the coordinator connection in
+            // between: an idle daemon must notice a dead coordinator and
+            // re-join promptly, not block on a silent socket.
+            let spec = loop {
+                if let Some(spec) = endpoint.wait_start(Duration::from_secs(2)) {
+                    break Some(spec);
+                }
+                if !endpoint.probe_coordinator() {
+                    break None;
+                }
+            };
+            let Some(spec) = spec else {
+                eprintln!("c9-worker: connection lost while waiting for a run; re-joining");
+                break;
+            };
+            let env = environment_for(spec.env);
+            if !args.quiet {
+                eprintln!(
+                    "c9-worker[{}]: starting run (strategy {:?})",
+                    endpoint.id(),
+                    spec.strategy,
+                );
+            }
+            c9_core::run_worker_from_spec(&mut endpoint, spec, env);
+            if !args.quiet {
+                eprintln!("c9-worker[{}]: run complete", endpoint.id());
+            }
+            if args.once {
+                let _ = send_leave(&endpoint);
+                std::process::exit(0);
+            }
+        }
+        // The endpoint (and its listener) is dropped here; the next
+        // iteration binds a fresh listener and re-joins as a new
+        // incarnation, naming the previous one so it gets fenced off.
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if let Some(coordinator) = args.join.clone() {
+        run_elastic(&args, &coordinator);
+    }
+
     let host = match TcpWorkerHost::bind(&args.listen) {
         Ok(host) => host,
         Err(e) => {
@@ -84,10 +180,7 @@ fn main() {
             eprintln!("c9-worker: connection lost while waiting for a run");
             std::process::exit(1);
         };
-        let env: Arc<dyn Environment> = match spec.env {
-            EnvSpec::Null => Arc::new(NullEnvironment),
-            EnvSpec::Posix => Arc::new(PosixEnvironment::new()),
-        };
+        let env = environment_for(spec.env);
         if !args.quiet {
             eprintln!(
                 "c9-worker[{}]: starting run ({} cluster members, strategy {:?})",
