@@ -94,17 +94,19 @@ impl LoadBalancer {
 
     /// Records a status update from a worker: its queue length and local
     /// coverage. Returns the updated global coverage (which the worker ORs
-    /// into its own, §3.3).
+    /// into its own, §3.3) together with the number of lines this report
+    /// newly added to it — the per-report *yield* the strategy portfolio
+    /// credits to the strategy that produced the report.
     pub fn report(
         &mut self,
         worker: WorkerId,
         queue_length: u64,
         coverage: &CoverageSet,
-    ) -> CoverageSet {
+    ) -> (CoverageSet, u64) {
         self.ensure_worker(worker);
         self.queue_lengths[worker.0 as usize] = queue_length;
-        self.global_coverage.merge(coverage);
-        self.global_coverage.clone()
+        let newly_covered = self.global_coverage.merge(coverage) as u64;
+        (self.global_coverage.clone(), newly_covered)
     }
 
     /// Updates only the queue length of a worker.
@@ -275,13 +277,18 @@ mod tests {
         let mut b = LoadBalancer::new(2, 64, BalancerConfig::default());
         let mut c0 = CoverageSet::new(64);
         c0.cover(c9_ir::LineId(1));
-        let global = b.report(WorkerId(0), 5, &c0);
+        let (global, new0) = b.report(WorkerId(0), 5, &c0);
         assert!(global.is_covered(c9_ir::LineId(1)));
+        assert_eq!(new0, 1);
         let mut c1 = CoverageSet::new(64);
         c1.cover(c9_ir::LineId(2));
-        let global = b.report(WorkerId(1), 5, &c1);
+        let (global, new1) = b.report(WorkerId(1), 5, &c1);
         assert!(global.is_covered(c9_ir::LineId(1)));
         assert!(global.is_covered(c9_ir::LineId(2)));
+        assert_eq!(new1, 1);
+        // A repeated report yields nothing new.
+        let (_, new2) = b.report(WorkerId(1), 5, &c1);
+        assert_eq!(new2, 0);
     }
 
     #[test]

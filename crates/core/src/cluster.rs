@@ -22,6 +22,7 @@
 
 use crate::balancer::{BalancerConfig, LoadBalancer, TransferRequest};
 use crate::membership::{Checkpoint, Membership};
+use crate::portfolio::{derive_seed, Portfolio, PortfolioConfig};
 use crate::stats::{ClusterSummary, IntervalSample};
 use crate::worker::{Worker, WorkerConfig};
 use c9_ir::Program;
@@ -29,7 +30,7 @@ use c9_net::{
     Control, CoordinatorEndpoint, EnvSpec, InProcTransport, Job, JobBatch, JobTree, MemberEvent,
     RunSpec, StatusReport, TransferEvent, Transport, WorkerEndpoint, WorkerId, COORDINATOR,
 };
-use c9_vm::{CoverageSet, Environment, TestCase};
+use c9_vm::{CoverageSet, Environment, StrategyKind, TestCase};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -85,6 +86,11 @@ pub struct ClusterConfig {
     pub resume: Option<Checkpoint>,
     /// Log membership transitions (joins, deaths, reclaims) to stderr.
     pub verbose_membership: bool,
+    /// The strategy portfolio: when set, each worker is assigned a strategy
+    /// from the mix (spread evenly, re-spread on churn) instead of everyone
+    /// running [`WorkerConfig::strategy`]; with `adapt` on, per-strategy
+    /// coverage yield rebalances the assignment every balancing round.
+    pub portfolio: Option<PortfolioConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -109,6 +115,7 @@ impl Default for ClusterConfig {
             checkpoint_interval: Duration::from_secs(1),
             resume: None,
             verbose_membership: false,
+            portfolio: None,
         }
     }
 }
@@ -118,7 +125,9 @@ impl ClusterConfig {
     /// run of `program` under this configuration. `run_epoch` must be
     /// unique among the runs the target worker daemons serve (a timestamp
     /// or counter); `worker_epoch` is the per-worker fencing epoch assigned
-    /// by the coordinator's membership at join time.
+    /// by the coordinator's membership at join time; `strategy` is the
+    /// portfolio's assignment for this worker. The searcher seed is derived
+    /// deterministically from the base seed, the worker id, and the epoch.
     pub fn run_spec(
         &self,
         program: &Program,
@@ -126,13 +135,14 @@ impl ClusterConfig {
         worker: WorkerId,
         run_epoch: u64,
         worker_epoch: u64,
+        strategy: StrategyKind,
     ) -> RunSpec {
         RunSpec {
             program: program.clone(),
             env,
             executor: self.worker.executor,
-            seed: self.worker.seed,
-            strategy: self.worker.strategy,
+            seed: derive_seed(self.worker.seed, worker, worker_epoch),
+            strategy,
             generate_test_cases: self.worker.generate_test_cases,
             export_deepest: self.worker.export_deepest,
             quantum: self.quantum,
@@ -232,6 +242,22 @@ impl Cluster {
         self.run_with_transport(InProcTransport)
     }
 
+    /// Builds this run's strategy portfolio: the configured mix, or the
+    /// uniform single-strategy portfolio when none was configured, with the
+    /// yield history of a resumed checkpoint restored.
+    fn make_portfolio(&self) -> Portfolio {
+        let config = self
+            .config
+            .portfolio
+            .clone()
+            .unwrap_or_else(|| PortfolioConfig::uniform(self.config.worker.strategy));
+        let mut portfolio = Portfolio::new(config);
+        if let Some(resume) = &self.config.resume {
+            portfolio.restore(&resume.portfolio);
+        }
+        portfolio
+    }
+
     /// Runs the cluster over any transport that hosts the worker endpoints
     /// locally (in-process channels, or loopback TCP where every byte
     /// crosses the kernel's network stack). One thread is spawned per
@@ -253,10 +279,13 @@ impl Cluster {
         );
 
         let mut membership = Membership::new(self.config.failure_timeout);
+        let mut portfolio = self.make_portfolio();
         let mut epochs = Vec::with_capacity(n);
         for _ in 0..n {
-            let (_, epoch) = membership.add_static(String::new(), start);
+            let (worker, epoch) = membership.add_static(String::new(), start);
             epochs.push(epoch);
+            let strategy = portfolio.assign(worker);
+            membership.set_strategy(worker, strategy);
         }
         if let Some(resume) = &self.config.resume {
             membership.seed_pool(resume.jobs());
@@ -274,13 +303,22 @@ impl Cluster {
                 let env = self.env.clone();
                 let config = self.config.clone();
                 let loop_opts = config.loop_opts(i == 0 && config.resume.is_none(), epochs[i]);
+                // Locally hosted workers get their portfolio assignment and
+                // derived seed through their config (remote daemons get the
+                // same through the run spec).
+                let mut worker_config = config.worker;
+                worker_config.strategy = portfolio
+                    .assignment(WorkerId(i as u32))
+                    .unwrap_or(config.worker.strategy);
+                worker_config.seed = derive_seed(config.worker.seed, WorkerId(i as u32), epochs[i]);
                 handles.push(scope.spawn(move || {
-                    run_worker_loop(&mut endpoint, program, env, config.worker, loop_opts);
+                    run_worker_loop(&mut endpoint, program, env, worker_config, loop_opts);
                 }));
             }
             let result = self.drive(
                 &mut coordinator,
                 &mut membership,
+                &mut portfolio,
                 start,
                 &opts,
                 LOCAL_FINAL_TIMEOUT,
@@ -304,15 +342,18 @@ impl Cluster {
     ) -> ClusterRunResult {
         let start = Instant::now();
         let mut membership = Membership::new(self.config.failure_timeout);
+        let mut portfolio = self.make_portfolio();
         for addr in &opts.initial_workers {
-            membership.add_static(addr.clone(), start);
+            let (worker, _) = membership.add_static(addr.clone(), start);
+            let strategy = portfolio.assign(worker);
+            membership.set_strategy(worker, strategy);
         }
 
         // Admit joiners until the requested quorum (statically dialed
         // workers already count towards it).
         let join_deadline = start + opts.join_wait;
         while membership.alive_count() < opts.min_workers.max(1) {
-            if self.admit_joins(endpoint, &mut membership, &opts, false) == 0 {
+            if self.admit_joins(endpoint, &mut membership, &mut portfolio, &opts, false) == 0 {
                 if Instant::now() >= join_deadline {
                     break;
                 }
@@ -320,20 +361,24 @@ impl Cluster {
             }
         }
 
-        // Ship every member its run spec.
+        // Ship every member its run spec, carrying its portfolio strategy.
         for member in membership.members().to_vec() {
             if !member.is_alive() {
                 continue;
             }
+            let strategy = portfolio.assign(member.worker);
+            membership.set_strategy(member.worker, strategy);
             let spec = self.config.run_spec(
                 &self.program,
                 opts.env,
                 member.worker,
                 opts.run_epoch,
                 member.epoch,
+                strategy,
             );
             if endpoint.send_start(member.worker, spec).is_err() {
                 membership.mark_dead(member.worker);
+                portfolio.remove(member.worker);
             }
         }
         // Re-announce the final pre-run membership after the starts: a
@@ -350,21 +395,23 @@ impl Cluster {
         self.drive(
             endpoint,
             &mut membership,
+            &mut portfolio,
             start,
             &opts,
             REMOTE_FINAL_TIMEOUT,
         )
     }
 
-    /// Polls for joining workers and admits them: assigns identity and
-    /// epoch, acknowledges, announces the new membership to everyone, and
-    /// (when the run is underway) ships the run spec so the joiner is
-    /// folded into the next balancing round. Returns how many were
-    /// admitted.
+    /// Polls for joining workers and admits them: assigns identity, epoch,
+    /// and a portfolio strategy, acknowledges, announces the new membership
+    /// to everyone, and (when the run is underway) ships the run spec so
+    /// the joiner is folded into the next balancing round. Returns how many
+    /// were admitted.
     fn admit_joins<C: CoordinatorEndpoint>(
         &self,
         endpoint: &mut C,
         membership: &mut Membership,
+        portfolio: &mut Portfolio,
         opts: &CoordinatorRunOpts,
         started: bool,
     ) -> usize {
@@ -373,25 +420,49 @@ impl Cluster {
             let now = Instant::now();
             let (worker, epoch) =
                 membership.join(request.listen_addr.clone(), request.previous, now);
+            // A fenced previous incarnation gives its strategy slot back
+            // before the new incarnation draws one, so a crash-rejoin cycle
+            // keeps the portfolio spread stable. (A `previous` naming a
+            // still-live member was not fenced and keeps its slot.)
+            if let Some((old, _)) = request.previous {
+                if membership.member(old).is_some_and(|m| !m.is_alive()) {
+                    portfolio.remove(old);
+                }
+            }
+            let strategy = portfolio.assign(worker);
+            membership.set_strategy(worker, strategy);
             if endpoint
-                .admit(request.token, worker, epoch, membership.peer_infos())
+                .admit(
+                    request.token,
+                    worker,
+                    epoch,
+                    membership.peer_infos(),
+                    strategy,
+                )
                 .is_err()
             {
                 membership.mark_dead(worker);
+                portfolio.remove(worker);
                 continue;
             }
             if started {
-                let spec =
-                    self.config
-                        .run_spec(&self.program, opts.env, worker, opts.run_epoch, epoch);
+                let spec = self.config.run_spec(
+                    &self.program,
+                    opts.env,
+                    worker,
+                    opts.run_epoch,
+                    epoch,
+                    strategy,
+                );
                 if endpoint.send_start(worker, spec).is_err() {
                     membership.mark_dead(worker);
+                    portfolio.remove(worker);
                     continue;
                 }
             }
             if self.config.verbose_membership {
                 eprintln!(
-                    "c9-coordinator: worker {worker} joined (epoch {epoch}, {})",
+                    "c9-coordinator: worker {worker} joined (epoch {epoch}, {}, strategy {strategy})",
                     request.listen_addr
                 );
             }
@@ -413,6 +484,7 @@ impl Cluster {
         &self,
         endpoint: &mut C,
         membership: &mut Membership,
+        portfolio: &mut Portfolio,
         start: Instant,
         opts: &CoordinatorRunOpts,
         final_timeout: Duration,
@@ -423,7 +495,7 @@ impl Cluster {
             .as_ref()
             .map(|c| c.base_stats.clone())
             .unwrap_or_default();
-        let summary = self.balancer_loop(endpoint, membership, start, opts);
+        let summary = self.balancer_loop(endpoint, membership, portfolio, start, opts);
         let mut result = ClusterRunResult {
             summary,
             ..ClusterRunResult::default()
@@ -505,7 +577,8 @@ impl Cluster {
         // stopped by a time or path limit resumes exactly where it left
         // off.
         if let Some(path) = &self.config.checkpoint_path {
-            let checkpoint = self.build_checkpoint(membership, &result.summary, opts, start);
+            let checkpoint =
+                self.build_checkpoint(membership, portfolio, &result.summary, opts, start);
             if self.config.verbose_membership {
                 eprintln!(
                     "c9-coordinator: final checkpoint: {} completed paths, {} pending jobs",
@@ -523,6 +596,7 @@ impl Cluster {
     fn build_checkpoint(
         &self,
         membership: &Membership,
+        portfolio: &Portfolio,
         summary: &ClusterSummary,
         opts: &CoordinatorRunOpts,
         start: Instant,
@@ -539,6 +613,7 @@ impl Cluster {
             frontier: JobTree::from_jobs(&membership.frontier_jobs()).encode(),
             coverage: summary.coverage.clone(),
             elapsed: base_elapsed + start.elapsed(),
+            portfolio: portfolio.checkpoint(),
         }
     }
 
@@ -606,6 +681,7 @@ impl Cluster {
         &self,
         endpoint: &mut C,
         membership: &mut Membership,
+        portfolio: &mut Portfolio,
         start: Instant,
         opts: &CoordinatorRunOpts,
     ) -> ClusterSummary {
@@ -636,13 +712,14 @@ impl Cluster {
             // the source of truth for liveness — members can also die
             // outside the detector below (re-join fencing, failed admits),
             // so sync the balancer in both directions every round.
-            let joined = self.admit_joins(endpoint, membership, opts, true);
+            let joined = self.admit_joins(endpoint, membership, portfolio, opts, true);
             summary.workers_joined += joined as u64;
             for member in membership.members() {
                 if member.is_alive() {
                     lb.ensure_worker(member.worker);
                 } else {
                     lb.set_alive(member.worker, false);
+                    portfolio.remove(member.worker);
                 }
             }
 
@@ -650,6 +727,7 @@ impl Cluster {
             while let Some(event) = endpoint.try_recv_event() {
                 if let MemberEvent::Leave { worker, .. } = &event {
                     lb.set_alive(*worker, false);
+                    portfolio.remove(*worker);
                 }
                 self.apply_member_event(membership, event);
             }
@@ -662,6 +740,7 @@ impl Cluster {
             // confirmed would double-count its paths.
             for worker in membership.detect_failures(Instant::now()) {
                 lb.set_alive(worker, false);
+                portfolio.remove(worker);
                 summary.workers_failed += 1;
                 if self.config.verbose_membership {
                     eprintln!(
@@ -690,7 +769,11 @@ impl Cluster {
                 if report.queue_length > 0 {
                     everyone_had_work[w.index()] = true;
                 }
-                let global = lb.report(w, report.queue_length, &report.coverage);
+                let (global, newly_covered) = lb.report(w, report.queue_length, &report.coverage);
+                // Per-strategy yield: the lines this report added to the
+                // global vector are credited to the strategy the worker
+                // stamped on it.
+                portfolio.record_yield(report.strategy, newly_covered);
                 let _ = endpoint.send_control(w, Control::GlobalCoverage(global));
             }
 
@@ -783,8 +866,13 @@ impl Cluster {
                         coverage,
                         ..ClusterSummary::default()
                     };
-                    let checkpoint =
-                        self.build_checkpoint(membership, &snapshot_summary, opts, start);
+                    let checkpoint = self.build_checkpoint(
+                        membership,
+                        portfolio,
+                        &snapshot_summary,
+                        opts,
+                        start,
+                    );
                     if let Err(e) = checkpoint.save(path) {
                         eprintln!("c9-coordinator: checkpoint write failed: {e}");
                     }
@@ -826,6 +914,25 @@ impl Cluster {
                 } in lb.balance()
                 {
                     let _ = endpoint.send_control(source, Control::Balance { destination, count });
+                }
+                // Portfolio adaptation rides the same cadence: strategies
+                // that stopped yielding new coverage lose a worker to the
+                // one currently yielding the most.
+                for (worker, strategy) in portfolio.rebalance() {
+                    let Some(member) = membership.member(worker) else {
+                        continue;
+                    };
+                    let seed = derive_seed(self.config.worker.seed, worker, member.epoch)
+                        ^ portfolio.rebalances();
+                    membership.set_strategy(worker, strategy);
+                    summary.strategy_rebalances += 1;
+                    if self.config.verbose_membership {
+                        eprintln!(
+                            "c9-coordinator: portfolio rebalance: worker {worker} \
+                             reassigned to strategy {strategy}"
+                        );
+                    }
+                    let _ = endpoint.send_control(worker, Control::SetStrategy { strategy, seed });
                 }
                 last_balance = Instant::now();
             }
@@ -910,6 +1017,7 @@ pub fn run_worker_loop<E: WorkerEndpoint>(
             coverage: worker.coverage_snapshot(),
             stats: worker.stats.clone(),
             idle: !worker.has_work(),
+            strategy: worker.strategy(),
             frontier,
             new_bugs,
             transfers: std::mem::take(events),
@@ -928,6 +1036,7 @@ pub fn run_worker_loop<E: WorkerEndpoint>(
                 }
                 Control::GlobalCoverage(global) => worker.merge_global_coverage(&global),
                 Control::Membership(peers) => endpoint.update_peers(&peers),
+                Control::SetStrategy { strategy, seed } => worker.set_strategy(strategy, seed),
                 Control::Inject { seq, encoded } => {
                     if let Some(tree) = JobTree::decode(&encoded) {
                         worker.import_jobs(tree.to_jobs());

@@ -58,6 +58,7 @@
 mod balancer;
 mod cluster;
 mod membership;
+mod portfolio;
 mod stats;
 mod tree;
 mod worker;
@@ -75,6 +76,7 @@ pub use cluster::{
     CoordinatorRunOpts, WorkerLoopOpts,
 };
 pub use membership::{Checkpoint, MemberHealth, MemberState, Membership};
+pub use portfolio::{derive_seed, Portfolio, PortfolioCheckpoint, PortfolioConfig, StrategyYield};
 pub use stats::{ClusterSummary, IntervalSample};
 pub use tree::{NodeId, NodeLife, NodeStatus, TreeNode, WorkerTree};
 pub use worker::{Worker, WorkerConfig};

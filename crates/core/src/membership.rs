@@ -78,6 +78,9 @@ pub struct MemberState {
     /// reports; the record of a crashed member's bugs (a member that sends
     /// a final report supersedes this with the final's cumulative list).
     pub status_bugs: Vec<TestCase>,
+    /// The exploration strategy the coordinator's portfolio assigned to
+    /// this member (None before the first assignment).
+    pub strategy: Option<c9_vm::StrategyKind>,
     /// The jobs this member owns, per the coordinator's ledger.
     ledger: BTreeSet<Job>,
 }
@@ -97,6 +100,7 @@ impl MemberState {
             idle: false,
             queue_length: 0,
             status_bugs: Vec::new(),
+            strategy: None,
             ledger: BTreeSet::new(),
         }
     }
@@ -544,6 +548,15 @@ impl Membership {
         }
     }
 
+    /// Records the portfolio's strategy assignment for a member (kept here
+    /// so the run summary and checkpoints can attribute each member's work
+    /// to a strategy).
+    pub fn set_strategy(&mut self, worker: WorkerId, strategy: c9_vm::StrategyKind) {
+        if let Some(member) = self.members.get_mut(worker.index()) {
+            member.strategy = Some(strategy);
+        }
+    }
+
     /// Seeds the re-injection pool (resumed checkpoint frontier).
     pub fn seed_pool(&mut self, jobs: Vec<Job>) {
         self.pool.extend(jobs);
@@ -665,6 +678,10 @@ pub struct Checkpoint {
     pub coverage: CoverageSet,
     /// Wall-clock time already spent across prior runs.
     pub elapsed: Duration,
+    /// The strategy portfolio's state (mix, adaptation flag, per-strategy
+    /// yield history), so a resumed run keeps the evidence it already
+    /// gathered.
+    pub portfolio: crate::portfolio::PortfolioCheckpoint,
 }
 
 impl Checkpoint {
@@ -719,6 +736,7 @@ mod tests {
             coverage: CoverageSet::new(8),
             stats: WorkerStats::default(),
             idle: false,
+            strategy: c9_vm::StrategyKind::default(),
             frontier: frontier.map(encoded),
             new_bugs: Vec::new(),
             transfers: Vec::new(),
@@ -1160,6 +1178,17 @@ mod tests {
             frontier: encoded(&jobs),
             coverage: CoverageSet::new(32),
             elapsed: Duration::from_secs(3),
+            portfolio: crate::portfolio::PortfolioCheckpoint {
+                mix: vec![c9_vm::StrategyKind::Dfs, c9_vm::StrategyKind::Cupa],
+                adapt: true,
+                yields: vec![(
+                    c9_vm::StrategyKind::Cupa,
+                    crate::portfolio::StrategyYield {
+                        new_lines: 12.0,
+                        reports: 3.0,
+                    },
+                )],
+            },
         };
         let dir = std::env::temp_dir().join(format!("c9-ckpt-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -1170,6 +1199,9 @@ mod tests {
         assert_eq!(loaded.base_paths(), 7);
         assert_eq!(loaded.jobs(), checkpoint.jobs());
         assert_eq!(loaded.elapsed, Duration::from_secs(3));
+        assert_eq!(loaded.portfolio.mix, checkpoint.portfolio.mix);
+        assert!(loaded.portfolio.adapt);
+        assert_eq!(loaded.portfolio.yields, checkpoint.portfolio.yields);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

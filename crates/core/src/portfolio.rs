@@ -1,0 +1,456 @@
+//! Coordinator-directed strategy portfolios (class-uniform scheduling at
+//! cluster scope).
+//!
+//! The paper gets its throughput from load balancing, but coverage per
+//! CPU-hour comes from *how* each worker explores its subtree. With every
+//! worker running the same hardwired searcher, adding machines multiplies
+//! redundant exploration; a portfolio instead spreads the cluster's effort
+//! across heterogeneous search heuristics (cf. the learned/portfolio
+//! search-heuristic literature). This module is the coordinator side of
+//! that design:
+//!
+//! * [`PortfolioConfig`] — the strategy *mix* (e.g. `dfs, random-path,
+//!   cov-opt, cupa`) and whether adaptive rebalancing is on.
+//! * [`Portfolio`] — assigns a strategy to every member (joiners included),
+//!   keeps the mix balanced as workers come and go, credits each status
+//!   report's newly covered lines to the strategy that produced it (the
+//!   per-strategy *yield*), and — when adaptation is enabled — periodically
+//!   moves a worker from the lowest-yield strategy to the highest-yield
+//!   one.
+//! * [`PortfolioCheckpoint`] — the serializable slice of that state
+//!   embedded in the coordinator [`Checkpoint`](crate::Checkpoint), so a
+//!   resumed run keeps the yield history it already paid for.
+//! * [`derive_seed`] — deterministic per-worker searcher seeds mixed from
+//!   the base seed, the worker id, and the fencing epoch, so every
+//!   incarnation of every worker explores a reproducible but independent
+//!   stream.
+
+use c9_net::WorkerId;
+use c9_vm::StrategyKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Configuration of the cluster's strategy portfolio.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PortfolioConfig {
+    /// The strategies to spread workers across, in assignment-priority
+    /// order. A single-entry mix reproduces the uniform (pre-portfolio)
+    /// behavior.
+    pub mix: Vec<StrategyKind>,
+    /// Whether yield feedback rebalances the portfolio: starving strategies
+    /// lose workers, productive ones gain them.
+    pub adapt: bool,
+}
+
+impl PortfolioConfig {
+    /// A degenerate portfolio where every worker runs `strategy` (the
+    /// uniform baseline).
+    pub fn uniform(strategy: StrategyKind) -> PortfolioConfig {
+        PortfolioConfig {
+            mix: vec![strategy],
+            adapt: false,
+        }
+    }
+
+    /// Parses a comma-separated strategy mix (`"dfs,random-path,cupa"`).
+    /// Unknown names are rejected with an error listing every valid
+    /// strategy; an empty list is rejected too.
+    pub fn parse_mix(list: &str) -> Result<Vec<StrategyKind>, String> {
+        let mut mix = Vec::new();
+        for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let kind: StrategyKind = name.parse().map_err(|e| format!("{e}"))?;
+            mix.push(kind);
+        }
+        if mix.is_empty() {
+            return Err(format!(
+                "empty strategy mix; valid strategies: {}",
+                StrategyKind::ALL
+                    .iter()
+                    .map(|k| k.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        Ok(mix)
+    }
+}
+
+/// Derives the deterministic searcher seed of one worker incarnation:
+/// the run's base seed mixed with the worker id and its fencing epoch
+/// through a SplitMix64 finalizer. Distinct (worker, epoch) pairs get
+/// decorrelated streams; the same pair always gets the same stream.
+pub fn derive_seed(base: u64, worker: WorkerId, epoch: u64) -> u64 {
+    let mut x = base
+        ^ u64::from(worker.0).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ epoch.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Decayed yield statistics of one strategy in the mix.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StrategyYield {
+    /// Lines newly added to the global coverage by reports attributed to
+    /// this strategy (decayed at every rebalance so old phases fade).
+    pub new_lines: f64,
+    /// Number of status reports attributed (same decay).
+    pub reports: f64,
+}
+
+impl StrategyYield {
+    /// New coverage per report — the signal rebalancing compares.
+    pub fn rate(&self) -> f64 {
+        if self.reports <= 0.0 {
+            0.0
+        } else {
+            self.new_lines / self.reports
+        }
+    }
+}
+
+/// The serializable portfolio state a coordinator checkpoint carries.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct PortfolioCheckpoint {
+    /// The strategy mix of the checkpointed run.
+    pub mix: Vec<StrategyKind>,
+    /// Whether adaptation was enabled.
+    pub adapt: bool,
+    /// Per-strategy yield accumulated so far.
+    pub yields: Vec<(StrategyKind, StrategyYield)>,
+}
+
+/// How much yield evidence (attributed reports per live worker) a rebalance
+/// round requires before it trusts the rates enough to move a worker.
+const MIN_REPORTS_PER_WORKER: f64 = 4.0;
+
+/// Decay applied to the yield statistics after every rebalance decision, so
+/// the portfolio tracks the current exploration phase instead of the run's
+/// opening.
+const YIELD_DECAY: f64 = 0.5;
+
+/// The coordinator's portfolio: strategy assignments and yield feedback.
+#[derive(Clone, Debug)]
+pub struct Portfolio {
+    mix: Vec<StrategyKind>,
+    adapt: bool,
+    assignments: BTreeMap<WorkerId, StrategyKind>,
+    yields: BTreeMap<StrategyKind, StrategyYield>,
+    /// Workers in assignment order, oldest first; rebalancing moves the
+    /// most recently assigned worker of the losing strategy.
+    order: Vec<WorkerId>,
+    rebalances: u64,
+}
+
+impl Portfolio {
+    /// Creates a portfolio for the given mix.
+    pub fn new(config: PortfolioConfig) -> Portfolio {
+        let mix = if config.mix.is_empty() {
+            vec![StrategyKind::default()]
+        } else {
+            config.mix
+        };
+        Portfolio {
+            mix,
+            adapt: config.adapt,
+            assignments: BTreeMap::new(),
+            yields: BTreeMap::new(),
+            order: Vec::new(),
+            rebalances: 0,
+        }
+    }
+
+    /// Restores the yield history of a checkpointed run (assignments are
+    /// per-incarnation and are not restored — the resumed run's workers get
+    /// fresh ones).
+    pub fn restore(&mut self, checkpoint: &PortfolioCheckpoint) {
+        for (kind, stats) in &checkpoint.yields {
+            self.yields.insert(*kind, *stats);
+        }
+    }
+
+    /// The serializable slice of this portfolio for a coordinator
+    /// checkpoint.
+    pub fn checkpoint(&self) -> PortfolioCheckpoint {
+        PortfolioCheckpoint {
+            mix: self.mix.clone(),
+            adapt: self.adapt,
+            yields: self.yields.iter().map(|(k, v)| (*k, *v)).collect(),
+        }
+    }
+
+    /// The strategy mix.
+    pub fn mix(&self) -> &[StrategyKind] {
+        &self.mix
+    }
+
+    /// Whether adaptive rebalancing is enabled.
+    pub fn adaptive(&self) -> bool {
+        self.adapt
+    }
+
+    /// Number of portfolio rebalances performed so far.
+    pub fn rebalances(&self) -> u64 {
+        self.rebalances
+    }
+
+    /// The current assignment of a worker, if any.
+    pub fn assignment(&self, worker: WorkerId) -> Option<StrategyKind> {
+        self.assignments.get(&worker).copied()
+    }
+
+    /// Assigns a strategy to a (new or re-joining) worker: the
+    /// least-represented strategy of the mix, ties broken by mix order, so
+    /// worker churn keeps the portfolio spread even. Idempotent for an
+    /// already-assigned worker.
+    pub fn assign(&mut self, worker: WorkerId) -> StrategyKind {
+        if let Some(kind) = self.assignments.get(&worker) {
+            return *kind;
+        }
+        let chosen = self
+            .mix
+            .iter()
+            .copied()
+            .min_by_key(|kind| {
+                self.assignments
+                    .values()
+                    .filter(|assigned| *assigned == kind)
+                    .count()
+            })
+            .unwrap_or_default();
+        self.assignments.insert(worker, chosen);
+        self.order.push(worker);
+        chosen
+    }
+
+    /// Forgets a dead or departed worker, freeing its strategy slot for the
+    /// next joiner.
+    pub fn remove(&mut self, worker: WorkerId) {
+        self.assignments.remove(&worker);
+        self.order.retain(|w| *w != worker);
+    }
+
+    /// Credits a status report's newly covered lines to the strategy that
+    /// produced it. `reported` is the strategy stamped on the report — the
+    /// worker's own claim, which survives assignment races around a
+    /// `SetStrategy` control.
+    pub fn record_yield(&mut self, reported: StrategyKind, new_lines: u64) {
+        let entry = self.yields.entry(reported).or_default();
+        entry.new_lines += new_lines as f64;
+        entry.reports += 1.0;
+    }
+
+    /// The current per-strategy view: (strategy, assigned workers, yield).
+    pub fn standings(&self) -> Vec<(StrategyKind, usize, StrategyYield)> {
+        let mut seen = Vec::new();
+        for kind in &self.mix {
+            if seen.contains(kind) {
+                continue;
+            }
+            seen.push(*kind);
+        }
+        seen.into_iter()
+            .map(|kind| {
+                let workers = self.assignments.values().filter(|a| **a == kind).count();
+                let stats = self.yields.get(&kind).copied().unwrap_or_default();
+                (kind, workers, stats)
+            })
+            .collect()
+    }
+
+    /// One adaptive rebalance round: when the yield gap is established,
+    /// moves the most recently assigned worker of the lowest-yield strategy
+    /// to the highest-yield one and returns the reassignment. Every
+    /// strategy of the mix keeps at least one worker while the cluster is
+    /// large enough to afford it, so a temporarily starving heuristic can
+    /// still prove itself later. Yields decay after a decision so the
+    /// portfolio follows the current exploration phase.
+    pub fn rebalance(&mut self) -> Vec<(WorkerId, StrategyKind)> {
+        if !self.adapt || self.assignments.len() < 2 {
+            return Vec::new();
+        }
+        let standings = self.standings();
+        if standings.len() < 2 {
+            return Vec::new();
+        }
+        let total_reports: f64 = standings.iter().map(|(_, _, y)| y.reports).sum();
+        if total_reports < MIN_REPORTS_PER_WORKER * self.assignments.len() as f64 {
+            return Vec::new(); // not enough evidence yet
+        }
+        let floor = usize::from(self.assignments.len() >= standings.len());
+        let best = standings
+            .iter()
+            .max_by(|a, b| a.2.rate().total_cmp(&b.2.rate()))
+            .map(|(k, _, y)| (*k, y.rate()));
+        let worst = standings
+            .iter()
+            .filter(|(_, workers, _)| *workers > floor)
+            .min_by(|a, b| a.2.rate().total_cmp(&b.2.rate()))
+            .map(|(k, _, y)| (*k, y.rate()));
+        let (Some((best, best_rate)), Some((worst, worst_rate))) = (best, worst) else {
+            return Vec::new();
+        };
+        // Decay regardless of whether a move happens: stale evidence must
+        // not pin the portfolio forever.
+        for stats in self.yields.values_mut() {
+            stats.new_lines *= YIELD_DECAY;
+            stats.reports *= YIELD_DECAY;
+        }
+        if best == worst || best_rate <= worst_rate {
+            return Vec::new();
+        }
+        let Some(mover) = self
+            .order
+            .iter()
+            .rev()
+            .copied()
+            .find(|w| self.assignments.get(w) == Some(&worst))
+        else {
+            return Vec::new();
+        };
+        self.assignments.insert(mover, best);
+        self.rebalances += 1;
+        vec![(mover, best)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn portfolio(mix: &[StrategyKind], adapt: bool) -> Portfolio {
+        Portfolio::new(PortfolioConfig {
+            mix: mix.to_vec(),
+            adapt,
+        })
+    }
+
+    #[test]
+    fn assignment_spreads_across_the_mix() {
+        let mut p = portfolio(&[StrategyKind::Dfs, StrategyKind::Cupa], false);
+        assert_eq!(p.assign(WorkerId(0)), StrategyKind::Dfs);
+        assert_eq!(p.assign(WorkerId(1)), StrategyKind::Cupa);
+        assert_eq!(p.assign(WorkerId(2)), StrategyKind::Dfs);
+        assert_eq!(p.assign(WorkerId(3)), StrategyKind::Cupa);
+        // Idempotent for an already-assigned worker.
+        assert_eq!(p.assign(WorkerId(0)), StrategyKind::Dfs);
+    }
+
+    #[test]
+    fn departure_frees_the_slot_for_the_next_joiner() {
+        let mut p = portfolio(&[StrategyKind::Dfs, StrategyKind::Cupa], false);
+        for i in 0..4 {
+            p.assign(WorkerId(i));
+        }
+        p.remove(WorkerId(1)); // a cupa worker dies
+        assert_eq!(p.assign(WorkerId(9)), StrategyKind::Cupa);
+    }
+
+    #[test]
+    fn rebalance_moves_a_worker_from_starving_to_productive() {
+        let mut p = portfolio(
+            &[StrategyKind::Dfs, StrategyKind::Cupa, StrategyKind::Random],
+            true,
+        );
+        for i in 0..6 {
+            p.assign(WorkerId(i));
+        }
+        // Cupa finds coverage, dfs starves, random trickles.
+        for _ in 0..20 {
+            p.record_yield(StrategyKind::Cupa, 10);
+            p.record_yield(StrategyKind::Random, 2);
+            p.record_yield(StrategyKind::Dfs, 0);
+        }
+        let moves = p.rebalance();
+        assert_eq!(moves.len(), 1);
+        let (mover, target) = moves[0];
+        assert_eq!(target, StrategyKind::Cupa);
+        assert_eq!(p.assignment(mover), Some(StrategyKind::Cupa));
+        // The mover came from the starving strategy.
+        let dfs_workers = p
+            .standings()
+            .iter()
+            .find(|(k, _, _)| *k == StrategyKind::Dfs)
+            .map(|(_, w, _)| *w)
+            .unwrap();
+        assert_eq!(dfs_workers, 1, "dfs keeps its floor worker");
+    }
+
+    #[test]
+    fn every_strategy_keeps_a_floor_worker() {
+        let mut p = portfolio(&[StrategyKind::Dfs, StrategyKind::Cupa], true);
+        p.assign(WorkerId(0));
+        p.assign(WorkerId(1));
+        for _ in 0..20 {
+            p.record_yield(StrategyKind::Cupa, 10);
+            p.record_yield(StrategyKind::Dfs, 0);
+        }
+        // Each strategy has exactly one worker (= the floor): no move.
+        assert!(p.rebalance().is_empty());
+    }
+
+    #[test]
+    fn rebalance_waits_for_evidence() {
+        let mut p = portfolio(&[StrategyKind::Dfs, StrategyKind::Cupa], true);
+        for i in 0..4 {
+            p.assign(WorkerId(i));
+        }
+        p.record_yield(StrategyKind::Cupa, 100);
+        assert!(p.rebalance().is_empty(), "one report is not evidence");
+    }
+
+    #[test]
+    fn uniform_portfolio_never_rebalances() {
+        let mut p = Portfolio::new(PortfolioConfig::uniform(StrategyKind::KleeDefault));
+        for i in 0..4 {
+            assert_eq!(p.assign(WorkerId(i)), StrategyKind::KleeDefault);
+        }
+        for _ in 0..100 {
+            p.record_yield(StrategyKind::KleeDefault, 5);
+        }
+        assert!(p.rebalance().is_empty());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_yields() {
+        let mut p = portfolio(&[StrategyKind::Dfs, StrategyKind::Cupa], true);
+        p.assign(WorkerId(0));
+        p.record_yield(StrategyKind::Cupa, 7);
+        let cp = p.checkpoint();
+        let mut restored = portfolio(&[StrategyKind::Dfs, StrategyKind::Cupa], true);
+        restored.restore(&cp);
+        assert_eq!(
+            restored.yields.get(&StrategyKind::Cupa),
+            p.yields.get(&StrategyKind::Cupa)
+        );
+    }
+
+    #[test]
+    fn parse_mix_rejects_unknown_names_helpfully() {
+        let err = PortfolioConfig::parse_mix("dfs,warp-drive").unwrap_err();
+        assert!(err.contains("warp-drive"), "error: {err}");
+        assert!(err.contains("cupa"), "error must list valid names: {err}");
+        assert!(PortfolioConfig::parse_mix("").is_err());
+        assert_eq!(
+            PortfolioConfig::parse_mix("dfs, random-path ,cov-opt,cupa").unwrap(),
+            vec![
+                StrategyKind::Dfs,
+                StrategyKind::RandomPath,
+                StrategyKind::CovOpt,
+                StrategyKind::Cupa
+            ]
+        );
+    }
+
+    #[test]
+    fn derived_seeds_are_deterministic_and_distinct() {
+        let a = derive_seed(1, WorkerId(0), 1);
+        let b = derive_seed(1, WorkerId(0), 1);
+        assert_eq!(a, b);
+        assert_ne!(a, derive_seed(1, WorkerId(1), 1), "workers must differ");
+        assert_ne!(a, derive_seed(1, WorkerId(0), 2), "epochs must differ");
+        assert_ne!(a, derive_seed(2, WorkerId(0), 1), "base seeds must differ");
+    }
+}

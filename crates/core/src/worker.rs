@@ -1,13 +1,14 @@
 //! A Cloud9 worker: an independent symbolic execution engine plus the
 //! execution-tree bookkeeping needed for dynamic work partitioning.
 
+use crate::portfolio::derive_seed;
 use crate::tree::WorkerTree;
 use c9_ir::Program;
 use c9_net::{Job, WorkerId, WorkerStats};
 use c9_solver::Solver;
 use c9_vm::{
-    CoverageSet, Environment, ExecutionState, Executor, ExecutorConfig, InterleavedSearcher,
-    Searcher, StateId, StateIdGen, StateMeta, StepResult, StrategyKind, TestCase,
+    build_searcher, CoverageSet, Environment, ExecutionState, Executor, ExecutorConfig, Searcher,
+    StateId, StateIdGen, StateMeta, StepResult, StrategyKind, TestCase,
 };
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
@@ -48,6 +49,9 @@ pub struct Worker {
     executor: Executor,
     solver: Arc<Solver>,
     config: WorkerConfig,
+    /// The exploration strategy currently driving the searcher (starts as
+    /// `config.strategy`, changed by portfolio reassignments).
+    strategy: StrategyKind,
     states: BTreeMap<StateId, ExecutionState>,
     virtual_jobs: VecDeque<Job>,
     searcher: Box<dyn Searcher>,
@@ -80,17 +84,13 @@ impl Worker {
         let solver = Arc::new(Solver::new());
         let lines = program.loc();
         let executor = Executor::new(program, solver.clone(), env, config.executor);
-        let seed = config.seed.wrapping_add(u64::from(id.0) * 7919);
-        let searcher: Box<dyn Searcher> = match config.strategy {
-            StrategyKind::KleeDefault => Box::new(InterleavedSearcher::klee_default(seed)),
-            StrategyKind::Dfs => Box::new(c9_vm::DfsSearcher::new()),
-            StrategyKind::Bfs => Box::new(c9_vm::BfsSearcher::new()),
-            StrategyKind::Random => Box::new(c9_vm::RandomSearcher::new(seed)),
-        };
+        let seed = derive_seed(config.seed, id, 0);
+        let searcher = build_searcher(config.strategy, seed);
         Worker {
             id,
             executor,
             solver,
+            strategy: config.strategy,
             config,
             states: BTreeMap::new(),
             virtual_jobs: VecDeque::new(),
@@ -103,6 +103,28 @@ impl Worker {
             bugs: Vec::new(),
             current: None,
         }
+    }
+
+    /// The exploration strategy currently in effect.
+    pub fn strategy(&self) -> StrategyKind {
+        self.strategy
+    }
+
+    /// Switches the exploration strategy in place (a portfolio
+    /// reassignment): builds the replacement searcher with `seed` and
+    /// re-registers every active state, so exploration continues without
+    /// losing or duplicating frontier entries.
+    pub fn set_strategy(&mut self, strategy: StrategyKind, seed: u64) {
+        if strategy == self.strategy {
+            return;
+        }
+        let mut searcher = build_searcher(strategy, seed);
+        for state in self.states.values() {
+            searcher.add(StateMeta::of(state));
+        }
+        self.searcher = searcher;
+        self.strategy = strategy;
+        self.stats.strategy_switches += 1;
     }
 
     /// Seeds this worker with the root job (the entire execution tree); done

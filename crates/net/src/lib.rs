@@ -21,6 +21,8 @@
 //!   `c9-worker` / `c9-coordinator` binaries, or fully in-process over
 //!   localhost sockets for tests and benchmarks.
 
+#![deny(missing_docs)]
+
 pub mod frame;
 mod id;
 mod inproc;

@@ -59,6 +59,18 @@ pub enum Control {
     /// their peer addresses, drop connections to peers whose address or
     /// epoch changed, and reject job batches from fenced epochs.
     Membership(Vec<PeerInfo>),
+    /// Re-assign the worker's exploration strategy mid-run (portfolio
+    /// rebalancing, §3.3 extended): the worker swaps its searcher in
+    /// place — every active state is re-registered with the new
+    /// strategy — and stamps subsequent status reports with it, so yield
+    /// attribution follows the assignment.
+    SetStrategy {
+        /// The strategy to switch to.
+        strategy: StrategyKind,
+        /// Deterministic seed for the replacement searcher (derived by the
+        /// coordinator from worker id and epoch).
+        seed: u64,
+    },
     /// Stop and report final results.
     Stop,
 }
@@ -132,6 +144,11 @@ pub struct StatusReport {
     pub stats: WorkerStats,
     /// Whether the worker currently has nothing to explore.
     pub idle: bool,
+    /// The exploration strategy the worker was running while producing this
+    /// report. The coordinator credits the report's newly covered lines to
+    /// this strategy — the per-strategy *yield* feedback that drives
+    /// portfolio rebalancing.
+    pub strategy: StrategyKind,
     /// Encoded snapshot of the worker's pending frontier
     /// ([`JobTree::encode`](crate::JobTree::encode)), taken at the same
     /// instant as `stats` so the pair partitions the worker's subtree
@@ -292,6 +309,11 @@ pub enum WireMessage {
         epoch: u64,
         /// The current cluster membership, including the new worker.
         peers: Vec<PeerInfo>,
+        /// The exploration strategy the coordinator's portfolio assigned to
+        /// this worker (authoritative once the run's `Start` ships it in
+        /// [`RunSpec::strategy`]; carried here so the daemon can log its
+        /// role before the run spec arrives).
+        strategy: StrategyKind,
     },
     /// Worker → coordinator: periodic liveness signal, sent by the
     /// transport independently of the (possibly busy) worker loop so the

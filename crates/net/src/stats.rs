@@ -25,6 +25,8 @@ pub struct WorkerStats {
     /// Replays that broke (diverged); should stay zero thanks to the
     /// deterministic allocator.
     pub broken_replays: u64,
+    /// Mid-run strategy reassignments applied (portfolio rebalancing).
+    pub strategy_switches: u64,
 }
 
 impl WorkerStats {
@@ -39,6 +41,7 @@ impl WorkerStats {
         self.job_bytes_sent += other.job_bytes_sent;
         self.materializations += other.materializations;
         self.broken_replays += other.broken_replays;
+        self.strategy_switches += other.strategy_switches;
     }
 
     /// Total instructions (useful + replay).

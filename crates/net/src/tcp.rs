@@ -34,6 +34,7 @@ use crate::transport::{
     WorkerEndpoint,
 };
 use crate::WorkerId;
+use c9_vm::StrategyKind;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::{HashMap, VecDeque};
 use std::io;
@@ -224,6 +225,7 @@ impl TcpWorkerHost {
                         pending_start,
                         epoch: 0,
                         worker_epoch: 0,
+                        assigned_strategy: StrategyKind::default(),
                         hb_stop: None,
                         _guard: self.guard,
                     });
@@ -268,6 +270,7 @@ impl TcpWorkerHost {
             worker,
             epoch,
             peers,
+            strategy,
         } = ack
         else {
             return Err(TransportError::Io(
@@ -292,6 +295,7 @@ impl TcpWorkerHost {
             pending_start: VecDeque::new(),
             epoch: 0,
             worker_epoch: epoch,
+            assigned_strategy: strategy,
             hb_stop: None,
             _guard: self.guard,
         })
@@ -366,6 +370,7 @@ pub struct TcpWorkerEndpoint {
     pending_start: VecDeque<RunSpec>,
     epoch: u64,
     worker_epoch: u64,
+    assigned_strategy: StrategyKind,
     hb_stop: Option<Arc<AtomicBool>>,
     _guard: ListenerGuard,
 }
@@ -387,6 +392,12 @@ impl TcpWorkerEndpoint {
     /// This worker's fencing epoch (assigned at join, or by the run spec).
     pub fn worker_epoch(&self) -> u64 {
         self.worker_epoch
+    }
+
+    /// The exploration strategy the coordinator's portfolio assigned at
+    /// join time (informational until the run spec confirms it).
+    pub fn assigned_strategy(&self) -> StrategyKind {
+        self.assigned_strategy
     }
 
     /// Waits for the coordinator to begin a run.
@@ -870,6 +881,7 @@ impl CoordinatorEndpoint for TcpCoordinatorEndpoint {
         worker: WorkerId,
         epoch: u64,
         peers: Vec<PeerInfo>,
+        strategy: StrategyKind,
     ) -> Result<(), TransportError> {
         let Some(stream) = self
             .pending_joins
@@ -886,6 +898,7 @@ impl CoordinatorEndpoint for TcpCoordinatorEndpoint {
                 worker,
                 epoch,
                 peers,
+                strategy,
             },
         )
         .map_err(TransportError::from)?;

@@ -11,6 +11,7 @@
 
 use crate::message::{Control, FinalReport, JobBatch, PeerInfo, RunSpec, StatusReport};
 use crate::WorkerId;
+use c9_vm::StrategyKind;
 use std::time::Duration;
 
 /// Why a transport operation failed.
@@ -139,16 +140,17 @@ pub trait CoordinatorEndpoint {
     }
 
     /// Completes a join: sends the acknowledgement carrying the assigned
-    /// identity, epoch, and peer table, and wires the connection into the
-    /// coordinator's receive path.
+    /// identity, epoch, peer table, and portfolio strategy, and wires the
+    /// connection into the coordinator's receive path.
     fn admit(
         &mut self,
         token: u64,
         worker: WorkerId,
         epoch: u64,
         peers: Vec<PeerInfo>,
+        strategy: StrategyKind,
     ) -> Result<(), TransportError> {
-        let _ = (token, worker, epoch, peers);
+        let _ = (token, worker, epoch, peers, strategy);
         Err(TransportError::Io(
             "transport does not support elastic membership".into(),
         ))
@@ -178,6 +180,41 @@ pub struct Endpoints<C, W> {
 }
 
 /// A way of wiring up a cluster of N workers and one coordinator.
+///
+/// # Examples
+///
+/// Establish an in-process fabric and move a status report from a worker
+/// endpoint to the coordinator endpoint:
+///
+/// ```
+/// use std::time::Duration;
+/// use c9_net::{
+///     CoordinatorEndpoint, InProcTransport, StatusReport, Transport, WorkerEndpoint, WorkerId,
+/// };
+///
+/// let mut fabric = InProcTransport.establish(2).expect("in-proc fabric");
+/// assert_eq!(fabric.workers.len(), 2);
+///
+/// let report = StatusReport {
+///     worker: fabric.workers[0].id(),
+///     epoch: 1,
+///     queue_length: 3,
+///     coverage: c9_vm::CoverageSet::new(8),
+///     stats: c9_net::WorkerStats::default(),
+///     idle: false,
+///     strategy: c9_vm::StrategyKind::default(),
+///     frontier: None,
+///     new_bugs: Vec::new(),
+///     transfers: Vec::new(),
+/// };
+/// fabric.workers[0].send_status(report).expect("send status");
+/// let received = fabric
+///     .coordinator
+///     .recv_status(Duration::from_secs(1))
+///     .expect("status arrives");
+/// assert_eq!(received.worker, WorkerId(0));
+/// assert_eq!(received.queue_length, 3);
+/// ```
 pub trait Transport {
     /// The worker-side endpoint type.
     type WorkerEnd: WorkerEndpoint + 'static;

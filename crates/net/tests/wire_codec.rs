@@ -106,6 +106,10 @@ proptest! {
                 epoch: count,
                 alive: count % 2 == 0,
             }]),
+            Control::SetStrategy {
+                strategy: c9_vm::StrategyKind::ALL[(dst as usize) % c9_vm::StrategyKind::ALL.len()],
+                seed: count,
+            },
             Control::Stop,
         ] {
             let frame = encode_frame(&WireMessage::Control(msg.clone())).expect("encode");
@@ -137,6 +141,7 @@ proptest! {
                 ..WorkerStats::default()
             },
             idle,
+            strategy: c9_vm::StrategyKind::Cupa,
             frontier: idle.then(|| JobTree::from_jobs(&[]).encode()),
             new_bugs: Vec::new(),
             transfers: vec![
@@ -195,6 +200,11 @@ proptest! {
                     epoch,
                     alive: true,
                 }],
+                strategy: if rejoin {
+                    c9_vm::StrategyKind::Cupa
+                } else {
+                    c9_vm::StrategyKind::RandomPath
+                },
             },
             WireMessage::Heartbeat { worker: WorkerId(worker), epoch },
             WireMessage::Leave { worker: WorkerId(worker), epoch },
@@ -212,12 +222,13 @@ proptest! {
                     prop_assert_eq!(p, q);
                 }
                 (
-                    WireMessage::JoinAck { worker: w1, epoch: e1, peers: p1 },
-                    WireMessage::JoinAck { worker: w2, epoch: e2, peers: p2 },
+                    WireMessage::JoinAck { worker: w1, epoch: e1, peers: p1, strategy: s1 },
+                    WireMessage::JoinAck { worker: w2, epoch: e2, peers: p2, strategy: s2 },
                 ) => {
                     prop_assert_eq!(w1, w2);
                     prop_assert_eq!(e1, e2);
                     prop_assert_eq!(p1, p2);
+                    prop_assert_eq!(s1, s2);
                 }
                 (
                     WireMessage::Heartbeat { worker: w1, epoch: e1 },

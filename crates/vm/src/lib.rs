@@ -56,6 +56,8 @@
 //! assert!(summary.exhausted);
 //! ```
 
+#![deny(missing_docs)]
+
 mod coverage;
 mod engine;
 mod env;
@@ -79,8 +81,9 @@ pub use errors::{BugKind, TerminationReason};
 pub use executor::{Executor, ExecutorConfig, StepResult};
 pub use memory::{AddressSpaceId, CowDomain, CowDomainId, MemObject, Memory};
 pub use searcher::{
-    BfsSearcher, CoverageOptimizedSearcher, DfsSearcher, InterleavedSearcher, RandomPathSearcher,
-    RandomSearcher, Searcher, StateMeta, StrategyKind,
+    build_searcher, BfsSearcher, CoverageOptimizedSearcher, CupaSearcher, DfsSearcher,
+    InterleavedSearcher, ParseStrategyError, RandomPathSearcher, RandomSearcher, Searcher,
+    StateMeta, StrategyKind,
 };
 pub use state::{
     ExecutionState, PathChoice, ReplayCursor, SchedulerPolicy, StateId, StateIdGen, StateStats,

@@ -16,14 +16,19 @@ use crate::state::{ExecutionState, StateId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Exploration strategy selector, shippable over the wire to remote workers.
 ///
 /// The cluster layer maps each kind to the corresponding searcher
-/// construction; the enum lives here so both the in-process worker
-/// configuration and the `c9-net` run spec can share it.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// construction (see [`build_searcher`]); the enum lives here so both the
+/// in-process worker configuration and the `c9-net` run spec can share it.
+/// Each kind has a stable command-line name with a [`std::fmt::Display`] /
+/// [`std::str::FromStr`] round-trip, used by the coordinator's
+/// `--portfolio` flag.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub enum StrategyKind {
     /// Interleaved random-path and coverage-optimized search (the paper's
     /// evaluation configuration).
@@ -35,6 +40,96 @@ pub enum StrategyKind {
     Bfs,
     /// Uniform random state selection.
     Random,
+    /// Random tree-path selection alone (shallow states weighted up).
+    RandomPath,
+    /// Coverage-optimized selection alone (recent new coverage weighted up).
+    CovOpt,
+    /// Class-uniform path analysis: states are bucketed into classes by
+    /// coverage recency, call site, and query-cost tier, and selection is
+    /// uniform across classes (see [`CupaSearcher`]).
+    Cupa,
+}
+
+impl StrategyKind {
+    /// Every strategy, in the order listed by error messages and docs.
+    pub const ALL: [StrategyKind; 7] = [
+        StrategyKind::KleeDefault,
+        StrategyKind::Dfs,
+        StrategyKind::Bfs,
+        StrategyKind::Random,
+        StrategyKind::RandomPath,
+        StrategyKind::CovOpt,
+        StrategyKind::Cupa,
+    ];
+
+    /// The stable command-line name of this strategy.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::KleeDefault => "klee-default",
+            StrategyKind::Dfs => "dfs",
+            StrategyKind::Bfs => "bfs",
+            StrategyKind::Random => "random",
+            StrategyKind::RandomPath => "random-path",
+            StrategyKind::CovOpt => "cov-opt",
+            StrategyKind::Cupa => "cupa",
+        }
+    }
+}
+
+impl std::fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown strategy name; its display lists
+/// every valid name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseStrategyError {
+    /// The name that failed to parse.
+    pub unknown: String,
+}
+
+impl std::fmt::Display for ParseStrategyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let valid: Vec<&str> = StrategyKind::ALL.iter().map(|k| k.name()).collect();
+        write!(
+            f,
+            "unknown strategy {:?}; valid strategies: {}",
+            self.unknown,
+            valid.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseStrategyError {}
+
+impl std::str::FromStr for StrategyKind {
+    type Err = ParseStrategyError;
+
+    fn from_str(s: &str) -> Result<StrategyKind, ParseStrategyError> {
+        let normalized = s.trim();
+        StrategyKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name() == normalized)
+            .ok_or_else(|| ParseStrategyError {
+                unknown: normalized.to_string(),
+            })
+    }
+}
+
+/// Constructs the searcher implementing `kind`, seeded deterministically.
+pub fn build_searcher(kind: StrategyKind, seed: u64) -> Box<dyn Searcher> {
+    match kind {
+        StrategyKind::KleeDefault => Box::new(InterleavedSearcher::klee_default(seed)),
+        StrategyKind::Dfs => Box::new(DfsSearcher::new()),
+        StrategyKind::Bfs => Box::new(BfsSearcher::new()),
+        StrategyKind::Random => Box::new(RandomSearcher::new(seed)),
+        StrategyKind::RandomPath => Box::new(RandomPathSearcher::new(seed)),
+        StrategyKind::CovOpt => Box::new(CoverageOptimizedSearcher::new(seed)),
+        StrategyKind::Cupa => Box::new(CupaSearcher::new(seed)),
+    }
 }
 
 /// Metadata about a state that searchers may use for prioritization.
@@ -46,6 +141,12 @@ pub struct StateMeta {
     pub depth: usize,
     /// Number of lines newly covered by the state's most recent step.
     pub new_coverage: usize,
+    /// The function the state is currently executing (its call site, used
+    /// by [`CupaSearcher`] classes); 0 when the state has no live frame.
+    pub call_site: u32,
+    /// Number of path constraints accumulated so far — a proxy for how
+    /// expensive the state's solver queries are.
+    pub query_cost: usize,
 }
 
 impl StateMeta {
@@ -55,11 +156,37 @@ impl StateMeta {
             id: state.id,
             depth: state.depth(),
             new_coverage: state.last_new_coverage,
+            call_site: state.thread().top_frame().map(|f| f.func.0).unwrap_or(0),
+            query_cost: state.constraints.len(),
         }
     }
 }
 
 /// A strategy for choosing the next state to execute.
+///
+/// The engine calls [`Searcher::add`] when a state becomes runnable
+/// (initial state, forks, imported jobs), [`Searcher::remove`] when it
+/// terminates or is transferred away, and [`Searcher::select`] to pick the
+/// next state to run.
+///
+/// # Examples
+///
+/// ```
+/// use c9_vm::{DfsSearcher, Searcher, StateId, StateMeta};
+///
+/// let mut searcher = DfsSearcher::new();
+/// assert!(searcher.is_empty());
+/// searcher.add(StateMeta {
+///     id: StateId(1),
+///     depth: 0,
+///     new_coverage: 0,
+///     call_site: 0,
+///     query_cost: 0,
+/// });
+/// assert_eq!(searcher.select(), Some(StateId(1)));
+/// searcher.remove(StateId(1));
+/// assert_eq!(searcher.select(), None);
+/// ```
 pub trait Searcher: Send {
     /// Registers a new active state.
     fn add(&mut self, meta: StateMeta);
@@ -289,6 +416,147 @@ impl Searcher for CoverageOptimizedSearcher {
     }
 }
 
+/// The class key of [`CupaSearcher`]: coverage-recency tier, call site,
+/// query-cost tier.
+type CupaClass = (u8, u32, u8);
+
+/// Class-uniform path analysis (CUPA): states are partitioned into classes
+/// and selection effort is spread *uniformly across classes* rather than
+/// across states, so a huge cluster of sibling states (a loop fanning out,
+/// a hot parser function) cannot starve the rest of the frontier.
+///
+/// Classes are keyed by three features:
+///
+/// * **coverage recency** — whether the state's most recent step discovered
+///   new lines (covering states form their own classes, so fresh progress
+///   keeps getting scheduled),
+/// * **call site** — the function the state is currently executing, and
+/// * **query-cost tier** — the accumulated path-constraint count bucketed
+///   into powers-of-eight tiers, so solver-cheap states are not drowned out
+///   by expensive ones.
+///
+/// Selection walks a rotation: each round visits every currently non-empty
+/// class exactly once, in an order drawn uniformly at random, then picks a
+/// uniformly random state within the visited class. This gives the
+/// class-uniform guarantee deterministically: with `k` non-empty classes,
+/// every class is selected at least once in any `k` consecutive picks.
+#[derive(Debug)]
+pub struct CupaSearcher {
+    /// States of each class; a class is removed when it empties.
+    classes: BTreeMap<CupaClass, Vec<StateId>>,
+    /// Which class every registered state belongs to.
+    index: BTreeMap<StateId, CupaClass>,
+    /// Classes not yet visited in the current rotation (may contain stale
+    /// keys of classes that emptied mid-rotation; `select` skips them).
+    rotation: Vec<CupaClass>,
+    rng: StdRng,
+}
+
+impl CupaSearcher {
+    /// Creates a CUPA searcher with a fixed seed (deterministic runs).
+    pub fn new(seed: u64) -> CupaSearcher {
+        CupaSearcher {
+            classes: BTreeMap::new(),
+            index: BTreeMap::new(),
+            rotation: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Buckets a state into its class.
+    fn classify(meta: &StateMeta) -> CupaClass {
+        let recency = u8::from(meta.new_coverage == 0);
+        let cost_tier = match meta.query_cost {
+            0..=7 => 0u8,
+            8..=63 => 1,
+            64..=511 => 2,
+            _ => 3,
+        };
+        (recency, meta.call_site, cost_tier)
+    }
+
+    /// Number of currently non-empty classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+}
+
+impl Searcher for CupaSearcher {
+    fn add(&mut self, meta: StateMeta) {
+        let class = Self::classify(&meta);
+        if let Some(old) = self.index.insert(meta.id, class) {
+            if old != class {
+                if let Some(states) = self.classes.get_mut(&old) {
+                    states.retain(|s| *s != meta.id);
+                    if states.is_empty() {
+                        self.classes.remove(&old);
+                    }
+                }
+            } else {
+                return; // already registered under this class
+            }
+        }
+        let states = self.classes.entry(class).or_default();
+        if states.is_empty() && !self.rotation.contains(&class) {
+            // A class that becomes non-empty mid-rotation joins it, keeping
+            // the every-class-within-k-picks guarantee for newcomers too.
+            // The containment check matters: the engine removes and re-adds
+            // the running state around every execution slice, and a
+            // sole-member class must not enqueue a duplicate rotation entry
+            // each time (the rotation would grow without bound and the hot
+            // class would be drawn many times per round, starving the rest).
+            self.rotation.push(class);
+        }
+        states.push(meta.id);
+    }
+
+    fn remove(&mut self, id: StateId) {
+        if let Some(class) = self.index.remove(&id) {
+            if let Some(states) = self.classes.get_mut(&class) {
+                states.retain(|s| *s != id);
+                if states.is_empty() {
+                    self.classes.remove(&class);
+                }
+            }
+        }
+    }
+
+    fn select(&mut self) -> Option<StateId> {
+        loop {
+            if self.rotation.is_empty() {
+                if self.classes.is_empty() {
+                    return None;
+                }
+                self.rotation.extend(self.classes.keys().copied());
+            }
+            // Visit a uniformly random not-yet-visited class this rotation.
+            let idx = if self.rotation.len() == 1 {
+                0
+            } else {
+                self.rng.gen_range(0..self.rotation.len())
+            };
+            let class = self.rotation.swap_remove(idx);
+            let Some(states) = self.classes.get(&class) else {
+                continue; // emptied mid-rotation; skip its stale key
+            };
+            let pick = if states.len() == 1 {
+                0
+            } else {
+                self.rng.gen_range(0..states.len())
+            };
+            return Some(states[pick]);
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "cupa"
+    }
+}
+
 /// Interleaves several searchers round-robin — the configuration used in the
 /// paper's evaluation is an interleaving of random-path and
 /// coverage-optimized search.
@@ -353,6 +621,18 @@ mod tests {
             id: StateId(id),
             depth,
             new_coverage: cov,
+            call_site: 0,
+            query_cost: 0,
+        }
+    }
+
+    fn meta_in(id: u64, cov: usize, call_site: u32, query_cost: usize) -> StateMeta {
+        StateMeta {
+            id: StateId(id),
+            depth: 0,
+            new_coverage: cov,
+            call_site,
+            query_cost,
         }
     }
 
@@ -417,6 +697,166 @@ mod tests {
             }
         }
         assert!(covered > 120, "covering state selected only {covered}/200");
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for kind in StrategyKind::ALL {
+            let parsed: StrategyKind = kind.name().parse().expect("round trip");
+            assert_eq!(parsed, kind);
+            assert_eq!(kind.to_string(), kind.name());
+        }
+    }
+
+    #[test]
+    fn unknown_strategy_error_lists_valid_names() {
+        let err = "simulated-annealing"
+            .parse::<StrategyKind>()
+            .expect_err("unknown name must be rejected");
+        let msg = err.to_string();
+        assert!(msg.contains("simulated-annealing"), "message: {msg}");
+        for kind in StrategyKind::ALL {
+            assert!(msg.contains(kind.name()), "message misses {kind}: {msg}");
+        }
+    }
+
+    #[test]
+    fn build_searcher_covers_every_kind() {
+        for kind in StrategyKind::ALL {
+            let mut s = build_searcher(kind, 11);
+            s.add(meta(1, 0, 0));
+            assert_eq!(s.select(), Some(StateId(1)), "{kind} lost its state");
+            assert_eq!(s.len(), 1);
+        }
+    }
+
+    #[test]
+    fn interleaved_is_fair_across_sub_searchers() {
+        // Two sub-searchers with deterministic favourites: DFS favours the
+        // newest state, BFS cycles. Round-robin interleaving must consult
+        // them in strict alternation, so over 2k picks each sub-searcher
+        // decides exactly k times.
+        let mut s = InterleavedSearcher::new(vec![
+            Box::new(DfsSearcher::new()),
+            Box::new(BfsSearcher::new()),
+        ]);
+        s.add(meta(1, 0, 0));
+        s.add(meta(2, 1, 0));
+        // DFS always answers 2; BFS alternates 1, 2, 1, 2...
+        let picks: Vec<StateId> = (0..4).map(|_| s.select().unwrap()).collect();
+        assert_eq!(
+            picks,
+            vec![StateId(2), StateId(1), StateId(2), StateId(2)],
+            "round-robin order violated"
+        );
+        // Removing the states empties both sub-searchers consistently.
+        s.remove(StateId(1));
+        s.remove(StateId(2));
+        assert_eq!(s.select(), None);
+    }
+
+    #[test]
+    fn cupa_selects_every_nonempty_class_within_one_rotation() {
+        let mut s = CupaSearcher::new(5);
+        // Three classes: covering, plain call-site 1, expensive call-site 2.
+        s.add(meta_in(1, 3, 1, 0));
+        s.add(meta_in(2, 0, 1, 0));
+        s.add(meta_in(3, 0, 2, 1000));
+        assert_eq!(s.num_classes(), 3);
+        // A giant sibling cluster in one more class must not starve others.
+        for id in 10..60 {
+            s.add(meta_in(id, 0, 7, 0));
+        }
+        assert_eq!(s.num_classes(), 4);
+        let k = s.num_classes();
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..k {
+            let picked = s.select().expect("states available");
+            seen.insert(CupaSearcher::classify(&match picked {
+                StateId(1) => meta_in(1, 3, 1, 0),
+                StateId(2) => meta_in(2, 0, 1, 0),
+                StateId(3) => meta_in(3, 0, 2, 1000),
+                StateId(id) => meta_in(id, 0, 7, 0),
+            }));
+        }
+        assert_eq!(seen.len(), k, "a class was starved within one rotation");
+    }
+
+    #[test]
+    fn cupa_skips_emptied_classes_and_empties_cleanly() {
+        let mut s = CupaSearcher::new(9);
+        s.add(meta_in(1, 0, 1, 0));
+        s.add(meta_in(2, 0, 2, 0));
+        // Empty a class mid-rotation: its stale rotation entry must be
+        // skipped, never selected.
+        s.remove(StateId(1));
+        for _ in 0..10 {
+            assert_eq!(s.select(), Some(StateId(2)));
+        }
+        s.remove(StateId(2));
+        assert_eq!(s.select(), None);
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.num_classes(), 0);
+    }
+
+    #[test]
+    fn cupa_is_deterministic_under_a_fixed_seed() {
+        let build = || {
+            let mut s = CupaSearcher::new(42);
+            for id in 0..20 {
+                s.add(meta_in(
+                    id,
+                    (id % 3) as usize,
+                    (id % 4) as u32,
+                    id as usize * 7,
+                ));
+            }
+            s
+        };
+        let (mut a, mut b) = (build(), build());
+        for _ in 0..100 {
+            assert_eq!(a.select(), b.select());
+        }
+    }
+
+    #[test]
+    fn cupa_remove_readd_cycles_do_not_starve_other_classes() {
+        // The engine removes and re-adds the running state around every
+        // execution slice. A sole-member class cycled this way must not
+        // accumulate rotation entries: afterwards, one rotation's worth of
+        // picks still visits every class.
+        let mut s = CupaSearcher::new(17);
+        s.add(meta_in(1, 0, 1, 0)); // the hot, constantly-cycled state
+        s.add(meta_in(2, 0, 2, 0));
+        s.add(meta_in(3, 0, 3, 0));
+        for _ in 0..1000 {
+            s.remove(StateId(1));
+            s.add(meta_in(1, 0, 1, 0));
+        }
+        let k = s.num_classes();
+        assert_eq!(k, 3);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..k {
+            seen.insert(s.select().expect("states available"));
+        }
+        assert_eq!(
+            seen.len(),
+            k,
+            "remove/re-add cycling let one class crowd out the rotation"
+        );
+    }
+
+    #[test]
+    fn cupa_reclassifies_a_readded_state() {
+        let mut s = CupaSearcher::new(3);
+        s.add(meta_in(1, 0, 1, 0));
+        assert_eq!(s.num_classes(), 1);
+        // The same state comes back (after a quantum) having covered new
+        // lines: it must move to the covering class, not duplicate.
+        s.add(meta_in(1, 5, 1, 0));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.num_classes(), 1);
+        assert_eq!(s.select(), Some(StateId(1)));
     }
 
     #[test]

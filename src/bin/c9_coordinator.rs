@@ -24,7 +24,9 @@
 //! c9-worker --join 127.0.0.1:9100 &
 //! ```
 
-use c9_core::{Checkpoint, Cluster, ClusterConfig, CoordinatorRunOpts, EnvSpec};
+use c9_core::{
+    Checkpoint, Cluster, ClusterConfig, CoordinatorRunOpts, EnvSpec, PortfolioConfig, StrategyKind,
+};
 use c9_net::TcpCoordinatorEndpoint;
 use c9_posix::PosixEnvironment;
 use c9_targets::{named_workload, workload_names, WorkloadEnv};
@@ -52,6 +54,9 @@ struct Args {
     quantum: Option<u64>,
     status_interval: Option<Duration>,
     balance_interval: Option<Duration>,
+    strategy: Option<StrategyKind>,
+    portfolio: Option<Vec<StrategyKind>>,
+    portfolio_adapt: bool,
 }
 
 fn usage() -> ! {
@@ -83,8 +88,21 @@ fn usage() -> ! {
          \x20 --status-interval-ms MS   worker status cadence\n\
          \x20 --balance-interval-ms MS  balancing cadence\n\
          \n\
-         targets: {}",
-        workload_names().join(", ")
+         strategy portfolio:\n\
+         \x20 --strategy NAME        run every worker with this strategy\n\
+         \x20 --portfolio LIST       comma-separated strategy mix spread across the\n\
+         \x20                        workers (e.g. dfs,random-path,cov-opt,cupa)\n\
+         \x20 --portfolio-adapt      rebalance the mix by per-strategy coverage yield:\n\
+         \x20                        starving strategies lose workers to productive ones\n\
+         \n\
+         targets: {}\n\
+         strategies: {}",
+        workload_names().join(", "),
+        StrategyKind::ALL
+            .iter()
+            .map(|k| k.name())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     std::process::exit(2);
 }
@@ -109,6 +127,9 @@ fn parse_args() -> Args {
         quantum: None,
         status_interval: None,
         balance_interval: None,
+        strategy: None,
+        portfolio: None,
+        portfolio_adapt: false,
     };
     let mut it = std::env::args().skip(1);
     fn next_f64(it: &mut impl Iterator<Item = String>) -> f64 {
@@ -164,6 +185,27 @@ fn parse_args() -> Args {
             "--balance-interval-ms" => {
                 args.balance_interval = Some(Duration::from_millis(next_u64(&mut it)));
             }
+            "--strategy" => {
+                let name = it.next().unwrap_or_else(|| usage());
+                match name.parse::<StrategyKind>() {
+                    Ok(kind) => args.strategy = Some(kind),
+                    Err(e) => {
+                        eprintln!("c9-coordinator: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--portfolio" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                match PortfolioConfig::parse_mix(&list) {
+                    Ok(mix) => args.portfolio = Some(mix),
+                    Err(e) => {
+                        eprintln!("c9-coordinator: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--portfolio-adapt" => args.portfolio_adapt = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -225,6 +267,18 @@ fn main() {
         ..ClusterConfig::default()
     };
     config.worker.generate_test_cases = args.generate_tests;
+    if let Some(strategy) = args.strategy {
+        config.worker.strategy = strategy;
+    }
+    if let Some(mix) = &args.portfolio {
+        config.portfolio = Some(PortfolioConfig {
+            mix: mix.clone(),
+            adapt: args.portfolio_adapt,
+        });
+    } else if args.portfolio_adapt {
+        eprintln!("c9-coordinator: --portfolio-adapt requires --portfolio");
+        std::process::exit(2);
+    }
     if let Some(quantum) = args.quantum {
         config.quantum = quantum;
     }
@@ -306,6 +360,14 @@ fn main() {
     println!("workers failed:    {}", s.workers_failed);
     println!("workers joined:    {}", s.workers_joined);
     println!("jobs reclaimed:    {}", s.jobs_reclaimed);
+    if let Some(mix) = &args.portfolio {
+        println!(
+            "portfolio:         {} (adapt: {}, rebalances: {})",
+            mix.iter().map(|k| k.name()).collect::<Vec<_>>().join(","),
+            args.portfolio_adapt,
+            s.strategy_rebalances,
+        );
+    }
     println!(
         "useful/replay:     {} / {}",
         s.useful_instructions(),

@@ -105,9 +105,10 @@ fn run_elastic(args: &Args, coordinator: &str) -> ! {
         previous = Some((endpoint.id(), endpoint.worker_epoch()));
         if !args.quiet {
             eprintln!(
-                "c9-worker[{}]: joined (epoch {})",
+                "c9-worker[{}]: joined (epoch {}, assigned strategy {})",
                 endpoint.id(),
-                endpoint.worker_epoch()
+                endpoint.worker_epoch(),
+                endpoint.assigned_strategy(),
             );
         }
         loop {

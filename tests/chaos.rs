@@ -261,6 +261,112 @@ fn late_joiner_is_folded_into_a_running_elastic_cluster() {
     );
 }
 
+/// Strategy portfolios under chaos: a 4-worker elastic cluster running the
+/// full `dfs,random-path,cov-opt,cupa` mix (with adaptive rebalancing on)
+/// loses one worker to SIGKILL and gains a replacement joiner mid-run. The
+/// coordinator must re-assign strategies across the churn — the four
+/// initial joiners get the four distinct mix strategies, the replacement
+/// draws from the freed slots — and the run must still finish with exactly
+/// the uninterrupted path count.
+#[test]
+fn portfolio_strategy_assignments_survive_worker_crash_and_rejoin() {
+    let expected = baseline_paths();
+
+    let args: Vec<String> = [
+        "--listen",
+        "127.0.0.1:0",
+        "--min-workers",
+        "4",
+        "--target",
+        TARGET,
+        "--time-limit",
+        "180",
+        "--quantum",
+        "100",
+        "--status-interval-ms",
+        "2",
+        "--balance-interval-ms",
+        "4",
+        "--heartbeat-timeout",
+        "0.75",
+        "--heartbeat-interval-ms",
+        "25",
+        "--snapshot-every",
+        "1",
+        "--portfolio",
+        "dfs,random-path,cov-opt,cupa",
+        "--portfolio-adapt",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let (mut child, stderr) = spawn_coordinator(&args);
+
+    let mut stdout_reader = BufReader::new(child.stdout.take().expect("coordinator stdout"));
+    let mut banner = String::new();
+    stdout_reader
+        .read_line(&mut banner)
+        .expect("read coordinator banner");
+    assert!(banner.contains("listening on"), "banner: {banner}");
+    let coordinator_addr = banner.trim().rsplit(' ').next().unwrap().to_string();
+
+    let join_args = ["--join", coordinator_addr.as_str(), "--once", "--quiet"];
+    let mut workers: Vec<WorkerProc> = (0..4).map(|_| spawn_worker(&join_args)).collect();
+    await_run_started(&stderr);
+    std::thread::sleep(Duration::from_millis(400));
+
+    // SIGKILL one member and send in a replacement immediately: its join
+    // lands within milliseconds, well before the failure detector (0.75s)
+    // frees the victim's slot and re-injects its jobs — the survivors'
+    // recovery work keeps the run alive long enough for both to matter.
+    let victim = &mut workers[1];
+    victim.child.kill().expect("kill worker");
+    victim.child.wait().expect("reap worker");
+    let _replacement = spawn_worker(&join_args);
+
+    let mut stdout = String::new();
+    std::io::Read::read_to_string(&mut stdout_reader, &mut stdout).expect("read stdout");
+    let status = child.wait().expect("wait coordinator");
+    assert!(status.success(), "coordinator failed:\n{stdout}");
+
+    // Collect the coordinator's membership log: every join line names the
+    // assigned strategy.
+    let mut join_strategies = Vec::new();
+    while let Ok(line) = stderr.try_recv() {
+        if let Some((_, rest)) = line.split_once("strategy ") {
+            if line.contains("joined") {
+                join_strategies.push(rest.trim_end_matches(')').to_string());
+            }
+        }
+    }
+    assert_eq!(
+        join_strategies.len(),
+        5,
+        "expected 4 initial joins + 1 replacement, got {join_strategies:?}"
+    );
+    let initial: std::collections::BTreeSet<&String> = join_strategies[..4].iter().collect();
+    assert_eq!(
+        initial.len(),
+        4,
+        "the 4-strategy mix must spread across the 4 initial workers: {join_strategies:?}"
+    );
+
+    assert_eq!(
+        stdout_field(&stdout, "workers failed:"),
+        1,
+        "the kill must be detected as exactly one failure:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("exhausted:         true"),
+        "the churned portfolio cluster did not exhaust:\n{stdout}"
+    );
+    assert_eq!(
+        stdout_field(&stdout, "total paths:"),
+        expected,
+        "portfolio crash/rejoin lost or double-counted paths:\n{stdout}"
+    );
+}
+
 /// Checkpoint/resume: a run stopped by a path limit writes its final
 /// checkpoint (completed stats + pending frontier); a second run with
 /// fresh worker processes resumes it and must land on exactly the

@@ -1,0 +1,121 @@
+//! Strategy-portfolio integration tests: a cluster whose workers run a
+//! heterogeneous strategy mix must stay *exact* (dynamic partitioning keeps
+//! frontiers disjoint no matter how each worker orders its exploration) and
+//! must reach at least the uniform baseline's coverage for the same quantum
+//! budget.
+
+use cloud9::core::{Cluster, ClusterConfig, ClusterRunResult, PortfolioConfig};
+use cloud9::posix::PosixEnvironment;
+use cloud9::targets::named_workload;
+use cloud9::vm::StrategyKind;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn run(target: &str, workers: usize, portfolio: Option<PortfolioConfig>) -> ClusterRunResult {
+    let workload = named_workload(target).expect("registered target");
+    let cluster = Cluster::new(
+        Arc::new(workload.program),
+        Arc::new(PosixEnvironment::new()),
+        ClusterConfig {
+            num_workers: workers,
+            time_limit: Some(Duration::from_secs(300)),
+            quantum: 2_000,
+            status_interval: Duration::from_millis(2),
+            balance_interval: Duration::from_millis(5),
+            portfolio,
+            ..ClusterConfig::default()
+        },
+    );
+    cluster.run()
+}
+
+fn full_mix() -> Vec<StrategyKind> {
+    vec![
+        StrategyKind::Dfs,
+        StrategyKind::RandomPath,
+        StrategyKind::CovOpt,
+        StrategyKind::Cupa,
+    ]
+}
+
+/// The acceptance-criteria test: a 4-worker portfolio run on memcached
+/// reaches at least the uniform-strategy baseline's global coverage in the
+/// same quantum budget, without losing or duplicating any path.
+#[test]
+fn four_worker_portfolio_matches_uniform_coverage_on_memcached() {
+    let uniform = run("memcached", 4, None);
+    assert!(uniform.summary.exhausted, "uniform baseline must exhaust");
+
+    let portfolio = run(
+        "memcached",
+        4,
+        Some(PortfolioConfig {
+            mix: full_mix(),
+            adapt: false,
+        }),
+    );
+    assert!(portfolio.summary.exhausted, "portfolio run must exhaust");
+    assert_eq!(
+        portfolio.summary.paths_completed(),
+        uniform.summary.paths_completed(),
+        "a strategy mix must not change the explored tree"
+    );
+    assert!(
+        portfolio.summary.coverage_ratio() >= uniform.summary.coverage_ratio(),
+        "portfolio coverage {:.3} fell below the uniform baseline {:.3}",
+        portfolio.summary.coverage_ratio(),
+        uniform.summary.coverage_ratio()
+    );
+}
+
+/// Adaptive rebalancing (SetStrategy controls flowing mid-run) keeps the
+/// exploration exact too.
+#[test]
+fn adaptive_portfolio_stays_exact() {
+    let uniform = run("memcached", 2, None);
+    assert!(uniform.summary.exhausted);
+
+    let adaptive = run(
+        "memcached",
+        4,
+        Some(PortfolioConfig {
+            mix: full_mix(),
+            adapt: true,
+        }),
+    );
+    assert!(adaptive.summary.exhausted);
+    assert_eq!(
+        adaptive.summary.paths_completed(),
+        uniform.summary.paths_completed(),
+        "adaptive reassignment lost or duplicated paths"
+    );
+}
+
+/// Every strategy of the mix explores the same tree when run uniformly —
+/// the per-strategy correctness the portfolio builds on.
+#[test]
+fn every_strategy_is_exhaustive_on_its_own() {
+    let baseline = run("memcached", 2, None);
+    assert!(baseline.summary.exhausted);
+    let expected = baseline.summary.paths_completed();
+    for kind in [
+        StrategyKind::RandomPath,
+        StrategyKind::CovOpt,
+        StrategyKind::Cupa,
+    ] {
+        let result = run(
+            "memcached",
+            2,
+            Some(PortfolioConfig {
+                mix: vec![kind],
+                adapt: false,
+            }),
+        );
+        assert!(result.summary.exhausted, "{kind} did not exhaust");
+        assert_eq!(
+            result.summary.paths_completed(),
+            expected,
+            "{kind} changed the explored tree"
+        );
+    }
+}
