@@ -1,0 +1,134 @@
+//! Intra-worker thread scaling: one worker exhausting a workload with
+//! `--threads` 1, 2, and 4, recording jobs/sec (completed paths per
+//! second) and useful-instructions/sec. The exhaustive path set is
+//! thread-count-invariant (asserted), so the rows are directly comparable.
+//!
+//! Full mode exhausts the memcached-3x5 and curl-8 workloads; `--quick`
+//! keeps only memcached-3x5 so the CI smoke job finishes in seconds.
+//! Results are also written to `BENCH_worker_scaling.json`.
+
+use c9_core::{Worker, WorkerConfig, WorkerId};
+use c9_posix::PosixEnvironment;
+use c9_targets::named_workload;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Row {
+    target: &'static str,
+    threads: usize,
+    paths: u64,
+    useful: u64,
+    secs: f64,
+}
+
+impl Row {
+    fn jobs_per_sec(&self) -> f64 {
+        self.paths as f64 / self.secs.max(1e-9)
+    }
+    fn useful_per_sec(&self) -> f64 {
+        self.useful as f64 / self.secs.max(1e-9)
+    }
+}
+
+fn run_one(target: &'static str, threads: usize) -> Row {
+    let workload = named_workload(target).expect("registered target");
+    let mut worker = Worker::new(
+        WorkerId(0),
+        Arc::new(workload.program),
+        Arc::new(PosixEnvironment::new()),
+        WorkerConfig {
+            threads,
+            ..WorkerConfig::default()
+        },
+    );
+    worker.seed_root();
+    let start = Instant::now();
+    while worker.has_work() {
+        worker.run_quantum(100_000);
+    }
+    Row {
+        target,
+        threads,
+        paths: worker.stats.paths_completed,
+        useful: worker.stats.useful_instructions,
+        secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Every run goes to exhaustion so the rows compare identical total
+    // work (a path-budget cut-off would stop different subtrees at
+    // different thread counts); quick mode just drops the long curl-8
+    // exhaustion and keeps memcached-3x5 (~0.1s per run in release).
+    let targets: &[&'static str] = if quick {
+        &["memcached-3x5"]
+    } else {
+        &["memcached-3x5", "curl"]
+    };
+    let thread_counts = [1usize, 2, 4];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &target in targets {
+        let mut exhaustive_paths: Option<u64> = None;
+        for &threads in &thread_counts {
+            let row = run_one(target, threads);
+            // Exhaustion: the path count must be thread-count-invariant.
+            match exhaustive_paths {
+                None => exhaustive_paths = Some(row.paths),
+                Some(expected) => assert_eq!(
+                    row.paths, expected,
+                    "{target} path count changed with --threads {threads}"
+                ),
+            }
+            eprintln!(
+                "worker_scaling {} threads {}: {} paths, {} useful instrs, {:.2}s",
+                row.target, row.threads, row.paths, row.useful, row.secs
+            );
+            rows.push(row);
+        }
+    }
+
+    println!("\n== worker thread scaling (one worker, shared solver) ==");
+    println!("target\t| threads\t| paths\t| jobs/sec\t| useful-instrs/sec\t| speedup");
+    println!("{}", "-".repeat(88));
+    let mut json_rows = Vec::new();
+    for row in &rows {
+        let base = rows
+            .iter()
+            .find(|r| r.target == row.target && r.threads == 1)
+            .expect("baseline row");
+        let speedup = row.useful_per_sec() / base.useful_per_sec().max(1e-9);
+        println!(
+            "{}\t| {}\t| {}\t| {:.0}\t| {:.0}\t| {:.2}x",
+            row.target,
+            row.threads,
+            row.paths,
+            row.jobs_per_sec(),
+            row.useful_per_sec(),
+            speedup,
+        );
+        json_rows.push(format!(
+            "    {{\"target\": \"{}\", \"threads\": {}, \"paths\": {}, \"jobs_per_sec\": {:.2}, \
+             \"useful_instrs_per_sec\": {:.2}, \"speedup_vs_1\": {:.3}, \"secs\": {:.3}}}",
+            row.target,
+            row.threads,
+            row.paths,
+            row.jobs_per_sec(),
+            row.useful_per_sec(),
+            speedup,
+            row.secs,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"worker_scaling\",\n  \"quick\": {},\n  \"available_parallelism\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        quick,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        json_rows.join(",\n"),
+    );
+    if let Err(e) = std::fs::write("BENCH_worker_scaling.json", &json) {
+        eprintln!("worker_scaling: cannot write BENCH_worker_scaling.json: {e}");
+    }
+}

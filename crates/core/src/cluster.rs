@@ -145,6 +145,7 @@ impl ClusterConfig {
             strategy,
             generate_test_cases: self.worker.generate_test_cases,
             export_deepest: self.worker.export_deepest,
+            threads: self.worker.threads,
             quantum: self.quantum,
             status_interval: self.status_interval,
             seed_root: worker.0 == 0 && self.resume.is_none(),
@@ -1015,7 +1016,7 @@ pub fn run_worker_loop<E: WorkerEndpoint>(
             epoch: opts.worker_epoch,
             queue_length: worker.queue_length(),
             coverage: worker.coverage_snapshot(),
-            stats: worker.stats.clone(),
+            stats: worker.report_stats(),
             idle: !worker.has_work(),
             strategy: worker.strategy(),
             frontier,
@@ -1153,7 +1154,7 @@ pub fn run_worker_loop<E: WorkerEndpoint>(
     let _ = endpoint.send_final(c9_net::FinalReport {
         worker: id,
         epoch: opts.worker_epoch,
-        stats: worker.stats.clone(),
+        stats: worker.report_stats(),
         coverage: worker.coverage_snapshot(),
         test_cases: std::mem::take(&mut worker.test_cases),
         bugs: std::mem::take(&mut worker.bugs),
@@ -1170,12 +1171,25 @@ pub fn run_worker_from_spec<E: WorkerEndpoint>(
     spec: RunSpec,
     env: Arc<dyn Environment>,
 ) {
+    run_worker_from_spec_with(endpoint, spec, env, None)
+}
+
+/// Like [`run_worker_from_spec`], with a local override of the executor
+/// thread count (the `c9-worker --threads` flag): a daemon operator knows
+/// the machine's core budget better than the coordinator does.
+pub fn run_worker_from_spec_with<E: WorkerEndpoint>(
+    endpoint: &mut E,
+    spec: RunSpec,
+    env: Arc<dyn Environment>,
+    threads_override: Option<usize>,
+) {
     let config = WorkerConfig {
         executor: spec.executor,
         seed: spec.seed,
         strategy: spec.strategy,
         generate_test_cases: spec.generate_test_cases,
         export_deepest: spec.export_deepest,
+        threads: threads_override.unwrap_or(spec.threads).max(1),
     };
     let opts = WorkerLoopOpts {
         quantum: spec.quantum,

@@ -72,14 +72,14 @@ pub use c9_net::{
 };
 pub use c9_vm::StrategyKind;
 pub use cluster::{
-    run_worker_from_spec, run_worker_loop, Cluster, ClusterConfig, ClusterRunResult,
-    CoordinatorRunOpts, WorkerLoopOpts,
+    run_worker_from_spec, run_worker_from_spec_with, run_worker_loop, Cluster, ClusterConfig,
+    ClusterRunResult, CoordinatorRunOpts, WorkerLoopOpts,
 };
 pub use membership::{Checkpoint, MemberHealth, MemberState, Membership};
 pub use portfolio::{derive_seed, Portfolio, PortfolioCheckpoint, PortfolioConfig, StrategyYield};
 pub use stats::{ClusterSummary, IntervalSample};
 pub use tree::{NodeId, NodeLife, NodeStatus, TreeNode, WorkerTree};
-pub use worker::{Worker, WorkerConfig};
+pub use worker::{default_threads, Worker, WorkerConfig};
 
 #[cfg(test)]
 mod tests;

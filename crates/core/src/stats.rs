@@ -91,4 +91,14 @@ impl ClusterSummary {
     pub fn coverage_ratio(&self) -> f64 {
         self.coverage.ratio()
     }
+
+    /// Aggregated solver counters across all workers (each worker reports
+    /// the totals of the one solver its executor threads share).
+    pub fn solver_stats(&self) -> c9_solver::SolverStats {
+        let mut total = c9_solver::SolverStats::default();
+        for w in &self.worker_stats {
+            total.merge(&w.solver);
+        }
+        total
+    }
 }

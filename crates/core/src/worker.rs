@@ -1,5 +1,29 @@
 //! A Cloud9 worker: an independent symbolic execution engine plus the
 //! execution-tree bookkeeping needed for dynamic work partitioning.
+//!
+//! # Intra-worker parallelism
+//!
+//! A worker steps `threads` states concurrently over one shared frontier
+//! and one shared (thread-safe) solver. [`Worker::run_quantum`] is a
+//! scoped-thread dispatch loop:
+//!
+//! * **lease** — up to `threads` disjoint states are taken from the
+//!   [`Scheduler`] (materializing virtual jobs as needed) on the dispatch
+//!   thread;
+//! * **step** — each leased state runs a bounded slice of instructions on
+//!   its own executor thread (slot 0 runs inline on the dispatch thread),
+//!   recording forks and terminations as an ordered event log; states
+//!   share nothing mutable except the solver, whose caches are
+//!   lock-striped and whose answers are interleaving-independent;
+//! * **merge** — the dispatch thread applies every slot's events in slot
+//!   order: fork records into the worker tree, terminated paths into the
+//!   statistics/coverage/test cases, surviving states back into the
+//!   scheduler, and the per-thread state-id lanes back into the master
+//!   generator.
+//!
+//! With `threads == 1` the loop degenerates to exactly the classic
+//! sequential quantum (same selection sequence, same state ids, same
+//! event order), which keeps all single-thread runs bit-compatible.
 
 use crate::portfolio::derive_seed;
 use crate::tree::WorkerTree;
@@ -7,11 +31,33 @@ use c9_ir::Program;
 use c9_net::{Job, WorkerId, WorkerStats};
 use c9_solver::Solver;
 use c9_vm::{
-    build_searcher, CoverageSet, Environment, ExecutionState, Executor, ExecutorConfig, Searcher,
-    StateId, StateIdGen, StateMeta, StepResult, StrategyKind, TestCase,
+    build_searcher, CoverageSet, Environment, ExecutionState, Executor, ExecutorConfig, PathChoice,
+    Scheduler, StateId, StateIdGen, StateMeta, StepResult, StrategyKind, TestCase,
 };
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
+
+/// Instructions per execution slice: how long one state runs on one thread
+/// before the round is merged (and, in the classic single-threaded loop,
+/// between searcher re-registrations).
+const SLICE_INSTRUCTIONS: u64 = 512;
+
+/// Default executor-thread count: the `C9_THREADS` environment variable
+/// when set (this is what lets the CI matrix run every suite at
+/// `C9_THREADS=4` unmodified), else 1.
+pub fn default_threads() -> usize {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("C9_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+            .min(256)
+    })
+}
 
 /// Configuration of one worker.
 #[derive(Clone, Copy, Debug)]
@@ -27,6 +73,9 @@ pub struct WorkerConfig {
     pub generate_test_cases: bool,
     /// Prefer exporting the deepest candidates when asked to shed load.
     pub export_deepest: bool,
+    /// Executor threads stepping states concurrently inside this worker
+    /// (defaults to `C9_THREADS` or 1; 1 is the classic sequential loop).
+    pub threads: usize,
 }
 
 impl Default for WorkerConfig {
@@ -37,6 +86,7 @@ impl Default for WorkerConfig {
             strategy: StrategyKind::KleeDefault,
             generate_test_cases: false,
             export_deepest: true,
+            threads: default_threads(),
         }
     }
 }
@@ -49,12 +99,12 @@ pub struct Worker {
     executor: Executor,
     solver: Arc<Solver>,
     config: WorkerConfig,
-    /// The exploration strategy currently driving the searcher (starts as
+    /// The exploration strategy currently driving the scheduler (starts as
     /// `config.strategy`, changed by portfolio reassignments).
     strategy: StrategyKind,
     states: BTreeMap<StateId, ExecutionState>,
     virtual_jobs: VecDeque<Job>,
-    searcher: Box<dyn Searcher>,
+    scheduler: Scheduler,
     ids: StateIdGen,
     /// The worker-local execution tree (candidate/fence/dead bookkeeping).
     pub tree: WorkerTree,
@@ -67,7 +117,6 @@ pub struct Worker {
     pub test_cases: Vec<TestCase>,
     /// Test cases that expose bugs.
     pub bugs: Vec<TestCase>,
-    current: Option<StateId>,
 }
 
 impl Worker {
@@ -78,14 +127,13 @@ impl Worker {
         env: Arc<dyn Environment>,
         config: WorkerConfig,
     ) -> Worker {
-        // The solver is shared only within this engine's thread (`Solver` is
-        // not `Sync`); the `Arc` exists so test-case generation can hold it.
-        #[allow(clippy::arc_with_non_send_sync)]
+        // One thread-safe solver shared by every executor thread of this
+        // worker: all threads hit (and warm) the same lock-striped caches.
         let solver = Arc::new(Solver::new());
         let lines = program.loc();
         let executor = Executor::new(program, solver.clone(), env, config.executor);
         let seed = derive_seed(config.seed, id, 0);
-        let searcher = build_searcher(config.strategy, seed);
+        let scheduler = Scheduler::new(build_searcher(config.strategy, seed));
         Worker {
             id,
             executor,
@@ -94,20 +142,27 @@ impl Worker {
             config,
             states: BTreeMap::new(),
             virtual_jobs: VecDeque::new(),
-            searcher,
+            scheduler,
             ids: StateIdGen::new(),
             tree: WorkerTree::new(),
-            stats: WorkerStats::default(),
+            stats: WorkerStats {
+                threads: config.threads.max(1) as u64,
+                ..WorkerStats::default()
+            },
             coverage: CoverageSet::new(lines),
             test_cases: Vec::new(),
             bugs: Vec::new(),
-            current: None,
         }
     }
 
     /// The exploration strategy currently in effect.
     pub fn strategy(&self) -> StrategyKind {
         self.strategy
+    }
+
+    /// Number of executor threads this worker steps states with.
+    pub fn threads(&self) -> usize {
+        self.config.threads.max(1)
     }
 
     /// Switches the exploration strategy in place (a portfolio
@@ -118,11 +173,11 @@ impl Worker {
         if strategy == self.strategy {
             return;
         }
-        let mut searcher = build_searcher(strategy, seed);
+        self.scheduler
+            .replace_searcher(build_searcher(strategy, seed));
         for state in self.states.values() {
-            searcher.add(StateMeta::of(state));
+            self.scheduler.add(StateMeta::of(state));
         }
-        self.searcher = searcher;
         self.strategy = strategy;
         self.stats.strategy_switches += 1;
     }
@@ -133,7 +188,7 @@ impl Worker {
         let id = self.ids.fresh();
         let state = self.executor.initial_state(id);
         self.tree.set_root(id);
-        self.searcher.add(StateMeta::of(&state));
+        self.scheduler.add(StateMeta::of(&state));
         self.states.insert(id, state);
     }
 
@@ -187,10 +242,7 @@ impl Worker {
                     break;
                 }
                 if let Some(state) = self.states.remove(&id) {
-                    if Some(id) == self.current {
-                        self.current = None;
-                    }
-                    self.searcher.remove(id);
+                    self.scheduler.remove(id);
                     self.tree.record_export(id);
                     out.push(Job::new(state.path.clone()));
                 }
@@ -229,158 +281,43 @@ impl Worker {
         self.coverage.merge(global);
     }
 
-    /// Runs up to `max_instructions` instructions of exploration and returns
-    /// how many were executed (useful + replay).
+    /// The cumulative statistics as reported to the coordinator: the
+    /// worker-loop counters plus a fresh snapshot of the shared solver's
+    /// query/cache/independence counters.
+    pub fn report_stats(&self) -> WorkerStats {
+        let mut stats = self.stats.clone();
+        stats.threads = self.config.threads.max(1) as u64;
+        stats.solver = self.solver.stats();
+        stats
+    }
+
+    /// Runs up to `max_instructions` instructions of exploration across
+    /// `threads` executor threads and returns how many were executed
+    /// (useful + replay, summed over all threads).
     pub fn run_quantum(&mut self, max_instructions: u64) -> u64 {
-        let mut executed = 0u64;
-        while executed < max_instructions {
-            // Pick something to work on.
-            let state_id = match self.current {
-                Some(id) if self.states.contains_key(&id) => id,
-                _ => {
-                    if let Some(id) = self.searcher.select() {
-                        id
-                    } else if let Some(job) = self.virtual_jobs.pop_front() {
-                        match self.materialize(job, &mut executed, max_instructions) {
-                            Some(id) => id,
-                            None => continue,
-                        }
-                    } else {
-                        break;
-                    }
-                }
-            };
-            self.current = Some(state_id);
-            let Some(state) = self.states.remove(&state_id) else {
-                self.searcher.remove(state_id);
-                self.current = None;
-                continue;
-            };
-            self.searcher.remove(state_id);
-
-            // Run this state for a slice of the quantum.
-            let slice_end = (executed + 512).min(max_instructions);
-            let mut slot: Option<ExecutionState> = Some(state);
-            while executed < slice_end {
-                let s = slot.as_mut().expect("state present while stepping");
-                let replaying = s.is_replaying();
-                match self.executor.step(s, &mut self.ids) {
-                    StepResult::Continue => {
-                        executed += 1;
-                        if replaying {
-                            self.stats.replay_instructions += 1;
-                        } else {
-                            self.stats.useful_instructions += 1;
-                        }
-                    }
-                    StepResult::Forked(siblings) => {
-                        executed += 1;
-                        self.stats.useful_instructions += 1;
-                        let mut successors = vec![(s.id, s.path.clone())];
-                        for sibling in &siblings {
-                            successors.push((sibling.id, sibling.path.clone()));
-                        }
-                        self.tree.record_fork(state_id, &successors);
-                        for sibling in siblings {
-                            if sibling.is_terminated() {
-                                self.finish_path(sibling);
-                            } else {
-                                self.searcher.add(StateMeta::of(&sibling));
-                                self.states.insert(sibling.id, sibling);
-                            }
-                        }
-                    }
-                    StepResult::Terminated(_) => {
-                        executed += 1;
-                        if replaying {
-                            self.stats.replay_instructions += 1;
-                        } else {
-                            self.stats.useful_instructions += 1;
-                        }
-                        self.current = None;
-                        let terminated = slot.take().expect("state present at termination");
-                        self.finish_path(terminated);
-                        break;
-                    }
-                }
-            }
-            if let Some(still_active) = slot {
-                self.searcher.add(StateMeta::of(&still_active));
-                self.states.insert(state_id, still_active);
-                if executed >= max_instructions {
-                    break;
-                }
-            }
+        let threads = self.config.threads.max(1);
+        let mut parts = EngineParts {
+            executor: &self.executor,
+            solver: &self.solver,
+            generate_test_cases: self.config.generate_test_cases,
+            states: &mut self.states,
+            virtual_jobs: &mut self.virtual_jobs,
+            scheduler: &mut self.scheduler,
+            ids: &mut self.ids,
+            tree: &mut self.tree,
+            stats: &mut self.stats,
+            coverage: &mut self.coverage,
+            test_cases: &mut self.test_cases,
+            bugs: &mut self.bugs,
+        };
+        if threads == 1 {
+            return dispatch_quantum(&mut parts, max_instructions, &[]);
         }
-        executed
-    }
-
-    /// Materializes a virtual job by replaying its path from the root; the
-    /// instructions executed count as replay (non-useful) work.
-    fn materialize(
-        &mut self,
-        job: Job,
-        executed: &mut u64,
-        max_instructions: u64,
-    ) -> Option<StateId> {
-        let node = self.tree.record_import(&job);
-        let id = self.ids.fresh();
-        let mut state = self.executor.replay_state(id, job.path);
-        self.stats.materializations += 1;
-        // Replay to the end of the recorded path (allow a generous overrun of
-        // the quantum so a materialization always completes once started).
-        let hard_limit = max_instructions.saturating_mul(4).max(1_000_000);
-        while state.is_replaying() && !state.is_terminated() {
-            if *executed >= hard_limit {
-                break;
-            }
-            match self.executor.step(&mut state, &mut self.ids) {
-                StepResult::Continue | StepResult::Forked(_) => {
-                    *executed += 1;
-                    self.stats.replay_instructions += 1;
-                }
-                StepResult::Terminated(_) => {
-                    *executed += 1;
-                    self.stats.replay_instructions += 1;
-                    break;
-                }
-            }
-        }
-        if state.is_terminated() {
-            if matches!(state.termination, Some(c9_vm::TerminationReason::Killed(_))) {
-                self.stats.broken_replays += 1;
-            }
-            self.finish_path(state);
-            return None;
-        }
-        self.tree.record_materialization(node, id);
-        self.searcher.add(StateMeta::of(&state));
-        self.states.insert(id, state);
-        Some(id)
-    }
-
-    fn finish_path(&mut self, state: ExecutionState) {
-        self.stats.paths_completed += 1;
-        self.coverage.merge(&state.coverage);
-        self.tree.record_termination(state.id);
-        let is_bug = state
-            .termination
-            .as_ref()
-            .map(|t| t.is_bug())
-            .unwrap_or(false);
-        if is_bug {
-            self.stats.bugs_found += 1;
-        }
-        if self.config.generate_test_cases || is_bug {
-            if let Some(tc) = TestCase::from_state(&state, &self.solver) {
-                if is_bug {
-                    self.bugs.push(tc.clone());
-                }
-                if self.config.generate_test_cases {
-                    self.test_cases.push(tc);
-                }
-            }
-        }
+        let executor = parts.executor;
+        std::thread::scope(|scope| {
+            let lanes: Vec<Lane> = (1..threads).map(|_| Lane::spawn(scope, executor)).collect();
+            dispatch_quantum(&mut parts, max_instructions, &lanes)
+        })
     }
 
     /// Snapshot of the local coverage.
@@ -388,8 +325,330 @@ impl Worker {
         self.coverage.clone()
     }
 
-    /// The solver owned by this worker (exposed for statistics).
+    /// The solver shared by this worker's executor threads (exposed for
+    /// statistics).
     pub fn solver(&self) -> &Arc<Solver> {
         &self.solver
+    }
+}
+
+/// Disjoint borrows of the worker fields the dispatch loop needs: the
+/// executor is shared with the lane threads while everything else stays
+/// exclusive to the dispatch thread.
+struct EngineParts<'a> {
+    executor: &'a Executor,
+    solver: &'a Arc<Solver>,
+    generate_test_cases: bool,
+    states: &'a mut BTreeMap<StateId, ExecutionState>,
+    virtual_jobs: &'a mut VecDeque<Job>,
+    scheduler: &'a mut Scheduler,
+    ids: &'a mut StateIdGen,
+    tree: &'a mut WorkerTree,
+    stats: &'a mut WorkerStats,
+    coverage: &'a mut CoverageSet,
+    test_cases: &'a mut Vec<TestCase>,
+    bugs: &'a mut Vec<TestCase>,
+}
+
+/// One leased state shipped to an executor thread for one slice.
+struct SliceTask {
+    state: ExecutionState,
+    ids: StateIdGen,
+    budget: u64,
+}
+
+/// What happened during one slice, in event order.
+enum SliceEvent {
+    /// The stepped state forked: `successors` are the (id, path-at-fork)
+    /// records for the worker tree, `siblings` the new states themselves.
+    Fork {
+        parent: StateId,
+        successors: Vec<(StateId, Vec<PathChoice>)>,
+        siblings: Vec<ExecutionState>,
+    },
+    /// A state terminated (the stepped state, or a sibling born dead).
+    /// Boxed: terminated states are rare relative to plain steps, and an
+    /// `ExecutionState` is large compared to a fork record.
+    Finished(Box<ExecutionState>),
+}
+
+/// The result of one slice on one executor thread.
+struct SliceOutcome {
+    /// The stepped state if it is still active at slice end.
+    state: Option<ExecutionState>,
+    events: Vec<SliceEvent>,
+    executed: u64,
+    useful: u64,
+    replay: u64,
+    /// Where this thread's id lane stopped allocating.
+    ids_next: u64,
+}
+
+/// A persistent executor thread of one quantum: receives slice tasks,
+/// steps them, ships outcomes back. Lanes live for the duration of one
+/// `run_quantum` scope, so the per-thread spawn cost is amortized over all
+/// rounds of the quantum.
+struct Lane<'scope> {
+    tx: Sender<SliceTask>,
+    rx: Receiver<SliceOutcome>,
+    _handle: std::thread::ScopedJoinHandle<'scope, ()>,
+}
+
+impl<'scope> Lane<'scope> {
+    fn spawn<'env: 'scope>(
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        executor: &'env Executor,
+    ) -> Lane<'scope> {
+        let (task_tx, task_rx) = unbounded::<SliceTask>();
+        let (out_tx, out_rx) = unbounded::<SliceOutcome>();
+        let handle = scope.spawn(move || {
+            while let Ok(task) = task_rx.recv() {
+                if out_tx.send(run_slice(executor, task)).is_err() {
+                    break;
+                }
+            }
+        });
+        Lane {
+            tx: task_tx,
+            rx: out_rx,
+            _handle: handle,
+        }
+    }
+}
+
+/// Steps one state for up to `budget` instructions, collecting fork and
+/// termination events. Runs on an executor thread (or inline on the
+/// dispatch thread for slot 0); touches nothing but the state, its id
+/// lane, and the thread-safe solver behind the executor.
+fn run_slice(executor: &Executor, task: SliceTask) -> SliceOutcome {
+    let SliceTask {
+        state,
+        mut ids,
+        budget,
+    } = task;
+    let parent = state.id;
+    let mut events = Vec::new();
+    let (mut executed, mut useful, mut replay) = (0u64, 0u64, 0u64);
+    let mut slot = Some(state);
+    while executed < budget {
+        let s = slot.as_mut().expect("state present while stepping");
+        let replaying = s.is_replaying();
+        match executor.step(s, &mut ids) {
+            StepResult::Continue => {
+                executed += 1;
+                if replaying {
+                    replay += 1;
+                } else {
+                    useful += 1;
+                }
+            }
+            StepResult::Forked(siblings) => {
+                executed += 1;
+                useful += 1;
+                let mut successors = vec![(s.id, s.path.clone())];
+                for sibling in &siblings {
+                    successors.push((sibling.id, sibling.path.clone()));
+                }
+                events.push(SliceEvent::Fork {
+                    parent,
+                    successors,
+                    siblings,
+                });
+            }
+            StepResult::Terminated(_) => {
+                executed += 1;
+                if replaying {
+                    replay += 1;
+                } else {
+                    useful += 1;
+                }
+                let terminated = slot.take().expect("state present at termination");
+                events.push(SliceEvent::Finished(Box::new(terminated)));
+                break;
+            }
+        }
+    }
+    SliceOutcome {
+        state: slot,
+        events,
+        executed,
+        useful,
+        replay,
+        ids_next: ids.next_unused(),
+    }
+}
+
+/// The dispatch loop: lease up to `lanes.len() + 1` disjoint states, step
+/// each for a slice (slot 0 inline, the rest on the lanes), then merge all
+/// outcomes in slot order. With no lanes this is exactly the classic
+/// sequential quantum loop.
+fn dispatch_quantum(parts: &mut EngineParts<'_>, max_instructions: u64, lanes: &[Lane]) -> u64 {
+    let width = lanes.len() + 1;
+    let mut executed = 0u64;
+    while executed < max_instructions {
+        // Lease phase: fill the round with disjoint states. Virtual jobs
+        // are materialized (single-threadedly, counting replay work toward
+        // the quantum) once the scheduler runs dry.
+        let mut batch: Vec<ExecutionState> = Vec::with_capacity(width);
+        while batch.len() < width {
+            if let Some(id) = parts.scheduler.lease() {
+                if let Some(state) = parts.states.remove(&id) {
+                    batch.push(state);
+                }
+                continue;
+            }
+            // Materialization executes replay instructions, so it only
+            // starts while quantum budget remains (as the classic loop
+            // gated it); already-leased states still get their slice.
+            if executed >= max_instructions {
+                break;
+            }
+            let Some(job) = parts.virtual_jobs.pop_front() else {
+                break;
+            };
+            if let Some(id) = materialize(parts, job, &mut executed, max_instructions) {
+                parts.scheduler.lease_specific(id);
+                if let Some(state) = parts.states.remove(&id) {
+                    batch.push(state);
+                }
+            }
+        }
+        if batch.is_empty() {
+            break;
+        }
+
+        // Step phase: one slice per state, each on its own id lane.
+        let slice = SLICE_INSTRUCTIONS.min(max_instructions.saturating_sub(executed));
+        let stride = batch.len() as u64;
+        let base = parts.ids.next_unused();
+        let lanes_used = batch.len() - 1;
+        let mut drain = batch.into_iter();
+        let first = drain.next().expect("batch not empty");
+        for (k, state) in drain.enumerate() {
+            let task = SliceTask {
+                state,
+                ids: StateIdGen::strided(base + 1 + k as u64, stride),
+                budget: slice,
+            };
+            assert!(lanes[k].tx.send(task).is_ok(), "lane thread alive");
+        }
+        let mut outcomes = Vec::with_capacity(lanes_used + 1);
+        outcomes.push(run_slice(
+            parts.executor,
+            SliceTask {
+                state: first,
+                ids: StateIdGen::strided(base, stride),
+                budget: slice,
+            },
+        ));
+        for lane in lanes.iter().take(lanes_used) {
+            outcomes.push(lane.rx.recv().expect("lane thread alive"));
+        }
+
+        // Merge phase, in slot order: counters, tree records, forked
+        // siblings, completed paths, surviving states, id lanes.
+        let mut ids_high = parts.ids.next_unused();
+        for outcome in outcomes {
+            executed += outcome.executed;
+            parts.stats.useful_instructions += outcome.useful;
+            parts.stats.replay_instructions += outcome.replay;
+            ids_high = ids_high.max(outcome.ids_next);
+            for event in outcome.events {
+                match event {
+                    SliceEvent::Fork {
+                        parent,
+                        successors,
+                        siblings,
+                    } => {
+                        parts.tree.record_fork(parent, &successors);
+                        for sibling in siblings {
+                            if sibling.is_terminated() {
+                                finish_path(parts, sibling);
+                            } else {
+                                parts.scheduler.add(StateMeta::of(&sibling));
+                                parts.states.insert(sibling.id, sibling);
+                            }
+                        }
+                    }
+                    SliceEvent::Finished(state) => finish_path(parts, *state),
+                }
+            }
+            if let Some(active) = outcome.state {
+                parts.scheduler.release(StateMeta::of(&active));
+                parts.states.insert(active.id, active);
+            }
+        }
+        parts.ids.advance_to(ids_high);
+    }
+    executed
+}
+
+/// Materializes a virtual job by replaying its path from the root; the
+/// instructions executed count as replay (non-useful) work.
+fn materialize(
+    parts: &mut EngineParts<'_>,
+    job: Job,
+    executed: &mut u64,
+    max_instructions: u64,
+) -> Option<StateId> {
+    let node = parts.tree.record_import(&job);
+    let id = parts.ids.fresh();
+    let mut state = parts.executor.replay_state(id, job.path);
+    parts.stats.materializations += 1;
+    // Replay to the end of the recorded path (allow a generous overrun of
+    // the quantum so a materialization always completes once started).
+    let hard_limit = max_instructions.saturating_mul(4).max(1_000_000);
+    while state.is_replaying() && !state.is_terminated() {
+        if *executed >= hard_limit {
+            break;
+        }
+        match parts.executor.step(&mut state, parts.ids) {
+            StepResult::Continue | StepResult::Forked(_) => {
+                *executed += 1;
+                parts.stats.replay_instructions += 1;
+            }
+            StepResult::Terminated(_) => {
+                *executed += 1;
+                parts.stats.replay_instructions += 1;
+                break;
+            }
+        }
+    }
+    if state.is_terminated() {
+        if matches!(state.termination, Some(c9_vm::TerminationReason::Killed(_))) {
+            parts.stats.broken_replays += 1;
+        }
+        finish_path(parts, state);
+        return None;
+    }
+    parts.tree.record_materialization(node, id);
+    parts.scheduler.add(StateMeta::of(&state));
+    parts.states.insert(id, state);
+    Some(id)
+}
+
+/// Accounts a completed path: statistics, coverage, tree bookkeeping, and
+/// (when enabled, or when the path exposes a bug) a concrete test case.
+fn finish_path(parts: &mut EngineParts<'_>, state: ExecutionState) {
+    parts.stats.paths_completed += 1;
+    parts.coverage.merge(&state.coverage);
+    parts.tree.record_termination(state.id);
+    let is_bug = state
+        .termination
+        .as_ref()
+        .map(|t| t.is_bug())
+        .unwrap_or(false);
+    if is_bug {
+        parts.stats.bugs_found += 1;
+    }
+    if parts.generate_test_cases || is_bug {
+        if let Some(tc) = TestCase::from_state(&state, parts.solver) {
+            if is_bug {
+                parts.bugs.push(tc.clone());
+            }
+            if parts.generate_test_cases {
+                parts.test_cases.push(tc);
+            }
+        }
     }
 }

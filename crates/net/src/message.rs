@@ -243,6 +243,10 @@ pub struct RunSpec {
     pub generate_test_cases: bool,
     /// Prefer exporting the deepest candidates when shedding load.
     pub export_deepest: bool,
+    /// Number of executor threads stepping states concurrently inside the
+    /// worker (`--threads`); 1 reproduces the classic single-threaded
+    /// quantum loop exactly.
+    pub threads: usize,
     /// Instructions per worker quantum between message-handling points.
     pub quantum: u64,
     /// How often the worker reports status to the load balancer.
@@ -268,6 +272,9 @@ pub struct RunSpec {
 
 /// Connection preamble and envelope for every frame a transport carries.
 #[derive(Clone, Debug, Serialize, Deserialize)]
+// `Status` dominates both in frequency and size (stats + coverage); keeping
+// it inline avoids a per-report allocation on the hottest frame path.
+#[allow(clippy::large_enum_variant)]
 pub enum WireMessage {
     /// Coordinator → worker, first frame on the control connection: the
     /// worker's identity, the cluster size, and every worker's listen

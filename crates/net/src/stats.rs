@@ -1,11 +1,18 @@
 //! Per-worker statistics, reported over the wire to the load balancer.
 
+use c9_solver::SolverStats;
 use serde::{Deserialize, Serialize};
 
 /// Statistics one worker reports to the load balancer and to the experiment
 /// harness.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct WorkerStats {
+    /// Number of executor threads the worker runs (`--threads`).
+    pub threads: u64,
+    /// Snapshot of the worker's shared-solver counters (queries, cache
+    /// hits, independence slices); all executor threads feed one solver,
+    /// so this is a per-worker total, not a per-thread one.
+    pub solver: SolverStats,
     /// Instructions executed exploring new work ("useful work" in §7.2).
     pub useful_instructions: u64,
     /// Instructions spent replaying transferred job paths.
@@ -32,6 +39,11 @@ pub struct WorkerStats {
 impl WorkerStats {
     /// Merges another snapshot into this one.
     pub fn merge(&mut self, other: &WorkerStats) {
+        // Thread count is a configuration datum, not a counter: merging
+        // reports of one worker keeps its (identical) value, merging
+        // across workers keeps the largest.
+        self.threads = self.threads.max(other.threads);
+        self.solver.merge(&other.solver);
         self.useful_instructions += other.useful_instructions;
         self.replay_instructions += other.replay_instructions;
         self.paths_completed += other.paths_completed;

@@ -5,11 +5,22 @@
 //! the relevant part of the cache is rebuilt during path replay. These caches
 //! are therefore owned by the [`crate::Solver`] instance of each worker, not
 //! by the execution states.
+//!
+//! One solver is shared by every executor thread of a worker, so the query
+//! cache is *lock-striped*: queries are routed to one of
+//! [`QUERY_CACHE_SHARDS`] independently locked [`QueryCache`] shards by
+//! their fingerprint, so concurrent threads rarely contend on the same
+//! lock and all threads profit from each other's cached answers.
 
 use c9_expr::{Assignment, ExprRef};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of independently locked shards of a [`ShardedQueryCache`].
+pub const QUERY_CACHE_SHARDS: usize = 16;
 
 /// Computes a stable fingerprint for a query (constraints + optional query
 /// expression). Colliding fingerprints are disambiguated by storing the full
@@ -26,16 +37,40 @@ fn fingerprint(constraints: &[ExprRef], query: Option<&ExprRef>) -> u64 {
     h.finish()
 }
 
-/// One cached query: the constraint set, the optional extra query
-/// expression, and the recorded answer.
-type CacheEntry = (Vec<ExprRef>, Option<ExprRef>, bool);
+/// One cached query: the full key, the recorded satisfiability answer, the
+/// canonical model (backfilled lazily for sat entries when a caller needs
+/// one), and the second-chance reference bit.
+#[derive(Debug)]
+struct CacheEntry {
+    constraints: Vec<ExprRef>,
+    query: Option<ExprRef>,
+    sat: bool,
+    model: Option<Assignment>,
+    referenced: bool,
+}
 
-/// Cache of satisfiability answers keyed by the exact constraint set.
+impl CacheEntry {
+    fn matches(&self, constraints: &[ExprRef], query: Option<&ExprRef>) -> bool {
+        self.constraints.as_slice() == constraints && self.query.as_ref() == query
+    }
+}
+
+/// Cache of satisfiability answers keyed by the exact constraint set, with
+/// segmented second-chance (clock) eviction.
+///
+/// Hitting capacity evicts one *segment* (an eighth of the capacity) of
+/// cold entries instead of dropping the whole cache: entries whose
+/// reference bit was set by a hit since the clock hand last passed them get
+/// a second chance and survive, so the hot part of the cache is preserved
+/// across overflows.
 #[derive(Debug, Default)]
 pub struct QueryCache {
     entries: HashMap<u64, Vec<CacheEntry>>,
+    /// Clock order of fingerprint buckets; each bucket appears once.
+    clock: VecDeque<u64>,
     hits: u64,
     misses: u64,
+    evictions: u64,
     capacity: usize,
     len: usize,
 }
@@ -49,14 +84,41 @@ impl QueryCache {
         }
     }
 
-    /// Looks up a previously-computed satisfiability answer.
-    pub fn get(&mut self, constraints: &[ExprRef], query: Option<&ExprRef>) -> Option<bool> {
-        let fp = fingerprint(constraints, query);
-        let found = self.entries.get(&fp).and_then(|bucket| {
+    /// Looks up a previously-computed answer: the satisfiability bit plus
+    /// (when `want_model`) the canonical model recorded for a sat entry.
+    /// Feasibility lookups pass `want_model: false` to skip the model
+    /// clone on the hot path.
+    pub fn get(
+        &mut self,
+        constraints: &[ExprRef],
+        query: Option<&ExprRef>,
+        want_model: bool,
+    ) -> Option<(bool, Option<Assignment>)> {
+        self.get_with_fp(
+            fingerprint(constraints, query),
+            constraints,
+            query,
+            want_model,
+        )
+    }
+
+    /// [`QueryCache::get`] with the fingerprint already computed (the
+    /// sharded wrapper hashes once for routing and passes it down).
+    fn get_with_fp(
+        &mut self,
+        fp: u64,
+        constraints: &[ExprRef],
+        query: Option<&ExprRef>,
+        want_model: bool,
+    ) -> Option<(bool, Option<Assignment>)> {
+        let found = self.entries.get_mut(&fp).and_then(|bucket| {
             bucket
-                .iter()
-                .find(|(c, q, _)| c.as_slice() == constraints && q.as_ref() == query)
-                .map(|(_, _, sat)| *sat)
+                .iter_mut()
+                .find(|e| e.matches(constraints, query))
+                .map(|e| {
+                    e.referenced = true;
+                    (e.sat, if want_model { e.model.clone() } else { None })
+                })
         });
         if found.is_some() {
             self.hits += 1;
@@ -66,20 +128,84 @@ impl QueryCache {
         found
     }
 
-    /// Records a satisfiability answer.
-    pub fn insert(&mut self, constraints: &[ExprRef], query: Option<&ExprRef>, sat: bool) {
-        if self.len >= self.capacity {
-            // Simple wholesale eviction: the cache is an optimization, and
-            // path replay rebuilds it cheaply (paper §6).
-            self.entries.clear();
-            self.len = 0;
+    /// Records an answer (updating the entry in place if the key is already
+    /// cached; an existing canonical model is never discarded).
+    pub fn insert(
+        &mut self,
+        constraints: &[ExprRef],
+        query: Option<&ExprRef>,
+        sat: bool,
+        model: Option<Assignment>,
+    ) {
+        self.insert_with_fp(
+            fingerprint(constraints, query),
+            constraints,
+            query,
+            sat,
+            model,
+        )
+    }
+
+    /// [`QueryCache::insert`] with the fingerprint already computed.
+    fn insert_with_fp(
+        &mut self,
+        fp: u64,
+        constraints: &[ExprRef],
+        query: Option<&ExprRef>,
+        sat: bool,
+        model: Option<Assignment>,
+    ) {
+        if let Some(bucket) = self.entries.get_mut(&fp) {
+            if let Some(entry) = bucket.iter_mut().find(|e| e.matches(constraints, query)) {
+                entry.sat = sat;
+                if model.is_some() {
+                    entry.model = model;
+                }
+                entry.referenced = true;
+                return;
+            }
         }
-        let fp = fingerprint(constraints, query);
-        self.entries
-            .entry(fp)
-            .or_default()
-            .push((constraints.to_vec(), query.cloned(), sat));
+        if self.len >= self.capacity {
+            self.evict_segment();
+        }
+        let bucket = self.entries.entry(fp).or_default();
+        if bucket.is_empty() {
+            self.clock.push_back(fp);
+        }
+        bucket.push(CacheEntry {
+            constraints: constraints.to_vec(),
+            query: query.cloned(),
+            sat,
+            model,
+            referenced: false,
+        });
         self.len += 1;
+    }
+
+    /// Evicts cold entries until a segment (an eighth of the capacity, at
+    /// least one entry) is free. Buckets whose reference bit is set get the
+    /// bit cleared and are put back at the clock tail — the second chance.
+    fn evict_segment(&mut self) {
+        let segment = (self.capacity / 8).max(1);
+        let target = self.capacity.saturating_sub(segment);
+        while self.len > target {
+            let Some(fp) = self.clock.pop_front() else {
+                break;
+            };
+            let Some(bucket) = self.entries.get_mut(&fp) else {
+                continue; // stale hand position (bucket already gone)
+            };
+            if bucket.iter().any(|e| e.referenced) {
+                for e in bucket.iter_mut() {
+                    e.referenced = false;
+                }
+                self.clock.push_back(fp);
+            } else {
+                let removed = self.entries.remove(&fp).map(|b| b.len()).unwrap_or(0);
+                self.len -= removed;
+                self.evictions += removed as u64;
+            }
+        }
     }
 
     /// Number of cache hits so far.
@@ -90,6 +216,11 @@ impl QueryCache {
     /// Number of cache misses so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Number of entries evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Number of entries currently cached.
@@ -105,7 +236,92 @@ impl QueryCache {
     /// Drops all entries (used to model a state arriving at a new worker).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.clock.clear();
         self.len = 0;
+    }
+}
+
+/// A query cache striped over [`QUERY_CACHE_SHARDS`] independently locked
+/// shards, routed by query fingerprint. This is what makes the solver
+/// [`Sync`]: every executor thread of a worker shares one logical cache
+/// instead of rebuilding a private one.
+#[derive(Debug)]
+pub struct ShardedQueryCache {
+    shards: Vec<Mutex<QueryCache>>,
+}
+
+impl ShardedQueryCache {
+    /// Creates a sharded cache bounded to roughly `capacity` entries in
+    /// total (each shard holds its even share).
+    pub fn new(capacity: usize) -> ShardedQueryCache {
+        let per_shard = capacity.div_ceil(QUERY_CACHE_SHARDS);
+        ShardedQueryCache {
+            shards: (0..QUERY_CACHE_SHARDS)
+                .map(|_| Mutex::new(QueryCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, fp: u64) -> &Mutex<QueryCache> {
+        &self.shards[(fp % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up a previously-computed answer in the owning shard; the
+    /// canonical model is only cloned when `want_model` is set.
+    pub fn get(
+        &self,
+        constraints: &[ExprRef],
+        query: Option<&ExprRef>,
+        want_model: bool,
+    ) -> Option<(bool, Option<Assignment>)> {
+        let fp = fingerprint(constraints, query);
+        self.shard(fp)
+            .lock()
+            .expect("query cache shard poisoned")
+            .get_with_fp(fp, constraints, query, want_model)
+    }
+
+    /// Records an answer in the owning shard.
+    pub fn insert(
+        &self,
+        constraints: &[ExprRef],
+        query: Option<&ExprRef>,
+        sat: bool,
+        model: Option<Assignment>,
+    ) {
+        let fp = fingerprint(constraints, query);
+        self.shard(fp)
+            .lock()
+            .expect("query cache shard poisoned")
+            .insert_with_fp(fp, constraints, query, sat, model);
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("query cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total hits across all shards.
+    pub fn hits(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("query cache shard poisoned").hits())
+            .sum()
+    }
+
+    /// Drops all entries from every shard.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("query cache shard poisoned").clear();
+        }
     }
 }
 
@@ -113,13 +329,15 @@ impl QueryCache {
 ///
 /// Before running a full search, the solver tries each cached model against
 /// the new constraint set; parser-style constraints along neighbouring paths
-/// frequently share models, so this avoids many searches outright.
+/// frequently share models, so this avoids many searches outright. Lookups
+/// take `&self` (the hit counter is atomic) so concurrent readers can scan
+/// under a read lock.
 #[derive(Debug, Default)]
 pub struct ModelCache {
     models: Vec<Assignment>,
     capacity: usize,
     next: usize,
-    hits: u64,
+    hits: AtomicU64,
 }
 
 impl ModelCache {
@@ -129,19 +347,19 @@ impl ModelCache {
             models: Vec::with_capacity(capacity),
             capacity,
             next: 0,
-            hits: 0,
+            hits: AtomicU64::new(0),
         }
     }
 
     /// Returns the first cached model satisfying all `constraints`, if any.
-    pub fn find_satisfying(&mut self, constraints: &[ExprRef]) -> Option<Assignment> {
+    pub fn find_satisfying(&self, constraints: &[ExprRef]) -> Option<Assignment> {
         let found = self
             .models
             .iter()
             .find(|m| c9_expr::eval_constraints(constraints, m) == Some(true))
             .cloned();
         if found.is_some() {
-            self.hits += 1;
+            self.hits.fetch_add(1, Ordering::Relaxed);
         }
         found
     }
@@ -161,7 +379,7 @@ impl ModelCache {
 
     /// Number of times a cached model answered a query.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Number of models currently cached.

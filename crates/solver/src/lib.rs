@@ -52,13 +52,13 @@ mod search;
 mod solver;
 mod stats;
 
-pub use cache::{ModelCache, QueryCache};
+pub use cache::{ModelCache, QueryCache, ShardedQueryCache, QUERY_CACHE_SHARDS};
 pub use constraint::ConstraintSet;
 pub use domain::{refine_domains, Domain};
 pub use independence::{independent_groups, relevant_constraints};
 pub use search::{SearchBudget, SearchOutcome};
 pub use solver::{SatResult, Solver, SolverConfig, Validity};
-pub use stats::SolverStats;
+pub use stats::{AtomicSolverStats, SolverStats};
 
 #[cfg(test)]
 mod tests;

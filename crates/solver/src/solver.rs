@@ -1,13 +1,13 @@
 //! The solver facade used by the symbolic execution engine.
 
-use crate::cache::{ModelCache, QueryCache};
+use crate::cache::{ModelCache, ShardedQueryCache};
 use crate::constraint::ConstraintSet;
 use crate::independence::relevant_constraints;
 use crate::search::{search, SearchBudget, SearchOutcome};
-use crate::stats::SolverStats;
+use crate::stats::{AtomicSolverStats, SolverStats};
 use c9_expr::{collect_symbols, Assignment, Expr, ExprRef, SymbolId, SymbolManager, Width};
-use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::RwLock;
 
 /// Configuration of a [`Solver`].
 #[derive(Clone, Copy, Debug)]
@@ -88,17 +88,34 @@ pub enum Validity {
 
 /// The constraint solver.
 ///
-/// A `Solver` owns its caches and statistics behind interior mutability so
-/// that the engine can treat it as a shared read-only service. Each Cloud9
-/// worker owns one solver instance.
+/// A `Solver` is `Send + Sync`: all interior mutability is synchronized
+/// (lock-striped query cache, read-write-locked model cache, atomic
+/// statistics), so every executor thread of a Cloud9 worker shares one
+/// solver instance — and one warm cache — instead of rebuilding a private
+/// cache per thread.
+///
+/// # Determinism
+///
+/// Model-*returning* queries ([`Solver::get_model`], [`Solver::get_value`],
+/// and the public [`Solver::check_sat`] entry points) always produce the
+/// *canonical* model: the deterministic backtracking-search result for the
+/// exact (sliced) constraint set, memoized in the query cache. Feasibility
+/// queries ([`Solver::may_be_true`] / [`Solver::must_be_true`]) only need
+/// the satisfiability bit and may be answered by any cached witness model.
+/// Since satisfiability bits and canonical models are pure functions of the
+/// constraint set, every value that can influence the shape of the
+/// execution tree is independent of thread interleaving — which is what
+/// keeps exhaustive path sets identical across `--threads` settings.
 #[derive(Debug)]
 pub struct Solver {
     config: SolverConfig,
-    query_cache: RefCell<QueryCache>,
-    model_cache: RefCell<ModelCache>,
-    stats: RefCell<SolverStats>,
-    /// Widths of symbols seen in queries, learned lazily from expressions.
-    widths: RefCell<BTreeMap<SymbolId, Width>>,
+    query_cache: ShardedQueryCache,
+    model_cache: RwLock<ModelCache>,
+    stats: AtomicSolverStats,
+    /// Widths of symbols registered via [`Solver::register_symbols`]; used
+    /// as a fallback for query symbols whose width cannot be learned from
+    /// the query expressions themselves.
+    registered_widths: RwLock<BTreeMap<SymbolId, Width>>,
 }
 
 impl Default for Solver {
@@ -116,10 +133,10 @@ impl Solver {
     /// Creates a solver with an explicit configuration.
     pub fn with_config(config: SolverConfig) -> Solver {
         Solver {
-            query_cache: RefCell::new(QueryCache::new(config.query_cache_capacity)),
-            model_cache: RefCell::new(ModelCache::new(config.model_cache_capacity)),
-            stats: RefCell::new(SolverStats::default()),
-            widths: RefCell::new(BTreeMap::new()),
+            query_cache: ShardedQueryCache::new(config.query_cache_capacity),
+            model_cache: RwLock::new(ModelCache::new(config.model_cache_capacity)),
+            stats: AtomicSolverStats::default(),
+            registered_widths: RwLock::new(BTreeMap::new()),
             config,
         }
     }
@@ -131,14 +148,17 @@ impl Solver {
 
     /// A snapshot of the solver statistics.
     pub fn stats(&self) -> SolverStats {
-        *self.stats.borrow()
+        self.stats.snapshot()
     }
 
     /// Registers the widths of symbols from a [`SymbolManager`]; queries
     /// mentioning unregistered symbols infer widths from the expressions that
     /// contain them.
     pub fn register_symbols(&self, manager: &SymbolManager) {
-        let mut widths = self.widths.borrow_mut();
+        let mut widths = self
+            .registered_widths
+            .write()
+            .expect("width table poisoned");
         for info in manager.iter() {
             widths.insert(info.id, info.width);
         }
@@ -146,42 +166,78 @@ impl Solver {
 
     /// Clears both caches, modelling a job arriving at a fresh worker.
     pub fn clear_caches(&self) {
-        self.query_cache.borrow_mut().clear();
-        self.model_cache.borrow_mut().clear();
+        self.query_cache.clear();
+        self.model_cache
+            .write()
+            .expect("model cache poisoned")
+            .clear();
     }
 
-    fn learn_widths(&self, exprs: &[ExprRef]) {
-        let mut widths = self.widths.borrow_mut();
-        for e in exprs {
-            learn_widths_rec(e, &mut widths);
+    /// Resolves the widths of `symbols` for a query over `working`: widths
+    /// are learned from the query's own expressions (every symbol carries
+    /// its width at each occurrence), falling back to registered widths.
+    ///
+    /// Widths are deliberately *not* cached across queries: symbol
+    /// identifiers are allocated per execution state, so the same id can
+    /// name symbols of different widths in different states — a shared
+    /// learned-width table would cross-contaminate concurrent queries.
+    fn widths_for(
+        &self,
+        working: &[ExprRef],
+        symbols: &BTreeSet<SymbolId>,
+    ) -> BTreeMap<SymbolId, Width> {
+        let mut learned = BTreeMap::new();
+        for e in working {
+            learn_widths_rec(e, &mut learned);
         }
-    }
-
-    fn widths_for(&self, symbols: &BTreeSet<SymbolId>) -> BTreeMap<SymbolId, Width> {
-        let widths = self.widths.borrow();
+        let registered = self.registered_widths.read().expect("width table poisoned");
         symbols
             .iter()
-            .map(|s| (*s, widths.get(s).copied().unwrap_or(Width::W8)))
+            .map(|s| {
+                let width = learned
+                    .get(s)
+                    .copied()
+                    .or_else(|| registered.get(s).copied())
+                    .unwrap_or(Width::W8);
+                (*s, width)
+            })
             .collect()
     }
 
     /// Checks whether the constraint set is satisfiable and returns a model
     /// if it is.
     pub fn check_sat(&self, constraints: &ConstraintSet) -> SatResult {
-        self.check_sat_with(constraints, None)
+        self.query(constraints, None, true)
     }
 
     /// Checks whether `constraints ∧ extra` is satisfiable.
     pub fn check_sat_with(&self, constraints: &ConstraintSet, extra: Option<ExprRef>) -> SatResult {
-        self.stats.borrow_mut().queries += 1;
+        self.query(constraints, extra, true)
+    }
+
+    /// The query pipeline: trivial rejection → independence slicing →
+    /// query cache → (witness) model cache → budgeted search.
+    ///
+    /// `needs_model` distinguishes model-returning callers (which must get
+    /// the canonical model, see the type-level documentation) from
+    /// feasibility callers (which only consume the satisfiability bit and
+    /// may be answered by an arbitrary cached witness, or an empty
+    /// placeholder model on a cached sat answer).
+    fn query(
+        &self,
+        constraints: &ConstraintSet,
+        extra: Option<ExprRef>,
+        needs_model: bool,
+    ) -> SatResult {
+        self.stats.inc_queries();
         if constraints.is_trivially_false() {
-            self.stats.borrow_mut().unsat += 1;
+            self.stats.inc_unsat();
             return SatResult::Unsat;
         }
         if let Some(e) = &extra {
             if let Some(c) = e.as_const() {
                 if c.is_false() {
-                    self.stats.borrow_mut().unsat += 1;
+                    self.stats.inc_unsat();
                     return SatResult::Unsat;
                 }
             }
@@ -192,12 +248,20 @@ impl Solver {
         // the engine invariant that the path-constraint set itself is always
         // satisfiable (every constraint was feasible when it was added), so
         // dropping independent groups cannot change the answer.
+        //
+        // A working set with a sliced-in extra expression can never be the
+        // key of a model-returning query (those always pass `extra: None`),
+        // so canonical models are only worth caching for extra-free keys.
+        let canonical_key = !matches!(&extra, Some(e) if !e.is_concrete());
         let mut working: Vec<ExprRef>;
         match &extra {
             Some(e) if !e.is_concrete() => {
                 if self.config.enable_independence {
                     let query_syms = collect_symbols(e);
                     working = relevant_constraints(constraints, &query_syms);
+                    if working.len() < constraints.len() {
+                        self.stats.inc_independence_slices();
+                    }
                     working.push(e.clone());
                 } else {
                     working = constraints.constraints().to_vec();
@@ -208,43 +272,55 @@ impl Solver {
                 working = constraints.constraints().to_vec();
             }
         }
-        self.learn_widths(&working);
 
-        // Query cache.
+        // Query cache. Feasibility callers only ask for the sat bit, so
+        // the shard does not clone the stored canonical model for them.
         if self.config.enable_query_cache {
-            if let Some(sat) = self.query_cache.borrow_mut().get(&working, None) {
-                self.stats.borrow_mut().query_cache_hits += 1;
-                if sat {
-                    // We still need a model; fall through to the model cache /
-                    // search only if the caller needs one. Returning a model
-                    // from the model cache if available, else do the search.
-                    if let Some(m) = self.model_cache.borrow_mut().find_satisfying(&working) {
-                        self.stats.borrow_mut().model_cache_hits += 1;
-                        return SatResult::Sat(m);
-                    }
-                } else {
-                    self.stats.borrow_mut().unsat += 1;
+            if let Some((sat, model)) = self.query_cache.get(&working, None, needs_model) {
+                self.stats.inc_query_cache_hits();
+                if !sat {
+                    self.stats.inc_unsat();
                     return SatResult::Unsat;
                 }
+                if !needs_model {
+                    // Feasibility callers discard the model; an empty
+                    // placeholder witness is enough.
+                    self.stats.inc_sat();
+                    return SatResult::Sat(Assignment::new());
+                }
+                if let Some(m) = model {
+                    self.stats.inc_sat();
+                    return SatResult::Sat(m);
+                }
+                // Sat is known but no canonical model was recorded yet (the
+                // bit came from a witness-cache hit): fall through to the
+                // search, which computes and backfills it.
             }
         }
 
-        // Model (counterexample) cache.
-        if self.config.enable_model_cache {
-            if let Some(m) = self.model_cache.borrow_mut().find_satisfying(&working) {
-                self.stats.borrow_mut().model_cache_hits += 1;
-                self.stats.borrow_mut().sat += 1;
+        // Model (counterexample) cache — feasibility only: any witness
+        // proves satisfiability, but model-returning callers need the
+        // canonical model for cross-thread determinism.
+        if !needs_model && self.config.enable_model_cache {
+            let witness = self
+                .model_cache
+                .read()
+                .expect("model cache poisoned")
+                .find_satisfying(&working);
+            if let Some(m) = witness {
+                self.stats.inc_model_cache_hits();
+                self.stats.inc_sat();
                 if self.config.enable_query_cache {
-                    self.query_cache.borrow_mut().insert(&working, None, true);
+                    self.query_cache.insert(&working, None, true, None);
                 }
                 return SatResult::Sat(m);
             }
         }
 
         // Full search over the sliced constraints.
-        self.stats.borrow_mut().searches += 1;
+        self.stats.inc_searches();
         let symbols: BTreeSet<SymbolId> = working.iter().flat_map(collect_symbols).collect();
-        let widths = self.widths_for(&symbols);
+        let widths = self.widths_for(&working, &symbols);
         let outcome = search(&working, &widths, self.config.budget, None);
         match outcome {
             SearchOutcome::Sat(model) => {
@@ -254,23 +330,27 @@ impl Solver {
                 // `get_value`) never pass an extra query, so they always get
                 // a model over the full constraint set.
                 if self.config.enable_query_cache {
-                    self.query_cache.borrow_mut().insert(&working, None, true);
+                    let canonical = canonical_key.then(|| model.clone());
+                    self.query_cache.insert(&working, None, true, canonical);
                 }
                 if self.config.enable_model_cache {
-                    self.model_cache.borrow_mut().insert(model.clone());
+                    self.model_cache
+                        .write()
+                        .expect("model cache poisoned")
+                        .insert(model.clone());
                 }
-                self.stats.borrow_mut().sat += 1;
+                self.stats.inc_sat();
                 SatResult::Sat(model)
             }
             SearchOutcome::Unsat => {
                 if self.config.enable_query_cache {
-                    self.query_cache.borrow_mut().insert(&working, None, false);
+                    self.query_cache.insert(&working, None, false, None);
                 }
-                self.stats.borrow_mut().unsat += 1;
+                self.stats.inc_unsat();
                 SatResult::Unsat
             }
             SearchOutcome::Unknown => {
-                self.stats.borrow_mut().unknowns += 1;
+                self.stats.inc_unknowns();
                 SatResult::Unknown
             }
         }
@@ -281,7 +361,7 @@ impl Solver {
     /// `Unknown` results are resolved according to
     /// [`SolverConfig::unknown_is_sat`].
     pub fn may_be_true(&self, constraints: &ConstraintSet, expr: ExprRef) -> bool {
-        match self.check_sat_with(constraints, Some(expr)) {
+        match self.query(constraints, Some(expr), false) {
             SatResult::Sat(_) => true,
             SatResult::Unsat => false,
             SatResult::Unknown => self.config.unknown_is_sat,
@@ -314,7 +394,7 @@ impl Solver {
         if let Some(c) = expr.as_const() {
             return Some(c.value());
         }
-        let mut model = self.check_sat_with(constraints, None).model()?;
+        let mut model = self.query(constraints, None, true).model()?;
         // Symbols of the query that the path constraints do not mention are
         // unconstrained; bind them to zero so the evaluation is total.
         for sym in collect_symbols(expr) {

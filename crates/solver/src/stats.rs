@@ -1,11 +1,15 @@
 //! Solver statistics.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters describing the work a [`crate::Solver`] has performed.
 ///
 /// These feed the per-worker statistics that Cloud9 workers report to the
-/// load balancer and that the evaluation harness aggregates.
+/// load balancer and that the evaluation harness aggregates. The live
+/// counters inside a solver are [`AtomicSolverStats`] (many executor threads
+/// share one solver); this struct is the serializable snapshot that crosses
+/// the wire.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SolverStats {
     /// Total satisfiability queries issued (feasibility + validity).
@@ -23,6 +27,9 @@ pub struct SolverStats {
     pub unsat: u64,
     /// Queries proved satisfiable.
     pub sat: u64,
+    /// Queries whose constraint set was reduced by independence slicing
+    /// (at least one independent constraint group was dropped).
+    pub independence_slices: u64,
 }
 
 impl SolverStats {
@@ -35,6 +42,7 @@ impl SolverStats {
         self.unknowns += other.unknowns;
         self.unsat += other.unsat;
         self.sat += other.sat;
+        self.independence_slices += other.independence_slices;
     }
 
     /// Fraction of queries answered by either cache, in `[0, 1]`.
@@ -43,5 +51,61 @@ impl SolverStats {
             return 0.0;
         }
         (self.query_cache_hits + self.model_cache_hits) as f64 / self.queries as f64
+    }
+}
+
+/// Lock-free live counters of a shared [`crate::Solver`].
+///
+/// Every counter is a relaxed atomic: executor threads bump them
+/// concurrently and only aggregate totals are ever observed, so no ordering
+/// between counters is required. [`AtomicSolverStats::snapshot`] produces
+/// the serializable [`SolverStats`] view.
+#[derive(Debug, Default)]
+pub struct AtomicSolverStats {
+    queries: AtomicU64,
+    query_cache_hits: AtomicU64,
+    model_cache_hits: AtomicU64,
+    searches: AtomicU64,
+    unknowns: AtomicU64,
+    unsat: AtomicU64,
+    sat: AtomicU64,
+    independence_slices: AtomicU64,
+}
+
+macro_rules! bump {
+    ($($method:ident => $field:ident),* $(,)?) => {
+        $(
+            #[doc = concat!("Increments the `", stringify!($field), "` counter.")]
+            pub fn $method(&self) {
+                self.$field.fetch_add(1, Ordering::Relaxed);
+            }
+        )*
+    };
+}
+
+impl AtomicSolverStats {
+    bump! {
+        inc_queries => queries,
+        inc_query_cache_hits => query_cache_hits,
+        inc_model_cache_hits => model_cache_hits,
+        inc_searches => searches,
+        inc_unknowns => unknowns,
+        inc_unsat => unsat,
+        inc_sat => sat,
+        inc_independence_slices => independence_slices,
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> SolverStats {
+        SolverStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            query_cache_hits: self.query_cache_hits.load(Ordering::Relaxed),
+            model_cache_hits: self.model_cache_hits.load(Ordering::Relaxed),
+            searches: self.searches.load(Ordering::Relaxed),
+            unknowns: self.unknowns.load(Ordering::Relaxed),
+            unsat: self.unsat.load(Ordering::Relaxed),
+            sat: self.sat.load(Ordering::Relaxed),
+            independence_slices: self.independence_slices.load(Ordering::Relaxed),
+        }
     }
 }

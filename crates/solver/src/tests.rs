@@ -1,8 +1,8 @@
 //! Unit and property-based tests for the solver.
 
 use crate::{
-    independent_groups, relevant_constraints, ConstraintSet, SatResult, Solver, SolverConfig,
-    Validity,
+    independent_groups, relevant_constraints, ConstraintSet, QueryCache, SatResult, Solver,
+    SolverConfig, Validity,
 };
 use c9_expr::{collect_symbols, Expr, ExprRef, SymbolId, SymbolManager, Width};
 use proptest::prelude::*;
@@ -301,6 +301,187 @@ fn string_match_constraints() {
     let model = solver.get_model(&pc).expect("sat");
     let recovered: Vec<u8> = req.iter().map(|s| model.get(*s).unwrap() as u8).collect();
     assert_eq!(&recovered, b"GET ");
+}
+
+/// The solver must be shareable across executor threads.
+#[test]
+fn solver_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Solver>();
+}
+
+fn pin_constraint(sym: SymbolId, value: u64) -> ExprRef {
+    Expr::eq(byte(sym), Expr::const_(value, Width::W8))
+}
+
+#[test]
+fn query_cache_eviction_keeps_hot_entries() {
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    let mut cache = QueryCache::new(8);
+    // Fill to capacity with 8 distinct single-constraint queries.
+    for v in 0..8u64 {
+        cache.insert(&[pin_constraint(x, v)], None, true, None);
+    }
+    assert_eq!(cache.len(), 8);
+    // Touch the first four: their reference bits mark them hot.
+    for v in 0..4u64 {
+        assert!(cache.get(&[pin_constraint(x, v)], None, true).is_some());
+    }
+    // Overflow: a segmented second-chance sweep must free one segment
+    // (capacity/8 = 1 entry here) without dropping the whole cache.
+    cache.insert(&[pin_constraint(x, 8)], None, false, None);
+    assert!(cache.len() <= 8, "capacity exceeded: {}", cache.len());
+    assert!(
+        cache.len() >= 7,
+        "wholesale eviction happened: only {} entries survived",
+        cache.len()
+    );
+    assert!(cache.evictions() >= 1);
+    // Every hot entry survived the sweep (the cold tail was evicted first).
+    for v in 0..4u64 {
+        assert!(
+            cache.get(&[pin_constraint(x, v)], None, true).is_some(),
+            "hot entry {v} was evicted"
+        );
+    }
+    // The newly inserted entry is present with its recorded answer.
+    assert_eq!(
+        cache.get(&[pin_constraint(x, 8)], None, true),
+        Some((false, None))
+    );
+}
+
+#[test]
+fn query_cache_eviction_boundary_exact_capacity() {
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    let mut cache = QueryCache::new(4);
+    // Inserting exactly `capacity` entries must not evict anything.
+    for v in 0..4u64 {
+        cache.insert(&[pin_constraint(x, v)], None, true, None);
+    }
+    assert_eq!(cache.len(), 4);
+    assert_eq!(cache.evictions(), 0);
+    // Re-inserting an existing key updates in place: still no eviction.
+    cache.insert(&[pin_constraint(x, 0)], None, true, None);
+    assert_eq!(cache.len(), 4);
+    assert_eq!(cache.evictions(), 0);
+    // The first insert past capacity triggers exactly one segment sweep.
+    cache.insert(&[pin_constraint(x, 99)], None, true, None);
+    assert!(cache.len() <= 4);
+    assert!(cache.evictions() >= 1);
+}
+
+#[test]
+fn query_cache_survives_sustained_overflow() {
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    let y = m.fresh("y", Width::W8);
+    let mut cache = QueryCache::new(16);
+    // One pinned-hot entry, kept alive by touching it between inserts.
+    let hot = [pin_constraint(x, 255)];
+    cache.insert(&hot, None, true, None);
+    for v in 0..200u64 {
+        cache.insert(&[pin_constraint(y, v % 251)], None, v % 2 == 0, None);
+        assert!(
+            cache.get(&hot, None, true).is_some(),
+            "hot entry lost at {v}"
+        );
+        assert!(cache.len() <= 16);
+    }
+}
+
+#[test]
+fn concurrent_solver_preserves_stats_and_cache_monotonicity() {
+    let solver = Solver::new();
+    const THREADS: u64 = 8;
+    const REPEATS: u64 = 50;
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    let y = m.fresh("y", Width::W8);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let solver = &solver;
+            let mut pc = ConstraintSet::new();
+            // Every thread shares one constraint (cache-hot across threads)
+            // and adds a private one (cache-cold on first use).
+            pc.push(Expr::ult(byte(x), Expr::const_(200, Width::W8)));
+            pc.push(pin_constraint(y, t));
+            scope.spawn(move || {
+                for _ in 0..REPEATS {
+                    assert!(solver.check_sat(&pc).is_sat());
+                    assert!(
+                        solver.may_be_true(&pc, Expr::ult(byte(x), Expr::const_(100, Width::W8)))
+                    );
+                }
+            });
+        }
+    });
+    let stats = solver.stats();
+    // No lost updates: every query of every thread is accounted for.
+    assert_eq!(stats.queries, THREADS * REPEATS * 2);
+    assert_eq!(stats.sat, THREADS * REPEATS * 2);
+    // The shared cache answered the repeats: far fewer searches than
+    // queries, and a healthy hit count.
+    assert!(
+        stats.query_cache_hits + stats.model_cache_hits >= THREADS * (REPEATS - 1),
+        "hits too low: {stats:?}"
+    );
+    assert!(
+        stats.searches <= 4 * THREADS,
+        "searches too high: {stats:?}"
+    );
+
+    // Cache hits are monotone: asking an already-cached query again can
+    // only grow the hit counters.
+    let before = solver.stats();
+    let mut pc = ConstraintSet::new();
+    pc.push(Expr::ult(byte(x), Expr::const_(200, Width::W8)));
+    pc.push(pin_constraint(y, 0));
+    assert!(solver.check_sat(&pc).is_sat());
+    let after = solver.stats();
+    assert!(
+        after.query_cache_hits + after.model_cache_hits
+            > before.query_cache_hits + before.model_cache_hits
+    );
+}
+
+#[test]
+fn canonical_models_are_reproducible() {
+    // The model handed to model-returning callers is a pure function of
+    // the constraint set: a fresh solver (empty caches) and a warmed-up
+    // solver must return the very same assignment.
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    let y = m.fresh("y", Width::W8);
+    let mut pc = ConstraintSet::new();
+    pc.push(Expr::ult(byte(x), Expr::const_(50, Width::W8)));
+    pc.push(Expr::eq(
+        Expr::add(byte(x), byte(y)),
+        Expr::const_(60, Width::W8),
+    ));
+
+    let warm = Solver::new();
+    // Warm the witness cache with a *different* but overlapping query whose
+    // model also satisfies `pc` for some values.
+    let mut other = ConstraintSet::new();
+    other.push(Expr::ult(byte(x), Expr::const_(50, Width::W8)));
+    assert!(warm.check_sat(&other).is_sat());
+    let warm_model = warm.get_model(&pc).expect("sat");
+
+    let fresh = Solver::new();
+    let fresh_model = fresh.get_model(&pc).expect("sat");
+    assert_eq!(
+        warm_model.get(x),
+        fresh_model.get(x),
+        "canonical model depends on cache state"
+    );
+    assert_eq!(warm_model.get(y), fresh_model.get(y));
+    // And asking the same solver twice reproduces it as well.
+    let again = warm.get_model(&pc).expect("sat");
+    assert_eq!(again.get(x), warm_model.get(x));
+    assert_eq!(again.get(y), warm_model.get(y));
 }
 
 proptest! {

@@ -64,6 +64,7 @@ mod env;
 mod errors;
 mod executor;
 mod memory;
+mod scheduler;
 mod searcher;
 mod state;
 pub mod sysno;
@@ -80,6 +81,7 @@ pub use env::{
 pub use errors::{BugKind, TerminationReason};
 pub use executor::{Executor, ExecutorConfig, StepResult};
 pub use memory::{AddressSpaceId, CowDomain, CowDomainId, MemObject, Memory};
+pub use scheduler::Scheduler;
 pub use searcher::{
     build_searcher, BfsSearcher, CoverageOptimizedSearcher, CupaSearcher, DfsSearcher,
     InterleavedSearcher, ParseStrategyError, RandomPathSearcher, RandomSearcher, Searcher,

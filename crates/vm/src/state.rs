@@ -17,22 +17,55 @@ use std::fmt;
 pub struct StateId(pub u64);
 
 /// Generator of fresh state identifiers.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+///
+/// Supports *strided* allocation for multi-threaded quanta: when `N`
+/// executor threads step disjoint states concurrently, thread `k` allocates
+/// from `StateIdGen::strided(base + k, N)`, so fork identifiers are unique
+/// across threads without any synchronization, and the single-thread case
+/// (`stride == 1`) allocates exactly the dense sequence it always did.
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct StateIdGen {
     next: u64,
+    stride: u64,
+}
+
+impl Default for StateIdGen {
+    fn default() -> StateIdGen {
+        StateIdGen { next: 0, stride: 1 }
+    }
 }
 
 impl StateIdGen {
-    /// Creates a generator starting at zero.
+    /// Creates a generator starting at zero with stride 1.
     pub fn new() -> StateIdGen {
         StateIdGen::default()
+    }
+
+    /// Creates a generator producing `start`, `start + stride`,
+    /// `start + 2·stride`, … (one executor thread's lane of the id space).
+    pub fn strided(start: u64, stride: u64) -> StateIdGen {
+        StateIdGen {
+            next: start,
+            stride: stride.max(1),
+        }
     }
 
     /// Returns a fresh identifier.
     pub fn fresh(&mut self) -> StateId {
         let id = StateId(self.next);
-        self.next += 1;
+        self.next += self.stride.max(1);
         id
+    }
+
+    /// The next raw identifier value this generator would hand out.
+    pub fn next_unused(&self) -> u64 {
+        self.next
+    }
+
+    /// Moves the generator forward to at least `value` (never backwards);
+    /// used to re-merge the per-thread lanes after a parallel round.
+    pub fn advance_to(&mut self, value: u64) {
+        self.next = self.next.max(value);
     }
 }
 

@@ -1,8 +1,9 @@
 //! Integration-style tests for the symbolic execution engine.
 
 use crate::{
-    sysno, BugKind, DfsSearcher, Engine, EngineConfig, ExecutorConfig, NullEnvironment, PathChoice,
-    StateIdGen, StepResult, TerminationReason,
+    sysno, BugKind, DfsSearcher, Engine, EngineConfig, Environment, ExecutionState, Executor,
+    ExecutorConfig, NullEnvironment, PathChoice, StateId, StateIdGen, StepResult,
+    TerminationReason,
 };
 use c9_ir::{AbortKind, BinaryOp, Operand, Program, ProgramBuilder, Width};
 use std::sync::Arc;
@@ -550,4 +551,37 @@ fn state_ids_are_unique_across_forks() {
     paths.sort();
     paths.dedup();
     assert_eq!(paths.len(), 16, "duplicate paths explored");
+}
+
+/// The execution stack must be shareable across executor threads: states
+/// move between threads, and the executor (program + solver + environment)
+/// is borrowed by all of them simultaneously.
+#[test]
+fn execution_stack_is_thread_safe() {
+    fn send<T: Send>() {}
+    fn send_sync<T: Send + Sync>() {}
+    send::<ExecutionState>();
+    send::<StateIdGen>();
+    send_sync::<Executor>();
+    send_sync::<std::sync::Arc<dyn Environment>>();
+    send_sync::<c9_solver::Solver>();
+}
+
+#[test]
+fn strided_id_generators_produce_disjoint_lanes() {
+    let mut lanes: Vec<StateIdGen> = (0..4).map(|k| StateIdGen::strided(10 + k, 4)).collect();
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..32 {
+        for lane in &mut lanes {
+            assert!(seen.insert(lane.fresh()), "lane collision");
+        }
+    }
+    // Stride 1 reproduces the dense single-thread sequence.
+    let mut dense = StateIdGen::new();
+    assert_eq!(dense.fresh(), StateId(0));
+    assert_eq!(dense.fresh(), StateId(1));
+    dense.advance_to(100);
+    assert_eq!(dense.fresh(), StateId(100));
+    dense.advance_to(50); // never moves backwards
+    assert_eq!(dense.fresh(), StateId(101));
 }

@@ -57,6 +57,7 @@ struct Args {
     strategy: Option<StrategyKind>,
     portfolio: Option<Vec<StrategyKind>>,
     portfolio_adapt: bool,
+    threads: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -85,6 +86,7 @@ fn usage() -> ! {
          \x20 --max-paths N          stop after N completed paths\n\
          \x20 --generate-tests       solve a concrete test case per path\n\
          \x20 --quantum N            instructions per worker quantum\n\
+         \x20 --threads N            executor threads per worker (default: C9_THREADS or 1)\n\
          \x20 --status-interval-ms MS   worker status cadence\n\
          \x20 --balance-interval-ms MS  balancing cadence\n\
          \n\
@@ -130,6 +132,7 @@ fn parse_args() -> Args {
         strategy: None,
         portfolio: None,
         portfolio_adapt: false,
+        threads: None,
     };
     let mut it = std::env::args().skip(1);
     fn next_f64(it: &mut impl Iterator<Item = String>) -> f64 {
@@ -179,6 +182,7 @@ fn parse_args() -> Args {
                 args.resume = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
             }
             "--quantum" => args.quantum = Some(next_u64(&mut it)),
+            "--threads" => args.threads = Some((next_u64(&mut it) as usize).max(1)),
             "--status-interval-ms" => {
                 args.status_interval = Some(Duration::from_millis(next_u64(&mut it)));
             }
@@ -282,6 +286,9 @@ fn main() {
     if let Some(quantum) = args.quantum {
         config.quantum = quantum;
     }
+    if let Some(threads) = args.threads {
+        config.worker.threads = threads;
+    }
     if let Some(interval) = args.status_interval {
         config.status_interval = interval;
     }
@@ -373,14 +380,26 @@ fn main() {
         s.useful_instructions(),
         s.replay_instructions()
     );
+    let solver = s.solver_stats();
+    println!(
+        "solver queries:    {} ({:.1}% cache hits, {} searches, {} independence slices)",
+        solver.queries,
+        100.0 * solver.cache_hit_rate(),
+        solver.searches,
+        solver.independence_slices,
+    );
     for (i, w) in s.worker_stats.iter().enumerate() {
         println!(
-            "  worker {i}: paths {:>6}  sent {:>5}  received {:>5}  useful {:>9}  replay {:>9}",
+            "  worker {i}: threads {:>2}  paths {:>6}  sent {:>5}  received {:>5}  useful {:>9}  \
+             replay {:>9}  queries {:>8}  cache {:>5.1}%",
+            w.threads,
             w.paths_completed,
             w.jobs_sent,
             w.jobs_received,
             w.useful_instructions,
             w.replay_instructions,
+            w.solver.queries,
+            100.0 * w.solver.cache_hit_rate(),
         );
     }
     // A run that lost workers is still successful when recovery kept the

@@ -33,6 +33,7 @@ struct Args {
     join: Option<String>,
     once: bool,
     quiet: bool,
+    threads: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -43,7 +44,8 @@ fn usage() -> ! {
          \x20 --listen HOST:PORT  address to listen on (default 127.0.0.1:0)\n\
          \x20 --join HOST:PORT    attach to a listening coordinator (elastic membership)\n\
          \x20 --once              exit after serving one run instead of looping\n\
-         \x20 --quiet             suppress per-run log lines"
+         \x20 --quiet             suppress per-run log lines\n\
+         \x20 --threads N         executor threads (overrides the coordinator's run spec)"
     );
     std::process::exit(2);
 }
@@ -54,6 +56,7 @@ fn parse_args() -> Args {
         join: None,
         once: false,
         quiet: false,
+        threads: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -62,6 +65,13 @@ fn parse_args() -> Args {
             "--join" => args.join = Some(it.next().unwrap_or_else(|| usage())),
             "--once" => args.once = true,
             "--quiet" => args.quiet = true,
+            "--threads" => {
+                args.threads = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .map(|n| n.max(1))
+                    .or_else(|| usage());
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -135,7 +145,7 @@ fn run_elastic(args: &Args, coordinator: &str) -> ! {
                     spec.strategy,
                 );
             }
-            c9_core::run_worker_from_spec(&mut endpoint, spec, env);
+            c9_core::run_worker_from_spec_with(&mut endpoint, spec, env, args.threads);
             if !args.quiet {
                 eprintln!("c9-worker[{}]: run complete", endpoint.id());
             }
@@ -190,7 +200,7 @@ fn main() {
                 spec.strategy,
             );
         }
-        c9_core::run_worker_from_spec(&mut endpoint, spec, env);
+        c9_core::run_worker_from_spec_with(&mut endpoint, spec, env, args.threads);
         if !args.quiet {
             eprintln!("c9-worker[{}]: run complete", endpoint.id());
         }
