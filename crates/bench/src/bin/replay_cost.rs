@@ -1,0 +1,245 @@
+//! Replay cost of job materialization: what a transferred job costs the
+//! receiving worker, with and without the prefix-anchor replay cache.
+//!
+//! Two experiments per target (memcached-3x5 and curl-8; `--quick` keeps
+//! only memcached-3x5):
+//!
+//! * **cluster** — a transfer-heavy 4-worker in-process cluster run to
+//!   exhaustion (tiny quanta, tight balancing cadence), recording jobs
+//!   materialized per second, replay instructions per imported job, the
+//!   anchor hit-rate, and the replay instructions skipped via anchors.
+//!   Exhaustive path counts must match between the cache legs (asserted).
+//! * **batch** — the deterministic harness: one worker sheds a deep
+//!   sibling-heavy 96-job batch, a fresh receiver materializes and
+//!   exhausts it; cache off vs on is a pure measure of the trie-batched
+//!   replay saving (no balancer timing noise).
+//!
+//! Results are printed as a table and written to `BENCH_replay.json`.
+
+use c9_core::{Cluster, ClusterConfig, ReplayCacheConfig, Worker, WorkerConfig, WorkerId};
+use c9_posix::PosixEnvironment;
+use c9_targets::named_workload;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Row {
+    target: &'static str,
+    mode: &'static str,
+    cache: &'static str,
+    paths: u64,
+    jobs_received: u64,
+    materializations: u64,
+    replay: u64,
+    saved: u64,
+    anchor_hit_rate: f64,
+    secs: f64,
+}
+
+impl Row {
+    fn materialized_per_sec(&self) -> f64 {
+        self.materializations as f64 / self.secs.max(1e-9)
+    }
+    fn replay_per_job(&self) -> f64 {
+        self.replay as f64 / self.jobs_received.max(1) as f64
+    }
+}
+
+fn cluster_run(target: &'static str, cache: ReplayCacheConfig, label: &'static str) -> Row {
+    let workload = named_workload(target).expect("registered target");
+    let mut config = ClusterConfig {
+        num_workers: 4,
+        time_limit: Some(Duration::from_secs(600)),
+        // Transfer-heavy: small quanta and tight reporting/balancing
+        // intervals keep jobs moving between workers for the whole run.
+        quantum: 2_000,
+        status_interval: Duration::from_millis(2),
+        balance_interval: Duration::from_millis(4),
+        ..ClusterConfig::default()
+    };
+    config.worker.replay_cache = cache;
+    let start = Instant::now();
+    let result = Cluster::new(
+        Arc::new(workload.program),
+        Arc::new(PosixEnvironment::new()),
+        config,
+    )
+    .run();
+    assert!(result.summary.exhausted, "{target} cluster did not exhaust");
+    let secs = start.elapsed().as_secs_f64();
+    let s = &result.summary;
+    Row {
+        target,
+        mode: "cluster-4w",
+        cache: label,
+        paths: s.paths_completed(),
+        jobs_received: s.worker_stats.iter().map(|w| w.jobs_received).sum(),
+        materializations: s.worker_stats.iter().map(|w| w.materializations).sum(),
+        replay: s.replay_instructions(),
+        saved: s.replay_saved_instructions(),
+        anchor_hit_rate: s.anchor_hit_rate(),
+        secs,
+    }
+}
+
+fn batch_run(target: &'static str, cache: ReplayCacheConfig, label: &'static str) -> Row {
+    let workload = named_workload(target).expect("registered target");
+    let program = Arc::new(workload.program);
+    let env = Arc::new(PosixEnvironment::new());
+    let mut source = Worker::new(
+        WorkerId(0),
+        program.clone(),
+        env.clone(),
+        WorkerConfig {
+            export_deepest: true,
+            ..WorkerConfig::default()
+        },
+    );
+    source.seed_root();
+    for _ in 0..1_000_000 {
+        if source.queue_length() >= 128 || !source.has_work() {
+            break;
+        }
+        source.run_quantum(100);
+    }
+    let jobs = source.export_jobs(96);
+    let mut receiver = Worker::new(
+        WorkerId(1),
+        program,
+        env,
+        WorkerConfig {
+            replay_cache: cache,
+            ..WorkerConfig::default()
+        },
+    );
+    let start = Instant::now();
+    receiver.import_jobs(jobs);
+    while receiver.has_work() {
+        receiver.run_quantum(100_000);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let w = &receiver.stats;
+    Row {
+        target,
+        mode: "batch-96",
+        cache: label,
+        paths: w.paths_completed,
+        jobs_received: w.jobs_received,
+        materializations: w.materializations,
+        replay: w.replay_instructions,
+        saved: w.replay_saved_instructions,
+        anchor_hit_rate: w.anchor_hit_rate(),
+        secs,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let targets: &[&'static str] = if quick {
+        &["memcached-3x5"]
+    } else {
+        &["memcached-3x5", "curl"]
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &target in targets {
+        for (cache, label) in [
+            (ReplayCacheConfig::DISABLED, "off"),
+            (ReplayCacheConfig::default(), "on"),
+        ] {
+            let row = batch_run(target, cache, label);
+            eprintln!(
+                "replay_cost {} {} cache={}: {} paths, {} replay instrs, {} saved, \
+                 {:.1}% anchor hits, {:.2}s",
+                row.target,
+                row.mode,
+                row.cache,
+                row.paths,
+                row.replay,
+                row.saved,
+                100.0 * row.anchor_hit_rate,
+                row.secs
+            );
+            rows.push(row);
+            let row = cluster_run(target, cache, label);
+            eprintln!(
+                "replay_cost {} {} cache={}: {} paths, {} replay instrs, {} saved, \
+                 {:.1}% anchor hits, {:.2}s",
+                row.target,
+                row.mode,
+                row.cache,
+                row.paths,
+                row.replay,
+                row.saved,
+                100.0 * row.anchor_hit_rate,
+                row.secs
+            );
+            rows.push(row);
+        }
+        // The cache must never change the explored tree.
+        for mode in ["batch-96", "cluster-4w"] {
+            let legs: Vec<&Row> = rows
+                .iter()
+                .filter(|r| r.target == target && r.mode == mode)
+                .collect();
+            assert_eq!(
+                legs[0].paths, legs[1].paths,
+                "{target} {mode}: path count changed with the cache"
+            );
+        }
+    }
+
+    println!("\n== replay cost of job materialization (prefix-anchor cache) ==");
+    println!(
+        "target\t| mode\t| cache\t| paths\t| jobs-in\t| mat/sec\t| replay/job\t| saved\t| anchor-hits\t| drop"
+    );
+    println!("{}", "-".repeat(120));
+    let mut json_rows = Vec::new();
+    for row in &rows {
+        let baseline = rows
+            .iter()
+            .find(|r| r.target == row.target && r.mode == row.mode && r.cache == "off")
+            .expect("baseline leg");
+        let drop = baseline.replay as f64 / row.replay.max(1) as f64;
+        println!(
+            "{}\t| {}\t| {}\t| {}\t| {}\t| {:.0}\t| {:.1}\t| {}\t| {:.1}%\t| {:.2}x",
+            row.target,
+            row.mode,
+            row.cache,
+            row.paths,
+            row.jobs_received,
+            row.materialized_per_sec(),
+            row.replay_per_job(),
+            row.saved,
+            100.0 * row.anchor_hit_rate,
+            drop,
+        );
+        json_rows.push(format!(
+            "    {{\"target\": \"{}\", \"mode\": \"{}\", \"cache\": \"{}\", \"paths\": {}, \
+             \"jobs_received\": {}, \"materializations\": {}, \"materialized_per_sec\": {:.2}, \
+             \"replay_instructions\": {}, \"replay_per_imported_job\": {:.2}, \
+             \"replay_saved_instructions\": {}, \"anchor_hit_rate\": {:.4}, \
+             \"replay_drop_vs_off\": {:.3}, \"secs\": {:.3}}}",
+            row.target,
+            row.mode,
+            row.cache,
+            row.paths,
+            row.jobs_received,
+            row.materializations,
+            row.materialized_per_sec(),
+            row.replay,
+            row.replay_per_job(),
+            row.saved,
+            row.anchor_hit_rate,
+            drop,
+            row.secs,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"replay_cost\",\n  \"quick\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        quick,
+        json_rows.join(",\n"),
+    );
+    if let Err(e) = std::fs::write("BENCH_replay.json", &json) {
+        eprintln!("replay_cost: cannot write BENCH_replay.json: {e}");
+    }
+}

@@ -145,6 +145,7 @@ impl ClusterConfig {
             strategy,
             generate_test_cases: self.worker.generate_test_cases,
             export_deepest: self.worker.export_deepest,
+            replay_cache: self.worker.replay_cache,
             threads: self.worker.threads,
             quantum: self.quantum,
             status_interval: self.status_interval,
@@ -1040,7 +1041,7 @@ pub fn run_worker_loop<E: WorkerEndpoint>(
                 Control::SetStrategy { strategy, seed } => worker.set_strategy(strategy, seed),
                 Control::Inject { seq, encoded } => {
                     if let Some(tree) = JobTree::decode(&encoded) {
-                        worker.import_jobs(tree.to_jobs());
+                        worker.import_job_tree(&tree);
                         events.push(TransferEvent::Imported {
                             source: COORDINATOR,
                             seq,
@@ -1117,7 +1118,7 @@ pub fn run_worker_loop<E: WorkerEndpoint>(
         // Receive jobs from peers.
         while let Some(batch) = endpoint.try_recv_jobs() {
             if let Some(tree) = JobTree::decode(&batch.encoded) {
-                worker.import_jobs(tree.to_jobs());
+                worker.import_job_tree(&tree);
                 events.push(TransferEvent::Imported {
                     source: batch.source,
                     seq: batch.seq,
@@ -1171,17 +1172,19 @@ pub fn run_worker_from_spec<E: WorkerEndpoint>(
     spec: RunSpec,
     env: Arc<dyn Environment>,
 ) {
-    run_worker_from_spec_with(endpoint, spec, env, None)
+    run_worker_from_spec_with(endpoint, spec, env, None, None)
 }
 
-/// Like [`run_worker_from_spec`], with a local override of the executor
-/// thread count (the `c9-worker --threads` flag): a daemon operator knows
-/// the machine's core budget better than the coordinator does.
+/// Like [`run_worker_from_spec`], with local overrides of the executor
+/// thread count (the `c9-worker --threads` flag) and the replay-cache
+/// budget (`c9-worker --replay-cache`): a daemon operator knows the
+/// machine's core and memory budget better than the coordinator does.
 pub fn run_worker_from_spec_with<E: WorkerEndpoint>(
     endpoint: &mut E,
     spec: RunSpec,
     env: Arc<dyn Environment>,
     threads_override: Option<usize>,
+    replay_cache_override: Option<c9_vm::ReplayCacheConfig>,
 ) {
     let config = WorkerConfig {
         executor: spec.executor,
@@ -1189,6 +1192,7 @@ pub fn run_worker_from_spec_with<E: WorkerEndpoint>(
         strategy: spec.strategy,
         generate_test_cases: spec.generate_test_cases,
         export_deepest: spec.export_deepest,
+        replay_cache: replay_cache_override.unwrap_or(spec.replay_cache),
         threads: threads_override.unwrap_or(spec.threads).max(1),
     };
     let opts = WorkerLoopOpts {

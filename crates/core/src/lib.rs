@@ -10,7 +10,10 @@
 //!   materialized/virtual × candidate/fence/dead node life cycle of Fig. 3.
 //! * [`Worker`] — an independent symbolic execution engine that explores its
 //!   local frontier, exports candidates on request (they become fence nodes
-//!   locally), and lazily materializes imported virtual jobs by path replay.
+//!   locally), and lazily materializes imported virtual jobs by path replay
+//!   through `c9_vm`'s `ReplayEngine`, backed by an [`AnchorCache`] of
+//!   prefix snapshots so a batch of jobs costs one walk of its shared
+//!   prefix trie instead of one full root replay per job.
 //! * [`LoadBalancer`] — classifies workers by queue length (mean ± δ·σ),
 //!   issues ⟨source, destination, count⟩ transfer requests, and maintains the
 //!   global coverage bit vector used by the distributed coverage-optimized
@@ -59,6 +62,7 @@ mod balancer;
 mod cluster;
 mod membership;
 mod portfolio;
+mod replay_cache;
 mod stats;
 mod tree;
 mod worker;
@@ -70,13 +74,14 @@ pub use c9_net::{
     TcpTransport, TransferEvent, Transport, TransportError, WorkerEndpoint, WorkerId, WorkerStats,
     COORDINATOR,
 };
-pub use c9_vm::StrategyKind;
+pub use c9_vm::{ReplayCacheConfig, StrategyKind};
 pub use cluster::{
     run_worker_from_spec, run_worker_from_spec_with, run_worker_loop, Cluster, ClusterConfig,
     ClusterRunResult, CoordinatorRunOpts, WorkerLoopOpts,
 };
 pub use membership::{Checkpoint, MemberHealth, MemberState, Membership};
 pub use portfolio::{derive_seed, Portfolio, PortfolioCheckpoint, PortfolioConfig, StrategyYield};
+pub use replay_cache::AnchorCache;
 pub use stats::{ClusterSummary, IntervalSample};
 pub use tree::{NodeId, NodeLife, NodeStatus, TreeNode, WorkerTree};
 pub use worker::{default_threads, Worker, WorkerConfig};

@@ -74,6 +74,33 @@ impl ClusterSummary {
         self.worker_stats.iter().map(|w| w.paths_completed).sum()
     }
 
+    /// Total replay instructions skipped by resuming materializations from
+    /// cached prefix anchors instead of the root.
+    pub fn replay_saved_instructions(&self) -> u64 {
+        self.worker_stats
+            .iter()
+            .map(|w| w.replay_saved_instructions)
+            .sum()
+    }
+
+    /// Fraction of materializations (across all workers) that resumed from
+    /// a cached prefix anchor.
+    pub fn anchor_hit_rate(&self) -> f64 {
+        let hits: u64 = self.worker_stats.iter().map(|w| w.anchor_hits).sum();
+        let misses: u64 = self.worker_stats.iter().map(|w| w.anchor_misses).sum();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Total replay divergences (corrupted or stale jobs dropped during
+    /// materialization) across all workers; zero on a healthy run.
+    pub fn replay_divergences(&self) -> u64 {
+        self.worker_stats.iter().map(|w| w.replay_divergences).sum()
+    }
+
     /// Total jobs transferred between workers.
     pub fn jobs_transferred(&self) -> u64 {
         self.worker_stats.iter().map(|w| w.jobs_sent).sum()

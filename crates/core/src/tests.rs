@@ -5,9 +5,11 @@
 //! of explored paths must be the same no matter how many workers explore
 //! them.
 
-use crate::{Cluster, ClusterConfig, Job, StrategyKind, Worker, WorkerConfig, WorkerId};
+use crate::{
+    Cluster, ClusterConfig, Job, ReplayCacheConfig, StrategyKind, Worker, WorkerConfig, WorkerId,
+};
 use c9_ir::{AbortKind, BinaryOp, Operand, Program, ProgramBuilder, Width};
-use c9_vm::{sysno, NullEnvironment};
+use c9_vm::{sysno, NullEnvironment, PathChoice};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -140,9 +142,9 @@ fn multi_worker_cluster_transfers_jobs_and_does_replay_work() {
         result.summary.replay_instructions() > 0,
         "job materialization should count as replay work"
     );
-    // Replays never break thanks to the deterministic per-state allocator.
+    // Replays never diverge thanks to the deterministic per-state allocator.
     for w in &result.summary.worker_stats {
-        assert_eq!(w.broken_replays, 0);
+        assert_eq!(w.replay_divergences, 0);
     }
 }
 
@@ -257,7 +259,7 @@ fn worker_export_import_roundtrip_preserves_completeness() {
     // The second worker had to replay the received paths.
     assert!(w2.stats.replay_instructions > 0);
     assert!(w2.stats.materializations > 0);
-    assert_eq!(w1.stats.broken_replays + w2.stats.broken_replays, 0);
+    assert_eq!(w1.stats.replay_divergences + w2.stats.replay_divergences, 0);
 }
 
 #[test]
@@ -277,6 +279,273 @@ fn worker_tree_tracks_node_lifecycle_during_exploration() {
     assert_eq!(candidates, 0, "all candidates must be consumed");
     assert!(dead >= 8, "every explored node must end up dead");
     assert_eq!(w.stats.paths_completed, 8);
+}
+
+#[test]
+fn corrupted_job_diverges_without_panic_or_wrong_exploration() {
+    let program = Arc::new(branching_program(3));
+    let mut w = Worker::new(
+        WorkerId(0),
+        program,
+        Arc::new(NullEnvironment),
+        WorkerConfig::default(),
+    );
+    // Two deliberately corrupted jobs: one claims a multi-way decision at a
+    // symbolic two-way branch, the other records more decisions than the
+    // program has along that path.
+    w.import_jobs(vec![
+        Job::new(vec![
+            PathChoice::Alt {
+                chosen: 7,
+                total: 9,
+            },
+            PathChoice::Branch(true),
+        ]),
+        Job::new(vec![PathChoice::Branch(true); 12]),
+    ]);
+    while w.has_work() {
+        w.run_quantum(10_000);
+    }
+    // Both replays diverged: reported, counted, and dropped — never
+    // explored as (wrong) paths, never counted as completed ones.
+    assert_eq!(w.stats.replay_divergences, 2);
+    assert_eq!(w.stats.materializations, 2);
+    assert_eq!(w.stats.paths_completed, 0);
+    assert_eq!(w.stats.bugs_found, 0);
+    let (candidates, _fences, dead) = w.tree.life_counts();
+    assert_eq!(candidates, 0, "diverged jobs must leave no candidates");
+    assert_eq!(dead, 2, "diverged nodes must be marked dead");
+    // The divergence counter reaches the coordinator with every report.
+    assert_eq!(w.report_stats().replay_divergences, 2);
+}
+
+#[test]
+fn divergence_past_the_materialization_budget_is_still_dropped() {
+    // A concrete trunk longer than the 1M-instruction materialization
+    // budget: replay runs out of budget mid-trunk, the still-replaying
+    // state continues in normal execution slices, and only *there* reaches
+    // the symbolic branch where the corrupted decision (an Alt at a
+    // two-way branch) diverges. The slice loop must classify it exactly
+    // like the replay engine: counted, dropped, never a completed path.
+    let mut pb = ProgramBuilder::new();
+    let mut f = pb.function("main", 0, Some(Width::W32));
+    let buf = f.alloc(Operand::word(1));
+    f.syscall(
+        sysno::MAKE_SYMBOLIC,
+        vec![Operand::Reg(buf), Operand::word(1)],
+    );
+    let counter = f.copy(Operand::word(0));
+    let loop_bb = f.create_block();
+    let done_bb = f.create_block();
+    f.jump(loop_bb);
+    f.switch_to(loop_bb);
+    let next = f.binary(BinaryOp::Add, Operand::Reg(counter), Operand::word(1));
+    f.assign_to(counter, c9_ir::Rvalue::Use(Operand::Reg(next)));
+    let more = f.binary(BinaryOp::Ult, Operand::Reg(counter), Operand::word(300_000));
+    f.branch(Operand::Reg(more), loop_bb, done_bb);
+    f.switch_to(done_bb);
+    let byte = f.load(Operand::Reg(buf), Width::W8);
+    let cond = f.binary(BinaryOp::Ult, Operand::Reg(byte), Operand::byte(64));
+    let then_bb = f.create_block();
+    let else_bb = f.create_block();
+    f.branch(Operand::Reg(cond), then_bb, else_bb);
+    f.switch_to(then_bb);
+    f.ret(Some(Operand::word(0)));
+    f.switch_to(else_bb);
+    f.ret(Some(Operand::word(1)));
+    let main = f.finish();
+    pb.set_entry(main);
+
+    let mut w = Worker::new(
+        WorkerId(0),
+        Arc::new(pb.finish()),
+        Arc::new(NullEnvironment),
+        WorkerConfig::default(),
+    );
+    w.import_jobs(vec![Job::new(vec![PathChoice::Alt {
+        chosen: 1,
+        total: 3,
+    }])]);
+    for _ in 0..100_000 {
+        if !w.has_work() {
+            break;
+        }
+        w.run_quantum(10_000);
+    }
+    assert!(!w.has_work());
+    assert_eq!(w.stats.replay_divergences, 1);
+    assert_eq!(w.stats.paths_completed, 0, "divergence counted as a path");
+    assert_eq!(w.stats.bugs_found, 0);
+    assert!(
+        w.stats.replay_instructions > 1_000_000,
+        "the trunk must outlive the materialization budget \
+         (executed {} replay instructions)",
+        w.stats.replay_instructions
+    );
+}
+
+#[test]
+fn export_prefers_virtual_jobs_over_materialized_states() {
+    let program = Arc::new(branching_program(6));
+    let env = Arc::new(NullEnvironment);
+    let mut w = Worker::new(WorkerId(0), program, env, WorkerConfig::default());
+    w.seed_root();
+    for _ in 0..1000 {
+        if w.queue_length() >= 4 {
+            break;
+        }
+        w.run_quantum(10);
+    }
+    let materialized_before = w.frontier_snapshot().len() as u64;
+    // Hand the worker three virtual jobs, then ask it to shed three: the
+    // virtual jobs must go back out — this worker paid no replay for them
+    // — leaving every materialized state (whose replay was already paid)
+    // in place.
+    let foreign: Vec<Job> = vec![
+        Job::new(vec![PathChoice::Branch(true); 5]),
+        Job::new(vec![PathChoice::Branch(false); 5]),
+        Job::new(vec![
+            PathChoice::Branch(true),
+            PathChoice::Branch(false),
+            PathChoice::Branch(true),
+        ]),
+    ];
+    w.import_jobs(foreign.clone());
+    let materializations_before = w.stats.materializations;
+    let exported = w.export_jobs(3);
+    let mut exported_sorted = exported.clone();
+    exported_sorted.sort();
+    let mut foreign_sorted = foreign;
+    foreign_sorted.sort();
+    assert_eq!(
+        exported_sorted, foreign_sorted,
+        "virtual jobs must ship first"
+    );
+    assert_eq!(w.stats.materializations, materializations_before);
+    assert_eq!(w.frontier_snapshot().len() as u64, materialized_before);
+}
+
+#[test]
+fn shallowest_first_export_reduces_receiver_replay() {
+    // Identical deterministic expansions; the only difference is the
+    // export heuristic. Shipping shallow candidates means short replay
+    // paths at the receiver, so total replay work must drop — at an
+    // unchanged exhaustive path total.
+    let run = |export_deepest: bool| -> (u64, u64) {
+        let program = Arc::new(branching_program(9));
+        let env = Arc::new(NullEnvironment);
+        let config = WorkerConfig {
+            export_deepest,
+            // Cache off to isolate the heuristic's effect.
+            replay_cache: ReplayCacheConfig::DISABLED,
+            ..WorkerConfig::default()
+        };
+        let mut w1 = Worker::new(WorkerId(0), program.clone(), env.clone(), config);
+        w1.seed_root();
+        for _ in 0..10_000 {
+            if w1.queue_length() >= 12 {
+                break;
+            }
+            w1.run_quantum(10);
+        }
+        assert!(w1.queue_length() >= 12, "frontier did not expand");
+        let jobs = w1.export_jobs(6);
+        assert_eq!(jobs.len(), 6);
+        let mut w2 = Worker::new(WorkerId(1), program, env, config);
+        w2.import_jobs(jobs);
+        for _ in 0..100_000 {
+            if !w1.has_work() && !w2.has_work() {
+                break;
+            }
+            w1.run_quantum(10_000);
+            w2.run_quantum(10_000);
+        }
+        assert!(!w1.has_work() && !w2.has_work());
+        (
+            w1.stats.paths_completed + w2.stats.paths_completed,
+            w1.stats.replay_instructions + w2.stats.replay_instructions,
+        )
+    };
+    let (paths_deep, replay_deep) = run(true);
+    let (paths_shallow, replay_shallow) = run(false);
+    assert_eq!(paths_deep, 512);
+    assert_eq!(paths_shallow, 512, "heuristic must not change the tree");
+    assert!(
+        replay_shallow < replay_deep,
+        "shallowest-first export must cost less replay \
+         (shallow {replay_shallow} vs deep {replay_deep})"
+    );
+}
+
+#[test]
+fn anchor_cache_skips_shared_trunk_replay() {
+    // One worker expands a deep tree and sheds a large sibling-heavy
+    // batch; two identical receivers materialize it, one with the
+    // prefix-anchor cache and one replaying every job from the root. The
+    // cached receiver must explore the exact same tree for a fraction of
+    // the replay work.
+    let program = Arc::new(branching_program(13));
+    let env = Arc::new(NullEnvironment);
+    let mut source = Worker::new(
+        WorkerId(0),
+        program.clone(),
+        env.clone(),
+        WorkerConfig {
+            // Shed the deep end of the frontier: long sibling-heavy paths,
+            // the worst case for naive per-job root replay.
+            export_deepest: true,
+            ..WorkerConfig::default()
+        },
+    );
+    source.seed_root();
+    for _ in 0..100_000 {
+        if source.queue_length() >= 128 {
+            break;
+        }
+        source.run_quantum(100);
+    }
+    let jobs = source.export_jobs(96);
+    assert_eq!(jobs.len(), 96);
+
+    let receive = |cache: ReplayCacheConfig| -> (u64, u64, u64, u64) {
+        let config = WorkerConfig {
+            replay_cache: cache,
+            ..WorkerConfig::default()
+        };
+        let mut w = Worker::new(WorkerId(1), program.clone(), env.clone(), config);
+        w.import_jobs(jobs.clone());
+        for _ in 0..1_000_000 {
+            if !w.has_work() {
+                break;
+            }
+            w.run_quantum(10_000);
+        }
+        assert!(!w.has_work());
+        (
+            w.stats.paths_completed,
+            w.stats.replay_instructions,
+            w.stats.replay_saved_instructions,
+            w.stats.anchor_hits,
+        )
+    };
+    let (paths_off, replay_off, saved_off, _) = receive(ReplayCacheConfig::DISABLED);
+    let (paths_on, replay_on, saved_on, hits_on) = receive(ReplayCacheConfig::default());
+    eprintln!(
+        "anchor cache replay drop: {replay_off} -> {replay_on} \
+         ({:.1}x, {saved_on} saved, {hits_on} hits)",
+        replay_off as f64 / replay_on.max(1) as f64
+    );
+    assert_eq!(paths_on, paths_off, "cache changed the explored tree");
+    assert_eq!(saved_off, 0);
+    assert!(hits_on > 0, "no anchor was ever hit");
+    assert!(saved_on > 0, "no replay work was saved");
+    assert!(
+        replay_on * 3 <= replay_off,
+        "expected >=3x replay drop: {replay_on} (cache on) vs {replay_off} (off)"
+    );
+    // The executed+saved total accounts for exactly the work the naive
+    // replay performs.
+    assert_eq!(replay_on + saved_on, replay_off);
 }
 
 #[test]

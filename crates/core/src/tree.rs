@@ -206,6 +206,21 @@ impl WorkerTree {
         id
     }
 
+    /// Records that a *virtual* candidate (an imported job that was never
+    /// materialized here) was forwarded to another worker: its node becomes
+    /// a fence without ever having held program state.
+    pub fn record_virtual_export(&mut self, node: NodeId) {
+        self.node_mut(node).life = NodeLife::Fence;
+    }
+
+    /// Records that a virtual node's materialization was abandoned (its
+    /// replay diverged): the node dies without ever having been explored.
+    pub fn record_abandoned(&mut self, node: NodeId) {
+        let n = self.node_mut(node);
+        n.life = NodeLife::Dead;
+        n.state = None;
+    }
+
     /// Records that a virtual node finished replaying and is now materialized
     /// by `state`.
     pub fn record_materialization(&mut self, node: NodeId, state: StateId) {

@@ -26,13 +26,15 @@
 //! event order), which keeps all single-thread runs bit-compatible.
 
 use crate::portfolio::derive_seed;
-use crate::tree::WorkerTree;
+use crate::replay_cache::AnchorCache;
+use crate::tree::{NodeId, WorkerTree};
 use c9_ir::Program;
-use c9_net::{Job, WorkerId, WorkerStats};
+use c9_net::{Job, JobTree, JobTreeVisitor, WorkerId, WorkerStats};
 use c9_solver::Solver;
 use c9_vm::{
     build_searcher, CoverageSet, Environment, ExecutionState, Executor, ExecutorConfig, PathChoice,
-    Scheduler, StateId, StateIdGen, StateMeta, StepResult, StrategyKind, TestCase,
+    ReplayCacheConfig, ReplayEngine, ReplayProgress, Scheduler, StateId, StateIdGen, StateMeta,
+    StepResult, StrategyKind, TestCase,
 };
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::{BTreeMap, VecDeque};
@@ -71,8 +73,16 @@ pub struct WorkerConfig {
     /// Whether to solve for a concrete test case for every completed path
     /// (bug paths always get one).
     pub generate_test_cases: bool,
-    /// Prefer exporting the deepest candidates when asked to shed load.
+    /// Prefer exporting the deepest materialized candidates when asked to
+    /// shed load. Off by default: virtual (never-materialized) jobs go
+    /// first, then the *shallowest* materialized candidates — the states
+    /// whose replay (already paid here, re-paid by the receiver) costs the
+    /// least.
     pub export_deepest: bool,
+    /// Budget of the prefix-anchor replay cache backing job
+    /// materialization (`--replay-cache`); a zero capacity disables it
+    /// (naive per-job root replay).
+    pub replay_cache: ReplayCacheConfig,
     /// Executor threads stepping states concurrently inside this worker
     /// (defaults to `C9_THREADS` or 1; 1 is the classic sequential loop).
     pub threads: usize,
@@ -85,10 +95,19 @@ impl Default for WorkerConfig {
             seed: 1,
             strategy: StrategyKind::KleeDefault,
             generate_test_cases: false,
-            export_deepest: true,
+            export_deepest: false,
+            replay_cache: ReplayCacheConfig::default(),
             threads: default_threads(),
         }
     }
+}
+
+/// An imported job that has not been materialized yet, together with the
+/// worker-tree node tracking it.
+#[derive(Clone, Debug)]
+struct VirtualJob {
+    job: Job,
+    node: NodeId,
 }
 
 /// A worker node: explores a disjoint portion of the execution tree and
@@ -103,7 +122,15 @@ pub struct Worker {
     /// `config.strategy`, changed by portfolio reassignments).
     strategy: StrategyKind,
     states: BTreeMap<StateId, ExecutionState>,
-    virtual_jobs: VecDeque<Job>,
+    virtual_jobs: VecDeque<VirtualJob>,
+    /// Prefix trie over the paths of all pending virtual jobs: the index
+    /// that tells the materializer which replay prefixes are shared (and
+    /// therefore worth anchoring).
+    pending: JobTree,
+    /// Prefix-anchor replay cache: cloned states keyed by path prefix,
+    /// persisted across quanta so later-arriving jobs replay only their
+    /// suffix below the deepest cached anchor.
+    anchors: AnchorCache,
     scheduler: Scheduler,
     ids: StateIdGen,
     /// The worker-local execution tree (candidate/fence/dead bookkeeping).
@@ -142,6 +169,8 @@ impl Worker {
             config,
             states: BTreeMap::new(),
             virtual_jobs: VecDeque::new(),
+            pending: JobTree::new(),
+            anchors: AnchorCache::new(config.replay_cache),
             scheduler,
             ids: StateIdGen::new(),
             tree: WorkerTree::new(),
@@ -203,31 +232,83 @@ impl Worker {
         self.queue_length() > 0
     }
 
+    /// Adds one virtual job to the frontier: a worker-tree node, an entry
+    /// in the pending-prefix trie, and a queue slot.
+    fn enqueue_virtual(&mut self, job: Job) {
+        let node = self.tree.record_import(&job);
+        self.pending.insert(&job.path);
+        self.virtual_jobs.push_back(VirtualJob { job, node });
+    }
+
     /// Imports jobs received from another worker: they become virtual
     /// candidate nodes, materialized lazily when the strategy selects them.
     pub fn import_jobs(&mut self, jobs: Vec<Job>) {
         for job in jobs {
-            self.tree.record_import(&job);
-            self.virtual_jobs.push_back(job);
+            self.enqueue_virtual(job);
             self.stats.jobs_received += 1;
         }
     }
 
+    /// Imports an encoded job batch without flattening it first: the batch
+    /// trie is folded into the pending-prefix index with one union walk,
+    /// and a second DFS walk registers every job (in the same
+    /// lexicographic order [`JobTree::to_jobs`] would produce) — shared
+    /// prefixes are traversed once, not once per job.
+    pub fn import_job_tree(&mut self, tree: &JobTree) {
+        self.pending.merge(tree);
+        struct Importer<'w> {
+            worker: &'w mut Worker,
+            prefix: Vec<PathChoice>,
+        }
+        impl Importer<'_> {
+            fn import(&mut self, job: Job) {
+                let node = self.worker.tree.record_import(&job);
+                self.worker.virtual_jobs.push_back(VirtualJob { job, node });
+                self.worker.stats.jobs_received += 1;
+            }
+        }
+        impl JobTreeVisitor for Importer<'_> {
+            fn enter_edge(&mut self, choice: PathChoice, terminal: bool) {
+                self.prefix.push(choice);
+                if terminal {
+                    let job = Job::new(self.prefix.clone());
+                    self.import(job);
+                }
+            }
+            fn leave_edge(&mut self) {
+                self.prefix.pop();
+            }
+        }
+        let mut importer = Importer {
+            worker: self,
+            prefix: Vec::with_capacity(tree.depth()),
+        };
+        if tree.is_terminal() {
+            importer.import(Job::new(Vec::new()));
+        }
+        tree.walk(&mut importer);
+    }
+
     /// Exports up to `count` jobs for transfer to another worker. Virtual
-    /// (not yet materialized) jobs are forwarded first since they are free to
-    /// ship; materialized candidates are converted to path jobs and their
-    /// local nodes become fence nodes.
+    /// (never-materialized) jobs are forwarded first: this worker has paid
+    /// no replay for them, and the receiver would have had to replay them
+    /// anyway, so shipping them costs the cluster nothing extra. Only then
+    /// are materialized candidates converted back to path jobs —
+    /// shallowest first by default, because their (already paid, now
+    /// re-paid by the receiver) replay cost grows with depth; their local
+    /// nodes become fence nodes.
     pub fn export_jobs(&mut self, count: u64) -> Vec<Job> {
         let mut out = Vec::new();
         while (out.len() as u64) < count {
-            if let Some(job) = self.virtual_jobs.pop_back() {
-                out.push(job);
-                continue;
-            }
-            break;
+            let Some(vjob) = self.virtual_jobs.pop_back() else {
+                break;
+            };
+            self.pending.remove(&vjob.job.path);
+            self.tree.record_virtual_export(vjob.node);
+            out.push(vjob.job);
         }
         if (out.len() as u64) < count {
-            // Candidate selection: deepest (or shallowest) states first.
+            // Candidate selection: shallowest (or deepest) states first.
             let mut ids: Vec<(usize, StateId)> =
                 self.states.values().map(|s| (s.depth(), s.id)).collect();
             ids.sort();
@@ -258,8 +339,7 @@ impl Worker {
     pub fn requeue_jobs(&mut self, jobs: Vec<Job>) {
         self.stats.jobs_sent = self.stats.jobs_sent.saturating_sub(jobs.len() as u64);
         for job in jobs {
-            self.tree.record_import(&job);
-            self.virtual_jobs.push_back(job);
+            self.enqueue_virtual(job);
         }
     }
 
@@ -270,9 +350,14 @@ impl Worker {
     /// pending work — which is what makes coordinator-side crash recovery
     /// and checkpointing exact.
     pub fn frontier_snapshot(&self) -> Vec<Job> {
-        let mut jobs: Vec<Job> = self.virtual_jobs.iter().cloned().collect();
+        let mut jobs: Vec<Job> = self.virtual_jobs.iter().map(|v| v.job.clone()).collect();
         jobs.extend(self.states.values().map(|s| Job::new(s.path.clone())));
         jobs
+    }
+
+    /// The prefix-anchor replay cache (exposed for benchmarks and tests).
+    pub fn anchor_cache(&self) -> &AnchorCache {
+        &self.anchors
     }
 
     /// Merges the global coverage vector received from the load balancer into
@@ -302,6 +387,8 @@ impl Worker {
             generate_test_cases: self.config.generate_test_cases,
             states: &mut self.states,
             virtual_jobs: &mut self.virtual_jobs,
+            pending: &mut self.pending,
+            anchors: &mut self.anchors,
             scheduler: &mut self.scheduler,
             ids: &mut self.ids,
             tree: &mut self.tree,
@@ -340,7 +427,9 @@ struct EngineParts<'a> {
     solver: &'a Arc<Solver>,
     generate_test_cases: bool,
     states: &'a mut BTreeMap<StateId, ExecutionState>,
-    virtual_jobs: &'a mut VecDeque<Job>,
+    virtual_jobs: &'a mut VecDeque<VirtualJob>,
+    pending: &'a mut JobTree,
+    anchors: &'a mut AnchorCache,
     scheduler: &'a mut Scheduler,
     ids: &'a mut StateIdGen,
     tree: &'a mut WorkerTree,
@@ -370,6 +459,11 @@ enum SliceEvent {
     /// Boxed: terminated states are rare relative to plain steps, and an
     /// `ExecutionState` is large compared to a fork record.
     Finished(Box<ExecutionState>),
+    /// A state whose materialization ran out of budget and continued
+    /// replaying in normal slices hit a divergence: the recorded job path
+    /// does not match the program. Counted and dropped — never a
+    /// completed path (mirrors `ReplayProgress::Diverged`).
+    Diverged(StateId),
 }
 
 /// The result of one slice on one executor thread.
@@ -444,6 +538,16 @@ fn run_slice(executor: &Executor, task: SliceTask) -> SliceOutcome {
             }
             StepResult::Forked(siblings) => {
                 executed += 1;
+                if replaying {
+                    // A fork crossed while still replaying an imported job
+                    // (the materialization ran out of budget): the
+                    // siblings are terminated duplicates the exporting
+                    // worker already accounted. Drop them, exactly as the
+                    // replay engine does during materialization.
+                    replay += 1;
+                    drop(siblings);
+                    continue;
+                }
                 useful += 1;
                 let mut successors = vec![(s.id, s.path.clone())];
                 for sibling in &siblings {
@@ -463,7 +567,19 @@ fn run_slice(executor: &Executor, task: SliceTask) -> SliceOutcome {
                     useful += 1;
                 }
                 let terminated = slot.take().expect("state present at termination");
-                events.push(SliceEvent::Finished(Box::new(terminated)));
+                // Divergence (a mismatch the executor reported, or the
+                // program ending with recorded decisions left over) must
+                // be dropped and counted, never accounted as a completed
+                // path — mirror `ReplayEngine::run`'s classification.
+                let diverged = matches!(
+                    terminated.termination,
+                    Some(c9_vm::TerminationReason::ReplayDivergence { .. })
+                ) || terminated.is_replaying();
+                events.push(if diverged {
+                    SliceEvent::Diverged(terminated.id)
+                } else {
+                    SliceEvent::Finished(Box::new(terminated))
+                });
                 break;
             }
         }
@@ -571,6 +687,12 @@ fn dispatch_quantum(parts: &mut EngineParts<'_>, max_instructions: u64, lanes: &
                         }
                     }
                     SliceEvent::Finished(state) => finish_path(parts, *state),
+                    SliceEvent::Diverged(id) => {
+                        parts.stats.replay_divergences += 1;
+                        // Kills the node without the completed-path
+                        // accounting finish_path would apply.
+                        parts.tree.record_termination(id);
+                    }
                 }
             }
             if let Some(active) = outcome.state {
@@ -583,48 +705,106 @@ fn dispatch_quantum(parts: &mut EngineParts<'_>, max_instructions: u64, lanes: &
     executed
 }
 
-/// Materializes a virtual job by replaying its path from the root; the
-/// instructions executed count as replay (non-useful) work.
+/// Materializes a virtual job through the replay engine, backed by the
+/// prefix-anchor cache: the job replays only its suffix below the deepest
+/// cached anchor (from the root on a cache miss), and prefixes shared with
+/// other pending jobs are snapshotted along the way so the rest of the
+/// batch skips the trunk this replay just executed. Only the instructions
+/// actually executed count as replay (non-useful) work; the skipped trunk
+/// is recorded in `replay_saved_instructions`.
 fn materialize(
     parts: &mut EngineParts<'_>,
-    job: Job,
+    vjob: VirtualJob,
     executed: &mut u64,
     max_instructions: u64,
 ) -> Option<StateId> {
-    let node = parts.tree.record_import(&job);
+    let VirtualJob { job, node } = vjob;
+    parts.pending.remove(&job.path);
+    // Anchor points along this path: every depth where a remaining
+    // pending job shares the prefix (branches off, or ends exactly
+    // there). One incremental descent of the pending trie, computed up
+    // front so the per-decision hook below stays O(1).
+    let mut shared_depths = Vec::new();
+    let mut cursor = Some(&*parts.pending);
+    for (i, choice) in job.path.iter().enumerate() {
+        cursor = cursor.and_then(|n| n.child(choice));
+        let Some(shared) = cursor else { break };
+        if shared.branch_count() >= 2 || shared.is_terminal() {
+            shared_depths.push(i + 1);
+        }
+    }
     let id = parts.ids.fresh();
-    let mut state = parts.executor.replay_state(id, job.path);
+    let engine = ReplayEngine::new(parts.executor);
+    let mut state = match parts.anchors.lookup(&job.path) {
+        Some(anchor) => {
+            // The anchor's per-state replay counter is canonical (what a
+            // from-root replay would have executed to reach it), so it is
+            // exactly the work this materialization skips.
+            parts.stats.anchor_hits += 1;
+            parts.stats.replay_saved_instructions += anchor.stats.replay_instructions;
+            let suffix = job.path[anchor.path.len()..].to_vec();
+            engine.resume(anchor, id, suffix)
+        }
+        None => {
+            parts.stats.anchor_misses += 1;
+            engine.start(id, job.path)
+        }
+    };
     parts.stats.materializations += 1;
     // Replay to the end of the recorded path (allow a generous overrun of
     // the quantum so a materialization always completes once started).
     let hard_limit = max_instructions.saturating_mul(4).max(1_000_000);
-    while state.is_replaying() && !state.is_terminated() {
-        if *executed >= hard_limit {
-            break;
+    let budget = hard_limit.saturating_sub(*executed);
+    let anchors = &mut *parts.anchors;
+    let run = engine.run(&mut state, parts.ids, budget, |s| {
+        // Snapshot an anchor at every shared prefix, plus a sparse ladder
+        // of every 4th decision, which serves batches that arrive in
+        // later quanta and branch off mid-trunk. (All on the dispatch
+        // thread; `threads == 1` determinism is untouched.)
+        let depth = s.depth();
+        if depth % 4 == 0 || shared_depths.binary_search(&depth).is_ok() {
+            anchors.insert(s);
         }
-        match parts.executor.step(&mut state, parts.ids) {
-            StepResult::Continue | StepResult::Forked(_) => {
-                *executed += 1;
-                parts.stats.replay_instructions += 1;
+    });
+    *executed += run.executed;
+    parts.stats.replay_instructions += run.executed;
+    match run.progress {
+        ReplayProgress::Diverged => {
+            // The recorded path no longer matches the program's branches: a
+            // corrupted or stale job. Report it and drop the state — never
+            // explore past the divergence, never count it as a completed
+            // path (the exporting worker still owns that subtree's
+            // accounting).
+            parts.stats.replay_divergences += 1;
+            parts.tree.record_abandoned(node);
+            None
+        }
+        ReplayProgress::Completed => {
+            // The job designates a path that terminates exactly at its
+            // node (a replayed bug or exit): account it like any other
+            // completed path.
+            parts.tree.record_materialization(node, id);
+            finish_path(parts, state);
+            None
+        }
+        ReplayProgress::Ready | ReplayProgress::OutOfBudget => {
+            if !state.is_replaying() {
+                // Anchor the job's own node before the state starts
+                // mutating: batches shipped by later balancing rounds come
+                // from the same frontier regions, so their paths routinely
+                // run through nodes imported earlier — this is what makes
+                // the cache pay across quanta, not just within one batch.
+                parts.anchors.insert(&state);
             }
-            StepResult::Terminated(_) => {
-                *executed += 1;
-                parts.stats.replay_instructions += 1;
-                break;
-            }
+            // Ready, or out of budget mid-replay: either way the state
+            // joins the frontier (a still-replaying state keeps following
+            // its cursor in normal execution slices).
+            parts.tree.record_materialization(node, id);
+            parts.scheduler.add(StateMeta::of(&state));
+            parts.states.insert(id, state);
+            Some(id)
         }
     }
-    if state.is_terminated() {
-        if matches!(state.termination, Some(c9_vm::TerminationReason::Killed(_))) {
-            parts.stats.broken_replays += 1;
-        }
-        finish_path(parts, state);
-        return None;
-    }
-    parts.tree.record_materialization(node, id);
-    parts.scheduler.add(StateMeta::of(&state));
-    parts.states.insert(id, state);
-    Some(id)
 }
 
 /// Accounts a completed path: statistics, coverage, tree bookkeeping, and

@@ -41,6 +41,25 @@ pub struct JobTree {
     terminal: bool,
 }
 
+/// A visitor over a depth-first traversal of a [`JobTree`].
+///
+/// [`JobTree::walk`] descends every edge of the trie exactly once, in
+/// lexicographic choice order, calling [`enter_edge`] on the way down and
+/// [`leave_edge`] on the way back up. Because each shared prefix is entered
+/// once — not once per job below it — a visitor can materialize or account a
+/// whole batch in a single pass over the trie instead of decoding it to a
+/// flat `Vec<Job>` first.
+///
+/// [`enter_edge`]: JobTreeVisitor::enter_edge
+/// [`leave_edge`]: JobTreeVisitor::leave_edge
+pub trait JobTreeVisitor {
+    /// The walk descends the edge labelled `choice`. `terminal` is whether a
+    /// job ends exactly at the node the edge leads to.
+    fn enter_edge(&mut self, choice: PathChoice, terminal: bool);
+    /// The walk returns back up over the most recently entered edge.
+    fn leave_edge(&mut self);
+}
+
 impl JobTree {
     /// Creates an empty job tree.
     pub fn new() -> JobTree {
@@ -68,22 +87,108 @@ impl JobTree {
     /// Expands the tree back into the list of jobs it encodes (in
     /// lexicographic path order).
     pub fn to_jobs(&self) -> Vec<Job> {
-        // Pre-size both the output and the shared prefix scratch buffer from
-        // the trie's counts so the hot decode path never reallocates them.
-        let mut out = Vec::with_capacity(self.len());
-        let mut prefix = Vec::with_capacity(self.depth());
-        self.collect(&mut prefix, &mut out);
-        out
+        // One DFS walk over the trie; pre-size the output and the shared
+        // prefix scratch buffer from the trie's counts so the hot decode
+        // path never reallocates them.
+        struct Collector {
+            prefix: Vec<PathChoice>,
+            out: Vec<Job>,
+        }
+        impl JobTreeVisitor for Collector {
+            fn enter_edge(&mut self, choice: PathChoice, terminal: bool) {
+                self.prefix.push(choice);
+                if terminal {
+                    self.out.push(Job::new(self.prefix.clone()));
+                }
+            }
+            fn leave_edge(&mut self) {
+                self.prefix.pop();
+            }
+        }
+        let mut collector = Collector {
+            prefix: Vec::with_capacity(self.depth()),
+            out: Vec::with_capacity(self.len()),
+        };
+        if self.terminal {
+            collector.out.push(Job::new(Vec::new()));
+        }
+        self.walk(&mut collector);
+        collector.out
     }
 
-    fn collect(&self, prefix: &mut Vec<PathChoice>, out: &mut Vec<Job>) {
-        if self.terminal {
-            out.push(Job::new(prefix.clone()));
-        }
+    /// Walks the trie depth-first, calling the visitor for every edge
+    /// entered and left (lexicographic choice order, shared prefixes entered
+    /// exactly once). The root node itself has no incoming edge; callers
+    /// that care about an empty-path job check [`JobTree::is_terminal`] on
+    /// the root before walking.
+    pub fn walk<V: JobTreeVisitor>(&self, visitor: &mut V) {
         for (choice, child) in &self.children {
-            prefix.push(*choice);
-            child.collect(prefix, out);
-            prefix.pop();
+            visitor.enter_edge(*choice, child.terminal);
+            child.walk(visitor);
+            visitor.leave_edge();
+        }
+    }
+
+    /// Whether a job ends exactly at this node.
+    pub fn is_terminal(&self) -> bool {
+        self.terminal
+    }
+
+    /// Number of outgoing edges of this node.
+    pub fn branch_count(&self) -> usize {
+        self.children.len()
+    }
+
+    /// The node one edge below this one, if the edge exists (incremental
+    /// descent — callers walking a whole path avoid re-traversing from the
+    /// root at every step).
+    pub fn child(&self, choice: &PathChoice) -> Option<&JobTree> {
+        self.children.get(choice)
+    }
+
+    /// The node reached by following `path` from this node, if every edge
+    /// of the path exists.
+    pub fn node(&self, path: &[PathChoice]) -> Option<&JobTree> {
+        let mut node = self;
+        for choice in path {
+            node = node.children.get(choice)?;
+        }
+        Some(node)
+    }
+
+    /// Whether a job with exactly this path is encoded in the trie.
+    pub fn contains(&self, path: &[PathChoice]) -> bool {
+        self.node(path).is_some_and(|n| n.terminal)
+    }
+
+    /// Merges every job of `other` into this trie (set union; one walk of
+    /// `other`, no intermediate `Vec<Job>`).
+    pub fn merge(&mut self, other: &JobTree) {
+        self.terminal |= other.terminal;
+        for (choice, child) in &other.children {
+            self.children.entry(*choice).or_default().merge(child);
+        }
+    }
+
+    /// Removes the job with exactly this path, pruning trie nodes that no
+    /// longer lead to any job. Returns whether the job was present.
+    pub fn remove(&mut self, path: &[PathChoice]) -> bool {
+        match path.split_first() {
+            None => {
+                let was = self.terminal;
+                self.terminal = false;
+                was
+            }
+            Some((choice, rest)) => {
+                let Some(child) = self.children.get_mut(choice) else {
+                    return false;
+                };
+                let removed = child.remove(rest);
+                if removed && !child.terminal && child.children.is_empty() {
+                    self.children.remove(choice);
+                }
+                removed
+            }
         }
     }
 
@@ -328,6 +433,114 @@ mod tests {
         let tree = JobTree::from_jobs(&jobs);
         assert_eq!(tree.depth(), 3);
         assert_eq!(JobTree::new().depth(), 0);
+    }
+
+    #[test]
+    fn walk_enters_every_edge_once_in_lexicographic_order() {
+        let jobs = sample_jobs();
+        let tree = JobTree::from_jobs(&jobs);
+        struct Tracer {
+            prefix: Vec<PathChoice>,
+            entered: Vec<Vec<PathChoice>>,
+            terminals: Vec<Vec<PathChoice>>,
+        }
+        impl JobTreeVisitor for Tracer {
+            fn enter_edge(&mut self, choice: PathChoice, terminal: bool) {
+                self.prefix.push(choice);
+                self.entered.push(self.prefix.clone());
+                if terminal {
+                    self.terminals.push(self.prefix.clone());
+                }
+            }
+            fn leave_edge(&mut self) {
+                self.prefix.pop();
+            }
+        }
+        let mut tracer = Tracer {
+            prefix: Vec::new(),
+            entered: Vec::new(),
+            terminals: Vec::new(),
+        };
+        tree.walk(&mut tracer);
+        // Balanced enter/leave: the walk ended back at the root.
+        assert!(tracer.prefix.is_empty());
+        // One enter per trie edge (= every node except the root).
+        assert_eq!(tracer.entered.len(), tree.node_count() - 1);
+        let mut unique = tracer.entered.clone();
+        unique.dedup();
+        assert_eq!(unique, tracer.entered, "an edge was entered twice");
+        assert!(tracer.entered.windows(2).all(|w| w[0] < w[1]));
+        // Terminal notifications are exactly the encoded jobs.
+        let mut expected: Vec<Vec<PathChoice>> =
+            sample_jobs().into_iter().map(|j| j.path).collect();
+        expected.sort();
+        assert_eq!(tracer.terminals, expected);
+    }
+
+    #[test]
+    fn node_lookup_and_contains() {
+        let jobs = sample_jobs();
+        let tree = JobTree::from_jobs(&jobs);
+        let b = PathChoice::Branch;
+        assert!(tree.contains(&[b(true), b(false)]));
+        assert!(!tree.contains(&[b(true)]), "interior node is not a job");
+        let shared = tree.node(&[b(true), b(true)]).expect("shared prefix");
+        assert_eq!(shared.branch_count(), 2);
+        assert!(!shared.is_terminal());
+        assert!(tree.node(&[b(false), b(false)]).is_none());
+    }
+
+    #[test]
+    fn merge_is_set_union() {
+        let jobs = sample_jobs();
+        let (left, right) = jobs.split_at(2);
+        let mut tree = JobTree::from_jobs(left);
+        tree.merge(&JobTree::from_jobs(right));
+        // Overlapping merge adds nothing.
+        tree.merge(&JobTree::from_jobs(&jobs));
+        assert_eq!(tree, JobTree::from_jobs(&jobs));
+    }
+
+    #[test]
+    fn remove_prunes_empty_branches() {
+        let jobs = sample_jobs();
+        let mut tree = JobTree::from_jobs(&jobs);
+        for job in &jobs {
+            assert!(tree.remove(&job.path));
+            assert!(!tree.contains(&job.path));
+            // Removing again is a no-op.
+            assert!(!tree.remove(&job.path));
+        }
+        assert!(tree.is_empty());
+        assert_eq!(
+            tree.node_count(),
+            1,
+            "dangling interior nodes were not pruned"
+        );
+    }
+
+    #[test]
+    fn remove_keeps_shared_prefixes_alive() {
+        let b = PathChoice::Branch;
+        let jobs = vec![
+            Job::new(vec![b(true), b(true)]),
+            Job::new(vec![b(true), b(false)]),
+        ];
+        let mut tree = JobTree::from_jobs(&jobs);
+        assert!(tree.remove(&jobs[0].path));
+        assert!(tree.contains(&jobs[1].path));
+        assert!(tree.node(&[b(true)]).is_some());
+    }
+
+    #[test]
+    fn empty_path_job_roundtrips_through_walk() {
+        let jobs = vec![
+            Job::new(Vec::new()),
+            Job::new(vec![PathChoice::Branch(true)]),
+        ];
+        let tree = JobTree::from_jobs(&jobs);
+        assert!(tree.is_terminal());
+        assert_eq!(tree.to_jobs(), jobs);
     }
 
     #[test]

@@ -34,7 +34,7 @@ mod transport;
 
 pub use id::{WorkerId, COORDINATOR};
 pub use inproc::{InProcCoordinatorEndpoint, InProcTransport, InProcWorkerEndpoint};
-pub use job::{decode_jobs_flat, encode_jobs_flat, Job, JobTree};
+pub use job::{decode_jobs_flat, encode_jobs_flat, Job, JobTree, JobTreeVisitor};
 pub use message::{
     Control, EnvSpec, FinalReport, JobBatch, PeerInfo, RunSpec, StatusReport, TransferEvent,
     WireMessage,

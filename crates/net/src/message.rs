@@ -12,7 +12,7 @@
 use crate::id::WorkerId;
 use crate::stats::WorkerStats;
 use c9_ir::Program;
-use c9_vm::{CoverageSet, ExecutorConfig, StrategyKind, TestCase};
+use c9_vm::{CoverageSet, ExecutorConfig, ReplayCacheConfig, StrategyKind, TestCase};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -243,6 +243,11 @@ pub struct RunSpec {
     pub generate_test_cases: bool,
     /// Prefer exporting the deepest candidates when shedding load.
     pub export_deepest: bool,
+    /// Budget of the worker's prefix-anchor replay cache (`--replay-cache`):
+    /// cloned states keyed by job-path prefix that let an imported job
+    /// replay only its suffix below the deepest cached anchor. A zero
+    /// capacity disables the cache (naive per-job root replay).
+    pub replay_cache: ReplayCacheConfig,
     /// Number of executor threads stepping states concurrently inside the
     /// worker (`--threads`); 1 reproduces the classic single-threaded
     /// quantum loop exactly.

@@ -29,9 +29,20 @@ pub struct WorkerStats {
     pub job_bytes_sent: u64,
     /// Number of materializations (virtual → materialized replays).
     pub materializations: u64,
-    /// Replays that broke (diverged); should stay zero thanks to the
-    /// deterministic allocator.
-    pub broken_replays: u64,
+    /// Replay instructions *not* executed because the materialization
+    /// resumed from a cached prefix anchor instead of replaying the whole
+    /// trunk from the root (the saving of the prefix-anchor cache).
+    pub replay_saved_instructions: u64,
+    /// Materializations that resumed from a cached prefix anchor.
+    pub anchor_hits: u64,
+    /// Materializations that replayed from the root (no anchor covered any
+    /// prefix of the job path, or the cache is disabled).
+    pub anchor_misses: u64,
+    /// Replays that diverged (the recorded job path no longer matches the
+    /// program's branches — a corrupted or stale job). The state is
+    /// discarded, never explored; should stay zero thanks to the
+    /// deterministic engine.
+    pub replay_divergences: u64,
     /// Mid-run strategy reassignments applied (portfolio rebalancing).
     pub strategy_switches: u64,
 }
@@ -52,12 +63,26 @@ impl WorkerStats {
         self.jobs_received += other.jobs_received;
         self.job_bytes_sent += other.job_bytes_sent;
         self.materializations += other.materializations;
-        self.broken_replays += other.broken_replays;
+        self.replay_saved_instructions += other.replay_saved_instructions;
+        self.anchor_hits += other.anchor_hits;
+        self.anchor_misses += other.anchor_misses;
+        self.replay_divergences += other.replay_divergences;
         self.strategy_switches += other.strategy_switches;
     }
 
     /// Total instructions (useful + replay).
     pub fn total_instructions(&self) -> u64 {
         self.useful_instructions + self.replay_instructions
+    }
+
+    /// Fraction of materializations that resumed from a cached prefix
+    /// anchor (zero when nothing was materialized).
+    pub fn anchor_hit_rate(&self) -> f64 {
+        let total = self.anchor_hits + self.anchor_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.anchor_hits as f64 / total as f64
+        }
     }
 }

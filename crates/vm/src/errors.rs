@@ -21,6 +21,18 @@ pub enum TerminationReason {
     MaxInstructions,
     /// The state was silenced by the engine (e.g. exceeded memory limits).
     Killed(String),
+    /// Replay of a transferred job diverged: the recorded decision sequence
+    /// no longer matches the branch structure the replayed execution
+    /// reached (a corrupted or stale job). The state must be discarded —
+    /// never explored further, and never counted as a completed path.
+    ReplayDivergence {
+        /// How many recorded decisions had been consumed when the replay
+        /// diverged.
+        depth: usize,
+        /// What disagreed (branch/schedule/syscall mismatch, early
+        /// termination, …).
+        detail: String,
+    },
 }
 
 impl TerminationReason {

@@ -607,10 +607,13 @@ impl Executor {
                     self.goto(state, if taken { then_block } else { else_block });
                     StepResult::Continue
                 }
-                _ => {
-                    let reason = TerminationReason::Killed(
-                        "broken replay: path/branch mismatch".to_string(),
-                    );
+                other => {
+                    let reason = TerminationReason::ReplayDivergence {
+                        depth: state.depth(),
+                        detail: format!(
+                            "symbolic branch reached but the recorded decision is {other:?}"
+                        ),
+                    };
                     state.terminate(reason.clone());
                     StepResult::Terminated(reason)
                 }
@@ -935,10 +938,15 @@ impl Executor {
                     state.record_choice(PathChoice::Alt { chosen, total });
                     StepResult::Continue
                 }
-                _ => {
-                    let reason = TerminationReason::Killed(
-                        "broken replay: path/schedule mismatch".to_string(),
-                    );
+                other => {
+                    let reason = TerminationReason::ReplayDivergence {
+                        depth: state.depth(),
+                        detail: format!(
+                            "schedule fork over {} runnable threads but the recorded \
+                             decision is {other:?}",
+                            runnable.len()
+                        ),
+                    };
                     state.terminate(reason.clone());
                     StepResult::Terminated(reason)
                 }
@@ -1056,10 +1064,15 @@ impl Executor {
                     }
                     StepResult::Continue
                 }
-                _ => {
-                    let reason = TerminationReason::Killed(
-                        "broken replay: path/syscall mismatch".to_string(),
-                    );
+                other => {
+                    let reason = TerminationReason::ReplayDivergence {
+                        depth: state.depth(),
+                        detail: format!(
+                            "syscall fork over {} alternatives but the recorded \
+                             decision is {other:?}",
+                            alternatives.len()
+                        ),
+                    };
                     state.terminate(reason.clone());
                     StepResult::Terminated(reason)
                 }

@@ -25,7 +25,8 @@
 //! ```
 
 use c9_core::{
-    Checkpoint, Cluster, ClusterConfig, CoordinatorRunOpts, EnvSpec, PortfolioConfig, StrategyKind,
+    Checkpoint, Cluster, ClusterConfig, CoordinatorRunOpts, EnvSpec, PortfolioConfig,
+    ReplayCacheConfig, StrategyKind,
 };
 use c9_net::TcpCoordinatorEndpoint;
 use c9_posix::PosixEnvironment;
@@ -58,6 +59,7 @@ struct Args {
     portfolio: Option<Vec<StrategyKind>>,
     portfolio_adapt: bool,
     threads: Option<usize>,
+    replay_cache: Option<ReplayCacheConfig>,
 }
 
 fn usage() -> ! {
@@ -87,6 +89,9 @@ fn usage() -> ! {
          \x20 --generate-tests       solve a concrete test case per path\n\
          \x20 --quantum N            instructions per worker quantum\n\
          \x20 --threads N            executor threads per worker (default: C9_THREADS or 1)\n\
+         \x20 --replay-cache N[:BYTES]  per-worker prefix-anchor replay cache: keep up to\n\
+         \x20                        N anchor snapshots (0 = replay every imported job\n\
+         \x20                        from the root) within an optional byte budget\n\
          \x20 --status-interval-ms MS   worker status cadence\n\
          \x20 --balance-interval-ms MS  balancing cadence\n\
          \n\
@@ -133,6 +138,7 @@ fn parse_args() -> Args {
         portfolio: None,
         portfolio_adapt: false,
         threads: None,
+        replay_cache: None,
     };
     let mut it = std::env::args().skip(1);
     fn next_f64(it: &mut impl Iterator<Item = String>) -> f64 {
@@ -183,6 +189,22 @@ fn parse_args() -> Args {
             }
             "--quantum" => args.quantum = Some(next_u64(&mut it)),
             "--threads" => args.threads = Some((next_u64(&mut it) as usize).max(1)),
+            "--replay-cache" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                let mut parts = spec.splitn(2, ':');
+                let capacity = parts
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage());
+                let max_bytes = match parts.next() {
+                    Some(bytes) => bytes.parse::<u64>().ok().unwrap_or_else(|| usage()),
+                    None => ReplayCacheConfig::default().max_bytes,
+                };
+                args.replay_cache = Some(ReplayCacheConfig {
+                    capacity,
+                    max_bytes,
+                });
+            }
             "--status-interval-ms" => {
                 args.status_interval = Some(Duration::from_millis(next_u64(&mut it)));
             }
@@ -289,6 +311,9 @@ fn main() {
     if let Some(threads) = args.threads {
         config.worker.threads = threads;
     }
+    if let Some(replay_cache) = args.replay_cache {
+        config.worker.replay_cache = replay_cache;
+    }
     if let Some(interval) = args.status_interval {
         config.status_interval = interval;
     }
@@ -380,6 +405,13 @@ fn main() {
         s.useful_instructions(),
         s.replay_instructions()
     );
+    println!(
+        "replay saved:      {} instructions skipped via prefix anchors \
+         ({:.1}% anchor hit-rate, {} divergences)",
+        s.replay_saved_instructions(),
+        100.0 * s.anchor_hit_rate(),
+        s.replay_divergences(),
+    );
     let solver = s.solver_stats();
     println!(
         "solver queries:    {} ({:.1}% cache hits, {} searches, {} independence slices)",
@@ -391,13 +423,15 @@ fn main() {
     for (i, w) in s.worker_stats.iter().enumerate() {
         println!(
             "  worker {i}: threads {:>2}  paths {:>6}  sent {:>5}  received {:>5}  useful {:>9}  \
-             replay {:>9}  queries {:>8}  cache {:>5.1}%",
+             replay {:>9}  saved {:>9}  anchors {:>5.1}%  queries {:>8}  cache {:>5.1}%",
             w.threads,
             w.paths_completed,
             w.jobs_sent,
             w.jobs_received,
             w.useful_instructions,
             w.replay_instructions,
+            w.replay_saved_instructions,
+            100.0 * w.anchor_hit_rate(),
             w.solver.queries,
             100.0 * w.solver.cache_hit_rate(),
         );

@@ -23,7 +23,7 @@
 
 use c9_net::{send_leave, EnvSpec, TcpWorkerHost, WorkerEndpoint, WorkerId};
 use c9_posix::PosixEnvironment;
-use c9_vm::{Environment, NullEnvironment};
+use c9_vm::{Environment, NullEnvironment, ReplayCacheConfig};
 use std::io::Write;
 use std::sync::Arc;
 use std::time::Duration;
@@ -34,6 +34,7 @@ struct Args {
     once: bool,
     quiet: bool,
     threads: Option<usize>,
+    replay_cache: Option<ReplayCacheConfig>,
 }
 
 fn usage() -> ! {
@@ -45,9 +46,26 @@ fn usage() -> ! {
          \x20 --join HOST:PORT    attach to a listening coordinator (elastic membership)\n\
          \x20 --once              exit after serving one run instead of looping\n\
          \x20 --quiet             suppress per-run log lines\n\
-         \x20 --threads N         executor threads (overrides the coordinator's run spec)"
+         \x20 --threads N         executor threads (overrides the coordinator's run spec)\n\
+         \x20 --replay-cache N[:BYTES]  prefix-anchor replay cache: keep up to N anchor\n\
+         \x20                     snapshots (0 = replay every job from the root) within\n\
+         \x20                     an optional byte budget; overrides the run spec"
     );
     std::process::exit(2);
+}
+
+/// Parses a `--replay-cache` argument: `CAPACITY` or `CAPACITY:MAX_BYTES`.
+fn parse_replay_cache(arg: &str) -> Option<ReplayCacheConfig> {
+    let mut parts = arg.splitn(2, ':');
+    let capacity = parts.next()?.parse::<usize>().ok()?;
+    let max_bytes = match parts.next() {
+        Some(bytes) => bytes.parse::<u64>().ok()?,
+        None => ReplayCacheConfig::default().max_bytes,
+    };
+    Some(ReplayCacheConfig {
+        capacity,
+        max_bytes,
+    })
 }
 
 fn parse_args() -> Args {
@@ -57,6 +75,7 @@ fn parse_args() -> Args {
         once: false,
         quiet: false,
         threads: None,
+        replay_cache: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -71,6 +90,14 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse::<usize>().ok())
                     .map(|n| n.max(1))
                     .or_else(|| usage());
+            }
+            "--replay-cache" => {
+                args.replay_cache = it
+                    .next()
+                    .as_deref()
+                    .and_then(parse_replay_cache)
+                    .map(Some)
+                    .unwrap_or_else(|| usage());
             }
             "--help" | "-h" => usage(),
             other => {
@@ -145,7 +172,13 @@ fn run_elastic(args: &Args, coordinator: &str) -> ! {
                     spec.strategy,
                 );
             }
-            c9_core::run_worker_from_spec_with(&mut endpoint, spec, env, args.threads);
+            c9_core::run_worker_from_spec_with(
+                &mut endpoint,
+                spec,
+                env,
+                args.threads,
+                args.replay_cache,
+            );
             if !args.quiet {
                 eprintln!("c9-worker[{}]: run complete", endpoint.id());
             }
@@ -200,7 +233,13 @@ fn main() {
                 spec.strategy,
             );
         }
-        c9_core::run_worker_from_spec_with(&mut endpoint, spec, env, args.threads);
+        c9_core::run_worker_from_spec_with(
+            &mut endpoint,
+            spec,
+            env,
+            args.threads,
+            args.replay_cache,
+        );
         if !args.quiet {
             eprintln!("c9-worker[{}]: run complete", endpoint.id());
         }
