@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Validate a run_report.json against the coordinator's printed summary.
+
+Usage: check_run_report.py REPORT SUMMARY_LOG [TRACE_JSONL ...]
+
+Checks, in order:
+  1. REPORT parses as JSON and carries the expected top-level layout.
+  2. The aggregate path count in the report equals the "total paths:"
+     line the coordinator printed (SUMMARY_LOG) — the machine-readable
+     artifact and the human-readable summary must never drift apart.
+  3. The per-worker path counts re-derive the aggregate.
+  4. Every worker entry carries its piggybacked histogram snapshots
+     (solver-query latency always; quantum durations for any worker
+     that executed), and the timeline is present.
+  5. Every extra TRACE_JSONL file is valid JSON line by line.
+
+Exits non-zero with a diagnostic on the first violation.
+"""
+
+import json
+import re
+import sys
+
+
+def fail(msg):
+    print(f"check_run_report: FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 3:
+        fail("usage: check_run_report.py REPORT SUMMARY_LOG [TRACE_JSONL ...]")
+    report_path, log_path, trace_paths = sys.argv[1], sys.argv[2], sys.argv[3:]
+
+    try:
+        with open(report_path) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{report_path} is not readable JSON: {e}")
+
+    for key in ("version", "totals", "workers", "timeline", "metrics"):
+        if key not in report:
+            fail(f"report is missing the {key!r} key")
+
+    with open(log_path) as f:
+        log = f.read()
+    m = re.search(r"total paths:\s+(\d+)", log)
+    if not m:
+        fail(f"no 'total paths:' line in {log_path}")
+    printed = int(m.group(1))
+
+    reported = report["totals"]["paths_completed"]
+    if reported != printed:
+        fail(f"report says {reported} paths, coordinator printed {printed}")
+
+    workers = report["workers"]
+    if not workers:
+        fail("report has no worker entries")
+    per_worker = sum(w["paths_completed"] for w in workers)
+    if per_worker != printed:
+        fail(f"per-worker paths sum to {per_worker}, summary says {printed}")
+
+    quantum_count = 0
+    for w in workers:
+        histograms = w["metrics"]["histograms"]
+        if "solver_query_us" not in histograms:
+            fail(f"worker {w['index']} lacks the solver_query_us histogram")
+        quantum_count += histograms.get("quantum_us", {}).get("count", 0)
+    if quantum_count == 0:
+        fail("no worker recorded a quantum duration")
+
+    if not isinstance(report["timeline"], list):
+        fail("timeline is not an array")
+
+    for path in trace_paths:
+        with open(path) as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    json.loads(line)
+                except json.JSONDecodeError as e:
+                    fail(f"{path}:{lineno} is not valid JSON: {e}")
+
+    print(
+        f"check_run_report: OK ({printed} paths, {len(workers)} workers, "
+        f"{len(report['timeline'])} timeline samples, "
+        f"{len(trace_paths)} event logs)"
+    )
+
+
+if __name__ == "__main__":
+    main()

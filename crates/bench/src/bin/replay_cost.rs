@@ -15,6 +15,10 @@
 //!   replay saving (no balancer timing noise).
 //!
 //! Results are printed as a table and written to `BENCH_replay.json`.
+//!
+//! A final experiment re-runs the deterministic batch harness with full
+//! tracing armed (span recording on) and reports the wall-clock overhead
+//! versus tracing off — the observability layer's ≤5% budget.
 
 use c9_core::{Cluster, ClusterConfig, ReplayCacheConfig, Worker, WorkerConfig, WorkerId};
 use c9_posix::PosixEnvironment;
@@ -234,10 +238,57 @@ fn main() {
             row.secs,
         ));
     }
+    println!("\n== tracing overhead (batch-96, cache on, spans armed vs off, best of 3) ==");
+    println!("target\t| paths\t| off secs\t| on secs\t| overhead");
+    println!("{}", "-".repeat(64));
+    let mut overhead_rows = Vec::new();
+    for &target in targets {
+        let best_of = |armed: bool| {
+            c9_trace::enable_spans(armed);
+            let mut best: Option<Row> = None;
+            for _ in 0..3 {
+                let row = batch_run(target, ReplayCacheConfig::default(), "on");
+                if best.as_ref().map(|b| row.secs < b.secs).unwrap_or(true) {
+                    best = Some(row);
+                }
+            }
+            c9_trace::enable_spans(false);
+            drop(c9_trace::drain_spans());
+            best.expect("three runs")
+        };
+        let off = best_of(false);
+        let on = best_of(true);
+        assert_eq!(
+            off.paths, on.paths,
+            "{target}: path count changed with tracing armed"
+        );
+        let overhead = on.secs / off.secs.max(1e-9) - 1.0;
+        eprintln!(
+            "replay_cost {target} tracing overhead: {:.2}% ({:.3}s off, {:.3}s on)",
+            100.0 * overhead,
+            off.secs,
+            on.secs
+        );
+        println!(
+            "{}\t| {}\t| {:.3}\t| {:.3}\t| {:+.2}%",
+            target,
+            off.paths,
+            off.secs,
+            on.secs,
+            100.0 * overhead,
+        );
+        overhead_rows.push(format!(
+            "    {{\"target\": \"{}\", \"paths\": {}, \"secs_off\": {:.4}, \"secs_on\": {:.4}, \
+             \"overhead\": {:.4}}}",
+            target, off.paths, off.secs, on.secs, overhead,
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"replay_cost\",\n  \"quick\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"replay_cost\",\n  \"quick\": {},\n  \"rows\": [\n{}\n  ],\n  \"tracing_overhead\": [\n{}\n  ]\n}}\n",
         quick,
         json_rows.join(",\n"),
+        overhead_rows.join(",\n"),
     );
     if let Err(e) = std::fs::write("BENCH_replay.json", &json) {
         eprintln!("replay_cost: cannot write BENCH_replay.json: {e}");

@@ -154,6 +154,15 @@ pub trait Deserialize: Sized {
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
 }
 
+/// Compile-time field-name reflection, implemented automatically by
+/// `#[derive(Serialize)]` for named structs. Lets tests assert exhaustive
+/// properties over a struct's fields (e.g. that `merge` touches every one)
+/// so adding a field without updating such logic fails CI.
+pub trait Reflect {
+    /// The struct's field names, in declaration order.
+    const FIELD_NAMES: &'static [&'static str];
+}
+
 // --- integers -------------------------------------------------------------
 
 macro_rules! impl_unsigned {

@@ -280,7 +280,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             name
         }
     };
-    let out = format!(
+    let mut out = format!(
         "impl ::serde::Serialize for {name} {{\n\
          fn encode_to(&self, out: &mut ::std::vec::Vec<u8>) {{\n\
          let _ = &out;\n\
@@ -288,6 +288,19 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
          }}\n\
          }}"
     );
+    // Named structs additionally get `serde::Reflect`, exposing the field
+    // list so tests can pin exhaustiveness properties (e.g. "every field
+    // participates in merge"). Emitted only from Serialize so a type
+    // deriving both traits gets a single impl.
+    if let Item::NamedStruct { name, fields } = &item {
+        let list: Vec<String> = fields.iter().map(|f| format!("{f:?}")).collect();
+        out.push_str(&format!(
+            "\nimpl ::serde::Reflect for {name} {{\n\
+             const FIELD_NAMES: &'static [&'static str] = &[{}];\n\
+             }}",
+            list.join(", ")
+        ));
+    }
     out.parse().unwrap()
 }
 

@@ -30,6 +30,7 @@ use c9_net::{
     Control, CoordinatorEndpoint, EnvSpec, InProcTransport, Job, JobBatch, JobTree, MemberEvent,
     RunSpec, StatusReport, TransferEvent, Transport, WorkerEndpoint, WorkerId, COORDINATOR,
 };
+use c9_trace::{error, info, warn, Span, SpanKind};
 use c9_vm::{CoverageSet, Environment, StrategyKind, TestCase};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -84,8 +85,6 @@ pub struct ClusterConfig {
     /// Continue a previous run: its frontier is injected instead of the
     /// root job, and its stats are folded into the final summary.
     pub resume: Option<Checkpoint>,
-    /// Log membership transitions (joins, deaths, reclaims) to stderr.
-    pub verbose_membership: bool,
     /// The strategy portfolio: when set, each worker is assigned a strategy
     /// from the mix (spread evenly, re-spread on churn) instead of everyone
     /// running [`WorkerConfig::strategy`]; with `adapt` on, per-strategy
@@ -114,7 +113,6 @@ impl Default for ClusterConfig {
             checkpoint_path: None,
             checkpoint_interval: Duration::from_secs(1),
             resume: None,
-            verbose_membership: false,
             portfolio: None,
         }
     }
@@ -462,12 +460,10 @@ impl Cluster {
                     continue;
                 }
             }
-            if self.config.verbose_membership {
-                eprintln!(
-                    "c9-coordinator: worker {worker} joined (epoch {epoch}, {}, strategy {strategy})",
-                    request.listen_addr
-                );
-            }
+            info!(
+                "worker {worker} joined (epoch {epoch}, {}, strategy {strategy})",
+                request.listen_addr
+            );
             // Everyone learns the new peer table (and the fenced epochs of
             // any previous incarnation).
             let infos = membership.peer_infos();
@@ -524,9 +520,7 @@ impl Cluster {
             }
             for worker in membership.detect_failures(Instant::now()) {
                 result.summary.workers_failed += 1;
-                if self.config.verbose_membership {
-                    eprintln!("c9-coordinator: worker {worker} died during shutdown");
-                }
+                warn!("worker {worker} died during shutdown");
             }
             // Status reports still queued behind the Stop carry the last
             // transfer notices and acknowledgements; without them a batch
@@ -579,17 +573,17 @@ impl Cluster {
         // stopped by a time or path limit resumes exactly where it left
         // off.
         if let Some(path) = &self.config.checkpoint_path {
+            let mut span = Span::enter(SpanKind::Checkpoint);
             let checkpoint =
                 self.build_checkpoint(membership, portfolio, &result.summary, opts, start);
-            if self.config.verbose_membership {
-                eprintln!(
-                    "c9-coordinator: final checkpoint: {} completed paths, {} pending jobs",
-                    checkpoint.base_paths(),
-                    checkpoint.jobs().len()
-                );
-            }
+            span.detail(checkpoint.jobs().len() as u64);
+            info!(
+                "final checkpoint: {} completed paths, {} pending jobs",
+                checkpoint.base_paths(),
+                checkpoint.jobs().len()
+            );
             if let Err(e) = checkpoint.save(path) {
-                eprintln!("c9-coordinator: checkpoint write failed: {e}");
+                error!("checkpoint write failed: {e}");
             }
         }
         result
@@ -625,8 +619,8 @@ impl Cluster {
                 membership.record_heartbeat(worker, epoch, Instant::now());
             }
             MemberEvent::Leave { worker, epoch } => {
-                if membership.leave(worker, epoch) && self.config.verbose_membership {
-                    eprintln!("c9-coordinator: worker {worker} left gracefully");
+                if membership.leave(worker, epoch) {
+                    info!("worker {worker} left gracefully");
                 }
             }
         }
@@ -744,12 +738,10 @@ impl Cluster {
                 lb.set_alive(worker, false);
                 portfolio.remove(worker);
                 summary.workers_failed += 1;
-                if self.config.verbose_membership {
-                    eprintln!(
-                        "c9-coordinator: worker {worker} declared dead \
-                         (missed heartbeats); reclaiming its pending jobs"
-                    );
-                }
+                warn!(
+                    "worker {worker} declared dead (missed heartbeats); \
+                     reclaiming its pending jobs"
+                );
             }
 
             // Drain status reports (block briefly for the first one).
@@ -868,6 +860,7 @@ impl Cluster {
                         coverage,
                         ..ClusterSummary::default()
                     };
+                    let mut span = Span::enter(SpanKind::Checkpoint);
                     let checkpoint = self.build_checkpoint(
                         membership,
                         portfolio,
@@ -875,8 +868,9 @@ impl Cluster {
                         opts,
                         start,
                     );
+                    span.detail(checkpoint.jobs().len() as u64);
                     if let Err(e) = checkpoint.save(path) {
-                        eprintln!("c9-coordinator: checkpoint write failed: {e}");
+                        error!("checkpoint write failed: {e}");
                     }
                     last_checkpoint = Instant::now();
                 }
@@ -909,14 +903,18 @@ impl Cluster {
                 && !lb_disabled_static
                 && last_balance.elapsed() >= self.config.balance_interval
             {
+                let mut round = Span::enter(SpanKind::BalanceRound);
+                let requests = lb.balance();
+                round.detail(requests.len() as u64);
                 for TransferRequest {
                     source,
                     destination,
                     count,
-                } in lb.balance()
+                } in requests
                 {
                     let _ = endpoint.send_control(source, Control::Balance { destination, count });
                 }
+                drop(round);
                 // Portfolio adaptation rides the same cadence: strategies
                 // that stopped yielding new coverage lose a worker to the
                 // one currently yielding the most.
@@ -928,12 +926,7 @@ impl Cluster {
                         ^ portfolio.rebalances();
                     membership.set_strategy(worker, strategy);
                     summary.strategy_rebalances += 1;
-                    if self.config.verbose_membership {
-                        eprintln!(
-                            "c9-coordinator: portfolio rebalance: worker {worker} \
-                             reassigned to strategy {strategy}"
-                        );
-                    }
+                    info!("portfolio rebalance: worker {worker} reassigned to strategy {strategy}");
                     let _ = endpoint.send_control(worker, Control::SetStrategy { strategy, seed });
                 }
                 last_balance = Instant::now();
@@ -1050,11 +1043,14 @@ pub fn run_worker_loop<E: WorkerEndpoint>(
                     }
                 }
                 Control::Balance { destination, count } => {
+                    let mut transfer = Span::enter(SpanKind::JobTransfer);
                     let jobs = worker.export_jobs(count);
                     if jobs.is_empty() {
                         continue;
                     }
                     let encoded = JobTree::from_jobs(&jobs).encode();
+                    transfer.detail(encoded.len() as u64);
+                    worker.record_transfer_bytes(encoded.len() as u64);
                     export_seq += 1;
                     let seq = export_seq;
                     // Tell the coordinator about the export *before*

@@ -63,6 +63,7 @@ mod cluster;
 mod membership;
 mod portfolio;
 mod replay_cache;
+mod report;
 mod stats;
 mod tree;
 mod worker;
@@ -82,6 +83,9 @@ pub use cluster::{
 pub use membership::{Checkpoint, MemberHealth, MemberState, Membership};
 pub use portfolio::{derive_seed, Portfolio, PortfolioCheckpoint, PortfolioConfig, StrategyYield};
 pub use replay_cache::AnchorCache;
+pub use report::{
+    run_report, timeline_csv, write_run_report, write_timeline_csv, RUN_REPORT_VERSION,
+};
 pub use stats::{ClusterSummary, IntervalSample};
 pub use tree::{NodeId, NodeLife, NodeStatus, TreeNode, WorkerTree};
 pub use worker::{default_threads, Worker, WorkerConfig};

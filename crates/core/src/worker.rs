@@ -31,6 +31,7 @@ use crate::tree::{NodeId, WorkerTree};
 use c9_ir::Program;
 use c9_net::{Job, JobTree, JobTreeVisitor, WorkerId, WorkerStats};
 use c9_solver::Solver;
+use c9_trace::{Registry, Span, SpanKind};
 use c9_vm::{
     build_searcher, CoverageSet, Environment, ExecutionState, Executor, ExecutorConfig, PathChoice,
     ReplayCacheConfig, ReplayEngine, ReplayProgress, Scheduler, StateId, StateIdGen, StateMeta,
@@ -39,6 +40,7 @@ use c9_vm::{
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Instructions per execution slice: how long one state runs on one thread
 /// before the round is merged (and, in the classic single-threaded loop,
@@ -144,6 +146,12 @@ pub struct Worker {
     pub test_cases: Vec<TestCase>,
     /// Test cases that expose bugs.
     pub bugs: Vec<TestCase>,
+    /// Local metrics (quantum duration, job-batch size, replay-trunk
+    /// length, transfer bytes); snapshotted into every status report.
+    /// Write-only from the engine's point of view — never read by any
+    /// scheduling or exploration decision, which is what keeps
+    /// instrumentation determinism-neutral.
+    pub(crate) metrics: Registry,
 }
 
 impl Worker {
@@ -181,6 +189,7 @@ impl Worker {
             coverage: CoverageSet::new(lines),
             test_cases: Vec::new(),
             bugs: Vec::new(),
+            metrics: Registry::new(),
         }
     }
 
@@ -243,6 +252,9 @@ impl Worker {
     /// Imports jobs received from another worker: they become virtual
     /// candidate nodes, materialized lazily when the strategy selects them.
     pub fn import_jobs(&mut self, jobs: Vec<Job>) {
+        self.metrics
+            .histogram("batch_jobs")
+            .record(jobs.len() as u64);
         for job in jobs {
             self.enqueue_virtual(job);
             self.stats.jobs_received += 1;
@@ -255,6 +267,7 @@ impl Worker {
     /// lexicographic order [`JobTree::to_jobs`] would produce) — shared
     /// prefixes are traversed once, not once per job.
     pub fn import_job_tree(&mut self, tree: &JobTree) {
+        let before = self.stats.jobs_received;
         self.pending.merge(tree);
         struct Importer<'w> {
             worker: &'w mut Worker,
@@ -287,6 +300,9 @@ impl Worker {
             importer.import(Job::new(Vec::new()));
         }
         tree.walk(&mut importer);
+        self.metrics
+            .histogram("batch_jobs")
+            .record(self.stats.jobs_received - before);
     }
 
     /// Exports up to `count` jobs for transfer to another worker. Virtual
@@ -373,17 +389,31 @@ impl Worker {
         let mut stats = self.stats.clone();
         stats.threads = self.config.threads.max(1) as u64;
         stats.solver = self.solver.stats();
+        stats.metrics = self.metrics.snapshot();
         stats
+            .metrics
+            .histograms
+            .insert("solver_query_us".into(), self.solver.latency_snapshot());
+        stats
+    }
+
+    /// Records the encoded size of one outgoing job batch (called by the
+    /// cluster runtime, which is where the wire bytes are known).
+    pub fn record_transfer_bytes(&self, bytes: u64) {
+        self.metrics.histogram("transfer_bytes").record(bytes);
     }
 
     /// Runs up to `max_instructions` instructions of exploration across
     /// `threads` executor threads and returns how many were executed
     /// (useful + replay, summed over all threads).
     pub fn run_quantum(&mut self, max_instructions: u64) -> u64 {
+        let started = Instant::now();
+        let mut span = Span::enter(SpanKind::Quantum);
         let threads = self.config.threads.max(1);
         let mut parts = EngineParts {
             executor: &self.executor,
             solver: &self.solver,
+            metrics: &self.metrics,
             generate_test_cases: self.config.generate_test_cases,
             states: &mut self.states,
             virtual_jobs: &mut self.virtual_jobs,
@@ -397,14 +427,22 @@ impl Worker {
             test_cases: &mut self.test_cases,
             bugs: &mut self.bugs,
         };
-        if threads == 1 {
-            return dispatch_quantum(&mut parts, max_instructions, &[]);
-        }
-        let executor = parts.executor;
-        std::thread::scope(|scope| {
-            let lanes: Vec<Lane> = (1..threads).map(|_| Lane::spawn(scope, executor)).collect();
-            dispatch_quantum(&mut parts, max_instructions, &lanes)
-        })
+        let executed = if threads == 1 {
+            dispatch_quantum(&mut parts, max_instructions, &[])
+        } else {
+            let executor = parts.executor;
+            std::thread::scope(|scope| {
+                let lanes: Vec<Lane> = (1..threads).map(|_| Lane::spawn(scope, executor)).collect();
+                dispatch_quantum(&mut parts, max_instructions, &lanes)
+            })
+        };
+        span.detail(executed);
+        let elapsed = started.elapsed().as_micros() as u64;
+        self.metrics.histogram("quantum_us").record(elapsed);
+        self.metrics
+            .histogram("quantum_instructions")
+            .record(executed);
+        executed
     }
 
     /// Snapshot of the local coverage.
@@ -425,6 +463,7 @@ impl Worker {
 struct EngineParts<'a> {
     executor: &'a Executor,
     solver: &'a Arc<Solver>,
+    metrics: &'a Registry,
     generate_test_cases: bool,
     states: &'a mut BTreeMap<StateId, ExecutionState>,
     virtual_jobs: &'a mut VecDeque<VirtualJob>,
@@ -719,6 +758,12 @@ fn materialize(
     max_instructions: u64,
 ) -> Option<StateId> {
     let VirtualJob { job, node } = vjob;
+    let mut span = Span::enter(SpanKind::Materialize);
+    span.detail(job.path.len() as u64);
+    parts
+        .metrics
+        .histogram("replay_trunk_len")
+        .record(job.path.len() as u64);
     parts.pending.remove(&job.path);
     // Anchor points along this path: every depth where a remaining
     // pending job shares the prefix (branches off, or ends exactly

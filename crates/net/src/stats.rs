@@ -1,6 +1,7 @@
 //! Per-worker statistics, reported over the wire to the load balancer.
 
 use c9_solver::SolverStats;
+use c9_trace::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// Statistics one worker reports to the load balancer and to the experiment
@@ -45,6 +46,11 @@ pub struct WorkerStats {
     pub replay_divergences: u64,
     /// Mid-run strategy reassignments applied (portfolio rebalancing).
     pub strategy_switches: u64,
+    /// Registry snapshot piggybacked on the report: counters, gauges, and
+    /// histograms (solver-query latency, quantum duration, job-batch size,
+    /// replay-trunk length, transfer bytes). New metrics ride this map, so
+    /// adding one never needs wire-struct surgery again.
+    pub metrics: MetricsSnapshot,
 }
 
 impl WorkerStats {
@@ -68,6 +74,7 @@ impl WorkerStats {
         self.anchor_misses += other.anchor_misses;
         self.replay_divergences += other.replay_divergences;
         self.strategy_switches += other.strategy_switches;
+        self.metrics.merge(&other.metrics);
     }
 
     /// Total instructions (useful + replay).

@@ -6,8 +6,10 @@ use crate::independence::relevant_constraints;
 use crate::search::{search, SearchBudget, SearchOutcome};
 use crate::stats::{AtomicSolverStats, SolverStats};
 use c9_expr::{collect_symbols, Assignment, Expr, ExprRef, SymbolId, SymbolManager, Width};
+use c9_trace::{Histogram, HistogramSnapshot, Span, SpanKind};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::RwLock;
+use std::time::Instant;
 
 /// Configuration of a [`Solver`].
 #[derive(Clone, Copy, Debug)]
@@ -112,6 +114,10 @@ pub struct Solver {
     query_cache: ShardedQueryCache,
     model_cache: RwLock<ModelCache>,
     stats: AtomicSolverStats,
+    /// Wall-clock latency of every query (cache hits included), in
+    /// microseconds. Write-only from the engine's point of view — feeds
+    /// worker status reports and `run_report.json`, never decisions.
+    latency: Histogram,
     /// Widths of symbols registered via [`Solver::register_symbols`]; used
     /// as a fallback for query symbols whose width cannot be learned from
     /// the query expressions themselves.
@@ -136,6 +142,7 @@ impl Solver {
             query_cache: ShardedQueryCache::new(config.query_cache_capacity),
             model_cache: RwLock::new(ModelCache::new(config.model_cache_capacity)),
             stats: AtomicSolverStats::default(),
+            latency: Histogram::new(),
             registered_widths: RwLock::new(BTreeMap::new()),
             config,
         }
@@ -149,6 +156,11 @@ impl Solver {
     /// A snapshot of the solver statistics.
     pub fn stats(&self) -> SolverStats {
         self.stats.snapshot()
+    }
+
+    /// A snapshot of the per-query latency histogram (microseconds).
+    pub fn latency_snapshot(&self) -> HistogramSnapshot {
+        self.latency.snapshot()
     }
 
     /// Registers the widths of symbols from a [`SymbolManager`]; queries
@@ -224,6 +236,20 @@ impl Solver {
     /// may be answered by an arbitrary cached witness, or an empty
     /// placeholder model on a cached sat answer).
     fn query(
+        &self,
+        constraints: &ConstraintSet,
+        extra: Option<ExprRef>,
+        needs_model: bool,
+    ) -> SatResult {
+        let started = Instant::now();
+        let mut span = Span::enter(SpanKind::SolverQuery);
+        span.detail(constraints.len() as u64);
+        let result = self.query_inner(constraints, extra, needs_model);
+        self.latency.record(started.elapsed().as_micros() as u64);
+        result
+    }
+
+    fn query_inner(
         &self,
         constraints: &ConstraintSet,
         extra: Option<ExprRef>,

@@ -1,0 +1,46 @@
+//! Chrome-trace (Trace Event Format) export for Perfetto.
+//!
+//! Each [`SpanRecord`] becomes one complete event (`"ph": "X"`), so a run's
+//! worker quanta, solver queries, replays, and transfers lay out on a
+//! per-thread timeline in <https://ui.perfetto.dev> — the paper's §7.2
+//! useful-work breakdown, read straight off the trace.
+
+use crate::json::Json;
+use crate::span::SpanRecord;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Builds the Chrome-trace JSON document for `records`, attributing every
+/// event to process `pid` (use the worker id so multi-process traces merge).
+pub fn chrome_trace_json(records: &[SpanRecord], pid: u64) -> Json {
+    let events = records
+        .iter()
+        .map(|r| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(r.kind.name().into())),
+                ("cat".into(), Json::Str("c9".into())),
+                ("ph".into(), Json::Str("X".into())),
+                ("ts".into(), Json::from_u64(r.start_us)),
+                ("dur".into(), Json::from_u64(r.dur_us)),
+                ("pid".into(), Json::from_u64(pid)),
+                ("tid".into(), Json::from_u64(r.tid)),
+                (
+                    "args".into(),
+                    Json::Obj(vec![("detail".into(), Json::from_u64(r.detail))]),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("traceEvents".into(), Json::Arr(events)),
+        ("displayTimeUnit".into(), Json::Str("ms".into())),
+    ])
+}
+
+/// Writes the Chrome-trace document for `records` to `path`.
+pub fn write_chrome_trace(path: &Path, records: &[SpanRecord], pid: u64) -> std::io::Result<()> {
+    let doc = chrome_trace_json(records, pid);
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(doc.render().as_bytes())?;
+    file.write_all(b"\n")
+}

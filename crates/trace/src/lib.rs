@@ -1,0 +1,262 @@
+//! `c9-trace`: the observability substrate of Cloud9-RS.
+//!
+//! The paper's whole evaluation (§7) is built on *measuring* the cluster —
+//! useful-work breakdown, load-balancing timelines, per-worker throughput.
+//! This crate is the zero-dependency telemetry layer every other crate
+//! records into:
+//!
+//! * **Leveled structured logging** — the [`error!`], [`warn!`], [`info!`],
+//!   [`debug!`] and [`trace!`] macros replace ad-hoc `eprintln!`s. The
+//!   active [`Level`] comes from the `C9_LOG` environment variable (or
+//!   [`set_level`]); enabled events go to stderr and, when a JSONL sink is
+//!   installed with [`set_trace_out`], to a machine-readable event log.
+//! * **Spans** — [`Span::enter`] starts a lightweight timed region
+//!   ([`SpanKind`]: quantum, materialization, solver query, job transfer,
+//!   balancing round, checkpoint, replay). Finished spans land in a
+//!   per-thread ring buffer ([`ring::Ring`]) that drops oldest on overflow
+//!   and *never blocks the hot path* (a contended push is counted, not
+//!   waited for). [`drain_spans`] collects them; [`write_chrome_trace`]
+//!   exports a Chrome-trace/Perfetto profile of worker quanta vs. solver
+//!   vs. replay time (the §7.2 useful-work breakdown, continuously
+//!   observable).
+//! * **Metrics** — a [`Registry`] of counters, gauges, and fixed-boundary
+//!   log2 [`Histogram`]s whose [`MetricsSnapshot`] is compact, mergeable
+//!   (associative + commutative), and serializable: workers piggyback it on
+//!   their existing status reports, so a new metric never needs wire-struct
+//!   surgery again.
+//! * **JSON** — a minimal emitter/parser ([`json::Json`]) used by the JSONL
+//!   event log, the Chrome-trace export, and the coordinator's
+//!   `run_report.json`; the build has no crates.io mirror, so this crate
+//!   carries its own.
+//!
+//! # Determinism
+//!
+//! Instrumentation is determinism-neutral by construction: nothing in the
+//! engine ever *reads* tracing state — levels, spans, and histograms are
+//! write-only from the instrumented code's point of view, so path sets,
+//! coverage, and bug sets are bit-identical with tracing on or off (pinned
+//! by the `observability` integration test).
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod ring;
+pub mod span;
+
+pub use chrome::{chrome_trace_json, write_chrome_trace};
+pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use span::{
+    drain_spans, dropped_spans, enable_spans, spans_enabled, Span, SpanKind, SpanRecord,
+};
+
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+// --- levels ---------------------------------------------------------------
+
+/// Severity of a log event, ordered from most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// The run is compromised (lost cluster, failed checkpoint write).
+    Error = 0,
+    /// Unexpected but survivable (replay divergence, dead worker).
+    Warn = 1,
+    /// Run life cycle: joins, deaths, rebalances, checkpoints (default).
+    Info = 2,
+    /// Per-round detail useful when debugging distributed failures.
+    Debug = 3,
+    /// Firehose.
+    Trace = 4,
+}
+
+impl Level {
+    /// All levels, most severe first.
+    pub const ALL: [Level; 5] = [
+        Level::Error,
+        Level::Warn,
+        Level::Info,
+        Level::Debug,
+        Level::Trace,
+    ];
+
+    /// The lowercase name (`"info"`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" | "err" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!(
+                "unknown log level {other:?} (expected error, warn, info, debug, or trace)"
+            )),
+        }
+    }
+}
+
+/// Sentinel meaning "not yet initialized from `C9_LOG`".
+const LEVEL_UNSET: u8 = u8::MAX;
+
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+fn level_from_env() -> Level {
+    std::env::var("C9_LOG")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(Level::Info)
+}
+
+/// The active log level: `C9_LOG` on first use (default `info`), or
+/// whatever [`set_level`] installed since.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        LEVEL_UNSET => {
+            let l = level_from_env();
+            // A racing set_level wins: only replace the sentinel.
+            let _ =
+                LEVEL.compare_exchange(LEVEL_UNSET, l as u8, Ordering::Relaxed, Ordering::Relaxed);
+            level()
+        }
+        v => match v {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            3 => Level::Debug,
+            _ => Level::Trace,
+        },
+    }
+}
+
+/// Overrides the active log level (e.g. from a `--log-level` flag).
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether events at `level` are currently recorded.
+pub fn enabled(level: Level) -> bool {
+    level <= self::level()
+}
+
+// --- clock ----------------------------------------------------------------
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Microseconds since the process's tracing epoch (first call), from the
+/// monotonic clock. Shared by events and spans so they interleave correctly
+/// in exported traces.
+pub fn ts_micros() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+// --- event sink -----------------------------------------------------------
+
+static EVENT_SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
+
+/// Installs a JSONL event sink at `path` (the `--trace-out` flag): every
+/// subsequently enabled log event is appended as one JSON object per line.
+/// Also enables span recording, so a single flag turns on full tracing.
+pub fn set_trace_out(path: &Path) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    *EVENT_SINK.lock().expect("event sink lock") = Some(BufWriter::new(file));
+    enable_spans(true);
+    Ok(())
+}
+
+/// Flushes the JSONL event sink, if one is installed.
+pub fn flush() {
+    if let Ok(mut guard) = EVENT_SINK.lock() {
+        if let Some(w) = guard.as_mut() {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Records one log event: stderr (human form) plus the JSONL sink when one
+/// is installed. Callers go through the level macros, which check
+/// [`enabled`] first via the macro expansion.
+pub fn log(level: Level, target: &'static str, args: std::fmt::Arguments<'_>) {
+    if !enabled(level) {
+        return;
+    }
+    let ts_us = ts_micros();
+    let message = std::fmt::format(args);
+    eprintln!("[{level:<5} {target}] {message}");
+    let mut guard = EVENT_SINK.lock().expect("event sink lock");
+    if let Some(w) = guard.as_mut() {
+        let line = json::Json::Obj(vec![
+            ("ts_us".into(), json::Json::from_u64(ts_us)),
+            ("level".into(), json::Json::Str(level.as_str().into())),
+            ("target".into(), json::Json::Str(target.into())),
+            ("msg".into(), json::Json::Str(message)),
+        ]);
+        let _ = writeln!(w, "{}", line.render());
+    }
+}
+
+/// Logs at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        $crate::log($crate::Level::Error, module_path!(), format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::log($crate::Level::Warn, module_path!(), format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::log($crate::Level::Info, module_path!(), format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::log($crate::Level::Debug, module_path!(), format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Trace`].
+#[macro_export]
+macro_rules! trace {
+    ($($arg:tt)*) => {
+        $crate::log($crate::Level::Trace, module_path!(), format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests;

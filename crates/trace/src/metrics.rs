@@ -1,0 +1,331 @@
+//! Counters, gauges, and fixed-boundary log2 histograms.
+//!
+//! A [`Registry`] hands out cheap atomic handles that hot paths update with
+//! relaxed stores; [`Registry::snapshot`] freezes everything into a
+//! [`MetricsSnapshot`] — a compact, serializable, *mergeable* value that
+//! workers piggyback on their status reports. Merging is associative and
+//! commutative (counters and histogram buckets add; gauges add too, making
+//! a merged gauge a cluster total), so the coordinator can fold snapshots
+//! in any order and arrive at the same aggregate.
+//!
+//! Histograms use fixed power-of-two bucket boundaries: bucket 0 holds the
+//! value 0 and bucket *i* ≥ 1 holds values in `[2^(i-1), 2^i - 1]`
+//! (bucket 63 is open-ended). Fixed boundaries are what make merging
+//! trivially correct — no rebinning, ever.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+
+/// Number of histogram buckets: value 0 plus one bucket per power of two.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// The bucket a value lands in: 0 for 0, otherwise `64 - leading_zeros`,
+/// clamped so bucket 63 is open-ended.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The smallest value belonging to bucket `index`.
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        1u64 << (index - 1)
+    }
+}
+
+/// The largest value belonging to bucket `index`.
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i if i >= HISTOGRAM_BUCKETS - 1 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// A thread-safe log2 histogram. Recording is a handful of relaxed atomic
+/// adds — safe for solver- and quantum-frequency call sites.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Freezes the current contents into a sparse snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((i as u8, n));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A frozen histogram: sparse `(bucket, count)` pairs plus totals. Small on
+/// the wire (empty buckets cost nothing) and mergeable bucket-by-bucket.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (mean = `sum / count`).
+    pub sum: u64,
+    /// Non-empty buckets as `(bucket_index, count)`, ascending by index.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Folds `other` into `self` (bucket-wise addition).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        let mut dense = [0u64; HISTOGRAM_BUCKETS];
+        for &(i, n) in self.buckets.iter().chain(other.buckets.iter()) {
+            dense[(i as usize).min(HISTOGRAM_BUCKETS - 1)] += n;
+        }
+        self.buckets = dense
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i as u8, n))
+            .collect();
+    }
+
+    /// Mean observed value, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile observation
+    /// (`q` in `[0, 1]`), or 0 for an empty histogram. Log2 buckets make
+    /// this a ≤2x over-estimate — plenty for latency triage.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(i as usize);
+            }
+        }
+        bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// JSON form: `{"count", "sum", "mean", "p50", "p99", "buckets": [[lo, hi, n], ...]}`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::from_u64(self.count)),
+            ("sum".into(), Json::from_u64(self.sum)),
+            ("mean".into(), Json::Num(self.mean())),
+            (
+                "p50".into(),
+                Json::from_u64(self.quantile_upper_bound(0.50)),
+            ),
+            (
+                "p99".into(),
+                Json::from_u64(self.quantile_upper_bound(0.99)),
+            ),
+            (
+                "buckets".into(),
+                Json::Arr(
+                    self.buckets
+                        .iter()
+                        .map(|&(i, n)| {
+                            Json::Arr(vec![
+                                Json::from_u64(bucket_lower_bound(i as usize)),
+                                Json::from_u64(bucket_upper_bound(i as usize)),
+                                Json::from_u64(n),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A frozen view of a whole registry. Counters and histograms add under
+/// [`MetricsSnapshot::merge`]; gauges add too, so a merged gauge reads as a
+/// cluster-wide total rather than any one worker's level.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic event counts by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Instantaneous levels by name (summed across workers on merge).
+    pub gauges: BTreeMap<String, i64>,
+    /// Distributions by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Folds `other` into `self`. Associative and commutative, so cluster
+    /// aggregation order never changes the result.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// JSON form: `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "counters".into(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::from_u64(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".into(),
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::from_i64(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".into(),
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicI64>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// A named collection of live metrics. Handle lookup takes the registry
+/// lock once; callers cache the returned `Arc` and thereafter update it
+/// with plain atomics, so the lock never sits on a hot path.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Returns (creating if absent) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        let mut inner = self.inner.lock().expect("metrics registry lock");
+        inner
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .clone()
+    }
+
+    /// Returns (creating if absent) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<AtomicI64> {
+        let mut inner = self.inner.lock().expect("metrics registry lock");
+        inner
+            .gauges
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicI64::new(0)))
+            .clone()
+    }
+
+    /// Returns (creating if absent) the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut inner = self.inner.lock().expect("metrics registry lock");
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    /// Freezes every metric into a snapshot (live handles keep counting).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics registry lock");
+        MetricsSnapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}

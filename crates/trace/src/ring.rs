@@ -1,0 +1,63 @@
+//! A fixed-capacity drop-oldest ring buffer.
+//!
+//! The span layer keeps one per thread: pushes from the owning thread must
+//! never block or allocate after warm-up, and when the buffer is full the
+//! *oldest* record is dropped (and counted) so the tail of a run — the part
+//! being debugged — is always retained.
+
+use std::collections::VecDeque;
+
+/// Bounded FIFO that overwrites its oldest element when full.
+#[derive(Debug)]
+pub struct Ring<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> Ring<T> {
+    /// Creates a ring holding at most `capacity` elements (minimum 1).
+    pub fn new(capacity: usize) -> Ring<T> {
+        let capacity = capacity.max(1);
+        Ring {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends `value`, evicting (and counting) the oldest element if the
+    /// ring is full. Never grows beyond the configured capacity.
+    pub fn push(&mut self, value: T) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(value);
+    }
+
+    /// Removes and returns all retained elements, oldest first.
+    pub fn drain(&mut self) -> Vec<T> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Elements currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many elements have been evicted by overflow since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}

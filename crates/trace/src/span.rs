@@ -1,0 +1,253 @@
+//! Lightweight timed spans recorded into per-thread ring buffers.
+//!
+//! A [`Span`] is an RAII guard: [`Span::enter`] stamps the start time,
+//! dropping it records a [`SpanRecord`] into the calling thread's ring.
+//! Recording is disabled by default — a disabled span is two relaxed atomic
+//! loads and no clock reads — and enabled by [`enable_spans`] (set by
+//! `--trace-out` / `--trace-chrome`).
+//!
+//! The hot path never blocks: the per-thread ring is guarded by a mutex
+//! only the owning thread pushes through, so the push uses `try_lock` —
+//! if a concurrent [`drain_spans`] holds the lock at that instant, the
+//! record is counted as dropped instead of waiting. Short-lived executor
+//! threads hand their retained records to a process-wide spill ring when
+//! they exit, so per-quantum lane threads do not leak registry entries.
+
+use crate::ring::Ring;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// What a span measured. The fixed taxonomy keeps records 4 words wide and
+/// lets exports group by kind without string tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// One worker quantum (`Worker::run_quantum`); detail = instructions.
+    Quantum,
+    /// One job materialization (virtual → materialized); detail = path len.
+    Materialize,
+    /// One path replay drive (`ReplayEngine::run`); detail = instructions.
+    Replay,
+    /// One solver satisfiability query; detail = constraint count.
+    SolverQuery,
+    /// One job batch export (encode + ship); detail = encoded bytes.
+    JobTransfer,
+    /// One coordinator balancing round; detail = transfer requests issued.
+    BalanceRound,
+    /// One checkpoint serialization + write; detail = pending jobs.
+    Checkpoint,
+}
+
+impl SpanKind {
+    /// The stable lowercase name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Quantum => "quantum",
+            SpanKind::Materialize => "materialize",
+            SpanKind::Replay => "replay",
+            SpanKind::SolverQuery => "solver_query",
+            SpanKind::JobTransfer => "job_transfer",
+            SpanKind::BalanceRound => "balance_round",
+            SpanKind::Checkpoint => "checkpoint",
+        }
+    }
+}
+
+/// One finished span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// What was measured.
+    pub kind: SpanKind,
+    /// Start, microseconds since the tracing epoch ([`crate::ts_micros`]).
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Recording thread (small dense id, not the OS tid).
+    pub tid: u64,
+    /// Kind-specific payload (instructions, bytes, ...); see [`SpanKind`].
+    pub detail: u64,
+}
+
+static SPANS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns span recording on or off process-wide.
+pub fn enable_spans(enabled: bool) {
+    SPANS_ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether spans are currently recorded.
+pub fn spans_enabled() -> bool {
+    SPANS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Per-thread span ring capacity. 64Ki records ≈ 2.5 MB per thread, enough
+/// for several seconds of solver-query-granularity tracing.
+const THREAD_RING_CAPACITY: usize = 1 << 16;
+
+struct ThreadRing {
+    ring: Mutex<Ring<SpanRecord>>,
+    /// Pushes abandoned because a drain held the ring lock.
+    contended: AtomicU64,
+    tid: u64,
+}
+
+struct SpanGlobals {
+    /// Live per-thread rings (pruned when their thread exits).
+    registry: Mutex<Vec<Arc<ThreadRing>>>,
+    /// Records inherited from exited threads.
+    spill: Mutex<Ring<SpanRecord>>,
+    /// Drops observed in rings that have since been drained or retired.
+    retired_drops: AtomicU64,
+    next_tid: AtomicU64,
+}
+
+fn globals() -> &'static SpanGlobals {
+    static GLOBALS: OnceLock<SpanGlobals> = OnceLock::new();
+    GLOBALS.get_or_init(|| SpanGlobals {
+        registry: Mutex::new(Vec::new()),
+        spill: Mutex::new(Ring::new(THREAD_RING_CAPACITY * 4)),
+        retired_drops: AtomicU64::new(0),
+        next_tid: AtomicU64::new(0),
+    })
+}
+
+/// Registered thread-local ring; its `Drop` retires the ring into the
+/// process-wide spill so short-lived executor threads leak nothing.
+struct LocalRing(Arc<ThreadRing>);
+
+impl Drop for LocalRing {
+    fn drop(&mut self) {
+        let g = globals();
+        let records = self.0.ring.lock().map(|mut r| {
+            g.retired_drops.fetch_add(
+                r.dropped() + self.0.contended.load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+            r.drain()
+        });
+        if let (Ok(records), Ok(mut spill)) = (records, g.spill.lock()) {
+            for rec in records {
+                spill.push(rec);
+            }
+        }
+        if let Ok(mut registry) = g.registry.lock() {
+            registry.retain(|r| !Arc::ptr_eq(r, &self.0));
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<LocalRing>> = const { RefCell::new(None) };
+}
+
+fn record(rec: SpanRecord) {
+    LOCAL.with(|local| {
+        let mut local = local.borrow_mut();
+        let ring = local.get_or_insert_with(|| {
+            let g = globals();
+            let ring = Arc::new(ThreadRing {
+                ring: Mutex::new(Ring::new(THREAD_RING_CAPACITY)),
+                contended: AtomicU64::new(0),
+                tid: g.next_tid.fetch_add(1, Ordering::Relaxed),
+            });
+            g.registry
+                .lock()
+                .expect("span registry lock")
+                .push(ring.clone());
+            LocalRing(ring)
+        });
+        let rec = SpanRecord {
+            tid: ring.0.tid,
+            ..rec
+        };
+        // Only a concurrent drain can hold this lock; never wait for it.
+        match ring.0.ring.try_lock() {
+            Ok(mut guard) => guard.push(rec),
+            Err(_) => {
+                ring.0.contended.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+    });
+}
+
+/// Collects every retained span record from all threads (and the spill of
+/// exited threads), sorted by start time. Non-destructive for counters:
+/// [`dropped_spans`] keeps accumulating.
+pub fn drain_spans() -> Vec<SpanRecord> {
+    let g = globals();
+    let mut out: Vec<SpanRecord> = Vec::new();
+    let rings: Vec<Arc<ThreadRing>> = g.registry.lock().expect("span registry lock").clone();
+    for ring in rings {
+        if let Ok(mut guard) = ring.ring.lock() {
+            out.extend(guard.drain());
+        }
+    }
+    if let Ok(mut spill) = g.spill.lock() {
+        out.extend(spill.drain());
+    }
+    out.sort_by_key(|r| (r.start_us, r.tid));
+    out
+}
+
+/// Total span records lost so far: ring overflows (oldest dropped),
+/// contended pushes, and drops retired with exited threads.
+pub fn dropped_spans() -> u64 {
+    let g = globals();
+    let mut total = g.retired_drops.load(Ordering::Relaxed);
+    if let Ok(spill) = g.spill.lock() {
+        total += spill.dropped();
+    }
+    let rings: Vec<Arc<ThreadRing>> = g.registry.lock().expect("span registry lock").clone();
+    for ring in rings {
+        total += ring.contended.load(Ordering::Relaxed);
+        if let Ok(guard) = ring.ring.lock() {
+            total += guard.dropped();
+        }
+    }
+    total
+}
+
+/// RAII timed region. Construct with [`Span::enter`]; the record is written
+/// when the guard drops. When spans are disabled the guard is inert (no
+/// clock read, no allocation).
+#[must_use = "a span measures the region until it is dropped"]
+pub struct Span {
+    kind: SpanKind,
+    start_us: u64,
+    detail: u64,
+    armed: bool,
+}
+
+impl Span {
+    /// Starts a span of `kind` (no-op unless [`spans_enabled`]).
+    pub fn enter(kind: SpanKind) -> Span {
+        let armed = spans_enabled();
+        Span {
+            kind,
+            start_us: if armed { crate::ts_micros() } else { 0 },
+            detail: 0,
+            armed,
+        }
+    }
+
+    /// Attaches the kind-specific payload (instructions, bytes, ...).
+    pub fn detail(&mut self, detail: u64) {
+        self.detail = detail;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let end = crate::ts_micros();
+        record(SpanRecord {
+            kind: self.kind,
+            start_us: self.start_us,
+            dur_us: end.saturating_sub(self.start_us),
+            tid: 0, // stamped by `record`
+            detail: self.detail,
+        });
+    }
+}

@@ -1,0 +1,263 @@
+use crate::json::Json;
+use crate::metrics::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram, HistogramSnapshot,
+    MetricsSnapshot, Registry, HISTOGRAM_BUCKETS,
+};
+use crate::ring::Ring;
+use crate::span::{drain_spans, dropped_spans, enable_spans, Span, SpanKind};
+use crate::Level;
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes tests that touch process-global tracer state (the event sink,
+/// the span switch, the drain); the cargo test harness runs tests in
+/// parallel threads of one process.
+fn global_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+#[test]
+fn ring_overflow_drops_oldest_and_counts() {
+    let mut ring = Ring::new(4);
+    for i in 0..10u32 {
+        ring.push(i);
+    }
+    assert_eq!(ring.dropped(), 6);
+    assert_eq!(ring.len(), 4);
+    // The retained window is the newest elements, oldest first.
+    assert_eq!(ring.drain(), vec![6, 7, 8, 9]);
+    assert_eq!(ring.len(), 0);
+    assert!(ring.is_empty());
+    // The drop counter survives a drain.
+    assert_eq!(ring.dropped(), 6);
+}
+
+#[test]
+fn ring_capacity_is_clamped_to_one() {
+    let mut ring = Ring::new(0);
+    assert_eq!(ring.capacity(), 1);
+    ring.push(1u8);
+    ring.push(2u8);
+    assert_eq!(ring.drain(), vec![2]);
+    assert_eq!(ring.dropped(), 1);
+}
+
+#[test]
+fn histogram_bucket_boundaries() {
+    // Bucket 0 is exactly {0}; bucket i >= 1 is [2^(i-1), 2^i - 1].
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(1), 1);
+    assert_eq!(bucket_index(2), 2);
+    assert_eq!(bucket_index(3), 2);
+    assert_eq!(bucket_index(4), 3);
+    assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    for i in 1..HISTOGRAM_BUCKETS {
+        let lo = bucket_lower_bound(i);
+        let hi = bucket_upper_bound(i);
+        assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+        assert_eq!(bucket_index(hi), i, "upper bound of bucket {i}");
+        assert!(lo <= hi);
+        // Buckets tile the u64 range with no gaps.
+        assert_eq!(lo, bucket_upper_bound(i - 1).wrapping_add(1));
+    }
+    assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+}
+
+#[test]
+fn histogram_snapshot_totals() {
+    let h = Histogram::new();
+    for v in [0, 1, 1, 3, 1000] {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 5);
+    assert_eq!(snap.sum, 1005);
+    assert_eq!(snap.mean(), 201.0);
+    // 0 -> bucket 0; 1,1 -> bucket 1; 3 -> bucket 2; 1000 -> bucket 10.
+    assert_eq!(snap.buckets, vec![(0, 1), (1, 2), (2, 1), (10, 1)]);
+    assert_eq!(snap.quantile_upper_bound(0.5), 1);
+    assert_eq!(snap.quantile_upper_bound(1.0), 1023);
+    assert_eq!(HistogramSnapshot::default().quantile_upper_bound(0.5), 0);
+}
+
+fn sample_snapshot(seed: u64) -> MetricsSnapshot {
+    let reg = Registry::new();
+    reg.counter("paths")
+        .fetch_add(seed, std::sync::atomic::Ordering::Relaxed);
+    reg.gauge("queue_depth")
+        .fetch_add(seed as i64 - 2, std::sync::atomic::Ordering::Relaxed);
+    let h = reg.histogram("latency_us");
+    for v in 0..seed {
+        h.record(v * 17);
+    }
+    reg.snapshot()
+}
+
+#[test]
+fn snapshot_merge_is_associative_and_commutative() {
+    let (a, b, c) = (sample_snapshot(3), sample_snapshot(8), sample_snapshot(21));
+
+    // (a + b) + c
+    let mut left = a.clone();
+    left.merge(&b);
+    left.merge(&c);
+
+    // a + (b + c)
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut right = a.clone();
+    right.merge(&bc);
+
+    // c + b + a
+    let mut rev = c.clone();
+    rev.merge(&b);
+    rev.merge(&a);
+
+    assert_eq!(left, right);
+    assert_eq!(left, rev);
+    assert_eq!(left.counters["paths"], 32);
+    assert_eq!(left.gauges["queue_depth"], 26);
+    assert_eq!(left.histograms["latency_us"].count, 32);
+}
+
+#[test]
+fn snapshot_serde_roundtrip() {
+    let snap = sample_snapshot(12);
+    let bytes = serde::to_bytes(&snap);
+    let back: MetricsSnapshot = serde::from_bytes(&bytes).expect("decode snapshot");
+    assert_eq!(back, snap);
+}
+
+#[test]
+fn json_roundtrip_and_escapes() {
+    let doc = Json::Obj(vec![
+        ("msg".into(), Json::Str("a \"quote\"\nand \\ tab\t".into())),
+        ("n".into(), Json::from_u64(1 << 53)),
+        ("neg".into(), Json::from_i64(-42)),
+        ("frac".into(), Json::Num(0.125)),
+        ("ok".into(), Json::Bool(true)),
+        ("nothing".into(), Json::Null),
+        (
+            "arr".into(),
+            Json::Arr(vec![Json::from_u64(1), Json::Str("héllo ☃".into())]),
+        ),
+    ]);
+    let rendered = doc.render();
+    let back = Json::parse(&rendered).expect("parse rendered JSON");
+    assert_eq!(back, doc);
+    assert_eq!(back.get("n").and_then(Json::as_u64), Some(1 << 53));
+    assert_eq!(
+        back.get("msg").and_then(Json::as_str),
+        Some("a \"quote\"\nand \\ tab\t")
+    );
+}
+
+#[test]
+fn json_parses_foreign_input() {
+    let v = Json::parse(
+        "  { \"a\" : [ 1 , 2.5e1 , -3 ] , \"s\" : \"\\u00e9\\u2603 \\uD83D\\uDE00\" } ",
+    )
+    .expect("parse");
+    assert_eq!(
+        v.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+        Some(3)
+    );
+    assert_eq!(
+        v.get("a").unwrap().as_arr().unwrap()[1].as_f64(),
+        Some(25.0)
+    );
+    assert_eq!(v.get("s").and_then(Json::as_str), Some("é☃ 😀"));
+    assert!(Json::parse("{\"unterminated\": ").is_err());
+    assert!(Json::parse("[1,]").is_err());
+    assert!(Json::parse("1 2").is_err());
+}
+
+#[test]
+fn jsonl_event_log_roundtrip() {
+    let _guard = global_lock();
+    let dir = std::env::temp_dir().join(format!("c9-trace-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("events.jsonl");
+    crate::set_level(Level::Info);
+    crate::set_trace_out(&path).expect("install sink");
+    crate::info!("worker {} joined epoch {}", 3, 7);
+    crate::error!("quoted \"payload\"");
+    crate::flush();
+    let text = std::fs::read_to_string(&path).expect("read event log");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 2, "expected at least two events: {text:?}");
+    let mut msgs = Vec::new();
+    for line in &lines {
+        let event = Json::parse(line).expect("each line parses");
+        assert!(event.get("ts_us").and_then(Json::as_u64).is_some());
+        assert!(event.get("level").and_then(Json::as_str).is_some());
+        msgs.push(event.get("msg").and_then(Json::as_str).unwrap().to_string());
+    }
+    assert!(msgs.iter().any(|m| m == "worker 3 joined epoch 7"));
+    assert!(msgs.iter().any(|m| m == "quoted \"payload\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn spans_record_drain_and_export() {
+    let _guard = global_lock();
+    enable_spans(true);
+    {
+        let mut span = Span::enter(SpanKind::SolverQuery);
+        span.detail(17);
+    }
+    let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let flag = done.clone();
+    // A short-lived thread's records must survive via the spill ring.
+    std::thread::spawn(move || {
+        let _span = Span::enter(SpanKind::Quantum);
+        flag.store(true, std::sync::atomic::Ordering::SeqCst);
+    })
+    .join()
+    .expect("span thread");
+    assert!(done.load(std::sync::atomic::Ordering::SeqCst));
+    let records = drain_spans();
+    enable_spans(false);
+    assert!(records
+        .iter()
+        .any(|r| r.kind == SpanKind::SolverQuery && r.detail == 17));
+    assert!(records.iter().any(|r| r.kind == SpanKind::Quantum));
+    assert!(records.windows(2).all(|w| w[0].start_us <= w[1].start_us));
+    let _ = dropped_spans();
+
+    let doc = crate::chrome_trace_json(&records, 42);
+    let parsed = Json::parse(&doc.render()).expect("chrome trace parses");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), records.len());
+    assert!(events.iter().any(|e| {
+        e.get("name").and_then(Json::as_str) == Some("solver_query")
+            && e.get("ph").and_then(Json::as_str) == Some("X")
+            && e.get("pid").and_then(Json::as_u64) == Some(42)
+    }));
+}
+
+#[test]
+fn disabled_span_records_nothing() {
+    let _guard = global_lock();
+    enable_spans(false);
+    {
+        let mut span = Span::enter(SpanKind::Checkpoint);
+        span.detail(5);
+    }
+    assert!(!drain_spans()
+        .iter()
+        .any(|r| r.kind == SpanKind::Checkpoint && r.detail == 5));
+}
+
+#[test]
+fn level_parsing_and_order() {
+    assert!(Level::Error < Level::Warn && Level::Warn < Level::Trace);
+    for level in Level::ALL {
+        assert_eq!(level.as_str().parse::<Level>().unwrap(), level);
+    }
+    assert_eq!("WARNING".parse::<Level>().unwrap(), Level::Warn);
+    assert!("loud".parse::<Level>().is_err());
+}

@@ -155,9 +155,11 @@ impl<'a> ReplayEngine<'a> {
         budget: u64,
         mut on_choice: impl FnMut(&ExecutionState),
     ) -> ReplayRun {
+        let mut span = c9_trace::Span::enter(c9_trace::SpanKind::Replay);
         let mut executed = 0u64;
         while state.is_replaying() && !state.is_terminated() {
             if executed >= budget {
+                span.detail(executed);
                 return ReplayRun {
                     progress: ReplayProgress::OutOfBudget,
                     executed,
@@ -201,6 +203,13 @@ impl<'a> ReplayEngine<'a> {
         } else {
             ReplayProgress::Completed
         };
+        if progress == ReplayProgress::Diverged {
+            c9_trace::warn!(
+                "replay diverged at depth {} after {executed} instructions",
+                state.depth()
+            );
+        }
+        span.detail(executed);
         ReplayRun { progress, executed }
     }
 }

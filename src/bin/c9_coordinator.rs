@@ -25,12 +25,13 @@
 //! ```
 
 use c9_core::{
-    Checkpoint, Cluster, ClusterConfig, CoordinatorRunOpts, EnvSpec, PortfolioConfig,
-    ReplayCacheConfig, StrategyKind,
+    write_run_report, write_timeline_csv, Checkpoint, Cluster, ClusterConfig, CoordinatorRunOpts,
+    EnvSpec, PortfolioConfig, ReplayCacheConfig, StrategyKind,
 };
 use c9_net::TcpCoordinatorEndpoint;
 use c9_posix::PosixEnvironment;
 use c9_targets::{named_workload, workload_names, WorkloadEnv};
+use c9_trace::{error, info, Level};
 use c9_vm::{Environment, NullEnvironment};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -60,6 +61,12 @@ struct Args {
     portfolio_adapt: bool,
     threads: Option<usize>,
     replay_cache: Option<ReplayCacheConfig>,
+    log_level: Option<Level>,
+    quiet: bool,
+    trace_out: Option<PathBuf>,
+    trace_chrome: Option<PathBuf>,
+    report_out: Option<PathBuf>,
+    timeline_out: Option<PathBuf>,
 }
 
 fn usage() -> ! {
@@ -102,6 +109,15 @@ fn usage() -> ! {
          \x20 --portfolio-adapt      rebalance the mix by per-strategy coverage yield:\n\
          \x20                        starving strategies lose workers to productive ones\n\
          \n\
+         observability:\n\
+         \x20 --log-level LEVEL      stderr log level: error|warn|info|debug|trace\n\
+         \x20                        (default: C9_LOG or info)\n\
+         \x20 --quiet                shorthand for --log-level error\n\
+         \x20 --trace-out FILE       append structured events to FILE as JSON lines\n\
+         \x20 --trace-chrome FILE    write a Chrome-trace span timeline (Perfetto-loadable)\n\
+         \x20 --report-out FILE      write the machine-readable run_report.json here\n\
+         \x20 --timeline-out FILE    write the per-interval timeline as CSV\n\
+         \n\
          targets: {}\n\
          strategies: {}",
         workload_names().join(", "),
@@ -139,6 +155,12 @@ fn parse_args() -> Args {
         portfolio_adapt: false,
         threads: None,
         replay_cache: None,
+        log_level: None,
+        quiet: false,
+        trace_out: None,
+        trace_chrome: None,
+        report_out: None,
+        timeline_out: None,
     };
     let mut it = std::env::args().skip(1);
     fn next_f64(it: &mut impl Iterator<Item = String>) -> f64 {
@@ -216,7 +238,7 @@ fn parse_args() -> Args {
                 match name.parse::<StrategyKind>() {
                     Ok(kind) => args.strategy = Some(kind),
                     Err(e) => {
-                        eprintln!("c9-coordinator: {e}");
+                        error!("{e}");
                         std::process::exit(2);
                     }
                 }
@@ -226,15 +248,38 @@ fn parse_args() -> Args {
                 match PortfolioConfig::parse_mix(&list) {
                     Ok(mix) => args.portfolio = Some(mix),
                     Err(e) => {
-                        eprintln!("c9-coordinator: {e}");
+                        error!("{e}");
                         std::process::exit(2);
                     }
                 }
             }
             "--portfolio-adapt" => args.portfolio_adapt = true,
+            "--log-level" => {
+                let name = it.next().unwrap_or_else(|| usage());
+                match name.parse::<Level>() {
+                    Ok(level) => args.log_level = Some(level),
+                    Err(e) => {
+                        error!("{e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--quiet" => args.quiet = true,
+            "--trace-out" => {
+                args.trace_out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
+            "--trace-chrome" => {
+                args.trace_chrome = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
+            "--report-out" => {
+                args.report_out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
+            "--timeline-out" => {
+                args.timeline_out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
             "--help" | "-h" => usage(),
             other => {
-                eprintln!("unknown argument: {other}");
+                error!("unknown argument: {other}");
                 usage();
             }
         }
@@ -247,9 +292,23 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    if args.quiet {
+        c9_trace::set_level(Level::Error);
+    } else if let Some(level) = args.log_level {
+        c9_trace::set_level(level);
+    }
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = c9_trace::set_trace_out(path) {
+            error!("cannot open {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    if args.trace_chrome.is_some() {
+        c9_trace::enable_spans(true);
+    }
     let Some(workload) = named_workload(&args.target) else {
-        eprintln!(
-            "c9-coordinator: unknown target {:?}; known targets: {}",
+        error!(
+            "unknown target {:?}; known targets: {}",
             args.target,
             workload_names().join(", ")
         );
@@ -262,8 +321,8 @@ fn main() {
         .map(|path| match Checkpoint::load(path) {
             Ok(checkpoint) => {
                 if checkpoint.target != args.target {
-                    eprintln!(
-                        "c9-coordinator: checkpoint is for target {:?}, not {:?}",
+                    error!(
+                        "checkpoint is for target {:?}, not {:?}",
                         checkpoint.target, args.target
                     );
                     std::process::exit(2);
@@ -271,10 +330,7 @@ fn main() {
                 checkpoint
             }
             Err(e) => {
-                eprintln!(
-                    "c9-coordinator: cannot load checkpoint {}: {e}",
-                    path.display()
-                );
+                error!("cannot load checkpoint {}: {e}", path.display());
                 std::process::exit(1);
             }
         });
@@ -289,7 +345,6 @@ fn main() {
         checkpoint_path: args.checkpoint.clone(),
         checkpoint_interval: args.checkpoint_interval,
         resume,
-        verbose_membership: true,
         ..ClusterConfig::default()
     };
     config.worker.generate_test_cases = args.generate_tests;
@@ -302,7 +357,7 @@ fn main() {
             adapt: args.portfolio_adapt,
         });
     } else if args.portfolio_adapt {
-        eprintln!("c9-coordinator: --portfolio-adapt requires --portfolio");
+        error!("--portfolio-adapt requires --portfolio");
         std::process::exit(2);
     }
     if let Some(quantum) = args.quantum {
@@ -329,15 +384,15 @@ fn main() {
     let mut coordinator = if args.workers.is_empty() {
         TcpCoordinatorEndpoint::detached()
     } else {
-        eprintln!(
-            "c9-coordinator: connecting to {} workers: {}",
+        info!(
+            "connecting to {} workers: {}",
             args.workers.len(),
             args.workers.join(", ")
         );
         match TcpCoordinatorEndpoint::connect(&args.workers, args.connect_timeout) {
             Ok(endpoint) => endpoint,
             Err(e) => {
-                eprintln!("c9-coordinator: {e}");
+                error!("{e}");
                 std::process::exit(1);
             }
         }
@@ -352,7 +407,7 @@ fn main() {
                 std::io::stdout().flush().ok();
             }
             Err(e) => {
-                eprintln!("c9-coordinator: cannot listen on {listen}: {e}");
+                error!("cannot listen on {listen}: {e}");
                 std::process::exit(1);
             }
         }
@@ -376,10 +431,27 @@ fn main() {
         join_wait: args.join_wait,
         target: args.target.clone(),
     };
-    eprintln!("c9-coordinator: run started ({})", workload.description);
+    info!("run started ({})", workload.description);
 
     let result = cluster.run_coordinator(&mut coordinator, opts);
     let s = &result.summary;
+    if let Some(path) = &args.report_out {
+        if let Err(e) = write_run_report(path, s) {
+            error!("cannot write run report {}: {e}", path.display());
+        }
+    }
+    if let Some(path) = &args.timeline_out {
+        if let Err(e) = write_timeline_csv(path, &s.timeline) {
+            error!("cannot write timeline {}: {e}", path.display());
+        }
+    }
+    if let Some(path) = &args.trace_chrome {
+        let spans = c9_trace::drain_spans();
+        if let Err(e) = c9_trace::write_chrome_trace(path, &spans, std::process::id() as u64) {
+            error!("cannot write chrome trace {}: {e}", path.display());
+        }
+    }
+    c9_trace::flush();
     println!("target:            {}", args.target);
     println!("workers:           {}", s.num_workers);
     println!("elapsed:           {:.2}s", s.elapsed.as_secs_f64());
@@ -444,7 +516,8 @@ fn main() {
         .map(|limit| s.elapsed >= limit)
         .unwrap_or(false);
     if !s.goal_reached && !stopped_by_time_limit {
-        eprintln!("c9-coordinator: run ended without reaching its goal (cluster lost?)");
+        error!("run ended without reaching its goal (cluster lost?)");
+        c9_trace::flush();
         std::process::exit(1);
     }
 }

@@ -23,8 +23,10 @@
 
 use c9_net::{send_leave, EnvSpec, TcpWorkerHost, WorkerEndpoint, WorkerId};
 use c9_posix::PosixEnvironment;
+use c9_trace::{error, info, warn, Level};
 use c9_vm::{Environment, NullEnvironment, ReplayCacheConfig};
 use std::io::Write;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -32,9 +34,12 @@ struct Args {
     listen: String,
     join: Option<String>,
     once: bool,
-    quiet: bool,
     threads: Option<usize>,
     replay_cache: Option<ReplayCacheConfig>,
+    log_level: Option<Level>,
+    quiet: bool,
+    trace_out: Option<PathBuf>,
+    trace_chrome: Option<PathBuf>,
 }
 
 fn usage() -> ! {
@@ -45,11 +50,17 @@ fn usage() -> ! {
          \x20 --listen HOST:PORT  address to listen on (default 127.0.0.1:0)\n\
          \x20 --join HOST:PORT    attach to a listening coordinator (elastic membership)\n\
          \x20 --once              exit after serving one run instead of looping\n\
-         \x20 --quiet             suppress per-run log lines\n\
          \x20 --threads N         executor threads (overrides the coordinator's run spec)\n\
          \x20 --replay-cache N[:BYTES]  prefix-anchor replay cache: keep up to N anchor\n\
          \x20                     snapshots (0 = replay every job from the root) within\n\
-         \x20                     an optional byte budget; overrides the run spec"
+         \x20                     an optional byte budget; overrides the run spec\n\
+         \n\
+         observability:\n\
+         \x20 --log-level LEVEL   stderr log level: error|warn|info|debug|trace\n\
+         \x20                     (default: C9_LOG or info)\n\
+         \x20 --quiet             shorthand for --log-level error\n\
+         \x20 --trace-out FILE    append structured events to FILE as JSON lines\n\
+         \x20 --trace-chrome FILE write a Chrome-trace span timeline after each run"
     );
     std::process::exit(2);
 }
@@ -73,9 +84,12 @@ fn parse_args() -> Args {
         listen: String::from("127.0.0.1:0"),
         join: None,
         once: false,
-        quiet: false,
         threads: None,
         replay_cache: None,
+        log_level: None,
+        quiet: false,
+        trace_out: None,
+        trace_chrome: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -99,9 +113,25 @@ fn parse_args() -> Args {
                     .map(Some)
                     .unwrap_or_else(|| usage());
             }
+            "--log-level" => {
+                let name = it.next().unwrap_or_else(|| usage());
+                match name.parse::<Level>() {
+                    Ok(level) => args.log_level = Some(level),
+                    Err(e) => {
+                        error!("{e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--trace-out" => {
+                args.trace_out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
+            "--trace-chrome" => {
+                args.trace_chrome = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
             "--help" | "-h" => usage(),
             other => {
-                eprintln!("unknown argument: {other}");
+                error!("unknown argument: {other}");
                 usage();
             }
         }
@@ -116,6 +146,18 @@ fn environment_for(spec: EnvSpec) -> Arc<dyn Environment> {
     }
 }
 
+/// Drains the span buffers into `--trace-chrome` (latest run wins) and
+/// flushes the JSONL event sink, so artifacts survive a later kill.
+fn flush_trace(args: &Args) {
+    if let Some(path) = &args.trace_chrome {
+        let spans = c9_trace::drain_spans();
+        if let Err(e) = c9_trace::write_chrome_trace(path, &spans, std::process::id() as u64) {
+            error!("cannot write chrome trace {}: {e}", path.display());
+        }
+    }
+    c9_trace::flush();
+}
+
 /// The elastic mode: join (and re-join) a listening coordinator.
 fn run_elastic(args: &Args, coordinator: &str) -> ! {
     let mut previous: Option<(WorkerId, u64)> = None;
@@ -123,31 +165,27 @@ fn run_elastic(args: &Args, coordinator: &str) -> ! {
         let host = match TcpWorkerHost::bind(&args.listen) {
             Ok(host) => host,
             Err(e) => {
-                eprintln!("c9-worker: cannot listen on {}: {e}", args.listen);
+                error!("cannot listen on {}: {e}", args.listen);
                 std::process::exit(1);
             }
         };
-        if !args.quiet {
-            eprintln!("c9-worker: joining coordinator at {coordinator}");
-        }
+        info!("joining coordinator at {coordinator}");
         let mut endpoint =
             match host.join_coordinator(coordinator, previous, Duration::from_secs(30)) {
                 Ok(endpoint) => endpoint,
                 Err(e) => {
-                    eprintln!("c9-worker: join failed: {e}; retrying");
+                    warn!("join failed: {e}; retrying");
                     std::thread::sleep(Duration::from_millis(500));
                     continue;
                 }
             };
         previous = Some((endpoint.id(), endpoint.worker_epoch()));
-        if !args.quiet {
-            eprintln!(
-                "c9-worker[{}]: joined (epoch {}, assigned strategy {})",
-                endpoint.id(),
-                endpoint.worker_epoch(),
-                endpoint.assigned_strategy(),
-            );
-        }
+        info!(
+            "worker {}: joined (epoch {}, assigned strategy {})",
+            endpoint.id(),
+            endpoint.worker_epoch(),
+            endpoint.assigned_strategy(),
+        );
         loop {
             // Wait in short slices, probing the coordinator connection in
             // between: an idle daemon must notice a dead coordinator and
@@ -161,17 +199,15 @@ fn run_elastic(args: &Args, coordinator: &str) -> ! {
                 }
             };
             let Some(spec) = spec else {
-                eprintln!("c9-worker: connection lost while waiting for a run; re-joining");
+                warn!("connection lost while waiting for a run; re-joining");
                 break;
             };
             let env = environment_for(spec.env);
-            if !args.quiet {
-                eprintln!(
-                    "c9-worker[{}]: starting run (strategy {:?})",
-                    endpoint.id(),
-                    spec.strategy,
-                );
-            }
+            info!(
+                "worker {}: starting run (strategy {:?})",
+                endpoint.id(),
+                spec.strategy,
+            );
             c9_core::run_worker_from_spec_with(
                 &mut endpoint,
                 spec,
@@ -179,9 +215,8 @@ fn run_elastic(args: &Args, coordinator: &str) -> ! {
                 args.threads,
                 args.replay_cache,
             );
-            if !args.quiet {
-                eprintln!("c9-worker[{}]: run complete", endpoint.id());
-            }
+            info!("worker {}: run complete", endpoint.id());
+            flush_trace(args);
             if args.once {
                 let _ = send_leave(&endpoint);
                 std::process::exit(0);
@@ -196,6 +231,20 @@ fn run_elastic(args: &Args, coordinator: &str) -> ! {
 
 fn main() {
     let args = parse_args();
+    if args.quiet {
+        c9_trace::set_level(Level::Error);
+    } else if let Some(level) = args.log_level {
+        c9_trace::set_level(level);
+    }
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = c9_trace::set_trace_out(path) {
+            error!("cannot open {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    if args.trace_chrome.is_some() {
+        c9_trace::enable_spans(true);
+    }
     if let Some(coordinator) = args.join.clone() {
         run_elastic(&args, &coordinator);
     }
@@ -203,7 +252,7 @@ fn main() {
     let host = match TcpWorkerHost::bind(&args.listen) {
         Ok(host) => host,
         Err(e) => {
-            eprintln!("c9-worker: cannot listen on {}: {e}", args.listen);
+            error!("cannot listen on {}: {e}", args.listen);
             std::process::exit(1);
         }
     };
@@ -215,24 +264,22 @@ fn main() {
     // A daemon waits for its coordinator indefinitely.
     let accept_timeout = Duration::from_secs(60 * 60 * 24 * 365);
     let Some(mut endpoint) = host.accept_coordinator(accept_timeout) else {
-        eprintln!("c9-worker: no coordinator connected");
+        error!("no coordinator connected");
         std::process::exit(1);
     };
 
     loop {
         let Some(spec) = endpoint.wait_start(accept_timeout) else {
-            eprintln!("c9-worker: connection lost while waiting for a run");
+            error!("connection lost while waiting for a run");
             std::process::exit(1);
         };
         let env = environment_for(spec.env);
-        if !args.quiet {
-            eprintln!(
-                "c9-worker[{}]: starting run ({} cluster members, strategy {:?})",
-                endpoint.id(),
-                endpoint.num_workers(),
-                spec.strategy,
-            );
-        }
+        info!(
+            "worker {}: starting run ({} cluster members, strategy {:?})",
+            endpoint.id(),
+            endpoint.num_workers(),
+            spec.strategy,
+        );
         c9_core::run_worker_from_spec_with(
             &mut endpoint,
             spec,
@@ -240,9 +287,8 @@ fn main() {
             args.threads,
             args.replay_cache,
         );
-        if !args.quiet {
-            eprintln!("c9-worker[{}]: run complete", endpoint.id());
-        }
+        info!("worker {}: run complete", endpoint.id());
+        flush_trace(&args);
         if args.once {
             return;
         }

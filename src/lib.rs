@@ -14,7 +14,10 @@
 //!   encoding, and the in-process and TCP transports,
 //! * [`core`] — the cluster-parallel engine (workers, job transfer, load
 //!   balancing) that is the paper's main contribution,
-//! * [`targets`] — the programs under test used by the evaluation.
+//! * [`targets`] — the programs under test used by the evaluation,
+//! * [`trace`] — the observability layer: leveled structured logging,
+//!   spans, metrics histograms, and the machine-readable sinks behind
+//!   `--trace-out` / `--trace-chrome` / `--report-out`.
 //!
 //! The `c9-worker` and `c9-coordinator` binaries of this crate run a
 //! cluster as N OS processes over TCP — the paper's deployment; see
@@ -31,6 +34,7 @@ pub use c9_net as net;
 pub use c9_posix as posix;
 pub use c9_solver as solver;
 pub use c9_targets as targets;
+pub use c9_trace as trace;
 pub use c9_vm as vm;
 
 /// Convenience prelude with the types most programs need.
