@@ -4,7 +4,8 @@
 Usage: check_run_report.py REPORT SUMMARY_LOG [TRACE_JSONL ...]
 
 Checks, in order:
-  1. REPORT parses as JSON and carries the expected top-level layout.
+  1. REPORT parses as JSON and carries the expected top-level layout,
+     including the run id stamp introduced with report version 2.
   2. The aggregate path count in the report equals the "total paths:"
      line the coordinator printed (SUMMARY_LOG) — the machine-readable
      artifact and the human-readable summary must never drift apart.
@@ -38,9 +39,13 @@ def main():
     except (OSError, json.JSONDecodeError) as e:
         fail(f"{report_path} is not readable JSON: {e}")
 
-    for key in ("version", "totals", "workers", "timeline", "metrics"):
+    for key in ("version", "run", "totals", "workers", "timeline", "metrics"):
         if key not in report:
             fail(f"report is missing the {key!r} key")
+    if report["version"] < 2:
+        fail(f"report version {report['version']} predates the run-id stamp")
+    if not isinstance(report["run"], int) or report["run"] <= 0:
+        fail(f"report carries a bad run id: {report['run']!r}")
 
     with open(log_path) as f:
         log = f.read()

@@ -7,7 +7,7 @@
 //! exactly the per-transfer work of a cluster run.
 
 use c9_core::{Job, JobTree};
-use c9_net::{InProcTransport, JobBatch, TcpTransport, Transport, WorkerEndpoint, WorkerId};
+use c9_net::{InProcTransport, JobBatch, RunId, TcpTransport, Transport, WorkerEndpoint, WorkerId};
 use c9_vm::PathChoice;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Instant;
@@ -34,7 +34,7 @@ fn sample_jobs(count: usize) -> Vec<Job> {
 fn transfer<W: WorkerEndpoint>(sender: &mut W, receiver: &mut W, jobs: &[Job]) -> usize {
     let batch = JobBatch {
         source: WorkerId(0),
-        epoch: 0,
+        run: RunId(1),
         source_epoch: 0,
         seq: 0,
         encoded: JobTree::from_jobs(jobs).encode(),

@@ -94,7 +94,7 @@ fn batch_run(target: &'static str, cache: ReplayCacheConfig, label: &'static str
         program.clone(),
         env.clone(),
         WorkerConfig {
-            export_deepest: true,
+            export_order: c9_core::ExportOrder::Deepest,
             ..WorkerConfig::default()
         },
     );

@@ -27,11 +27,13 @@ use crate::stats::{ClusterSummary, IntervalSample};
 use crate::worker::{Worker, WorkerConfig};
 use c9_ir::Program;
 use c9_net::{
-    Control, CoordinatorEndpoint, EnvSpec, InProcTransport, Job, JobBatch, JobTree, MemberEvent,
-    RunSpec, StatusReport, TransferEvent, Transport, WorkerEndpoint, WorkerId, COORDINATOR,
+    Control, CoordinatorEndpoint, EnvSpec, FinalReport, InProcTransport, Job, JobBatch, JobTree,
+    MemberEvent, RunId, RunSpec, RunSpecBuilder, StatusReport, TransferEvent, Transport,
+    WorkerEndpoint, WorkerId, COORDINATOR,
 };
 use c9_trace::{error, info, warn, Span, SpanKind};
 use c9_vm::{CoverageSet, Environment, StrategyKind, TestCase};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -120,43 +122,48 @@ impl Default for ClusterConfig {
 
 impl ClusterConfig {
     /// Builds the wire run spec a remote worker needs to participate in a
-    /// run of `program` under this configuration. `run_epoch` must be
-    /// unique among the runs the target worker daemons serve (a timestamp
-    /// or counter); `worker_epoch` is the per-worker fencing epoch assigned
-    /// by the coordinator's membership at join time; `strategy` is the
-    /// portfolio's assignment for this worker. The searcher seed is derived
-    /// deterministically from the base seed, the worker id, and the epoch.
+    /// run of `program` under this configuration. `run` identifies the run
+    /// among all runs the target worker daemons serve (never
+    /// [`RunId::SERVICE`]); `worker_epoch` is the per-worker fencing epoch
+    /// assigned by the coordinator's membership at join time; `strategy` is
+    /// the portfolio's assignment for this worker. The searcher seed is
+    /// derived deterministically from the base seed, the worker id, and the
+    /// epoch. Specs are assembled through [`RunSpecBuilder`], so an invalid
+    /// configuration (zero quantum, reserved run id, …) is caught here
+    /// rather than on the wire.
     pub fn run_spec(
         &self,
         program: &Program,
         env: EnvSpec,
         worker: WorkerId,
-        run_epoch: u64,
+        run: RunId,
         worker_epoch: u64,
         strategy: StrategyKind,
     ) -> RunSpec {
-        RunSpec {
-            program: program.clone(),
-            env,
-            executor: self.worker.executor,
-            seed: derive_seed(self.worker.seed, worker, worker_epoch),
-            strategy,
-            generate_test_cases: self.worker.generate_test_cases,
-            export_deepest: self.worker.export_deepest,
-            replay_cache: self.worker.replay_cache,
-            threads: self.worker.threads,
-            quantum: self.quantum,
-            status_interval: self.status_interval,
-            seed_root: worker.0 == 0 && self.resume.is_none(),
-            epoch: run_epoch,
-            worker_epoch,
-            heartbeat_interval: self.heartbeat_interval,
-            snapshot_every: self.snapshot_every,
-        }
+        RunSpecBuilder::new()
+            .program(program.clone())
+            .env(env)
+            .executor(self.worker.executor)
+            .seed(derive_seed(self.worker.seed, worker, worker_epoch))
+            .strategy(strategy)
+            .generate_test_cases(self.worker.generate_test_cases)
+            .export_order(self.worker.export_order)
+            .replay_cache(self.worker.replay_cache)
+            .threads(self.worker.threads)
+            .quantum(self.quantum)
+            .status_interval(self.status_interval)
+            .seed_root(worker.0 == 0 && self.resume.is_none())
+            .run(run)
+            .worker_epoch(worker_epoch)
+            .heartbeat_interval(self.heartbeat_interval)
+            .snapshot_every(self.snapshot_every)
+            .build()
+            .expect("cluster config produces a valid run spec")
     }
 
-    fn loop_opts(&self, seed_root: bool, worker_epoch: u64) -> WorkerLoopOpts {
+    fn loop_opts(&self, run: RunId, seed_root: bool, worker_epoch: u64) -> WorkerLoopOpts {
         WorkerLoopOpts {
+            run,
             quantum: self.quantum,
             status_interval: self.status_interval,
             seed_root,
@@ -172,8 +179,10 @@ impl ClusterConfig {
 pub struct CoordinatorRunOpts {
     /// The environment model remote workers should instantiate.
     pub env: EnvSpec,
-    /// The run-fencing epoch stamped on every frame of this run.
-    pub run_epoch: u64,
+    /// The run identity stamped on every frame of this run. Must be unique
+    /// among the runs the target worker daemons serve and never
+    /// [`RunId::SERVICE`].
+    pub run: RunId,
     /// Listen addresses of statically dialed workers, by worker id. The
     /// endpoint must already be connected to exactly these.
     pub initial_workers: Vec<String>,
@@ -190,7 +199,7 @@ impl Default for CoordinatorRunOpts {
     fn default() -> CoordinatorRunOpts {
         CoordinatorRunOpts {
             env: EnvSpec::Null,
-            run_epoch: 0,
+            run: RunId(1),
             initial_workers: Vec::new(),
             min_workers: 1,
             join_wait: Duration::from_secs(60),
@@ -302,7 +311,8 @@ impl Cluster {
                 let program = self.program.clone();
                 let env = self.env.clone();
                 let config = self.config.clone();
-                let loop_opts = config.loop_opts(i == 0 && config.resume.is_none(), epochs[i]);
+                let loop_opts =
+                    config.loop_opts(opts.run, i == 0 && config.resume.is_none(), epochs[i]);
                 // Locally hosted workers get their portfolio assignment and
                 // derived seed through their config (remote daemons get the
                 // same through the run spec).
@@ -372,7 +382,7 @@ impl Cluster {
                 &self.program,
                 opts.env,
                 member.worker,
-                opts.run_epoch,
+                opts.run,
                 member.epoch,
                 strategy,
             );
@@ -381,12 +391,12 @@ impl Cluster {
                 portfolio.remove(member.worker);
             }
         }
-        // Re-announce the final pre-run membership after the starts: a
-        // run's `Start` clears control frames queued before it, so a
-        // peer-table update must land behind it to survive.
+        // Re-announce the final pre-run membership after the starts, so
+        // every member sees the peer table as of the moment the run began
+        // (including any worker admitted while the specs were shipping).
         let infos = membership.peer_infos();
         for worker in membership.alive() {
-            let _ = endpoint.send_control(worker, Control::Membership(infos.clone()));
+            let _ = endpoint.send_control(worker, opts.run, Control::Membership(infos.clone()));
         }
         if let Some(resume) = &self.config.resume {
             membership.seed_pool(resume.jobs());
@@ -450,7 +460,7 @@ impl Cluster {
                     &self.program,
                     opts.env,
                     worker,
-                    opts.run_epoch,
+                    opts.run,
                     epoch,
                     strategy,
                 );
@@ -469,7 +479,8 @@ impl Cluster {
             let infos = membership.peer_infos();
             for peer in membership.alive() {
                 if peer != worker {
-                    let _ = endpoint.send_control(peer, Control::Membership(infos.clone()));
+                    let _ =
+                        endpoint.send_control(peer, opts.run, Control::Membership(infos.clone()));
                 }
             }
             admitted += 1;
@@ -527,11 +538,13 @@ impl Cluster {
             // exported right before the shutdown would be missing from the
             // in-flight table — and from the final checkpoint.
             while let Some(report) = endpoint.recv_status(Duration::ZERO) {
-                membership.record_status(&report, Instant::now());
+                if report.run == opts.run {
+                    membership.record_status(&report, Instant::now());
+                }
             }
             let step = (deadline - now).min(Duration::from_millis(50));
             if let Some(report) = endpoint.recv_final(step) {
-                if membership.record_final(&report) {
+                if report.run == opts.run && membership.record_final(&report) {
                     result.summary.coverage.merge(&report.coverage);
                     result.summary.bugs_found += report.bugs.len() as u64;
                     result.test_cases.extend(report.test_cases);
@@ -543,7 +556,9 @@ impl Cluster {
         // — their transfer notices would otherwise be lost, and with them
         // the jobs of any batch still on the wire at shutdown.
         while let Some(report) = endpoint.recv_status(Duration::ZERO) {
-            membership.record_status(&report, Instant::now());
+            if report.run == opts.run {
+                membership.record_status(&report, Instant::now());
+            }
         }
 
         // Every member contributes its exact share: final stats when the
@@ -604,6 +619,7 @@ impl Cluster {
             .map(|c| c.elapsed)
             .unwrap_or_default();
         Checkpoint {
+            run: opts.run,
             target: opts.target.clone(),
             base_stats: summary.worker_stats.clone(),
             frontier: JobTree::from_jobs(&membership.frontier_jobs()).encode(),
@@ -632,6 +648,7 @@ impl Cluster {
         &self,
         endpoint: &mut C,
         membership: &mut Membership,
+        run: RunId,
         jobs: Vec<Job>,
     ) -> u64 {
         if jobs.is_empty() {
@@ -663,7 +680,7 @@ impl Cluster {
             let encoded = JobTree::from_jobs(&chunk).encode();
             let seq = membership.record_inject(destination, chunk, now);
             if endpoint
-                .send_control(destination, Control::Inject { seq, encoded })
+                .send_control(destination, run, Control::Inject { seq, encoded })
                 .is_err()
             {
                 membership.cancel_inject(destination, seq);
@@ -752,6 +769,9 @@ impl Cluster {
                 endpoint.recv_status(Duration::from_millis(2))
             } {
                 got_any = true;
+                if report.run != opts.run {
+                    continue; // a frame of some other (finished or future) run
+                }
                 let now = Instant::now();
                 if !membership.record_status(&report, now) {
                     continue; // fenced-off epoch or dead member
@@ -768,11 +788,11 @@ impl Cluster {
                 // global vector are credited to the strategy the worker
                 // stamped on it.
                 portfolio.record_yield(report.strategy, newly_covered);
-                let _ = endpoint.send_control(w, Control::GlobalCoverage(global));
+                let _ = endpoint.send_control(w, opts.run, Control::GlobalCoverage(global));
             }
 
             let pool = membership.take_pool();
-            summary.jobs_reclaimed += self.reinject(endpoint, membership, pool);
+            summary.jobs_reclaimed += self.reinject(endpoint, membership, opts.run, pool);
 
             let elapsed = start.elapsed();
             let members = membership.members();
@@ -912,7 +932,11 @@ impl Cluster {
                     count,
                 } in requests
                 {
-                    let _ = endpoint.send_control(source, Control::Balance { destination, count });
+                    let _ = endpoint.send_control(
+                        source,
+                        opts.run,
+                        Control::Balance { destination, count },
+                    );
                 }
                 drop(round);
                 // Portfolio adaptation rides the same cadence: strategies
@@ -927,7 +951,11 @@ impl Cluster {
                     membership.set_strategy(worker, strategy);
                     summary.strategy_rebalances += 1;
                     info!("portfolio rebalance: worker {worker} reassigned to strategy {strategy}");
-                    let _ = endpoint.send_control(worker, Control::SetStrategy { strategy, seed });
+                    let _ = endpoint.send_control(
+                        worker,
+                        opts.run,
+                        Control::SetStrategy { strategy, seed },
+                    );
                 }
                 last_balance = Instant::now();
             }
@@ -935,7 +963,7 @@ impl Cluster {
 
         summary.coverage.merge(lb.global_coverage());
         for worker in membership.alive() {
-            let _ = endpoint.send_control(worker, Control::Stop);
+            let _ = endpoint.send_control(worker, opts.run, Control::Stop);
         }
         summary
     }
@@ -944,6 +972,9 @@ impl Cluster {
 /// Per-run options of the worker event loop.
 #[derive(Clone, Copy, Debug)]
 pub struct WorkerLoopOpts {
+    /// The run this worker instance executes, stamped on every report and
+    /// batch.
+    pub run: RunId,
     /// Instructions per quantum between message-handling points.
     pub quantum: u64,
     /// How often status is reported to the coordinator.
@@ -959,10 +990,377 @@ pub struct WorkerLoopOpts {
     pub heartbeat_interval: Duration,
 }
 
-/// The worker event loop, shared by every transport: handle control
-/// messages, import job batches from peers, explore in quanta, report
-/// status (with frontier snapshots and transfer events for the
-/// coordinator's ledger), and ship a final report at shutdown.
+/// One run hosted by a [`WorkerService`]: an independent [`Worker`] engine
+/// plus the per-run reporting state the event loop threads through it.
+struct RunHost {
+    opts: WorkerLoopOpts,
+    worker: Worker,
+    events: Vec<TransferEvent>,
+    export_seq: u64,
+    reports_sent: u32,
+    // How many of this run's bugs the coordinator has already seen; new
+    // ones ride the next snapshot-bearing report so they survive a crash
+    // (the completed paths they sit on are never re-explored).
+    bugs_reported: usize,
+    last_status: Instant,
+}
+
+impl RunHost {
+    fn new(
+        id: WorkerId,
+        program: Arc<Program>,
+        env: Arc<dyn Environment>,
+        config: WorkerConfig,
+        opts: WorkerLoopOpts,
+    ) -> RunHost {
+        let mut worker = Worker::new(id, program, env, config);
+        if opts.seed_root {
+            worker.seed_root();
+        }
+        RunHost {
+            opts,
+            worker,
+            events: Vec::new(),
+            export_seq: 0,
+            reports_sent: 0,
+            bugs_reported: 0,
+            last_status: Instant::now() - opts.status_interval,
+        }
+    }
+
+    fn send_status<E: WorkerEndpoint>(&mut self, endpoint: &mut E) -> Result<(), ()> {
+        let include_frontier = self.opts.snapshot_every > 0
+            && self.reports_sent.is_multiple_of(self.opts.snapshot_every);
+        self.reports_sent += 1;
+        let frontier =
+            include_frontier.then(|| JobTree::from_jobs(&self.worker.frontier_snapshot()).encode());
+        let new_bugs = if include_frontier {
+            let fresh = self.worker.bugs[self.bugs_reported..].to_vec();
+            self.bugs_reported = self.worker.bugs.len();
+            fresh
+        } else {
+            Vec::new()
+        };
+        let report = StatusReport {
+            run: self.opts.run,
+            worker: self.worker.id,
+            epoch: self.opts.worker_epoch,
+            queue_length: self.worker.queue_length(),
+            coverage: self.worker.coverage_snapshot(),
+            stats: self.worker.report_stats(),
+            idle: !self.worker.has_work(),
+            strategy: self.worker.strategy(),
+            frontier,
+            new_bugs,
+            transfers: std::mem::take(&mut self.events),
+        };
+        endpoint.send_status(report).map_err(|_| ())
+    }
+
+    /// Handles one run-scoped control message. `Err` means the transport is
+    /// gone and the service should shut down.
+    fn handle_control<E: WorkerEndpoint>(
+        &mut self,
+        endpoint: &mut E,
+        msg: Control,
+    ) -> Result<(), ()> {
+        match msg {
+            // `Stop` is routed by the service before it gets here.
+            Control::Stop => {}
+            Control::GlobalCoverage(global) => self.worker.merge_global_coverage(&global),
+            Control::Membership(peers) => endpoint.update_peers(&peers),
+            Control::SetStrategy { strategy, seed } => self.worker.set_strategy(strategy, seed),
+            Control::Inject { seq, encoded } => {
+                if let Some(tree) = JobTree::decode(&encoded) {
+                    self.worker.import_job_tree(&tree);
+                    self.events.push(TransferEvent::Imported {
+                        source: COORDINATOR,
+                        seq,
+                        encoded,
+                    });
+                }
+            }
+            Control::Balance { destination, count } => {
+                let mut transfer = Span::enter(SpanKind::JobTransfer);
+                let jobs = self.worker.export_jobs(count);
+                if jobs.is_empty() {
+                    return Ok(());
+                }
+                let encoded = JobTree::from_jobs(&jobs).encode();
+                transfer.detail(encoded.len() as u64);
+                self.worker.record_transfer_bytes(encoded.len() as u64);
+                self.export_seq += 1;
+                let seq = self.export_seq;
+                // Tell the coordinator about the export *before* shipping
+                // the batch: if this worker dies in between, the
+                // coordinator holds the batch in its in-flight table and
+                // can re-inject it — the batch can be lost on the wire,
+                // but never forgotten.
+                self.events.push(TransferEvent::Exported {
+                    destination,
+                    seq,
+                    encoded: encoded.clone(),
+                });
+                self.send_status(endpoint)?;
+                self.worker.stats.job_bytes_sent += encoded.len() as u64;
+                let batch = JobBatch {
+                    source: self.worker.id,
+                    run: self.opts.run,
+                    source_epoch: self.opts.worker_epoch,
+                    seq,
+                    encoded,
+                };
+                // ... and report the outcome immediately afterwards, so the
+                // coordinator always knows whether the batch is in wire
+                // custody (`Sent`) or back in this frontier (`Requeued`)
+                // before it could ever reclaim it.
+                if endpoint.send_jobs(destination, batch).is_ok() {
+                    self.events.push(TransferEvent::Sent { destination, seq });
+                } else {
+                    self.events
+                        .push(TransferEvent::Requeued { destination, seq });
+                    self.worker.requeue_jobs(jobs);
+                }
+                self.send_status(endpoint)?;
+                self.last_status = Instant::now();
+            }
+        }
+        Ok(())
+    }
+
+    fn import_batch(&mut self, batch: JobBatch) {
+        if let Some(tree) = JobTree::decode(&batch.encoded) {
+            self.worker.import_job_tree(&tree);
+            self.events.push(TransferEvent::Imported {
+                source: batch.source,
+                seq: batch.seq,
+                encoded: batch.encoded,
+            });
+        }
+    }
+
+    fn send_final<E: WorkerEndpoint>(&mut self, endpoint: &mut E) {
+        let _ = endpoint.send_final(FinalReport {
+            run: self.opts.run,
+            worker: self.worker.id,
+            epoch: self.opts.worker_epoch,
+            stats: self.worker.report_stats(),
+            coverage: self.worker.coverage_snapshot(),
+            test_cases: std::mem::take(&mut self.worker.test_cases),
+            bugs: std::mem::take(&mut self.worker.bugs),
+            frontier: JobTree::from_jobs(&self.worker.frontier_snapshot()).encode(),
+            transfers: std::mem::take(&mut self.events),
+        });
+    }
+}
+
+/// The worker-side run service: hosts any number of concurrent runs on one
+/// endpoint, time-slicing execution quanta across them.
+///
+/// Every frame is scoped to a run: control messages and job batches are
+/// routed to the hosted run they name (frames of unknown — finished or
+/// never-admitted — runs are dropped), status and final reports carry the
+/// run id back. New runs are admitted from `Start` frames
+/// ([`WorkerEndpoint::try_recv_start`]); a `Stop` scoped to
+/// [`RunId::SERVICE`] shuts the whole service down, finalizing every hosted
+/// run.
+///
+/// The single-run entry points ([`run_worker_loop`],
+/// [`run_worker_from_spec`]) are thin wrappers that host exactly one run
+/// and exit when it completes, so every deployment — the in-process
+/// harness included — exercises the same service loop.
+pub struct WorkerService<'e, E: WorkerEndpoint> {
+    endpoint: &'e mut E,
+    env_factory: Box<dyn Fn(EnvSpec) -> Arc<dyn Environment> + 'e>,
+    threads_override: Option<usize>,
+    replay_cache_override: Option<c9_vm::ReplayCacheConfig>,
+    admit_starts: bool,
+    exit_when_drained: bool,
+    hosted: u64,
+    runs: BTreeMap<u64, RunHost>,
+}
+
+impl<'e, E: WorkerEndpoint> WorkerService<'e, E> {
+    /// Creates a service on `endpoint`. `env_factory` maps the environment
+    /// spec of an admitted run to a concrete environment model (the trait
+    /// object cannot cross the wire).
+    pub fn new(
+        endpoint: &'e mut E,
+        env_factory: impl Fn(EnvSpec) -> Arc<dyn Environment> + 'e,
+    ) -> WorkerService<'e, E> {
+        WorkerService {
+            endpoint,
+            env_factory: Box::new(env_factory),
+            threads_override: None,
+            replay_cache_override: None,
+            admit_starts: true,
+            exit_when_drained: false,
+            hosted: 0,
+            runs: BTreeMap::new(),
+        }
+    }
+
+    /// Local overrides of the executor thread count (the `c9-worker
+    /// --threads` flag) and the replay-cache budget (`--replay-cache`): a
+    /// daemon operator knows the machine's core and memory budget better
+    /// than the coordinator does.
+    pub fn with_overrides(
+        mut self,
+        threads: Option<usize>,
+        replay_cache: Option<c9_vm::ReplayCacheConfig>,
+    ) -> Self {
+        self.threads_override = threads;
+        self.replay_cache_override = replay_cache;
+        self
+    }
+
+    /// Makes [`WorkerService::serve`] return once at least one run was
+    /// hosted and the last one finished (the `c9-worker --once` contract),
+    /// instead of serving until a service-level `Stop` or disconnect.
+    pub fn exit_when_drained(mut self, on: bool) -> Self {
+        self.exit_when_drained = on;
+        self
+    }
+
+    /// Hosts a run from its already-resolved parts (the in-process path,
+    /// where program and environment never cross a wire).
+    pub fn host(
+        &mut self,
+        program: Arc<Program>,
+        env: Arc<dyn Environment>,
+        config: WorkerConfig,
+        opts: WorkerLoopOpts,
+    ) {
+        // Heartbeats first: engine setup below can take long enough on a
+        // cold start that a silent worker would look dead to the
+        // coordinator.
+        self.endpoint.start_heartbeat(opts.heartbeat_interval);
+        let host = RunHost::new(self.endpoint.id(), program, env, config, opts);
+        self.runs.insert(opts.run.0, host);
+        self.hosted += 1;
+    }
+
+    /// Admits a run from its wire spec, applying the service's local
+    /// overrides.
+    pub fn admit_spec(&mut self, spec: RunSpec) {
+        let config = WorkerConfig {
+            executor: spec.executor,
+            seed: spec.seed,
+            strategy: spec.strategy,
+            generate_test_cases: spec.generate_test_cases,
+            export_order: spec.export_order,
+            replay_cache: self.replay_cache_override.unwrap_or(spec.replay_cache),
+            threads: self.threads_override.unwrap_or(spec.threads).max(1),
+        };
+        let opts = WorkerLoopOpts {
+            run: spec.run,
+            quantum: spec.quantum,
+            status_interval: spec.status_interval,
+            seed_root: spec.seed_root,
+            worker_epoch: spec.worker_epoch,
+            snapshot_every: spec.snapshot_every,
+            heartbeat_interval: spec.heartbeat_interval,
+        };
+        let env = (self.env_factory)(spec.env);
+        self.host(Arc::new(spec.program), env, config, opts);
+    }
+
+    /// The service event loop, shared by every transport: admit new runs,
+    /// route control messages and job batches to the run they address,
+    /// explore each run in quanta (round-robin across runs), report per-run
+    /// status, and ship a final report for every run that stops.
+    pub fn serve(mut self) {
+        loop {
+            if self.admit_starts {
+                while let Some(spec) = self.endpoint.try_recv_start() {
+                    self.admit_spec(*spec);
+                }
+            }
+
+            // Control frames, routed by run id.
+            let mut disconnected = false;
+            while let Some((run, msg)) = self.endpoint.try_recv_control() {
+                if run == RunId::SERVICE {
+                    if matches!(msg, Control::Stop) {
+                        // Daemon-level shutdown: finalize every hosted run.
+                        self.finalize_all();
+                        return;
+                    }
+                    continue;
+                }
+                if matches!(msg, Control::Stop) {
+                    if let Some(mut host) = self.runs.remove(&run.0) {
+                        host.send_final(self.endpoint);
+                    }
+                    continue;
+                }
+                let Some(host) = self.runs.get_mut(&run.0) else {
+                    continue; // a frame of a finished (or never-admitted) run
+                };
+                if host.handle_control(self.endpoint, msg).is_err() {
+                    disconnected = true;
+                    break;
+                }
+            }
+            if disconnected {
+                break;
+            }
+
+            // Job batches, routed by run id.
+            while let Some(batch) = self.endpoint.try_recv_jobs() {
+                if let Some(host) = self.runs.get_mut(&batch.run.0) {
+                    host.import_batch(batch);
+                }
+            }
+
+            // Explore: one quantum per run with pending work, so concurrent
+            // runs share this worker fairly.
+            let mut any_work = false;
+            for host in self.runs.values_mut() {
+                if host.worker.has_work() {
+                    any_work = true;
+                    host.worker.run_quantum(host.opts.quantum);
+                }
+            }
+
+            // Per-run status cadence.
+            for host in self.runs.values_mut() {
+                if host.last_status.elapsed() >= host.opts.status_interval {
+                    if host.send_status(self.endpoint).is_err() {
+                        disconnected = true;
+                        break;
+                    }
+                    host.last_status = Instant::now();
+                }
+            }
+            if disconnected {
+                break;
+            }
+
+            if self.exit_when_drained && self.hosted > 0 && self.runs.is_empty() {
+                return;
+            }
+            if !any_work {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        }
+        // The transport died under us: make a best-effort attempt to flush
+        // final reports (it usually fails too, but a half-open endpoint may
+        // still accept them).
+        self.finalize_all();
+    }
+
+    fn finalize_all(&mut self) {
+        while let Some((_, mut host)) = self.runs.pop_first() {
+            host.send_final(self.endpoint);
+        }
+    }
+}
+
+/// The single-run worker event loop: hosts exactly one run on a
+/// [`WorkerService`] and returns when it stops. This is the entry point of
+/// the in-process harness, where the coordinator hands every worker its
+/// resolved program and environment directly.
 pub fn run_worker_loop<E: WorkerEndpoint>(
     endpoint: &mut E,
     program: Arc<Program>,
@@ -970,194 +1368,12 @@ pub fn run_worker_loop<E: WorkerEndpoint>(
     config: WorkerConfig,
     opts: WorkerLoopOpts,
 ) {
-    let id = endpoint.id();
-    // Heartbeats first: engine setup below can take long enough on a cold
-    // start that a silent worker would look dead to the coordinator.
-    endpoint.start_heartbeat(opts.heartbeat_interval);
-    let mut worker = Worker::new(id, program, env, config);
-    if opts.seed_root {
-        worker.seed_root();
-    }
-    let mut last_status = Instant::now() - opts.status_interval;
-    let mut events: Vec<TransferEvent> = Vec::new();
-    let mut export_seq = 0u64;
-    let mut reports_sent = 0u32;
-    // How many of this worker's bugs the coordinator has already seen;
-    // new ones ride the next snapshot-bearing report so they survive a
-    // crash (the completed paths they sit on are never re-explored).
-    let mut bugs_reported = 0usize;
-
-    let send_status = |worker: &Worker,
-                       endpoint: &mut E,
-                       events: &mut Vec<TransferEvent>,
-                       reports_sent: &mut u32,
-                       bugs_reported: &mut usize|
-     -> Result<(), ()> {
-        let include_frontier =
-            opts.snapshot_every > 0 && (*reports_sent).is_multiple_of(opts.snapshot_every);
-        *reports_sent += 1;
-        let frontier =
-            include_frontier.then(|| JobTree::from_jobs(&worker.frontier_snapshot()).encode());
-        let new_bugs = if include_frontier {
-            let fresh = worker.bugs[*bugs_reported..].to_vec();
-            *bugs_reported = worker.bugs.len();
-            fresh
-        } else {
-            Vec::new()
-        };
-        let report = StatusReport {
-            worker: worker.id,
-            epoch: opts.worker_epoch,
-            queue_length: worker.queue_length(),
-            coverage: worker.coverage_snapshot(),
-            stats: worker.report_stats(),
-            idle: !worker.has_work(),
-            strategy: worker.strategy(),
-            frontier,
-            new_bugs,
-            transfers: std::mem::take(events),
-        };
-        endpoint.send_status(report).map_err(|_| ())
-    };
-
-    'run: loop {
-        // Handle control messages.
-        let mut stop = false;
-        while let Some(msg) = endpoint.try_recv_control() {
-            match msg {
-                Control::Stop => {
-                    stop = true;
-                    break;
-                }
-                Control::GlobalCoverage(global) => worker.merge_global_coverage(&global),
-                Control::Membership(peers) => endpoint.update_peers(&peers),
-                Control::SetStrategy { strategy, seed } => worker.set_strategy(strategy, seed),
-                Control::Inject { seq, encoded } => {
-                    if let Some(tree) = JobTree::decode(&encoded) {
-                        worker.import_job_tree(&tree);
-                        events.push(TransferEvent::Imported {
-                            source: COORDINATOR,
-                            seq,
-                            encoded,
-                        });
-                    }
-                }
-                Control::Balance { destination, count } => {
-                    let mut transfer = Span::enter(SpanKind::JobTransfer);
-                    let jobs = worker.export_jobs(count);
-                    if jobs.is_empty() {
-                        continue;
-                    }
-                    let encoded = JobTree::from_jobs(&jobs).encode();
-                    transfer.detail(encoded.len() as u64);
-                    worker.record_transfer_bytes(encoded.len() as u64);
-                    export_seq += 1;
-                    let seq = export_seq;
-                    // Tell the coordinator about the export *before*
-                    // shipping the batch: if this worker dies in between,
-                    // the coordinator holds the batch in its in-flight
-                    // table and can re-inject it — the batch can be lost
-                    // on the wire, but never forgotten.
-                    events.push(TransferEvent::Exported {
-                        destination,
-                        seq,
-                        encoded: encoded.clone(),
-                    });
-                    if send_status(
-                        &worker,
-                        endpoint,
-                        &mut events,
-                        &mut reports_sent,
-                        &mut bugs_reported,
-                    )
-                    .is_err()
-                    {
-                        break 'run;
-                    }
-                    worker.stats.job_bytes_sent += encoded.len() as u64;
-                    let batch = JobBatch {
-                        source: id,
-                        epoch: 0, // run epoch, stamped by the transport
-                        source_epoch: opts.worker_epoch,
-                        seq,
-                        encoded,
-                    };
-                    // ... and report the outcome immediately afterwards, so
-                    // the coordinator always knows whether the batch is in
-                    // wire custody (`Sent`) or back in this frontier
-                    // (`Requeued`) before it could ever reclaim it.
-                    if endpoint.send_jobs(destination, batch).is_ok() {
-                        events.push(TransferEvent::Sent { destination, seq });
-                    } else {
-                        events.push(TransferEvent::Requeued { destination, seq });
-                        worker.requeue_jobs(jobs);
-                    }
-                    if send_status(
-                        &worker,
-                        endpoint,
-                        &mut events,
-                        &mut reports_sent,
-                        &mut bugs_reported,
-                    )
-                    .is_err()
-                    {
-                        break 'run;
-                    }
-                    last_status = Instant::now();
-                }
-            }
-        }
-        if stop {
-            break;
-        }
-
-        // Receive jobs from peers.
-        while let Some(batch) = endpoint.try_recv_jobs() {
-            if let Some(tree) = JobTree::decode(&batch.encoded) {
-                worker.import_job_tree(&tree);
-                events.push(TransferEvent::Imported {
-                    source: batch.source,
-                    seq: batch.seq,
-                    encoded: batch.encoded,
-                });
-            }
-        }
-
-        // Explore.
-        let idle = !worker.has_work();
-        if !idle {
-            worker.run_quantum(opts.quantum);
-        } else {
-            std::thread::sleep(Duration::from_micros(500));
-        }
-
-        // Report status.
-        if last_status.elapsed() >= opts.status_interval {
-            if send_status(
-                &worker,
-                endpoint,
-                &mut events,
-                &mut reports_sent,
-                &mut bugs_reported,
-            )
-            .is_err()
-            {
-                break;
-            }
-            last_status = Instant::now();
-        }
-    }
-
-    let _ = endpoint.send_final(c9_net::FinalReport {
-        worker: id,
-        epoch: opts.worker_epoch,
-        stats: worker.report_stats(),
-        coverage: worker.coverage_snapshot(),
-        test_cases: std::mem::take(&mut worker.test_cases),
-        bugs: std::mem::take(&mut worker.bugs),
-        frontier: JobTree::from_jobs(&worker.frontier_snapshot()).encode(),
-        transfers: std::mem::take(&mut events),
-    });
+    let factory_env = env.clone();
+    let mut service =
+        WorkerService::new(endpoint, move |_| factory_env.clone()).exit_when_drained(true);
+    service.admit_starts = false;
+    service.host(program, env, config, opts);
+    service.serve();
 }
 
 /// Runs the worker side of a run spec received over the wire. The caller
@@ -1182,22 +1398,10 @@ pub fn run_worker_from_spec_with<E: WorkerEndpoint>(
     threads_override: Option<usize>,
     replay_cache_override: Option<c9_vm::ReplayCacheConfig>,
 ) {
-    let config = WorkerConfig {
-        executor: spec.executor,
-        seed: spec.seed,
-        strategy: spec.strategy,
-        generate_test_cases: spec.generate_test_cases,
-        export_deepest: spec.export_deepest,
-        replay_cache: replay_cache_override.unwrap_or(spec.replay_cache),
-        threads: threads_override.unwrap_or(spec.threads).max(1),
-    };
-    let opts = WorkerLoopOpts {
-        quantum: spec.quantum,
-        status_interval: spec.status_interval,
-        seed_root: spec.seed_root,
-        worker_epoch: spec.worker_epoch,
-        snapshot_every: spec.snapshot_every,
-        heartbeat_interval: spec.heartbeat_interval,
-    };
-    run_worker_loop(endpoint, Arc::new(spec.program), env, config, opts);
+    let mut service = WorkerService::new(endpoint, move |_| env.clone())
+        .with_overrides(threads_override, replay_cache_override)
+        .exit_when_drained(true);
+    service.admit_starts = false;
+    service.admit_spec(spec);
+    service.serve();
 }

@@ -1,0 +1,557 @@
+//! Shared command-line configuration of the two daemons.
+//!
+//! `c9-coordinator` and `c9-worker` used to carry their own hand-rolled
+//! flag loops; this module owns the grammar for both, so a flag means the
+//! same thing everywhere, unknown or conflicting flags are typed errors
+//! ([`ConfigError`]) instead of ad-hoc `usage()` exits, and the lowering
+//! from flags into a [`ClusterConfig`] lives next to the parsing it
+//! depends on. The binaries keep only their usage text (which references
+//! the target list of `c9-targets` — a crate this one does not depend on)
+//! and the exit policy.
+
+use crate::cluster::ClusterConfig;
+use crate::portfolio::PortfolioConfig;
+use c9_net::ExportOrder;
+use c9_trace::Level;
+use c9_vm::{ReplayCacheConfig, StrategyKind};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A rejected command line, with enough context to tell the operator what
+/// to fix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A flag the grammar does not know.
+    UnknownFlag(String),
+    /// A flag that takes a value appeared last, or its value failed to
+    /// parse and looked like the next flag.
+    MissingValue(String),
+    /// A value that does not parse for its flag.
+    InvalidValue {
+        /// The flag the value belonged to.
+        flag: String,
+        /// The offending value text.
+        value: String,
+    },
+    /// Two flags (or a flag and a missing prerequisite) that cannot be
+    /// combined.
+    Conflict(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::UnknownFlag(flag) => write!(f, "unknown argument: {flag}"),
+            ConfigError::MissingValue(flag) => write!(f, "{flag} needs a value"),
+            ConfigError::InvalidValue { flag, value } => {
+                write!(f, "invalid value for {flag}: {value:?}")
+            }
+            ConfigError::Conflict(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Flags shared by both daemons: local resource overrides and
+/// observability sinks.
+#[derive(Clone, Debug, Default)]
+pub struct CommonArgs {
+    /// `--threads N`: executor threads (worker: overrides run specs).
+    pub threads: Option<usize>,
+    /// `--replay-cache N[:BYTES]`: prefix-anchor replay cache budget.
+    pub replay_cache: Option<ReplayCacheConfig>,
+    /// `--log-level LEVEL`.
+    pub log_level: Option<Level>,
+    /// `--quiet`: shorthand for `--log-level error`.
+    pub quiet: bool,
+    /// `--trace-out FILE`: structured JSONL event sink.
+    pub trace_out: Option<PathBuf>,
+    /// `--trace-chrome FILE`: Chrome-trace span timeline.
+    pub trace_chrome: Option<PathBuf>,
+}
+
+/// The parsed `c9-coordinator` command line.
+#[derive(Clone, Debug)]
+pub struct CoordinatorArgs {
+    /// Shared daemon flags.
+    pub common: CommonArgs,
+    /// `--workers LIST`: static worker addresses to dial.
+    pub workers: Vec<String>,
+    /// `--listen HOST:PORT`: accept elastic worker joins.
+    pub listen: Option<String>,
+    /// `--serve HOST:PORT`: run the multi-tenant run service with its
+    /// NDJSON front door on this address instead of a single run.
+    pub serve: Option<String>,
+    /// `--max-runs N`: concurrent run slots of the service (default 2).
+    pub max_runs: usize,
+    /// `--report-dir DIR`: per-run `run-<id>.json` reports (service mode).
+    pub report_dir: Option<PathBuf>,
+    /// `--min-workers N`.
+    pub min_workers: Option<usize>,
+    /// `--join-wait SECS`.
+    pub join_wait: Duration,
+    /// `--target NAME` (single-run mode).
+    pub target: String,
+    /// `--time-limit SECS`.
+    pub time_limit: Option<Duration>,
+    /// `--max-paths N`.
+    pub max_paths: Option<u64>,
+    /// `--generate-tests`.
+    pub generate_tests: bool,
+    /// `--connect-timeout S`.
+    pub connect_timeout: Duration,
+    /// `--heartbeat-timeout S`.
+    pub heartbeat_timeout: Option<Duration>,
+    /// `--heartbeat-interval-ms MS`.
+    pub heartbeat_interval: Duration,
+    /// `--snapshot-every K`.
+    pub snapshot_every: u32,
+    /// `--checkpoint FILE`.
+    pub checkpoint: Option<PathBuf>,
+    /// `--checkpoint-interval S`.
+    pub checkpoint_interval: Duration,
+    /// `--resume FILE`.
+    pub resume: Option<PathBuf>,
+    /// `--quantum N`.
+    pub quantum: Option<u64>,
+    /// `--status-interval-ms MS`.
+    pub status_interval: Option<Duration>,
+    /// `--balance-interval-ms MS`.
+    pub balance_interval: Option<Duration>,
+    /// `--strategy NAME`.
+    pub strategy: Option<StrategyKind>,
+    /// `--portfolio LIST`.
+    pub portfolio: Option<Vec<StrategyKind>>,
+    /// `--portfolio-adapt`.
+    pub portfolio_adapt: bool,
+    /// `--export-order shallowest|deepest`.
+    pub export_order: Option<ExportOrder>,
+    /// `--report-out FILE` (single-run mode).
+    pub report_out: Option<PathBuf>,
+    /// `--timeline-out FILE`.
+    pub timeline_out: Option<PathBuf>,
+}
+
+/// The parsed `c9-worker` command line.
+#[derive(Clone, Debug)]
+pub struct WorkerArgs {
+    /// Shared daemon flags.
+    pub common: CommonArgs,
+    /// `--listen HOST:PORT` (default `127.0.0.1:0`).
+    pub listen: String,
+    /// `--join HOST:PORT`: elastic membership.
+    pub join: Option<String>,
+    /// `--once`: exit after the hosted runs drain instead of serving
+    /// forever.
+    pub once: bool,
+}
+
+/// Parses a `--replay-cache` value: `CAPACITY` or `CAPACITY:MAX_BYTES`.
+pub fn parse_replay_cache(arg: &str) -> Option<ReplayCacheConfig> {
+    let mut parts = arg.splitn(2, ':');
+    let capacity = parts.next()?.parse::<usize>().ok()?;
+    let max_bytes = match parts.next() {
+        Some(bytes) => bytes.parse::<u64>().ok()?,
+        None => ReplayCacheConfig::default().max_bytes,
+    };
+    Some(ReplayCacheConfig {
+        capacity,
+        max_bytes,
+    })
+}
+
+struct Cursor<'a> {
+    argv: &'a [String],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn next(&mut self) -> Option<&'a str> {
+        let arg = self.argv.get(self.i)?;
+        self.i += 1;
+        Some(arg)
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, ConfigError> {
+        self.next()
+            .ok_or_else(|| ConfigError::MissingValue(flag.to_string()))
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, ConfigError> {
+        let value = self.value(flag)?;
+        value.parse().map_err(|_| ConfigError::InvalidValue {
+            flag: flag.to_string(),
+            value: value.to_string(),
+        })
+    }
+
+    fn secs(&mut self, flag: &str) -> Result<Duration, ConfigError> {
+        Ok(Duration::from_secs_f64(self.parsed::<f64>(flag)?))
+    }
+
+    fn millis(&mut self, flag: &str) -> Result<Duration, ConfigError> {
+        Ok(Duration::from_millis(self.parsed::<u64>(flag)?))
+    }
+
+    fn path(&mut self, flag: &str) -> Result<PathBuf, ConfigError> {
+        Ok(PathBuf::from(self.value(flag)?))
+    }
+}
+
+fn parse_common(
+    cursor: &mut Cursor<'_>,
+    flag: &str,
+    common: &mut CommonArgs,
+) -> Option<Result<(), ConfigError>> {
+    let result = match flag {
+        "--threads" => cursor
+            .parsed::<usize>(flag)
+            .map(|n| common.threads = Some(n.max(1))),
+        "--replay-cache" => match cursor.value(flag) {
+            Ok(value) => match parse_replay_cache(value) {
+                Some(config) => {
+                    common.replay_cache = Some(config);
+                    Ok(())
+                }
+                None => Err(ConfigError::InvalidValue {
+                    flag: flag.to_string(),
+                    value: value.to_string(),
+                }),
+            },
+            Err(e) => Err(e),
+        },
+        "--log-level" => cursor
+            .parsed::<Level>(flag)
+            .map(|level| common.log_level = Some(level)),
+        "--quiet" => {
+            common.quiet = true;
+            Ok(())
+        }
+        "--trace-out" => cursor.path(flag).map(|p| common.trace_out = Some(p)),
+        "--trace-chrome" => cursor.path(flag).map(|p| common.trace_chrome = Some(p)),
+        _ => return None,
+    };
+    Some(result)
+}
+
+/// Parses the `c9-coordinator` argument vector (without the program name).
+/// `Err` means the command line is unusable; the caller prints the error
+/// and its usage text.
+pub fn parse_coordinator_args(argv: &[String]) -> Result<CoordinatorArgs, ConfigError> {
+    let mut args = CoordinatorArgs {
+        common: CommonArgs::default(),
+        workers: Vec::new(),
+        listen: None,
+        serve: None,
+        max_runs: 2,
+        report_dir: None,
+        min_workers: None,
+        join_wait: Duration::from_secs(60),
+        target: String::new(),
+        time_limit: None,
+        max_paths: None,
+        generate_tests: false,
+        connect_timeout: Duration::from_secs(15),
+        heartbeat_timeout: None,
+        heartbeat_interval: Duration::from_millis(25),
+        snapshot_every: 1,
+        checkpoint: None,
+        checkpoint_interval: Duration::from_secs(1),
+        resume: None,
+        quantum: None,
+        status_interval: None,
+        balance_interval: None,
+        strategy: None,
+        portfolio: None,
+        portfolio_adapt: false,
+        export_order: None,
+        report_out: None,
+        timeline_out: None,
+    };
+    let mut cursor = Cursor { argv, i: 0 };
+    while let Some(flag) = cursor.next() {
+        if let Some(result) = parse_common(&mut cursor, flag, &mut args.common) {
+            result?;
+            continue;
+        }
+        match flag {
+            "--workers" => {
+                args.workers = cursor
+                    .value(flag)?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--listen" => args.listen = Some(cursor.value(flag)?.to_string()),
+            "--serve" => args.serve = Some(cursor.value(flag)?.to_string()),
+            "--max-runs" => args.max_runs = cursor.parsed::<usize>(flag)?.max(1),
+            "--report-dir" => args.report_dir = Some(cursor.path(flag)?),
+            "--min-workers" => args.min_workers = Some(cursor.parsed(flag)?),
+            "--join-wait" => args.join_wait = cursor.secs(flag)?,
+            "--target" => args.target = cursor.value(flag)?.to_string(),
+            "--time-limit" => args.time_limit = Some(cursor.secs(flag)?),
+            "--max-paths" => args.max_paths = Some(cursor.parsed(flag)?),
+            "--generate-tests" => args.generate_tests = true,
+            "--connect-timeout" => {
+                args.connect_timeout = Duration::from_secs(cursor.parsed(flag)?);
+            }
+            "--heartbeat-timeout" => args.heartbeat_timeout = Some(cursor.secs(flag)?),
+            "--heartbeat-interval-ms" => args.heartbeat_interval = cursor.millis(flag)?,
+            "--snapshot-every" => args.snapshot_every = cursor.parsed(flag)?,
+            "--checkpoint" => args.checkpoint = Some(cursor.path(flag)?),
+            "--checkpoint-interval" => args.checkpoint_interval = cursor.secs(flag)?,
+            "--resume" => args.resume = Some(cursor.path(flag)?),
+            "--quantum" => args.quantum = Some(cursor.parsed(flag)?),
+            "--status-interval-ms" => args.status_interval = Some(cursor.millis(flag)?),
+            "--balance-interval-ms" => args.balance_interval = Some(cursor.millis(flag)?),
+            "--strategy" => args.strategy = Some(cursor.parsed(flag)?),
+            "--portfolio" => {
+                let list = cursor.value(flag)?;
+                args.portfolio = Some(PortfolioConfig::parse_mix(list).map_err(|_| {
+                    ConfigError::InvalidValue {
+                        flag: flag.to_string(),
+                        value: list.to_string(),
+                    }
+                })?);
+            }
+            "--portfolio-adapt" => args.portfolio_adapt = true,
+            "--export-order" => args.export_order = Some(cursor.parsed(flag)?),
+            "--report-out" => args.report_out = Some(cursor.path(flag)?),
+            "--timeline-out" => args.timeline_out = Some(cursor.path(flag)?),
+            other => return Err(ConfigError::UnknownFlag(other.to_string())),
+        }
+    }
+    if args.strategy.is_some() && args.portfolio.is_some() {
+        return Err(ConfigError::Conflict(
+            "--strategy and --portfolio are mutually exclusive (the portfolio \
+             assigns per-worker strategies)"
+                .into(),
+        ));
+    }
+    if args.portfolio_adapt && args.portfolio.is_none() {
+        return Err(ConfigError::Conflict(
+            "--portfolio-adapt requires --portfolio".into(),
+        ));
+    }
+    if args.serve.is_some() {
+        if !args.target.is_empty() {
+            return Err(ConfigError::Conflict(
+                "--serve and --target are mutually exclusive (service mode \
+                 takes targets through the front door)"
+                    .into(),
+            ));
+        }
+        if args.resume.is_some() || args.checkpoint.is_some() {
+            return Err(ConfigError::Conflict(
+                "--serve keeps preemption checkpoints in memory; --checkpoint \
+                 and --resume are single-run flags"
+                    .into(),
+            ));
+        }
+        if args.report_out.is_some() {
+            return Err(ConfigError::Conflict(
+                "--serve writes per-run reports; use --report-dir instead of \
+                 --report-out"
+                    .into(),
+            ));
+        }
+    } else {
+        if args.target.is_empty() {
+            return Err(ConfigError::MissingValue("--target".into()));
+        }
+        if args.report_dir.is_some() {
+            return Err(ConfigError::Conflict(
+                "--report-dir is a service-mode flag; use --report-out for a \
+                 single run"
+                    .into(),
+            ));
+        }
+    }
+    if args.workers.is_empty() && args.listen.is_none() {
+        return Err(ConfigError::MissingValue("--workers or --listen".into()));
+    }
+    Ok(args)
+}
+
+/// Parses the `c9-worker` argument vector (without the program name).
+pub fn parse_worker_args(argv: &[String]) -> Result<WorkerArgs, ConfigError> {
+    let mut args = WorkerArgs {
+        common: CommonArgs::default(),
+        listen: String::from("127.0.0.1:0"),
+        join: None,
+        once: false,
+    };
+    let mut cursor = Cursor { argv, i: 0 };
+    while let Some(flag) = cursor.next() {
+        if let Some(result) = parse_common(&mut cursor, flag, &mut args.common) {
+            result?;
+            continue;
+        }
+        match flag {
+            "--listen" => args.listen = cursor.value(flag)?.to_string(),
+            "--join" => args.join = Some(cursor.value(flag)?.to_string()),
+            "--once" => args.once = true,
+            other => return Err(ConfigError::UnknownFlag(other.to_string())),
+        }
+    }
+    Ok(args)
+}
+
+impl CoordinatorArgs {
+    /// Lowers the parsed flags into the run configuration, minus the resume
+    /// checkpoint (loading it from disk is the binary's job — it owns the
+    /// target-mismatch exit policy).
+    pub fn cluster_config(&self) -> ClusterConfig {
+        let mut config = ClusterConfig {
+            num_workers: self.workers.len().max(1),
+            time_limit: self.time_limit,
+            max_total_paths: self.max_paths,
+            failure_timeout: self.heartbeat_timeout,
+            heartbeat_interval: self.heartbeat_interval,
+            snapshot_every: self.snapshot_every,
+            checkpoint_path: self.checkpoint.clone(),
+            checkpoint_interval: self.checkpoint_interval,
+            ..ClusterConfig::default()
+        };
+        config.worker.generate_test_cases = self.generate_tests;
+        if let Some(strategy) = self.strategy {
+            config.worker.strategy = strategy;
+        }
+        if let Some(mix) = &self.portfolio {
+            config.portfolio = Some(PortfolioConfig {
+                mix: mix.clone(),
+                adapt: self.portfolio_adapt,
+            });
+        }
+        if let Some(order) = self.export_order {
+            config.worker.export_order = order;
+        }
+        if let Some(quantum) = self.quantum {
+            config.quantum = quantum;
+        }
+        if let Some(threads) = self.common.threads {
+            config.worker.threads = threads;
+        }
+        if let Some(replay_cache) = self.common.replay_cache {
+            config.worker.replay_cache = replay_cache;
+        }
+        if let Some(interval) = self.status_interval {
+            config.status_interval = interval;
+        }
+        if let Some(interval) = self.balance_interval {
+            config.balance_interval = interval;
+        }
+        config
+    }
+}
+
+#[cfg(test)]
+mod config_tests {
+    use super::*;
+
+    fn argv(line: &str) -> Vec<String> {
+        line.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let err = parse_coordinator_args(&argv("--target foo --workers a:1 --frobnicate"))
+            .expect_err("unknown flag must be rejected");
+        assert_eq!(err, ConfigError::UnknownFlag("--frobnicate".into()));
+        let err = parse_worker_args(&argv("--listen a:1 --max-paths 5"))
+            .expect_err("coordinator-only flag must be rejected by the worker");
+        assert_eq!(err, ConfigError::UnknownFlag("--max-paths".into()));
+    }
+
+    #[test]
+    fn rejects_conflicting_flags() {
+        let err = parse_coordinator_args(&argv(
+            "--target foo --workers a:1 --strategy dfs --portfolio dfs,bfs",
+        ))
+        .expect_err("--strategy with --portfolio must conflict");
+        assert!(matches!(err, ConfigError::Conflict(_)));
+
+        let err = parse_coordinator_args(&argv("--target foo --workers a:1 --portfolio-adapt"))
+            .expect_err("--portfolio-adapt without --portfolio must conflict");
+        assert!(matches!(err, ConfigError::Conflict(_)));
+
+        let err = parse_coordinator_args(&argv("--serve 0:0 --workers a:1 --target foo"))
+            .expect_err("--serve with --target must conflict");
+        assert!(matches!(err, ConfigError::Conflict(_)));
+
+        let err = parse_coordinator_args(&argv("--serve 0:0 --workers a:1 --resume ckpt"))
+            .expect_err("--serve with --resume must conflict");
+        assert!(matches!(err, ConfigError::Conflict(_)));
+    }
+
+    #[test]
+    fn rejects_missing_values() {
+        let err = parse_coordinator_args(&argv("--workers a:1 --target"))
+            .expect_err("--target without a value must be rejected");
+        assert_eq!(err, ConfigError::MissingValue("--target".into()));
+        let err = parse_coordinator_args(&argv("--workers a:1"))
+            .expect_err("neither --target nor --serve must be rejected");
+        assert_eq!(err, ConfigError::MissingValue("--target".into()));
+        let err = parse_coordinator_args(&argv("--target foo --time-limit soon --workers a:1"))
+            .expect_err("non-numeric duration must be rejected");
+        assert_eq!(
+            err,
+            ConfigError::InvalidValue {
+                flag: "--time-limit".into(),
+                value: "soon".into()
+            }
+        );
+    }
+
+    #[test]
+    fn lowers_flags_into_cluster_config() {
+        let args = parse_coordinator_args(&argv(
+            "--target foo --workers a:1,b:2 --max-paths 100 --quantum 64 \
+             --threads 3 --generate-tests --export-order shallowest \
+             --status-interval-ms 7 --replay-cache 5:1000",
+        ))
+        .expect("valid command line");
+        let config = args.cluster_config();
+        assert_eq!(config.num_workers, 2);
+        assert_eq!(config.max_total_paths, Some(100));
+        assert_eq!(config.quantum, 64);
+        assert_eq!(config.worker.threads, 3);
+        assert!(config.worker.generate_test_cases);
+        assert_eq!(config.worker.export_order, ExportOrder::Shallowest);
+        assert_eq!(config.status_interval, Duration::from_millis(7));
+        assert_eq!(config.worker.replay_cache.capacity, 5);
+        assert_eq!(config.worker.replay_cache.max_bytes, 1000);
+    }
+
+    #[test]
+    fn parses_service_mode() {
+        let args = parse_coordinator_args(&argv(
+            "--serve 127.0.0.1:0 --workers a:1 --max-runs 4 --report-dir out",
+        ))
+        .expect("valid service command line");
+        assert_eq!(args.serve.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(args.max_runs, 4);
+        assert_eq!(args.report_dir, Some(PathBuf::from("out")));
+    }
+
+    #[test]
+    fn parses_worker_args() {
+        let args = parse_worker_args(&argv("--listen 0.0.0.0:9101 --once --threads 2 --quiet"))
+            .expect("valid worker command line");
+        assert_eq!(args.listen, "0.0.0.0:9101");
+        assert!(args.once);
+        assert_eq!(args.common.threads, Some(2));
+        assert!(args.common.quiet);
+    }
+
+    #[test]
+    fn export_order_round_trips() {
+        for order in [ExportOrder::Shallowest, ExportOrder::Deepest] {
+            let rendered = order.to_string();
+            assert_eq!(rendered.parse::<ExportOrder>(), Ok(order));
+        }
+        assert!("sideways".parse::<ExportOrder>().is_err());
+    }
+}

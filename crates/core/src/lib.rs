@@ -60,31 +60,37 @@
 
 mod balancer;
 mod cluster;
+pub mod config;
+pub mod frontdoor;
 mod membership;
 mod portfolio;
 mod replay_cache;
 mod report;
+mod service;
 mod stats;
 mod tree;
 mod worker;
 
 pub use balancer::{BalancerConfig, LoadBalancer, TransferRequest};
 pub use c9_net::{
-    decode_jobs_flat, encode_jobs_flat, Control, CoordinatorEndpoint, EnvSpec, FinalReport,
-    InProcTransport, Job, JobBatch, JobTree, MemberEvent, PeerInfo, RunSpec, StatusReport,
-    TcpTransport, TransferEvent, Transport, TransportError, WorkerEndpoint, WorkerId, WorkerStats,
-    COORDINATOR,
+    decode_jobs_flat, encode_jobs_flat, Control, CoordinatorEndpoint, EnvSpec, ExportOrder,
+    FinalReport, InProcTransport, Job, JobBatch, JobTree, MemberEvent, PeerInfo, RunId, RunSpec,
+    RunSpecBuilder, RunSpecError, StatusReport, TcpTransport, TransferEvent, Transport,
+    TransportError, WorkerEndpoint, WorkerId, WorkerStats, COORDINATOR,
 };
 pub use c9_vm::{ReplayCacheConfig, StrategyKind};
 pub use cluster::{
     run_worker_from_spec, run_worker_from_spec_with, run_worker_loop, Cluster, ClusterConfig,
-    ClusterRunResult, CoordinatorRunOpts, WorkerLoopOpts,
+    ClusterRunResult, CoordinatorRunOpts, WorkerLoopOpts, WorkerService,
 };
 pub use membership::{Checkpoint, MemberHealth, MemberState, Membership};
 pub use portfolio::{derive_seed, Portfolio, PortfolioCheckpoint, PortfolioConfig, StrategyYield};
 pub use replay_cache::AnchorCache;
 pub use report::{
     run_report, timeline_csv, write_run_report, write_timeline_csv, RUN_REPORT_VERSION,
+};
+pub use service::{
+    serve_inproc, RunInfo, RunService, RunServiceConfig, RunState, RunSubmission, ServiceHandle,
 };
 pub use stats::{ClusterSummary, IntervalSample};
 pub use tree::{NodeId, NodeLife, NodeStatus, TreeNode, WorkerTree};

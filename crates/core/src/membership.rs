@@ -22,7 +22,7 @@
 //! from a fenced-off previous incarnation and are rejected.
 
 use c9_net::{
-    FinalReport, Job, JobTree, PeerInfo, StatusReport, TransferEvent, WorkerId, WorkerStats,
+    FinalReport, Job, JobTree, PeerInfo, RunId, StatusReport, TransferEvent, WorkerId, WorkerStats,
     COORDINATOR,
 };
 use c9_vm::{CoverageSet, TestCase};
@@ -667,6 +667,11 @@ impl Membership {
 /// limited run; `--resume` continues from it.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Checkpoint {
+    /// The run this checkpoint belongs to. Purely informational on resume —
+    /// a resumed run is a *new* run with a fresh id — but it lets a run
+    /// service tie a preempted run's frozen state back to its registry
+    /// entry.
+    pub run: RunId,
     /// The workload name, to catch resuming against the wrong target.
     pub target: String,
     /// Per-worker statistics of prior (checkpointed) work, flattened
@@ -730,6 +735,7 @@ mod tests {
 
     fn status(w: WorkerId, epoch: u64, frontier: Option<&[Job]>) -> StatusReport {
         StatusReport {
+            run: RunId(1),
             worker: w,
             epoch,
             queue_length: frontier.map(|f| f.len() as u64).unwrap_or(0),
@@ -1170,6 +1176,7 @@ mod tests {
     fn checkpoint_roundtrips_through_disk() {
         let jobs = vec![job(&[true]), job(&[false, true])];
         let checkpoint = Checkpoint {
+            run: RunId(1),
             target: "memcached".into(),
             base_stats: vec![WorkerStats {
                 paths_completed: 7,

@@ -9,14 +9,14 @@
 //! spreadsheet-grade tooling.
 
 use crate::stats::{ClusterSummary, IntervalSample};
-use c9_net::WorkerStats;
+use c9_net::{RunId, WorkerStats};
 use c9_trace::json::Json;
 use c9_trace::MetricsSnapshot;
 use std::io::Write as _;
 use std::path::Path;
 
 /// Report format version, bumped on breaking layout changes.
-pub const RUN_REPORT_VERSION: u64 = 1;
+pub const RUN_REPORT_VERSION: u64 = 2;
 
 fn duration_secs(d: std::time::Duration) -> Json {
     Json::Num(d.as_secs_f64())
@@ -105,13 +105,14 @@ fn sample_json(s: &IntervalSample) -> Json {
 /// Builds the `run_report.json` document for a finished run.
 ///
 /// Layout (stable under [`RUN_REPORT_VERSION`]):
-/// `version`, `elapsed_secs`, `num_workers`, `goal_reached`, `exhausted`,
+/// `version`, `run` (the registry id the report describes), `elapsed_secs`,
+/// `num_workers`, `goal_reached`, `exhausted`,
 /// `totals` (path/bug/instruction/transfer counters), `derived`
 /// (print-only rates like `anchor_hit_rate`, now first-class), `solver`
 /// (aggregated), `metrics` (all workers' registry snapshots merged —
 /// cluster-wide histograms), `workers` (per-worker stats, each with its
 /// own histogram snapshots), and `timeline` ([`IntervalSample`] series).
-pub fn run_report(summary: &ClusterSummary) -> Json {
+pub fn run_report(run: RunId, summary: &ClusterSummary) -> Json {
     let mut merged = MetricsSnapshot::default();
     for w in &summary.worker_stats {
         merged.merge(&w.metrics);
@@ -119,6 +120,7 @@ pub fn run_report(summary: &ClusterSummary) -> Json {
     let solver = summary.solver_stats();
     Json::Obj(vec![
         ("version".into(), Json::from_u64(RUN_REPORT_VERSION)),
+        ("run".into(), Json::from_u64(run.0)),
         ("elapsed_secs".into(), duration_secs(summary.elapsed)),
         (
             "num_workers".into(),
@@ -211,9 +213,9 @@ pub fn run_report(summary: &ClusterSummary) -> Json {
 }
 
 /// Writes [`run_report`] to `path` as one JSON document.
-pub fn write_run_report(path: &Path, summary: &ClusterSummary) -> std::io::Result<()> {
+pub fn write_run_report(path: &Path, run: RunId, summary: &ClusterSummary) -> std::io::Result<()> {
     let mut file = std::fs::File::create(path)?;
-    file.write_all(run_report(summary).render().as_bytes())?;
+    file.write_all(run_report(run, summary).render().as_bytes())?;
     file.write_all(b"\n")
 }
 

@@ -1,0 +1,1127 @@
+//! The coordinator-side run service: a registry of runs multiplexed over
+//! one worker roster.
+//!
+//! Where [`Cluster::run_coordinator`](crate::Cluster) drives exactly one
+//! run to completion, the [`RunService`] owns a *registry* of runs
+//! (`Queued → Running → Draining → Done/Failed`, with `Preempted` as the
+//! frozen side state) and drives up to a configured number of them
+//! concurrently over the same workers. Every run gets its own membership
+//! ledger, load balancer, and strategy portfolio — balancing state is keyed
+//! per `(worker, run)` — while the transport multiplexes the run-scoped
+//! frames of all of them over one socket (or channel) per worker.
+//!
+//! Preemption reuses the checkpoint machinery: preempting a run stops it on
+//! every worker, folds the final reports into an in-memory [`Checkpoint`],
+//! and parks it; reactivation re-admits the run under a fresh wire id with
+//! the checkpoint as its resume state, exactly like `--resume` continues an
+//! interrupted run from disk.
+//!
+//! Clients talk to a running service through a cloneable [`ServiceHandle`]
+//! (submit, list, status, cancel, preempt, resume, results, shutdown); the
+//! newline-delimited JSON front door in [`frontdoor`](crate::frontdoor)
+//! exposes the same operations over TCP.
+
+use crate::balancer::LoadBalancer;
+use crate::cluster::{ClusterConfig, ClusterRunResult};
+use crate::membership::{Checkpoint, Membership};
+use crate::portfolio::{Portfolio, PortfolioConfig};
+use crate::stats::{ClusterSummary, IntervalSample};
+use c9_ir::Program;
+use c9_net::{
+    Control, CoordinatorEndpoint, EnvSpec, FinalReport, JobTree, RunId, StatusReport, WorkerId,
+};
+use c9_trace::{info, warn};
+use c9_vm::{CoverageSet, TestCase};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Where a run is in its life cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunState {
+    /// Submitted, waiting for a concurrency slot.
+    Queued,
+    /// Admitted: its specs are on the workers and it is executing.
+    Running,
+    /// Stopping: `Stop` frames are out, final reports are being collected.
+    Draining,
+    /// Frozen: its frontier lives in an in-memory checkpoint; `resume`
+    /// re-queues it.
+    Preempted,
+    /// Finished (to exhaustion, a goal, a limit, or by `cancel`).
+    Done,
+    /// Could not run (a worker rejected its spec, or the service shut down
+    /// underneath it).
+    Failed,
+}
+
+impl std::fmt::Display for RunState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RunState::Queued => "queued",
+            RunState::Running => "running",
+            RunState::Draining => "draining",
+            RunState::Preempted => "preempted",
+            RunState::Done => "done",
+            RunState::Failed => "failed",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A run handed to [`ServiceHandle::submit`].
+pub struct RunSubmission {
+    /// Human-readable workload name (recorded in reports and checkpoints).
+    pub name: String,
+    /// The program under test.
+    pub program: Arc<Program>,
+    /// The environment model workers should instantiate.
+    pub env: EnvSpec,
+    /// The per-run cluster configuration (limits, quantum, balancing
+    /// cadence, portfolio, worker config). `resume` may carry a checkpoint
+    /// to continue from; `num_workers`, `failure_timeout`, and
+    /// `checkpoint_path` are ignored — the service owns the roster and
+    /// keeps preemption checkpoints in memory.
+    pub config: ClusterConfig,
+}
+
+/// A registry snapshot of one run, as returned by list/status.
+#[derive(Clone, Debug)]
+pub struct RunInfo {
+    /// The run's public id (stable across preemption and reactivation).
+    pub id: RunId,
+    /// The submitted workload name.
+    pub name: String,
+    /// Life-cycle state.
+    pub state: RunState,
+    /// Whether the run was ended by `cancel`.
+    pub cancelled: bool,
+    /// Paths completed so far (live estimate while running).
+    pub paths_completed: u64,
+    /// Global line-coverage ratio reached so far.
+    pub coverage: f64,
+    /// Bugs found so far.
+    pub bugs_found: u64,
+    /// Wall-clock time spent executing (across activations).
+    pub elapsed: Duration,
+}
+
+/// Tuning of the [`RunService`].
+#[derive(Clone, Debug)]
+pub struct RunServiceConfig {
+    /// How many runs may execute concurrently; further submissions queue.
+    pub max_concurrent: usize,
+    /// Write a per-run `run-<id>.json` report into this directory when a
+    /// run finishes.
+    pub report_dir: Option<PathBuf>,
+}
+
+impl Default for RunServiceConfig {
+    fn default() -> RunServiceConfig {
+        RunServiceConfig {
+            max_concurrent: 2,
+            report_dir: None,
+        }
+    }
+}
+
+enum ServiceRequest {
+    Submit(Box<RunSubmission>, Sender<RunId>),
+    List(Sender<Vec<RunInfo>>),
+    Status(RunId, Sender<Option<RunInfo>>),
+    Cancel(RunId, Sender<bool>),
+    Preempt(RunId, Sender<bool>),
+    Resume(RunId, Sender<bool>),
+    Results(RunId, Sender<Option<ClusterRunResult>>),
+    Shutdown(Sender<()>),
+}
+
+/// A cloneable client of a running [`RunService`]. All calls block until
+/// the service's event loop picks the request up (microseconds — the loop
+/// never blocks on run execution).
+#[derive(Clone)]
+pub struct ServiceHandle {
+    tx: Sender<ServiceRequest>,
+}
+
+impl ServiceHandle {
+    /// Submits a run; returns its public id, or `None` if the service is
+    /// gone.
+    pub fn submit(&self, submission: RunSubmission) -> Option<RunId> {
+        let (tx, rx) = unbounded();
+        self.tx
+            .send(ServiceRequest::Submit(Box::new(submission), tx))
+            .ok()?;
+        rx.recv().ok()
+    }
+
+    /// Lists every run the registry knows, in submission order.
+    pub fn list(&self) -> Vec<RunInfo> {
+        let (tx, rx) = unbounded();
+        if self.tx.send(ServiceRequest::List(tx)).is_err() {
+            return Vec::new();
+        }
+        rx.recv().unwrap_or_default()
+    }
+
+    /// Fetches one run's registry snapshot.
+    pub fn status(&self, run: RunId) -> Option<RunInfo> {
+        let (tx, rx) = unbounded();
+        self.tx.send(ServiceRequest::Status(run, tx)).ok()?;
+        rx.recv().ok().flatten()
+    }
+
+    /// Cancels a queued or running run. Returns whether the run existed in
+    /// a cancellable state; a running run transitions through `Draining`
+    /// and lands in `Done` with whatever it had explored.
+    pub fn cancel(&self, run: RunId) -> bool {
+        let (tx, rx) = unbounded();
+        self.tx.send(ServiceRequest::Cancel(run, tx)).is_ok() && rx.recv().unwrap_or(false)
+    }
+
+    /// Preempts a running run: checkpoints its frontier and frees its
+    /// concurrency slot. Returns whether the run was running.
+    pub fn preempt(&self, run: RunId) -> bool {
+        let (tx, rx) = unbounded();
+        self.tx.send(ServiceRequest::Preempt(run, tx)).is_ok() && rx.recv().unwrap_or(false)
+    }
+
+    /// Re-queues a preempted run; it reactivates from its checkpoint when a
+    /// slot frees up.
+    pub fn resume(&self, run: RunId) -> bool {
+        let (tx, rx) = unbounded();
+        self.tx.send(ServiceRequest::Resume(run, tx)).is_ok() && rx.recv().unwrap_or(false)
+    }
+
+    /// Fetches the results of a finished run (`Done`), including its test
+    /// cases and bugs.
+    pub fn results(&self, run: RunId) -> Option<ClusterRunResult> {
+        let (tx, rx) = unbounded();
+        self.tx.send(ServiceRequest::Results(run, tx)).ok()?;
+        rx.recv().ok().flatten()
+    }
+
+    /// Stops the service: every worker gets a service-level `Stop`, active
+    /// runs are abandoned, and the event loop returns. Blocks until the
+    /// service acknowledged (or is already gone).
+    pub fn shutdown(&self) {
+        let (tx, rx) = unbounded();
+        if self.tx.send(ServiceRequest::Shutdown(tx)).is_ok() {
+            let _ = rx.recv();
+        }
+    }
+}
+
+/// One registry entry, owning everything needed to (re)activate the run.
+struct RunEntry {
+    id: RunId,
+    name: String,
+    program: Arc<Program>,
+    env: EnvSpec,
+    config: ClusterConfig,
+    state: RunState,
+    cancelled: bool,
+    /// The frozen state of a preempted run (also carries accumulated
+    /// stats/coverage/elapsed across activations, like any resume).
+    checkpoint: Option<Checkpoint>,
+    /// Test cases and bugs accumulated by finished activations (a
+    /// checkpoint carries stats, not artifacts).
+    test_cases: Vec<TestCase>,
+    bugs: Vec<TestCase>,
+    result: Option<ClusterRunResult>,
+}
+
+/// Why a draining run is being stopped.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    Finish,
+    Cancel,
+    Preempt,
+}
+
+/// The per-activation driving state of a running run: its own membership
+/// ledger, balancer, and portfolio — the per-`(worker, run)` keying the
+/// multi-tenant protocol needs.
+struct ActiveRun {
+    public: RunId,
+    wire: RunId,
+    config: ClusterConfig,
+    membership: Membership,
+    portfolio: Portfolio,
+    lb: LoadBalancer,
+    summary: ClusterSummary,
+    start: Instant,
+    last_balance: Instant,
+    last_sample: Instant,
+    transferred_at_last_sample: u64,
+    everyone_had_work: Vec<bool>,
+    /// Per-run worker index → service-roster worker id (the transport
+    /// destination). Identical when the roster is dense, but kept explicit
+    /// so runs admitted after joins still address the right daemons.
+    dest: Vec<WorkerId>,
+    draining: bool,
+    outcome: Outcome,
+    /// Artifacts collected from this activation's final reports.
+    test_cases: Vec<TestCase>,
+    bugs: Vec<TestCase>,
+}
+
+impl ActiveRun {
+    /// The roster id to which frames for per-run worker `w` must be sent.
+    fn dest(&self, w: WorkerId) -> WorkerId {
+        self.dest.get(w.index()).copied().unwrap_or(w)
+    }
+
+    fn base_paths(&self) -> u64 {
+        self.config
+            .resume
+            .as_ref()
+            .map(|c| c.base_paths())
+            .unwrap_or(0)
+    }
+
+    fn total_paths(&self) -> u64 {
+        self.base_paths()
+            + self
+                .membership
+                .members()
+                .iter()
+                .map(|m| {
+                    m.summary_stats().paths_completed.max(if m.is_alive() {
+                        m.latest_stats.paths_completed
+                    } else {
+                        0
+                    })
+                })
+                .sum::<u64>()
+    }
+}
+
+/// The multi-tenant run service. Generic over the transport like the
+/// single-run coordinator: the same loop drives in-process channels (tests)
+/// and TCP daemons (the `c9-coordinator --serve` front door).
+pub struct RunService<C: CoordinatorEndpoint> {
+    endpoint: C,
+    config: RunServiceConfig,
+    /// Service-level membership: the roster of worker daemons. Used only
+    /// for identities, addresses, and join admission — per-run fencing and
+    /// ledgers live in each run's own membership.
+    roster: Membership,
+    registry: BTreeMap<u64, RunEntry>,
+    queue: VecDeque<RunId>,
+    active: Vec<ActiveRun>,
+    next_id: u64,
+    rx: Receiver<ServiceRequest>,
+    tx: Sender<ServiceRequest>,
+}
+
+impl<C: CoordinatorEndpoint> RunService<C> {
+    /// Creates a service over `endpoint` with an empty roster; workers
+    /// appear via static registration ([`RunService::add_worker`]) or
+    /// elastic joins.
+    pub fn new(endpoint: C, config: RunServiceConfig) -> RunService<C> {
+        let (tx, rx) = unbounded();
+        RunService {
+            endpoint,
+            config,
+            roster: Membership::new(None),
+            registry: BTreeMap::new(),
+            queue: VecDeque::new(),
+            active: Vec::new(),
+            next_id: 1,
+            rx,
+            tx,
+        }
+    }
+
+    /// Registers a statically connected worker (one the endpoint already
+    /// reaches — a dialed daemon, or an in-process worker thread).
+    pub fn add_worker(&mut self, addr: String) -> WorkerId {
+        let (worker, _) = self.roster.add_static(addr, Instant::now());
+        worker
+    }
+
+    /// A client handle to this service, cloneable across threads.
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Runs the service event loop until a shutdown request arrives.
+    pub fn run(mut self) {
+        loop {
+            // Client requests first: submissions and control operations.
+            let mut shutdown: Option<Sender<()>> = None;
+            while let Ok(request) = self.rx.try_recv() {
+                if let ServiceRequest::Shutdown(ack) = request {
+                    shutdown = Some(ack);
+                    break;
+                }
+                self.handle_request(request);
+            }
+            if let Some(ack) = shutdown {
+                for worker in self.roster.alive() {
+                    let _ = self
+                        .endpoint
+                        .send_control(worker, RunId::SERVICE, Control::Stop);
+                }
+                for run in &mut self.active {
+                    warn!("run {} abandoned by service shutdown", run.public);
+                }
+                for entry in self.registry.values_mut() {
+                    if matches!(
+                        entry.state,
+                        RunState::Queued | RunState::Running | RunState::Draining
+                    ) {
+                        entry.state = RunState::Failed;
+                    }
+                }
+                let _ = ack.send(());
+                return;
+            }
+
+            // Elastic joins extend the roster; runs started afterwards
+            // include the newcomers. (Runs in flight keep their roster.)
+            self.poll_joins();
+            while self.endpoint.try_recv_event().is_some() {
+                // Per-run failure detection is not part of the service
+                // (daemon loss fails the affected runs at drain timeout);
+                // heartbeats and leaves are drained so they cannot pile up.
+            }
+
+            // Admission: fill free slots from the queue, in order.
+            while self.active.len() < self.config.max_concurrent.max(1) {
+                let Some(id) = self.queue.pop_front() else {
+                    break;
+                };
+                self.activate(id);
+            }
+
+            // Status frames, routed to the run they are stamped with.
+            let mut got_any = false;
+            while let Some(report) = if got_any {
+                self.endpoint.recv_status(Duration::ZERO)
+            } else {
+                self.endpoint.recv_status(Duration::from_millis(2))
+            } {
+                got_any = true;
+                self.route_status(report);
+            }
+
+            // Per-run driving: reinjection, stopping conditions, sampling,
+            // balancing.
+            for i in 0..self.active.len() {
+                self.drive_run(i);
+            }
+
+            // Final reports, routed by run; a run whose whole roster
+            // reported final is finalized according to its outcome.
+            while let Some(report) = self.endpoint.recv_final(Duration::ZERO) {
+                self.route_final(report);
+            }
+            let mut finished: Vec<usize> = Vec::new();
+            for (i, run) in self.active.iter().enumerate() {
+                if run.draining
+                    && run
+                        .membership
+                        .members()
+                        .iter()
+                        .all(|m| m.got_final || !m.is_alive())
+                {
+                    finished.push(i);
+                }
+            }
+            for i in finished.into_iter().rev() {
+                let run = self.active.swap_remove(i);
+                self.finalize(run);
+            }
+        }
+    }
+
+    fn handle_request(&mut self, request: ServiceRequest) {
+        match request {
+            ServiceRequest::Submit(submission, reply) => {
+                let id = RunId(self.next_id);
+                self.next_id += 1;
+                let RunSubmission {
+                    name,
+                    program,
+                    env,
+                    mut config,
+                } = *submission;
+                // The service owns the roster and keeps checkpoints in
+                // memory; per-run failure detection and disk checkpoints
+                // are single-run features.
+                config.failure_timeout = None;
+                config.checkpoint_path = None;
+                let checkpoint = config.resume.take();
+                info!("run {id} submitted: {name}");
+                self.registry.insert(
+                    id.0,
+                    RunEntry {
+                        id,
+                        name,
+                        program,
+                        env,
+                        config,
+                        state: RunState::Queued,
+                        cancelled: false,
+                        checkpoint,
+                        test_cases: Vec::new(),
+                        bugs: Vec::new(),
+                        result: None,
+                    },
+                );
+                self.queue.push_back(id);
+                let _ = reply.send(id);
+            }
+            ServiceRequest::List(reply) => {
+                let infos = self
+                    .registry
+                    .keys()
+                    .copied()
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .filter_map(|id| self.info(RunId(id)))
+                    .collect();
+                let _ = reply.send(infos);
+            }
+            ServiceRequest::Status(id, reply) => {
+                let _ = reply.send(self.info(id));
+            }
+            ServiceRequest::Cancel(id, reply) => {
+                let _ = reply.send(self.cancel(id));
+            }
+            ServiceRequest::Preempt(id, reply) => {
+                let _ = reply.send(self.stop_active(id, Outcome::Preempt));
+            }
+            ServiceRequest::Resume(id, reply) => {
+                let ok = match self.registry.get_mut(&id.0) {
+                    Some(entry) if entry.state == RunState::Preempted => {
+                        entry.state = RunState::Queued;
+                        self.queue.push_back(id);
+                        info!("run {id} re-queued from its checkpoint");
+                        true
+                    }
+                    _ => false,
+                };
+                let _ = reply.send(ok);
+            }
+            ServiceRequest::Results(id, reply) => {
+                let _ = reply.send(
+                    self.registry
+                        .get(&id.0)
+                        .and_then(|entry| entry.result.clone()),
+                );
+            }
+            ServiceRequest::Shutdown(_) => unreachable!("handled by the event loop"),
+        }
+    }
+
+    fn info(&self, id: RunId) -> Option<RunInfo> {
+        let entry = self.registry.get(&id.0)?;
+        let mut info = RunInfo {
+            id,
+            name: entry.name.clone(),
+            state: entry.state,
+            cancelled: entry.cancelled,
+            paths_completed: 0,
+            coverage: 0.0,
+            bugs_found: 0,
+            elapsed: Duration::ZERO,
+        };
+        if let Some(result) = &entry.result {
+            info.paths_completed = result.summary.paths_completed();
+            info.coverage = result.summary.coverage_ratio();
+            info.bugs_found = result.summary.bugs_found;
+            info.elapsed = result.summary.elapsed;
+        } else if let Some(checkpoint) = &entry.checkpoint {
+            info.paths_completed = checkpoint.base_paths();
+            info.coverage = checkpoint.coverage.ratio();
+            info.elapsed = checkpoint.elapsed;
+        }
+        if let Some(run) = self.active.iter().find(|r| r.public == id) {
+            info.paths_completed = run.total_paths();
+            info.coverage = run.lb.global_coverage().ratio();
+            info.elapsed = run
+                .config
+                .resume
+                .as_ref()
+                .map(|c| c.elapsed)
+                .unwrap_or_default()
+                + run.start.elapsed();
+        }
+        Some(info)
+    }
+
+    fn cancel(&mut self, id: RunId) -> bool {
+        match self.registry.get_mut(&id.0) {
+            Some(entry) if entry.state == RunState::Queued => {
+                entry.state = RunState::Done;
+                entry.cancelled = true;
+                entry.result = Some(ClusterRunResult::default());
+                self.queue.retain(|queued| *queued != id);
+                info!("run {id} cancelled while queued");
+                true
+            }
+            Some(entry) if entry.state == RunState::Preempted => {
+                entry.state = RunState::Done;
+                entry.cancelled = true;
+                // Whatever the preempted activations had explored is the
+                // result.
+                let mut result = ClusterRunResult {
+                    test_cases: std::mem::take(&mut entry.test_cases),
+                    bugs: std::mem::take(&mut entry.bugs),
+                    ..ClusterRunResult::default()
+                };
+                if let Some(checkpoint) = entry.checkpoint.take() {
+                    result.summary.worker_stats = checkpoint.base_stats;
+                    result.summary.coverage = checkpoint.coverage;
+                    result.summary.elapsed = checkpoint.elapsed;
+                }
+                entry.result = Some(result);
+                info!("run {id} cancelled while preempted");
+                true
+            }
+            Some(entry) if entry.state == RunState::Running => {
+                let _ = entry;
+                self.stop_active(id, Outcome::Cancel)
+            }
+            _ => false,
+        }
+    }
+
+    /// Admits elastic joiners into the service roster. A joiner is admitted
+    /// at the service level only — runs already in flight keep the roster
+    /// they started with; the newcomer participates in runs activated from
+    /// now on.
+    fn poll_joins(&mut self) {
+        while let Some(request) = self.endpoint.try_recv_join() {
+            let now = Instant::now();
+            let (worker, epoch) =
+                self.roster
+                    .join(request.listen_addr.clone(), request.previous, now);
+            let strategy = c9_vm::StrategyKind::default();
+            self.roster.set_strategy(worker, strategy);
+            if self
+                .endpoint
+                .admit(
+                    request.token,
+                    worker,
+                    epoch,
+                    self.roster.peer_infos(),
+                    strategy,
+                )
+                .is_err()
+            {
+                self.roster.mark_dead(worker);
+                continue;
+            }
+            info!(
+                "worker {worker} joined the service roster ({})",
+                request.listen_addr
+            );
+        }
+    }
+
+    /// Sends run-scoped `Stop` to every roster worker of an active run and
+    /// marks it draining with the given outcome.
+    fn stop_active(&mut self, id: RunId, outcome: Outcome) -> bool {
+        let Some(run) = self.active.iter_mut().find(|r| r.public == id) else {
+            return false;
+        };
+        if run.draining {
+            return false;
+        }
+        run.draining = true;
+        run.outcome = outcome;
+        run.summary.coverage.merge(run.lb.global_coverage());
+        for worker in run.membership.alive() {
+            let _ = self
+                .endpoint
+                .send_control(run.dest(worker), run.wire, Control::Stop);
+        }
+        if let Some(entry) = self.registry.get_mut(&id.0) {
+            entry.state = RunState::Draining;
+            if outcome == Outcome::Cancel {
+                entry.cancelled = true;
+            }
+        }
+        info!(
+            "run {id} draining ({})",
+            match outcome {
+                Outcome::Finish => "finished",
+                Outcome::Cancel => "cancelled",
+                Outcome::Preempt => "preempting",
+            }
+        );
+        true
+    }
+
+    /// Admits a queued run: builds its per-run membership/balancer/
+    /// portfolio over the current roster and ships every worker its spec
+    /// under a fresh wire id.
+    fn activate(&mut self, id: RunId) {
+        let Some(entry) = self.registry.get_mut(&id.0) else {
+            return;
+        };
+        if entry.state != RunState::Queued {
+            return;
+        }
+        if self.roster.alive_count() == 0 {
+            // No workers yet; put it back and try again next tick.
+            self.queue.push_front(id);
+            return;
+        }
+        let wire = RunId(self.next_id);
+        self.next_id += 1;
+        let start = Instant::now();
+
+        let mut config = entry.config.clone();
+        config.resume = entry.checkpoint.take();
+        config.num_workers = self.roster.alive_count();
+
+        let mut membership = Membership::new(None);
+        let portfolio_config = config
+            .portfolio
+            .clone()
+            .unwrap_or_else(|| PortfolioConfig::uniform(config.worker.strategy));
+        let mut portfolio = Portfolio::new(portfolio_config);
+        if let Some(resume) = &config.resume {
+            portfolio.restore(&resume.portfolio);
+        }
+        // Per-run epochs mirror the roster order, so every run derives the
+        // same per-worker seeds a solo run of the same configuration would.
+        let roster: Vec<(WorkerId, String)> = self
+            .roster
+            .members()
+            .iter()
+            .filter(|m| m.is_alive())
+            .map(|m| (m.worker, m.addr.clone()))
+            .collect();
+        for (_, addr) in &roster {
+            let (worker, epoch) = membership.add_static(addr.clone(), start);
+            let strategy = portfolio.assign(worker);
+            membership.set_strategy(worker, strategy);
+            let _ = epoch;
+        }
+        if let Some(resume) = &config.resume {
+            membership.seed_pool(resume.jobs());
+        }
+
+        let mut lb = LoadBalancer::new(membership.len(), entry.program.loc(), config.balancer);
+        if let Some(resume) = &config.resume {
+            lb.merge_coverage(&resume.coverage);
+        }
+
+        // Ship the specs. Per-run worker ids are dense 0..n in roster
+        // order; the roster id at the same position is the transport
+        // destination.
+        let mut failed = false;
+        for (i, (roster_id, _)) in roster.iter().enumerate() {
+            let run_worker = WorkerId(i as u32);
+            let member_epoch = membership
+                .member(run_worker)
+                .map(|m| m.epoch)
+                .unwrap_or_default();
+            let strategy = membership
+                .member(run_worker)
+                .and_then(|m| m.strategy)
+                .unwrap_or(config.worker.strategy);
+            let spec = config.run_spec(
+                &entry.program,
+                entry.env,
+                run_worker,
+                wire,
+                member_epoch,
+                strategy,
+            );
+            if self.endpoint.send_start(*roster_id, spec).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        if failed {
+            entry.state = RunState::Failed;
+            warn!("run {id} failed: a worker rejected its spec");
+            return;
+        }
+        // Announce the run's peer table behind the starts (TCP workers
+        // refresh their peer connections from it; in-process transports
+        // ignore it).
+        let infos = membership.peer_infos();
+        for (i, (roster_id, _)) in roster.iter().enumerate() {
+            let _ = i;
+            let _ =
+                self.endpoint
+                    .send_control(*roster_id, wire, Control::Membership(infos.clone()));
+        }
+
+        entry.state = RunState::Running;
+        info!(
+            "run {id} activated as wire run {wire} on {} workers",
+            roster.len()
+        );
+        let num_workers = membership.len();
+        let dest = roster.iter().map(|(id, _)| *id).collect();
+        self.active.push(ActiveRun {
+            public: id,
+            wire,
+            membership,
+            portfolio,
+            lb,
+            summary: ClusterSummary {
+                num_workers,
+                coverage: CoverageSet::new(entry.program.loc()),
+                ..ClusterSummary::default()
+            },
+            start,
+            last_balance: start,
+            last_sample: start,
+            transferred_at_last_sample: 0,
+            everyone_had_work: vec![false; num_workers],
+            dest,
+            draining: false,
+            outcome: Outcome::Finish,
+            test_cases: Vec::new(),
+            bugs: Vec::new(),
+            config,
+        });
+    }
+
+    /// Routes one status report to the run it is stamped with. The per-run
+    /// worker id on the report is also the roster id here, because the
+    /// service admits runs over the dense roster prefix.
+    fn route_status(&mut self, report: StatusReport) {
+        let Some(run) = self.active.iter_mut().find(|r| r.wire == report.run) else {
+            return; // a frame of a finished run, late on the wire
+        };
+        let now = Instant::now();
+        if !run.membership.record_status(&report, now) {
+            return;
+        }
+        let w = report.worker;
+        if w.index() >= run.everyone_had_work.len() {
+            run.everyone_had_work.resize(w.index() + 1, false);
+        }
+        if report.queue_length > 0 {
+            run.everyone_had_work[w.index()] = true;
+        }
+        let (global, newly_covered) = run.lb.report(w, report.queue_length, &report.coverage);
+        run.portfolio.record_yield(report.strategy, newly_covered);
+        let _ = self
+            .endpoint
+            .send_control(run.dest(w), run.wire, Control::GlobalCoverage(global));
+    }
+
+    fn route_final(&mut self, report: FinalReport) {
+        let Some(run) = self.active.iter_mut().find(|r| r.wire == report.run) else {
+            return;
+        };
+        if run.membership.record_final(&report) {
+            run.summary.coverage.merge(&report.coverage);
+            run.summary.bugs_found += report.bugs.len() as u64;
+            run.test_cases.extend(report.test_cases);
+            run.bugs.extend(report.bugs);
+        }
+    }
+
+    /// One driving tick for one active run: reinjection, stopping
+    /// conditions, timeline sampling, balancing — the per-run slice of the
+    /// single-run balancer loop.
+    fn drive_run(&mut self, i: usize) {
+        let run = &mut self.active[i];
+        let wire = run.wire;
+
+        // Reinjection of pooled jobs (resume seeds, cancelled injects).
+        let pool = run.membership.take_pool();
+        if !pool.is_empty() {
+            let mut targets: Vec<(u64, WorkerId)> = run
+                .membership
+                .members()
+                .iter()
+                .filter(|m| m.is_alive())
+                .map(|m| (m.queue_length, m.worker))
+                .collect();
+            if targets.is_empty() {
+                run.membership.seed_pool(pool);
+            } else {
+                targets.sort();
+                let chunk_size = pool.len().div_ceil(targets.len());
+                let mut rest = pool;
+                let mut t = 0;
+                while !rest.is_empty() {
+                    let chunk: Vec<_> = rest.drain(..chunk_size.min(rest.len())).collect();
+                    let (_, destination) = targets[t % targets.len()];
+                    t += 1;
+                    let encoded = JobTree::from_jobs(&chunk).encode();
+                    let seq = run
+                        .membership
+                        .record_inject(destination, chunk, Instant::now());
+                    run.summary.jobs_reclaimed += 1;
+                    if self
+                        .endpoint
+                        .send_control(
+                            run.dest(destination),
+                            wire,
+                            Control::Inject { seq, encoded },
+                        )
+                        .is_err()
+                    {
+                        run.membership.cancel_inject(destination, seq);
+                    }
+                }
+            }
+        }
+
+        if run.draining {
+            return;
+        }
+
+        let elapsed = run
+            .config
+            .resume
+            .as_ref()
+            .map(|c| c.elapsed)
+            .unwrap_or_default()
+            + run.start.elapsed();
+        let total_paths = run.total_paths();
+
+        // Stopping conditions, mirroring the single-run loop.
+        let mut goal_reached = false;
+        let mut exhausted = false;
+        if let Some(target) = run.config.coverage_target {
+            if run.lb.global_coverage().ratio() >= target {
+                goal_reached = true;
+            }
+        }
+        if let Some(max_paths) = run.config.max_total_paths {
+            if total_paths >= max_paths {
+                goal_reached = true;
+            }
+        }
+        let members = run.membership.members();
+        let all_idle = run.membership.alive_count() > 0
+            && members
+                .iter()
+                .filter(|m| m.is_alive())
+                .all(|m| m.idle && m.queue_length == 0);
+        if all_idle && run.lb.all_idle() && run.membership.settled() {
+            exhausted = true;
+            goal_reached = true;
+        }
+        let timed_out = run
+            .config
+            .time_limit
+            .map(|limit| elapsed >= limit)
+            .unwrap_or(false);
+
+        // Timeline sampling.
+        if run.last_sample.elapsed() >= run.config.sample_interval || goal_reached || timed_out {
+            let transferred_now = run.lb.total_transferred();
+            run.summary.timeline.push(IntervalSample {
+                elapsed,
+                states_transferred: transferred_now - run.transferred_at_last_sample,
+                total_states: run.lb.queue_lengths().iter().sum(),
+                useful_instructions: members
+                    .iter()
+                    .map(|m| m.latest_stats.useful_instructions)
+                    .sum(),
+                coverage: run.lb.global_coverage().ratio(),
+            });
+            run.transferred_at_last_sample = transferred_now;
+            run.last_sample = Instant::now();
+        }
+
+        if goal_reached || timed_out {
+            run.summary.goal_reached = goal_reached;
+            run.summary.exhausted = exhausted;
+            let id = run.public;
+            self.stop_active(id, Outcome::Finish);
+            return;
+        }
+
+        // Balancing and portfolio adaptation.
+        let lb_disabled_by_time = run
+            .config
+            .disable_lb_after
+            .map(|d| elapsed >= d)
+            .unwrap_or(false);
+        let lb_disabled_static = run.config.static_partition
+            && run
+                .membership
+                .members()
+                .iter()
+                .filter(|m| m.is_alive())
+                .all(|m| {
+                    run.everyone_had_work
+                        .get(m.worker.index())
+                        .copied()
+                        .unwrap_or(false)
+                });
+        if !lb_disabled_by_time
+            && !lb_disabled_static
+            && run.last_balance.elapsed() >= run.config.balance_interval
+        {
+            for request in run.lb.balance() {
+                // The endpoint destination is the roster id; the payload
+                // destination stays the per-run id the worker's peer table
+                // resolves.
+                let _ = self.endpoint.send_control(
+                    run.dest(request.source),
+                    wire,
+                    Control::Balance {
+                        destination: request.destination,
+                        count: request.count,
+                    },
+                );
+            }
+            for (worker, strategy) in run.portfolio.rebalance() {
+                let Some(member) = run.membership.member(worker) else {
+                    continue;
+                };
+                let seed =
+                    crate::portfolio::derive_seed(run.config.worker.seed, worker, member.epoch)
+                        ^ run.portfolio.rebalances();
+                run.membership.set_strategy(worker, strategy);
+                run.summary.strategy_rebalances += 1;
+                let _ = self.endpoint.send_control(
+                    run.dest(worker),
+                    wire,
+                    Control::SetStrategy { strategy, seed },
+                );
+            }
+            run.last_balance = Instant::now();
+        }
+    }
+
+    /// Folds a fully drained activation back into its registry entry:
+    /// `Done` with results, or `Preempted` with a checkpoint.
+    fn finalize(&mut self, mut run: ActiveRun) {
+        let Some(entry) = self.registry.get_mut(&run.public.0) else {
+            return;
+        };
+        run.summary.coverage.merge(run.lb.global_coverage());
+        let base_stats = run
+            .config
+            .resume
+            .as_ref()
+            .map(|c| c.base_stats.clone())
+            .unwrap_or_default();
+        let base_elapsed = run
+            .config
+            .resume
+            .as_ref()
+            .map(|c| c.elapsed)
+            .unwrap_or_default();
+        let mut worker_stats = base_stats;
+        for member in run.membership.members() {
+            worker_stats.push(member.summary_stats().clone());
+        }
+        let elapsed = base_elapsed + run.start.elapsed();
+
+        entry.test_cases.extend(std::mem::take(&mut run.test_cases));
+        entry.bugs.extend(std::mem::take(&mut run.bugs));
+
+        if run.outcome == Outcome::Preempt {
+            entry.checkpoint = Some(Checkpoint {
+                run: entry.id,
+                target: entry.name.clone(),
+                base_stats: worker_stats,
+                frontier: JobTree::from_jobs(&run.membership.frontier_jobs()).encode(),
+                coverage: run.summary.coverage.clone(),
+                elapsed,
+                portfolio: run.portfolio.checkpoint(),
+            });
+            entry.state = RunState::Preempted;
+            info!(
+                "run {} preempted ({} pending jobs frozen)",
+                entry.id,
+                entry
+                    .checkpoint
+                    .as_ref()
+                    .map(|c| c.jobs().len())
+                    .unwrap_or(0)
+            );
+            return;
+        }
+
+        let mut summary = std::mem::take(&mut run.summary);
+        summary.worker_stats = worker_stats;
+        summary.elapsed = elapsed;
+        summary.num_workers = run.membership.len().max(1);
+        summary.bugs_found = entry.bugs.len() as u64;
+        if run.outcome == Outcome::Cancel {
+            summary.goal_reached = false;
+        }
+        let result = ClusterRunResult {
+            summary,
+            test_cases: std::mem::take(&mut entry.test_cases),
+            bugs: entry.bugs.clone(),
+        };
+        entry.bugs.clear();
+        entry.state = RunState::Done;
+        info!(
+            "run {} done: {} paths, {} bugs{}",
+            entry.id,
+            result.summary.paths_completed(),
+            result.summary.bugs_found,
+            if entry.cancelled { " (cancelled)" } else { "" }
+        );
+        if let Some(dir) = &self.config.report_dir {
+            let path = dir.join(format!("run-{}.json", entry.id.0));
+            if let Err(e) = crate::report::write_run_report(&path, entry.id, &result.summary) {
+                warn!("cannot write per-run report {}: {e}", path.display());
+            }
+        }
+        entry.result = Some(result);
+    }
+}
+
+/// Runs a [`RunService`] over an in-process cluster of `num_workers`
+/// multi-run worker loops ([`WorkerService`](crate::WorkerService)), hands
+/// a [`ServiceHandle`] to `f`, and tears the whole thing down when `f`
+/// returns. The in-process analogue of `c9-coordinator --serve` plus a
+/// fleet of `c9-worker` daemons — tests drive multi-tenant scenarios
+/// through it without sockets.
+pub fn serve_inproc<F, G, R>(
+    num_workers: usize,
+    config: RunServiceConfig,
+    env_factory: F,
+    f: G,
+) -> R
+where
+    F: Fn(EnvSpec) -> Arc<dyn c9_vm::Environment> + Send + Sync + Clone,
+    G: FnOnce(ServiceHandle) -> R,
+{
+    use c9_net::{InProcTransport, Transport};
+    let endpoints = InProcTransport
+        .establish(num_workers.max(1))
+        .expect("in-process transport establish failed");
+    let mut service = RunService::new(endpoints.coordinator, config);
+    for _ in 0..num_workers.max(1) {
+        service.add_worker(String::new());
+    }
+    let handle = service.handle();
+    std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for mut endpoint in endpoints.workers {
+            let factory = env_factory.clone();
+            joins.push(scope.spawn(move || {
+                crate::WorkerService::new(&mut endpoint, move |spec| factory(spec)).serve();
+            }));
+        }
+        let driver = scope.spawn(move || service.run());
+        let result = f(handle.clone());
+        // Idempotent: `f` may have shut the service down already.
+        handle.shutdown();
+        driver.join().expect("service thread panicked");
+        for join in joins {
+            join.join().expect("worker thread panicked");
+        }
+        result
+    })
+}

@@ -6,7 +6,8 @@
 //! them.
 
 use crate::{
-    Cluster, ClusterConfig, Job, ReplayCacheConfig, StrategyKind, Worker, WorkerConfig, WorkerId,
+    Cluster, ClusterConfig, ExportOrder, Job, ReplayCacheConfig, StrategyKind, Worker,
+    WorkerConfig, WorkerId,
 };
 use c9_ir::{AbortKind, BinaryOp, Operand, Program, ProgramBuilder, Width};
 use c9_vm::{sysno, NullEnvironment, PathChoice};
@@ -431,11 +432,11 @@ fn shallowest_first_export_reduces_receiver_replay() {
     // export heuristic. Shipping shallow candidates means short replay
     // paths at the receiver, so total replay work must drop — at an
     // unchanged exhaustive path total.
-    let run = |export_deepest: bool| -> (u64, u64) {
+    let run = |order: ExportOrder| -> (u64, u64) {
         let program = Arc::new(branching_program(9));
         let env = Arc::new(NullEnvironment);
         let config = WorkerConfig {
-            export_deepest,
+            export_order: order,
             // Cache off to isolate the heuristic's effect.
             replay_cache: ReplayCacheConfig::DISABLED,
             ..WorkerConfig::default()
@@ -466,8 +467,8 @@ fn shallowest_first_export_reduces_receiver_replay() {
             w1.stats.replay_instructions + w2.stats.replay_instructions,
         )
     };
-    let (paths_deep, replay_deep) = run(true);
-    let (paths_shallow, replay_shallow) = run(false);
+    let (paths_deep, replay_deep) = run(ExportOrder::Deepest);
+    let (paths_shallow, replay_shallow) = run(ExportOrder::Shallowest);
     assert_eq!(paths_deep, 512);
     assert_eq!(paths_shallow, 512, "heuristic must not change the tree");
     assert!(
@@ -493,7 +494,7 @@ fn anchor_cache_skips_shared_trunk_replay() {
         WorkerConfig {
             // Shed the deep end of the frontier: long sibling-heavy paths,
             // the worst case for naive per-job root replay.
-            export_deepest: true,
+            export_order: ExportOrder::Deepest,
             ..WorkerConfig::default()
         },
     );

@@ -29,7 +29,7 @@ use crate::portfolio::derive_seed;
 use crate::replay_cache::AnchorCache;
 use crate::tree::{NodeId, WorkerTree};
 use c9_ir::Program;
-use c9_net::{Job, JobTree, JobTreeVisitor, WorkerId, WorkerStats};
+use c9_net::{ExportOrder, Job, JobTree, JobTreeVisitor, WorkerId, WorkerStats};
 use c9_solver::Solver;
 use c9_trace::{Registry, Span, SpanKind};
 use c9_vm::{
@@ -75,12 +75,12 @@ pub struct WorkerConfig {
     /// Whether to solve for a concrete test case for every completed path
     /// (bug paths always get one).
     pub generate_test_cases: bool,
-    /// Prefer exporting the deepest materialized candidates when asked to
-    /// shed load. Off by default: virtual (never-materialized) jobs go
+    /// Which materialized candidates to export first when asked to shed
+    /// load. Shallowest by default: virtual (never-materialized) jobs go
     /// first, then the *shallowest* materialized candidates — the states
     /// whose replay (already paid here, re-paid by the receiver) costs the
     /// least.
-    pub export_deepest: bool,
+    pub export_order: ExportOrder,
     /// Budget of the prefix-anchor replay cache backing job
     /// materialization (`--replay-cache`); a zero capacity disables it
     /// (naive per-job root replay).
@@ -97,7 +97,7 @@ impl Default for WorkerConfig {
             seed: 1,
             strategy: StrategyKind::KleeDefault,
             generate_test_cases: false,
-            export_deepest: false,
+            export_order: ExportOrder::Shallowest,
             replay_cache: ReplayCacheConfig::default(),
             threads: default_threads(),
         }
@@ -328,7 +328,7 @@ impl Worker {
             let mut ids: Vec<(usize, StateId)> =
                 self.states.values().map(|s| (s.depth(), s.id)).collect();
             ids.sort();
-            if self.config.export_deepest {
+            if self.config.export_order == ExportOrder::Deepest {
                 ids.reverse();
             }
             // Never give away the very last piece of local work: the sender

@@ -1,4 +1,4 @@
-//! Worker identity.
+//! Worker and run identity.
 
 use serde::{Deserialize, Serialize};
 
@@ -7,6 +7,30 @@ use serde::{Deserialize, Serialize};
     Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
 )]
 pub struct WorkerId(pub u32);
+
+/// Identifier of one *run* (tenant) among the runs a long-lived cluster
+/// serves. Every frame of the run protocol is stamped with the run it
+/// belongs to, so one worker daemon can time-slice several concurrent runs
+/// without a stale frame from one run ever leaking into another.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct RunId(pub u64);
+
+impl RunId {
+    /// The reserved service-level pseudo-run. Control frames stamped with it
+    /// address the worker *daemon* rather than any single run (today only
+    /// [`Control::Stop`](crate::Control::Stop), which shuts the whole
+    /// service loop down). Real runs must use a non-zero id;
+    /// [`RunSpecBuilder`](crate::RunSpecBuilder) rejects this value.
+    pub const SERVICE: RunId = RunId(0);
+}
+
+impl std::fmt::Display for RunId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
 
 /// The reserved pseudo-worker identity of the coordinator itself, used as the
 /// `source` of job batches the coordinator injects directly into a worker

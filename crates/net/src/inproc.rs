@@ -5,11 +5,14 @@
 //! to it), one shared status channel, and a final-report channel drained by
 //! the coordinator. Messages move by ownership transfer — nothing is
 //! serialized — so this transport is also the baseline in the transport
-//! throughput benchmark.
+//! throughput benchmark. Control messages carry the [`RunId`] they address,
+//! and a per-worker start channel lets the coordinator admit additional
+//! runs to a worker service loop mid-flight, exactly like the TCP
+//! transport's `Start` frames.
 
-use crate::message::{Control, FinalReport, JobBatch, StatusReport};
+use crate::message::{Control, FinalReport, JobBatch, RunSpec, StatusReport};
 use crate::transport::{CoordinatorEndpoint, Endpoints, Transport, TransportError, WorkerEndpoint};
-use crate::WorkerId;
+use crate::{RunId, WorkerId};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::time::Duration;
 
@@ -20,7 +23,8 @@ pub struct InProcTransport;
 /// Worker endpoint over in-process channels.
 pub struct InProcWorkerEndpoint {
     id: WorkerId,
-    control_rx: Receiver<Control>,
+    control_rx: Receiver<(RunId, Control)>,
+    start_rx: Receiver<Box<RunSpec>>,
     jobs_rx: Receiver<JobBatch>,
     job_txs: Vec<Sender<JobBatch>>,
     status_tx: Sender<StatusReport>,
@@ -29,7 +33,8 @@ pub struct InProcWorkerEndpoint {
 
 /// Coordinator endpoint over in-process channels.
 pub struct InProcCoordinatorEndpoint {
-    control_txs: Vec<Sender<Control>>,
+    control_txs: Vec<Sender<(RunId, Control)>>,
+    start_txs: Vec<Sender<Box<RunSpec>>>,
     status_rx: Receiver<StatusReport>,
     final_rx: Receiver<FinalReport>,
 }
@@ -45,12 +50,17 @@ impl Transport for InProcTransport {
         let n = num_workers.max(1);
         let mut control_txs = Vec::with_capacity(n);
         let mut control_rxs = Vec::with_capacity(n);
+        let mut start_txs = Vec::with_capacity(n);
+        let mut start_rxs = Vec::with_capacity(n);
         let mut job_txs = Vec::with_capacity(n);
         let mut job_rxs = Vec::with_capacity(n);
         for _ in 0..n {
-            let (ctx, crx) = unbounded::<Control>();
+            let (ctx, crx) = unbounded::<(RunId, Control)>();
             control_txs.push(ctx);
             control_rxs.push(crx);
+            let (stx, srx) = unbounded::<Box<RunSpec>>();
+            start_txs.push(stx);
+            start_rxs.push(srx);
             let (jtx, jrx) = unbounded::<JobBatch>();
             job_txs.push(jtx);
             job_rxs.push(jrx);
@@ -60,21 +70,26 @@ impl Transport for InProcTransport {
 
         let workers = control_rxs
             .into_iter()
+            .zip(start_rxs)
             .zip(job_rxs)
             .enumerate()
-            .map(|(i, (control_rx, jobs_rx))| InProcWorkerEndpoint {
-                id: WorkerId(i as u32),
-                control_rx,
-                jobs_rx,
-                job_txs: job_txs.clone(),
-                status_tx: status_tx.clone(),
-                final_tx: final_tx.clone(),
-            })
+            .map(
+                |(i, ((control_rx, start_rx), jobs_rx))| InProcWorkerEndpoint {
+                    id: WorkerId(i as u32),
+                    control_rx,
+                    start_rx,
+                    jobs_rx,
+                    job_txs: job_txs.clone(),
+                    status_tx: status_tx.clone(),
+                    final_tx: final_tx.clone(),
+                },
+            )
             .collect();
 
         Ok(Endpoints {
             coordinator: InProcCoordinatorEndpoint {
                 control_txs,
+                start_txs,
                 status_rx,
                 final_rx,
             },
@@ -88,12 +103,16 @@ impl WorkerEndpoint for InProcWorkerEndpoint {
         self.id
     }
 
-    fn try_recv_control(&mut self) -> Option<Control> {
+    fn try_recv_control(&mut self) -> Option<(RunId, Control)> {
         self.control_rx.try_recv().ok()
     }
 
     fn try_recv_jobs(&mut self) -> Option<JobBatch> {
         self.jobs_rx.try_recv().ok()
+    }
+
+    fn try_recv_start(&mut self) -> Option<Box<RunSpec>> {
+        self.start_rx.try_recv().ok()
     }
 
     fn send_jobs(&mut self, destination: WorkerId, batch: JobBatch) -> Result<(), TransportError> {
@@ -122,11 +141,24 @@ impl CoordinatorEndpoint for InProcCoordinatorEndpoint {
         self.control_txs.len()
     }
 
-    fn send_control(&mut self, destination: WorkerId, msg: Control) -> Result<(), TransportError> {
+    fn send_control(
+        &mut self,
+        destination: WorkerId,
+        run: RunId,
+        msg: Control,
+    ) -> Result<(), TransportError> {
         self.control_txs
             .get(destination.index())
             .ok_or(TransportError::Disconnected)?
-            .send(msg)
+            .send((run, msg))
+            .map_err(|_| TransportError::Disconnected)
+    }
+
+    fn send_start(&mut self, destination: WorkerId, spec: RunSpec) -> Result<(), TransportError> {
+        self.start_txs
+            .get(destination.index())
+            .ok_or(TransportError::Disconnected)?
+            .send(Box::new(spec))
             .map_err(|_| TransportError::Disconnected)
     }
 

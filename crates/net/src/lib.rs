@@ -28,17 +28,19 @@ mod id;
 mod inproc;
 mod job;
 mod message;
+mod spec;
 mod stats;
 mod tcp;
 mod transport;
 
-pub use id::{WorkerId, COORDINATOR};
+pub use id::{RunId, WorkerId, COORDINATOR};
 pub use inproc::{InProcCoordinatorEndpoint, InProcTransport, InProcWorkerEndpoint};
 pub use job::{decode_jobs_flat, encode_jobs_flat, Job, JobTree, JobTreeVisitor};
 pub use message::{
-    Control, EnvSpec, FinalReport, JobBatch, PeerInfo, RunSpec, StatusReport, TransferEvent,
-    WireMessage,
+    Control, EnvSpec, ExportOrder, FinalReport, JobBatch, PeerInfo, RunSpec, StatusReport,
+    TransferEvent, WireMessage, WIRE_VERSION,
 };
+pub use spec::{RunSpecBuilder, RunSpecError};
 pub use stats::WorkerStats;
 pub use tcp::{send_leave, TcpCoordinatorEndpoint, TcpTransport, TcpWorkerEndpoint, TcpWorkerHost};
 pub use transport::{

@@ -9,12 +9,28 @@
 //! them to public serde-serializable types is what lets the same worker and
 //! balancer loops run over any [`Transport`](crate::Transport).
 
-use crate::id::WorkerId;
+use crate::id::{RunId, WorkerId};
 use crate::stats::WorkerStats;
 use c9_ir::Program;
 use c9_vm::{CoverageSet, ExecutorConfig, ReplayCacheConfig, StrategyKind, TestCase};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
+
+/// Version of the wire protocol, exchanged in the session-opening frames
+/// ([`WireMessage::CoordinatorHello`] and [`WireMessage::Join`]); both ends
+/// drop connections whose peer speaks a different version instead of
+/// mis-decoding frames.
+///
+/// History:
+/// * **1** — the implicit pre-versioning protocol (run identity was a bare
+///   `epoch: u64` stamped only on `RunSpec` and `JobBatch`, and job exports
+///   were ordered by an `export_deepest: bool`).
+/// * **2** — multi-tenant run protocol: every run-scoped frame carries a
+///   [`RunId`] (`RunSpec`, `JobBatch`, `StatusReport`, `FinalReport`, and
+///   the `Control` envelope), the hello/join preamble carries this version
+///   number, and `RunSpec` carries an [`ExportOrder`] enum instead of the
+///   bool.
+pub const WIRE_VERSION: u32 = 2;
 
 /// Identity, address, and fencing epoch of one cluster member, as announced
 /// by the coordinator (in a [`WireMessage::JoinAck`] and in
@@ -71,8 +87,51 @@ pub enum Control {
         /// coordinator from worker id and epoch).
         seed: u64,
     },
-    /// Stop and report final results.
+    /// Stop and report final results. Addressed to one run; when stamped
+    /// with [`RunId::SERVICE`] it instead shuts down the worker's whole
+    /// run-service loop after finalizing every admitted run.
     Stop,
+}
+
+/// Which frontier candidates a worker gives away first when shedding load.
+///
+/// Carried in [`RunSpec`], replacing the former `export_deepest: bool`.
+/// The bincode encoding stays wire-compatible with the bool it replaced:
+/// the enum serializes as a one-byte variant tag with `Shallowest` = 0
+/// (old `false`) and `Deepest` = 1 (old `true`), pinned by a decode-compat
+/// test in `wire_codec.rs`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExportOrder {
+    /// Ship the shallowest materialized candidates first (the default):
+    /// their replay cost — which the receiver must re-pay — grows with
+    /// depth.
+    #[default]
+    Shallowest,
+    /// Ship the deepest candidates first.
+    Deepest,
+}
+
+impl std::fmt::Display for ExportOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportOrder::Shallowest => write!(f, "shallowest"),
+            ExportOrder::Deepest => write!(f, "deepest"),
+        }
+    }
+}
+
+impl std::str::FromStr for ExportOrder {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ExportOrder, String> {
+        match s {
+            "shallowest" => Ok(ExportOrder::Shallowest),
+            "deepest" => Ok(ExportOrder::Deepest),
+            other => Err(format!(
+                "unknown export order {other:?} (expected \"shallowest\" or \"deepest\")"
+            )),
+        }
+    }
 }
 
 /// A job-transfer bookkeeping event, reported to the coordinator piggybacked
@@ -131,6 +190,10 @@ pub enum TransferEvent {
 /// Status report from a worker to the load balancer.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct StatusReport {
+    /// The run this report describes; a daemon serving several concurrent
+    /// runs interleaves reports for all of them on one connection and the
+    /// coordinator routes each to that run's balancer.
+    pub run: RunId,
     /// The reporting worker.
     pub worker: WorkerId,
     /// The reporting worker's epoch; reports from a fenced-off previous
@@ -167,6 +230,8 @@ pub struct StatusReport {
 /// Final report from a worker at shutdown.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct FinalReport {
+    /// The run these final results belong to.
+    pub run: RunId,
     /// The reporting worker.
     pub worker: WorkerId,
     /// The reporting worker's epoch.
@@ -197,10 +262,11 @@ pub struct FinalReport {
 pub struct JobBatch {
     /// The worker that exported the jobs.
     pub source: WorkerId,
-    /// The run this batch belongs to; transports that serve multiple runs
-    /// over time (worker daemons) stamp and filter on it so a batch sent
-    /// during one run can never be imported into a later one.
-    pub epoch: u64,
+    /// The run this batch belongs to; a worker serving several runs files
+    /// each batch into that run's frontier, and a batch addressed to a run
+    /// the receiver does not host (stale, cancelled, or not yet admitted)
+    /// is dropped rather than imported into the wrong one.
+    pub run: RunId,
     /// The sending worker's per-worker epoch; receivers drop batches whose
     /// epoch is older than the sender's current epoch in their peer table
     /// (a fenced-off previous incarnation of a re-joined worker).
@@ -241,8 +307,8 @@ pub struct RunSpec {
     pub strategy: StrategyKind,
     /// Whether to solve for a concrete test case for every completed path.
     pub generate_test_cases: bool,
-    /// Prefer exporting the deepest candidates when shedding load.
-    pub export_deepest: bool,
+    /// Which frontier candidates to give away first when shedding load.
+    pub export_order: ExportOrder,
     /// Budget of the worker's prefix-anchor replay cache (`--replay-cache`):
     /// cloned states keyed by job-path prefix that let an imported job
     /// replay only its suffix below the deepest cached anchor. A zero
@@ -259,8 +325,9 @@ pub struct RunSpec {
     /// Whether this worker seeds the root job (worker 0 of a fresh run).
     pub seed_root: bool,
     /// Identifier of this run, unique among the runs a long-lived worker
-    /// daemon serves; used to fence off stale in-flight messages.
-    pub epoch: u64,
+    /// daemon serves (never [`RunId::SERVICE`]); stamped on every frame the
+    /// run produces so concurrent runs sharing one daemon stay disjoint.
+    pub run: RunId,
     /// This worker's per-worker epoch, assigned by the coordinator at join
     /// time and stamped on every status report, heartbeat, and job batch so
     /// a fenced-off previous incarnation can be told apart.
@@ -285,6 +352,9 @@ pub enum WireMessage {
     /// worker's identity, the cluster size, and every worker's listen
     /// address (used for peer-to-peer job transfers).
     CoordinatorHello {
+        /// The coordinator's [`WIRE_VERSION`]; the worker drops the
+        /// connection on a mismatch.
+        version: u32,
         /// Identity assigned to the receiving worker.
         worker: WorkerId,
         /// Total number of workers in the cluster.
@@ -292,10 +362,16 @@ pub enum WireMessage {
         /// Listen address of every worker, indexed by worker id.
         peers: Vec<String>,
     },
-    /// Coordinator → worker: begin a run.
+    /// Coordinator → worker: begin (or admit) a run.
     Start(Box<RunSpec>),
-    /// Coordinator → worker: control during a run.
-    Control(Control),
+    /// Coordinator → worker: control for one run.
+    Control {
+        /// The run the control message addresses ([`RunId::SERVICE`] for
+        /// daemon-level control).
+        run: RunId,
+        /// The control payload.
+        msg: Control,
+    },
     /// Worker → coordinator: periodic status.
     Status(StatusReport),
     /// Worker → coordinator: final results.
@@ -305,6 +381,9 @@ pub enum WireMessage {
     /// Worker → coordinator, first frame on a worker-initiated connection:
     /// request to join the cluster (elastic membership).
     Join {
+        /// The worker's [`WIRE_VERSION`]; the coordinator rejects joins
+        /// from peers speaking a different version.
+        version: u32,
         /// The listen address peers should dial for job transfers.
         listen_addr: String,
         /// The identity and epoch of this daemon's previous incarnation,

@@ -27,13 +27,13 @@
 
 use crate::frame::{read_frame, write_frame};
 use crate::message::{
-    Control, FinalReport, JobBatch, PeerInfo, RunSpec, StatusReport, WireMessage,
+    Control, FinalReport, JobBatch, PeerInfo, RunSpec, StatusReport, WireMessage, WIRE_VERSION,
 };
 use crate::transport::{
     CoordinatorEndpoint, Endpoints, JoinRequest, MemberEvent, Transport, TransportError,
     WorkerEndpoint,
 };
-use crate::WorkerId;
+use crate::{RunId, WorkerId};
 use c9_vm::StrategyKind;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::collections::{HashMap, VecDeque};
@@ -52,10 +52,10 @@ enum HostEvent {
         peers: Vec<String>,
         writer: TcpStream,
     },
-    /// The coordinator started a run.
+    /// The coordinator started (or admitted) a run.
     Start(Box<RunSpec>),
-    /// A control message for the current run.
-    Control(Control),
+    /// A control message, stamped with the run it addresses.
+    Control(RunId, Control),
     /// A job batch from a peer worker.
     Jobs(JobBatch),
 }
@@ -223,14 +223,13 @@ impl TcpWorkerHost {
                         pending_control,
                         pending_jobs,
                         pending_start,
-                        epoch: 0,
                         worker_epoch: 0,
                         assigned_strategy: StrategyKind::default(),
                         hb_stop: None,
                         _guard: self.guard,
                     });
                 }
-                Ok(HostEvent::Control(c)) => pending_control.push_back(c),
+                Ok(HostEvent::Control(run, c)) => pending_control.push_back((run, c)),
                 Ok(HostEvent::Jobs(j)) => pending_jobs.push_back(j),
                 Ok(HostEvent::Start(s)) => pending_start.push_back(*s),
                 Err(_) => return None,
@@ -256,6 +255,7 @@ impl TcpWorkerHost {
         write_frame(
             &mut stream,
             &WireMessage::Join {
+                version: WIRE_VERSION,
                 listen_addr: self.local_addr.to_string(),
                 previous,
             },
@@ -293,7 +293,6 @@ impl TcpWorkerHost {
             pending_control: VecDeque::new(),
             pending_jobs: VecDeque::new(),
             pending_start: VecDeque::new(),
-            epoch: 0,
             worker_epoch: epoch,
             assigned_strategy: strategy,
             hb_stop: None,
@@ -326,10 +325,16 @@ fn worker_conn_reader(mut stream: TcpStream, events_tx: &Sender<HostEvent>) {
         };
         let event = match msg {
             WireMessage::CoordinatorHello {
+                version,
                 worker,
                 num_workers,
                 peers,
             } => {
+                if version != WIRE_VERSION {
+                    // A coordinator speaking a different protocol version:
+                    // drop the connection rather than mis-decode its frames.
+                    return;
+                }
                 let Ok(writer) = stream.try_clone() else {
                     return;
                 };
@@ -341,7 +346,7 @@ fn worker_conn_reader(mut stream: TcpStream, events_tx: &Sender<HostEvent>) {
                 }
             }
             WireMessage::Start(spec) => HostEvent::Start(spec),
-            WireMessage::Control(c) => HostEvent::Control(c),
+            WireMessage::Control { run, msg } => HostEvent::Control(run, msg),
             WireMessage::Jobs(j) => HostEvent::Jobs(j),
             // Everything else is coordinator-bound; a worker receiving one
             // indicates a confused peer. Ignore.
@@ -365,10 +370,9 @@ pub struct TcpWorkerEndpoint {
     peers: PeerTable,
     coordinator: Arc<Mutex<TcpStream>>,
     events_rx: Receiver<HostEvent>,
-    pending_control: VecDeque<Control>,
+    pending_control: VecDeque<(RunId, Control)>,
     pending_jobs: VecDeque<JobBatch>,
     pending_start: VecDeque<RunSpec>,
-    epoch: u64,
     worker_epoch: u64,
     assigned_strategy: StrategyKind,
     hb_stop: Option<Arc<AtomicBool>>,
@@ -423,15 +427,11 @@ impl TcpWorkerEndpoint {
         }
     }
 
-    /// Fences a new run off from the previous one. Control frames queued
-    /// before this run's `Start` are from an earlier run and were already
-    /// discarded when the `Start` was dispatched (the coordinator
-    /// connection is FIFO, so dispatch order is authoritative — controls
-    /// dispatched *after* the `Start`, such as a resumed run's job
-    /// injections, must survive); job batches are filtered by epoch in
-    /// [`WorkerEndpoint::try_recv_jobs`].
+    /// Adopts a run spec's worker-epoch assignment. Fencing between runs
+    /// is no longer the endpoint's job: every control frame and job batch
+    /// carries its [`RunId`], and the worker's run service drops frames
+    /// addressed to runs it does not host.
     fn begin_run(&mut self, spec: RunSpec) -> RunSpec {
-        self.epoch = spec.epoch;
         self.worker_epoch = spec.worker_epoch;
         spec
     }
@@ -450,12 +450,8 @@ impl TcpWorkerEndpoint {
                 self.peers = PeerTable::from_addrs(peers);
                 *self.coordinator.lock().expect("coordinator lock") = writer;
             }
-            HostEvent::Start(spec) => {
-                // Controls queued so far belong to the previous run.
-                self.pending_control.clear();
-                self.pending_start.push_back(*spec);
-            }
-            HostEvent::Control(c) => self.pending_control.push_back(c),
+            HostEvent::Start(spec) => self.pending_start.push_back(*spec),
+            HostEvent::Control(run, c) => self.pending_control.push_back((run, c)),
             HostEvent::Jobs(j) => self.pending_jobs.push_back(j),
         }
     }
@@ -489,7 +485,7 @@ impl WorkerEndpoint for TcpWorkerEndpoint {
         self.id
     }
 
-    fn try_recv_control(&mut self) -> Option<Control> {
+    fn try_recv_control(&mut self) -> Option<(RunId, Control)> {
         self.pump();
         self.pending_control.pop_front()
     }
@@ -497,13 +493,10 @@ impl WorkerEndpoint for TcpWorkerEndpoint {
     fn try_recv_jobs(&mut self) -> Option<JobBatch> {
         self.pump();
         while let Some(batch) = self.pending_jobs.pop_front() {
-            // Drop batches from earlier runs that were still in flight when
-            // the previous session stopped.
-            if batch.epoch != self.epoch {
-                continue;
-            }
             // Drop batches from a fenced-off previous incarnation of a
-            // re-joined peer.
+            // re-joined peer. Batches for runs this worker does not host
+            // (stale, cancelled, not yet admitted) are the run service's
+            // job to drop — the endpoint does not know the hosted run set.
             if batch.source_epoch < self.peers.epoch(batch.source) {
                 continue;
             }
@@ -512,12 +505,13 @@ impl WorkerEndpoint for TcpWorkerEndpoint {
         None
     }
 
-    fn send_jobs(
-        &mut self,
-        destination: WorkerId,
-        mut batch: JobBatch,
-    ) -> Result<(), TransportError> {
-        batch.epoch = self.epoch;
+    fn try_recv_start(&mut self) -> Option<Box<RunSpec>> {
+        self.pump();
+        let spec = self.pending_start.pop_front()?;
+        Some(Box::new(self.begin_run(spec)))
+    }
+
+    fn send_jobs(&mut self, destination: WorkerId, batch: JobBatch) -> Result<(), TransportError> {
         let msg = WireMessage::Jobs(batch);
         // One reconnect attempt: a worker daemon that restarted keeps its
         // listen address, so re-dialing usually heals the path.
@@ -636,6 +630,7 @@ impl TcpCoordinatorEndpoint {
             write_frame(
                 &mut writer,
                 &WireMessage::CoordinatorHello {
+                    version: WIRE_VERSION,
                     worker: WorkerId(i as u32),
                     num_workers: addrs.len() as u32,
                     peers: addrs.to_vec(),
@@ -759,12 +754,18 @@ fn coordinator_accept_loop(
                 // thread forever.
                 stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
                 let Ok(WireMessage::Join {
+                    version,
                     listen_addr,
                     previous,
                 }) = read_frame::<_, WireMessage>(&mut stream)
                 else {
                     return;
                 };
+                if version != WIRE_VERSION {
+                    // A worker speaking a different protocol version: drop
+                    // the half-open connection instead of admitting it.
+                    return;
+                }
                 stream.set_read_timeout(None).ok();
                 stream.set_nodelay(true).ok();
                 let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
@@ -803,13 +804,18 @@ impl CoordinatorEndpoint for TcpCoordinatorEndpoint {
         self.writers.len()
     }
 
-    fn send_control(&mut self, destination: WorkerId, msg: Control) -> Result<(), TransportError> {
+    fn send_control(
+        &mut self,
+        destination: WorkerId,
+        run: RunId,
+        msg: Control,
+    ) -> Result<(), TransportError> {
         let writer = self
             .writers
             .get_mut(destination.index())
             .and_then(Option::as_mut)
             .ok_or(TransportError::Disconnected)?;
-        write_frame(writer, &WireMessage::Control(msg)).map_err(TransportError::from)
+        write_frame(writer, &WireMessage::Control { run, msg }).map_err(TransportError::from)
     }
 
     fn recv_status(&mut self, timeout: Duration) -> Option<StatusReport> {

@@ -10,7 +10,7 @@
 //! the deployment of §3.3 of the paper.
 
 use crate::message::{Control, FinalReport, JobBatch, PeerInfo, RunSpec, StatusReport};
-use crate::WorkerId;
+use crate::{RunId, WorkerId};
 use c9_vm::StrategyKind;
 use std::time::Duration;
 
@@ -79,11 +79,22 @@ pub trait WorkerEndpoint: Send {
     /// This endpoint's worker identity.
     fn id(&self) -> WorkerId;
 
-    /// Receives one pending control message, without blocking.
-    fn try_recv_control(&mut self) -> Option<Control>;
+    /// Receives one pending control message together with the run it
+    /// addresses ([`RunId::SERVICE`] for daemon-level control), without
+    /// blocking.
+    fn try_recv_control(&mut self) -> Option<(RunId, Control)>;
 
-    /// Receives one pending job batch, without blocking.
+    /// Receives one pending job batch, without blocking. The batch carries
+    /// the run it belongs to in [`JobBatch::run`]; routing (and dropping
+    /// batches for runs this worker does not host) is the caller's job.
     fn try_recv_jobs(&mut self) -> Option<JobBatch>;
+
+    /// Receives one pending run spec (a newly admitted run), without
+    /// blocking. Transports that start their workers out of band never
+    /// produce any.
+    fn try_recv_start(&mut self) -> Option<Box<RunSpec>> {
+        None
+    }
 
     /// Ships a job batch to a peer worker.
     fn send_jobs(&mut self, destination: WorkerId, batch: JobBatch) -> Result<(), TransportError>;
@@ -117,8 +128,14 @@ pub trait CoordinatorEndpoint {
     /// Number of workers this endpoint is connected to.
     fn num_workers(&self) -> usize;
 
-    /// Sends a control message to one worker.
-    fn send_control(&mut self, destination: WorkerId, msg: Control) -> Result<(), TransportError>;
+    /// Sends a control message for one run ([`RunId::SERVICE`] for
+    /// daemon-level control) to one worker.
+    fn send_control(
+        &mut self,
+        destination: WorkerId,
+        run: RunId,
+        msg: Control,
+    ) -> Result<(), TransportError>;
 
     /// Receives one status report, waiting up to `timeout`. Final reports
     /// arriving early are buffered internally and never returned here.
@@ -196,6 +213,7 @@ pub struct Endpoints<C, W> {
 /// assert_eq!(fabric.workers.len(), 2);
 ///
 /// let report = StatusReport {
+///     run: c9_net::RunId(1),
 ///     worker: fabric.workers[0].id(),
 ///     epoch: 1,
 ///     queue_length: 3,

@@ -4,8 +4,8 @@
 
 use c9_net::frame::{decode_frame, encode_frame, read_frame, write_frame};
 use c9_net::{
-    decode_jobs_flat, encode_jobs_flat, Control, Job, JobBatch, JobTree, StatusReport, WireMessage,
-    WorkerId, WorkerStats,
+    decode_jobs_flat, encode_jobs_flat, Control, Job, JobBatch, JobTree, RunId, StatusReport,
+    WireMessage, WorkerId, WorkerStats, WIRE_VERSION,
 };
 use c9_vm::{CoverageSet, PathChoice};
 use proptest::prelude::*;
@@ -69,7 +69,7 @@ proptest! {
     ) {
         let batch = JobBatch {
             source: WorkerId(source),
-            epoch: u64::from(source) * 31,
+            run: RunId(u64::from(source) * 31 + 1),
             source_epoch: u64::from(source) + 1,
             seq,
             encoded: JobTree::from_jobs(&jobs).encode(),
@@ -112,11 +112,14 @@ proptest! {
             },
             Control::Stop,
         ] {
-            let frame = encode_frame(&WireMessage::Control(msg.clone())).expect("encode");
+            let run = RunId(u64::from(dst) + 1);
+            let frame =
+                encode_frame(&WireMessage::Control { run, msg: msg.clone() }).expect("encode");
             let (decoded, _): (WireMessage, usize) = decode_frame(&frame).expect("decode");
-            let WireMessage::Control(decoded_msg) = decoded else {
+            let WireMessage::Control { run: decoded_run, msg: decoded_msg } = decoded else {
                 panic!("wrong message variant");
             };
+            prop_assert_eq!(decoded_run, run);
             prop_assert_eq!(decoded_msg, msg);
         }
     }
@@ -131,6 +134,7 @@ proptest! {
         paths in 0u64..1_000_000,
     ) {
         let report = StatusReport {
+            run: RunId(u64::from(worker) * 13 + 1),
             worker: WorkerId(worker),
             epoch: u64::from(worker) + 7,
             queue_length,
@@ -166,6 +170,7 @@ proptest! {
         let WireMessage::Status(decoded_report) = decoded else {
             panic!("wrong message variant");
         };
+        prop_assert_eq!(decoded_report.run, report.run);
         prop_assert_eq!(decoded_report.worker, report.worker);
         prop_assert_eq!(decoded_report.epoch, report.epoch);
         prop_assert_eq!(decoded_report.queue_length, report.queue_length);
@@ -188,6 +193,7 @@ proptest! {
     ) {
         let frames = [
             WireMessage::Join {
+                version: WIRE_VERSION,
                 listen_addr: "127.0.0.1:9101".into(),
                 previous: rejoin.then_some((WorkerId(worker), epoch)),
             },
@@ -215,9 +221,10 @@ proptest! {
             prop_assert_eq!(used, frame.len());
             match (msg, decoded) {
                 (
-                    WireMessage::Join { listen_addr: a, previous: p },
-                    WireMessage::Join { listen_addr: b, previous: q },
+                    WireMessage::Join { version: v1, listen_addr: a, previous: p },
+                    WireMessage::Join { version: v2, listen_addr: b, previous: q },
                 ) => {
+                    prop_assert_eq!(v1, v2);
                     prop_assert_eq!(a, b);
                     prop_assert_eq!(p, q);
                 }
@@ -256,5 +263,95 @@ proptest! {
             bytes[idx] ^= xor;
             let _ = JobTree::decode(&bytes); // must not panic
         }
+    }
+}
+
+/// Golden-byte tests pinning the version-2 frame layout, so an accidental
+/// field reorder or type change shows up as a decode-compat failure rather
+/// than as silent cross-version corruption.
+mod decode_compat {
+    use super::*;
+
+    #[test]
+    fn wire_version_is_two() {
+        assert_eq!(WIRE_VERSION, 2);
+    }
+
+    /// The hello preamble's bincode layout: varint enum tag, version,
+    /// worker id, worker count, peer list — behind the 4-byte LE frame
+    /// length prefix. These exact bytes are what a v2 peer must accept.
+    #[test]
+    fn hello_preamble_golden_bytes() {
+        let frame = encode_frame(&WireMessage::CoordinatorHello {
+            version: WIRE_VERSION,
+            worker: WorkerId(3),
+            num_workers: 7,
+            peers: Vec::new(),
+        })
+        .expect("encode");
+        let body = [
+            0, // variant CoordinatorHello
+            WIRE_VERSION as u8,
+            3, // worker
+            7, // num_workers
+            0, // empty peer list
+        ];
+        let mut expected = (body.len() as u32).to_le_bytes().to_vec();
+        expected.extend_from_slice(&body);
+        assert_eq!(frame, expected);
+    }
+
+    /// A v1 hello (no version field) decodes under the v2 schema into a
+    /// nonsense version value — exactly why the receiver checks the version
+    /// before trusting anything else in the frame.
+    #[test]
+    fn v1_hello_is_rejected_by_version_check() {
+        // A v1 CoordinatorHello { worker: 3, num_workers: 7, peers: [] }:
+        // variant tag, worker, num_workers, empty peer list (varints).
+        let v1_body = [0u8, 3, 7, 0];
+        let mut frame = (v1_body.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&v1_body);
+        match decode_frame::<WireMessage>(&frame) {
+            Ok((WireMessage::CoordinatorHello { version, .. }, _)) => {
+                // Decoded, but the first field (worker=3) lands in the
+                // version slot; the handshake check catches it.
+                assert_ne!(version, WIRE_VERSION);
+            }
+            Ok(_) => panic!("v1 hello decoded as a different variant"),
+            Err(_) => {} // failing to decode is an equally safe rejection
+        }
+    }
+
+    /// `ExportOrder` rides the wire as a one-byte variant tag with
+    /// `Shallowest` = 0 and `Deepest` = 1 — bit-identical to the
+    /// `export_deepest: bool` it replaced (false = shallowest), pinned here
+    /// so the encoding never drifts silently.
+    #[test]
+    fn export_order_is_wire_compatible_with_the_old_bool() {
+        use c9_net::ExportOrder;
+        let shallow = bincode::serialize(&ExportOrder::Shallowest).expect("serialize");
+        let deep = bincode::serialize(&ExportOrder::Deepest).expect("serialize");
+        assert_eq!(shallow, bincode::serialize(&false).expect("serialize"));
+        assert_eq!(deep, bincode::serialize(&true).expect("serialize"));
+        assert_eq!(shallow, [0]);
+        assert_eq!(deep, [1]);
+    }
+
+    /// Run-scoped control envelope: the run id precedes the payload.
+    #[test]
+    fn control_envelope_golden_bytes() {
+        let frame = encode_frame(&WireMessage::Control {
+            run: RunId(9),
+            msg: Control::Stop,
+        })
+        .expect("encode");
+        let body = [
+            2, // variant Control
+            9, // run id
+            5, // Control::Stop tag
+        ];
+        let mut expected = (body.len() as u32).to_le_bytes().to_vec();
+        expected.extend_from_slice(&body);
+        assert_eq!(frame, expected);
     }
 }

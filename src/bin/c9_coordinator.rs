@@ -12,8 +12,14 @@
 //! per-worker reports into the same `ClusterRunResult` an in-process run
 //! produces.
 //!
+//! With `--serve HOST:PORT` the binary becomes a *run service* instead:
+//! a registry of runs multiplexed over the same worker fleet, driven
+//! through a newline-delimited JSON front door (submit/list/status/cancel/
+//! preempt/resume/results/shutdown — see `c9_core::frontdoor` for the
+//! protocol).
+//!
 //! ```text
-//! # static membership
+//! # static membership, single run
 //! c9-worker --listen 127.0.0.1:9101 &
 //! c9-worker --listen 127.0.0.1:9102 &
 //! c9-coordinator --workers 127.0.0.1:9101,127.0.0.1:9102 --target memcached
@@ -22,56 +28,31 @@
 //! c9-coordinator --listen 127.0.0.1:9100 --min-workers 2 --target memcached &
 //! c9-worker --join 127.0.0.1:9100 &
 //! c9-worker --join 127.0.0.1:9100 &
+//!
+//! # run service: many targets, one fleet
+//! c9-coordinator --workers 127.0.0.1:9101,127.0.0.1:9102 --serve 127.0.0.1:9000 &
+//! printf '{"cmd":"submit","target":"memcached"}\n' | nc 127.0.0.1 9000
 //! ```
 
+use c9_core::config::{parse_coordinator_args, CoordinatorArgs};
+use c9_core::frontdoor;
 use c9_core::{
     write_run_report, write_timeline_csv, Checkpoint, Cluster, ClusterConfig, CoordinatorRunOpts,
-    EnvSpec, PortfolioConfig, ReplayCacheConfig, StrategyKind,
+    EnvSpec, RunId, RunService, RunServiceConfig, RunSubmission, StrategyKind,
 };
 use c9_net::TcpCoordinatorEndpoint;
 use c9_posix::PosixEnvironment;
 use c9_targets::{named_workload, workload_names, WorkloadEnv};
+use c9_trace::json::Json;
 use c9_trace::{error, info, Level};
 use c9_vm::{Environment, NullEnvironment};
-use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
-
-struct Args {
-    workers: Vec<String>,
-    listen: Option<String>,
-    min_workers: Option<usize>,
-    join_wait: Duration,
-    target: String,
-    time_limit: Option<Duration>,
-    max_paths: Option<u64>,
-    generate_tests: bool,
-    connect_timeout: Duration,
-    heartbeat_timeout: Option<Duration>,
-    heartbeat_interval: Duration,
-    snapshot_every: u32,
-    checkpoint: Option<PathBuf>,
-    checkpoint_interval: Duration,
-    resume: Option<PathBuf>,
-    quantum: Option<u64>,
-    status_interval: Option<Duration>,
-    balance_interval: Option<Duration>,
-    strategy: Option<StrategyKind>,
-    portfolio: Option<Vec<StrategyKind>>,
-    portfolio_adapt: bool,
-    threads: Option<usize>,
-    replay_cache: Option<ReplayCacheConfig>,
-    log_level: Option<Level>,
-    quiet: bool,
-    trace_out: Option<PathBuf>,
-    trace_chrome: Option<PathBuf>,
-    report_out: Option<PathBuf>,
-    timeline_out: Option<PathBuf>,
-}
 
 fn usage() -> ! {
     eprintln!(
         "usage: c9-coordinator [--workers HOST:PORT,...] [--listen HOST:PORT] --target NAME [options]\n\
+         \x20      c9-coordinator [--workers ...] [--listen ...] --serve HOST:PORT [options]\n\
          \n\
          membership:\n\
          \x20 --workers LIST         comma-separated worker addresses to dial\n\
@@ -79,6 +60,12 @@ fn usage() -> ! {
          \x20 --min-workers N        wait for N members before starting (default: dialed count, or 1)\n\
          \x20 --join-wait SECS       how long to wait for --min-workers (default 60)\n\
          \x20 --connect-timeout S    seconds to keep retrying worker dials (default 15)\n\
+         \n\
+         run service:\n\
+         \x20 --serve HOST:PORT      run the multi-tenant run service with its NDJSON\n\
+         \x20                        front door on this address (instead of --target)\n\
+         \x20 --max-runs N           concurrent run slots (default 2)\n\
+         \x20 --report-dir DIR       write per-run run-<id>.json reports into DIR\n\
          \n\
          fault tolerance:\n\
          \x20 --heartbeat-timeout S  declare a worker dead after S seconds of silence\n\
@@ -90,7 +77,7 @@ fn usage() -> ! {
          \x20 --resume FILE          continue the run recorded in FILE\n\
          \n\
          run:\n\
-         \x20 --target NAME          program under test (required)\n\
+         \x20 --target NAME          program under test (required without --serve)\n\
          \x20 --time-limit SECS      stop after this much wall-clock time\n\
          \x20 --max-paths N          stop after N completed paths\n\
          \x20 --generate-tests       solve a concrete test case per path\n\
@@ -99,6 +86,8 @@ fn usage() -> ! {
          \x20 --replay-cache N[:BYTES]  per-worker prefix-anchor replay cache: keep up to\n\
          \x20                        N anchor snapshots (0 = replay every imported job\n\
          \x20                        from the root) within an optional byte budget\n\
+         \x20 --export-order ORDER   which candidates workers export on balancing\n\
+         \x20                        transfers: shallowest (default) or deepest\n\
          \x20 --status-interval-ms MS   worker status cadence\n\
          \x20 --balance-interval-ms MS  balancing cadence\n\
          \n\
@@ -130,257 +119,14 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn parse_args() -> Args {
-    let mut args = Args {
-        workers: Vec::new(),
-        listen: None,
-        min_workers: None,
-        join_wait: Duration::from_secs(60),
-        target: String::new(),
-        time_limit: None,
-        max_paths: None,
-        generate_tests: false,
-        connect_timeout: Duration::from_secs(15),
-        heartbeat_timeout: None,
-        heartbeat_interval: Duration::from_millis(25),
-        snapshot_every: 1,
-        checkpoint: None,
-        checkpoint_interval: Duration::from_secs(1),
-        resume: None,
-        quantum: None,
-        status_interval: None,
-        balance_interval: None,
-        strategy: None,
-        portfolio: None,
-        portfolio_adapt: false,
-        threads: None,
-        replay_cache: None,
-        log_level: None,
-        quiet: false,
-        trace_out: None,
-        trace_chrome: None,
-        report_out: None,
-        timeline_out: None,
-    };
-    let mut it = std::env::args().skip(1);
-    fn next_f64(it: &mut impl Iterator<Item = String>) -> f64 {
-        it.next()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or_else(|| usage())
-    }
-    fn next_u64(it: &mut impl Iterator<Item = String>) -> u64 {
-        it.next()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or_else(|| usage())
-    }
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--workers" => {
-                let list = it.next().unwrap_or_else(|| usage());
-                args.workers = list
-                    .split(',')
-                    .map(|s| s.trim().to_string())
-                    .filter(|s| !s.is_empty())
-                    .collect();
-            }
-            "--listen" => args.listen = Some(it.next().unwrap_or_else(|| usage())),
-            "--min-workers" => args.min_workers = Some(next_u64(&mut it) as usize),
-            "--join-wait" => args.join_wait = Duration::from_secs_f64(next_f64(&mut it)),
-            "--target" => args.target = it.next().unwrap_or_else(|| usage()),
-            "--time-limit" => args.time_limit = Some(Duration::from_secs_f64(next_f64(&mut it))),
-            "--max-paths" => args.max_paths = Some(next_u64(&mut it)),
-            "--generate-tests" => args.generate_tests = true,
-            "--connect-timeout" => {
-                args.connect_timeout = Duration::from_secs(next_u64(&mut it));
-            }
-            "--heartbeat-timeout" => {
-                args.heartbeat_timeout = Some(Duration::from_secs_f64(next_f64(&mut it)));
-            }
-            "--heartbeat-interval-ms" => {
-                args.heartbeat_interval = Duration::from_millis(next_u64(&mut it));
-            }
-            "--snapshot-every" => args.snapshot_every = next_u64(&mut it) as u32,
-            "--checkpoint" => {
-                args.checkpoint = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
-            }
-            "--checkpoint-interval" => {
-                args.checkpoint_interval = Duration::from_secs_f64(next_f64(&mut it));
-            }
-            "--resume" => {
-                args.resume = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
-            }
-            "--quantum" => args.quantum = Some(next_u64(&mut it)),
-            "--threads" => args.threads = Some((next_u64(&mut it) as usize).max(1)),
-            "--replay-cache" => {
-                let spec = it.next().unwrap_or_else(|| usage());
-                let mut parts = spec.splitn(2, ':');
-                let capacity = parts
-                    .next()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .unwrap_or_else(|| usage());
-                let max_bytes = match parts.next() {
-                    Some(bytes) => bytes.parse::<u64>().ok().unwrap_or_else(|| usage()),
-                    None => ReplayCacheConfig::default().max_bytes,
-                };
-                args.replay_cache = Some(ReplayCacheConfig {
-                    capacity,
-                    max_bytes,
-                });
-            }
-            "--status-interval-ms" => {
-                args.status_interval = Some(Duration::from_millis(next_u64(&mut it)));
-            }
-            "--balance-interval-ms" => {
-                args.balance_interval = Some(Duration::from_millis(next_u64(&mut it)));
-            }
-            "--strategy" => {
-                let name = it.next().unwrap_or_else(|| usage());
-                match name.parse::<StrategyKind>() {
-                    Ok(kind) => args.strategy = Some(kind),
-                    Err(e) => {
-                        error!("{e}");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            "--portfolio" => {
-                let list = it.next().unwrap_or_else(|| usage());
-                match PortfolioConfig::parse_mix(&list) {
-                    Ok(mix) => args.portfolio = Some(mix),
-                    Err(e) => {
-                        error!("{e}");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            "--portfolio-adapt" => args.portfolio_adapt = true,
-            "--log-level" => {
-                let name = it.next().unwrap_or_else(|| usage());
-                match name.parse::<Level>() {
-                    Ok(level) => args.log_level = Some(level),
-                    Err(e) => {
-                        error!("{e}");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            "--quiet" => args.quiet = true,
-            "--trace-out" => {
-                args.trace_out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
-            }
-            "--trace-chrome" => {
-                args.trace_chrome = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
-            }
-            "--report-out" => {
-                args.report_out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
-            }
-            "--timeline-out" => {
-                args.timeline_out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
-            }
-            "--help" | "-h" => usage(),
-            other => {
-                error!("unknown argument: {other}");
-                usage();
-            }
-        }
-    }
-    if (args.workers.is_empty() && args.listen.is_none()) || args.target.is_empty() {
-        usage();
-    }
-    args
-}
-
-fn main() {
-    let args = parse_args();
-    if args.quiet {
-        c9_trace::set_level(Level::Error);
-    } else if let Some(level) = args.log_level {
-        c9_trace::set_level(level);
-    }
-    if let Some(path) = &args.trace_out {
-        if let Err(e) = c9_trace::set_trace_out(path) {
-            error!("cannot open {}: {e}", path.display());
-            std::process::exit(1);
-        }
-    }
-    if args.trace_chrome.is_some() {
-        c9_trace::enable_spans(true);
-    }
-    let Some(workload) = named_workload(&args.target) else {
-        error!(
-            "unknown target {:?}; known targets: {}",
-            args.target,
-            workload_names().join(", ")
-        );
-        std::process::exit(2);
-    };
-
-    let resume = args
-        .resume
-        .as_ref()
-        .map(|path| match Checkpoint::load(path) {
-            Ok(checkpoint) => {
-                if checkpoint.target != args.target {
-                    error!(
-                        "checkpoint is for target {:?}, not {:?}",
-                        checkpoint.target, args.target
-                    );
-                    std::process::exit(2);
-                }
-                checkpoint
-            }
-            Err(e) => {
-                error!("cannot load checkpoint {}: {e}", path.display());
-                std::process::exit(1);
-            }
-        });
-
-    let mut config = ClusterConfig {
-        num_workers: args.workers.len().max(1),
-        time_limit: args.time_limit,
-        max_total_paths: args.max_paths,
-        failure_timeout: args.heartbeat_timeout,
-        heartbeat_interval: args.heartbeat_interval,
-        snapshot_every: args.snapshot_every,
-        checkpoint_path: args.checkpoint.clone(),
-        checkpoint_interval: args.checkpoint_interval,
-        resume,
-        ..ClusterConfig::default()
-    };
-    config.worker.generate_test_cases = args.generate_tests;
-    if let Some(strategy) = args.strategy {
-        config.worker.strategy = strategy;
-    }
-    if let Some(mix) = &args.portfolio {
-        config.portfolio = Some(PortfolioConfig {
-            mix: mix.clone(),
-            adapt: args.portfolio_adapt,
-        });
-    } else if args.portfolio_adapt {
-        error!("--portfolio-adapt requires --portfolio");
-        std::process::exit(2);
-    }
-    if let Some(quantum) = args.quantum {
-        config.quantum = quantum;
-    }
-    if let Some(threads) = args.threads {
-        config.worker.threads = threads;
-    }
-    if let Some(replay_cache) = args.replay_cache {
-        config.worker.replay_cache = replay_cache;
-    }
-    if let Some(interval) = args.status_interval {
-        config.status_interval = interval;
-    }
-    if let Some(interval) = args.balance_interval {
-        config.balance_interval = interval;
-    }
-
-    let (env_spec, env): (EnvSpec, Arc<dyn Environment>) = match workload.env {
+fn env_for(env: WorkloadEnv) -> (EnvSpec, Arc<dyn Environment>) {
+    match env {
         WorkloadEnv::Null => (EnvSpec::Null, Arc::new(NullEnvironment)),
         WorkloadEnv::Posix => (EnvSpec::Posix, Arc::new(PosixEnvironment::new())),
-    };
+    }
+}
 
+fn connect(args: &CoordinatorArgs) -> TcpCoordinatorEndpoint {
     let mut coordinator = if args.workers.is_empty() {
         TcpCoordinatorEndpoint::detached()
     } else {
@@ -412,18 +158,175 @@ fn main() {
             }
         }
     }
+    coordinator
+}
+
+/// Translates a front-door `submit` payload into a run: the named workload
+/// plus optional per-run overrides on top of the daemon's flag defaults.
+fn submission_from_json(cmd: &Json, defaults: &ClusterConfig) -> Result<RunSubmission, String> {
+    let target = cmd
+        .get("target")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "submit needs a \"target\"".to_string())?;
+    let workload = named_workload(target).ok_or_else(|| {
+        format!(
+            "unknown target {target:?}; known targets: {}",
+            workload_names().join(", ")
+        )
+    })?;
+    let mut config = defaults.clone();
+    if let Some(secs) = cmd.get("time_limit_secs").and_then(Json::as_f64) {
+        config.time_limit = Some(Duration::from_secs_f64(secs.max(0.0)));
+    }
+    if let Some(max_paths) = cmd.get("max_paths").and_then(Json::as_u64) {
+        config.max_total_paths = Some(max_paths);
+    }
+    if let Some(target_ratio) = cmd.get("coverage_target").and_then(Json::as_f64) {
+        config.coverage_target = Some(target_ratio);
+    }
+    if cmd.get("generate_tests").and_then(|v| match v {
+        Json::Bool(b) => Some(*b),
+        _ => None,
+    }) == Some(true)
+    {
+        config.worker.generate_test_cases = true;
+    }
+    let (env_spec, _) = env_for(workload.env);
+    Ok(RunSubmission {
+        name: target.to_string(),
+        program: Arc::new(workload.program),
+        env: env_spec,
+        config,
+    })
+}
+
+/// The `--serve` mode: a run registry over the connected fleet, driven by
+/// the NDJSON front door until a `shutdown` command arrives.
+fn run_service(args: &CoordinatorArgs, serve_addr: &str) -> ! {
+    let coordinator = connect(args);
+    let listener = match std::net::TcpListener::bind(serve_addr) {
+        Ok(listener) => listener,
+        Err(e) => {
+            error!("cannot listen on {serve_addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let bound = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| serve_addr.to_string());
+    // Scripts parse this line to learn the bound port when port 0 was used.
+    println!("c9-coordinator serving on {bound}");
+    use std::io::Write;
+    std::io::stdout().flush().ok();
+
+    if let Some(dir) = &args.report_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            error!("cannot create report dir {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    let mut service = RunService::new(
+        coordinator,
+        RunServiceConfig {
+            max_concurrent: args.max_runs,
+            report_dir: args.report_dir.clone(),
+        },
+    );
+    for addr in &args.workers {
+        service.add_worker(addr.clone());
+    }
+    let handle = service.handle();
+    let defaults = args.cluster_config();
+    let submit: frontdoor::SubmitFn = Box::new(move |cmd| submission_from_json(cmd, &defaults));
+    std::thread::spawn(move || frontdoor::serve(listener, handle, submit));
+    info!("run service up ({} static workers)", args.workers.len());
+    service.run();
+    c9_trace::flush();
+    // The connection thread that relayed the `shutdown` command is still
+    // writing its `{"ok":true}` reply line; give it a moment before the
+    // process exit tears the socket down under it.
+    std::thread::sleep(Duration::from_millis(200));
+    std::process::exit(0);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_coordinator_args(&argv) {
+        Ok(args) => args,
+        Err(e) => {
+            if !argv.iter().any(|a| a == "--help" || a == "-h") {
+                error!("{e}");
+            }
+            usage();
+        }
+    };
+    if args.common.quiet {
+        c9_trace::set_level(Level::Error);
+    } else if let Some(level) = args.common.log_level {
+        c9_trace::set_level(level);
+    }
+    if let Some(path) = &args.common.trace_out {
+        if let Err(e) = c9_trace::set_trace_out(path) {
+            error!("cannot open {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    if args.common.trace_chrome.is_some() {
+        c9_trace::enable_spans(true);
+    }
+
+    if let Some(serve_addr) = args.serve.clone() {
+        run_service(&args, &serve_addr);
+    }
+
+    let Some(workload) = named_workload(&args.target) else {
+        error!(
+            "unknown target {:?}; known targets: {}",
+            args.target,
+            workload_names().join(", ")
+        );
+        std::process::exit(2);
+    };
+
+    let mut config = args.cluster_config();
+    config.resume = args
+        .resume
+        .as_ref()
+        .map(|path| match Checkpoint::load(path) {
+            Ok(checkpoint) => {
+                if checkpoint.target != args.target {
+                    error!(
+                        "checkpoint is for target {:?}, not {:?}",
+                        checkpoint.target, args.target
+                    );
+                    std::process::exit(2);
+                }
+                checkpoint
+            }
+            Err(e) => {
+                error!("cannot load checkpoint {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        });
+
+    let (env_spec, env) = env_for(workload.env);
+    let mut coordinator = connect(&args);
 
     let program = Arc::new(workload.program);
     let cluster = Cluster::new(program.clone(), env, config.clone());
-    // A wall-clock epoch fences this run's frames off from stale messages
+    // A wall-clock run id fences this run's frames off from stale messages
     // of earlier runs the worker daemons may have served.
-    let run_epoch = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_nanos() as u64)
-        .unwrap_or(1);
+    let run = RunId(
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(1)
+            .max(1),
+    );
     let opts = CoordinatorRunOpts {
         env: env_spec,
-        run_epoch,
+        run,
         initial_workers: args.workers.clone(),
         min_workers: args
             .min_workers
@@ -436,7 +339,7 @@ fn main() {
     let result = cluster.run_coordinator(&mut coordinator, opts);
     let s = &result.summary;
     if let Some(path) = &args.report_out {
-        if let Err(e) = write_run_report(path, s) {
+        if let Err(e) = write_run_report(path, run, s) {
             error!("cannot write run report {}: {e}", path.display());
         }
     }
@@ -445,7 +348,7 @@ fn main() {
             error!("cannot write timeline {}: {e}", path.display());
         }
     }
-    if let Some(path) = &args.trace_chrome {
+    if let Some(path) = &args.common.trace_chrome {
         let spans = c9_trace::drain_spans();
         if let Err(e) = c9_trace::write_chrome_trace(path, &spans, std::process::id() as u64) {
             error!("cannot write chrome trace {}: {e}", path.display());

@@ -1,15 +1,20 @@
-//! `c9-worker`: one Cloud9 worker per OS process.
+//! `c9-worker`: one Cloud9 worker daemon per OS process.
 //!
-//! Hosts a single symbolic-execution worker behind a TCP listener, exactly
-//! as in the paper's deployment (§3.3). Two ways to meet the coordinator:
+//! Hosts symbolic-execution runs behind a TCP listener, exactly as in the
+//! paper's deployment (§3.3). Two ways to meet the coordinator:
 //!
 //! * `--listen HOST:PORT` (static): wait for a coordinator to dial in and
-//!   ship a run spec;
+//!   ship run specs. The daemon is *multi-tenant*: a `c9-coordinator
+//!   --serve` run service can admit several concurrent runs, and the daemon
+//!   time-slices execution quanta across all of them, keeping every run's
+//!   tree, solver, and peers separate.
 //! * `--join HOST:PORT` (elastic): dial a listening coordinator and attach
 //!   to its — possibly already running — cluster. If the connection is
 //!   lost, the daemon re-joins with its previous identity so the
 //!   coordinator can fence off the stale incarnation; when a run finishes
 //!   and `--once` was given, it sends a graceful `Leave` before exiting.
+//!   Elastic mode serves one run at a time (joiners attach to a specific
+//!   run's cluster).
 //!
 //! Either way the worker then explores, exchanges job batches directly with
 //! its peer workers, and reports status (with frontier snapshots for the
@@ -21,26 +26,15 @@
 //! c9-worker --join 127.0.0.1:9100
 //! ```
 
+use c9_core::config::{parse_worker_args, WorkerArgs};
+use c9_core::WorkerService;
 use c9_net::{send_leave, EnvSpec, TcpWorkerHost, WorkerEndpoint, WorkerId};
 use c9_posix::PosixEnvironment;
 use c9_trace::{error, info, warn, Level};
-use c9_vm::{Environment, NullEnvironment, ReplayCacheConfig};
+use c9_vm::{Environment, NullEnvironment};
 use std::io::Write;
-use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
-
-struct Args {
-    listen: String,
-    join: Option<String>,
-    once: bool,
-    threads: Option<usize>,
-    replay_cache: Option<ReplayCacheConfig>,
-    log_level: Option<Level>,
-    quiet: bool,
-    trace_out: Option<PathBuf>,
-    trace_chrome: Option<PathBuf>,
-}
 
 fn usage() -> ! {
     eprintln!(
@@ -49,7 +43,7 @@ fn usage() -> ! {
          options:\n\
          \x20 --listen HOST:PORT  address to listen on (default 127.0.0.1:0)\n\
          \x20 --join HOST:PORT    attach to a listening coordinator (elastic membership)\n\
-         \x20 --once              exit after serving one run instead of looping\n\
+         \x20 --once              exit once the hosted runs drain instead of serving forever\n\
          \x20 --threads N         executor threads (overrides the coordinator's run spec)\n\
          \x20 --replay-cache N[:BYTES]  prefix-anchor replay cache: keep up to N anchor\n\
          \x20                     snapshots (0 = replay every job from the root) within\n\
@@ -65,80 +59,6 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-/// Parses a `--replay-cache` argument: `CAPACITY` or `CAPACITY:MAX_BYTES`.
-fn parse_replay_cache(arg: &str) -> Option<ReplayCacheConfig> {
-    let mut parts = arg.splitn(2, ':');
-    let capacity = parts.next()?.parse::<usize>().ok()?;
-    let max_bytes = match parts.next() {
-        Some(bytes) => bytes.parse::<u64>().ok()?,
-        None => ReplayCacheConfig::default().max_bytes,
-    };
-    Some(ReplayCacheConfig {
-        capacity,
-        max_bytes,
-    })
-}
-
-fn parse_args() -> Args {
-    let mut args = Args {
-        listen: String::from("127.0.0.1:0"),
-        join: None,
-        once: false,
-        threads: None,
-        replay_cache: None,
-        log_level: None,
-        quiet: false,
-        trace_out: None,
-        trace_chrome: None,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--listen" => args.listen = it.next().unwrap_or_else(|| usage()),
-            "--join" => args.join = Some(it.next().unwrap_or_else(|| usage())),
-            "--once" => args.once = true,
-            "--quiet" => args.quiet = true,
-            "--threads" => {
-                args.threads = it
-                    .next()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .map(|n| n.max(1))
-                    .or_else(|| usage());
-            }
-            "--replay-cache" => {
-                args.replay_cache = it
-                    .next()
-                    .as_deref()
-                    .and_then(parse_replay_cache)
-                    .map(Some)
-                    .unwrap_or_else(|| usage());
-            }
-            "--log-level" => {
-                let name = it.next().unwrap_or_else(|| usage());
-                match name.parse::<Level>() {
-                    Ok(level) => args.log_level = Some(level),
-                    Err(e) => {
-                        error!("{e}");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            "--trace-out" => {
-                args.trace_out = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
-            }
-            "--trace-chrome" => {
-                args.trace_chrome = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
-            }
-            "--help" | "-h" => usage(),
-            other => {
-                error!("unknown argument: {other}");
-                usage();
-            }
-        }
-    }
-    args
-}
-
 fn environment_for(spec: EnvSpec) -> Arc<dyn Environment> {
     match spec {
         EnvSpec::Null => Arc::new(NullEnvironment),
@@ -148,8 +68,8 @@ fn environment_for(spec: EnvSpec) -> Arc<dyn Environment> {
 
 /// Drains the span buffers into `--trace-chrome` (latest run wins) and
 /// flushes the JSONL event sink, so artifacts survive a later kill.
-fn flush_trace(args: &Args) {
-    if let Some(path) = &args.trace_chrome {
+fn flush_trace(args: &WorkerArgs) {
+    if let Some(path) = &args.common.trace_chrome {
         let spans = c9_trace::drain_spans();
         if let Err(e) = c9_trace::write_chrome_trace(path, &spans, std::process::id() as u64) {
             error!("cannot write chrome trace {}: {e}", path.display());
@@ -158,8 +78,10 @@ fn flush_trace(args: &Args) {
     c9_trace::flush();
 }
 
-/// The elastic mode: join (and re-join) a listening coordinator.
-fn run_elastic(args: &Args, coordinator: &str) -> ! {
+/// The elastic mode: join (and re-join) a listening coordinator. A joiner
+/// attaches to one specific run's cluster, so this mode serves runs
+/// one at a time.
+fn run_elastic(args: &WorkerArgs, coordinator: &str) -> ! {
     let mut previous: Option<(WorkerId, u64)> = None;
     loop {
         let host = match TcpWorkerHost::bind(&args.listen) {
@@ -204,16 +126,17 @@ fn run_elastic(args: &Args, coordinator: &str) -> ! {
             };
             let env = environment_for(spec.env);
             info!(
-                "worker {}: starting run (strategy {:?})",
+                "worker {}: starting run {} (strategy {:?})",
                 endpoint.id(),
+                spec.run,
                 spec.strategy,
             );
             c9_core::run_worker_from_spec_with(
                 &mut endpoint,
                 spec,
                 env,
-                args.threads,
-                args.replay_cache,
+                args.common.threads,
+                args.common.replay_cache,
             );
             info!("worker {}: run complete", endpoint.id());
             flush_trace(args);
@@ -230,19 +153,28 @@ fn run_elastic(args: &Args, coordinator: &str) -> ! {
 }
 
 fn main() {
-    let args = parse_args();
-    if args.quiet {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_worker_args(&argv) {
+        Ok(args) => args,
+        Err(e) => {
+            if !argv.iter().any(|a| a == "--help" || a == "-h") {
+                error!("{e}");
+            }
+            usage();
+        }
+    };
+    if args.common.quiet {
         c9_trace::set_level(Level::Error);
-    } else if let Some(level) = args.log_level {
+    } else if let Some(level) = args.common.log_level {
         c9_trace::set_level(level);
     }
-    if let Some(path) = &args.trace_out {
+    if let Some(path) = &args.common.trace_out {
         if let Err(e) = c9_trace::set_trace_out(path) {
             error!("cannot open {}: {e}", path.display());
             std::process::exit(1);
         }
     }
-    if args.trace_chrome.is_some() {
+    if args.common.trace_chrome.is_some() {
         c9_trace::enable_spans(true);
     }
     if let Some(coordinator) = args.join.clone() {
@@ -268,29 +200,15 @@ fn main() {
         std::process::exit(1);
     };
 
-    loop {
-        let Some(spec) = endpoint.wait_start(accept_timeout) else {
-            error!("connection lost while waiting for a run");
-            std::process::exit(1);
-        };
-        let env = environment_for(spec.env);
-        info!(
-            "worker {}: starting run ({} cluster members, strategy {:?})",
-            endpoint.id(),
-            endpoint.num_workers(),
-            spec.strategy,
-        );
-        c9_core::run_worker_from_spec_with(
-            &mut endpoint,
-            spec,
-            env,
-            args.threads,
-            args.replay_cache,
-        );
-        info!("worker {}: run complete", endpoint.id());
-        flush_trace(&args);
-        if args.once {
-            return;
-        }
-    }
+    // The multi-run service loop: admit every run the coordinator starts,
+    // time-slice quanta across the admitted runs, drain them as they are
+    // stopped. Returns when the coordinator disconnects, tells the whole
+    // daemon to stop, or (`--once`) the hosted runs drain.
+    info!("worker {}: serving", endpoint.id());
+    WorkerService::new(&mut endpoint, environment_for)
+        .with_overrides(args.common.threads, args.common.replay_cache)
+        .exit_when_drained(args.once)
+        .serve();
+    info!("worker {}: service loop ended", endpoint.id());
+    flush_trace(&args);
 }

@@ -10,7 +10,7 @@
 //! interval samples.
 
 use cloud9::core::{run_report, timeline_csv, Cluster, ClusterConfig, Worker, WorkerConfig};
-use cloud9::net::WorkerId;
+use cloud9::net::{RunId, WorkerId};
 use cloud9::posix::PosixEnvironment;
 use cloud9::targets::named_workload;
 use cloud9::trace::json::Json;
@@ -128,9 +128,10 @@ fn obj<'a>(json: &'a Json, key: &str) -> &'a Json {
 #[test]
 fn run_report_totals_match_summary() {
     let summary = cluster_summary();
-    let rendered = run_report(&summary).render();
+    let rendered = run_report(RunId(7), &summary).render();
     let report = Json::parse(&rendered).expect("report must be valid JSON");
 
+    assert_eq!(obj(&report, "run").as_u64(), Some(7));
     let totals = obj(&report, "totals");
     assert_eq!(
         obj(totals, "paths_completed").as_u64(),
