@@ -1,0 +1,340 @@
+//! Solver warmth of transferred jobs: what a constraint-cache slice
+//! gossiped alongside jobs buys the receiving worker.
+//!
+//! A transferred state arrives at a worker whose constraint caches know
+//! nothing about it (§6 of the paper): every branch of the materializing
+//! replay is re-solved from scratch. Cache gossip ships the sender's
+//! hottest query-cache entries with the batch, so the receiver's first
+//! quantum over imported jobs starts warm. Two experiments per target
+//! (memcached-3x5 and curl; `--quick` keeps only memcached-3x5):
+//!
+//! * **cluster** — a transfer-heavy 4-worker in-process cluster run to
+//!   exhaustion (tiny quanta, tight balancing cadence), gossip off vs on,
+//!   recording solver queries/sec, the cache-hit rate, warm hits on
+//!   imported entries, and gossip bytes. Exhaustive path counts must match
+//!   between the legs (asserted): gossip only changes cache contents,
+//!   never answers.
+//! * **import** — the deterministic harness: one worker sheds a deep
+//!   96-job batch, a fresh receiver materializes and exhausts it either
+//!   cold (jobs only) or warm (the sender's cache slice imported first).
+//!   No balancer timing noise, so the first-quantum hit rates and the
+//!   total search count are exact, pinned numbers.
+//!
+//! Results are printed as a table and written to `BENCH_solver_warmth.json`.
+
+use c9_core::{Cluster, ClusterConfig, Worker, WorkerConfig, WorkerId};
+use c9_posix::PosixEnvironment;
+use c9_targets::named_workload;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct ClusterRow {
+    target: &'static str,
+    gossip: &'static str,
+    paths: u64,
+    queries: u64,
+    searches: u64,
+    cache_hit_rate: f64,
+    warm_hits: u64,
+    imported_entries: u64,
+    warm_hit_rate: f64,
+    gossip_bytes: u64,
+    secs: f64,
+}
+
+impl ClusterRow {
+    fn queries_per_sec(&self) -> f64 {
+        self.queries as f64 / self.secs.max(1e-9)
+    }
+}
+
+fn cluster_run(target: &'static str, gossip: bool) -> ClusterRow {
+    let workload = named_workload(target).expect("registered target");
+    let mut config = ClusterConfig {
+        num_workers: 4,
+        time_limit: Some(Duration::from_secs(600)),
+        // Transfer-heavy: small quanta and tight reporting/balancing
+        // intervals keep jobs (and gossip slices) moving for the whole run.
+        quantum: 2_000,
+        status_interval: Duration::from_millis(2),
+        balance_interval: Duration::from_millis(4),
+        ..ClusterConfig::default()
+    };
+    config.worker.cache_gossip = gossip;
+    let start = Instant::now();
+    let result = Cluster::new(
+        Arc::new(workload.program),
+        Arc::new(PosixEnvironment::new()),
+        config,
+    )
+    .run();
+    assert!(result.summary.exhausted, "{target} cluster did not exhaust");
+    let secs = start.elapsed().as_secs_f64();
+    let s = &result.summary;
+    let solver = s.solver_stats();
+    ClusterRow {
+        target,
+        gossip: if gossip { "on" } else { "off" },
+        paths: s.paths_completed(),
+        queries: solver.queries,
+        searches: solver.searches,
+        cache_hit_rate: solver.cache_hit_rate(),
+        warm_hits: solver.warm_hits,
+        imported_entries: solver.imported_cache_entries,
+        warm_hit_rate: solver.warm_hit_rate(),
+        gossip_bytes: s
+            .worker_stats
+            .iter()
+            .map(|w| w.gossip_bytes_sent + w.gossip_bytes_received)
+            .sum(),
+        secs,
+    }
+}
+
+struct ImportLeg {
+    paths: u64,
+    first_queries: u64,
+    first_hit_rate: f64,
+    first_warm_hits: u64,
+    first_warm_hit_rate: f64,
+    first_searches: u64,
+    searches: u64,
+    imported_entries: u64,
+}
+
+/// Runs the deterministic import harness once: a fresh receiver imports a
+/// 96-job batch shed by a source worker — cold, or warmed by the source's
+/// constraint-cache slice first — runs one 100k-instruction quantum (the
+/// "first quantum" the slice is supposed to accelerate), then exhausts
+/// the batch.
+fn import_leg(target: &'static str, warm: bool) -> ImportLeg {
+    let workload = named_workload(target).expect("registered target");
+    let program = Arc::new(workload.program);
+    let env = Arc::new(PosixEnvironment::new());
+    let mut source = Worker::new(
+        WorkerId(0),
+        program.clone(),
+        env.clone(),
+        WorkerConfig {
+            export_order: c9_core::ExportOrder::Deepest,
+            ..WorkerConfig::default()
+        },
+    );
+    source.seed_root();
+    for _ in 0..1_000_000 {
+        if source.queue_length() >= 128 || !source.has_work() {
+            break;
+        }
+        source.run_quantum(100);
+    }
+    let jobs = source.export_jobs(96);
+    let slice = source
+        .export_cache_slice(1024)
+        .expect("source solved queries, so its cache exports a slice");
+
+    let mut receiver = Worker::new(WorkerId(1), program, env, WorkerConfig::default());
+    if warm {
+        receiver.import_cache_slice(&slice);
+    }
+    receiver.import_jobs(jobs);
+    receiver.run_quantum(100_000);
+    let first = receiver.report_stats();
+    while receiver.has_work() {
+        receiver.run_quantum(100_000);
+    }
+    let done = receiver.report_stats();
+    ImportLeg {
+        paths: done.paths_completed,
+        first_queries: first.solver.queries,
+        first_hit_rate: first.solver.cache_hit_rate(),
+        first_warm_hits: first.solver.warm_hits,
+        first_warm_hit_rate: first.solver.warm_hit_rate(),
+        first_searches: first.solver.searches,
+        searches: done.solver.searches,
+        imported_entries: done.solver.imported_cache_entries,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let targets: &[&'static str] = if quick {
+        &["memcached-3x5"]
+    } else {
+        &["memcached-3x5", "curl"]
+    };
+
+    let mut cluster_rows: Vec<ClusterRow> = Vec::new();
+    for &target in targets {
+        for gossip in [false, true] {
+            let row = cluster_run(target, gossip);
+            eprintln!(
+                "solver_warmth {} cluster-4w gossip={}: {} paths, {} queries \
+                 ({:.1}% cache hits, {:.1}% warm), {} searches, {} gossip bytes, {:.2}s",
+                row.target,
+                row.gossip,
+                row.paths,
+                row.queries,
+                100.0 * row.cache_hit_rate,
+                100.0 * row.warm_hit_rate,
+                row.searches,
+                row.gossip_bytes,
+                row.secs
+            );
+            cluster_rows.push(row);
+        }
+        let legs: Vec<&ClusterRow> = cluster_rows.iter().filter(|r| r.target == target).collect();
+        // Gossip only changes what the caches remember, never what the
+        // solver answers: the explored tree must be bit-identical.
+        assert_eq!(
+            legs[0].paths, legs[1].paths,
+            "{target} cluster-4w: path count changed with gossip"
+        );
+        let on = legs.iter().find(|r| r.gossip == "on").expect("gossip leg");
+        assert!(
+            on.gossip_bytes > 0,
+            "{target} cluster-4w: gossip on moved no slice bytes"
+        );
+    }
+
+    println!("\n== solver warmth under cache gossip (cluster, 4 workers) ==");
+    println!(
+        "target\t| gossip\t| paths\t| queries\t| q/sec\t| cache-hits\t| warm-hits\t| searches\t| gossip-bytes"
+    );
+    println!("{}", "-".repeat(110));
+    let mut cluster_json = Vec::new();
+    for row in &cluster_rows {
+        println!(
+            "{}\t| {}\t| {}\t| {}\t| {:.0}\t| {:.1}%\t| {} ({:.1}%)\t| {}\t| {}",
+            row.target,
+            row.gossip,
+            row.paths,
+            row.queries,
+            row.queries_per_sec(),
+            100.0 * row.cache_hit_rate,
+            row.warm_hits,
+            100.0 * row.warm_hit_rate,
+            row.searches,
+            row.gossip_bytes,
+        );
+        cluster_json.push(format!(
+            "    {{\"target\": \"{}\", \"mode\": \"cluster-4w\", \"gossip\": \"{}\", \
+             \"paths\": {}, \"queries\": {}, \"queries_per_sec\": {:.2}, \
+             \"cache_hit_rate\": {:.4}, \"warm_hits\": {}, \"imported_cache_entries\": {}, \
+             \"warm_hit_rate\": {:.4}, \"searches\": {}, \"gossip_bytes\": {}, \"secs\": {:.3}}}",
+            row.target,
+            row.gossip,
+            row.paths,
+            row.queries,
+            row.queries_per_sec(),
+            row.cache_hit_rate,
+            row.warm_hits,
+            row.imported_entries,
+            row.warm_hit_rate,
+            row.searches,
+            row.gossip_bytes,
+            row.secs,
+        ));
+    }
+
+    println!("\n== first-quantum warmth of an imported 96-job batch (deterministic) ==");
+    println!(
+        "target\t| leg\t| paths\t| 1st-q queries\t| 1st-q cache-hits\t| 1st-q warm-hits\t| 1st-q searches\t| searches"
+    );
+    println!("{}", "-".repeat(100));
+    let mut import_json = Vec::new();
+    for &target in targets {
+        let cold = import_leg(target, false);
+        let warm = import_leg(target, true);
+        // The slice is pure cache payload: same paths either way.
+        assert_eq!(
+            cold.paths, warm.paths,
+            "{target} import: path count changed with the slice"
+        );
+        assert!(
+            warm.imported_entries > 0 && warm.first_warm_hits > 0,
+            "{target} import: the slice warmed nothing"
+        );
+        // The pinned wins. First: with the slice, at least a third of the
+        // receiver's first-quantum cache hits are served by the sender's
+        // entries (observed: all of them on memcached-3x5, ~43% on curl
+        // whose larger tree self-warms more within one quantum — a cold
+        // receiver's hits come only from that self-warming over shared
+        // replay prefixes, so its warm-hit rate is pinned at zero).
+        assert!(
+            3.0 * warm.first_warm_hit_rate >= 1.0,
+            "{target} import: only {:.3} of first-quantum hits were warm",
+            warm.first_warm_hit_rate
+        );
+        // Second: the batch costs strictly fewer backtracking searches end
+        // to end — each one a §6 cold-cache re-solve the slice spared.
+        assert!(
+            warm.searches < cold.searches,
+            "{target} import: warm searches {} not below cold {}",
+            warm.searches,
+            cold.searches
+        );
+        for (leg, label) in [(&cold, "cold"), (&warm, "warm")] {
+            eprintln!(
+                "solver_warmth {} import {}: {} paths, first quantum {} queries \
+                 ({:.1}% cache hits, {} warm hits, {} searches), {} searches total",
+                target,
+                label,
+                leg.paths,
+                leg.first_queries,
+                100.0 * leg.first_hit_rate,
+                leg.first_warm_hits,
+                leg.first_searches,
+                leg.searches
+            );
+            println!(
+                "{}\t| {}\t| {}\t| {}\t| {:.1}%\t| {} ({:.1}%)\t| {}\t| {}",
+                target,
+                label,
+                leg.paths,
+                leg.first_queries,
+                100.0 * leg.first_hit_rate,
+                leg.first_warm_hits,
+                100.0 * leg.first_warm_hit_rate,
+                leg.first_searches,
+                leg.searches,
+            );
+            import_json.push(format!(
+                "    {{\"target\": \"{}\", \"mode\": \"import-96\", \"leg\": \"{}\", \
+                 \"paths\": {}, \"first_quantum_queries\": {}, \
+                 \"first_quantum_cache_hit_rate\": {:.4}, \"first_quantum_warm_hits\": {}, \
+                 \"first_quantum_warm_hit_rate\": {:.4}, \"first_quantum_searches\": {}, \
+                 \"searches\": {}, \"imported_cache_entries\": {}}}",
+                target,
+                label,
+                leg.paths,
+                leg.first_queries,
+                leg.first_hit_rate,
+                leg.first_warm_hits,
+                leg.first_warm_hit_rate,
+                leg.first_searches,
+                leg.searches,
+                leg.imported_entries,
+            ));
+        }
+        println!(
+            "{}\t| win\t| 1st-q searches {} -> {} ({:.2}x), total {} -> {}, 1st-q warm hits {}",
+            target,
+            cold.first_searches,
+            warm.first_searches,
+            cold.first_searches as f64 / warm.first_searches.max(1) as f64,
+            cold.searches,
+            warm.searches,
+            warm.first_warm_hits,
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"solver_warmth\",\n  \"quick\": {},\n  \"cluster\": [\n{}\n  ],\n  \"import\": [\n{}\n  ]\n}}\n",
+        quick,
+        cluster_json.join(",\n"),
+        import_json.join(",\n"),
+    );
+    if let Err(e) = std::fs::write("BENCH_solver_warmth.json", &json) {
+        eprintln!("solver_warmth: cannot write BENCH_solver_warmth.json: {e}");
+    }
+}

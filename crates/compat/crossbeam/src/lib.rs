@@ -72,10 +72,13 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Enqueues a message; fails when every receiver has been dropped.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut q = self.inner.queue.lock().expect("channel poisoned");
+            // Checked under the queue lock: the last receiver's drop
+            // discards queued messages while holding it, so a send racing
+            // that drop either fails or is discarded — never stranded.
             if self.inner.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(msg));
             }
-            let mut q = self.inner.queue.lock().expect("channel poisoned");
             q.push_back(msg);
             drop(q);
             self.inner.cond.notify_one();
@@ -186,7 +189,14 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.inner.receivers.fetch_sub(1, Ordering::AcqRel);
+            let mut q = self.inner.queue.lock().expect("channel poisoned");
+            if self.inner.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last receiver gone: discard queued messages (matching
+                // crossbeam) so anything they own — reply senders in
+                // particular — is released rather than stranded; a client
+                // blocked on such a reply then observes the disconnect.
+                q.clear();
+            }
         }
     }
 
@@ -223,6 +233,19 @@ pub mod channel {
                 Err(RecvTimeoutError::Timeout)
             );
             drop(tx);
+        }
+
+        #[test]
+        fn receiver_drop_discards_queued_messages() {
+            // A queued message owning a reply sender must be dropped with
+            // the last receiver, so the reply receiver sees the disconnect
+            // instead of blocking forever.
+            let (tx, rx) = unbounded::<Sender<u32>>();
+            let (reply_tx, reply_rx) = unbounded::<u32>();
+            assert!(tx.send(reply_tx).is_ok());
+            drop(rx);
+            assert_eq!(reply_rx.recv(), Err(RecvError));
+            assert!(tx.send(unbounded::<u32>().0).is_err());
         }
 
         #[test]

@@ -31,12 +31,47 @@ use c9_net::{
     MemberEvent, RunId, RunSpec, RunSpecBuilder, StatusReport, TransferEvent, Transport,
     WorkerEndpoint, WorkerId, COORDINATOR,
 };
+use c9_solver::CacheSlice;
 use c9_trace::{error, info, warn, Span, SpanKind};
 use c9_vm::{CoverageSet, Environment, StrategyKind, TestCase};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Entry bound of the constraint-cache slices workers piggyback on job
+/// batches and status-report gossip: enough to cover a transferred
+/// frontier region's hot queries, small enough to stay a fraction of the
+/// job payload itself.
+pub(crate) const GOSSIP_SLICE_MAX: usize = 256;
+
+/// Entry bound of the coordinator's merged "cluster hot set", rebroadcast
+/// to every worker on balance rounds.
+pub(crate) const HOT_SET_MAX: usize = 1024;
+
+/// Gossip rides every k-th status report, bounding background traffic on
+/// the report cadence (job-batch piggybacks are unaffected — they ship
+/// with every transfer).
+const GOSSIP_STATUS_EVERY: u32 = 4;
+
+/// Status reports processed per coordinator round at most. Reports can
+/// arrive faster than the drain processes them (tight status intervals,
+/// many workers, recovery re-injection); without a bound the drain never
+/// falls through to stopping conditions, gossip folds, or balancing, and
+/// parked gossip slices pile up without limit.
+pub(crate) const MAX_STATUS_DRAIN: usize = 256;
+
+/// The gossip fold-and-rebroadcast runs every this-many balance
+/// intervals. Folding is cheap but rebroadcasting serializes the hot-set
+/// excerpt once per worker; at aggressive balance cadences (single-digit
+/// milliseconds) doing that every interval costs more than the warmth it
+/// spreads.
+pub(crate) const GOSSIP_FOLD_EVERY: u32 = 8;
+
+/// Bound on parked, not-yet-folded gossip slices; beyond it the oldest
+/// slice is dropped. Gossip is opportunistic warmth — losing a stale
+/// slice under pressure is always safe.
+pub(crate) const PENDING_GOSSIP_MAX: usize = 128;
 
 /// Configuration of a cluster run.
 #[derive(Clone, Debug)]
@@ -157,6 +192,9 @@ impl ClusterConfig {
             .worker_epoch(worker_epoch)
             .heartbeat_interval(self.heartbeat_interval)
             .snapshot_every(self.snapshot_every)
+            .solver_cache(self.worker.solver_cache)
+            .solver_backend(self.worker.solver_backend)
+            .cache_gossip(self.worker.cache_gossip)
             .build()
             .expect("cluster config produces a valid run spec")
     }
@@ -711,6 +749,15 @@ impl Cluster {
         let mut last_balance = Instant::now();
         let mut last_sample = Instant::now();
         let mut last_checkpoint = Instant::now();
+        // The cluster hot set: the union of every worker's gossiped cache
+        // slices, hotness-ranked and bounded. Received slices are parked in
+        // `pending_gossip` and folded in on the balance cadence — merging
+        // per report would starve the status drain at tight report
+        // intervals — and the merged set is rebroadcast only when the fold
+        // learned new entries.
+        let mut hot_set = CacheSlice::default();
+        let mut pending_gossip: Vec<CacheSlice> = Vec::new();
+        let mut last_gossip = Instant::now();
         let mut transferred_at_last_sample = 0u64;
         let mut everyone_had_work = vec![false; membership.len()];
         let mut summary = ClusterSummary {
@@ -761,14 +808,24 @@ impl Cluster {
                 );
             }
 
-            // Drain status reports (block briefly for the first one).
+            // Drain status reports (block briefly for the first one). The
+            // drain is bounded per round: under a report flood (tight
+            // status intervals, recovery re-injection) new frames can
+            // arrive faster than they are processed, and an unbounded
+            // drain would never fall through to the stopping conditions,
+            // the gossip fold, or the balancing round below.
             let mut got_any = false;
-            while let Some(report) = if got_any {
-                endpoint.recv_status(Duration::ZERO)
-            } else {
-                endpoint.recv_status(Duration::from_millis(2))
-            } {
+            let mut drained = 0usize;
+            while drained < MAX_STATUS_DRAIN {
+                let Some(report) = (if got_any {
+                    endpoint.recv_status(Duration::ZERO)
+                } else {
+                    endpoint.recv_status(Duration::from_millis(2))
+                }) else {
+                    break;
+                };
                 got_any = true;
+                drained += 1;
                 if report.run != opts.run {
                     continue; // a frame of some other (finished or future) run
                 }
@@ -789,6 +846,12 @@ impl Cluster {
                 // stamped on it.
                 portfolio.record_yield(report.strategy, newly_covered);
                 let _ = endpoint.send_control(w, opts.run, Control::GlobalCoverage(global));
+                if let Some(gossip) = report.gossip {
+                    if pending_gossip.len() >= PENDING_GOSSIP_MAX {
+                        pending_gossip.remove(0);
+                    }
+                    pending_gossip.push(gossip);
+                }
             }
 
             let pool = membership.take_pool();
@@ -900,6 +963,37 @@ impl Cluster {
                 summary.goal_reached = goal_reached;
                 summary.exhausted = exhausted;
                 break;
+            }
+
+            // Cache gossip: fold the slices received since the last fold
+            // into the hot set in one batch, and rebroadcast only when the
+            // fold actually learned new entries — hot-bit churn alone is
+            // not worth a cluster-wide broadcast. The cadence is a
+            // multiple of the balance interval and the broadcast ships
+            // only the hottest excerpt: serializing the full hot set per
+            // worker every few milliseconds would out-cost the warmth.
+            // This runs even when load balancing is disabled (static
+            // partitions still profit from shared cache warmth).
+            if last_gossip.elapsed() >= self.config.balance_interval * GOSSIP_FOLD_EVERY
+                && !pending_gossip.is_empty()
+            {
+                let mut added = 0;
+                for slice in pending_gossip.drain(..) {
+                    added += hot_set.merge(&slice);
+                }
+                hot_set.truncate_ranked(HOT_SET_MAX);
+                if added > 0 && !hot_set.is_empty() {
+                    let mut excerpt = hot_set.clone();
+                    excerpt.truncate_ranked(GOSSIP_SLICE_MAX);
+                    for worker in membership.alive() {
+                        let _ = endpoint.send_control(
+                            worker,
+                            opts.run,
+                            Control::HotSet(excerpt.clone()),
+                        );
+                    }
+                }
+                last_gossip = Instant::now();
             }
 
             // Load balancing.
@@ -1031,6 +1125,14 @@ impl RunHost {
     fn send_status<E: WorkerEndpoint>(&mut self, endpoint: &mut E) -> Result<(), ()> {
         let include_frontier = self.opts.snapshot_every > 0
             && self.reports_sent.is_multiple_of(self.opts.snapshot_every);
+        // Gossip the hottest cache entries on a sparse report cadence; the
+        // export is `None` when gossip is off for the run, the cache is
+        // still cold, or nothing new was solved since the last export.
+        let gossip = self
+            .reports_sent
+            .is_multiple_of(GOSSIP_STATUS_EVERY)
+            .then(|| self.worker.export_gossip_slice(GOSSIP_SLICE_MAX))
+            .flatten();
         self.reports_sent += 1;
         let frontier =
             include_frontier.then(|| JobTree::from_jobs(&self.worker.frontier_snapshot()).encode());
@@ -1053,6 +1155,7 @@ impl RunHost {
             frontier,
             new_bugs,
             transfers: std::mem::take(&mut self.events),
+            gossip,
         };
         endpoint.send_status(report).map_err(|_| ())
     }
@@ -1070,6 +1173,9 @@ impl RunHost {
             Control::GlobalCoverage(global) => self.worker.merge_global_coverage(&global),
             Control::Membership(peers) => endpoint.update_peers(&peers),
             Control::SetStrategy { strategy, seed } => self.worker.set_strategy(strategy, seed),
+            // The coordinator's merged cluster hot set: warm the solver
+            // cache with what the rest of the fleet already solved.
+            Control::HotSet(slice) => self.worker.import_cache_slice(&slice),
             Control::Inject { seq, encoded } => {
                 if let Some(tree) = JobTree::decode(&encoded) {
                     self.worker.import_job_tree(&tree);
@@ -1103,12 +1209,18 @@ impl RunHost {
                 });
                 self.send_status(endpoint)?;
                 self.worker.stats.job_bytes_sent += encoded.len() as u64;
+                // Piggyback the exporter's hottest cache entries: the
+                // receiver replays these jobs through the very constraints
+                // this worker just solved, so the slice is what spares its
+                // first quantum the cold-cache re-solving of §6.
+                let slice = self.worker.export_cache_slice(GOSSIP_SLICE_MAX);
                 let batch = JobBatch {
                     source: self.worker.id,
                     run: self.opts.run,
                     source_epoch: self.opts.worker_epoch,
                     seq,
                     encoded,
+                    slice,
                 };
                 // ... and report the outcome immediately afterwards, so the
                 // coordinator always knows whether the batch is in wire
@@ -1129,6 +1241,9 @@ impl RunHost {
     }
 
     fn import_batch(&mut self, batch: JobBatch) {
+        if let Some(slice) = &batch.slice {
+            self.worker.import_cache_slice(slice);
+        }
         if let Some(tree) = JobTree::decode(&batch.encoded) {
             self.worker.import_job_tree(&tree);
             self.events.push(TransferEvent::Imported {
@@ -1174,6 +1289,7 @@ pub struct WorkerService<'e, E: WorkerEndpoint> {
     env_factory: Box<dyn Fn(EnvSpec) -> Arc<dyn Environment> + 'e>,
     threads_override: Option<usize>,
     replay_cache_override: Option<c9_vm::ReplayCacheConfig>,
+    solver_cache_override: Option<usize>,
     admit_starts: bool,
     exit_when_drained: bool,
     hosted: u64,
@@ -1193,6 +1309,7 @@ impl<'e, E: WorkerEndpoint> WorkerService<'e, E> {
             env_factory: Box::new(env_factory),
             threads_override: None,
             replay_cache_override: None,
+            solver_cache_override: None,
             admit_starts: true,
             exit_when_drained: false,
             hosted: 0,
@@ -1201,16 +1318,19 @@ impl<'e, E: WorkerEndpoint> WorkerService<'e, E> {
     }
 
     /// Local overrides of the executor thread count (the `c9-worker
-    /// --threads` flag) and the replay-cache budget (`--replay-cache`): a
-    /// daemon operator knows the machine's core and memory budget better
-    /// than the coordinator does.
+    /// --threads` flag), the replay-cache budget (`--replay-cache`), and
+    /// the solver query-cache capacity (`--solver-cache`): a daemon
+    /// operator knows the machine's core and memory budget better than the
+    /// coordinator does.
     pub fn with_overrides(
         mut self,
         threads: Option<usize>,
         replay_cache: Option<c9_vm::ReplayCacheConfig>,
+        solver_cache: Option<usize>,
     ) -> Self {
         self.threads_override = threads;
         self.replay_cache_override = replay_cache;
+        self.solver_cache_override = solver_cache;
         self
     }
 
@@ -1251,6 +1371,9 @@ impl<'e, E: WorkerEndpoint> WorkerService<'e, E> {
             export_order: spec.export_order,
             replay_cache: self.replay_cache_override.unwrap_or(spec.replay_cache),
             threads: self.threads_override.unwrap_or(spec.threads).max(1),
+            solver_cache: self.solver_cache_override.or(spec.solver_cache),
+            solver_backend: spec.solver_backend,
+            cache_gossip: spec.cache_gossip,
         };
         let opts = WorkerLoopOpts {
             run: spec.run,
@@ -1384,22 +1507,28 @@ pub fn run_worker_from_spec<E: WorkerEndpoint>(
     spec: RunSpec,
     env: Arc<dyn Environment>,
 ) {
-    run_worker_from_spec_with(endpoint, spec, env, None, None)
+    run_worker_from_spec_with(endpoint, spec, env, None, None, None)
 }
 
 /// Like [`run_worker_from_spec`], with local overrides of the executor
-/// thread count (the `c9-worker --threads` flag) and the replay-cache
-/// budget (`c9-worker --replay-cache`): a daemon operator knows the
-/// machine's core and memory budget better than the coordinator does.
+/// thread count (the `c9-worker --threads` flag), the replay-cache budget
+/// (`c9-worker --replay-cache`), and the solver query-cache capacity
+/// (`c9-worker --solver-cache`): a daemon operator knows the machine's
+/// core and memory budget better than the coordinator does.
 pub fn run_worker_from_spec_with<E: WorkerEndpoint>(
     endpoint: &mut E,
     spec: RunSpec,
     env: Arc<dyn Environment>,
     threads_override: Option<usize>,
     replay_cache_override: Option<c9_vm::ReplayCacheConfig>,
+    solver_cache_override: Option<usize>,
 ) {
     let mut service = WorkerService::new(endpoint, move |_| env.clone())
-        .with_overrides(threads_override, replay_cache_override)
+        .with_overrides(
+            threads_override,
+            replay_cache_override,
+            solver_cache_override,
+        )
         .exit_when_drained(true);
     service.admit_starts = false;
     service.admit_spec(spec);

@@ -12,6 +12,7 @@
 use crate::cluster::ClusterConfig;
 use crate::portfolio::PortfolioConfig;
 use c9_net::ExportOrder;
+use c9_solver::SolverBackendKind;
 use c9_trace::Level;
 use c9_vm::{ReplayCacheConfig, StrategyKind};
 use std::path::PathBuf;
@@ -61,6 +62,9 @@ pub struct CommonArgs {
     pub threads: Option<usize>,
     /// `--replay-cache N[:BYTES]`: prefix-anchor replay cache budget.
     pub replay_cache: Option<ReplayCacheConfig>,
+    /// `--solver-cache CAP`: solver query-cache capacity, in entries
+    /// (worker: overrides run specs; `0` disables the cache).
+    pub solver_cache: Option<usize>,
     /// `--log-level LEVEL`.
     pub log_level: Option<Level>,
     /// `--quiet`: shorthand for `--log-level error`.
@@ -127,6 +131,10 @@ pub struct CoordinatorArgs {
     pub portfolio_adapt: bool,
     /// `--export-order shallowest|deepest`.
     pub export_order: Option<ExportOrder>,
+    /// `--solver-backend canonical|bitblast|race`.
+    pub solver_backend: Option<SolverBackendKind>,
+    /// `--cache-gossip on|off`.
+    pub cache_gossip: Option<bool>,
     /// `--report-out FILE` (single-run mode).
     pub report_out: Option<PathBuf>,
     /// `--timeline-out FILE`.
@@ -221,6 +229,9 @@ fn parse_common(
             },
             Err(e) => Err(e),
         },
+        "--solver-cache" => cursor
+            .parsed::<usize>(flag)
+            .map(|n| common.solver_cache = Some(n)),
         "--log-level" => cursor
             .parsed::<Level>(flag)
             .map(|level| common.log_level = Some(level)),
@@ -266,6 +277,8 @@ pub fn parse_coordinator_args(argv: &[String]) -> Result<CoordinatorArgs, Config
         portfolio: None,
         portfolio_adapt: false,
         export_order: None,
+        solver_backend: None,
+        cache_gossip: None,
         report_out: None,
         timeline_out: None,
     };
@@ -318,6 +331,20 @@ pub fn parse_coordinator_args(argv: &[String]) -> Result<CoordinatorArgs, Config
             }
             "--portfolio-adapt" => args.portfolio_adapt = true,
             "--export-order" => args.export_order = Some(cursor.parsed(flag)?),
+            "--solver-backend" => args.solver_backend = Some(cursor.parsed(flag)?),
+            "--cache-gossip" => {
+                let value = cursor.value(flag)?;
+                args.cache_gossip = Some(match value {
+                    "on" | "true" => true,
+                    "off" | "false" => false,
+                    _ => {
+                        return Err(ConfigError::InvalidValue {
+                            flag: flag.to_string(),
+                            value: value.to_string(),
+                        })
+                    }
+                });
+            }
             "--report-out" => args.report_out = Some(cursor.path(flag)?),
             "--timeline-out" => args.timeline_out = Some(cursor.path(flag)?),
             other => return Err(ConfigError::UnknownFlag(other.to_string())),
@@ -437,6 +464,15 @@ impl CoordinatorArgs {
         if let Some(replay_cache) = self.common.replay_cache {
             config.worker.replay_cache = replay_cache;
         }
+        if self.common.solver_cache.is_some() {
+            config.worker.solver_cache = self.common.solver_cache;
+        }
+        if let Some(backend) = self.solver_backend {
+            config.worker.solver_backend = backend;
+        }
+        if let Some(gossip) = self.cache_gossip {
+            config.worker.cache_gossip = gossip;
+        }
         if let Some(interval) = self.status_interval {
             config.status_interval = interval;
         }
@@ -523,6 +559,47 @@ mod config_tests {
         assert_eq!(config.status_interval, Duration::from_millis(7));
         assert_eq!(config.worker.replay_cache.capacity, 5);
         assert_eq!(config.worker.replay_cache.max_bytes, 1000);
+    }
+
+    #[test]
+    fn lowers_solver_flags_into_cluster_config() {
+        let args = parse_coordinator_args(&argv(
+            "--target foo --workers a:1 --solver-cache 4096 \
+             --solver-backend race --cache-gossip off",
+        ))
+        .expect("valid command line");
+        let config = args.cluster_config();
+        assert_eq!(config.worker.solver_cache, Some(4096));
+        assert_eq!(config.worker.solver_backend, SolverBackendKind::Race);
+        assert!(!config.worker.cache_gossip);
+
+        let defaults = parse_coordinator_args(&argv("--target foo --workers a:1"))
+            .expect("valid command line")
+            .cluster_config();
+        assert_eq!(defaults.worker.solver_cache, None);
+        assert_eq!(defaults.worker.solver_backend, SolverBackendKind::Canonical);
+        assert!(defaults.worker.cache_gossip, "gossip defaults on");
+
+        let err =
+            parse_coordinator_args(&argv("--target foo --workers a:1 --cache-gossip sideways"))
+                .expect_err("--cache-gossip only accepts on/off");
+        assert_eq!(
+            err,
+            ConfigError::InvalidValue {
+                flag: "--cache-gossip".into(),
+                value: "sideways".into()
+            }
+        );
+    }
+
+    #[test]
+    fn worker_accepts_solver_cache_override() {
+        let args = parse_worker_args(&argv("--listen a:1 --solver-cache 128"))
+            .expect("valid worker command line");
+        assert_eq!(args.common.solver_cache, Some(128));
+        let err = parse_worker_args(&argv("--listen a:1 --solver-backend race"))
+            .expect_err("--solver-backend is a run-level (coordinator) decision");
+        assert_eq!(err, ConfigError::UnknownFlag("--solver-backend".into()));
     }
 
     #[test]

@@ -78,6 +78,7 @@ pub use c9_net::{
     RunSpecBuilder, RunSpecError, StatusReport, TcpTransport, TransferEvent, Transport,
     TransportError, WorkerEndpoint, WorkerId, WorkerStats, COORDINATOR,
 };
+pub use c9_solver::{CacheSlice, SolverBackendKind};
 pub use c9_vm::{ReplayCacheConfig, StrategyKind};
 pub use cluster::{
     run_worker_from_spec, run_worker_from_spec_with, run_worker_loop, Cluster, ClusterConfig,
@@ -91,6 +92,7 @@ pub use report::{
 };
 pub use service::{
     serve_inproc, RunInfo, RunService, RunServiceConfig, RunState, RunSubmission, ServiceHandle,
+    ServiceSummary,
 };
 pub use stats::{ClusterSummary, IntervalSample};
 pub use tree::{NodeId, NodeLife, NodeStatus, TreeNode, WorkerTree};

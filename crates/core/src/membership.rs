@@ -746,6 +746,7 @@ mod tests {
             frontier: frontier.map(encoded),
             new_bugs: Vec::new(),
             transfers: Vec::new(),
+            gossip: None,
         }
     }
 

@@ -22,7 +22,7 @@
 //! exposes the same operations over TCP.
 
 use crate::balancer::LoadBalancer;
-use crate::cluster::{ClusterConfig, ClusterRunResult};
+use crate::cluster::{ClusterConfig, ClusterRunResult, HOT_SET_MAX};
 use crate::membership::{Checkpoint, Membership};
 use crate::portfolio::{Portfolio, PortfolioConfig};
 use crate::stats::{ClusterSummary, IntervalSample};
@@ -30,6 +30,7 @@ use c9_ir::Program;
 use c9_net::{
     Control, CoordinatorEndpoint, EnvSpec, FinalReport, JobTree, RunId, StatusReport, WorkerId,
 };
+use c9_solver::CacheSlice;
 use c9_trace::{info, warn};
 use c9_vm::{CoverageSet, TestCase};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -125,6 +126,23 @@ impl Default for RunServiceConfig {
             report_dir: None,
         }
     }
+}
+
+/// Aggregate totals across every run a service drove to `Done`, returned
+/// by [`RunService::run`] at shutdown. Per-run numbers stay in each run's
+/// `run-<id>.json` report; this is the roll-up a `--serve` operator reads
+/// at the end of the day.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceSummary {
+    /// Runs that reached `Done` (including cancelled ones).
+    pub runs_finished: u64,
+    /// Paths completed across those runs.
+    pub paths_completed: u64,
+    /// Bugs found across those runs.
+    pub bugs_found: u64,
+    /// Solver counters merged across every worker of every finished run
+    /// (queries, cache hits, warm hits from imported entries).
+    pub solver: c9_solver::SolverStats,
 }
 
 enum ServiceRequest {
@@ -266,6 +284,16 @@ struct ActiveRun {
     /// Artifacts collected from this activation's final reports.
     test_cases: Vec<TestCase>,
     bugs: Vec<TestCase>,
+    /// The run's cluster hot set: the merge of every constraint-cache
+    /// slice its workers gossiped on status reports, rebroadcast to the
+    /// whole roster when it grows. Per-run, so tenants never see each
+    /// other's constraints.
+    hot_set: CacheSlice,
+    /// Gossip received since the last fold; merged in one batch on the
+    /// balance cadence so status routing never pays per-report merges.
+    pending_gossip: Vec<CacheSlice>,
+    /// When the pending gossip was last folded into the hot set.
+    last_gossip: Instant,
 }
 
 impl ActiveRun {
@@ -313,6 +341,7 @@ pub struct RunService<C: CoordinatorEndpoint> {
     queue: VecDeque<RunId>,
     active: Vec<ActiveRun>,
     next_id: u64,
+    summary: ServiceSummary,
     rx: Receiver<ServiceRequest>,
     tx: Sender<ServiceRequest>,
 }
@@ -331,6 +360,7 @@ impl<C: CoordinatorEndpoint> RunService<C> {
             queue: VecDeque::new(),
             active: Vec::new(),
             next_id: 1,
+            summary: ServiceSummary::default(),
             rx,
             tx,
         }
@@ -350,8 +380,9 @@ impl<C: CoordinatorEndpoint> RunService<C> {
         }
     }
 
-    /// Runs the service event loop until a shutdown request arrives.
-    pub fn run(mut self) {
+    /// Runs the service event loop until a shutdown request arrives, then
+    /// returns the totals aggregated across every finished run.
+    pub fn run(mut self) -> ServiceSummary {
         loop {
             // Client requests first: submissions and control operations.
             let mut shutdown: Option<Sender<()>> = None;
@@ -380,7 +411,7 @@ impl<C: CoordinatorEndpoint> RunService<C> {
                     }
                 }
                 let _ = ack.send(());
-                return;
+                return self.summary;
             }
 
             // Elastic joins extend the roster; runs started afterwards
@@ -400,14 +431,21 @@ impl<C: CoordinatorEndpoint> RunService<C> {
                 self.activate(id);
             }
 
-            // Status frames, routed to the run they are stamped with.
+            // Status frames, routed to the run they are stamped with. The
+            // drain is bounded per tick (see `MAX_STATUS_DRAIN`): a report
+            // flood must not keep the loop from ever driving its runs.
             let mut got_any = false;
-            while let Some(report) = if got_any {
-                self.endpoint.recv_status(Duration::ZERO)
-            } else {
-                self.endpoint.recv_status(Duration::from_millis(2))
-            } {
+            let mut drained = 0usize;
+            while drained < crate::cluster::MAX_STATUS_DRAIN {
+                let Some(report) = (if got_any {
+                    self.endpoint.recv_status(Duration::ZERO)
+                } else {
+                    self.endpoint.recv_status(Duration::from_millis(2))
+                }) else {
+                    break;
+                };
                 got_any = true;
+                drained += 1;
                 self.route_status(report);
             }
 
@@ -788,6 +826,9 @@ impl<C: CoordinatorEndpoint> RunService<C> {
             outcome: Outcome::Finish,
             test_cases: Vec::new(),
             bugs: Vec::new(),
+            hot_set: CacheSlice::default(),
+            pending_gossip: Vec::new(),
+            last_gossip: start,
             config,
         });
     }
@@ -812,6 +853,12 @@ impl<C: CoordinatorEndpoint> RunService<C> {
         }
         let (global, newly_covered) = run.lb.report(w, report.queue_length, &report.coverage);
         run.portfolio.record_yield(report.strategy, newly_covered);
+        if let Some(gossip) = report.gossip {
+            if run.pending_gossip.len() >= crate::cluster::PENDING_GOSSIP_MAX {
+                run.pending_gossip.remove(0);
+            }
+            run.pending_gossip.push(gossip);
+        }
         let _ = self
             .endpoint
             .send_control(run.dest(w), run.wire, Control::GlobalCoverage(global));
@@ -944,6 +991,36 @@ impl<C: CoordinatorEndpoint> RunService<C> {
             return;
         }
 
+        // Cache gossip: fold the slices received since the last fold into
+        // the run's hot set in one batch — merging per report would starve
+        // status routing at tight report cadences — and rebroadcast the
+        // hottest excerpt to the roster only when the fold learned new
+        // entries (see the cadence rationale in `Cluster::balancer_loop`).
+        // This runs even when load balancing is disabled (static
+        // partitions still profit from shared cache warmth).
+        if run.last_gossip.elapsed()
+            >= run.config.balance_interval * crate::cluster::GOSSIP_FOLD_EVERY
+            && !run.pending_gossip.is_empty()
+        {
+            let mut added = 0;
+            for slice in run.pending_gossip.drain(..) {
+                added += run.hot_set.merge(&slice);
+            }
+            run.hot_set.truncate_ranked(HOT_SET_MAX);
+            if added > 0 && !run.hot_set.is_empty() {
+                let mut excerpt = run.hot_set.clone();
+                excerpt.truncate_ranked(crate::cluster::GOSSIP_SLICE_MAX);
+                for worker in run.membership.alive() {
+                    let _ = self.endpoint.send_control(
+                        run.dest(worker),
+                        wire,
+                        Control::HotSet(excerpt.clone()),
+                    );
+                }
+            }
+            run.last_gossip = Instant::now();
+        }
+
         // Balancing and portfolio adaptation.
         let lb_disabled_by_time = run
             .config
@@ -1064,6 +1141,10 @@ impl<C: CoordinatorEndpoint> RunService<C> {
         };
         entry.bugs.clear();
         entry.state = RunState::Done;
+        self.summary.runs_finished += 1;
+        self.summary.paths_completed += result.summary.paths_completed();
+        self.summary.bugs_found += result.summary.bugs_found;
+        self.summary.solver.merge(&result.summary.solver_stats());
         info!(
             "run {} done: {} paths, {} bugs{}",
             entry.id,

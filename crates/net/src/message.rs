@@ -12,6 +12,7 @@
 use crate::id::{RunId, WorkerId};
 use crate::stats::WorkerStats;
 use c9_ir::Program;
+use c9_solver::{CacheSlice, SolverBackendKind};
 use c9_vm::{CoverageSet, ExecutorConfig, ReplayCacheConfig, StrategyKind, TestCase};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -30,7 +31,14 @@ use std::time::Duration;
 ///   the `Control` envelope), the hello/join preamble carries this version
 ///   number, and `RunSpec` carries an [`ExportOrder`] enum instead of the
 ///   bool.
-pub const WIRE_VERSION: u32 = 2;
+/// * **3** — constraint-cache sharing: `JobBatch` carries an optional
+///   [`CacheSlice`] of the solved queries relevant to the exported jobs,
+///   `StatusReport` gossips each worker's hottest entries, the new
+///   [`Control::HotSet`] rebroadcasts the coordinator's merged cluster hot
+///   set (appended after `Stop`, so the `Control` variant tags of v2 are
+///   unchanged), and `RunSpec` carries the solver-cache capacity override,
+///   the [`SolverBackendKind`], and the gossip switch.
+pub const WIRE_VERSION: u32 = 3;
 
 /// Identity, address, and fencing epoch of one cluster member, as announced
 /// by the coordinator (in a [`WireMessage::JoinAck`] and in
@@ -91,6 +99,14 @@ pub enum Control {
     /// with [`RunId::SERVICE`] it instead shuts down the worker's whole
     /// run-service loop after finalizing every admitted run.
     Stop,
+    /// The coordinator's merged "cluster hot set": the globally hottest
+    /// query-cache entries gossiped by the run's workers, merged and
+    /// rebroadcast on balance rounds. Receivers fold the slice into their
+    /// solver's query cache; imports are answer-preserving (cached answers
+    /// are pure functions of their constraint sets), so this only saves
+    /// re-solving, never changes a result. Appended after [`Control::Stop`]
+    /// so the v2 variant tags are untouched.
+    HotSet(CacheSlice),
 }
 
 /// Which frontier candidates a worker gives away first when shedding load.
@@ -225,6 +241,11 @@ pub struct StatusReport {
     pub new_bugs: Vec<TestCase>,
     /// Job-transfer events since the previous report.
     pub transfers: Vec<TransferEvent>,
+    /// Gossip: the worker's hottest query-cache entries, attached on
+    /// snapshot-bearing reports when cache gossip is enabled. The
+    /// coordinator merges these into the run's cluster hot set (see
+    /// [`Control::HotSet`]).
+    pub gossip: Option<CacheSlice>,
 }
 
 /// Final report from a worker at shutdown.
@@ -277,6 +298,12 @@ pub struct JobBatch {
     pub seq: u64,
     /// The encoded job tree.
     pub encoded: Vec<u8>,
+    /// Piggybacked constraint-cache slice: the exporter's hottest solved
+    /// queries, shipped alongside the jobs so the transferred states do not
+    /// arrive with a stone-cold solver cache (§6 of the paper describes the
+    /// cold-cache cost; this is the transfer-time remedy). `None` when
+    /// cache gossip is disabled for the run.
+    pub slice: Option<CacheSlice>,
 }
 
 /// The environment model a remote worker should instantiate. The worker
@@ -340,6 +367,16 @@ pub struct RunSpec {
     /// checkpointing exact; 1 keeps the coordinator's ledger current to the
     /// latest report.
     pub snapshot_every: u32,
+    /// Query-cache capacity override (`--solver-cache`); `None` keeps the
+    /// solver's built-in default.
+    pub solver_cache: Option<usize>,
+    /// Which solver backend strategy the worker runs
+    /// (`--solver-backend`). Only feasibility searches are affected; see
+    /// the determinism notes on the solver.
+    pub solver_backend: SolverBackendKind,
+    /// Whether constraint-cache slices ride job batches and status gossip
+    /// for this run (`--cache-gossip`).
+    pub cache_gossip: bool,
 }
 
 /// Connection preamble and envelope for every frame a transport carries.

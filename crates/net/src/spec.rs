@@ -11,6 +11,7 @@
 use crate::id::RunId;
 use crate::message::{EnvSpec, ExportOrder, RunSpec};
 use c9_ir::Program;
+use c9_solver::SolverBackendKind;
 use c9_vm::{ExecutorConfig, ReplayCacheConfig, StrategyKind};
 use std::time::Duration;
 
@@ -73,6 +74,9 @@ pub struct RunSpecBuilder {
     worker_epoch: u64,
     heartbeat_interval: Duration,
     snapshot_every: u32,
+    solver_cache: Option<usize>,
+    solver_backend: SolverBackendKind,
+    cache_gossip: bool,
 }
 
 impl Default for RunSpecBuilder {
@@ -94,6 +98,9 @@ impl Default for RunSpecBuilder {
             worker_epoch: 0,
             heartbeat_interval: Duration::ZERO,
             snapshot_every: 0,
+            solver_cache: None,
+            solver_backend: SolverBackendKind::Canonical,
+            cache_gossip: true,
         }
     }
 }
@@ -201,6 +208,25 @@ impl RunSpecBuilder {
         self
     }
 
+    /// Overrides the solver query-cache capacity (`None` keeps the
+    /// solver's built-in default).
+    pub fn solver_cache(mut self, capacity: Option<usize>) -> Self {
+        self.solver_cache = capacity;
+        self
+    }
+
+    /// Sets the solver backend strategy workers run.
+    pub fn solver_backend(mut self, backend: SolverBackendKind) -> Self {
+        self.solver_backend = backend;
+        self
+    }
+
+    /// Enables or disables constraint-cache gossip for the run.
+    pub fn cache_gossip(mut self, on: bool) -> Self {
+        self.cache_gossip = on;
+        self
+    }
+
     /// Validates the configuration and builds the [`RunSpec`].
     pub fn build(self) -> Result<RunSpec, RunSpecError> {
         let program = self.program.ok_or(RunSpecError::MissingProgram)?;
@@ -233,6 +259,9 @@ impl RunSpecBuilder {
             worker_epoch: self.worker_epoch,
             heartbeat_interval: self.heartbeat_interval,
             snapshot_every: self.snapshot_every,
+            solver_cache: self.solver_cache,
+            solver_backend: self.solver_backend,
+            cache_gossip: self.cache_gossip,
         })
     }
 }
@@ -260,6 +289,23 @@ mod tests {
         assert_eq!(spec.run, RunId(1));
         assert_eq!(spec.threads, 1);
         assert_eq!(spec.export_order, ExportOrder::Shallowest);
+        assert_eq!(spec.solver_cache, None);
+        assert_eq!(spec.solver_backend, SolverBackendKind::Canonical);
+        assert!(spec.cache_gossip, "gossip defaults on");
+    }
+
+    #[test]
+    fn solver_settings_flow_into_the_spec() {
+        let spec = RunSpecBuilder::new()
+            .program(program())
+            .solver_cache(Some(4096))
+            .solver_backend(SolverBackendKind::Race)
+            .cache_gossip(false)
+            .build()
+            .expect("valid spec");
+        assert_eq!(spec.solver_cache, Some(4096));
+        assert_eq!(spec.solver_backend, SolverBackendKind::Race);
+        assert!(!spec.cache_gossip);
     }
 
     #[test]

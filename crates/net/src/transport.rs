@@ -224,6 +224,7 @@ pub struct Endpoints<C, W> {
 ///     frontier: None,
 ///     new_bugs: Vec::new(),
 ///     transfers: Vec::new(),
+///     gossip: None,
 /// };
 /// fabric.workers[0].send_status(report).expect("send status");
 /// let received = fabric

@@ -36,6 +36,8 @@ const WORKER_STATS_FIELDS: &[&str] = &[
     "anchor_misses",
     "replay_divergences",
     "strategy_switches",
+    "gossip_bytes_sent",
+    "gossip_bytes_received",
     "metrics",
 ];
 
@@ -49,6 +51,8 @@ const SOLVER_STATS_FIELDS: &[&str] = &[
     "unsat",
     "sat",
     "independence_slices",
+    "imported_cache_entries",
+    "warm_hits",
 ];
 
 #[test]
@@ -83,6 +87,8 @@ fn solver_probe(scale: u64) -> SolverStats {
         unsat: 106 * scale,
         sat: 107 * scale,
         independence_slices: 108 * scale,
+        imported_cache_entries: 109 * scale,
+        warm_hits: 110 * scale,
     }
 }
 
@@ -105,6 +111,8 @@ fn worker_probe(scale: u64) -> WorkerStats {
         anchor_misses: 211 * scale,
         replay_divergences: 212 * scale,
         strategy_switches: 213 * scale,
+        gossip_bytes_sent: 214 * scale,
+        gossip_bytes_received: 215 * scale,
         metrics,
     }
 }

@@ -7,6 +7,7 @@ use c9_net::{
     decode_jobs_flat, encode_jobs_flat, Control, Job, JobBatch, JobTree, RunId, StatusReport,
     WireMessage, WorkerId, WorkerStats, WIRE_VERSION,
 };
+use c9_solver::CacheSlice;
 use c9_vm::{CoverageSet, PathChoice};
 use proptest::prelude::*;
 
@@ -73,6 +74,7 @@ proptest! {
             source_epoch: u64::from(source) + 1,
             seq,
             encoded: JobTree::from_jobs(&jobs).encode(),
+            slice: (seq % 2 == 0).then(CacheSlice::default),
         };
         let frame = encode_frame(&WireMessage::Jobs(batch.clone())).expect("encode frame");
         let (decoded, used): (WireMessage, usize) = decode_frame(&frame).expect("decode frame");
@@ -111,6 +113,7 @@ proptest! {
                 seed: count,
             },
             Control::Stop,
+            Control::HotSet(CacheSlice::default()),
         ] {
             let run = RunId(u64::from(dst) + 1);
             let frame =
@@ -162,6 +165,7 @@ proptest! {
                     encoded: JobTree::from_jobs(&[]).encode(),
                 },
             ],
+            gossip: idle.then(CacheSlice::default),
         };
         let mut buf = Vec::new();
         write_frame(&mut buf, &WireMessage::Status(report.clone())).expect("write");
@@ -177,6 +181,7 @@ proptest! {
         prop_assert_eq!(decoded_report.idle, report.idle);
         prop_assert_eq!(decoded_report.frontier, report.frontier);
         prop_assert_eq!(decoded_report.transfers, report.transfers);
+        prop_assert_eq!(decoded_report.gossip, report.gossip);
         prop_assert_eq!(
             decoded_report.stats.useful_instructions,
             report.stats.useful_instructions
@@ -266,20 +271,20 @@ proptest! {
     }
 }
 
-/// Golden-byte tests pinning the version-2 frame layout, so an accidental
+/// Golden-byte tests pinning the version-3 frame layout, so an accidental
 /// field reorder or type change shows up as a decode-compat failure rather
 /// than as silent cross-version corruption.
 mod decode_compat {
     use super::*;
 
     #[test]
-    fn wire_version_is_two() {
-        assert_eq!(WIRE_VERSION, 2);
+    fn wire_version_is_three() {
+        assert_eq!(WIRE_VERSION, 3);
     }
 
     /// The hello preamble's bincode layout: varint enum tag, version,
     /// worker id, worker count, peer list — behind the 4-byte LE frame
-    /// length prefix. These exact bytes are what a v2 peer must accept.
+    /// length prefix. These exact bytes are what a v3 peer must accept.
     #[test]
     fn hello_preamble_golden_bytes() {
         let frame = encode_frame(&WireMessage::CoordinatorHello {
@@ -301,7 +306,7 @@ mod decode_compat {
         assert_eq!(frame, expected);
     }
 
-    /// A v1 hello (no version field) decodes under the v2 schema into a
+    /// A v1 hello (no version field) decodes under the current schema into a
     /// nonsense version value — exactly why the receiver checks the version
     /// before trusting anything else in the frame.
     #[test]
@@ -337,7 +342,9 @@ mod decode_compat {
         assert_eq!(deep, [1]);
     }
 
-    /// Run-scoped control envelope: the run id precedes the payload.
+    /// Run-scoped control envelope: the run id precedes the payload. The
+    /// v3 `Control::HotSet` variant was appended *after* `Stop`, so these
+    /// v2 bytes are still exactly what rides the wire.
     #[test]
     fn control_envelope_golden_bytes() {
         let frame = encode_frame(&WireMessage::Control {

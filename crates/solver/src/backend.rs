@@ -1,0 +1,365 @@
+//! Pluggable solver backends and the per-query-class selection table.
+//!
+//! The canonical engine is the budgeted backtracking search in
+//! [`crate::search`]: it defines the *canonical model* of every constraint
+//! set and therefore the shape of the execution tree (see the determinism
+//! notes on [`crate::Solver`]). Alternative backends are strictly *witness
+//! finders* for feasibility queries: a backend other than the canonical one
+//! may only short-circuit a query by producing a **verified** satisfying
+//! assignment. Everything else — `Unsat`, `Unknown`, and every
+//! model-returning query — resolves through the canonical search, so path
+//! sets, coverage, and bug sets are invariant under the backend choice
+//! (with the engine's default `unknown_is_sat` policy, a verified witness
+//! and a canonical `Sat`/`Unknown` lead to the same branch decision).
+//!
+//! The second in-tree backend, [`BitBlastBackend`], bit-blasts the existing
+//! domain representation: instead of enumerating refined per-symbol domains
+//! value by value in candidate-first order, it assigns each symbol bit by
+//! bit (most-significant first), pruning bit prefixes whose completion
+//! interval cannot intersect the refined domain. On bit-sparse parser
+//! constraints this finds witnesses along a very different, often shorter,
+//! deterministic route.
+
+use crate::domain::{refine_domains, Domain};
+use crate::search::{search, SearchBudget, SearchOutcome};
+use c9_expr::{collect_symbols, Assignment, ExprRef, SymbolId, Width};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which backend strategy a [`crate::Solver`] uses for feasibility
+/// searches. Selected per worker via `--solver-backend` (and the run spec).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SolverBackendKind {
+    /// Only the canonical backtracking search (the default).
+    #[default]
+    Canonical,
+    /// Consult the bit-blasting witness finder (full budget) on small query
+    /// classes before falling back to the canonical search.
+    BitBlast,
+    /// Race mode: the bit-blasting backend gets a small slice of the node
+    /// budget first — first verified sat wins — then the canonical search
+    /// runs with the full budget. The race is sequential and therefore a
+    /// pure function of the query, never of thread timing.
+    Race,
+}
+
+impl std::fmt::Display for SolverBackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SolverBackendKind::Canonical => "canonical",
+            SolverBackendKind::BitBlast => "bitblast",
+            SolverBackendKind::Race => "race",
+        })
+    }
+}
+
+impl std::str::FromStr for SolverBackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SolverBackendKind, String> {
+        match s {
+            "canonical" => Ok(SolverBackendKind::Canonical),
+            "bitblast" => Ok(SolverBackendKind::BitBlast),
+            "race" => Ok(SolverBackendKind::Race),
+            other => Err(format!(
+                "unknown solver backend {other:?} (expected canonical, bitblast, or race)"
+            )),
+        }
+    }
+}
+
+/// A constraint-search engine.
+///
+/// Implementations must be deterministic: the outcome may depend only on
+/// the arguments, never on timing or global state.
+pub trait SolverBackend: std::fmt::Debug + Send + Sync {
+    /// A short stable name for reports and traces.
+    fn name(&self) -> &'static str;
+
+    /// Searches for an assignment satisfying all `constraints`.
+    fn solve(
+        &self,
+        constraints: &[ExprRef],
+        widths: &BTreeMap<SymbolId, Width>,
+        budget: SearchBudget,
+    ) -> SearchOutcome;
+}
+
+/// The canonical backend: the hand-rolled backtracking search whose models
+/// define the execution tree.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BacktrackBackend;
+
+impl SolverBackend for BacktrackBackend {
+    fn name(&self) -> &'static str {
+        "backtrack"
+    }
+
+    fn solve(
+        &self,
+        constraints: &[ExprRef],
+        widths: &BTreeMap<SymbolId, Width>,
+        budget: SearchBudget,
+    ) -> SearchOutcome {
+        search(constraints, widths, budget, None)
+    }
+}
+
+/// Bit-blasting witness finder over the refined domain representation.
+///
+/// Symbols are processed in `SymbolId` order; each symbol is assigned bit
+/// by bit from the most significant bit down, trying `0` before `1`, and a
+/// bit prefix is pruned as soon as the interval of its possible completions
+/// no longer intersects the symbol's refined `[lo, hi]` domain. Constraints
+/// are checked by partial evaluation whenever a symbol completes. A `Sat`
+/// answer is only returned after the full assignment re-evaluates every
+/// constraint to true, so callers may trust the witness unconditionally.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BitBlastBackend;
+
+impl SolverBackend for BitBlastBackend {
+    fn name(&self) -> &'static str {
+        "bitblast"
+    }
+
+    fn solve(
+        &self,
+        constraints: &[ExprRef],
+        widths: &BTreeMap<SymbolId, Width>,
+        budget: SearchBudget,
+    ) -> SearchOutcome {
+        if constraints.is_empty() {
+            return SearchOutcome::Sat(Assignment::new());
+        }
+        let domains = refine_domains(constraints, widths);
+        if domains.values().any(|d| d.is_empty()) {
+            return SearchOutcome::Unsat;
+        }
+        let order: Vec<SymbolId> = widths.keys().copied().collect();
+        let exhaustive_all = order
+            .iter()
+            .all(|s| domains.get(s).map(|d| d.exhaustive).unwrap_or(false));
+        let constraint_syms: Vec<BTreeSet<SymbolId>> =
+            constraints.iter().map(collect_symbols).collect();
+        let mut assignment = Assignment::new();
+        let mut nodes: u64 = 0;
+        let result = blast_symbol(
+            0,
+            &order,
+            &domains,
+            constraints,
+            &constraint_syms,
+            &mut assignment,
+            &mut nodes,
+            budget.max_nodes,
+        );
+        match result {
+            Blast::Found(model) => {
+                // The per-bit pruning is only a heuristic filter; the final
+                // verification is what makes the witness trustworthy.
+                if c9_expr::eval_constraints(constraints, &model) == Some(true) {
+                    SearchOutcome::Sat(model)
+                } else {
+                    SearchOutcome::Unknown
+                }
+            }
+            Blast::Exhausted if exhaustive_all => SearchOutcome::Unsat,
+            Blast::Exhausted => SearchOutcome::Unknown,
+            Blast::Budget => SearchOutcome::Unknown,
+        }
+    }
+}
+
+enum Blast {
+    Found(Assignment),
+    Exhausted,
+    Budget,
+}
+
+/// Assigns the symbol at `depth` via bit-level DFS, then recurses to the
+/// next symbol.
+#[allow(clippy::too_many_arguments)]
+fn blast_symbol(
+    depth: usize,
+    order: &[SymbolId],
+    domains: &BTreeMap<SymbolId, Domain>,
+    constraints: &[ExprRef],
+    constraint_syms: &[BTreeSet<SymbolId>],
+    assignment: &mut Assignment,
+    nodes: &mut u64,
+    max_nodes: u64,
+) -> Blast {
+    if depth == order.len() {
+        return Blast::Found(assignment.clone());
+    }
+    let sym = order[depth];
+    let dom = &domains[&sym];
+    blast_bits(
+        sym,
+        dom,
+        dom.width.bits(),
+        0,
+        depth,
+        order,
+        domains,
+        constraints,
+        constraint_syms,
+        assignment,
+        nodes,
+        max_nodes,
+    )
+}
+
+/// The interval `[lo, hi]` of values reachable by completing the bit prefix
+/// `prefix` with `remaining` free low bits.
+fn completion_interval(prefix: u64, remaining: u32) -> (u64, u64) {
+    if remaining >= 64 {
+        return (0, u64::MAX);
+    }
+    let lo = prefix << remaining;
+    (lo, lo | ((1u64 << remaining) - 1))
+}
+
+/// Chooses the remaining bits of `sym` (most significant first, `0` before
+/// `1`), pruning prefixes outside the refined domain interval.
+#[allow(clippy::too_many_arguments)]
+fn blast_bits(
+    sym: SymbolId,
+    dom: &Domain,
+    remaining: u32,
+    prefix: u64,
+    depth: usize,
+    order: &[SymbolId],
+    domains: &BTreeMap<SymbolId, Domain>,
+    constraints: &[ExprRef],
+    constraint_syms: &[BTreeSet<SymbolId>],
+    assignment: &mut Assignment,
+    nodes: &mut u64,
+    max_nodes: u64,
+) -> Blast {
+    *nodes += 1;
+    if *nodes > max_nodes {
+        return Blast::Budget;
+    }
+    let (lo, hi) = completion_interval(prefix, remaining);
+    if hi < dom.lo || lo > dom.hi {
+        return Blast::Exhausted; // prefix cannot reach the domain interval
+    }
+    if remaining == 0 {
+        let value = prefix;
+        if dom.excluded.contains(&value) {
+            return Blast::Exhausted;
+        }
+        assignment.set(sym, value);
+        // Partial evaluation over the constraints that mention the symbol
+        // just completed — same pruning rule as the canonical search.
+        let contradicted = constraints
+            .iter()
+            .zip(constraint_syms)
+            .filter(|(_, syms)| syms.contains(&sym))
+            .any(|(c, _)| c.eval_bool(assignment) == Some(false));
+        let result = if contradicted {
+            Blast::Exhausted
+        } else {
+            blast_symbol(
+                depth + 1,
+                order,
+                domains,
+                constraints,
+                constraint_syms,
+                assignment,
+                nodes,
+                max_nodes,
+            )
+        };
+        if matches!(result, Blast::Exhausted) {
+            assignment.unset(sym);
+        }
+        return result;
+    }
+    for bit in [0u64, 1] {
+        let result = blast_bits(
+            sym,
+            dom,
+            remaining - 1,
+            (prefix << 1) | bit,
+            depth,
+            order,
+            domains,
+            constraints,
+            constraint_syms,
+            assignment,
+            nodes,
+            max_nodes,
+        );
+        if !matches!(result, Blast::Exhausted) {
+            return result;
+        }
+    }
+    Blast::Exhausted
+}
+
+/// Size classes for the per-query-class backend selection table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryClass {
+    /// At most two symbols, at most 16 total bits.
+    Tiny,
+    /// At most 32 total bits.
+    Narrow,
+    /// Everything larger.
+    Wide,
+}
+
+/// Classifies a query by its symbol footprint.
+pub fn classify(widths: &BTreeMap<SymbolId, Width>) -> QueryClass {
+    let total_bits: u32 = widths.values().map(|w| w.bits()).sum();
+    if widths.len() <= 2 && total_bits <= 16 {
+        QueryClass::Tiny
+    } else if total_bits <= 32 {
+        QueryClass::Narrow
+    } else {
+        QueryClass::Wide
+    }
+}
+
+/// The selection table: the node budget the bit-blasting witness finder is
+/// given before the canonical search runs, or `None` to skip it entirely.
+pub fn alt_budget(
+    kind: SolverBackendKind,
+    class: QueryClass,
+    budget: SearchBudget,
+) -> Option<SearchBudget> {
+    match (kind, class) {
+        (SolverBackendKind::Canonical, _) => None,
+        (SolverBackendKind::BitBlast, QueryClass::Wide) => None,
+        (SolverBackendKind::BitBlast, _) => Some(budget),
+        (SolverBackendKind::Race, QueryClass::Tiny) => Some(SearchBudget {
+            max_nodes: (budget.max_nodes / 8).max(1),
+        }),
+        (SolverBackendKind::Race, QueryClass::Narrow) => Some(SearchBudget {
+            max_nodes: (budget.max_nodes / 16).max(1),
+        }),
+        (SolverBackendKind::Race, QueryClass::Wide) => None,
+    }
+}
+
+/// Resolves a *feasibility* search through the configured backend kind.
+///
+/// Returns the outcome plus whether the answer came from an alternative
+/// backend (`true` only for a verified witness). Anything but a verified
+/// `Sat` from the alternative backend is discarded and the canonical
+/// search decides — see the module documentation for why this keeps path
+/// sets backend-invariant.
+pub fn solve_feasibility(
+    kind: SolverBackendKind,
+    constraints: &[ExprRef],
+    widths: &BTreeMap<SymbolId, Width>,
+    budget: SearchBudget,
+) -> (SearchOutcome, bool) {
+    if let Some(alt) = alt_budget(kind, classify(widths), budget) {
+        if let SearchOutcome::Sat(model) = BitBlastBackend.solve(constraints, widths, alt) {
+            return (SearchOutcome::Sat(model), true);
+        }
+    }
+    (BacktrackBackend.solve(constraints, widths, budget), false)
+}

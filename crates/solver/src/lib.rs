@@ -44,6 +44,7 @@
 //! }
 //! ```
 
+mod backend;
 mod cache;
 mod constraint;
 mod domain;
@@ -52,7 +53,13 @@ mod search;
 mod solver;
 mod stats;
 
-pub use cache::{ModelCache, QueryCache, ShardedQueryCache, QUERY_CACHE_SHARDS};
+pub use backend::{
+    alt_budget, classify, solve_feasibility, BacktrackBackend, BitBlastBackend, QueryClass,
+    SolverBackend, SolverBackendKind,
+};
+pub use cache::{
+    CacheSlice, ModelCache, QueryCache, ShardedQueryCache, SliceEntry, QUERY_CACHE_SHARDS,
+};
 pub use constraint::ConstraintSet;
 pub use domain::{refine_domains, Domain};
 pub use independence::{independent_groups, relevant_constraints};

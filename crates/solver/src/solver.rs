@@ -1,6 +1,7 @@
 //! The solver facade used by the symbolic execution engine.
 
-use crate::cache::{ModelCache, ShardedQueryCache};
+use crate::backend::{solve_feasibility, SolverBackendKind};
+use crate::cache::{CacheSlice, ModelCache, ShardedQueryCache};
 use crate::constraint::ConstraintSet;
 use crate::independence::relevant_constraints;
 use crate::search::{search, SearchBudget, SearchOutcome};
@@ -30,6 +31,11 @@ pub struct SolverConfig {
     /// feasible (`true`, the conservative choice used by the engine) or
     /// infeasible (`false`).
     pub unknown_is_sat: bool,
+    /// Which backend strategy feasibility searches use (the canonical
+    /// backtracking search alone, bit-blasting with canonical fallback, or
+    /// a sequential race). Model-returning queries always resolve through
+    /// the canonical search regardless of this setting.
+    pub backend: SolverBackendKind,
 }
 
 impl Default for SolverConfig {
@@ -42,6 +48,7 @@ impl Default for SolverConfig {
             model_cache_capacity: 64,
             enable_independence: true,
             unknown_is_sat: true,
+            backend: SolverBackendKind::Canonical,
         }
     }
 }
@@ -153,9 +160,45 @@ impl Solver {
         &self.config
     }
 
-    /// A snapshot of the solver statistics.
+    /// A snapshot of the solver statistics. The warm-cache counters live in
+    /// the query cache (they are bumped under the shard locks) and are
+    /// overlaid on the atomic snapshot here.
     pub fn stats(&self) -> SolverStats {
-        self.stats.snapshot()
+        let mut stats = self.stats.snapshot();
+        stats.imported_cache_entries = self.query_cache.imported_entries();
+        stats.warm_hits = self.query_cache.warm_hits();
+        stats
+    }
+
+    /// Exports the `max` hottest query-cache entries as a transferable
+    /// [`CacheSlice`] (see [`ShardedQueryCache::export_slice`]).
+    pub fn export_slice(&self, max: usize) -> CacheSlice {
+        self.query_cache.export_slice(max)
+    }
+
+    /// A monotonic counter of locally solved cache insertions; unchanged
+    /// generation means an export would ship nothing an earlier export did
+    /// not already carry.
+    pub fn cache_generation(&self) -> u64 {
+        self.query_cache.own_insertions()
+    }
+
+    /// Exports the `max` hottest query-cache entries whose constraints
+    /// mention any of the `footprint` symbols.
+    pub fn export_slice_for(&self, footprint: &BTreeSet<SymbolId>, max: usize) -> CacheSlice {
+        self.query_cache.export_slice_for(footprint, max)
+    }
+
+    /// Merges a slice exported by another worker's solver into the query
+    /// cache; returns the number of entries newly added. Imports are
+    /// answer-preserving (cached answers are pure functions of their
+    /// constraint sets), so this can only save searches, never change
+    /// results.
+    pub fn import_slice(&self, slice: &CacheSlice) -> u64 {
+        if !self.config.enable_query_cache {
+            return 0;
+        }
+        self.query_cache.merge_slice(slice)
     }
 
     /// A snapshot of the per-query latency histogram (microseconds).
@@ -343,11 +386,20 @@ impl Solver {
             }
         }
 
-        // Full search over the sliced constraints.
+        // Full search over the sliced constraints. Model-returning callers
+        // go straight to the canonical backtracking search (its model *is*
+        // the canonical model); feasibility callers go through the backend
+        // selection table, which may answer with a verified witness from
+        // the bit-blasting backend before falling back to the canonical
+        // search.
         self.stats.inc_searches();
         let symbols: BTreeSet<SymbolId> = working.iter().flat_map(collect_symbols).collect();
         let widths = self.widths_for(&working, &symbols);
-        let outcome = search(&working, &widths, self.config.budget, None);
+        let (outcome, via_alt) = if needs_model {
+            (search(&working, &widths, self.config.budget, None), false)
+        } else {
+            solve_feasibility(self.config.backend, &working, &widths, self.config.budget)
+        };
         match outcome {
             SearchOutcome::Sat(model) => {
                 // Note: when the query was sliced, the model only binds the
@@ -356,7 +408,12 @@ impl Solver {
                 // `get_value`) never pass an extra query, so they always get
                 // a model over the full constraint set.
                 if self.config.enable_query_cache {
-                    let canonical = canonical_key.then(|| model.clone());
+                    // A witness from an alternative backend proves the sat
+                    // bit but is *not* the canonical model — caching it as
+                    // such would make later `get_model` answers depend on
+                    // the backend choice. Leave the model slot empty; a
+                    // model-returning query backfills it canonically.
+                    let canonical = (canonical_key && !via_alt).then(|| model.clone());
                     self.query_cache.insert(&working, None, true, canonical);
                 }
                 if self.config.enable_model_cache {

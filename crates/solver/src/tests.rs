@@ -1,11 +1,13 @@
 //! Unit and property-based tests for the solver.
 
 use crate::{
-    independent_groups, relevant_constraints, ConstraintSet, QueryCache, SatResult, Solver,
-    SolverConfig, Validity,
+    classify, independent_groups, relevant_constraints, BitBlastBackend, CacheSlice, ConstraintSet,
+    QueryCache, QueryClass, SatResult, SearchBudget, SearchOutcome, ShardedQueryCache, SliceEntry,
+    Solver, SolverBackend, SolverBackendKind, SolverConfig, Validity,
 };
-use c9_expr::{collect_symbols, Expr, ExprRef, SymbolId, SymbolManager, Width};
+use c9_expr::{collect_symbols, Assignment, Expr, ExprRef, SymbolId, SymbolManager, Width};
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 fn byte(sym: SymbolId) -> ExprRef {
     Expr::sym(sym, Width::W8)
@@ -484,8 +486,295 @@ fn canonical_models_are_reproducible() {
     assert_eq!(again.get(y), warm_model.get(y));
 }
 
+fn slice_for(sym: SymbolId, specs: &[(u64, bool, bool)]) -> CacheSlice {
+    CacheSlice {
+        entries: specs
+            .iter()
+            .map(|&(v, hot, with_model)| SliceEntry {
+                constraints: vec![pin_constraint(sym, v)],
+                query: None,
+                sat: true,
+                // Models are a pure function of the key, mirroring the
+                // canonical-model invariant of real caches.
+                model: with_model.then(|| {
+                    let mut a = Assignment::new();
+                    a.set(sym, v);
+                    a
+                }),
+                hot,
+            })
+            .collect(),
+    }
+}
+
+#[test]
+fn imported_slice_never_evicts_residents() {
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    let y = m.fresh("y", Width::W8);
+    // 2 entries per shard: small enough that a large import would flush it
+    // if imports were allowed to evict.
+    let cache = ShardedQueryCache::new(32);
+    for v in 0..8u64 {
+        cache.insert(&[pin_constraint(x, v)], None, true, None);
+    }
+    let residents = cache.len();
+    // A slice far larger than the whole cache.
+    let specs: Vec<(u64, bool, bool)> = (0..200).map(|v| (v % 251, true, false)).collect();
+    let big = slice_for(y, &specs);
+    cache.merge_slice(&big);
+    // Every resident is still answerable — imports only used spare room.
+    for v in 0..8u64 {
+        assert!(
+            cache.get(&[pin_constraint(x, v)], None, false).is_some(),
+            "resident {v} evicted by an import"
+        );
+    }
+    assert!(cache.len() >= residents);
+}
+
+#[test]
+fn reference_bits_survive_slice_merge() {
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    let cache = ShardedQueryCache::new(256);
+    let key = [pin_constraint(x, 7)];
+    cache.insert(&key, None, true, None);
+    // A hit sets the clock reference bit.
+    assert!(cache.get(&key, None, false).is_some());
+    // Import the same key (cold, but carrying the canonical model).
+    let mut model = Assignment::new();
+    model.set(x, 7);
+    let slice = CacheSlice {
+        entries: vec![SliceEntry {
+            constraints: key.to_vec(),
+            query: None,
+            sat: true,
+            model: Some(model.clone()),
+            hot: false,
+        }],
+    };
+    assert_eq!(
+        cache.merge_slice(&slice),
+        0,
+        "existing key must merge in place"
+    );
+    // The re-exported entry still carries the reference bit — the merge
+    // neither cleared it nor replaced the entry — and gained the model.
+    let exported = cache.export_slice(16);
+    let entry = exported
+        .entries
+        .iter()
+        .find(|e| e.constraints == key)
+        .expect("merged entry must still be exportable");
+    assert!(entry.hot, "reference bit lost in merge");
+    assert_eq!(entry.model.as_ref(), Some(&model));
+}
+
+#[test]
+fn export_slice_ranks_hot_entries_first() {
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    let cache = ShardedQueryCache::new(256);
+    for v in 0..8u64 {
+        cache.insert(&[pin_constraint(x, v)], None, true, None);
+    }
+    for v in [1u64, 4, 6] {
+        assert!(cache.get(&[pin_constraint(x, v)], None, false).is_some());
+    }
+    let slice = cache.export_slice(3);
+    assert_eq!(slice.len(), 3);
+    assert!(
+        slice.entries.iter().all(|e| e.hot),
+        "cold entry out-ranked a hot one"
+    );
+}
+
+#[test]
+fn export_slice_for_filters_by_footprint() {
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    let y = m.fresh("y", Width::W8);
+    let cache = ShardedQueryCache::new(256);
+    cache.insert(&[pin_constraint(x, 1)], None, true, None);
+    cache.insert(&[pin_constraint(y, 2)], None, true, None);
+    let footprint: BTreeSet<SymbolId> = [x].into_iter().collect();
+    let slice = cache.export_slice_for(&footprint, 16);
+    assert_eq!(slice.len(), 1);
+    assert!(collect_symbols(&slice.entries[0].constraints[0]).contains(&x));
+}
+
+#[test]
+fn imported_entries_serve_warm_hits_without_searches() {
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    let sets: Vec<ConstraintSet> = (0..6u64)
+        .map(|v| {
+            let mut pc = ConstraintSet::new();
+            pc.push(pin_constraint(x, v));
+            pc
+        })
+        .collect();
+    let source = Solver::new();
+    for pc in &sets {
+        assert!(source.check_sat(pc).is_sat());
+    }
+    let slice = source.export_slice(64);
+    assert!(slice.len() >= sets.len());
+
+    let sink = Solver::new();
+    assert_eq!(sink.import_slice(&slice) as usize, slice.len());
+    for pc in &sets {
+        assert!(sink.check_sat(pc).is_sat());
+    }
+    let stats = sink.stats();
+    assert_eq!(
+        stats.searches, 0,
+        "imported answers should spare all searches"
+    );
+    assert_eq!(stats.imported_cache_entries as usize, slice.len());
+    assert_eq!(stats.warm_hits, sets.len() as u64);
+    assert!(stats.warm_hit_rate() > 0.99);
+
+    // Imported canonical models are authoritative for the exact key: the
+    // sink returns the same model a fresh solver would compute itself.
+    let fresh = Solver::new();
+    for pc in &sets {
+        assert_eq!(
+            sink.get_model(pc).unwrap().get(x),
+            fresh.get_model(pc).unwrap().get(x)
+        );
+    }
+}
+
+#[test]
+fn bitblast_backend_agrees_on_small_queries() {
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    let widths: std::collections::BTreeMap<SymbolId, Width> =
+        [(x, Width::W8)].into_iter().collect();
+    let budget = SearchBudget::default();
+
+    // Sat: verified witness.
+    let sat = [pin_constraint(x, 42)];
+    match BitBlastBackend.solve(&sat, &widths, budget) {
+        SearchOutcome::Sat(model) => {
+            assert_eq!(c9_expr::eval_constraints(&sat, &model), Some(true));
+            assert_eq!(model.get(x), Some(42));
+        }
+        other => panic!("expected sat, got {other:?}"),
+    }
+
+    // Unsat over an exhaustive byte domain is proved.
+    let unsat = [pin_constraint(x, 1), pin_constraint(x, 2)];
+    assert_eq!(
+        BitBlastBackend.solve(&unsat, &widths, budget),
+        SearchOutcome::Unsat
+    );
+}
+
+#[test]
+fn backend_selection_table_is_class_driven() {
+    let mut m = SymbolManager::new();
+    let x = m.fresh("x", Width::W8);
+    let n = m.fresh("n", Width::W64);
+    let tiny: std::collections::BTreeMap<SymbolId, Width> = [(x, Width::W8)].into_iter().collect();
+    let wide: std::collections::BTreeMap<SymbolId, Width> = [(n, Width::W64)].into_iter().collect();
+    assert_eq!(classify(&tiny), QueryClass::Tiny);
+    assert_eq!(classify(&wide), QueryClass::Wide);
+    let budget = SearchBudget::default();
+    // Canonical never consults the alternative backend.
+    assert!(crate::alt_budget(SolverBackendKind::Canonical, QueryClass::Tiny, budget).is_none());
+    // Wide queries never go to the bit-blaster (its search is bit-depth
+    // exponential without exhaustive domains).
+    assert!(crate::alt_budget(SolverBackendKind::BitBlast, QueryClass::Wide, budget).is_none());
+    assert!(crate::alt_budget(SolverBackendKind::Race, QueryClass::Wide, budget).is_none());
+    // Race mode throttles the witness finder to a budget slice.
+    let race = crate::alt_budget(SolverBackendKind::Race, QueryClass::Tiny, budget).unwrap();
+    assert!(race.max_nodes < budget.max_nodes);
+}
+
+#[test]
+fn backend_choice_is_invisible_to_the_engine() {
+    // Same queries, three backend kinds: identical feasibility decisions
+    // and identical canonical models — the determinism contract that lets
+    // racing be enabled per worker without perturbing path sets.
+    let kinds = [
+        SolverBackendKind::Canonical,
+        SolverBackendKind::BitBlast,
+        SolverBackendKind::Race,
+    ];
+    let mut decisions: Vec<Vec<bool>> = Vec::new();
+    let mut models: Vec<Vec<Option<u64>>> = Vec::new();
+    for kind in kinds {
+        let solver = Solver::with_config(SolverConfig {
+            backend: kind,
+            ..SolverConfig::default()
+        });
+        let mut m = SymbolManager::new();
+        let x = m.fresh("x", Width::W8);
+        let y = m.fresh("y", Width::W8);
+        let n = m.fresh("n", Width::W32);
+        let mut pc = ConstraintSet::new();
+        pc.push(Expr::ult(byte(x), Expr::const_(100, Width::W8)));
+        pc.push(Expr::eq(
+            Expr::add(byte(x), byte(y)),
+            Expr::const_(120, Width::W8),
+        ));
+        pc.push(Expr::ult(
+            Expr::sym(n, Width::W32),
+            Expr::const_(1000, Width::W32),
+        ));
+        let queries = [
+            Expr::ult(byte(x), Expr::const_(50, Width::W8)),
+            Expr::eq(byte(y), Expr::const_(30, Width::W8)),
+            Expr::ult(Expr::sym(n, Width::W32), Expr::const_(5, Width::W32)),
+            Expr::eq(byte(x), Expr::const_(200, Width::W8)),
+        ];
+        decisions.push(
+            queries
+                .iter()
+                .map(|q| solver.may_be_true(&pc, q.clone()))
+                .collect(),
+        );
+        let model = solver.get_model(&pc).expect("sat");
+        models.push(vec![model.get(x), model.get(y), model.get(n)]);
+    }
+    assert_eq!(decisions[0], decisions[1], "bitblast changed a decision");
+    assert_eq!(decisions[0], decisions[2], "race changed a decision");
+    assert_eq!(models[0], models[1], "bitblast changed the canonical model");
+    assert_eq!(models[0], models[2], "race changed the canonical model");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Slice merge is commutative and associative (the key-join union with
+    /// OR-ed hot bits and prefer-present models), given the purity
+    /// invariant that identical keys carry identical answers.
+    #[test]
+    fn prop_slice_merge_commutative_associative(
+        a in proptest::collection::vec((0u64..8, any::<bool>(), any::<bool>()), 0..10),
+        b in proptest::collection::vec((0u64..8, any::<bool>(), any::<bool>()), 0..10),
+        c in proptest::collection::vec((0u64..8, any::<bool>(), any::<bool>()), 0..10),
+    ) {
+        let mut m = SymbolManager::new();
+        let x = m.fresh("x", Width::W8);
+        let (a, b, c) = (slice_for(x, &a), slice_for(x, &b), slice_for(x, &c));
+        let merged = |l: &CacheSlice, r: &CacheSlice| {
+            let mut out = l.clone();
+            out.merge(r);
+            out
+        };
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+        prop_assert_eq!(
+            merged(&merged(&a, &b), &c),
+            merged(&a, &merged(&b, &c))
+        );
+        // Merging a slice into itself is the identity (idempotence).
+        let aa = merged(&a, &a);
+        prop_assert_eq!(merged(&aa, &a), aa);
+    }
 
     /// Any model returned by the solver actually satisfies the constraints.
     #[test]

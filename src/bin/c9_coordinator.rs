@@ -38,7 +38,7 @@ use c9_core::config::{parse_coordinator_args, CoordinatorArgs};
 use c9_core::frontdoor;
 use c9_core::{
     write_run_report, write_timeline_csv, Checkpoint, Cluster, ClusterConfig, CoordinatorRunOpts,
-    EnvSpec, RunId, RunService, RunServiceConfig, RunSubmission, StrategyKind,
+    EnvSpec, RunId, RunService, RunServiceConfig, RunSubmission, SolverBackendKind, StrategyKind,
 };
 use c9_net::TcpCoordinatorEndpoint;
 use c9_posix::PosixEnvironment;
@@ -88,6 +88,14 @@ fn usage() -> ! {
          \x20                        from the root) within an optional byte budget\n\
          \x20 --export-order ORDER   which candidates workers export on balancing\n\
          \x20                        transfers: shallowest (default) or deepest\n\
+         \x20 --solver-cache CAP     per-worker solver query-cache capacity in entries\n\
+         \x20                        (0 disables the cache)\n\
+         \x20 --solver-backend KIND  solver strategy: canonical (default), bitblast, or\n\
+         \x20                        race (bit-blast witness finder in front of the\n\
+         \x20                        canonical search; identical path sets either way)\n\
+         \x20 --cache-gossip on|off  cross-worker constraint-cache sharing: slices ride\n\
+         \x20                        job batches and status reports, the coordinator\n\
+         \x20                        rebroadcasts the cluster hot set (default on)\n\
          \x20 --status-interval-ms MS   worker status cadence\n\
          \x20 --balance-interval-ms MS  balancing cadence\n\
          \n\
@@ -191,6 +199,17 @@ fn submission_from_json(cmd: &Json, defaults: &ClusterConfig) -> Result<RunSubmi
     {
         config.worker.generate_test_cases = true;
     }
+    if let Some(capacity) = cmd.get("solver_cache").and_then(Json::as_u64) {
+        config.worker.solver_cache = Some(capacity as usize);
+    }
+    if let Some(backend) = cmd.get("solver_backend").and_then(Json::as_str) {
+        config.worker.solver_backend = backend
+            .parse::<SolverBackendKind>()
+            .map_err(|_| format!("unknown solver_backend {backend:?}"))?;
+    }
+    if let Some(Json::Bool(gossip)) = cmd.get("cache_gossip") {
+        config.worker.cache_gossip = *gossip;
+    }
     let (env_spec, _) = env_for(workload.env);
     Ok(RunSubmission {
         name: target.to_string(),
@@ -241,7 +260,17 @@ fn run_service(args: &CoordinatorArgs, serve_addr: &str) -> ! {
     let submit: frontdoor::SubmitFn = Box::new(move |cmd| submission_from_json(cmd, &defaults));
     std::thread::spawn(move || frontdoor::serve(listener, handle, submit));
     info!("run service up ({} static workers)", args.workers.len());
-    service.run();
+    let summary = service.run();
+    println!("runs finished:     {}", summary.runs_finished);
+    println!("service paths:     {}", summary.paths_completed);
+    println!("service bugs:      {}", summary.bugs_found);
+    println!(
+        "service solver:    {} queries ({:.1}% cache hits, {:.1}% warm hits on {} imported entries)",
+        summary.solver.queries,
+        100.0 * summary.solver.cache_hit_rate(),
+        100.0 * summary.solver.warm_hit_rate(),
+        summary.solver.imported_cache_entries,
+    );
     c9_trace::flush();
     // The connection thread that relayed the `shutdown` command is still
     // writing its `{"ok":true}` reply line; give it a moment before the
@@ -394,6 +423,17 @@ fn main() {
         100.0 * solver.cache_hit_rate(),
         solver.searches,
         solver.independence_slices,
+    );
+    let gossip_out: u64 = s.worker_stats.iter().map(|w| w.gossip_bytes_sent).sum();
+    let gossip_in: u64 = s.worker_stats.iter().map(|w| w.gossip_bytes_received).sum();
+    println!(
+        "solver warm hits:  {} on {} imported cache entries ({:.1}% warm hit-rate, \
+         gossip {} B out / {} B in)",
+        solver.warm_hits,
+        solver.imported_cache_entries,
+        100.0 * solver.warm_hit_rate(),
+        gossip_out,
+        gossip_in,
     );
     for (i, w) in s.worker_stats.iter().enumerate() {
         println!(

@@ -48,6 +48,8 @@ fn usage() -> ! {
          \x20 --replay-cache N[:BYTES]  prefix-anchor replay cache: keep up to N anchor\n\
          \x20                     snapshots (0 = replay every job from the root) within\n\
          \x20                     an optional byte budget; overrides the run spec\n\
+         \x20 --solver-cache CAP  solver query-cache capacity in entries (0 disables\n\
+         \x20                     the cache); overrides the coordinator's run spec\n\
          \n\
          observability:\n\
          \x20 --log-level LEVEL   stderr log level: error|warn|info|debug|trace\n\
@@ -137,6 +139,7 @@ fn run_elastic(args: &WorkerArgs, coordinator: &str) -> ! {
                 env,
                 args.common.threads,
                 args.common.replay_cache,
+                args.common.solver_cache,
             );
             info!("worker {}: run complete", endpoint.id());
             flush_trace(args);
@@ -206,7 +209,11 @@ fn main() {
     // daemon to stop, or (`--once`) the hosted runs drain.
     info!("worker {}: serving", endpoint.id());
     WorkerService::new(&mut endpoint, environment_for)
-        .with_overrides(args.common.threads, args.common.replay_cache)
+        .with_overrides(
+            args.common.threads,
+            args.common.replay_cache,
+            args.common.solver_cache,
+        )
         .exit_when_drained(args.once)
         .serve();
     info!("worker {}: service loop ended", endpoint.id());
