@@ -1,0 +1,147 @@
+//! A minimal, dependency-free binding of `poll(2)`.
+//!
+//! The reactor in `c9-net` needs readiness notification over an arbitrary
+//! number of sockets from one thread. `std` exposes no readiness API, and
+//! this workspace builds offline without the `libc` crate — but every Rust
+//! program on a Unix platform already links the platform C library through
+//! `std`, so declaring the one symbol we need is enough. `poll(2)` (rather
+//! than `epoll`) keeps the binding a single portable call with no kernel
+//! object to manage; at the fleet sizes a coordinator handles (hundreds of
+//! sockets), a linear scan per wakeup is far below the noise floor of
+//! symbolic execution itself.
+
+#![deny(missing_docs)]
+#![cfg(unix)]
+
+use std::io;
+use std::os::raw::{c_int, c_ulong};
+use std::os::unix::io::RawFd;
+
+/// The descriptor has data to read (`POLLIN`).
+pub const POLLIN: i16 = 0x001;
+/// The descriptor can accept writes without blocking (`POLLOUT`).
+pub const POLLOUT: i16 = 0x004;
+/// An error condition is pending on the descriptor (`POLLERR`, output only).
+pub const POLLERR: i16 = 0x008;
+/// The peer hung up (`POLLHUP`, output only).
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor is not open (`POLLNVAL`, output only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of the `poll(2)` descriptor array, layout-compatible with the
+/// platform's `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PollFd {
+    /// The descriptor to watch (a negative value makes the kernel skip the
+    /// entry, reporting `revents = 0`).
+    pub fd: RawFd,
+    /// Requested events ([`POLLIN`] | [`POLLOUT`]).
+    pub events: i16,
+    /// Returned events, filled by the kernel.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A watch entry for `fd` with the given interest set.
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Whether the kernel reported any of `mask` on this entry.
+    pub fn has(&self, mask: i16) -> bool {
+        self.revents & mask != 0
+    }
+
+    /// Whether the kernel reported an error or hangup condition.
+    pub fn failed(&self) -> bool {
+        self.has(POLLERR | POLLHUP | POLLNVAL)
+    }
+}
+
+extern "C" {
+    // `nfds_t` is `unsigned long` on every Unix platform this workspace
+    // targets (Linux and the BSD family).
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+}
+
+/// Waits until one of `fds` is ready or `timeout_ms` elapses; `None` blocks
+/// indefinitely. Returns the number of entries with non-zero `revents`
+/// (0 on timeout). `EINTR` is retried internally, so a signal delivered to
+/// the polling thread never surfaces as an error.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: Option<i32>) -> io::Result<usize> {
+    let timeout = timeout_ms.unwrap_or(-1);
+    loop {
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn timeout_returns_zero() {
+        // An empty watch set with a short timeout: pure sleep.
+        let mut fds: [PollFd; 0] = [];
+        let n = poll_fds(&mut fds, Some(10)).expect("poll");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn readable_after_write() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+
+        // Nothing to read yet.
+        let mut fds = [PollFd::new(server.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(10)).expect("poll");
+        assert_eq!(n, 0, "no data should mean timeout");
+
+        client.write_all(b"x").expect("write");
+        let n = poll_fds(&mut fds, Some(1000)).expect("poll");
+        assert_eq!(n, 1);
+        assert!(fds[0].has(POLLIN));
+    }
+
+    #[test]
+    fn writable_socket_reports_pollout() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let mut fds = [PollFd::new(client.as_raw_fd(), POLLOUT)];
+        let n = poll_fds(&mut fds, Some(1000)).expect("poll");
+        assert_eq!(n, 1);
+        assert!(fds[0].has(POLLOUT));
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        drop(client);
+        let mut fds = [PollFd::new(server.as_raw_fd(), POLLIN)];
+        let n = poll_fds(&mut fds, Some(1000)).expect("poll");
+        assert_eq!(n, 1);
+        // A closed peer surfaces as POLLIN (EOF read) and/or POLLHUP.
+        assert!(fds[0].has(POLLIN | POLLHUP));
+    }
+}

@@ -218,17 +218,36 @@ fn serve_connection(stream: TcpStream, handle: ServiceHandle, submit: &SubmitFn)
     info!("front door: connection from {peer} closed");
 }
 
-/// Accepts front-door connections forever, one thread per client. Runs on
-/// its own thread; the process ends when the service loop returns after a
-/// `shutdown` command, taking this daemon thread with it.
+/// Concurrent front-door connections admitted at most. Each connection
+/// holds a thread for its lifetime; without a bound, a client opening
+/// sockets in a loop grows the daemon's thread count without limit.
+pub const MAX_CONNECTIONS: usize = 64;
+
+/// Accepts front-door connections forever, one thread per client, at most
+/// [`MAX_CONNECTIONS`] at a time — a client beyond the cap receives a
+/// one-line `{"ok":false,"error":"too many connections"}` and is closed
+/// immediately. Runs on its own thread; the process ends when the service
+/// loop returns after a `shutdown` command, taking this daemon thread with
+/// it.
 pub fn serve(listener: TcpListener, handle: ServiceHandle, submit: SubmitFn) {
     let submit = std::sync::Arc::new(submit);
+    let connections = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
     for stream in listener.incoming() {
-        let Ok(stream) = stream else { continue };
+        let Ok(mut stream) = stream else { continue };
+        // Reserve a slot before spawning; the increment-then-check keeps
+        // concurrent accepts from racing past the cap.
+        if connections.fetch_add(1, std::sync::atomic::Ordering::SeqCst) >= MAX_CONNECTIONS {
+            connections.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+            let _ = writeln!(stream, "{}", err("too many connections").render());
+            info!("front door: connection rejected (at the {MAX_CONNECTIONS}-connection cap)");
+            continue;
+        }
         let handle = handle.clone();
         let submit = submit.clone();
+        let connections = connections.clone();
         std::thread::spawn(move || {
             serve_connection(stream, handle, &submit);
+            connections.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
         });
     }
 }

@@ -61,6 +61,7 @@
 mod balancer;
 mod cluster;
 pub mod config;
+mod federation;
 pub mod frontdoor;
 mod membership;
 mod portfolio;
@@ -84,6 +85,7 @@ pub use cluster::{
     run_worker_from_spec, run_worker_from_spec_with, run_worker_loop, Cluster, ClusterConfig,
     ClusterRunResult, CoordinatorRunOpts, WorkerLoopOpts, WorkerService,
 };
+pub use federation::{FederatedCluster, FederationConfig, SubCoordinator, SubSummary};
 pub use membership::{Checkpoint, MemberHealth, MemberState, Membership};
 pub use portfolio::{derive_seed, Portfolio, PortfolioCheckpoint, PortfolioConfig, StrategyYield};
 pub use replay_cache::AnchorCache;

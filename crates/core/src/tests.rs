@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// A program with `n` symbolic bytes and 2^n paths (one branch per byte).
-fn branching_program(n: usize) -> Program {
+pub(crate) fn branching_program(n: usize) -> Program {
     let mut pb = ProgramBuilder::new();
     pb.set_name("branching");
     let mut f = pb.function("main", 0, Some(Width::W32));

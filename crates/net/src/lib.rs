@@ -28,6 +28,7 @@ mod id;
 mod inproc;
 mod job;
 mod message;
+pub mod reactor;
 mod spec;
 mod stats;
 mod tcp;

@@ -7,72 +7,67 @@
 //! coordinator only ever sees queue lengths and coverage bit vectors,
 //! exactly as in the paper.
 //!
+//! Every endpoint is backed by one [`reactor`](crate::reactor) thread that
+//! owns all of its sockets: the listener, the coordinator connection, and
+//! every peer connection. Frames are parsed incrementally out of
+//! per-connection read buffers, writes drain through per-connection queues
+//! on writability, and heartbeats tick off the reactor's timer wheel — an
+//! endpoint holds O(1) threads no matter how many peers it talks to, which
+//! is what makes a 256-worker (or federated) coordinator viable in one
+//! process.
+//!
 //! Membership is elastic in both directions:
 //!
 //! * the coordinator can dial a fixed worker list
 //!   ([`TcpCoordinatorEndpoint::connect`], the static deployment), and/or
 //!   listen for workers that attach to a running cluster with a
 //!   [`WireMessage::Join`] handshake ([`TcpCoordinatorEndpoint::listen`]);
-//! * each worker's transport sends [`WireMessage::Heartbeat`] frames from a
-//!   dedicated thread, so the coordinator's failure detector keeps working
-//!   while the worker loop is deep inside a solver call;
+//! * each worker's transport sends [`WireMessage::Heartbeat`] frames from
+//!   the reactor's timer wheel, so the coordinator's failure detector keeps
+//!   working while the worker loop is deep inside a solver call;
 //! * every worker carries a per-worker *epoch* assigned at join time; a
 //!   re-joining worker gets a fresh epoch and peers drop both the stale
 //!   cached connection and any frames stamped with the old epoch.
 //!
-//! Framing is length-prefixed bincode (see [`crate::frame`]). Accept loops
-//! are reconnect-aware: a worker keeps accepting connections for its whole
-//! lifetime, a new coordinator connection replaces the previous one, and a
-//! failed peer connection is re-dialed on the next send.
+//! Join handshakes are bounded: a connection that never completes its
+//! [`WireMessage::Join`] (dead dialer, garbage frame) is swept after
+//! [`JOIN_HANDSHAKE_TIMEOUT`] and its socket released, so abandoned
+//! handshakes cannot pin coordinator resources.
 
-use crate::frame::{read_frame, write_frame};
+use crate::frame::encode_frame;
 use crate::message::{
     Control, FinalReport, JobBatch, PeerInfo, RunSpec, StatusReport, WireMessage, WIRE_VERSION,
 };
+use crate::reactor::{Reactor, ReactorEvent, ReactorHandle, TimerId, Token};
 use crate::transport::{
     CoordinatorEndpoint, Endpoints, JoinRequest, MemberEvent, Transport, TransportError,
     WorkerEndpoint,
 };
 use crate::{RunId, WorkerId};
 use c9_vm::StrategyKind;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::Receiver;
 use std::collections::{HashMap, VecDeque};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
-/// Events surfaced by a worker's accept loop.
-enum HostEvent {
-    /// A coordinator introduced itself on a fresh connection.
-    Hello {
-        worker: WorkerId,
-        num_workers: u32,
-        peers: Vec<String>,
-        writer: TcpStream,
-    },
-    /// The coordinator started (or admitted) a run.
-    Start(Box<RunSpec>),
-    /// A control message, stamped with the run it addresses.
-    Control(RunId, Control),
-    /// A job batch from a peer worker.
-    Jobs(JobBatch),
-}
+/// How long a worker-initiated connection may sit between `accept` and a
+/// completed [`WireMessage::Join`] handshake (or between the surfaced
+/// [`JoinRequest`] and the coordinator's admission decision) before the
+/// coordinator sweeps it and releases the socket.
+pub const JOIN_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// Stops an accept loop (releasing the listener's port and thread) when
-/// the owning host or endpoint is dropped.
-struct ListenerGuard {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-}
+/// Shuts the reactor down when the last owner (host or endpoint) goes away.
+struct ReactorGuard(ReactorHandle);
 
-impl Drop for ListenerGuard {
+impl Drop for ReactorGuard {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Release);
-        // Wake the accept loop so it observes the flag and exits.
-        let _ = TcpStream::connect(self.addr);
+        self.0.shutdown();
     }
+}
+
+fn encode(msg: &WireMessage) -> Result<Vec<u8>, TransportError> {
+    encode_frame(msg).map_err(TransportError::from)
 }
 
 /// The peer table of one worker: listen address, fencing epoch, and the
@@ -82,7 +77,7 @@ impl Drop for ListenerGuard {
 struct PeerTable {
     addrs: Vec<String>,
     epochs: Vec<u64>,
-    conns: Vec<Option<TcpStream>>,
+    conns: Vec<Option<Token>>,
 }
 
 impl PeerTable {
@@ -100,7 +95,7 @@ impl PeerTable {
     /// Builds a table from a full membership announcement.
     fn from_infos(peers: &[PeerInfo]) -> PeerTable {
         let mut table = PeerTable::from_addrs(Vec::new());
-        table.update(peers);
+        table.update(peers, None);
         table
     }
 
@@ -114,7 +109,7 @@ impl PeerTable {
     }
 
     /// Applies a membership update, dropping stale connections.
-    fn update(&mut self, peers: &[PeerInfo]) {
+    fn update(&mut self, peers: &[PeerInfo], handle: Option<&ReactorHandle>) {
         for peer in peers {
             let idx = peer.worker.index();
             if idx >= self.addrs.len() {
@@ -123,24 +118,33 @@ impl PeerTable {
                 self.conns.resize_with(idx + 1, || None);
             }
             if self.addrs[idx] != peer.addr || self.epochs[idx] != peer.epoch {
-                // The satellite fix: a re-joined worker's old socket must
-                // not linger in the map, or job batches would vanish into
-                // the dead connection.
-                self.conns[idx] = None;
+                // A re-joined worker's old socket must not linger in the
+                // table, or job batches would vanish into the dead
+                // connection.
+                if let (Some(handle), Some(token)) = (handle, self.conns[idx].take()) {
+                    handle.close(token);
+                }
             }
             self.addrs[idx] = peer.addr.clone();
             self.epochs[idx] = peer.epoch;
         }
     }
 
-    fn drop_conn(&mut self, worker: WorkerId) {
-        if let Some(slot) = self.conns.get_mut(worker.index()) {
-            *slot = None;
+    /// Forgets the connection behind a token the reactor reported closed.
+    fn drop_token(&mut self, token: Token) {
+        for slot in &mut self.conns {
+            if *slot == Some(token) {
+                *slot = None;
+            }
         }
     }
 
-    /// The connection to a peer, dialing it on first use.
-    fn stream(&mut self, destination: WorkerId) -> Result<&mut TcpStream, TransportError> {
+    /// The connection token of a peer, dialing the peer on first use.
+    fn token(
+        &mut self,
+        destination: WorkerId,
+        handle: &ReactorHandle,
+    ) -> Result<Token, TransportError> {
         let idx = destination.index();
         if idx >= self.addrs.len() || self.addrs[idx].is_empty() {
             return Err(TransportError::Io(format!(
@@ -151,41 +155,33 @@ impl PeerTable {
         if self.conns[idx].is_none() {
             let stream = TcpStream::connect(&self.addrs[idx])?;
             stream.set_nodelay(true).ok();
-            self.conns[idx] = Some(stream);
+            self.conns[idx] = Some(handle.add_conn(stream));
         }
-        Ok(self.conns[idx].as_mut().expect("peer conn present"))
+        Ok(self.conns[idx].expect("peer conn present"))
     }
 }
 
 /// A worker-side listener: accepts coordinator and peer connections and
-/// demultiplexes their frames into one event queue.
+/// demultiplexes their frames into one reactor event queue.
 pub struct TcpWorkerHost {
     local_addr: SocketAddr,
-    events_tx: Sender<HostEvent>,
-    events_rx: Receiver<HostEvent>,
-    guard: ListenerGuard,
+    handle: ReactorHandle,
+    events_rx: Receiver<ReactorEvent>,
+    guard: ReactorGuard,
 }
 
 impl TcpWorkerHost {
-    /// Binds the worker listener and starts the accept loop.
+    /// Binds the worker listener and spawns the endpoint's reactor.
     pub fn bind(addr: &str) -> io::Result<TcpWorkerHost> {
-        let listener = TcpListener::bind(addr)?;
+        let listener = std::net::TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let (events_tx, events_rx) = unbounded();
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let accept_shutdown = shutdown.clone();
-        let accept_tx = events_tx.clone();
-        std::thread::Builder::new()
-            .name(format!("c9-accept-{local_addr}"))
-            .spawn(move || accept_loop(&listener, &accept_tx, &accept_shutdown))?;
+        let (handle, events_rx) = Reactor::spawn(&format!("worker-{local_addr}"))?;
+        handle.add_listener(listener);
         Ok(TcpWorkerHost {
             local_addr,
-            events_tx,
+            guard: ReactorGuard(handle.clone()),
+            handle,
             events_rx,
-            guard: ListenerGuard {
-                addr: local_addr,
-                shutdown,
-            },
         })
     }
 
@@ -194,47 +190,42 @@ impl TcpWorkerHost {
         self.local_addr
     }
 
+    fn into_endpoint(self) -> TcpWorkerEndpoint {
+        TcpWorkerEndpoint {
+            id: WorkerId(0),
+            num_workers: 0,
+            peers: PeerTable::from_addrs(Vec::new()),
+            coordinator: None,
+            coordinator_down: false,
+            handle: self.handle,
+            events_rx: self.events_rx,
+            pending_control: VecDeque::new(),
+            pending_jobs: VecDeque::new(),
+            pending_start: VecDeque::new(),
+            worker_epoch: 0,
+            assigned_strategy: StrategyKind::default(),
+            heartbeat: None,
+            _guard: self.guard,
+        }
+    }
+
     /// Waits for a coordinator to connect and introduce itself, returning
     /// the worker endpoint for the session. Control or job frames that race
     /// ahead of the hello are preserved for the endpoint.
     pub fn accept_coordinator(self, timeout: Duration) -> Option<TcpWorkerEndpoint> {
+        let mut endpoint = self.into_endpoint();
         let deadline = Instant::now() + timeout;
-        let mut pending_control = VecDeque::new();
-        let mut pending_jobs = VecDeque::new();
-        let mut pending_start = VecDeque::new();
-        loop {
+        while endpoint.coordinator.is_none() {
             let now = Instant::now();
             if now >= deadline {
                 return None;
             }
-            match self.events_rx.recv_timeout(deadline - now) {
-                Ok(HostEvent::Hello {
-                    worker,
-                    num_workers,
-                    peers,
-                    writer,
-                }) => {
-                    return Some(TcpWorkerEndpoint {
-                        id: worker,
-                        num_workers: num_workers as usize,
-                        peers: PeerTable::from_addrs(peers),
-                        coordinator: Arc::new(Mutex::new(writer)),
-                        events_rx: self.events_rx,
-                        pending_control,
-                        pending_jobs,
-                        pending_start,
-                        worker_epoch: 0,
-                        assigned_strategy: StrategyKind::default(),
-                        hb_stop: None,
-                        _guard: self.guard,
-                    });
-                }
-                Ok(HostEvent::Control(run, c)) => pending_control.push_back((run, c)),
-                Ok(HostEvent::Jobs(j)) => pending_jobs.push_back(j),
-                Ok(HostEvent::Start(s)) => pending_start.push_back(*s),
+            match endpoint.events_rx.recv_timeout(deadline - now) {
+                Ok(event) => endpoint.dispatch(event),
                 Err(_) => return None,
             }
         }
+        Some(endpoint)
     }
 
     /// Dials a listening coordinator and joins its cluster (elastic
@@ -250,9 +241,13 @@ impl TcpWorkerHost {
         timeout: Duration,
     ) -> Result<TcpWorkerEndpoint, TransportError> {
         let deadline = Instant::now() + timeout;
+        // The handshake happens in blocking mode on the caller's thread;
+        // only the established session is handed to the reactor. A frame
+        // read reads exactly its own bytes, so anything the coordinator
+        // sends after the ack is still in the socket for the reactor.
         let mut stream = dial_until(coordinator_addr, deadline)?;
         stream.set_nodelay(true).ok();
-        write_frame(
+        crate::frame::write_frame(
             &mut stream,
             &WireMessage::Join {
                 version: WIRE_VERSION,
@@ -264,7 +259,8 @@ impl TcpWorkerHost {
         stream
             .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))
             .ok();
-        let ack: WireMessage = read_frame(&mut stream).map_err(TransportError::from)?;
+        let ack: WireMessage =
+            crate::frame::read_frame(&mut stream).map_err(TransportError::from)?;
         stream.set_read_timeout(None).ok();
         let WireMessage::JoinAck {
             worker,
@@ -277,89 +273,14 @@ impl TcpWorkerHost {
                 "coordinator answered the join with an unexpected frame".into(),
             ));
         };
-        // Start/control frames for the run arrive on this same connection.
-        let reader = stream.try_clone().map_err(TransportError::from)?;
-        let events_tx = self.events_tx.clone();
-        std::thread::Builder::new()
-            .name("c9-conn-reader".into())
-            .spawn(move || worker_conn_reader(reader, &events_tx))
-            .map_err(TransportError::from)?;
-        Ok(TcpWorkerEndpoint {
-            id: worker,
-            num_workers: peers.len(),
-            peers: PeerTable::from_infos(&peers),
-            coordinator: Arc::new(Mutex::new(stream)),
-            events_rx: self.events_rx,
-            pending_control: VecDeque::new(),
-            pending_jobs: VecDeque::new(),
-            pending_start: VecDeque::new(),
-            worker_epoch: epoch,
-            assigned_strategy: strategy,
-            hb_stop: None,
-            _guard: self.guard,
-        })
-    }
-}
-
-fn accept_loop(listener: &TcpListener, events_tx: &Sender<HostEvent>, shutdown: &AtomicBool) {
-    // Runs until the owning endpoint is dropped: every new connection
-    // (first coordinator, reconnecting coordinator, each peer) gets a
-    // reader thread feeding the shared event queue.
-    for stream in listener.incoming() {
-        if shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        let Ok(stream) = stream else { continue };
-        let events_tx = events_tx.clone();
-        let _ = std::thread::Builder::new()
-            .name("c9-conn-reader".into())
-            .spawn(move || worker_conn_reader(stream, &events_tx));
-    }
-}
-
-fn worker_conn_reader(mut stream: TcpStream, events_tx: &Sender<HostEvent>) {
-    loop {
-        let msg: WireMessage = match read_frame(&mut stream) {
-            Ok(msg) => msg,
-            Err(_) => return, // peer closed or sent garbage; drop the connection
-        };
-        let event = match msg {
-            WireMessage::CoordinatorHello {
-                version,
-                worker,
-                num_workers,
-                peers,
-            } => {
-                if version != WIRE_VERSION {
-                    // A coordinator speaking a different protocol version:
-                    // drop the connection rather than mis-decode its frames.
-                    return;
-                }
-                let Ok(writer) = stream.try_clone() else {
-                    return;
-                };
-                HostEvent::Hello {
-                    worker,
-                    num_workers,
-                    peers,
-                    writer,
-                }
-            }
-            WireMessage::Start(spec) => HostEvent::Start(spec),
-            WireMessage::Control { run, msg } => HostEvent::Control(run, msg),
-            WireMessage::Jobs(j) => HostEvent::Jobs(j),
-            // Everything else is coordinator-bound; a worker receiving one
-            // indicates a confused peer. Ignore.
-            WireMessage::Status(_)
-            | WireMessage::Final(_)
-            | WireMessage::Join { .. }
-            | WireMessage::JoinAck { .. }
-            | WireMessage::Heartbeat { .. }
-            | WireMessage::Leave { .. } => continue,
-        };
-        if events_tx.send(event).is_err() {
-            return;
-        }
+        let mut endpoint = self.into_endpoint();
+        endpoint.id = worker;
+        endpoint.num_workers = peers.len();
+        endpoint.peers = PeerTable::from_infos(&peers);
+        endpoint.coordinator = Some(endpoint.handle.add_conn(stream));
+        endpoint.worker_epoch = epoch;
+        endpoint.assigned_strategy = strategy;
+        Ok(endpoint)
     }
 }
 
@@ -368,23 +289,21 @@ pub struct TcpWorkerEndpoint {
     id: WorkerId,
     num_workers: usize,
     peers: PeerTable,
-    coordinator: Arc<Mutex<TcpStream>>,
-    events_rx: Receiver<HostEvent>,
+    /// The connection the coordinator speaks on (`None` until the first
+    /// hello in the accept path).
+    coordinator: Option<Token>,
+    coordinator_down: bool,
+    handle: ReactorHandle,
+    events_rx: Receiver<ReactorEvent>,
     pending_control: VecDeque<(RunId, Control)>,
     pending_jobs: VecDeque<JobBatch>,
     pending_start: VecDeque<RunSpec>,
     worker_epoch: u64,
     assigned_strategy: StrategyKind,
-    hb_stop: Option<Arc<AtomicBool>>,
-    _guard: ListenerGuard,
-}
-
-impl Drop for TcpWorkerEndpoint {
-    fn drop(&mut self) {
-        if let Some(stop) = self.hb_stop.take() {
-            stop.store(true, Ordering::Release);
-        }
-    }
+    /// The armed heartbeat timer and its period, re-armed onto the new
+    /// connection when a reconnecting coordinator replaces the old one.
+    heartbeat: Option<(TimerId, Duration)>,
+    _guard: ReactorGuard,
 }
 
 impl TcpWorkerEndpoint {
@@ -436,23 +355,73 @@ impl TcpWorkerEndpoint {
         spec
     }
 
-    fn dispatch(&mut self, event: HostEvent) {
+    fn dispatch(&mut self, event: ReactorEvent) {
         match event {
-            HostEvent::Hello {
+            ReactorEvent::Accepted { .. } => {
+                // The connection identifies itself with its first frame
+                // (hello from a coordinator, a job batch from a peer).
+            }
+            ReactorEvent::Frame { conn, payload } => {
+                let Ok(msg) = bincode::deserialize::<WireMessage>(&payload) else {
+                    self.handle.close(conn);
+                    return;
+                };
+                self.dispatch_msg(conn, msg);
+            }
+            ReactorEvent::Closed { conn } => {
+                if self.coordinator == Some(conn) {
+                    self.coordinator_down = true;
+                    if let Some((timer, _)) = self.heartbeat.take() {
+                        self.handle.cancel_timer(timer);
+                    }
+                }
+                self.peers.drop_token(conn);
+            }
+            ReactorEvent::Tick { .. } => {}
+        }
+    }
+
+    fn dispatch_msg(&mut self, conn: Token, msg: WireMessage) {
+        match msg {
+            WireMessage::CoordinatorHello {
+                version,
                 worker,
                 num_workers,
                 peers,
-                writer,
             } => {
+                if version != WIRE_VERSION {
+                    // A coordinator speaking a different protocol version:
+                    // drop the connection rather than mis-decode its frames.
+                    self.handle.close(conn);
+                    return;
+                }
                 // A reconnecting coordinator replaces the control channel.
+                if let Some(old) = self.coordinator {
+                    if old != conn {
+                        self.handle.close(old);
+                    }
+                }
                 self.id = worker;
                 self.num_workers = num_workers as usize;
                 self.peers = PeerTable::from_addrs(peers);
-                *self.coordinator.lock().expect("coordinator lock") = writer;
+                self.coordinator = Some(conn);
+                self.coordinator_down = false;
+                if let Some((timer, period)) = self.heartbeat.take() {
+                    self.handle.cancel_timer(timer);
+                    self.arm_heartbeat(period);
+                }
             }
-            HostEvent::Start(spec) => self.pending_start.push_back(*spec),
-            HostEvent::Control(run, c) => self.pending_control.push_back((run, c)),
-            HostEvent::Jobs(j) => self.pending_jobs.push_back(j),
+            WireMessage::Start(spec) => self.pending_start.push_back(*spec),
+            WireMessage::Control { run, msg } => self.pending_control.push_back((run, msg)),
+            WireMessage::Jobs(batch) => self.pending_jobs.push_back(batch),
+            // Everything else is coordinator-bound; a worker receiving one
+            // indicates a confused peer. Ignore.
+            WireMessage::Status(_)
+            | WireMessage::Final(_)
+            | WireMessage::Join { .. }
+            | WireMessage::JoinAck { .. }
+            | WireMessage::Heartbeat { .. }
+            | WireMessage::Leave { .. } => {}
         }
     }
 
@@ -462,21 +431,45 @@ impl TcpWorkerEndpoint {
         }
     }
 
-    fn write_to_coordinator(&self, msg: &WireMessage) -> Result<(), TransportError> {
-        let mut stream = self.coordinator.lock().expect("coordinator lock");
-        write_frame(&mut *stream, msg).map_err(TransportError::from)
+    fn coordinator_token(&self) -> Result<Token, TransportError> {
+        if self.coordinator_down {
+            return Err(TransportError::Disconnected);
+        }
+        self.coordinator.ok_or(TransportError::Disconnected)
     }
 
-    /// Probes the coordinator connection by sending a heartbeat frame.
-    /// Returns false once the connection is dead (the first write after a
-    /// peer death may still land in the kernel buffer, so an idle daemon
-    /// should probe periodically rather than once).
-    pub fn probe_coordinator(&self) -> bool {
-        self.write_to_coordinator(&WireMessage::Heartbeat {
+    fn send_to_coordinator(&mut self, msg: &WireMessage) -> Result<(), TransportError> {
+        self.pump();
+        let token = self.coordinator_token()?;
+        self.handle.send(token, encode(msg)?);
+        Ok(())
+    }
+
+    fn heartbeat_msg(&self) -> WireMessage {
+        WireMessage::Heartbeat {
             worker: self.id,
             epoch: self.worker_epoch,
-        })
-        .is_ok()
+        }
+    }
+
+    fn arm_heartbeat(&mut self, interval: Duration) {
+        let Ok(token) = self.coordinator_token() else {
+            return;
+        };
+        let Ok(frame) = encode(&self.heartbeat_msg()) else {
+            return;
+        };
+        let timer = self.handle.set_send_timer(token, interval, frame);
+        self.heartbeat = Some((timer, interval));
+    }
+
+    /// Probes the coordinator connection by enqueueing a heartbeat frame.
+    /// Returns false once the reactor has observed the connection's death
+    /// (the first frame after a peer death may still land in the kernel
+    /// buffer, so an idle daemon should probe periodically rather than
+    /// once).
+    pub fn probe_coordinator(&mut self) -> bool {
+        self.send_to_coordinator(&self.heartbeat_msg()).is_ok()
     }
 }
 
@@ -512,62 +505,45 @@ impl WorkerEndpoint for TcpWorkerEndpoint {
     }
 
     fn send_jobs(&mut self, destination: WorkerId, batch: JobBatch) -> Result<(), TransportError> {
-        let msg = WireMessage::Jobs(batch);
-        // One reconnect attempt: a worker daemon that restarted keeps its
-        // listen address, so re-dialing usually heals the path.
-        let first = {
-            let stream = self.peers.stream(destination)?;
-            write_frame(stream, &msg)
-        };
-        if first.is_ok() {
-            return Ok(());
-        }
-        self.peers.drop_conn(destination);
-        let stream = self.peers.stream(destination)?;
-        write_frame(stream, &msg).map_err(TransportError::from)
+        // Drain reactor events first so a peer death the reactor already
+        // saw fails the send now (and triggers a fresh dial) instead of
+        // dropping the batch into a dead write queue.
+        self.pump();
+        let frame = encode(&WireMessage::Jobs(batch))?;
+        let token = self.peers.token(destination, &self.handle)?;
+        self.handle.send(token, frame);
+        Ok(())
     }
 
     fn send_status(&mut self, report: StatusReport) -> Result<(), TransportError> {
-        self.write_to_coordinator(&WireMessage::Status(report))
+        self.send_to_coordinator(&WireMessage::Status(report))
     }
 
     fn send_final(&mut self, report: FinalReport) -> Result<(), TransportError> {
-        self.write_to_coordinator(&WireMessage::Final(Box::new(report)))
+        self.send_to_coordinator(&WireMessage::Final(Box::new(report)))?;
+        // A worker often exits right after its final report; flush so the
+        // report is on the wire before the process (and its reactor) dies.
+        let token = self.coordinator_token()?;
+        if self.handle.flush(token, Duration::from_secs(5)) {
+            Ok(())
+        } else {
+            Err(TransportError::Disconnected)
+        }
     }
 
     fn update_peers(&mut self, peers: &[PeerInfo]) {
-        self.peers.update(peers);
+        self.peers.update(peers, Some(&self.handle));
         self.num_workers = self.num_workers.max(self.peers.len());
     }
 
     fn start_heartbeat(&mut self, interval: Duration) {
-        if let Some(stop) = self.hb_stop.take() {
-            stop.store(true, Ordering::Release);
+        if let Some((timer, _)) = self.heartbeat.take() {
+            self.handle.cancel_timer(timer);
         }
         if interval.is_zero() {
             return;
         }
-        let stop = Arc::new(AtomicBool::new(false));
-        let coordinator = self.coordinator.clone();
-        let msg = WireMessage::Heartbeat {
-            worker: self.id,
-            epoch: self.worker_epoch,
-        };
-        let thread_stop = stop.clone();
-        let _ = std::thread::Builder::new()
-            .name(format!("c9-heartbeat-{}", self.id))
-            .spawn(move || loop {
-                std::thread::sleep(interval);
-                if thread_stop.load(Ordering::Acquire) {
-                    return;
-                }
-                // Send failures are ignored: either the coordinator is
-                // reconnecting (the stream will be replaced under the same
-                // mutex) or the endpoint is about to be dropped.
-                let mut stream = coordinator.lock().expect("coordinator lock");
-                let _ = write_frame(&mut *stream, &msg);
-            });
-        self.hb_stop = Some(stop);
+        self.arm_heartbeat(interval);
     }
 }
 
@@ -575,48 +551,60 @@ impl WorkerEndpoint for TcpWorkerEndpoint {
 /// coordinator reclaims this worker's jobs immediately instead of waiting
 /// for the failure detector.
 pub fn send_leave(endpoint: &TcpWorkerEndpoint) -> Result<(), TransportError> {
-    endpoint.write_to_coordinator(&WireMessage::Leave {
+    let token = endpoint.coordinator_token()?;
+    let frame = encode(&WireMessage::Leave {
         worker: endpoint.id,
         epoch: endpoint.worker_epoch,
-    })
+    })?;
+    endpoint.handle.send(token, frame);
+    // Leave usually precedes process exit; flush so the frame beats the
+    // reactor teardown out the door.
+    endpoint.handle.flush(token, Duration::from_secs(2));
+    Ok(())
+}
+
+/// A worker-initiated connection whose [`WireMessage::Join`] the
+/// coordinator has seen but not yet decided on: parked with a deadline so
+/// an abandoned handshake releases its socket.
+struct PendingJoin {
+    conn: Token,
+    deadline: Instant,
+    /// Frames the dialer sent after the join and before admission; replayed
+    /// through normal routing once the connection is promoted.
+    queued: Vec<WireMessage>,
 }
 
 /// Coordinator endpoint over TCP.
 pub struct TcpCoordinatorEndpoint {
-    writers: Vec<Option<TcpStream>>,
-    inbox_tx: Sender<(WorkerId, WireMessage)>,
-    inbox_rx: Receiver<(WorkerId, WireMessage)>,
+    handle: ReactorHandle,
+    events_rx: Receiver<ReactorEvent>,
+    /// Control/start channel of each worker, by worker index.
+    writers: Vec<Option<Token>>,
+    /// Established worker connections, for writer cleanup on close.
+    conn_workers: HashMap<Token, WorkerId>,
+    /// Accepted connections that have not sent their join frame yet.
+    nursery: HashMap<Token, Instant>,
+    /// Join handshakes awaiting the admission decision, by join token.
+    pending_joins: HashMap<u64, PendingJoin>,
     pending_status: VecDeque<StatusReport>,
     pending_finals: VecDeque<FinalReport>,
     pending_events: VecDeque<MemberEvent>,
-    join_rx: Option<Receiver<JoinRequest>>,
-    pending_joins: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    pending_requests: VecDeque<JoinRequest>,
     listen_addr: Option<SocketAddr>,
-    _listen_guard: Option<ListenerGuard>,
+    _guard: ReactorGuard,
 }
 
 impl TcpCoordinatorEndpoint {
     /// An endpoint with no connections yet: combine with
     /// [`TcpCoordinatorEndpoint::listen_on`] for a purely elastic cluster.
     pub fn detached() -> TcpCoordinatorEndpoint {
-        let (inbox_tx, inbox_rx) = unbounded();
-        TcpCoordinatorEndpoint {
-            writers: Vec::new(),
-            inbox_tx,
-            inbox_rx,
-            pending_status: VecDeque::new(),
-            pending_finals: VecDeque::new(),
-            pending_events: VecDeque::new(),
-            join_rx: None,
-            pending_joins: Arc::new(Mutex::new(HashMap::new())),
-            listen_addr: None,
-            _listen_guard: None,
-        }
+        let (handle, events_rx) = Reactor::spawn("coord").expect("coordinator reactor spawn");
+        guard_fields(handle, events_rx)
     }
 
     /// Dials every worker in `addrs` (retrying each until `timeout`), sends
-    /// the hello that assigns identities and the peer list, and starts the
-    /// reader threads.
+    /// the hello that assigns identities and the peer list, and registers
+    /// the sessions with the reactor.
     pub fn connect(
         addrs: &[String],
         timeout: Duration,
@@ -626,24 +614,19 @@ impl TcpCoordinatorEndpoint {
         for (i, addr) in addrs.iter().enumerate() {
             let stream = dial_until(addr, deadline)?;
             stream.set_nodelay(true).ok();
-            let mut writer = stream.try_clone().map_err(TransportError::from)?;
-            write_frame(
-                &mut writer,
-                &WireMessage::CoordinatorHello {
+            let worker = WorkerId(i as u32);
+            let token = endpoint.handle.add_conn(stream);
+            endpoint.handle.send(
+                token,
+                encode(&WireMessage::CoordinatorHello {
                     version: WIRE_VERSION,
-                    worker: WorkerId(i as u32),
+                    worker,
                     num_workers: addrs.len() as u32,
                     peers: addrs.to_vec(),
-                },
-            )
-            .map_err(TransportError::from)?;
-            let inbox_tx = endpoint.inbox_tx.clone();
-            let worker = WorkerId(i as u32);
-            std::thread::Builder::new()
-                .name(format!("c9-coord-reader-{worker}"))
-                .spawn(move || coordinator_conn_reader(stream, worker, &inbox_tx))
-                .map_err(TransportError::from)?;
-            endpoint.writers.push(Some(writer));
+                })?,
+            );
+            endpoint.conn_workers.insert(token, worker);
+            endpoint.writers.push(Some(token));
         }
         Ok(endpoint)
     }
@@ -659,23 +642,10 @@ impl TcpCoordinatorEndpoint {
     /// Starts accepting elastic joins on `addr` (usable together with a
     /// dialed static worker set). Returns the bound address.
     pub fn listen_on(&mut self, addr: &str) -> io::Result<SocketAddr> {
-        let listener = TcpListener::bind(addr)?;
+        let listener = std::net::TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let (join_tx, join_rx) = unbounded();
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let accept_shutdown = shutdown.clone();
-        let pending = self.pending_joins.clone();
-        std::thread::Builder::new()
-            .name(format!("c9-coord-accept-{local_addr}"))
-            .spawn(move || {
-                coordinator_accept_loop(&listener, &join_tx, &pending, &accept_shutdown);
-            })?;
-        self.join_rx = Some(join_rx);
+        self.handle.add_listener(listener);
         self.listen_addr = Some(local_addr);
-        self._listen_guard = Some(ListenerGuard {
-            addr: local_addr,
-            shutdown,
-        });
         Ok(local_addr)
     }
 
@@ -684,34 +654,167 @@ impl TcpCoordinatorEndpoint {
         self.listen_addr
     }
 
+    /// Releases join handshakes that outlived [`JOIN_HANDSHAKE_TIMEOUT`]:
+    /// connections that never sent their join frame, and surfaced joins the
+    /// coordinator never decided on. Their sockets are closed so an
+    /// abandoned dialer cannot pin coordinator resources.
+    fn sweep_stale_joins(&mut self) {
+        let now = Instant::now();
+        let handle = &self.handle;
+        self.nursery.retain(|&conn, &mut deadline| {
+            if now >= deadline {
+                handle.close(conn);
+                false
+            } else {
+                true
+            }
+        });
+        self.pending_joins.retain(|_, pending| {
+            if now >= pending.deadline {
+                handle.close(pending.conn);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
     fn pump_one(&mut self, timeout: Duration) -> bool {
+        self.sweep_stale_joins();
         let received = if timeout.is_zero() {
-            self.inbox_rx.try_recv().ok()
+            self.events_rx.try_recv().ok()
         } else {
-            self.inbox_rx.recv_timeout(timeout).ok()
+            self.events_rx.recv_timeout(timeout).ok()
         };
-        match received {
-            Some((_, WireMessage::Status(report))) => {
-                self.pending_status.push_back(report);
-                true
+        let Some(event) = received else {
+            return false;
+        };
+        match event {
+            ReactorEvent::Accepted { conn, .. } => {
+                self.nursery
+                    .insert(conn, Instant::now() + JOIN_HANDSHAKE_TIMEOUT);
             }
-            Some((_, WireMessage::Final(report))) => {
-                self.pending_finals.push_back(*report);
-                true
+            ReactorEvent::Frame { conn, payload } => {
+                let Ok(msg) = bincode::deserialize::<WireMessage>(&payload) else {
+                    self.drop_conn(conn);
+                    return true;
+                };
+                self.route(conn, msg);
             }
-            Some((_, WireMessage::Heartbeat { worker, epoch })) => {
-                self.pending_events
-                    .push_back(MemberEvent::Heartbeat { worker, epoch });
-                true
+            ReactorEvent::Closed { conn } => {
+                self.nursery.remove(&conn);
+                self.pending_joins.retain(|_, p| p.conn != conn);
+                if let Some(worker) = self.conn_workers.remove(&conn) {
+                    if let Some(slot) = self.writers.get_mut(worker.index()) {
+                        if *slot == Some(conn) {
+                            *slot = None;
+                        }
+                    }
+                }
             }
-            Some((_, WireMessage::Leave { worker, epoch })) => {
-                self.pending_events
-                    .push_back(MemberEvent::Leave { worker, epoch });
-                true
-            }
-            Some(_) => true, // ignore stray frames
-            None => false,
+            ReactorEvent::Tick { .. } => {}
         }
+        true
+    }
+
+    fn route(&mut self, conn: Token, msg: WireMessage) {
+        if self.nursery.remove(&conn).is_some() {
+            // First frame of an accepted connection: it must be a join.
+            let WireMessage::Join {
+                version,
+                listen_addr,
+                previous,
+            } = msg
+            else {
+                self.drop_conn(conn);
+                return;
+            };
+            if version != WIRE_VERSION {
+                // A worker speaking a different protocol version: drop the
+                // half-open connection instead of admitting it.
+                self.drop_conn(conn);
+                return;
+            }
+            let token = conn.0;
+            self.pending_joins.insert(
+                token,
+                PendingJoin {
+                    conn,
+                    deadline: Instant::now() + JOIN_HANDSHAKE_TIMEOUT,
+                    queued: Vec::new(),
+                },
+            );
+            self.pending_requests.push_back(JoinRequest {
+                token,
+                listen_addr,
+                previous,
+            });
+            return;
+        }
+        if let Some(pending) = self.pending_joins.values_mut().find(|p| p.conn == conn) {
+            // The dialer is already talking before the admission decision;
+            // hold its frames for replay after the promotion.
+            pending.queued.push(msg);
+            return;
+        }
+        match msg {
+            WireMessage::Status(report) => self.pending_status.push_back(report),
+            WireMessage::Final(report) => self.pending_finals.push_back(*report),
+            WireMessage::Heartbeat { worker, epoch } => self
+                .pending_events
+                .push_back(MemberEvent::Heartbeat { worker, epoch }),
+            WireMessage::Leave { worker, epoch } => self
+                .pending_events
+                .push_back(MemberEvent::Leave { worker, epoch }),
+            // Worker-bound frames arriving at the coordinator: a confused
+            // peer. Ignore.
+            _ => {}
+        }
+    }
+
+    fn drop_conn(&mut self, conn: Token) {
+        self.handle.close(conn);
+        self.nursery.remove(&conn);
+        self.pending_joins.retain(|_, p| p.conn != conn);
+        if let Some(worker) = self.conn_workers.remove(&conn) {
+            if let Some(slot) = self.writers.get_mut(worker.index()) {
+                if *slot == Some(conn) {
+                    *slot = None;
+                }
+            }
+        }
+    }
+
+    fn writer(&mut self, destination: WorkerId) -> Result<Token, TransportError> {
+        // Process queued closures first, so sends to a worker whose death
+        // the reactor already observed fail promptly.
+        while self.pump_one(Duration::ZERO) {}
+        self.writers
+            .get(destination.index())
+            .copied()
+            .flatten()
+            .ok_or(TransportError::Disconnected)
+    }
+}
+
+/// Builds the empty endpoint state around a freshly spawned reactor.
+fn guard_fields(
+    handle: ReactorHandle,
+    events_rx: Receiver<ReactorEvent>,
+) -> TcpCoordinatorEndpoint {
+    TcpCoordinatorEndpoint {
+        _guard: ReactorGuard(handle.clone()),
+        handle,
+        events_rx,
+        writers: Vec::new(),
+        conn_workers: HashMap::new(),
+        nursery: HashMap::new(),
+        pending_joins: HashMap::new(),
+        pending_status: VecDeque::new(),
+        pending_finals: VecDeque::new(),
+        pending_events: VecDeque::new(),
+        pending_requests: VecDeque::new(),
+        listen_addr: None,
     }
 }
 
@@ -729,76 +832,6 @@ fn dial_until(addr: &str, deadline: Instant) -> Result<TcpStream, TransportError
     }
 }
 
-/// Accepts worker-initiated connections on the coordinator's join listener.
-/// Each connection's first frame must be a [`WireMessage::Join`]; the
-/// half-open connection is parked under a token until the coordinator loop
-/// decides on admission.
-fn coordinator_accept_loop(
-    listener: &TcpListener,
-    join_tx: &Sender<JoinRequest>,
-    pending: &Arc<Mutex<HashMap<u64, TcpStream>>>,
-    shutdown: &AtomicBool,
-) {
-    static NEXT_TOKEN: AtomicU64 = AtomicU64::new(1);
-    for stream in listener.incoming() {
-        if shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        let Ok(mut stream) = stream else { continue };
-        let join_tx = join_tx.clone();
-        let pending = pending.clone();
-        let _ = std::thread::Builder::new()
-            .name("c9-join-reader".into())
-            .spawn(move || {
-                // Bound the handshake so a silent connection cannot pin the
-                // thread forever.
-                stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
-                let Ok(WireMessage::Join {
-                    version,
-                    listen_addr,
-                    previous,
-                }) = read_frame::<_, WireMessage>(&mut stream)
-                else {
-                    return;
-                };
-                if version != WIRE_VERSION {
-                    // A worker speaking a different protocol version: drop
-                    // the half-open connection instead of admitting it.
-                    return;
-                }
-                stream.set_read_timeout(None).ok();
-                stream.set_nodelay(true).ok();
-                let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
-                pending
-                    .lock()
-                    .expect("pending joins lock")
-                    .insert(token, stream);
-                let _ = join_tx.send(JoinRequest {
-                    token,
-                    listen_addr,
-                    previous,
-                });
-            });
-    }
-}
-
-fn coordinator_conn_reader(
-    mut stream: TcpStream,
-    worker: WorkerId,
-    inbox_tx: &Sender<(WorkerId, WireMessage)>,
-) {
-    loop {
-        match read_frame::<_, WireMessage>(&mut stream) {
-            Ok(msg) => {
-                if inbox_tx.send((worker, msg)).is_err() {
-                    return;
-                }
-            }
-            Err(_) => return,
-        }
-    }
-}
-
 impl CoordinatorEndpoint for TcpCoordinatorEndpoint {
     fn num_workers(&self) -> usize {
         self.writers.len()
@@ -810,12 +843,10 @@ impl CoordinatorEndpoint for TcpCoordinatorEndpoint {
         run: RunId,
         msg: Control,
     ) -> Result<(), TransportError> {
-        let writer = self
-            .writers
-            .get_mut(destination.index())
-            .and_then(Option::as_mut)
-            .ok_or(TransportError::Disconnected)?;
-        write_frame(writer, &WireMessage::Control { run, msg }).map_err(TransportError::from)
+        let token = self.writer(destination)?;
+        let frame = encode(&WireMessage::Control { run, msg })?;
+        self.handle.send(token, frame);
+        Ok(())
     }
 
     fn recv_status(&mut self, timeout: Duration) -> Option<StatusReport> {
@@ -878,7 +909,14 @@ impl CoordinatorEndpoint for TcpCoordinatorEndpoint {
     }
 
     fn try_recv_join(&mut self) -> Option<JoinRequest> {
-        self.join_rx.as_ref()?.try_recv().ok()
+        loop {
+            if let Some(request) = self.pending_requests.pop_front() {
+                return Some(request);
+            }
+            if !self.pump_one(Duration::ZERO) {
+                return None;
+            }
+        }
     }
 
     fn admit(
@@ -889,45 +927,34 @@ impl CoordinatorEndpoint for TcpCoordinatorEndpoint {
         peers: Vec<PeerInfo>,
         strategy: StrategyKind,
     ) -> Result<(), TransportError> {
-        let Some(stream) = self
-            .pending_joins
-            .lock()
-            .expect("pending joins lock")
-            .remove(&token)
-        else {
+        let Some(pending) = self.pending_joins.remove(&token) else {
+            // The handshake was swept or its connection died.
             return Err(TransportError::Disconnected);
         };
-        let mut writer = stream.try_clone().map_err(TransportError::from)?;
-        write_frame(
-            &mut writer,
-            &WireMessage::JoinAck {
-                worker,
-                epoch,
-                peers,
-                strategy,
-            },
-        )
-        .map_err(TransportError::from)?;
+        let frame = encode(&WireMessage::JoinAck {
+            worker,
+            epoch,
+            peers,
+            strategy,
+        })?;
+        self.handle.send(pending.conn, frame);
         let idx = worker.index();
         if idx >= self.writers.len() {
             self.writers.resize_with(idx + 1, || None);
         }
-        self.writers[idx] = Some(writer);
-        let inbox_tx = self.inbox_tx.clone();
-        std::thread::Builder::new()
-            .name(format!("c9-coord-reader-{worker}"))
-            .spawn(move || coordinator_conn_reader(stream, worker, &inbox_tx))
-            .map_err(TransportError::from)?;
+        self.writers[idx] = Some(pending.conn);
+        self.conn_workers.insert(pending.conn, worker);
+        for msg in pending.queued {
+            self.route(pending.conn, msg);
+        }
         Ok(())
     }
 
     fn send_start(&mut self, destination: WorkerId, spec: RunSpec) -> Result<(), TransportError> {
-        let writer = self
-            .writers
-            .get_mut(destination.index())
-            .and_then(Option::as_mut)
-            .ok_or(TransportError::Disconnected)?;
-        write_frame(writer, &WireMessage::Start(Box::new(spec))).map_err(TransportError::from)
+        let token = self.writer(destination)?;
+        let frame = encode(&WireMessage::Start(Box::new(spec)))?;
+        self.handle.send(token, frame);
+        Ok(())
     }
 }
 
